@@ -1,0 +1,27 @@
+"""Bench for §IV — the three case-study compliance analyses.
+
+Paper-vs-measured: LAU compliant via a dedicated course, AUC compliant
+via the distributed approach, RIT compliant via a dedicated (breadth)
+course; all three cover all three CDER concepts.
+"""
+
+from repro.core.casestudies import case_study_programs
+from repro.core.compliance import Approach, check_program
+from repro.core.report import render_case_studies
+
+
+def test_bench_case_study_compliance(benchmark):
+    programs = case_study_programs()
+
+    def run():
+        return [check_program(p) for p in programs]
+
+    reports = benchmark(run)
+    print()
+    print(render_case_studies(reports))
+    lau, auc, rit = reports
+    assert lau.compliant and lau.approach is Approach.DEDICATED_COURSE
+    assert auc.compliant and auc.approach is Approach.DISTRIBUTED
+    assert rit.compliant and rit.approach is Approach.DEDICATED_COURSE
+    assert all(r.concepts_complete for r in reports)
+    assert all(r.newhall.score >= 3 for r in reports)

@@ -1,0 +1,45 @@
+"""Supporting bench: coherence-protocol and false-sharing ablations.
+
+Table I's architecture column covers "multiprocessor caches and cache
+coherence"; the LAU course covers false sharing.  Two ablations:
+
+- MESI vs MSI bus transactions on a private read-modify-write workload
+  (MESI's E state removes the upgrade broadcasts);
+- adjacent vs padded per-core counters (false sharing) on the cache-line
+  model.
+"""
+
+from repro.arch.coherence import CoherentSystem, Protocol, private_rw_workload
+from repro.smp.falseshare import false_sharing_demo
+
+
+def test_bench_mesi_vs_msi_ablation(benchmark):
+    cores, repeats = 8, 50
+    workload = private_rw_workload(cores, repeats)
+
+    def run():
+        msi = CoherentSystem(cores, Protocol.MSI)
+        mesi = CoherentSystem(cores, Protocol.MESI)
+        msi.run_trace(workload)
+        mesi.run_trace(workload)
+        return msi.stats, mesi.stats
+
+    msi, mesi = benchmark(run)
+    print(f"\n  private r/w workload, {cores} cores x {repeats} rounds")
+    print(f"  MSI:  {msi.total_transactions} bus transactions "
+          f"({msi.bus_upgr} upgrades)")
+    print(f"  MESI: {mesi.total_transactions} bus transactions "
+          f"({mesi.bus_upgr} upgrades)")
+    assert mesi.bus_upgr == 0
+    assert msi.bus_upgr == cores
+    assert mesi.total_transactions < msi.total_transactions
+
+
+def test_bench_false_sharing_ablation(benchmark):
+    result = benchmark(false_sharing_demo, 8, 200, 8)
+    print(f"\n  shared layout: {result['shared_misses']} coherence misses, "
+          f"{result['shared_invalidations']} invalidations")
+    print(f"  padded layout: {result['padded_misses']} coherence misses, "
+          f"{result['padded_invalidations']} invalidations")
+    assert result["padded_misses"] == 8  # cold misses only
+    assert result["shared_misses"] > 100 * result["padded_misses"]

@@ -1,0 +1,55 @@
+"""Supporting bench: MPI collective algorithm ablation (linear vs tree).
+
+The cluster-programming unit's analysis exercise: the root of a linear
+broadcast sends p-1 messages itself; a binomial tree spreads them so the
+root sends only ceil(log2 p).
+"""
+
+import math
+
+from repro.mp import SUM, run_spmd
+from repro.mp.runtime import World
+
+
+def _root_sends(size: int, algorithm: str) -> int:
+    world = World(size)
+
+    def main(comm):
+        comm.bcast("x" if comm.Get_rank() == 0 else None, root=0,
+                   algorithm=algorithm)
+
+    run_spmd(size, main, world=world)
+    return world.messages_from(0)
+
+
+def test_bench_broadcast_algorithm_ablation(benchmark):
+    sizes = (2, 4, 8, 16)
+
+    def sweep():
+        return {
+            size: (_root_sends(size, "linear"), _root_sends(size, "tree"))
+            for size in sizes
+        }
+
+    results = benchmark(sweep)
+    print("\n  p      root sends (linear)   root sends (tree)")
+    for size, (linear, tree) in results.items():
+        print(f"  {size:<6d} {linear:<21d} {tree}")
+        assert linear == size - 1
+        assert tree == math.ceil(math.log2(size))
+
+
+def test_bench_allreduce_scaling(benchmark):
+    def run():
+        totals = {}
+        for size in (2, 4, 8):
+            world = World(size)
+            run_spmd(size, lambda comm: comm.allreduce(1, op=SUM), world=world)
+            totals[size] = world.message_count
+        return totals
+
+    totals = benchmark(run)
+    print("\n  p -> total messages for one allreduce (tree reduce + bcast)")
+    for size, count in totals.items():
+        print(f"    {size}: {count}")
+        assert count == 2 * (size - 1)  # (p-1) up the tree, (p-1) down

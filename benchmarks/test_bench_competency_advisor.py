@@ -1,0 +1,52 @@
+"""Benches for the CC2020 competency check and the curriculum advisor.
+
+Paper-vs-measured: CC2020's six named PDC topics (§II-A) are all
+evidenced by the RIT breadth syllabus; the LAU dedicated course evidences
+five (processes live in LAU's OS course, which §IV-A notes).  The advisor
+reproduces §II-B's finding that a bare curriculum can reach compliance by
+embedding topics into existing Table-I host courses.
+"""
+
+from repro.core.advisor import advise
+from repro.core.competency import check_syllabus
+from repro.core.course import Course
+from repro.core.program import Program
+from repro.core.taxonomy import CourseType
+from repro.pedagogy import build_lau_course, build_rit_course
+
+
+def test_bench_cc2020_competency_check(benchmark):
+    lau = build_lau_course()
+    rit = build_rit_course()
+
+    def run():
+        return check_syllabus(lau), check_syllabus(rit)
+
+    lau_report, rit_report = benchmark(run)
+    print("\n  CC2020 PDC competencies evidenced per syllabus:")
+    for report in (lau_report, rit_report):
+        print(f"  {report.syllabus_title}: "
+              f"{report.evidenced_count}/{len(report.evidence)}"
+              + (f" (missing: {', '.join(report.missing())})"
+                 if report.missing() else ""))
+    assert rit_report.complete
+    assert lau_report.missing() == ["Processes"]
+
+
+def test_bench_advisor_gap_analysis(benchmark):
+    bare = Program(
+        "Bare U", "B",
+        courses=[
+            Course("ARCH", "Arch", CourseType.ARCHITECTURE, 10.0),
+            Course("OS", "OS", CourseType.OPERATING_SYSTEMS, 10.0),
+            Course("DB", "DB", CourseType.DATABASE, 10.0),
+            Course("NET", "Net", CourseType.NETWORKS, 10.0),
+        ],
+    )
+    plan = benchmark(advise, bare)
+    print(f"\n  {plan.summary()}")
+    embed = sum(1 for r in plan.recommendations if r.action == "embed")
+    print(f"  embeddings proposed: {embed}/14 topics "
+          f"(dedicated course suggested: {plan.suggest_dedicated_course})")
+    assert len(plan.uncovered_topics) == 14
+    assert embed == 14  # the four host courses cover every Table-I row

@@ -1,0 +1,30 @@
+"""Bench for Fig. 1 — the CAC CS curriculum criteria, rendered and applied.
+
+Regenerates the criteria text and benchmarks the criteria engine over the
+three case-study programs.  Paper-vs-measured: all five exposure areas
+present; all three case studies satisfy the criteria.
+"""
+
+from repro.core.abet import CacCriteria
+from repro.core.casestudies import case_study_programs
+from repro.core.report import render_fig1
+
+
+def test_bench_fig1_criteria_check(benchmark):
+    programs = case_study_programs()
+    criteria = CacCriteria()
+
+    def run():
+        return [criteria.check(p) for p in programs]
+
+    checks = benchmark(run)
+
+    text = render_fig1()
+    print()
+    print(text)
+    print()
+    for program, check in zip(programs, checks):
+        print(f"  {program.institution}: satisfied={check.satisfied} "
+              f"({check.credit_hours:g} credit hours)")
+    assert "parallel and distributed computing" in text
+    assert all(c.satisfied for c in checks)

@@ -1,0 +1,44 @@
+"""Bench for Fig. 2 — PDC topics used by the surveyed programs.
+
+Runs the §III weighted-sum analysis over the 20-program synthetic survey
+(paper data substitution per DESIGN.md).  Paper-vs-measured shape:
+"Parallelism and concurrency" leads (it is marked in all five Table-I
+columns); every topic is covered by at least one program.
+"""
+
+from repro.core.report import render_fig2
+from repro.core.survey import analyze_survey, generate_survey
+from repro.core.taxonomy import PdcTopic
+
+
+def test_bench_fig2_topic_analysis(benchmark):
+    programs = generate_survey(seed=2021)
+    analysis = benchmark(analyze_survey, programs)
+    print()
+    print(render_fig2(analysis))
+    assert analysis.top_topics(1) == [PdcTopic.PARALLELISM_CONCURRENCY]
+    assert all(c > 0 for c in analysis.topic_counts.values())
+
+
+def test_bench_fig2_weighted_vs_unweighted_ablation(benchmark):
+    """Ablation: does the depth weighting change the topic ranking?"""
+    from repro.core.coverage import weighted_topic_scores
+
+    programs = generate_survey(seed=2021)
+
+    def both():
+        return (
+            weighted_topic_scores(programs, weighted=True),
+            weighted_topic_scores(programs, weighted=False),
+        )
+
+    weighted, unweighted = benchmark(both)
+    rank_w = sorted(PdcTopic, key=lambda t: -weighted[t])
+    rank_u = sorted(PdcTopic, key=lambda t: -unweighted[t])
+    agreements = sum(1 for a, b in zip(rank_w[:5], rank_u[:5]) if a == b)
+    print(f"\n  top-5 rank agreement (weighted vs unweighted): {agreements}/5")
+    print(f"  weighted top-3:   {[t.name for t in rank_w[:3]]}")
+    print(f"  unweighted top-3: {[t.name for t in rank_u[:3]]}")
+    # The headline finding is robust to the weighting choice:
+    assert rank_w[0] is PdcTopic.PARALLELISM_CONCURRENCY
+    assert rank_u[0] is PdcTopic.PARALLELISM_CONCURRENCY

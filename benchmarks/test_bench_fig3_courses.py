@@ -1,0 +1,31 @@
+"""Bench for Fig. 3 — which course types carry the PDC content.
+
+Paper-vs-measured shape: architecture/OS-family courses lead; exactly one
+of the 20 programs has a dedicated parallel-programming course.
+"""
+
+from repro.core.report import render_fig3
+from repro.core.survey import analyze_survey, generate_survey
+from repro.core.taxonomy import CourseType
+
+
+def test_bench_fig3_course_percentages(benchmark):
+    programs = generate_survey(seed=2021)
+    analysis = benchmark(analyze_survey, programs)
+    print()
+    print(render_fig3(analysis))
+    pct = analysis.course_percentages
+    assert abs(sum(pct.values()) - 100.0) < 1e-9
+    assert analysis.dedicated_course_programs == 1
+    assert analysis.top_course_types(1) == [CourseType.ARCHITECTURE]
+    # Systems courses (arch + OS + sysprog) carry the majority of PDC:
+    systems_share = sum(
+        pct.get(ct, 0.0)
+        for ct in (
+            CourseType.ARCHITECTURE,
+            CourseType.OPERATING_SYSTEMS,
+            CourseType.SYSTEMS_PROGRAMMING,
+        )
+    )
+    print(f"\n  systems-course share of PDC coverage: {systems_share:.1f}%")
+    assert systems_share > 40.0

@@ -1,0 +1,80 @@
+"""Supporting bench: the SIMT model's coalescing and divergence ablations.
+
+The LAU course's manycore part (paper §IV-A) grades memory-access
+patterns; these benches regenerate the coalesced-vs-strided transaction
+table and the tile-size sweep for the shared-memory matmul.
+"""
+
+import numpy as np
+
+from repro.gpu import Device, GlobalArray, launch
+from repro.gpu.libdevice import device_matmul, vector_add, vector_add_strided
+
+
+def test_bench_coalescing_ablation(benchmark):
+    n = 1024
+
+    def run():
+        dev = Device()
+        a = GlobalArray.from_host(np.ones(n))
+        b = GlobalArray.from_host(np.ones(n))
+        out = GlobalArray.zeros(n)
+        coalesced = launch(dev, vector_add, grid=n // 64, block=64)(a, b, out)
+        strided = launch(dev, vector_add_strided, grid=n // 64, block=64)(
+            a, b, out, 33
+        )
+        return coalesced, strided
+
+    coalesced, strided = benchmark(run)
+    print(f"\n  coalesced: {coalesced.transactions} transactions "
+          f"(efficiency {coalesced.coalescing_efficiency():.2f})")
+    print(f"  strided:   {strided.transactions} transactions "
+          f"(efficiency {strided.coalescing_efficiency():.2f})")
+    assert coalesced.coalescing_efficiency() > 0.95
+    assert strided.transactions > 5 * coalesced.transactions
+
+
+def test_bench_tile_size_ablation(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.random((16, 16))
+    b = rng.random((16, 16))
+
+    def sweep():
+        loads = {}
+        for tile in (2, 4, 8):
+            _c, stats = device_matmul(Device(), a, b, tile=tile)
+            loads[tile] = stats.global_loads
+        return loads
+
+    loads = benchmark(sweep)
+    print("\n  tile size -> global loads (bigger tiles reuse more)")
+    for tile, n_loads in loads.items():
+        print(f"    {tile}x{tile}: {n_loads}")
+    assert loads[8] < loads[4] < loads[2]
+
+
+def test_bench_divergence_ablation(benchmark):
+    def uniform(ctx, out):
+        if ctx.branch(ctx.block_idx.x == 0):
+            out[ctx.global_id()] = 1.0
+        return
+        yield
+
+    def divergent(ctx, out):
+        if ctx.branch(ctx.thread_idx.x % 2 == 0):
+            out[ctx.global_id()] = 1.0
+        return
+        yield
+
+    def run():
+        dev = Device()
+        out = GlobalArray.zeros(256)
+        u = launch(dev, uniform, grid=4, block=64)(out)
+        d = launch(dev, divergent, grid=4, block=64)(out)
+        return u, d
+
+    u, d = benchmark(run)
+    print(f"\n  uniform branch:   divergence rate {u.divergence_rate():.2f}")
+    print(f"  divergent branch: divergence rate {d.divergence_rate():.2f}")
+    assert u.divergence_rate() == 0.0
+    assert d.divergence_rate() == 1.0

@@ -1,0 +1,73 @@
+"""Supporting bench: parallel algorithms vs their serial baselines.
+
+CS2013's PD area requires parallel-algorithm analysis; these benches
+regenerate the standard comparisons: fork-join sort vs serial sort,
+step/work trade-off of the two parallel scans, loop-order cache behaviour
+of matrix multiply, and Brent's bound on greedy schedules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dag import TaskDag, brent_bound, greedy_schedule
+from repro.algorithms.matrix import matmul_loop_orders
+from repro.algorithms.scan import blelloch_scan, hillis_steele_scan
+from repro.algorithms.sorting import parallel_mergesort, serial_mergesort
+
+_DATA = list(np.random.default_rng(42).integers(0, 1_000_000, 4000))
+
+
+def test_bench_serial_mergesort_baseline(benchmark):
+    result = benchmark(serial_mergesort, _DATA)
+    assert result == sorted(_DATA)
+
+
+def test_bench_parallel_mergesort(benchmark):
+    result, stats = benchmark(parallel_mergesort, _DATA, 2, 64)
+    print(f"\n  forked tasks: {stats.forked_tasks}, "
+          f"sequential leaf tasks: {stats.sequential_tasks}")
+    assert result == sorted(_DATA)
+
+
+def test_bench_scan_work_step_tradeoff(benchmark):
+    """Hillis-Steele: fewer steps; Blelloch: less work — the lecture table."""
+    x = np.ones(1 << 14)
+
+    def both():
+        _, hs = hillis_steele_scan(x)
+        _, bl = blelloch_scan(x)
+        return hs, bl
+
+    hs, bl = benchmark(both)
+    print(f"\n  n = {x.size}")
+    print(f"  Hillis-Steele: steps={hs.steps:>3d}  work={hs.work}")
+    print(f"  Blelloch:      steps={bl.steps:>3d}  work={bl.work}")
+    assert hs.steps == 14
+    assert bl.steps == 28
+    assert bl.work < hs.work / 5  # Θ(n) vs Θ(n log n)
+
+
+def test_bench_matmul_loop_order_ablation(benchmark):
+    rates = benchmark(matmul_loop_orders, 16)
+    print("\n  loop order -> simulated cache miss rate")
+    for order, rate in sorted(rates.items(), key=lambda kv: kv[1]):
+        print(f"    {order}: {rate:.3f}")
+    assert rates["ikj"] < rates["ijk"] < 1.0
+
+
+def test_bench_brent_bound_on_fork_join_tree(benchmark):
+    dag = TaskDag.fork_join_tree(6)  # 2^7 - 1 + join tasks
+
+    def schedule_all():
+        return {p: greedy_schedule(dag, p).makespan for p in (1, 2, 4, 8, 16)}
+
+    makespans = benchmark(schedule_all)
+    print(f"\n  work={dag.work:g} span={dag.span:g} "
+          f"parallelism={dag.parallelism:.1f}")
+    print("  p      T_p     Brent bound")
+    for p, tp in makespans.items():
+        bound = brent_bound(dag.work, dag.span, p)
+        print(f"  {p:<6d} {tp:<7g} {bound:g}")
+        assert tp <= bound + 1e-9
+    assert makespans[1] == dag.work
+    assert makespans[16] >= dag.span

@@ -1,0 +1,139 @@
+"""Supporting bench: scheduling and concurrency-control ablations.
+
+Covers the OS column's "scheduling on single and multiprocessor systems"
+(AUC §IV-B) and the database column's deadlock handling:
+
+- single-CPU policy comparison on a common workload;
+- round-robin quantum sweep (response vs context switches);
+- priority aging sweep (the starvation fix);
+- SMP work stealing on/off under skew;
+- deadlock-policy abort counts on a contended transaction mix.
+"""
+
+import numpy as np
+
+from repro.db import DeadlockPolicy, Op, Transaction, TransactionEngine
+from repro.oskernel import (
+    FCFS,
+    MLFQ,
+    PriorityScheduler,
+    RoundRobin,
+    SJF,
+    SRTF,
+    Workloads,
+    simulate,
+)
+from repro.oskernel.smp import SmpPolicy, simulate_smp, skewed_tasks
+
+
+def test_bench_policy_comparison(benchmark):
+    workload = Workloads.random(30, seed=11)
+    policies = [FCFS(), SJF(), SRTF(), RoundRobin(4), PriorityScheduler(), MLFQ()]
+
+    def run():
+        return {type(p).__name__: simulate(workload, p) for p in policies}
+
+    results = benchmark(run)
+    print("\n  policy              wait    turn    resp   switches")
+    for name, m in results.items():
+        print(f"  {name:<18s} {m.avg_waiting:>6.2f} {m.avg_turnaround:>7.2f} "
+              f"{m.avg_response:>7.2f} {m.context_switches:>7d}")
+    waits = {n: m.avg_waiting for n, m in results.items()}
+    assert waits["SRTF"] == min(waits.values())
+
+
+def test_bench_rr_quantum_sweep(benchmark):
+    workload = Workloads.random(25, seed=12)
+    quanta = (1, 2, 4, 8, 16)
+
+    def sweep():
+        return {q: simulate(workload, RoundRobin(q)) for q in quanta}
+
+    results = benchmark(sweep)
+    print("\n  quantum  avg response  context switches")
+    for q, m in results.items():
+        print(f"  {q:<8d} {m.avg_response:>12.2f} {m.context_switches:>14d}")
+    assert results[1].context_switches > results[16].context_switches
+    assert results[1].avg_response <= results[16].avg_response
+
+
+def test_bench_priority_aging_sweep(benchmark):
+    workload = Workloads.starvation_prone(20)
+
+    def victim_wait(metrics):
+        return next(p for p in metrics.processes if p.pid == 999).waiting
+
+    def sweep():
+        return {
+            rate: victim_wait(simulate(workload, PriorityScheduler(aging_every=rate)))
+            for rate in (None, 5, 3, 2, 1)
+        }
+
+    waits = benchmark(sweep)
+    print("\n  aging rate -> starvation victim's waiting time")
+    for rate, wait in waits.items():
+        print(f"    {str(rate):<6s} {wait}")
+    assert waits[1] < waits[None]
+
+
+def test_bench_work_stealing_ablation(benchmark):
+    tasks = skewed_tasks(300, seed=13, skew=3.0)
+
+    def run():
+        return {
+            policy: simulate_smp(tasks, 8, policy)
+            for policy in SmpPolicy
+        }
+
+    results = benchmark(run)
+    print("\n  SMP policy      makespan  imbalance  steals")
+    for policy, r in results.items():
+        print(f"  {policy.value:<14s} {r.makespan:>8.1f} {r.imbalance:>10.3f} "
+              f"{r.steals:>7d}")
+    assert (
+        results[SmpPolicy.WORK_STEALING].makespan
+        <= results[SmpPolicy.PARTITIONED].makespan
+    )
+
+
+def test_bench_deadlock_policy_ablation(benchmark):
+    rng = np.random.default_rng(14)
+    txns = []
+    for i in range(1, 9):
+        items = rng.choice(["a", "b", "c", "d"], size=4)
+        ops = [
+            Op.read(i, str(it)) if j % 2 == 0 else Op.write(i, str(it))
+            for j, it in enumerate(items)
+        ]
+        txns.append(Transaction(i, ops))
+
+    def run():
+        return {
+            policy: TransactionEngine(txns, policy=policy).run()
+            for policy in DeadlockPolicy
+        }
+
+    reports = benchmark(run)
+    print("\n  deadlock policy  aborts  turns  committed")
+    for policy, report in reports.items():
+        print(f"  {policy.value:<15s} {report.aborts:>6d} {report.turns:>6d} "
+              f"{len(report.committed):>9d}")
+        assert len(report.committed) == 8
+
+
+def test_bench_multiprogramming_curve(benchmark):
+    """The classic lecture figure: CPU utilization vs degree of
+    multiprogramming for I/O-bound jobs (cpu 2, io 8 -> saturates at 5)."""
+    from repro.oskernel.iosim import multiprogramming_curve
+
+    curve = benchmark(
+        multiprogramming_curve, [1, 2, 3, 4, 5, 6, 8], RoundRobin, 2, 8, 5
+    )
+    print("\n  degree  CPU utilization")
+    for degree, utilization in curve.items():
+        bar = "#" * round(40 * utilization)
+        print(f"  {degree:<7d} {utilization:5.2f}  {bar}")
+    assert curve[1] < 0.3
+    assert curve[5] > 0.95
+    values = [curve[d] for d in (1, 2, 3, 4, 5)]
+    assert values == sorted(values)

@@ -1,0 +1,48 @@
+"""Supporting bench: the speedup/scalability laws the courses teach.
+
+The survey's architecture courses teach "Amdahl's law and its implication
+…, speedup and scalability" (paper §III).  Regenerates the Amdahl vs
+Gustafson curve data and checks the shapes: Amdahl saturates below 1/(1-f),
+Gustafson stays linear, efficiency decays monotonically.
+"""
+
+import numpy as np
+
+from repro.arch.laws import amdahl_limit, speedup_sweep
+
+
+def test_bench_speedup_sweep(benchmark):
+    sweep = benchmark(speedup_sweep, 0.95, 4096)
+    p = sweep["processors"]
+    amdahl = sweep["amdahl"]
+    gustafson = sweep["gustafson"]
+    rows = [1, 8, 64, 512, 4096]
+    print("\n  p      Amdahl(f=.95)  Gustafson(f=.95)  efficiency")
+    for r in rows:
+        i = r - 1
+        print(
+            f"  {r:<6d} {amdahl[i]:>13.2f} {gustafson[i]:>17.2f} "
+            f"{sweep['amdahl_efficiency'][i]:>11.3f}"
+        )
+    limit = float(amdahl_limit(0.95))
+    print(f"  Amdahl limit: {limit:g}")
+    assert np.all(amdahl < limit)
+    assert amdahl[-1] > 0.9 * limit  # saturation reached
+    assert gustafson[-1] > 100 * amdahl[-1]  # the scaled-speedup contrast
+    assert np.all(np.diff(sweep["amdahl_efficiency"]) <= 1e-12)
+
+
+def test_bench_karp_flatt_diagnosis(benchmark):
+    """Karp-Flatt over measured speedups recovers a flat serial fraction
+    for an Amdahl-faithful program (no parallel overhead)."""
+    from repro.arch.laws import amdahl_speedup, karp_flatt
+
+    p = np.array([2, 4, 8, 16, 32, 64], dtype=float)
+
+    def diagnose():
+        observed = amdahl_speedup(0.9, p)
+        return karp_flatt(observed, p)
+
+    fractions = benchmark(diagnose)
+    print(f"\n  Karp-Flatt serial fraction across p: {np.round(fractions, 6)}")
+    assert np.allclose(fractions, 0.1)

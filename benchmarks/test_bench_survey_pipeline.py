@@ -1,0 +1,30 @@
+"""Bench for the §III survey pipeline, end to end.
+
+Generate 20 programs -> build coverage matrices -> weighted-sum analysis
+-> compliance checks.  Paper-vs-measured: 20/20 programs accreditable,
+1/20 via a dedicated course, 19/20 via the distributed approach.
+"""
+
+from repro.core.compliance import Approach, check_program
+from repro.core.survey import analyze_survey, generate_survey
+
+
+def test_bench_survey_end_to_end(benchmark):
+    def pipeline():
+        programs = generate_survey(seed=2021)
+        analysis = analyze_survey(programs)
+        reports = [check_program(p) for p in programs]
+        return analysis, reports
+
+    analysis, reports = benchmark(pipeline)
+    approaches = [r.approach for r in reports]
+    dedicated = approaches.count(Approach.DEDICATED_COURSE)
+    distributed = approaches.count(Approach.DISTRIBUTED)
+    print(f"\n  programs: {analysis.num_programs}")
+    print(f"  compliant: {sum(1 for r in reports if r.compliant)}/20")
+    print(f"  dedicated-course approach:  {dedicated}")
+    print(f"  distributed approach:       {distributed}")
+    mean_newhall = sum(r.newhall.score for r in reports) / len(reports)
+    print(f"  mean Newhall score: {mean_newhall:.2f}/4")
+    assert all(r.compliant for r in reports)
+    assert dedicated == 1 and distributed == 19

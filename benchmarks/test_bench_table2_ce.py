@@ -1,0 +1,21 @@
+"""Bench for Table II — PDC in CE2016 knowledge areas.
+
+Paper-vs-measured: exact reproduction — four knowledge areas, five
+PDC-related core knowledge units, out of CE2016's twelve areas.
+"""
+
+from repro.core.ce2016 import CE2016_AREAS, ce_pdc_table
+from repro.core.report import render_table2
+
+
+def test_bench_table2_regeneration(benchmark):
+    table = benchmark(ce_pdc_table)
+    print()
+    print(render_table2())
+    assert len(CE2016_AREAS) == 12
+    assert len(table) == 4
+    assert sum(len(units) for units in table.values()) == 5
+    assert table["Architecture and Organization"] == [
+        "Multi/Many-core architectures",
+        "Distributed system architectures",
+    ]

@@ -1,0 +1,20 @@
+"""Bench for Table III — PDC in SE2014 (SEEK) knowledge areas.
+
+Paper-vs-measured: exact reproduction — one knowledge area (Computing
+Essentials), two PDC-related essential topics, both at the application
+cognitive level, out of SEEK's ten areas.
+"""
+
+from repro.core.report import render_table3
+from repro.core.se2014 import SEEK_AREAS, se_pdc_table
+
+
+def test_bench_table3_regeneration(benchmark):
+    table = benchmark(se_pdc_table)
+    print()
+    print(render_table3())
+    assert len(SEEK_AREAS) == 10
+    assert list(table) == ["Computing Essentials"]
+    topics = table["Computing Essentials"]
+    assert len(topics) == 2
+    assert all(level == "APPLICATION" for _t, level in topics)

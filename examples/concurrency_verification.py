@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Verifying concurrency claims instead of demonstrating them.
+
+Three levels of assurance, escalating — the arc a rigorous PDC course
+follows once students stop trusting "it worked when I ran it":
+
+1. dynamic analysis — the lockset race detector flags unsynchronized
+   sharing on a *single* run;
+2. static analysis — the lock-order graph proves an ABBA deadlock is
+   possible without ever provoking it;
+3. exhaustive checking — the interleaving explorer walks *every*
+   schedule: the racy counter provably loses updates, Peterson's
+   algorithm provably never violates mutual exclusion.
+
+Plus the protocol analogue: the Go-Back-N window sweep, where the
+simulator quantifies a trade-off no single run exhibits.
+
+Run:  python examples/concurrency_verification.py
+"""
+
+import threading
+
+
+def level1_dynamic() -> None:
+    print("\n--- Level 1: dynamic race detection (one run suffices) ---")
+    from repro.smp.racedetect import LocksetRaceDetector, SharedVariable
+
+    detector = LocksetRaceDetector()
+    balance = SharedVariable("balance", 100, detector)
+
+    def unsynchronized_withdraw():
+        balance.write(balance.read() - 10)
+
+    t = threading.Thread(target=unsynchronized_withdraw)
+    t.start(); t.join()
+    unsynchronized_withdraw()
+    print(f"  lockset verdict on 'balance': "
+          f"{'RACE' if 'balance' in detector.racy_variables else 'clean'}")
+
+    safe_detector = LocksetRaceDetector()
+    safe = SharedVariable("balance", 100, safe_detector)
+
+    def locked_withdraw():
+        with safe_detector.held("m"):
+            safe.write(safe.read() - 10)
+
+    t = threading.Thread(target=locked_withdraw)
+    t.start(); t.join()
+    locked_withdraw()
+    print(f"  with a consistent lock: "
+          f"{'RACE' if safe_detector.reports else 'clean'} "
+          f"(candidate lockset {set(safe_detector.candidate_lockset('balance'))})")
+
+
+def level2_static() -> None:
+    print("\n--- Level 2: static deadlock potential (no deadlock needed) ---")
+    from repro.smp.deadlock import LockGraph
+
+    graph = LockGraph()
+    # Thread A's order...
+    graph.on_acquire("accounts"); graph.on_acquire("audit-log")
+    graph.on_release("audit-log"); graph.on_release("accounts")
+    # ...and thread B's opposite order, observed on a different run:
+    graph.on_acquire("audit-log"); graph.on_acquire("accounts")
+    graph.on_release("accounts"); graph.on_release("audit-log")
+    print(f"  lock-order cycles: {graph.order_violations()}")
+    print(f"  a consistent global order exists: {graph.suggest_order() is not None}")
+
+
+def level3_exhaustive() -> None:
+    print("\n--- Level 3: exhaustive interleaving checking ---")
+    from repro.smp.interleave import explore, peterson_program, racy_counter_program
+
+    a, b = racy_counter_program(increments=2)
+    racy = explore(a, b, {"counter": 0})
+    print(f"  counter += 1 twice per thread, unsynchronized: possible "
+          f"final values {sorted(racy.final_values('counter'))} "
+          f"(lost updates PROVEN, not sampled)")
+
+    p0, p1 = peterson_program()
+    peterson = explore(p0, p1, {"flag0": 0, "flag1": 0, "turn": 0, "counter": 0})
+    print(f"  Peterson's algorithm: mutual exclusion over ALL schedules = "
+          f"{peterson.mutual_exclusion_held}; counter always "
+          f"{sorted(peterson.final_values('counter'))}; deadlocks = "
+          f"{peterson.deadlocked_schedules}")
+
+
+def protocol_quantification() -> None:
+    print("\n--- Protocols: quantifying the Go-Back-N window trade-off ---")
+    from repro.net.gbn import window_sweep
+
+    sweep = window_sweep(num_packets=100, loss_rate=0.1, seed=0)
+    print("  window  rounds(~time)  transmissions  efficiency")
+    for w in (1, 2, 4, 8, 16):
+        r = sweep[w]
+        print(f"  {w:<7d} {r.rounds:<14d} {r.transmissions:<14d} "
+              f"{r.efficiency:.2f}")
+    print("  bigger windows buy latency with redundant retransmissions —")
+    print("  the curve selective-repeat exists to flatten.")
+
+
+if __name__ == "__main__":
+    print("Concurrency verification: detect, prove-possible, prove-always")
+    level1_dynamic()
+    level2_static()
+    level3_exhaustive()
+    protocol_quantification()

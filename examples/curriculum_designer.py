@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Design an ABET-accreditable CS curriculum interactively (in code).
+
+The downstream-adopter workflow the paper enables: start from a bare
+program, watch the compliance engine name the gaps, fix them step by
+step (the distributed approach first, then the dedicated-course upgrade),
+and audit against Newhall's four principles (§II-B).
+
+Run:  python examples/curriculum_designer.py
+"""
+
+from repro.core import check_program
+from repro.core.course import Course, Coverage, Depth
+from repro.core.mapping import TABLE_I, substrate_for
+from repro.core.program import Program
+from repro.core.taxonomy import CourseType, PdcTopic
+
+
+def bare_program() -> Program:
+    """A 40-credit skeleton with no PDC coverage anywhere."""
+    return Program(
+        "New University — BS Computer Science",
+        "New University",
+        courses=[
+            Course("CS1", "Programming I", CourseType.INTRO_PROGRAMMING, 4.0, year=1),
+            Course("CS2", "Programming II", CourseType.INTRO_PROGRAMMING, 4.0, year=1),
+            Course("DS", "Data Structures", CourseType.ALGORITHMS, 3.0, year=2),
+            Course("ALGO", "Algorithms", CourseType.ALGORITHMS, 3.0, year=3),
+            Course("ARCH", "Computer Organization", CourseType.ARCHITECTURE, 3.0, year=2),
+            Course("OS", "Operating Systems", CourseType.OPERATING_SYSTEMS, 3.0, year=3),
+            Course("DB", "Databases", CourseType.DATABASE, 3.0, year=3),
+            Course("NET", "Networks", CourseType.NETWORKS, 3.0, year=3),
+            Course("PL", "Programming Languages", CourseType.PROGRAMMING_LANGUAGES, 3.0, year=3),
+            Course("SE", "Software Engineering", CourseType.SOFTWARE_ENGINEERING, 3.0, year=3),
+            Course("THY", "Theory of Computation", CourseType.ALGORITHMS, 3.0, year=3),
+            Course("CAP1", "Capstone I", CourseType.ALGORITHMS, 4.0, year=4),
+            Course("CAP2", "Capstone II", CourseType.ALGORITHMS, 4.0, year=4),
+        ],
+    )
+
+
+def add_distributed_coverage(program: Program) -> Program:
+    """Fix the PDC gap the cheap way: embed topics per Table I's mapping."""
+    embeddings = {
+        "ARCH": [
+            Coverage(PdcTopic.PERFORMANCE, Depth.WORKING),
+            Coverage(PdcTopic.MULTICORE, Depth.WORKING),
+            Coverage(PdcTopic.ILP, Depth.EXPOSURE),
+            Coverage(PdcTopic.FLYNN, Depth.EXPOSURE),
+            Coverage(PdcTopic.SIMD_VECTOR, Depth.EXPOSURE),
+            Coverage(PdcTopic.MEMORY_CACHING, Depth.WORKING),
+            Coverage(PdcTopic.PARALLELISM_CONCURRENCY, Depth.EXPOSURE),
+        ],
+        "OS": [
+            Coverage(PdcTopic.THREADS, Depth.WORKING),
+            Coverage(PdcTopic.PARALLELISM_CONCURRENCY, Depth.WORKING),
+            Coverage(PdcTopic.SHARED_MEMORY_PROGRAMMING, Depth.WORKING),
+            Coverage(PdcTopic.IPC, Depth.WORKING),
+            Coverage(PdcTopic.ATOMICITY, Depth.WORKING),
+            Coverage(PdcTopic.SHARED_VS_DISTRIBUTED, Depth.EXPOSURE),
+        ],
+        "DB": [Coverage(PdcTopic.TRANSACTIONS, Depth.WORKING)],
+        "NET": [
+            Coverage(PdcTopic.CLIENT_SERVER, Depth.WORKING),
+            Coverage(PdcTopic.THREADS, Depth.EXPOSURE),
+        ],
+        "CS2": [Coverage(PdcTopic.THREADS, Depth.EXPOSURE)],
+    }
+    courses = []
+    for course in program.courses:
+        if course.code in embeddings:
+            courses.append(
+                Course(
+                    course.code, course.title, course.course_type,
+                    course.credits, course.required,
+                    coverage=embeddings[course.code], year=course.year,
+                )
+            )
+        else:
+            courses.append(course)
+    return Program(program.name, program.institution, courses=courses)
+
+
+def add_dedicated_course(program: Program) -> Program:
+    """The stronger fix: a required dedicated parallel-programming course."""
+    dedicated = Course(
+        "PAR", "Parallel Programming", CourseType.PARALLEL_PROGRAMMING, 3.0,
+        year=3,
+        coverage=[
+            Coverage(PdcTopic.THREADS, Depth.MASTERY),
+            Coverage(PdcTopic.PARALLELISM_CONCURRENCY, Depth.MASTERY),
+            Coverage(PdcTopic.SHARED_MEMORY_PROGRAMMING, Depth.MASTERY),
+            Coverage(PdcTopic.PERFORMANCE, Depth.MASTERY),
+            Coverage(PdcTopic.SIMD_VECTOR, Depth.WORKING),
+            Coverage(PdcTopic.IPC, Depth.WORKING),
+            Coverage(PdcTopic.SHARED_VS_DISTRIBUTED, Depth.WORKING),
+        ],
+    )
+    return Program(
+        program.name, program.institution,
+        courses=list(program.courses) + [dedicated],
+    )
+
+
+def show(report) -> None:
+    print(f"  {report.summary()}")
+    missing = report.criteria.missing()
+    if missing:
+        for item in missing:
+            print(f"    gap: {item}")
+
+
+def main() -> None:
+    print("Step 1 — the bare skeleton:")
+    program = bare_program()
+    report = check_program(program)
+    show(report)
+    assert not report.compliant
+
+    print("\nStep 2 — embed PDC topics across existing courses "
+          "(the distributed approach, Table I as the recipe):")
+    program = add_distributed_coverage(program)
+    report = check_program(program)
+    show(report)
+    assert report.compliant
+
+    print("\nStep 3 — add a dedicated parallel-programming course "
+          "(beyond the criteria, toward CS2013's full PD core):")
+    program = add_dedicated_course(program)
+    report = check_program(program)
+    show(report)
+    assert report.newhall.score == 4
+
+    print("\nStep 4 — lab material for each covered topic "
+          "(the substrate index):")
+    for topic in report.covered_topics[:6]:
+        modules = ", ".join(substrate_for(topic))
+        print(f"  {topic.label:<45s} -> {modules}")
+    print("  ...")
+
+    print("\nDesign summary: the same journey the paper's survey observed — "
+          "most programs stop at step 2; one in twenty takes step 3.")
+    uncovered = [t for t in PdcTopic if t not in report.covered_topics]
+    print(f"Topics still uncovered: "
+          f"{[t.label for t in uncovered] or 'none'}")
+    print(f"Table I marks satisfied: "
+          f"{sum(len(TABLE_I[t]) for t in report.covered_topics)}/29")
+
+
+if __name__ == "__main__":
+    main()

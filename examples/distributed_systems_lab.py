@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""The distributed-computing course's lab session (AUC CSCE425, §IV-B(6)).
+
+"Topics ranging from modeling and specification to consistency and
+inter-process communication, load balancing, process migration, and
+distributed challenges" — each gets a live, deterministic demo:
+
+1. modeling: logical clocks and causality;
+2. coordination: election, then distributed mutual exclusion;
+3. consistency: linearizability vs sequential vs eventual;
+4. load balancing and process migration;
+5. distributed challenges: global snapshots and atomic commitment.
+
+Run:  python examples/distributed_systems_lab.py
+"""
+
+
+def modeling_unit() -> None:
+    print("\n--- 1. Modeling: logical time and causality ---")
+    from repro.dist.clocks import concurrent, happens_before, run_message_trace
+
+    events = run_message_trace(
+        3, [("local", 0, 0), ("msg", 0, 1), ("msg", 1, 2), ("local", 2, 0)]
+    )
+    first, last = events[0], events[-1]
+    print(f"  first event vector {first.vector} -> last event vector "
+          f"{last.vector}: happens-before = "
+          f"{happens_before(first.vector, last.vector)}")
+    a = run_message_trace(2, [("local", 0, 0), ("local", 1, 0)])
+    print(f"  two isolated local events concurrent = "
+          f"{concurrent(a[0].vector, a[1].vector)}")
+
+
+def coordination_unit() -> None:
+    print("\n--- 2. Coordination: election, then mutual exclusion ---")
+    from repro.dist.election import bully_election
+    from repro.dist.mutex import MutexAlgorithm, simulate_mutex
+
+    election = bully_election(list(range(6)), initiator=1, crashed={5})
+    print(f"  bully election with node 5 down: leader={election.leader}, "
+          f"{election.messages} messages")
+    requests = [(1, 0), (2, 2), (3, 4), (4, 1)]
+    for algo in MutexAlgorithm:
+        result = simulate_mutex(6, requests, algo)
+        print(f"  {algo.value:<16s} {result.messages_per_entry:5.2f} "
+              f"messages/entry")
+
+
+def consistency_unit() -> None:
+    print("\n--- 3. Consistency models, separated by checkers ---")
+    from repro.dist.consistency import (
+        EventuallyConsistentStore,
+        HistoryEvent,
+        is_linearizable,
+        is_sequentially_consistent,
+    )
+
+    stale_read = [
+        HistoryEvent(0, "w", "x", 1, start=0.0, end=1.0),
+        HistoryEvent(1, "r", "x", None, start=2.0, end=3.0),  # reads initial
+    ]
+    print(f"  stale read after a completed write: linearizable="
+          f"{is_linearizable(stale_read)}, sequentially consistent="
+          f"{is_sequentially_consistent(stale_read)}")
+
+    store = EventuallyConsistentStore(5)
+    store.write(0, "profile", "v1", timestamp=1.0)
+    store.write(4, "profile", "v2", timestamp=2.0)
+    print(f"  eventual consistency: replica 2 reads "
+          f"{store.read(2, 'profile')!r} before anti-entropy, "
+          f"{(store.converge(), store.read(2, 'profile'))[1]!r} after "
+          f"(converged in {store.merges // 5} round(s))")
+
+
+def placement_unit() -> None:
+    print("\n--- 4. Load balancing and process migration ---")
+    from repro.dist.loadbalance import compare_policies
+    from repro.dist.migration import migration_sweep
+
+    results = compare_policies(8, 1000, seed=4, heavy_tail=True)
+    for name, report in results.items():
+        print(f"  {name:<13s} max load {report.max_load:7.1f} "
+              f"(imbalance {report.imbalance:.2f})")
+
+    print("  migration: makespan vs transfer cost (hotspot on node 0)")
+    for cost, row in migration_sweep(transfer_costs=(0.0, 4.0, 16.0)):
+        print(f"    cost={cost:4.1f}  never={row['never']:.0f}  "
+              f"threshold={row['threshold']:.0f}  greedy={row['greedy']:.0f}")
+
+
+def challenges_unit() -> None:
+    print("\n--- 5. Distributed challenges: snapshots and atomic commit ---")
+    from repro.dist.commit import Coordinator, Participant
+    from repro.dist.snapshot import TokenSystem
+
+    system = TokenSystem([25, 25, 25, 25])
+    system.transfer(0, 1, 5)
+    system.transfer(2, 3, 7)
+    system.start_snapshot(1)
+    system.transfer(3, 0, 2)  # traffic continues during the snapshot
+    system.deliver_all()
+    snapshot = system.snapshot()
+    print(f"  Chandy-Lamport: snapshot total {snapshot.total} == live total "
+          f"{system.total} (in-flight recorded: "
+          f"{dict(snapshot.channel_states)})")
+
+    happy = Coordinator([Participant(f"db{i}") for i in range(3)]).run()
+    print(f"  2PC unanimous: committed={happy.committed} in "
+          f"{happy.messages} messages")
+    blocked = Participant("db1", crash_after_vote=True)
+    outcome = Coordinator([Participant("db0"), blocked]).run()
+    print(f"  2PC with a prepared-then-crashed participant: "
+          f"committed={outcome.committed}, blocked={outcome.blocked_participants}")
+    blocked.recover(outcome)
+    print(f"  ...after recovery: db1 state = {blocked.state.value}")
+
+
+if __name__ == "__main__":
+    print("CSCE425 Fundamentals of Distributed Computing — lab session (§IV-B)")
+    modeling_unit()
+    coordination_unit()
+    consistency_unit()
+    placement_unit()
+    challenges_unit()

@@ -1,0 +1,40 @@
+"""PDC-Ed: parallel & distributed computing education, made executable.
+
+A reproduction of *"ABET Accreditation: A Way Forward for PDC Education"*
+(Aly, Raj, Harmanani, Sharafeddine -- EduPar/IPDPS 2021) as a production
+library.  Two halves:
+
+- :mod:`repro.core` -- the paper's contribution: machine-readable curricular
+  guidelines (CS2013, CC2020, CE2016, SE2014), ABET accreditation criteria,
+  course/program models, the 20-program survey analysis (Figs. 2-3), the
+  concept-to-course mapping (Table I), and the three case-study programs.
+
+- The teaching substrate -- runnable implementations of every PDC topic the
+  mapped courses teach: :mod:`repro.smp` (shared memory), :mod:`repro.mp`
+  (message passing), :mod:`repro.gpu` (SIMT manycore), :mod:`repro.arch`
+  (architecture simulators), :mod:`repro.oskernel` (scheduling &
+  synchronization), :mod:`repro.db` (transaction concurrency),
+  :mod:`repro.net` (networks & client-server), :mod:`repro.dist`
+  (distributed algorithms), :mod:`repro.algorithms` (parallel algorithms &
+  work-span analysis), and :mod:`repro.pedagogy` (labs, autograding, ABET
+  outcome assessment).
+
+Subpackages are imported on demand (``from repro import mp``) rather than
+eagerly here, so ``import repro`` stays cheap.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "smp",
+    "mp",
+    "gpu",
+    "arch",
+    "oskernel",
+    "db",
+    "net",
+    "dist",
+    "algorithms",
+    "pedagogy",
+]

@@ -1,0 +1,52 @@
+"""Parallel algorithms and their analysis.
+
+CS2013's PDC area requires "understanding of parallel algorithms,
+strategies for problem decomposition … and performance analysis"; CC2020
+names "a parallel divide-and-conquer algorithm" and "critical path"
+explicitly (paper §II-A).  Modules:
+
+- :mod:`repro.algorithms.dag` — task DAGs: work, span, parallelism,
+  critical path, Brent's bound, greedy p-processor schedules.
+- :mod:`repro.algorithms.dnc` — a fork–join divide-and-conquer framework
+  with depth-limited thread parallelism.
+- :mod:`repro.algorithms.sorting` — parallel merge sort and quicksort on
+  the fork–join framework, with serial baselines.
+- :mod:`repro.algorithms.scan` — prefix sums: sequential, Hillis–Steele
+  (step-efficient), and Blelloch (work-efficient), with step/work counts.
+- :mod:`repro.algorithms.reduction` — tree reductions and their depth.
+- :mod:`repro.algorithms.matrix` — blocked/parallel matrix multiply and
+  loop-order (cache behaviour) variants.
+- :mod:`repro.algorithms.graph` — level-synchronous parallel BFS and
+  label-propagation components.
+"""
+
+from repro.algorithms.dag import TaskDag, brent_bound, greedy_schedule
+from repro.algorithms.dnc import fork_join
+from repro.algorithms.graph import connected_components, parallel_bfs
+from repro.algorithms.matrix import blocked_matmul, matmul_loop_orders, parallel_matmul
+from repro.algorithms.reduction import tree_reduce
+from repro.algorithms.scan import blelloch_scan, hillis_steele_scan, sequential_scan
+from repro.algorithms.sorting import (
+    parallel_mergesort,
+    parallel_quicksort,
+    serial_mergesort,
+)
+
+__all__ = [
+    "blelloch_scan",
+    "blocked_matmul",
+    "brent_bound",
+    "connected_components",
+    "fork_join",
+    "greedy_schedule",
+    "hillis_steele_scan",
+    "matmul_loop_orders",
+    "parallel_bfs",
+    "parallel_matmul",
+    "parallel_mergesort",
+    "parallel_quicksort",
+    "sequential_scan",
+    "serial_mergesort",
+    "TaskDag",
+    "tree_reduce",
+]

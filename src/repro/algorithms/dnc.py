@@ -1,0 +1,89 @@
+"""A fork–join divide-and-conquer framework.
+
+CC2020 names "a parallel divide-and-conquer algorithm" as a recommended
+topic.  :func:`fork_join` expresses the pattern once — split, solve the
+halves (in new threads down to ``parallel_depth``, then sequentially),
+combine — and :mod:`repro.algorithms.sorting` instantiates it.  The
+depth cutoff is the real-world lesson: unbounded task spawning drowns in
+overhead, so frameworks (Cilk, ForkJoinPool, OpenMP tasks) always cut
+over to sequential execution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Callable, Generic, List, Optional, Sequence, Tuple, TypeVar
+
+P = TypeVar("P")  # problem
+S = TypeVar("S")  # solution
+
+__all__ = ["ForkJoinStats", "fork_join"]
+
+
+@dataclasses.dataclass
+class ForkJoinStats:
+    """Task accounting of one fork–join execution."""
+
+    forked_tasks: int = 0
+    sequential_tasks: int = 0
+    max_depth: int = 0
+
+    def _bump_depth(self, depth: int) -> None:
+        if depth > self.max_depth:
+            self.max_depth = depth
+
+
+def fork_join(
+    problem: P,
+    is_base: Callable[[P], bool],
+    solve_base: Callable[[P], S],
+    split: Callable[[P], Sequence[P]],
+    combine: Callable[[List[S]], S],
+    parallel_depth: int = 3,
+) -> Tuple[S, ForkJoinStats]:
+    """Solve ``problem`` by parallel divide and conquer.
+
+    Above ``parallel_depth`` recursion levels, subproblems run in freshly
+    forked threads and are joined; below it, recursion is sequential.
+    Returns ``(solution, stats)``.
+    """
+    stats = ForkJoinStats()
+    lock = threading.Lock()
+
+    def solve(p: P, depth: int) -> S:
+        with lock:
+            stats._bump_depth(depth)
+        if is_base(p):
+            with lock:
+                stats.sequential_tasks += 1
+            return solve_base(p)
+        parts = split(p)
+        if depth < parallel_depth:
+            results: List[Optional[S]] = [None] * len(parts)
+            errors: List[BaseException] = []
+
+            def run(i: int, sub: P) -> None:
+                try:
+                    results[i] = solve(sub, depth + 1)
+                except BaseException as exc:  # noqa: BLE001 - joined below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=run, args=(i, sub), daemon=True)
+                for i, sub in enumerate(parts)
+            ]
+            with lock:
+                stats.forked_tasks += len(threads)
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            if errors:
+                raise errors[0]
+            return combine([r for r in results])  # type: ignore[list-item]
+        with lock:
+            stats.sequential_tasks += len(parts)
+        return combine([solve(sub, depth + 1) for sub in parts])
+
+    return solve(problem, 0), stats

@@ -1,0 +1,113 @@
+"""Matrix multiplication: loop orders, blocking, and row-parallelism.
+
+The worked example that ties the architecture module's cache story to the
+algorithms module's decomposition story:
+
+- :func:`matmul_loop_orders` runs the naive triple loop in ijk/ikj/jik
+  order against the cache simulator, producing the miss-rate table that
+  explains why loop order matters (the guides' "beware of cache effects").
+- :func:`blocked_matmul` is the tiling transformation (NumPy-blocked, so
+  the inner products are vectorized).
+- :func:`parallel_matmul` decomposes by row blocks across a thread team —
+  the natural data decomposition, embarrassingly parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.arch.cache import Cache, CacheConfig
+from repro.smp.pool import parallel_for
+
+__all__ = ["matmul_loop_orders", "blocked_matmul", "parallel_matmul"]
+
+
+def matmul_loop_orders(
+    n: int = 16, config: CacheConfig | None = None
+) -> Dict[str, float]:
+    """Miss rates of the naive triple loop under different loop orders.
+
+    Simulates the address trace of ``C[i,j] += A[i,k] * B[k,j]`` for each
+    loop nesting over row-major float64 matrices (8-byte elements).
+    Returns ``{order: miss_rate}``; ikj (B and C walked row-wise in the
+    inner loop) wins on a row-major layout.
+    """
+    cfg = config or CacheConfig(size_bytes=1024, line_bytes=64, associativity=2)
+    elem = 8
+    base_a, base_b, base_c = 0, n * n * elem, 2 * n * n * elem
+
+    def addr(base: int, r: int, c: int) -> int:
+        return base + (r * n + c) * elem
+
+    orders = {
+        "ijk": lambda: (
+            (i, j, k) for i in range(n) for j in range(n) for k in range(n)
+        ),
+        "ikj": lambda: (
+            (i, j, k) for i in range(n) for k in range(n) for j in range(n)
+        ),
+        "jik": lambda: (
+            (i, j, k) for j in range(n) for i in range(n) for k in range(n)
+        ),
+    }
+    out: Dict[str, float] = {}
+    for name, gen in orders.items():
+        cache = Cache(cfg)
+        for i, j, k in gen():
+            cache.access(addr(base_a, i, k))
+            cache.access(addr(base_b, k, j))
+            cache.access(addr(base_c, i, j), write=True)
+        out[name] = cache.stats.miss_rate
+    return out
+
+
+def blocked_matmul(
+    a: np.ndarray, b: np.ndarray, block: int = 32
+) -> np.ndarray:
+    """Tiled matrix multiply: C computed one ``block x block`` tile at a time.
+
+    Tiles are NumPy sub-matrices, so each tile product is a vectorized
+    ``@`` — the code shows the *structure* of blocking while staying fast.
+    """
+    n, m = a.shape
+    m2, p = b.shape
+    if m != m2:
+        raise ValueError("inner dimensions must agree")
+    if block < 1:
+        raise ValueError("block must be positive")
+    c = np.zeros((n, p), dtype=np.result_type(a, b))
+    for i0 in range(0, n, block):
+        for k0 in range(0, m, block):
+            a_tile = a[i0 : i0 + block, k0 : k0 + block]
+            for j0 in range(0, p, block):
+                c[i0 : i0 + block, j0 : j0 + block] += (
+                    a_tile @ b[k0 : k0 + block, j0 : j0 + block]
+                )
+    return c
+
+
+def parallel_matmul(
+    a: np.ndarray, b: np.ndarray, num_threads: int = 4
+) -> Tuple[np.ndarray, Dict[int, int]]:
+    """Row-block-parallel multiply: thread t computes a slab of C's rows.
+
+    Because the slab products are NumPy ``@`` calls, they release the GIL
+    and can genuinely overlap.  Returns ``(C, rows_per_thread)``.
+    """
+    n = a.shape[0]
+    c = np.zeros((n, b.shape[1]), dtype=np.result_type(a, b))
+    bounds = np.linspace(0, n, num_threads + 1, dtype=int)
+
+    def body(t: int) -> None:
+        lo, hi = bounds[t], bounds[t + 1]
+        if lo < hi:
+            c[lo:hi] = a[lo:hi] @ b
+
+    team = parallel_for(num_threads, body, num_threads=num_threads)
+    rows = {
+        t: int(bounds[t + 1] - bounds[t]) for t in range(num_threads)
+    }
+    del team
+    return c, rows

@@ -1,0 +1,58 @@
+"""Tree reductions: logarithmic-depth combining.
+
+The first parallel algorithm most courses show.  :func:`tree_reduce`
+halves the array per level with one vectorized statement, counting steps
+(``ceil(log2 n)``) and work (``n - 1`` combines); :func:`reduce_depth`
+gives the analytic depth for tests and lecture tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Tuple
+
+import numpy as np
+
+__all__ = ["ReduceStats", "tree_reduce", "reduce_depth"]
+
+
+@dataclasses.dataclass
+class ReduceStats:
+    """Step and combine counters for one reduction."""
+
+    steps: int = 0
+    combines: int = 0
+
+
+def tree_reduce(
+    data: np.ndarray,
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+) -> Tuple[float, ReduceStats]:
+    """Reduce ``data`` with a binary tree of ``op`` applications.
+
+    ``op`` must be associative; each while-iteration is one parallel
+    step combining the first half with the second (odd leftovers ride
+    along untouched).
+    """
+    arr = np.asarray(data, dtype=np.float64).copy()
+    stats = ReduceStats()
+    if arr.size == 0:
+        raise ValueError("cannot reduce an empty array")
+    while arr.size > 1:
+        half = arr.size // 2
+        combined = op(arr[:half], arr[half : 2 * half])
+        if arr.size % 2:
+            arr = np.concatenate([combined, arr[-1:]])
+        else:
+            arr = combined
+        stats.steps += 1
+        stats.combines += half
+    return float(arr[0]), stats
+
+
+def reduce_depth(n: int) -> int:
+    """Analytic tree depth: ``ceil(log2 n)`` (0 for n <= 1)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return math.ceil(math.log2(n)) if n > 1 else 0

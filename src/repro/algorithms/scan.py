@@ -1,0 +1,103 @@
+"""Prefix sums three ways: sequential, Hillis–Steele, Blelloch.
+
+The scan primitive underlies stream compaction, radix sort, and the GPU
+kernels of :mod:`repro.gpu.libdevice`.  The two parallel algorithms
+embody the step-vs-work trade-off the lecture builds:
+
+===============  ============  ===========
+algorithm        steps (span)  work
+===============  ============  ===========
+sequential       n             n
+Hillis–Steele    log n         n log n
+Blelloch         2 log n       2n
+===============  ============  ===========
+
+Each parallel level is one vectorized NumPy statement (the whole level
+really is data-parallel — the session guides' idiom), and the returned
+stats carry the exact step and element-operation counts the table above
+predicts, so tests can assert them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["ScanStats", "sequential_scan", "hillis_steele_scan", "blelloch_scan"]
+
+
+@dataclasses.dataclass
+class ScanStats:
+    """Step (parallel depth) and work (element additions) counters."""
+
+    steps: int = 0
+    work: int = 0
+
+
+def sequential_scan(data: np.ndarray) -> Tuple[np.ndarray, ScanStats]:
+    """Inclusive prefix sum, the n-step baseline (``np.cumsum`` inside)."""
+    arr = np.asarray(data, dtype=np.float64)
+    stats = ScanStats(steps=max(0, arr.size - 1), work=max(0, arr.size - 1))
+    return np.cumsum(arr), stats
+
+
+def hillis_steele_scan(data: np.ndarray) -> Tuple[np.ndarray, ScanStats]:
+    """Inclusive scan in ``ceil(log2 n)`` steps, Θ(n log n) work.
+
+    Step d adds each element to the one ``2^d`` positions ahead —
+    shallow but work-inefficient, ideal when processors outnumber data.
+    """
+    arr = np.asarray(data, dtype=np.float64).copy()
+    n = arr.size
+    stats = ScanStats()
+    offset = 1
+    while offset < n:
+        # One parallel step: all n-offset additions happen "at once".
+        arr[offset:] = arr[offset:] + arr[:-offset]
+        stats.steps += 1
+        stats.work += n - offset
+        offset *= 2
+    return arr, stats
+
+
+def blelloch_scan(data: np.ndarray) -> Tuple[np.ndarray, ScanStats]:
+    """Work-efficient exclusive scan (up-sweep + down-sweep), Θ(n) work.
+
+    Input length is padded to a power of two internally; the returned
+    array matches the input length.  Returns the *exclusive* scan, as
+    Blelloch's algorithm naturally produces (tests relate it to the
+    inclusive form).
+    """
+    src = np.asarray(data, dtype=np.float64)
+    n = src.size
+    if n == 0:
+        return src.copy(), ScanStats()
+    size = 1 << (n - 1).bit_length()
+    arr = np.zeros(size, dtype=np.float64)
+    arr[:n] = src
+    stats = ScanStats()
+
+    # Up-sweep (reduce): build partial sums at power-of-two strides.
+    stride = 1
+    while stride < size:
+        idx = np.arange(2 * stride - 1, size, 2 * stride)
+        arr[idx] += arr[idx - stride]
+        stats.steps += 1
+        stats.work += idx.size
+        stride *= 2
+
+    # Down-sweep: clear the root, then push prefixes down the tree.
+    arr[size - 1] = 0.0
+    stride = size // 2
+    while stride >= 1:
+        idx = np.arange(2 * stride - 1, size, 2 * stride)
+        left = arr[idx - stride].copy()
+        arr[idx - stride] = arr[idx]
+        arr[idx] += left
+        stats.steps += 1
+        stats.work += idx.size
+        stride //= 2
+
+    return arr[:n], stats

@@ -1,0 +1,101 @@
+"""Parallel sorting on the fork–join framework, with serial baselines.
+
+Merge sort is the canonical "parallel divide-and-conquer algorithm"
+(CC2020); quicksort adds the data-dependent-split variant.  Baselines are
+included because every benchmark in this repository compares against one
+(per DESIGN.md: implement the baseline too).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, TypeVar
+
+from repro.algorithms.dnc import ForkJoinStats, fork_join
+
+T = TypeVar("T")
+
+__all__ = [
+    "serial_mergesort",
+    "parallel_mergesort",
+    "parallel_quicksort",
+    "merge",
+]
+
+
+def merge(left: Sequence[T], right: Sequence[T]) -> List[T]:
+    """Stable two-way merge of sorted sequences."""
+    out: List[T] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if right[j] < left[i]:
+            out.append(right[j])
+            j += 1
+        else:
+            out.append(left[i])
+            i += 1
+    out.extend(left[i:])
+    out.extend(right[j:])
+    return out
+
+
+def serial_mergesort(data: Sequence[T]) -> List[T]:
+    """Textbook sequential merge sort (the benchmark baseline)."""
+    n = len(data)
+    if n <= 1:
+        return list(data)
+    mid = n // 2
+    return merge(serial_mergesort(data[:mid]), serial_mergesort(data[mid:]))
+
+
+def parallel_mergesort(
+    data: Sequence[T], parallel_depth: int = 2, base_size: int = 32
+) -> Tuple[List[T], ForkJoinStats]:
+    """Fork–join merge sort.
+
+    Work Θ(n log n), span Θ(n) with this (serial) merge — the analysis
+    exercise asks students why the merge, not the recursion, caps the
+    speedup, and what a parallel merge would buy (span Θ(log³ n)).
+    """
+    return fork_join(
+        list(data),
+        is_base=lambda xs: len(xs) <= base_size,
+        solve_base=lambda xs: sorted(xs),
+        split=lambda xs: (xs[: len(xs) // 2], xs[len(xs) // 2 :]),
+        combine=lambda halves: merge(halves[0], halves[1]),
+        parallel_depth=parallel_depth,
+    )
+
+
+def parallel_quicksort(
+    data: Sequence[T], parallel_depth: int = 2, base_size: int = 32
+) -> Tuple[List[T], ForkJoinStats]:
+    """Fork–join quicksort (median-of-three pivot; duplicates bucketed).
+
+    The data-dependent split makes load balance a real concern —
+    ``stats.max_depth`` on adversarial inputs is the discussion hook.
+    """
+
+    def split(xs: List[T]) -> Tuple[List[T], List[T], List[T]]:
+        a, b, c = xs[0], xs[len(xs) // 2], xs[-1]
+        pivot = sorted((a, b, c))[1]
+        less = [x for x in xs if x < pivot]
+        equal = [x for x in xs if x == pivot]
+        greater = [x for x in xs if pivot < x]
+        return less, equal, greater
+
+    def combine(parts: List[List[T]]) -> List[T]:
+        return parts[0] + parts[1] + parts[2]
+
+    def is_base(xs: List[T]) -> bool:
+        # All-equal inputs never shrink under a 3-way split; treat them as
+        # solved (they are) rather than recursing forever.
+        return len(xs) <= base_size or all(x == xs[0] for x in xs)
+
+    return fork_join(
+        list(data),
+        is_base=is_base,
+        solve_base=lambda xs: sorted(xs),
+        split=split,
+        combine=combine,
+        parallel_depth=parallel_depth,
+    )

@@ -1,0 +1,67 @@
+"""Computer organization & architecture simulators.
+
+Table I of the paper maps six PDC topics onto the computer organization /
+architecture course: performance measurement (speed-up and scalability),
+multicore processors, shared vs. distributed memory, SIMD and vector
+processors, instruction-level parallelism, and Flynn's taxonomy; the AUC
+case study (§IV-B) additionally names pipelining, superscalar/VLIW, and
+speculative and non-speculative Tomasulo dynamic scheduling.  Each topic is
+one module here:
+
+- :mod:`repro.arch.laws` — Amdahl, Gustafson, Karp–Flatt, efficiency and
+  scalability sweeps (NumPy-vectorized).
+- :mod:`repro.arch.flynn` — Flynn's taxonomy as a machine classifier.
+- :mod:`repro.arch.pipeline` — a 5-stage RISC pipeline with hazard
+  detection, optional forwarding, and branch-stall accounting.
+- :mod:`repro.arch.cache` — set-associative cache simulation with LRU and
+  AMAT.
+- :mod:`repro.arch.coherence` — MSI/MESI snooping coherence with bus
+  traffic counters.
+- :mod:`repro.arch.tomasulo` — Tomasulo dynamic scheduling, with and
+  without a reorder buffer (speculation).
+- :mod:`repro.arch.vector` — a vector/SIMD machine model with strip-mining.
+"""
+
+from repro.arch.branchpred import (
+    OneBitPredictor,
+    TwoBitPredictor,
+    TwoLevelPredictor,
+    effective_cpi,
+)
+from repro.arch.cache import Cache, CacheConfig
+from repro.arch.coherence import CoherentSystem, Protocol
+from repro.arch.flynn import FlynnClass, MachineDescription, classify
+from repro.arch.laws import (
+    amdahl_speedup,
+    efficiency,
+    gustafson_speedup,
+    karp_flatt,
+    speedup_sweep,
+)
+from repro.arch.pipeline import Instr, Pipeline, PipelineConfig
+from repro.arch.tomasulo import TomasuloCPU
+from repro.arch.vector import VectorMachine
+
+__all__ = [
+    "amdahl_speedup",
+    "Cache",
+    "CacheConfig",
+    "classify",
+    "CoherentSystem",
+    "effective_cpi",
+    "efficiency",
+    "OneBitPredictor",
+    "TwoBitPredictor",
+    "TwoLevelPredictor",
+    "FlynnClass",
+    "gustafson_speedup",
+    "Instr",
+    "karp_flatt",
+    "MachineDescription",
+    "Pipeline",
+    "PipelineConfig",
+    "Protocol",
+    "speedup_sweep",
+    "TomasuloCPU",
+    "VectorMachine",
+]

@@ -1,0 +1,188 @@
+"""Branch prediction: the static and dynamic predictors of the ILP unit.
+
+AUC's architecture course (paper §IV-B) covers speculative execution;
+prediction accuracy is what makes speculation pay.  Predictors implement
+one interface — ``predict(pc) -> bool`` then ``update(pc, taken)`` — and
+are evaluated on branch-outcome traces:
+
+- :class:`AlwaysNotTaken` / :class:`AlwaysTaken` — the static baselines;
+- :class:`OneBitPredictor` — last-outcome, per-PC; mispredicts *twice*
+  per loop (entry and exit), the classic teaching flaw;
+- :class:`TwoBitPredictor` — saturating counters; one misprediction per
+  loop exit, hysteresis against anomalies;
+- :class:`TwoLevelPredictor` — a global history register indexing a
+  pattern table; learns alternating and correlated patterns the two-bit
+  counter cannot.
+
+:func:`effective_cpi` folds an accuracy into pipeline arithmetic
+(``CPI = 1 + branch_fraction * miss_rate * penalty``), connecting the
+predictor to :mod:`repro.arch.pipeline`'s measured flush penalty.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "AlwaysNotTaken",
+    "AlwaysTaken",
+    "OneBitPredictor",
+    "TwoBitPredictor",
+    "TwoLevelPredictor",
+    "PredictorReport",
+    "evaluate",
+    "effective_cpi",
+    "loop_trace",
+    "alternating_trace",
+]
+
+
+class AlwaysNotTaken:
+    """Static predict-not-taken (what the 5-stage pipeline assumes)."""
+
+    name = "always-not-taken"
+
+    def predict(self, pc: int) -> bool:
+        return False
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class AlwaysTaken:
+    """Static predict-taken (right for backward loop branches)."""
+
+    name = "always-taken"
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class OneBitPredictor:
+    """Per-PC last-outcome predictor."""
+
+    name = "one-bit"
+
+    def __init__(self) -> None:
+        self._last: Dict[int, bool] = {}
+
+    def predict(self, pc: int) -> bool:
+        return self._last.get(pc, False)
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._last[pc] = taken
+
+
+class TwoBitPredictor:
+    """Per-PC 2-bit saturating counter (00/01 predict NT, 10/11 predict T)."""
+
+    name = "two-bit"
+
+    def __init__(self) -> None:
+        self._counter: Dict[int, int] = {}
+
+    def predict(self, pc: int) -> bool:
+        return self._counter.get(pc, 1) >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        c = self._counter.get(pc, 1)
+        c = min(3, c + 1) if taken else max(0, c - 1)
+        self._counter[pc] = c
+
+
+class TwoLevelPredictor:
+    """GAg two-level predictor: global history -> 2-bit pattern table."""
+
+    name = "two-level"
+
+    def __init__(self, history_bits: int = 4) -> None:
+        if history_bits < 1:
+            raise ValueError("history_bits must be positive")
+        self.history_bits = history_bits
+        self._history = 0
+        self._mask = (1 << history_bits) - 1
+        self._table: Dict[int, int] = {}
+
+    def _index(self, pc: int) -> int:
+        return (self._history ^ (pc & self._mask)) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table.get(self._index(pc), 1) >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        c = self._table.get(idx, 1)
+        self._table[idx] = min(3, c + 1) if taken else max(0, c - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._mask
+
+
+@dataclasses.dataclass
+class PredictorReport:
+    """Accuracy of one predictor on one trace."""
+
+    name: str
+    branches: int
+    mispredictions: int
+
+    @property
+    def accuracy(self) -> float:
+        """Correct predictions / branches (1.0 on an empty trace)."""
+        if self.branches == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.branches
+
+
+def evaluate(predictor, trace: Iterable[Tuple[int, bool]]) -> PredictorReport:
+    """Run ``predictor`` over a ``(pc, taken)`` trace."""
+    branches = 0
+    misses = 0
+    for pc, taken in trace:
+        branches += 1
+        if predictor.predict(pc) != taken:
+            misses += 1
+        predictor.update(pc, taken)
+    return PredictorReport(
+        name=getattr(predictor, "name", type(predictor).__name__),
+        branches=branches,
+        mispredictions=misses,
+    )
+
+
+def loop_trace(iterations: int, trips: int, pc: int = 0x40) -> List[Tuple[int, bool]]:
+    """A loop branch: taken ``iterations-1`` times then not-taken, ``trips``
+    times over — the trace where one-bit's double miss shows."""
+    if iterations < 1 or trips < 1:
+        raise ValueError("iterations and trips must be positive")
+    out: List[Tuple[int, bool]] = []
+    for _ in range(trips):
+        out.extend((pc, True) for _ in range(iterations - 1))
+        out.append((pc, False))
+    return out
+
+
+def alternating_trace(n: int, pc: int = 0x80) -> List[Tuple[int, bool]]:
+    """T/NT/T/NT… — pathological for counters, trivial for history."""
+    return [(pc, bool(i % 2)) for i in range(n)]
+
+
+def effective_cpi(
+    accuracy: float,
+    branch_fraction: float = 0.2,
+    misprediction_penalty: float = 2.0,
+    base_cpi: float = 1.0,
+) -> float:
+    """Pipeline CPI with a predictor of the given accuracy.
+
+    ``penalty`` defaults to 2 cycles — exactly the flush cost the
+    :mod:`repro.arch.pipeline` simulator measures for EX-resolved
+    branches.
+    """
+    if not 0.0 <= accuracy <= 1.0:
+        raise ValueError("accuracy must be in [0, 1]")
+    if not 0.0 <= branch_fraction <= 1.0:
+        raise ValueError("branch_fraction must be in [0, 1]")
+    return base_cpi + branch_fraction * (1.0 - accuracy) * misprediction_penalty

@@ -1,0 +1,153 @@
+"""A set-associative cache simulator ("memory and caching", Table I).
+
+Models one level of cache with configurable size, associativity, line
+size, LRU replacement, and write policy (write-back/write-allocate or
+write-through/no-allocate).  Counters separate cold, conflict, and
+capacity misses via the standard "three Cs" attribution (cold = first
+touch of a line; capacity = would also miss in a fully associative cache
+of the same size; conflict = the rest), which is how architecture courses
+have students reason about strided access patterns.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Dict, List, OrderedDict, Set
+
+__all__ = ["CacheConfig", "CacheStats", "Cache"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of the simulated cache."""
+
+    size_bytes: int = 1024
+    line_bytes: int = 64
+    associativity: int = 2
+    write_back: bool = True
+    hit_time: float = 1.0  # cycles
+    miss_penalty: float = 100.0  # cycles
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError(
+                "size must be a multiple of line_bytes * associativity"
+            )
+        for field in ("size_bytes", "line_bytes", "associativity"):
+            if getattr(self, field) < 1:
+                raise ValueError(f"{field} must be positive")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets."""
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def num_lines(self) -> int:
+        """Total line slots in the cache."""
+        return self.size_bytes // self.line_bytes
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Access counters for one simulation."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    cold_misses: int = 0
+    capacity_misses: int = 0
+    conflict_misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses / accesses."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / accesses."""
+        return 1.0 - self.miss_rate if self.accesses else 0.0
+
+
+class Cache:
+    """One cache level with LRU sets and three-C miss classification."""
+
+    def __init__(self, config: CacheConfig = CacheConfig()) -> None:
+        self.config = config
+        # Each set maps line_address -> dirty flag, in LRU order (oldest first).
+        self._sets: List[OrderedDict[int, bool]] = [
+            collections.OrderedDict() for _ in range(config.num_sets)
+        ]
+        self._ever_seen: Set[int] = set()
+        # Shadow fully-associative LRU cache of equal capacity, for the
+        # capacity-miss attribution.
+        self._shadow: OrderedDict[int, None] = collections.OrderedDict()
+        self.stats = CacheStats()
+
+    def _set_index(self, line: int) -> int:
+        return line % self.config.num_sets
+
+    def access(self, address: int, write: bool = False) -> bool:
+        """Simulate one byte-address access; returns ``True`` on a hit."""
+        line = address // self.config.line_bytes
+        cache_set = self._sets[self._set_index(line)]
+        self.stats.accesses += 1
+
+        shadow_hit = self._shadow_access(line)
+
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            if write and self.config.write_back:
+                cache_set[line] = True
+            self.stats.hits += 1
+            return True
+
+        # Miss: classify, then fill (write-through/no-allocate skips fill
+        # on writes).
+        self.stats.misses += 1
+        if line not in self._ever_seen:
+            self.stats.cold_misses += 1
+            self._ever_seen.add(line)
+        elif not shadow_hit:
+            self.stats.capacity_misses += 1
+        else:
+            self.stats.conflict_misses += 1
+
+        allocate = self.config.write_back or not write
+        if allocate:
+            if len(cache_set) >= self.config.associativity:
+                _victim, dirty = cache_set.popitem(last=False)
+                if dirty:
+                    self.stats.writebacks += 1
+            cache_set[line] = write and self.config.write_back
+        return False
+
+    def _shadow_access(self, line: int) -> bool:
+        hit = line in self._shadow
+        if hit:
+            self._shadow.move_to_end(line)
+        else:
+            if len(self._shadow) >= self.config.num_lines:
+                self._shadow.popitem(last=False)
+            self._shadow[line] = None
+        return hit
+
+    def run_trace(self, addresses: List[int], writes: bool = False) -> CacheStats:
+        """Feed a whole address trace; returns the stats object."""
+        for addr in addresses:
+            self.access(addr, write=writes)
+        return self.stats
+
+    def amat(self) -> float:
+        """Average memory access time: ``hit_time + miss_rate * penalty``."""
+        return (
+            self.config.hit_time
+            + self.stats.miss_rate * self.config.miss_penalty
+        )
+
+    def contents(self) -> Dict[int, List[int]]:
+        """Line addresses currently resident, per set (for small examples)."""
+        return {i: list(s.keys()) for i, s in enumerate(self._sets) if s}

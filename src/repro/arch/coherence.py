@@ -1,0 +1,208 @@
+"""Snooping cache coherence: MSI and MESI on a shared bus.
+
+"Multiprocessor caches and cache coherence" is a Table I architecture
+topic.  :class:`CoherentSystem` simulates per-core caches (line-granular,
+infinite capacity — coherence traffic, not capacity, is the subject) that
+snoop a shared bus.  Both protocols are implemented so the ablation bench
+can show MESI's point: the E state makes *private* read-then-write
+sequences free of invalidation broadcasts.
+
+Bus transaction taxonomy (counted per kind): ``BusRd`` (read miss),
+``BusRdX`` (write miss), ``BusUpgr`` (S->M upgrade), plus ``writeback`` on
+eviction of M lines via :meth:`CoherentSystem.evict`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Tuple
+
+__all__ = ["Protocol", "LineState", "BusStats", "CoherentSystem"]
+
+
+class Protocol(enum.Enum):
+    """Which invalidation protocol the system runs."""
+
+    MSI = "MSI"
+    MESI = "MESI"
+
+
+class LineState(enum.Enum):
+    """Per-core line states (E is only reachable under MESI)."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclasses.dataclass
+class BusStats:
+    """Shared-bus transaction counters."""
+
+    bus_rd: int = 0
+    bus_rdx: int = 0
+    bus_upgr: int = 0
+    invalidations: int = 0
+    writebacks: int = 0
+    memory_reads: int = 0
+    cache_to_cache: int = 0
+
+    @property
+    def total_transactions(self) -> int:
+        """All coherence bus transactions (excluding writebacks)."""
+        return self.bus_rd + self.bus_rdx + self.bus_upgr
+
+
+class CoherentSystem:
+    """N coherent caches over one snooping bus."""
+
+    def __init__(self, num_cores: int, protocol: Protocol = Protocol.MESI) -> None:
+        if num_cores < 1:
+            raise ValueError("num_cores must be positive")
+        self.num_cores = num_cores
+        self.protocol = protocol
+        self._state: List[Dict[int, LineState]] = [
+            {} for _ in range(num_cores)
+        ]
+        self.stats = BusStats()
+
+    # -- helpers -------------------------------------------------------------
+    def state_of(self, core: int, line: int) -> LineState:
+        """Current state of ``line`` in ``core``'s cache."""
+        return self._state[core].get(line, LineState.INVALID)
+
+    def _others_with(self, core: int, line: int) -> List[int]:
+        return [
+            c
+            for c in range(self.num_cores)
+            if c != core and self.state_of(c, line) is not LineState.INVALID
+        ]
+
+    # -- processor-side operations ------------------------------------------
+    def read(self, core: int, line: int) -> LineState:
+        """Core ``core`` loads from ``line``; returns the resulting state."""
+        state = self.state_of(core, line)
+        if state is not LineState.INVALID:
+            return state  # hit in M/E/S: no bus traffic
+
+        # Read miss: BusRd.
+        self.stats.bus_rd += 1
+        holders = self._others_with(core, line)
+        supplied_by_cache = False
+        for other in holders:
+            other_state = self.state_of(other, line)
+            if other_state in (LineState.MODIFIED, LineState.EXCLUSIVE):
+                if other_state is LineState.MODIFIED:
+                    self.stats.writebacks += 1  # flush M data on snoop
+                supplied_by_cache = True
+            self._state[other][line] = LineState.SHARED
+        if supplied_by_cache:
+            self.stats.cache_to_cache += 1
+        else:
+            self.stats.memory_reads += 1
+
+        if self.protocol is Protocol.MESI and not holders:
+            new_state = LineState.EXCLUSIVE
+        else:
+            new_state = LineState.SHARED
+        self._state[core][line] = new_state
+        return new_state
+
+    def write(self, core: int, line: int) -> LineState:
+        """Core ``core`` stores to ``line``; returns the resulting state (M)."""
+        state = self.state_of(core, line)
+        if state is LineState.MODIFIED:
+            return state  # hit, already exclusive-dirty
+        if state is LineState.EXCLUSIVE:
+            # MESI's payoff: silent E->M upgrade, zero bus transactions.
+            self._state[core][line] = LineState.MODIFIED
+            return LineState.MODIFIED
+        if state is LineState.SHARED:
+            self.stats.bus_upgr += 1
+            self._invalidate_others(core, line)
+            self._state[core][line] = LineState.MODIFIED
+            return LineState.MODIFIED
+
+        # Write miss: BusRdX.
+        self.stats.bus_rdx += 1
+        holders = self._others_with(core, line)
+        for other in holders:
+            if self.state_of(other, line) is LineState.MODIFIED:
+                self.stats.writebacks += 1
+        if holders:
+            self.stats.cache_to_cache += 1
+        else:
+            self.stats.memory_reads += 1
+        self._invalidate_others(core, line)
+        self._state[core][line] = LineState.MODIFIED
+        return LineState.MODIFIED
+
+    def evict(self, core: int, line: int) -> None:
+        """Evict ``line`` from ``core``; M lines write back."""
+        state = self.state_of(core, line)
+        if state is LineState.MODIFIED:
+            self.stats.writebacks += 1
+        self._state[core].pop(line, None)
+
+    def _invalidate_others(self, core: int, line: int) -> None:
+        for other in self._others_with(core, line):
+            del self._state[other][line]
+            self.stats.invalidations += 1
+
+    # -- invariants and workloads ----------------------------------------------
+    def check_invariant(self) -> None:
+        """SWMR: a line in M (or E) anywhere is Invalid everywhere else.
+
+        Raises ``AssertionError`` on violation; used by property tests.
+        """
+        lines = {l for st in self._state for l in st}
+        for line in lines:
+            states = [self.state_of(c, line) for c in range(self.num_cores)]
+            exclusive = [
+                s
+                for s in states
+                if s in (LineState.MODIFIED, LineState.EXCLUSIVE)
+            ]
+            if exclusive:
+                holders = [
+                    s for s in states if s is not LineState.INVALID
+                ]
+                assert len(holders) == 1, (
+                    f"SWMR violated on line {line}: {states}"
+                )
+
+    def run_trace(self, trace: List[Tuple[int, str, int]]) -> BusStats:
+        """Run ``(core, 'r'|'w', line)`` events; returns the bus stats."""
+        for core, kind, line in trace:
+            if kind == "r":
+                self.read(core, line)
+            elif kind == "w":
+                self.write(core, line)
+            else:
+                raise ValueError(f"unknown access kind {kind!r}")
+        return self.stats
+
+
+def private_rw_workload(num_cores: int, repeats: int) -> List[Tuple[int, str, int]]:
+    """Each core reads then writes its own private line, ``repeats`` times.
+
+    The MESI showcase: under MESI only the first read per core touches the
+    bus; under MSI every first write also costs a BusUpgr.
+    """
+    trace: List[Tuple[int, str, int]] = []
+    for _ in range(repeats):
+        for core in range(num_cores):
+            trace.append((core, "r", core))
+            trace.append((core, "w", core))
+    return trace
+
+
+def ping_pong_workload(repeats: int, line: int = 0) -> List[Tuple[int, str, int]]:
+    """Two cores alternately write one line — worst-case invalidation traffic."""
+    trace: List[Tuple[int, str, int]] = []
+    for _ in range(repeats):
+        trace.append((0, "w", line))
+        trace.append((1, "w", line))
+    return trace

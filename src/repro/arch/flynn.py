@@ -1,0 +1,109 @@
+"""Flynn's taxonomy as an executable classifier.
+
+Table I places "Flynn's taxonomy" in the architecture course.  Rather than
+a static enum, :func:`classify` takes a structural description of a machine
+(instruction streams x data streams) and derives the class, and the module
+ships a gallery of canonical machines for labs and quizzes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List
+
+__all__ = ["FlynnClass", "MachineDescription", "classify", "GALLERY"]
+
+
+class FlynnClass(enum.Enum):
+    """The four Flynn classes (1966)."""
+
+    SISD = "SISD"
+    SIMD = "SIMD"
+    MISD = "MISD"
+    MIMD = "MIMD"
+
+    @property
+    def description(self) -> str:
+        """One-line gloss for reports."""
+        return {
+            FlynnClass.SISD: "single instruction stream, single data stream (uniprocessor)",
+            FlynnClass.SIMD: "single instruction stream, multiple data streams (vector/GPU)",
+            FlynnClass.MISD: "multiple instruction streams, single data stream (rare; systolic/fault-tolerant)",
+            FlynnClass.MIMD: "multiple instruction streams, multiple data streams (multicore/cluster)",
+        }[self]
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineDescription:
+    """A machine's structure as Flynn's axes see it.
+
+    ``shared_memory`` and ``lockstep`` do not affect the Flynn class but
+    refine the sub-classification reported by :func:`subclassify`
+    (SIMD array processor vs. vector pipeline; MIMD shared-memory
+    multiprocessor vs. distributed-memory multicomputer).
+    """
+
+    name: str
+    instruction_streams: int
+    data_streams: int
+    shared_memory: bool = True
+    lockstep: bool = False
+
+    def __post_init__(self) -> None:
+        if self.instruction_streams < 1 or self.data_streams < 1:
+            raise ValueError("stream counts must be positive")
+
+
+def classify(machine: MachineDescription) -> FlynnClass:
+    """Derive the Flynn class from the stream counts."""
+    multi_i = machine.instruction_streams > 1
+    multi_d = machine.data_streams > 1
+    if multi_i and multi_d:
+        return FlynnClass.MIMD
+    if multi_i:
+        return FlynnClass.MISD
+    if multi_d:
+        return FlynnClass.SIMD
+    return FlynnClass.SISD
+
+
+def subclassify(machine: MachineDescription) -> str:
+    """The finer label architecture courses attach under the Flynn class."""
+    cls = classify(machine)
+    if cls is FlynnClass.SIMD:
+        return "array processor (lockstep PEs)" if machine.lockstep else "vector processor"
+    if cls is FlynnClass.MIMD:
+        return (
+            "shared-memory multiprocessor (UMA/NUMA)"
+            if machine.shared_memory
+            else "distributed-memory multicomputer (cluster)"
+        )
+    return cls.description
+
+
+#: Canonical examples used by quizzes in :mod:`repro.pedagogy`.
+GALLERY: Dict[str, MachineDescription] = {
+    "classic uniprocessor": MachineDescription("classic uniprocessor", 1, 1),
+    "Cray-1 vector unit": MachineDescription(
+        "Cray-1 vector unit", 1, 64, shared_memory=True, lockstep=False
+    ),
+    "GPU warp": MachineDescription("GPU warp", 1, 32, lockstep=True),
+    "quad-core CPU": MachineDescription("quad-core CPU", 4, 4, shared_memory=True),
+    "Beowulf cluster": MachineDescription(
+        "Beowulf cluster", 64, 64, shared_memory=False
+    ),
+    "systolic checker": MachineDescription("systolic checker", 3, 1),
+}
+
+
+def gallery_table() -> List[Dict[str, str]]:
+    """The gallery with classes attached, ready for rendering."""
+    return [
+        {
+            "machine": m.name,
+            "class": classify(m).value,
+            "subclass": subclassify(m),
+        }
+        for m in GALLERY.values()
+    ]

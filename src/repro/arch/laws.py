@@ -1,0 +1,164 @@
+"""Performance laws: Amdahl, Gustafson, Karp–Flatt, efficiency, scalability.
+
+"A computer organization or architecture course can incorporate Amdahl's
+law and its implication on the performance of a particular parallel
+algorithm, speedup and scalability" (paper §III).  All functions accept
+scalars or NumPy arrays and broadcast, so a whole parameter sweep is one
+vectorized call — the idiom the session's HPC guides prescribe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+import numpy as np
+
+ArrayLike = Union[float, int, np.ndarray]
+
+__all__ = [
+    "amdahl_speedup",
+    "amdahl_limit",
+    "gustafson_speedup",
+    "karp_flatt",
+    "efficiency",
+    "speedup",
+    "speedup_sweep",
+    "isoefficiency_problem_size",
+    "crossover_processors",
+]
+
+
+def _validate_fraction(f: ArrayLike, name: str) -> np.ndarray:
+    arr = np.asarray(f, dtype=float)
+    if np.any(arr < 0.0) or np.any(arr > 1.0):
+        raise ValueError(f"{name} must lie in [0, 1]")
+    return arr
+
+
+def _validate_procs(p: ArrayLike) -> np.ndarray:
+    arr = np.asarray(p, dtype=float)
+    if np.any(arr < 1):
+        raise ValueError("processor count must be >= 1")
+    return arr
+
+
+def speedup(t_serial: ArrayLike, t_parallel: ArrayLike) -> np.ndarray:
+    """Observed speedup ``S = T_1 / T_p``."""
+    return np.asarray(t_serial, dtype=float) / np.asarray(t_parallel, dtype=float)
+
+
+def amdahl_speedup(parallel_fraction: ArrayLike, processors: ArrayLike) -> np.ndarray:
+    """Amdahl's law: ``S(p) = 1 / ((1 - f) + f / p)``.
+
+    ``parallel_fraction`` is the fraction of the *serial* runtime that
+    parallelizes.  Broadcasts, so ``amdahl_speedup(0.95, np.arange(1, 1025))``
+    is a full curve.
+    """
+    f = _validate_fraction(parallel_fraction, "parallel_fraction")
+    p = _validate_procs(processors)
+    return 1.0 / ((1.0 - f) + f / p)
+
+
+def amdahl_limit(parallel_fraction: ArrayLike) -> np.ndarray:
+    """The asymptotic speedup bound ``1 / (1 - f)`` (infinite processors).
+
+    Returns ``inf`` for a perfectly parallel program.
+    """
+    f = _validate_fraction(parallel_fraction, "parallel_fraction")
+    with np.errstate(divide="ignore"):
+        return np.where(f >= 1.0, np.inf, 1.0 / (1.0 - f))
+
+
+def gustafson_speedup(parallel_fraction: ArrayLike, processors: ArrayLike) -> np.ndarray:
+    """Gustafson's law (scaled speedup): ``S(p) = (1 - f) + f * p``.
+
+    ``parallel_fraction`` here is the parallel fraction of the *parallel*
+    runtime at scale — the law's answer to Amdahl's pessimism when the
+    problem grows with the machine.
+    """
+    f = _validate_fraction(parallel_fraction, "parallel_fraction")
+    p = _validate_procs(processors)
+    return (1.0 - f) + f * p
+
+
+def karp_flatt(observed_speedup: ArrayLike, processors: ArrayLike) -> np.ndarray:
+    """The Karp–Flatt experimentally determined serial fraction.
+
+    ``e = (1/S - 1/p) / (1 - 1/p)``.  A serial fraction that *grows* with p
+    diagnoses parallel overhead; one that stays flat diagnoses inherent
+    serial work.  Undefined at ``p == 1`` (returns ``nan``).
+    """
+    s = np.asarray(observed_speedup, dtype=float)
+    p = _validate_procs(processors)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(p == 1, np.nan, (1.0 / s - 1.0 / p) / (1.0 - 1.0 / p))
+
+
+def efficiency(observed_speedup: ArrayLike, processors: ArrayLike) -> np.ndarray:
+    """Parallel efficiency ``E = S / p``."""
+    return np.asarray(observed_speedup, dtype=float) / _validate_procs(processors)
+
+
+def speedup_sweep(
+    parallel_fraction: float, max_processors: int = 1024
+) -> Dict[str, np.ndarray]:
+    """Amdahl vs. Gustafson over ``p = 1 .. max_processors`` (one call).
+
+    Returns arrays keyed ``processors``, ``amdahl``, ``gustafson``,
+    ``amdahl_efficiency`` — the data behind the classic two-curve lecture
+    figure and the speedup bench.
+    """
+    p = np.arange(1, max_processors + 1, dtype=float)
+    amdahl = amdahl_speedup(parallel_fraction, p)
+    return {
+        "processors": p,
+        "amdahl": amdahl,
+        "gustafson": gustafson_speedup(parallel_fraction, p),
+        "amdahl_efficiency": efficiency(amdahl, p),
+    }
+
+
+def isoefficiency_problem_size(
+    processors: ArrayLike,
+    target_efficiency: float,
+    serial_seconds_per_unit: float = 1.0,
+    overhead_seconds: "np.ufunc | None" = None,
+) -> np.ndarray:
+    """Problem size needed to hold efficiency constant as p grows.
+
+    For the common case of overhead ``T_o(p) = c * p * log2(p)`` (tree
+    reductions, all-to-ones), isoefficiency gives
+    ``W = E/(1-E) * T_o(p)``.  ``overhead_seconds`` may be any callable
+    ``p -> seconds``; the default is ``p * log2(p)``.
+    """
+    if not 0.0 < target_efficiency < 1.0:
+        raise ValueError("target_efficiency must be in (0, 1)")
+    p = _validate_procs(processors)
+    if overhead_seconds is None:
+        overhead = p * np.log2(np.maximum(p, 1.0))
+    else:
+        overhead = np.asarray(overhead_seconds(p), dtype=float)
+    k = target_efficiency / (1.0 - target_efficiency)
+    return k * overhead / serial_seconds_per_unit
+
+
+def crossover_processors(
+    parallel_fraction: float, target_speedup: float
+) -> int:
+    """Smallest integer p whose Amdahl speedup reaches ``target_speedup``.
+
+    Raises ``ValueError`` when the target exceeds the Amdahl limit — the
+    law's headline teaching point.
+    """
+    limit = float(amdahl_limit(parallel_fraction))
+    if target_speedup >= limit:
+        raise ValueError(
+            f"target speedup {target_speedup} unreachable: Amdahl limit is "
+            f"{limit:.3f} at parallel fraction {parallel_fraction}"
+        )
+    if target_speedup <= 1.0:
+        return 1
+    f = parallel_fraction
+    # Solve 1/((1-f) + f/p) >= S for p, then round up.
+    p = f / (1.0 / target_speedup - (1.0 - f))
+    return int(np.ceil(p - 1e-12))

@@ -1,0 +1,327 @@
+"""A cycle-stepped 5-stage RISC pipeline with hazards and forwarding.
+
+The classic IF–ID–EX–MEM–WB datapath taught in the architecture courses of
+all three case studies (paper §IV; "pipelining, instruction level
+parallelism").  The simulator is cycle-accurate for the teaching model:
+
+- **Data hazards.** Without forwarding, a consumer stalls in ID while its
+  producer sits in the EX or MEM stage (the register file writes in the
+  first half-cycle and reads in the second, so a distance-3 dependence
+  needs no stall).  With forwarding, only the load-use hazard stalls, for
+  exactly one cycle.
+- **Control hazards.** Branches predict not-taken and resolve in EX; a
+  taken branch squashes the two younger instructions (2-cycle penalty), or
+  just one with the ``branch_in_id`` early-resolution option.
+
+Each cycle is computed from a start-of-cycle snapshot of the pipeline
+latches (write-back first, fetch last), so hazard detection sees the same
+machine state a real datapath's control logic would.  Both *timing*
+(cycles, CPI, stall/flush tallies) and *semantics* (architectural register
+and memory state) are simulated, so tests can check that forwarding changes
+timing without changing results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional
+
+__all__ = ["Op", "Instr", "PipelineConfig", "PipelineStats", "Pipeline"]
+
+
+class Op(enum.Enum):
+    """The teaching ISA: ALU, immediate, memory, branch, and NOP."""
+
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    ADDI = "addi"
+    LW = "lw"
+    SW = "sw"
+    BEQ = "beq"
+    BNE = "bne"
+    NOP = "nop"
+
+
+_ALU_OPS = {Op.ADD, Op.SUB, Op.AND, Op.OR}
+_BRANCH_OPS = {Op.BEQ, Op.BNE}
+
+
+@dataclasses.dataclass(frozen=True)
+class Instr:
+    """One instruction.
+
+    Register conventions: ``rd`` destination, ``rs1``/``rs2`` sources.
+    ``LW rd, imm(rs1)``; ``SW rs2, imm(rs1)``; ``BEQ/BNE rs1, rs2, imm``
+    where ``imm`` is an absolute instruction index (keeps test programs
+    easy to write).  Register 0 is hardwired to zero.
+    """
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def sources(self) -> List[int]:
+        """Register numbers this instruction reads (x0 excluded)."""
+        if self.op in _ALU_OPS or self.op in _BRANCH_OPS or self.op is Op.SW:
+            regs = [self.rs1, self.rs2]
+        elif self.op in (Op.ADDI, Op.LW):
+            regs = [self.rs1]
+        else:
+            regs = []
+        return [r for r in regs if r != 0]
+
+    def dest(self) -> Optional[int]:
+        """Destination register, or ``None`` (stores, branches, NOP, x0)."""
+        if self.op in _ALU_OPS or self.op in (Op.ADDI, Op.LW):
+            return self.rd if self.rd != 0 else None
+        return None
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelineConfig:
+    """Simulator options: forwarding on/off, early branch resolution."""
+
+    forwarding: bool = True
+    branch_in_id: bool = False
+
+
+@dataclasses.dataclass
+class PipelineStats:
+    """Cycle-level outcome of one program run."""
+
+    cycles: int = 0
+    instructions: int = 0
+    stalls: int = 0
+    flushes: int = 0
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per committed instruction."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def speedup_vs_unpipelined(self) -> float:
+        """Speedup over a 5-cycles-per-instruction unpipelined machine."""
+        if self.cycles == 0:
+            return 0.0
+        return (5.0 * self.instructions) / self.cycles
+
+
+@dataclasses.dataclass
+class _Latch:
+    instr: Optional[Instr] = None
+    result: Optional[int] = None  # ALU result / effective address / loaded value
+    store_value: Optional[int] = None
+
+
+class Pipeline:
+    """The 5-stage pipeline simulator.
+
+    Usage::
+
+        pipe = Pipeline(program, PipelineConfig(forwarding=False))
+        stats = pipe.run()
+        pipe.registers[3]   # architectural state after completion
+    """
+
+    NUM_REGS = 32
+
+    def __init__(
+        self,
+        program: List[Instr],
+        config: PipelineConfig = PipelineConfig(),
+        registers: Optional[Dict[int, int]] = None,
+        memory: Optional[Dict[int, int]] = None,
+    ) -> None:
+        self.program = list(program)
+        for instr in self.program:
+            for reg in (instr.rd, instr.rs1, instr.rs2):
+                if not 0 <= reg < self.NUM_REGS:
+                    raise ValueError(
+                        f"register x{reg} out of range in {instr}"
+                    )
+        self.config = config
+        self.registers = [0] * self.NUM_REGS
+        for reg, val in (registers or {}).items():
+            if reg != 0:
+                self.registers[reg] = val
+        self.memory: Dict[int, int] = dict(memory or {})
+        self.pc = 0
+        self.stats = PipelineStats()
+        self._if_id = _Latch()
+        self._id_ex = _Latch()
+        self._ex_mem = _Latch()
+        self._mem_wb = _Latch()
+
+    # -- hazard predicates --------------------------------------------------
+    @staticmethod
+    def _produces(latch: _Latch, reg: int) -> bool:
+        return latch.instr is not None and latch.instr.dest() == reg
+
+    def _must_stall(self, instr: Instr, in_ex: _Latch, in_mem: _Latch) -> bool:
+        """ID-stage hazard detection against the start-of-cycle latches.
+
+        ``in_ex`` / ``in_mem`` are the instructions entering EX and MEM
+        this cycle (i.e. the snapshot of ID/EX and EX/MEM).
+        """
+        use_strict = (not self.config.forwarding) or (
+            self.config.branch_in_id and instr.op in _BRANCH_OPS
+        )
+        for reg in instr.sources():
+            if use_strict:
+                if self._produces(in_ex, reg) or self._produces(in_mem, reg):
+                    return True
+            else:
+                # Forwarding datapath: only the load-use hazard stalls.
+                if in_ex.instr is not None and in_ex.instr.op is Op.LW and (
+                    self._produces(in_ex, reg)
+                ):
+                    return True
+        return False
+
+    def _operand(self, reg: int, old_ex_mem: _Latch) -> int:
+        """Operand read at EX: forward from EX/MEM if enabled, else the RF.
+
+        The register file has already absorbed this cycle's write-back, so
+        MEM/WB forwarding is implicit; only the ALU result of the
+        instruction one ahead (sitting in the EX/MEM snapshot) needs an
+        explicit bypass.  Loads in EX/MEM carry an address, never forwarded
+        (the load-use stall guarantees this case cannot be needed).
+        """
+        if reg == 0:
+            return 0
+        if (
+            self.config.forwarding
+            and self._produces(old_ex_mem, reg)
+            and old_ex_mem.instr is not None
+            and old_ex_mem.instr.op is not Op.LW
+        ):
+            assert old_ex_mem.result is not None
+            return old_ex_mem.result
+        return self.registers[reg]
+
+    # -- one simulated cycle --------------------------------------------------
+    def step(self) -> bool:
+        """Advance one cycle; returns ``False`` once the pipeline drains."""
+        self.stats.cycles += 1
+        old_if_id = self._if_id
+        old_id_ex = self._id_ex
+        old_ex_mem = self._ex_mem
+        old_mem_wb = self._mem_wb
+
+        # WB (first half-cycle: the RF absorbs the write before reads) ------
+        if old_mem_wb.instr is not None:
+            dest = old_mem_wb.instr.dest()
+            if dest is not None:
+                assert old_mem_wb.result is not None
+                self.registers[dest] = old_mem_wb.result
+            if old_mem_wb.instr.op is not Op.NOP:
+                self.stats.instructions += 1
+
+        # MEM ---------------------------------------------------------------
+        new_mem_wb = _Latch()
+        if old_ex_mem.instr is not None:
+            instr = old_ex_mem.instr
+            if instr.op is Op.LW:
+                assert old_ex_mem.result is not None
+                new_mem_wb = _Latch(instr, self.memory.get(old_ex_mem.result, 0))
+            elif instr.op is Op.SW:
+                assert old_ex_mem.result is not None
+                assert old_ex_mem.store_value is not None
+                self.memory[old_ex_mem.result] = old_ex_mem.store_value
+                new_mem_wb = _Latch(instr)
+            else:
+                new_mem_wb = _Latch(instr, old_ex_mem.result)
+
+        # EX ------------------------------------------------------------------
+        new_ex_mem = _Latch()
+        taken_target: Optional[int] = None
+        if old_id_ex.instr is not None:
+            instr = old_id_ex.instr
+            a = self._operand(instr.rs1, old_ex_mem)
+            b = self._operand(instr.rs2, old_ex_mem)
+            if instr.op in _ALU_OPS:
+                result = {
+                    Op.ADD: a + b,
+                    Op.SUB: a - b,
+                    Op.AND: a & b,
+                    Op.OR: a | b,
+                }[instr.op]
+                new_ex_mem = _Latch(instr, result)
+            elif instr.op is Op.ADDI:
+                new_ex_mem = _Latch(instr, a + instr.imm)
+            elif instr.op is Op.LW:
+                new_ex_mem = _Latch(instr, a + instr.imm)
+            elif instr.op is Op.SW:
+                new_ex_mem = _Latch(instr, a + instr.imm, store_value=b)
+            elif instr.op in _BRANCH_OPS and not self.config.branch_in_id:
+                taken = (a == b) if instr.op is Op.BEQ else (a != b)
+                if taken:
+                    taken_target = instr.imm
+                new_ex_mem = _Latch(instr)
+            else:
+                new_ex_mem = _Latch(instr)
+
+        # ID / IF -----------------------------------------------------------
+        new_id_ex = _Latch()
+        new_if_id = old_if_id
+        branch_redirect: Optional[int] = None
+        if taken_target is not None:
+            # Taken branch resolved in EX: squash ID and this cycle's fetch.
+            if old_if_id.instr is not None:
+                self.stats.flushes += 1
+            new_if_id = _Latch()
+            self.stats.flushes += 1
+            self.pc = taken_target
+        elif old_if_id.instr is not None:
+            instr = old_if_id.instr
+            if self._must_stall(instr, old_id_ex, old_ex_mem):
+                self.stats.stalls += 1  # bubble enters EX; IF holds
+            else:
+                if instr.op in _BRANCH_OPS and self.config.branch_in_id:
+                    a = self.registers[instr.rs1]
+                    b = self.registers[instr.rs2]
+                    taken = (a == b) if instr.op is Op.BEQ else (a != b)
+                    new_id_ex = _Latch(instr)
+                    new_if_id = _Latch()
+                    if taken:
+                        branch_redirect = instr.imm
+                        self.stats.flushes += 1  # one squashed fetch slot
+                else:
+                    new_id_ex = _Latch(instr)
+                    new_if_id = _Latch()
+
+        if branch_redirect is not None:
+            self.pc = branch_redirect
+        elif new_if_id.instr is None and self.pc < len(self.program):
+            if taken_target is None:  # a redirecting EX-branch eats the slot
+                new_if_id = _Latch(self.program[self.pc])
+                self.pc += 1
+
+        self._if_id = new_if_id
+        self._id_ex = new_id_ex
+        self._ex_mem = new_ex_mem
+        self._mem_wb = new_mem_wb
+        return self._busy()
+
+    def _busy(self) -> bool:
+        return (
+            self.pc < len(self.program)
+            or self._if_id.instr is not None
+            or self._id_ex.instr is not None
+            or self._ex_mem.instr is not None
+            or self._mem_wb.instr is not None
+        )
+
+    def run(self, max_cycles: int = 100_000) -> PipelineStats:
+        """Run to completion; guards against runaway programs."""
+        while self._busy():
+            self.step()
+            if self.stats.cycles >= max_cycles:
+                raise RuntimeError(f"program exceeded {max_cycles} cycles")
+        return self.stats

@@ -1,0 +1,439 @@
+"""Tomasulo dynamic scheduling — non-speculative and speculative.
+
+The AUC case study (paper §IV-B) teaches "architectures based on dynamic
+scheduling such as the non-speculative and the speculative versions of
+Tomasulo's architectures"; this module implements both over one engine:
+
+- **Non-speculative** (classic 1967 Tomasulo): reservation stations +
+  register renaming + a common data bus; out-of-order execution and
+  completion, registers written at CDB broadcast.  Branches *stall issue*
+  until resolved — the defining cost speculation removes.
+- **Speculative** (Tomasulo + reorder buffer): results go to the ROB and
+  commit in order; branches predict not-taken and a misprediction flushes
+  the ROB tail — in-order state recovery, the H&P chapter-3 machine.
+
+The simulator records per-instruction issue/execute/write/commit cycles in
+the same tabular form textbooks use, so tests can pin exact timings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional
+
+__all__ = ["FuKind", "TInstr", "Timing", "TomasuloCPU", "TomasuloStats"]
+
+
+class FuKind(enum.Enum):
+    """Functional-unit classes with their reservation-station pools."""
+
+    ADDER = "adder"
+    MULTIPLIER = "multiplier"
+    LOAD = "load"
+    BRANCH = "branch"
+
+
+class TOp(enum.Enum):
+    """The floating-point teaching ISA (H&P chapter 3 examples)."""
+
+    ADD = ("add", FuKind.ADDER)
+    SUB = ("sub", FuKind.ADDER)
+    MUL = ("mul", FuKind.MULTIPLIER)
+    DIV = ("div", FuKind.MULTIPLIER)
+    LOAD = ("load", FuKind.LOAD)
+    BNEZ = ("bnez", FuKind.BRANCH)
+
+    def __init__(self, label: str, fu: FuKind) -> None:
+        self.label = label
+        self.fu = fu
+
+
+@dataclasses.dataclass(frozen=True)
+class TInstr:
+    """One instruction.
+
+    ``LOAD rd, addr`` reads ``memory[addr]``; ALU ops are ``op rd, rs, rt``;
+    ``BNEZ rs, target`` jumps to instruction index ``target`` when
+    ``rs != 0``.
+    """
+
+    op: TOp
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    addr: int = 0
+    target: int = 0
+
+
+@dataclasses.dataclass
+class Timing:
+    """Cycle numbers of each pipeline event for one dynamic instruction."""
+
+    instr: TInstr
+    issue: int = 0
+    exec_start: int = 0
+    exec_end: int = 0
+    write: int = 0
+    commit: int = 0
+    squashed: bool = False
+
+
+@dataclasses.dataclass
+class TomasuloStats:
+    """Run-level counters."""
+
+    cycles: int = 0
+    committed: int = 0
+    branch_stall_cycles: int = 0
+    mispredictions: int = 0
+    flushed: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.committed / self.cycles if self.cycles else 0.0
+
+
+@dataclasses.dataclass
+class _Station:
+    name: str
+    kind: FuKind
+    busy: bool = False
+    op: Optional[TOp] = None
+    vj: Optional[float] = None
+    vk: Optional[float] = None
+    qj: Optional[str] = None  # producing tag (station name or ROB tag)
+    qk: Optional[str] = None
+    dest: int = 0  # architectural register (non-spec) or ROB index (spec)
+    remaining: int = 0
+    started: bool = False
+    finished: bool = False
+    result: Optional[float] = None
+    issue_cycle: int = 0
+    timing: Optional[Timing] = None
+    rob_index: Optional[int] = None
+
+
+@dataclasses.dataclass
+class _RobEntry:
+    index: int
+    instr: TInstr
+    dest: int
+    ready: bool = False
+    value: Optional[float] = None
+    timing: Optional[Timing] = None
+    branch_taken: Optional[bool] = None
+
+    @property
+    def tag(self) -> str:
+        return f"ROB{self.index}"
+
+
+_LATENCY = {
+    TOp.ADD: 2,
+    TOp.SUB: 2,
+    TOp.MUL: 10,
+    TOp.DIV: 40,
+    TOp.LOAD: 2,
+    TOp.BNEZ: 1,
+}
+
+
+class TomasuloCPU:
+    """The dynamic-scheduling engine.
+
+    Parameters
+    ----------
+    program:
+        The instruction list (branch targets index into it).
+    speculative:
+        ``False`` — classic Tomasulo; branches stall issue until resolved.
+        ``True`` — ROB-based speculation; branches predict not-taken.
+    latencies:
+        Optional per-op execution latency overrides.
+    """
+
+    NUM_REGS = 32
+
+    def __init__(
+        self,
+        program: List[TInstr],
+        speculative: bool = False,
+        registers: Optional[Dict[int, float]] = None,
+        memory: Optional[Dict[int, float]] = None,
+        num_adders: int = 3,
+        num_multipliers: int = 2,
+        num_load_buffers: int = 3,
+        rob_size: int = 16,
+        latencies: Optional[Dict[TOp, int]] = None,
+    ) -> None:
+        self.program = list(program)
+        self.speculative = speculative
+        self.registers: List[float] = [0.0] * self.NUM_REGS
+        for r, v in (registers or {}).items():
+            self.registers[r] = v
+        self.memory: Dict[int, float] = dict(memory or {})
+        self.latencies = {**_LATENCY, **(latencies or {})}
+        self.stations: List[_Station] = (
+            [_Station(f"Add{i+1}", FuKind.ADDER) for i in range(num_adders)]
+            + [
+                _Station(f"Mult{i+1}", FuKind.MULTIPLIER)
+                for i in range(num_multipliers)
+            ]
+            + [_Station(f"Load{i+1}", FuKind.LOAD) for i in range(num_load_buffers)]
+            + [_Station("Branch1", FuKind.BRANCH)]
+        )
+        # Register status: register -> producing tag.
+        self.reg_status: Dict[int, str] = {}
+        self.rob: List[_RobEntry] = []
+        self.rob_size = rob_size
+        self.pc = 0
+        self.cycle = 0
+        self.timings: List[Timing] = []
+        self.stats = TomasuloStats()
+        self._branch_pending = False  # non-speculative issue stall
+
+    # -- value lookup at issue time ----------------------------------------
+    def _read_source(self, reg: int) -> tuple[Optional[float], Optional[str]]:
+        """Return ``(value, None)`` if available or ``(None, tag)`` if pending."""
+        tag = self.reg_status.get(reg)
+        if tag is None:
+            return self.registers[reg], None
+        if self.speculative:
+            # The ROB may already hold the (uncommitted) value.
+            entry = self._rob_by_tag(tag)
+            if entry is not None and entry.ready:
+                return entry.value, None
+        return None, tag
+
+    def _rob_by_tag(self, tag: str) -> Optional[_RobEntry]:
+        for e in self.rob:
+            if e.tag == tag:
+                return e
+        return None
+
+    # -- the four pipeline activities -----------------------------------------
+    def _issue(self) -> None:
+        if self.pc >= len(self.program):
+            return
+        if self._branch_pending:  # non-speculative branch stall
+            self.stats.branch_stall_cycles += 1
+            return
+        instr = self.program[self.pc]
+        station = next(
+            (s for s in self.stations if s.kind is instr.op.fu and not s.busy),
+            None,
+        )
+        if station is None:
+            return  # structural hazard on reservation stations
+        if self.speculative and len(self.rob) >= self.rob_size:
+            return  # structural hazard on the ROB
+
+        timing = Timing(instr=instr, issue=self.cycle)
+        self.timings.append(timing)
+
+        station.busy = True
+        station.op = instr.op
+        station.remaining = self.latencies[instr.op]
+        station.started = False
+        station.finished = False
+        station.result = None
+        station.issue_cycle = self.cycle
+        station.timing = timing
+
+        if instr.op is TOp.LOAD:
+            station.vj, station.qj = float(self.memory.get(instr.addr, 0.0)), None
+            station.vk, station.qk = 0.0, None
+        elif instr.op is TOp.BNEZ:
+            station.vj, station.qj = self._read_source(instr.rs)
+            station.vk, station.qk = 0.0, None
+        else:
+            station.vj, station.qj = self._read_source(instr.rs)
+            station.vk, station.qk = self._read_source(instr.rt)
+
+        if self.speculative:
+            entry = _RobEntry(
+                index=self._next_rob_index(),
+                instr=instr,
+                dest=instr.rd,
+                timing=timing,
+            )
+            self.rob.append(entry)
+            station.rob_index = entry.index
+            station.dest = entry.index
+            if instr.op not in (TOp.BNEZ,):
+                self.reg_status[instr.rd] = entry.tag
+        else:
+            station.dest = instr.rd
+            if instr.op is TOp.BNEZ:
+                self._branch_pending = True
+            else:
+                self.reg_status[instr.rd] = station.name
+
+        self.pc += 1  # speculative: predict not-taken, keep issuing
+
+    def _next_rob_index(self) -> int:
+        return (self.rob[-1].index + 1) if self.rob else 0
+
+    def _execute(self) -> None:
+        for s in self.stations:
+            if not s.busy or s.finished:
+                continue
+            if not s.started:
+                # May begin the cycle after issue, once both operands exist.
+                if (
+                    s.qj is None
+                    and s.qk is None
+                    and s.issue_cycle < self.cycle
+                ):
+                    s.started = True
+                    assert s.timing is not None
+                    s.timing.exec_start = self.cycle
+                else:
+                    continue
+            s.remaining -= 1
+            if s.remaining == 0:
+                s.finished = True
+                s.result = self._compute(s)
+                assert s.timing is not None
+                s.timing.exec_end = self.cycle
+
+    def _compute(self, s: _Station) -> float:
+        assert s.vj is not None and s.vk is not None and s.op is not None
+        if s.op is TOp.ADD:
+            return s.vj + s.vk
+        if s.op is TOp.SUB:
+            return s.vj - s.vk
+        if s.op is TOp.MUL:
+            return s.vj * s.vk
+        if s.op is TOp.DIV:
+            if s.vk == 0:
+                return float("inf") if s.vj > 0 else float("-inf") if s.vj else 0.0
+            return s.vj / s.vk
+        if s.op is TOp.LOAD:
+            return s.vj
+        if s.op is TOp.BNEZ:
+            return 1.0 if s.vj != 0 else 0.0
+        raise AssertionError(f"unknown op {s.op}")
+
+    def _write_result(self) -> None:
+        """One CDB: broadcast the oldest finished, unwritten result."""
+        candidates = [
+            s
+            for s in self.stations
+            if s.busy and s.finished and s.timing is not None and s.timing.write == 0
+        ]
+        if not candidates:
+            return
+        # Oldest by exec_end then issue order: deterministic CDB arbitration.
+        s = min(candidates, key=lambda x: (x.timing.exec_end, x.issue_cycle))  # type: ignore[union-attr]
+        assert s.timing is not None and s.result is not None
+        # A result finishing in cycle t broadcasts in t+1 at the earliest.
+        if s.timing.exec_end >= self.cycle:
+            return
+        s.timing.write = self.cycle
+        tag = s.name if not self.speculative else f"ROB{s.rob_index}"
+
+        if self.speculative:
+            entry = self._rob_by_tag(tag)
+            assert entry is not None
+            entry.ready = True
+            entry.value = s.result
+            if s.op is TOp.BNEZ:
+                entry.branch_taken = s.result != 0.0
+        else:
+            if s.op is TOp.BNEZ:
+                taken = s.result != 0.0
+                self.pc = s.timing.instr.target if taken else self.pc
+                self._branch_pending = False
+                self.stats.committed += 1
+                s.timing.commit = self.cycle
+            else:
+                if self.reg_status.get(s.dest) == tag:
+                    self.registers[s.dest] = s.result
+                    del self.reg_status[s.dest]
+                self.stats.committed += 1
+                s.timing.commit = self.cycle
+
+        # Forward on the CDB to every waiting station.
+        for waiter in self.stations:
+            if waiter.busy and not waiter.finished:
+                if waiter.qj == tag:
+                    waiter.vj, waiter.qj = s.result, None
+                if waiter.qk == tag:
+                    waiter.vk, waiter.qk = s.result, None
+        s.busy = False
+
+    def _commit(self) -> None:
+        """Speculative only: retire the ROB head if its result is ready."""
+        if not self.rob:
+            return
+        head = self.rob[0]
+        if not head.ready:
+            return
+        assert head.timing is not None
+        if head.timing.write >= self.cycle:
+            return  # written this very cycle; commit next cycle
+        head.timing.commit = self.cycle
+        self.stats.committed += 1
+        if head.instr.op is TOp.BNEZ:
+            taken = bool(head.branch_taken)
+            predicted_taken = False  # static predict not-taken
+            self.rob.pop(0)
+            if taken != predicted_taken:
+                self.stats.mispredictions += 1
+                self._flush(head.instr.target if taken else None)
+            return
+        if self.reg_status.get(head.dest) == head.tag:
+            del self.reg_status[head.dest]
+        assert head.value is not None
+        self.registers[head.dest] = head.value
+        self.rob.pop(0)
+
+    def _flush(self, redirect: Optional[int]) -> None:
+        """Squash everything younger than a mispredicted branch."""
+        for entry in self.rob:
+            if entry.timing is not None:
+                entry.timing.squashed = True
+            self.stats.flushed += 1
+        squashed_tags = {e.tag for e in self.rob}
+        self.rob.clear()
+        for s in self.stations:
+            if s.rob_index is not None and f"ROB{s.rob_index}" in squashed_tags:
+                s.busy = False
+        self.reg_status = {
+            r: t for r, t in self.reg_status.items() if t not in squashed_tags
+        }
+        if redirect is not None:
+            self.pc = redirect
+
+    # -- driving -----------------------------------------------------------------
+    def step(self) -> bool:
+        """One cycle: commit, write, execute, issue (in that order)."""
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+        if self.speculative:
+            self._commit()
+        self._write_result()
+        self._execute()
+        self._issue()
+        return self._busy()
+
+    def _busy(self) -> bool:
+        return (
+            self.pc < len(self.program)
+            or any(s.busy for s in self.stations)
+            or bool(self.rob)
+        )
+
+    def run(self, max_cycles: int = 100_000) -> TomasuloStats:
+        """Run to completion."""
+        while self.step():
+            if self.cycle >= max_cycles:
+                raise RuntimeError(f"program exceeded {max_cycles} cycles")
+        return self.stats
+
+    def timing_table(self) -> List[Timing]:
+        """The per-instruction event table (squashed entries included)."""
+        return list(self.timings)

@@ -1,0 +1,144 @@
+"""A vector/SIMD machine model with strip-mining.
+
+"SIMD and vector processors" and "extracting data parallelism using
+vectors and SIMD" appear in Table I and in the LAU course description.
+:class:`VectorMachine` executes element-wise kernels over NumPy arrays
+while accounting instructions the way a vector ISA would: one vector
+instruction covers ``vector_length`` elements, longer arrays strip-mine
+into chunks, and the dynamic instruction count is compared against the
+scalar-loop equivalent — the quantity SIMD lectures ask students to
+compute.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = ["VectorMachine", "VectorStats"]
+
+
+@dataclasses.dataclass
+class VectorStats:
+    """Dynamic instruction accounting for one kernel run."""
+
+    elements: int = 0
+    vector_instructions: int = 0
+    strip_mine_chunks: int = 0
+    scalar_instructions_equivalent: int = 0
+
+    @property
+    def instruction_reduction(self) -> float:
+        """Scalar / vector dynamic instruction ratio (the SIMD win)."""
+        if self.vector_instructions == 0:
+            return 1.0
+        return self.scalar_instructions_equivalent / self.vector_instructions
+
+
+class VectorMachine:
+    """A vector unit of fixed ``vector_length`` lanes.
+
+    Kernels are expressed as NumPy expressions over chunk views — the
+    machine strip-mines the full array into ``vector_length`` chunks and
+    charges one vector instruction per operation per chunk.  Because the
+    chunks are NumPy views, the arithmetic itself is genuinely vectorized
+    in the host interpreter too (guides' idiom: no Python-level inner
+    loops).
+    """
+
+    def __init__(self, vector_length: int = 64) -> None:
+        if vector_length < 1:
+            raise ValueError("vector_length must be positive")
+        self.vector_length = vector_length
+
+    def _chunks(self, n: int) -> range:
+        return range(0, n, self.vector_length)
+
+    def map(
+        self,
+        fn: Callable[[np.ndarray], np.ndarray],
+        data: np.ndarray,
+        ops_per_element: int = 1,
+    ) -> tuple[np.ndarray, VectorStats]:
+        """Apply an element-wise kernel; returns ``(result, stats)``.
+
+        ``ops_per_element`` is how many scalar arithmetic instructions the
+        kernel body costs per element (used for the scalar-equivalent
+        count; loads/stores and loop overhead are charged separately, 3
+        per scalar iteration: load, store, branch).
+        """
+        data = np.asarray(data)
+        out = np.empty_like(fn(data[:1]))
+        out = np.empty(data.shape, dtype=out.dtype)
+        stats = VectorStats(elements=int(data.size))
+        for start in self._chunks(data.size):
+            chunk = data[start : start + self.vector_length]
+            out[start : start + self.vector_length] = fn(chunk)
+            stats.strip_mine_chunks += 1
+            # one vector load + ops + one vector store per chunk
+            stats.vector_instructions += ops_per_element + 2
+        stats.scalar_instructions_equivalent = data.size * (ops_per_element + 3)
+        return out, stats
+
+    def zip_map(
+        self,
+        fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        a: np.ndarray,
+        b: np.ndarray,
+        ops_per_element: int = 1,
+    ) -> tuple[np.ndarray, VectorStats]:
+        """Two-operand element-wise kernel (e.g. DAXPY's add)."""
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.shape != b.shape:
+            raise ValueError("operands must have equal shapes")
+        out = np.empty(a.shape, dtype=np.result_type(a, b))
+        stats = VectorStats(elements=int(a.size))
+        for start in self._chunks(a.size):
+            sl = slice(start, start + self.vector_length)
+            out[sl] = fn(a[sl], b[sl])
+            stats.strip_mine_chunks += 1
+            stats.vector_instructions += ops_per_element + 3  # 2 loads + store
+        stats.scalar_instructions_equivalent = a.size * (ops_per_element + 4)
+        return out, stats
+
+    def daxpy(
+        self, alpha: float, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, VectorStats]:
+        """The canonical vector kernel: ``y <- alpha * x + y``."""
+        return self.zip_map(lambda xv, yv: alpha * xv + yv, x, y, ops_per_element=2)
+
+    def expected_chunks(self, n: int) -> int:
+        """Strip-mine chunk count for an ``n``-element array."""
+        return math.ceil(n / self.vector_length) if n else 0
+
+    def lanes_utilization(self, n: int) -> float:
+        """Fraction of lanes doing useful work (the remainder-chunk cost)."""
+        chunks = self.expected_chunks(n)
+        if chunks == 0:
+            return 1.0
+        return n / (chunks * self.vector_length)
+
+
+def compare_vector_lengths(
+    n: int, vector_lengths: list[int]
+) -> Dict[int, Dict[str, float]]:
+    """Instruction-reduction and utilization sweep over vector lengths.
+
+    The data behind the "why longer vectors stop helping" lecture plot.
+    """
+    x = np.ones(n)
+    y = np.ones(n)
+    out: Dict[int, Dict[str, float]] = {}
+    for vl in vector_lengths:
+        machine = VectorMachine(vl)
+        _, stats = machine.daxpy(2.0, x, y)
+        out[vl] = {
+            "instruction_reduction": stats.instruction_reduction,
+            "lanes_utilization": machine.lanes_utilization(n),
+            "chunks": float(stats.strip_mine_chunks),
+        }
+    return out

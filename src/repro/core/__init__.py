@@ -1,0 +1,81 @@
+"""The curriculum & accreditation engine — the paper's contribution.
+
+Everything §II–§V of the paper describes, as executable models:
+
+- :mod:`repro.core.taxonomy` — the PDC topic vocabulary (Table I's rows),
+  the CDER concept triad, course types (Table I's columns), and cognitive
+  skill levels.
+- :mod:`repro.core.knowledge` — knowledge areas/units/topics/outcomes.
+- :mod:`repro.core.cs2013`, :mod:`repro.core.cc2020`,
+  :mod:`repro.core.ce2016`, :mod:`repro.core.se2014` — machine-readable
+  encodings of the four curricular guidelines the paper builds on.
+- :mod:`repro.core.abet` — the CAC Computer Science criteria (Fig. 1's
+  curriculum requirement, Student Outcomes 1–6) and the EAC criteria.
+- :mod:`repro.core.course`, :mod:`repro.core.program` — course and
+  program models.
+- :mod:`repro.core.mapping` — Table I (concepts × courses), each cell
+  backed by a runnable substrate module of this repository.
+- :mod:`repro.core.coverage` — incidence matrices and the weighted-sum
+  analysis of §III.
+- :mod:`repro.core.survey` — the 20-program survey: a calibrated
+  synthetic generator plus the Fig. 2 / Fig. 3 analyzers.
+- :mod:`repro.core.casestudies` — LAU, AUC, and RIT encoded from §IV.
+- :mod:`repro.core.compliance` — the PDC-exposure compliance engine and
+  the dedicated-vs-distributed approach classifier.
+- :mod:`repro.core.report` — renderers that regenerate every table and
+  figure.
+"""
+
+from repro.core.abet import (
+    CAC_CS_CURRICULUM_AREAS,
+    CacCriteria,
+    StudentOutcome,
+)
+from repro.core.advisor import AdvisorReport, advise
+from repro.core.casestudies import auc_program, lau_program, rit_program
+from repro.core.compliance import Approach, ComplianceReport, check_program
+from repro.core.course import Course, Coverage, Depth
+from repro.core.coverage import CoverageMatrix, weighted_topic_scores
+from repro.core.knowledge import (
+    CognitiveLevel,
+    KnowledgeArea,
+    KnowledgeUnit,
+    LearningOutcome,
+    TopicSpec,
+)
+from repro.core.mapping import TABLE_I, substrate_for
+from repro.core.program import Program
+from repro.core.survey import SurveyAnalysis, generate_survey
+from repro.core.taxonomy import CderConcept, CourseType, PdcTopic
+
+__all__ = [
+    "advise",
+    "AdvisorReport",
+    "Approach",
+    "auc_program",
+    "CAC_CS_CURRICULUM_AREAS",
+    "CacCriteria",
+    "CderConcept",
+    "check_program",
+    "CognitiveLevel",
+    "ComplianceReport",
+    "Course",
+    "CourseType",
+    "Coverage",
+    "CoverageMatrix",
+    "Depth",
+    "generate_survey",
+    "KnowledgeArea",
+    "KnowledgeUnit",
+    "lau_program",
+    "LearningOutcome",
+    "PdcTopic",
+    "Program",
+    "rit_program",
+    "StudentOutcome",
+    "substrate_for",
+    "SurveyAnalysis",
+    "TABLE_I",
+    "TopicSpec",
+    "weighted_topic_scores",
+]

@@ -1,0 +1,151 @@
+"""ABET criteria: the CAC Computer Science criteria and the EAC criteria.
+
+Fig. 1 of the paper reproduces the CS Program Criteria curriculum
+requirement: *at least 40 semester credit hours that must include …
+exposure to computer architecture and organization, information
+management, networking and communication, operating systems, and parallel
+and distributed computing.*  :data:`CAC_CS_CURRICULUM_AREAS` encodes those
+five required exposure areas; :class:`CacCriteria` checks a
+:class:`~repro.core.program.Program` against the credit-hour floor and
+the exposure list (the PDC leg delegates to
+:mod:`repro.core.compliance` for topic-level detail).
+
+Student Outcomes 1–6 are encoded because the LAU case study (§IV-A) maps
+its parallel-programming course onto Outcomes 2 and 3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.core.taxonomy import CourseType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.program import Program
+
+__all__ = [
+    "ExposureArea",
+    "CAC_CS_CURRICULUM_AREAS",
+    "StudentOutcome",
+    "STUDENT_OUTCOMES",
+    "CacCriteria",
+    "CriteriaCheck",
+    "EAC_COMPLEX_SOFTWARE_CRITERION",
+]
+
+
+class ExposureArea(enum.Enum):
+    """The five required exposure areas of the CS Program Criteria (Fig. 1)."""
+
+    ARCHITECTURE = "computer architecture and organization"
+    INFORMATION_MANAGEMENT = "information management"
+    NETWORKING = "networking and communication"
+    OPERATING_SYSTEMS = "operating systems"
+    PDC = "parallel and distributed computing"
+
+
+#: Fig. 1's list, in the criteria's order.
+CAC_CS_CURRICULUM_AREAS: List[ExposureArea] = list(ExposureArea)
+
+#: Which course types can evidence each exposure area.  PDC is absent on
+#: purpose: its evidence is topic-level, not course-type-level (§II-B —
+#: "topics or knowledge areas that ought to be covered somewhere").
+AREA_COURSE_TYPES: Dict[ExposureArea, List[CourseType]] = {
+    ExposureArea.ARCHITECTURE: [CourseType.ARCHITECTURE],
+    ExposureArea.INFORMATION_MANAGEMENT: [CourseType.DATABASE],
+    ExposureArea.NETWORKING: [CourseType.NETWORKS, CourseType.PARALLEL_PROGRAMMING],
+    ExposureArea.OPERATING_SYSTEMS: [
+        CourseType.OPERATING_SYSTEMS,
+        CourseType.SYSTEMS_PROGRAMMING,
+    ],
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class StudentOutcome:
+    """One of ABET CAC's Student Outcomes (2019 criteria)."""
+
+    number: int
+    text: str
+
+
+STUDENT_OUTCOMES: List[StudentOutcome] = [
+    StudentOutcome(1, "Analyze a complex computing problem and apply principles "
+                      "of computing and other relevant disciplines to identify solutions."),
+    StudentOutcome(2, "Design, implement, and evaluate a computing-based solution "
+                      "to meet a given set of computing requirements in the context "
+                      "of the program's discipline."),
+    StudentOutcome(3, "Communicate effectively in a variety of professional contexts."),
+    StudentOutcome(4, "Recognize professional responsibilities and make informed "
+                      "judgments in computing practice based on legal and ethical principles."),
+    StudentOutcome(5, "Function effectively as a member or leader of a team engaged "
+                      "in activities appropriate to the program's discipline."),
+    StudentOutcome(6, "Apply computer science theory and software development "
+                      "fundamentals to produce computing-based solutions."),
+]
+
+#: EAC criteria for CE/SE don't name PDC but require "complex software"
+#: preparation (paper §V); the compliance module uses this as the hook.
+EAC_COMPLEX_SOFTWARE_CRITERION = (
+    "The curriculum must provide adequate content for each area, consistent "
+    "with the student outcomes and program educational objectives, to ensure "
+    "that students are prepared to enter the practice of engineering."
+)
+
+
+@dataclasses.dataclass
+class CriteriaCheck:
+    """Outcome of checking a program against the CAC curriculum criteria."""
+
+    credit_hours_ok: bool
+    credit_hours: float
+    exposures: Dict[ExposureArea, bool]
+    pdc_exposed: bool
+
+    @property
+    def satisfied(self) -> bool:
+        """All legs hold: hours floor, the four course-type exposures, PDC."""
+        return (
+            self.credit_hours_ok
+            and all(self.exposures.values())
+            and self.pdc_exposed
+        )
+
+    def missing(self) -> List[str]:
+        """Human-readable deficiencies (empty when satisfied)."""
+        out: List[str] = []
+        if not self.credit_hours_ok:
+            out.append(
+                f"only {self.credit_hours:g} CS credit hours (need >= 40)"
+            )
+        for area, ok in self.exposures.items():
+            if not ok:
+                out.append(f"no required-course exposure to {area.value}")
+        if not self.pdc_exposed:
+            out.append("no required-course exposure to parallel and distributed computing")
+        return out
+
+
+class CacCriteria:
+    """The CS Program Criteria curriculum check (Fig. 1, executable)."""
+
+    MIN_CS_CREDIT_HOURS = 40.0
+
+    def check(self, program: "Program") -> CriteriaCheck:
+        """Evaluate ``program``; PDC is judged by topic coverage in
+        *required* courses (per §II-B, coverage must reach all students)."""
+        required = program.required_courses()
+        hours = sum(c.credits for c in required)
+        exposures = {
+            area: any(c.course_type in types for c in required)
+            for area, types in AREA_COURSE_TYPES.items()
+        }
+        pdc = any(c.pdc_topics() for c in required)
+        return CriteriaCheck(
+            credit_hours_ok=hours >= self.MIN_CS_CREDIT_HOURS,
+            credit_hours=hours,
+            exposures=exposures,
+            pdc_exposed=pdc,
+        )

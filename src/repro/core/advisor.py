@@ -1,0 +1,130 @@
+"""The curriculum advisor: from compliance gaps to concrete fixes.
+
+The compliance engine (:mod:`repro.core.compliance`) says *whether* a
+program meets the PDC requirement; the advisor says *what to do about
+it*, using Table I as the recipe book (paper §II-B: "it is not hard to
+integrate different parts of the knowledge area into existing courses").
+
+For each uncovered topic the advisor finds the program's existing
+required courses whose type Table I marks for that topic and proposes an
+embedding there (with the substrate modules that supply lab material);
+topics with no host course trigger a course-addition proposal, and if
+the gaps are wide it recommends the dedicated-course approach outright.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.core.compliance import check_program
+from repro.core.mapping import SUBSTRATE_INDEX, TABLE_I
+from repro.core.program import Program
+from repro.core.taxonomy import CourseType, PdcTopic
+
+__all__ = ["Recommendation", "AdvisorReport", "advise"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Recommendation:
+    """One actionable fix."""
+
+    topic: PdcTopic
+    action: str  # "embed" or "add-course"
+    target_course: Optional[str]  # course code for embeddings
+    course_type: Optional[CourseType]  # type for additions
+    lab_modules: List[str]
+
+    def __str__(self) -> str:
+        where = (
+            f"in {self.target_course}"
+            if self.target_course
+            else f"via a new {self.course_type.value} course"
+        )
+        return f"{self.action} '{self.topic.label}' {where}"
+
+
+@dataclasses.dataclass
+class AdvisorReport:
+    """The advisor's full plan for one program."""
+
+    program_name: str
+    already_compliant: bool
+    uncovered_topics: List[PdcTopic]
+    recommendations: List[Recommendation]
+    suggest_dedicated_course: bool
+
+    def summary(self) -> str:
+        """A one-line plan description."""
+        if self.already_compliant and not self.uncovered_topics:
+            return f"{self.program_name}: full Table-I coverage; nothing to do."
+        head = (
+            "compliant but incomplete"
+            if self.already_compliant
+            else "NOT compliant"
+        )
+        plan = (
+            "add a dedicated PDC course"
+            if self.suggest_dedicated_course
+            else f"{len(self.recommendations)} embedding(s)"
+        )
+        return (
+            f"{self.program_name}: {head}; "
+            f"{len(self.uncovered_topics)} topic(s) uncovered; plan: {plan}."
+        )
+
+
+#: If more than this many topics are uncovered, scattering them across
+#: courses stops being practical and a dedicated course is the honest
+#: recommendation (the trade-off §II-B describes).
+_DEDICATED_THRESHOLD = 6
+
+
+def advise(program: Program) -> AdvisorReport:
+    """Produce the gap-fixing plan for ``program``."""
+    report = check_program(program)
+    uncovered = [t for t in PdcTopic if t not in report.covered_topics]
+
+    required_by_type: Dict[CourseType, List[str]] = {}
+    for course in program.required_courses():
+        required_by_type.setdefault(course.course_type, []).append(course.code)
+
+    recommendations: List[Recommendation] = []
+    for topic in uncovered:
+        host_code: Optional[str] = None
+        host_type: Optional[CourseType] = None
+        for course_type in sorted(TABLE_I[topic], key=lambda ct: ct.value):
+            codes = required_by_type.get(course_type)
+            if codes:
+                host_code = codes[0]
+                break
+            if host_type is None:
+                host_type = course_type
+        if host_code is not None:
+            recommendations.append(
+                Recommendation(
+                    topic=topic,
+                    action="embed",
+                    target_course=host_code,
+                    course_type=None,
+                    lab_modules=list(SUBSTRATE_INDEX[topic]),
+                )
+            )
+        else:
+            recommendations.append(
+                Recommendation(
+                    topic=topic,
+                    action="add-course",
+                    target_course=None,
+                    course_type=host_type,
+                    lab_modules=list(SUBSTRATE_INDEX[topic]),
+                )
+            )
+
+    return AdvisorReport(
+        program_name=program.name,
+        already_compliant=report.compliant,
+        uncovered_topics=uncovered,
+        recommendations=recommendations,
+        suggest_dedicated_course=len(uncovered) > _DEDICATED_THRESHOLD,
+    )

@@ -1,0 +1,316 @@
+"""The three case-study programs of §IV, encoded course by course.
+
+Unlike the synthetic survey, these encodings come straight from the
+paper's prose:
+
+- **LAU** (§IV-A): a required dedicated parallel-programming course
+  (multicore + OpenMP/Pthreads, then ~60% manycore/CUDA) since 1996, plus
+  PDC in OS, computer organization, and database management; the course
+  assesses ABET Student Outcomes 2 and 3.
+- **AUC** (§IV-B): *no* dedicated required PDC course; coverage spread
+  over the fundamentals sequence, computer organization/architecture
+  (through Tomasulo), operating systems, software engineering, and
+  concepts of programming languages; the distributed-systems course is
+  required only for the CE program.
+- **RIT** (§IV-C): the single breadth course *Concepts of Parallel and
+  Distributed Systems* (threads + networks + security + distributed +
+  parallel) since 2013, with earlier thread coverage in the second
+  programming course and Mechanics of Programming.
+"""
+
+from __future__ import annotations
+
+from repro.core.course import Course, Coverage, Depth
+from repro.core.knowledge import CognitiveLevel, LearningOutcome
+from repro.core.program import Program
+from repro.core.taxonomy import CourseType, PdcTopic
+
+__all__ = ["lau_program", "auc_program", "rit_program", "case_study_programs"]
+
+_E, _W, _M = Depth.EXPOSURE, Depth.WORKING, Depth.MASTERY
+
+
+def lau_program() -> Program:
+    """Lebanese American University — BS Computer Science (§IV-A)."""
+    parallel = Course(
+        code="CSC447",
+        title="Parallel Programming",
+        course_type=CourseType.PARALLEL_PROGRAMMING,
+        credits=3.0,
+        required=True,
+        year=3,
+        coverage=[
+            Coverage(PdcTopic.THREADS, _M),  # Pthreads/OpenMP part 2
+            Coverage(PdcTopic.PARALLELISM_CONCURRENCY, _M),
+            Coverage(PdcTopic.SHARED_MEMORY_PROGRAMMING, _M),
+            Coverage(PdcTopic.ATOMICITY, _W),  # efficient synchronization
+            Coverage(PdcTopic.PERFORMANCE, _M),  # profiling and tuning
+            Coverage(PdcTopic.MULTICORE, _M),  # architectural trends
+            Coverage(PdcTopic.SIMD_VECTOR, _M),  # vectors and SIMD / SIMT
+            Coverage(PdcTopic.SHARED_VS_DISTRIBUTED, _W),  # cluster part
+            Coverage(PdcTopic.IPC, _W),  # message-passing clusters (MPI)
+            Coverage(PdcTopic.MEMORY_CACHING, _W),  # false sharing, GPU memory
+        ],
+        outcomes=[
+            LearningOutcome(
+                "Understand the challenges of as well as the motivations for "
+                "using parallel programming.",
+                CognitiveLevel.COMPREHENSION,
+            ),
+            LearningOutcome(
+                "Demonstrate an ability to analyze the efficiency of a given "
+                "parallel algorithm.",
+                CognitiveLevel.APPLICATION,
+            ),
+            LearningOutcome(
+                "Demonstrate an ability to design, analyze, and implement "
+                "programming applications using multicore and manycore systems.",
+                CognitiveLevel.APPLICATION,
+            ),
+        ],
+    )
+    return Program(
+        name="Lebanese American University — BS Computer Science",
+        institution="Lebanese American University",
+        discipline="CS",
+        accredited_since=1996,
+        courses=[
+            Course("CSC243", "Introduction to Object Oriented Programming",
+                   CourseType.INTRO_PROGRAMMING, 3.0, year=1),
+            Course("CSC245", "Objects and Data Abstraction",
+                   CourseType.INTRO_PROGRAMMING, 3.0, year=1,
+                   coverage=[Coverage(PdcTopic.THREADS, _E)]),
+            Course("CSC310", "Algorithms and Data Structures",
+                   CourseType.ALGORITHMS, 3.0, year=2),
+            Course("CSC320", "Computer Organization",
+                   CourseType.ARCHITECTURE, 3.0, year=2,
+                   coverage=[
+                       Coverage(PdcTopic.PERFORMANCE, _W),
+                       Coverage(PdcTopic.MULTICORE, _W),
+                       Coverage(PdcTopic.ILP, _E),
+                       Coverage(PdcTopic.FLYNN, _E),
+                       Coverage(PdcTopic.MEMORY_CACHING, _W),
+                       Coverage(PdcTopic.PARALLELISM_CONCURRENCY, _E),
+                   ]),
+            Course("CSC326", "Operating Systems",
+                   CourseType.OPERATING_SYSTEMS, 3.0, year=3,
+                   coverage=[
+                       Coverage(PdcTopic.THREADS, _W),
+                       Coverage(PdcTopic.PARALLELISM_CONCURRENCY, _W),
+                       Coverage(PdcTopic.SHARED_MEMORY_PROGRAMMING, _W),
+                       Coverage(PdcTopic.IPC, _W),
+                       Coverage(PdcTopic.ATOMICITY, _W),
+                       Coverage(PdcTopic.SHARED_VS_DISTRIBUTED, _E),
+                   ]),
+            Course("CSC375", "Database Management Systems",
+                   CourseType.DATABASE, 3.0, year=3,
+                   coverage=[
+                       Coverage(PdcTopic.TRANSACTIONS, _W),
+                       Coverage(PdcTopic.PARALLELISM_CONCURRENCY, _E),
+                   ]),
+            parallel,
+            Course("CSC430", "Computer Networks",
+                   CourseType.NETWORKS, 3.0, year=4,
+                   coverage=[
+                       Coverage(PdcTopic.CLIENT_SERVER, _W),
+                       Coverage(PdcTopic.IPC, _E),
+                   ]),
+            Course("CSC490", "Software Engineering",
+                   CourseType.SOFTWARE_ENGINEERING, 3.0, year=4),
+            Course("CSC498", "Senior Study", CourseType.ALGORITHMS, 3.0, year=4),
+            Course("CSC331", "Theory of Computation", CourseType.ALGORITHMS, 3.0, year=3),
+            Course("CSC345", "Programming Languages",
+                   CourseType.PROGRAMMING_LANGUAGES, 3.0, year=3),
+            Course("CSC391", "Systems Programming",
+                   CourseType.SYSTEMS_PROGRAMMING, 3.0, year=3,
+                   coverage=[Coverage(PdcTopic.THREADS, _E),
+                             Coverage(PdcTopic.IPC, _E)]),
+            Course("CSC461", "Capstone", CourseType.ALGORITHMS, 4.0, year=4),
+        ],
+    )
+
+
+def auc_program() -> Program:
+    """The American University in Cairo — BS Computer Science (§IV-B).
+
+    The distributed approach: "The CS program does not require a
+    dedicated course that covers PDC topics, yet the knowledge units to
+    support this requirement are satisfied across various other courses."
+    The distributed-systems course exists but is required only for CE, so
+    here it is an elective.
+    """
+    return Program(
+        name="The American University in Cairo — BS Computer Science",
+        institution="The American University in Cairo",
+        discipline="CS",
+        courses=[
+            Course("CSCE110", "Programming Fundamentals I",
+                   CourseType.INTRO_PROGRAMMING, 3.0, year=1,
+                   coverage=[Coverage(PdcTopic.THREADS, _E),
+                             Coverage(PdcTopic.CLIENT_SERVER, _E)]),
+            Course("CSCE210", "Programming Fundamentals II",
+                   CourseType.INTRO_PROGRAMMING, 3.0, year=1,
+                   coverage=[Coverage(PdcTopic.THREADS, _E)]),
+            Course("CSCE221", "Computer Organization",
+                   CourseType.ARCHITECTURE, 3.0, year=2,
+                   coverage=[
+                       Coverage(PdcTopic.MULTICORE, _W),
+                       Coverage(PdcTopic.ILP, _W),  # pipelining, superscalar
+                       Coverage(PdcTopic.PARALLELISM_CONCURRENCY, _W),
+                       Coverage(PdcTopic.MEMORY_CACHING, _W),
+                   ]),
+            Course("CSCE321", "Computer Architecture",
+                   CourseType.ARCHITECTURE, 3.0, year=3,
+                   coverage=[
+                       Coverage(PdcTopic.ILP, _M),  # Tomasulo, speculative & not
+                       Coverage(PdcTopic.MULTICORE, _W),
+                       Coverage(PdcTopic.PERFORMANCE, _W),
+                       Coverage(PdcTopic.SIMD_VECTOR, _E),  # VLIW/vector units
+                       Coverage(PdcTopic.FLYNN, _E),
+                   ]),
+            Course("CSCE345", "Operating Systems",
+                   CourseType.OPERATING_SYSTEMS, 3.0, year=3,
+                   coverage=[
+                       Coverage(PdcTopic.THREADS, _M),  # "substantial depth"
+                       Coverage(PdcTopic.PARALLELISM_CONCURRENCY, _M),
+                       Coverage(PdcTopic.PERFORMANCE, _W),  # speedup
+                       Coverage(PdcTopic.ATOMICITY, _M),  # mutual exclusion
+                       Coverage(PdcTopic.SHARED_MEMORY_PROGRAMMING, _W),
+                       Coverage(PdcTopic.IPC, _W),
+                       Coverage(PdcTopic.MULTICORE, _W),  # multiproc scheduling
+                   ]),
+            Course("CSCE343", "Software Engineering",
+                   CourseType.SOFTWARE_ENGINEERING, 3.0, year=3,
+                   coverage=[
+                       Coverage(PdcTopic.CLIENT_SERVER, _W),  # distributed components
+                       Coverage(PdcTopic.PARALLELISM_CONCURRENCY, _E),
+                   ]),
+            Course("CSCE326", "Concepts of Programming Languages",
+                   CourseType.PROGRAMMING_LANGUAGES, 3.0, year=3,
+                   coverage=[
+                       Coverage(PdcTopic.THREADS, _W),  # language thread support
+                       Coverage(PdcTopic.CLIENT_SERVER, _E),  # networking support
+                       Coverage(PdcTopic.PARALLELISM_CONCURRENCY, _E),
+                   ]),
+            Course("CSCE230", "Databases",
+                   CourseType.DATABASE, 3.0, year=2,
+                   coverage=[Coverage(PdcTopic.TRANSACTIONS, _W)]),
+            Course("CSCE380", "Algorithms", CourseType.ALGORITHMS, 3.0, year=3),
+            Course("CSCE490", "Senior Project I", CourseType.ALGORITHMS, 3.0, year=4),
+            Course("CSCE491", "Senior Project II", CourseType.ALGORITHMS, 3.0, year=4),
+            Course("CSCE201", "Discrete Structures", CourseType.ALGORITHMS, 3.0, year=1),
+            Course("CSCE332", "Theory of Computation", CourseType.ALGORITHMS, 3.0, year=3),
+            Course("CSCE232", "Networks", CourseType.NETWORKS, 3.0, year=3,
+                   coverage=[Coverage(PdcTopic.CLIENT_SERVER, _W),
+                             Coverage(PdcTopic.IPC, _E)]),
+            Course("CSCE425", "Fundamentals of Distributed Computing",
+                   CourseType.DISTRIBUTED_SYSTEMS, 3.0, required=False, year=4,
+                   coverage=[
+                       Coverage(PdcTopic.IPC, _M),
+                       Coverage(PdcTopic.CLIENT_SERVER, _M),
+                       Coverage(PdcTopic.SHARED_VS_DISTRIBUTED, _M),
+                       Coverage(PdcTopic.PARALLELISM_CONCURRENCY, _W),
+                   ]),
+        ],
+    )
+
+
+def rit_program() -> Program:
+    """Rochester Institute of Technology — BS Computer Science (§IV-C)."""
+    cpds = Course(
+        code="CSCI251",
+        title="Concepts of Parallel and Distributed Systems",
+        course_type=CourseType.PARALLEL_PROGRAMMING,
+        credits=3.0,
+        required=True,
+        year=2,
+        coverage=[
+            Coverage(PdcTopic.THREADS, _M),  # multithreaded computing
+            Coverage(PdcTopic.PARALLELISM_CONCURRENCY, _M),
+            Coverage(PdcTopic.CLIENT_SERVER, _M),  # networked computers
+            Coverage(PdcTopic.IPC, _W),  # sockets, datagrams
+            Coverage(PdcTopic.SHARED_VS_DISTRIBUTED, _W),  # architectures
+            Coverage(PdcTopic.MULTICORE, _W),
+            Coverage(PdcTopic.ATOMICITY, _W),  # synchronization, deadlock
+            Coverage(PdcTopic.PERFORMANCE, _E),
+        ],
+        outcomes=[
+            LearningOutcome("Explain the concepts of processes, threads, and scheduling.",
+                            CognitiveLevel.COMPREHENSION),
+            LearningOutcome("Develop multithreaded programs.", CognitiveLevel.APPLICATION),
+            LearningOutcome(
+                "Explain the concepts of computer networking, the layered "
+                "network architecture, network security, and network "
+                "communication with connections and datagrams.",
+                CognitiveLevel.COMPREHENSION),
+            LearningOutcome("Develop network application programs.",
+                            CognitiveLevel.APPLICATION),
+            LearningOutcome(
+                "Explain the concepts of distributed system architectures "
+                "and middleware.", CognitiveLevel.COMPREHENSION),
+            LearningOutcome("Explain the concepts of parallel computer architectures.",
+                            CognitiveLevel.COMPREHENSION),
+        ],
+    )
+    return Program(
+        name="Rochester Institute of Technology — BS Computer Science",
+        institution="Rochester Institute of Technology",
+        discipline="CS",
+        accredited_since=2013,
+        courses=[
+            Course("CSCI141", "Computer Science I", CourseType.INTRO_PROGRAMMING,
+                   4.0, year=1),
+            Course("CSCI142", "Computer Science II", CourseType.INTRO_PROGRAMMING,
+                   4.0, year=1,
+                   coverage=[Coverage(PdcTopic.THREADS, _W)]),  # Java threads in depth
+            Course("CSCI243", "Mechanics of Programming",
+                   CourseType.SYSTEMS_PROGRAMMING, 3.0, year=2,
+                   coverage=[
+                       Coverage(PdcTopic.THREADS, _M),  # pthreads in depth
+                       Coverage(PdcTopic.SHARED_MEMORY_PROGRAMMING, _W),
+                       Coverage(PdcTopic.MEMORY_CACHING, _W),
+                   ]),
+            Course("CSCI250", "Concepts of Computer Systems",
+                   CourseType.ARCHITECTURE, 3.0, year=2,
+                   coverage=[
+                       Coverage(PdcTopic.ILP, _W),  # pipelining
+                       Coverage(PdcTopic.MEMORY_CACHING, _W),
+                       Coverage(PdcTopic.PARALLELISM_CONCURRENCY, _E),
+                   ]),
+            cpds,
+            Course("CSCI261", "Analysis of Algorithms", CourseType.ALGORITHMS,
+                   3.0, year=3),
+            Course("CSCI262", "Introduction to Computer Science Theory",
+                   CourseType.ALGORITHMS, 3.0, year=3),
+            Course("CSCI320", "Principles of Data Management",
+                   CourseType.DATABASE, 3.0, year=3,
+                   coverage=[Coverage(PdcTopic.TRANSACTIONS, _W)]),
+            Course("CSCI331", "Intro to Artificial Intelligence",
+                   CourseType.ALGORITHMS, 3.0, year=3),
+            Course("CSCI344", "Programming Language Concepts",
+                   CourseType.PROGRAMMING_LANGUAGES, 3.0, year=3),
+            Course("CSCI462", "Intro to Cryptography", CourseType.ALGORITHMS,
+                   3.0, year=4),
+            Course("SWEN261", "Intro to Software Engineering",
+                   CourseType.SOFTWARE_ENGINEERING, 3.0, year=2),
+            Course("CSCI498", "Senior Capstone", CourseType.ALGORITHMS, 4.0, year=4),
+            # Post-2010 change: OS and networking became advanced electives.
+            Course("CSCI452", "Operating Systems", CourseType.OPERATING_SYSTEMS,
+                   3.0, required=False, year=4,
+                   coverage=[
+                       Coverage(PdcTopic.THREADS, _M),
+                       Coverage(PdcTopic.ATOMICITY, _M),
+                       Coverage(PdcTopic.IPC, _W),
+                       Coverage(PdcTopic.SHARED_MEMORY_PROGRAMMING, _W),
+                   ]),
+            Course("CSCI351", "Data Communications and Networks",
+                   CourseType.NETWORKS, 3.0, required=False, year=4,
+                   coverage=[Coverage(PdcTopic.CLIENT_SERVER, _M),
+                             Coverage(PdcTopic.IPC, _W)]),
+        ],
+    )
+
+
+def case_study_programs() -> list[Program]:
+    """The three §IV programs, in the paper's order."""
+    return [lau_program(), auc_program(), rit_program()]

@@ -1,0 +1,92 @@
+"""CC2020's draft PDC competencies.
+
+Paper §II-A: "CC2020 reiterates the above knowledge areas and recommends
+specific topics including a coverage of a parallel divide-and-conquer
+algorithm, critical path, race conditions, processes, deadlocks, and
+properly synchronized queues."  Each named topic is encoded as a
+competency — knowledge + skill + disposition, CC2020's competency model —
+and mapped to the substrate module of this repository that makes it
+runnable, which is what turns the competency list into a lab syllabus.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+__all__ = ["Competency", "CC2020_PDC_COMPETENCIES", "competency_lab_index"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Competency:
+    """A CC2020-style competency: knowledge, skill, disposition."""
+
+    name: str
+    knowledge: str
+    skill: str
+    disposition: str
+    substrate_modules: Sequence[str] = ()
+
+
+CC2020_PDC_COMPETENCIES: List[Competency] = [
+    Competency(
+        name="Parallel divide-and-conquer algorithm",
+        knowledge="The fork-join pattern; work/span analysis of recursive splits.",
+        skill="Implement and analyze a parallel divide-and-conquer sort.",
+        disposition="Chooses decomposition before tuning.",
+        substrate_modules=(
+            "repro.algorithms.dnc",
+            "repro.algorithms.sorting",
+        ),
+    ),
+    Competency(
+        name="Critical path",
+        knowledge="Task DAGs; work, span, parallelism; Brent's bound.",
+        skill="Compute the critical path of a task graph and bound T_p.",
+        disposition="Reasons about inherent, not incidental, serialization.",
+        substrate_modules=("repro.algorithms.dag",),
+    ),
+    Competency(
+        name="Race conditions",
+        knowledge="Data races vs. race conditions; lockset analysis.",
+        skill="Find a data race with a lockset detector and repair it.",
+        disposition="Treats unsynchronized sharing as a defect, not a tweak.",
+        substrate_modules=("repro.smp.racedetect", "repro.smp.atomics"),
+    ),
+    Competency(
+        name="Processes",
+        knowledge="Process states, scheduling, context switches.",
+        skill="Simulate scheduling policies and compare their metrics.",
+        disposition="Evaluates policies by measured waiting/turnaround time.",
+        substrate_modules=("repro.oskernel.process", "repro.oskernel.scheduler"),
+    ),
+    Competency(
+        name="Deadlocks",
+        knowledge="Coffman conditions; wait-for graphs; prevention orders.",
+        skill="Detect a deadlock cycle and apply resource ordering.",
+        disposition="Designs lock orders up front rather than debugging hangs.",
+        substrate_modules=(
+            "repro.smp.deadlock",
+            "repro.oskernel.syncproblems",
+            "repro.db.locking",
+        ),
+    ),
+    Competency(
+        name="Properly synchronized queues",
+        knowledge="Bounded buffers, condition-variable protocols, close semantics.",
+        skill="Build a producer-consumer pipeline on a synchronized queue.",
+        disposition="Prefers message-passing structure over ad-hoc sharing.",
+        substrate_modules=("repro.smp.squeue", "repro.smp.monitor"),
+    ),
+]
+
+
+def competency_lab_index() -> List[dict]:
+    """The competency → runnable-module index (used by docs and tests)."""
+    return [
+        {
+            "competency": c.name,
+            "modules": list(c.substrate_modules),
+        }
+        for c in CC2020_PDC_COMPETENCIES
+    ]

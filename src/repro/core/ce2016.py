@@ -1,0 +1,143 @@
+"""CE2016: computer engineering knowledge areas with PDC core units.
+
+Table II of the paper lists the CE2016 knowledge areas whose *core*
+knowledge units address PDC:
+
+==============================  ==========================================
+Knowledge Area                  PDC-related Core Knowledge Units
+==============================  ==========================================
+Computing Algorithms            Parallel algorithms/threading
+Architecture and Organization   Multi/Many-core architectures;
+                                Distributed system architectures
+Systems Resource Management     Concurrent processing support
+Software Design                 Event-driven and concurrent programming
+==============================  ==========================================
+
+CE2016 defines twelve knowledge areas in total (paper §V); the non-PDC
+ones are encoded as empty-of-PDC areas so queries run against the full
+area list, exactly as the survey of the real document would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.knowledge import (
+    CognitiveLevel,
+    KnowledgeArea,
+    KnowledgeUnit,
+    TopicSpec,
+)
+
+__all__ = ["CE2016_AREAS", "ce_pdc_table", "CE2016_AREA_COUNT"]
+
+_K = CognitiveLevel.KNOWLEDGE
+_C = CognitiveLevel.COMPREHENSION
+_A = CognitiveLevel.APPLICATION
+
+#: "The computer engineering curriculum guidelines (CE2016) delineate
+#: twelve broad knowledge areas" (paper §V).
+CE2016_AREA_COUNT = 12
+
+CE2016_AREAS: List[KnowledgeArea] = [
+    KnowledgeArea(
+        name="Computing Algorithms",
+        units=(
+            KnowledgeUnit(
+                name="Parallel algorithms/threading",
+                core=True,
+                topics=(
+                    TopicSpec("Parallel algorithm strategies", _C, pdc_related=True),
+                    TopicSpec("Threading models and thread safety", _A, pdc_related=True),
+                ),
+            ),
+            KnowledgeUnit(
+                name="Analysis and design of application-specific algorithms",
+                core=True,
+                topics=(TopicSpec("Algorithmic design for applications", _A),),
+            ),
+        ),
+    ),
+    KnowledgeArea(
+        name="Architecture and Organization",
+        units=(
+            KnowledgeUnit(
+                name="Multi/Many-core architectures",
+                core=True,
+                topics=(
+                    TopicSpec("Multicore organization and coherence", _C, True),
+                    TopicSpec("Manycore/GPU organization", _K, True),
+                ),
+            ),
+            KnowledgeUnit(
+                name="Distributed system architectures",
+                core=True,
+                topics=(
+                    TopicSpec("Cluster and grid organization", _C, True),
+                    TopicSpec("Interconnection networks", _K, True),
+                ),
+            ),
+            KnowledgeUnit(
+                name="Memory system organization",
+                core=True,
+                topics=(TopicSpec("Memory hierarchies", _C),),
+            ),
+        ),
+    ),
+    KnowledgeArea(
+        name="Systems Resource Management",
+        units=(
+            KnowledgeUnit(
+                name="Concurrent processing support",
+                core=True,
+                topics=(
+                    TopicSpec("Processes, threads, and scheduling", _A, True),
+                    TopicSpec("Synchronization mechanisms", _A, True),
+                ),
+            ),
+            KnowledgeUnit(
+                name="Device and memory management",
+                core=True,
+                topics=(TopicSpec("Virtual memory", _C),),
+            ),
+        ),
+    ),
+    KnowledgeArea(
+        name="Software Design",
+        units=(
+            KnowledgeUnit(
+                name="Event-driven and concurrent programming",
+                core=True,
+                topics=(
+                    TopicSpec("Event-driven design", _A, True),
+                    TopicSpec("Concurrent programming constructs", _A, True),
+                ),
+            ),
+            KnowledgeUnit(
+                name="Software design principles",
+                core=True,
+                topics=(TopicSpec("Modularity and interfaces", _C),),
+            ),
+        ),
+    ),
+    # The remaining eight CE2016 areas carry no PDC core units (Table II
+    # lists only the four above); present so area-level queries see all 12.
+    KnowledgeArea(name="Circuits and Electronics"),
+    KnowledgeArea(name="Digital Design"),
+    KnowledgeArea(name="Embedded Systems"),
+    KnowledgeArea(name="Computer Networks"),
+    KnowledgeArea(name="Information Security"),
+    KnowledgeArea(name="Signal Processing"),
+    KnowledgeArea(name="Professional Practice"),
+    KnowledgeArea(name="Preparation for Engineering Practice"),
+]
+
+
+def ce_pdc_table() -> Dict[str, List[str]]:
+    """Regenerate Table II: area → PDC-related core knowledge units."""
+    table: Dict[str, List[str]] = {}
+    for area in CE2016_AREAS:
+        units = [u.name for u in area.pdc_core_units()]
+        if units:
+            table[area.name] = units
+    return table

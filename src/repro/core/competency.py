@@ -1,0 +1,110 @@
+"""CC2020 competency checking for syllabi.
+
+CC2020 frames curricula in *competencies* rather than topics (paper
+§II-A); this module closes the loop between a runnable syllabus
+(:mod:`repro.pedagogy.coursebuilder`) and the six named PDC competencies
+(:mod:`repro.core.cc2020`): a competency is *evidenced* by a syllabus
+when some lab exercises a substrate module the competency names (or a
+module in the same subpackage).  The report is the artifact an
+accreditation self-study would attach to its CC2020 alignment claim.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.core.cc2020 import CC2020_PDC_COMPETENCIES, Competency
+from repro.core.mapping import SUBSTRATE_INDEX
+from repro.pedagogy.coursebuilder import Syllabus
+
+__all__ = ["CompetencyEvidence", "CompetencyReport", "check_syllabus"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CompetencyEvidence:
+    """How one competency is (or is not) evidenced by a syllabus."""
+
+    competency: Competency
+    evidenced: bool
+    supporting_labs: List[str]
+
+    def __str__(self) -> str:
+        status = "evidenced" if self.evidenced else "NOT evidenced"
+        labs = ", ".join(self.supporting_labs) or "none"
+        return f"{self.competency.name}: {status} (labs: {labs})"
+
+
+@dataclasses.dataclass
+class CompetencyReport:
+    """All six competencies checked against one syllabus."""
+
+    syllabus_title: str
+    evidence: List[CompetencyEvidence]
+
+    @property
+    def evidenced_count(self) -> int:
+        """How many of the six competencies the syllabus evidences."""
+        return sum(1 for e in self.evidence if e.evidenced)
+
+    @property
+    def complete(self) -> bool:
+        """Does the syllabus evidence every CC2020 PDC competency?"""
+        return self.evidenced_count == len(self.evidence)
+
+    def missing(self) -> List[str]:
+        """Names of unevidenced competencies."""
+        return [e.competency.name for e in self.evidence if not e.evidenced]
+
+
+def _lab_module_footprint(syllabus: Syllabus) -> Dict[str, List[str]]:
+    """Lab id -> the substrate modules it declares (preferred) or, for
+    labs without declarations, the modules its topics index into."""
+    footprint: Dict[str, List[str]] = {}
+    for exercise in syllabus.exercises():
+        modules: List[str] = list(exercise.modules)
+        if not modules:
+            for topic in exercise.topics:
+                modules.extend(SUBSTRATE_INDEX[topic])
+        footprint[exercise.exercise_id] = modules
+    return footprint
+
+
+def _modules_match(competency_module: str, lab_modules: Sequence[str]) -> bool:
+    """Exact module match, or one names a package containing the other
+    (``repro.smp`` evidences ``repro.smp.racedetect``).  Sibling modules
+    do *not* match — a scheduler lab is no evidence for a sorting
+    competency just because both live under ``repro``."""
+    for lab_module in lab_modules:
+        if lab_module == competency_module:
+            return True
+        if competency_module.startswith(lab_module + "."):
+            return True
+        if lab_module.startswith(competency_module + "."):
+            return True
+    return False
+
+
+def check_syllabus(syllabus: Syllabus) -> CompetencyReport:
+    """Check every CC2020 PDC competency against ``syllabus``."""
+    footprint = _lab_module_footprint(syllabus)
+    evidence: List[CompetencyEvidence] = []
+    for competency in CC2020_PDC_COMPETENCIES:
+        supporting = [
+            lab_id
+            for lab_id, modules in footprint.items()
+            if any(
+                _modules_match(cm, modules)
+                for cm in competency.substrate_modules
+            )
+        ]
+        evidence.append(
+            CompetencyEvidence(
+                competency=competency,
+                evidenced=bool(supporting),
+                supporting_labs=sorted(supporting),
+            )
+        )
+    return CompetencyReport(
+        syllabus_title=syllabus.course_title, evidence=evidence
+    )

@@ -1,0 +1,145 @@
+"""The PDC-exposure compliance engine and approach classifier.
+
+§II-B of the paper describes two viable approaches to satisfying the
+PDC requirement — a dedicated required course, or knowledge units
+scattered across required courses — and cites Newhall et al.'s four
+principles for planning the coverage.  :func:`check_program` delivers the
+full judgement: ABET criteria check, approach classification, CDER
+concept coverage, and a Newhall audit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List
+
+from repro.core.abet import CacCriteria, CriteriaCheck
+from repro.core.coverage import CoverageMatrix
+from repro.core.program import Program
+from repro.core.taxonomy import (
+    CderConcept,
+    PdcTopic,
+    TOPIC_CONCEPTS,
+)
+
+__all__ = ["Approach", "NewhallAudit", "ComplianceReport", "check_program"]
+
+
+class Approach(enum.Enum):
+    """The two §II-B coverage approaches (plus the failure mode)."""
+
+    DEDICATED_COURSE = "dedicated required PDC course"
+    DISTRIBUTED = "PDC topics distributed across required courses"
+    INSUFFICIENT = "insufficient PDC coverage"
+
+
+@dataclasses.dataclass
+class NewhallAudit:
+    """Newhall et al.'s four planning principles (paper §II-B), audited.
+
+    1. early exposure; 2. intentional overlap across courses; 3. breadth
+    plus depth; 4. topics met in multiple sub-disciplines.
+    """
+
+    early_exposure: bool  # some PDC topic in year 1 or 2
+    intentional_overlap: bool  # some topic in >= 2 required courses
+    breadth_and_depth: bool  # >= half the topics touched, some at mastery
+    multiple_subdisciplines: bool  # PDC in >= 3 distinct course types
+
+    @property
+    def score(self) -> int:
+        """Principles satisfied, 0–4."""
+        return sum(
+            (
+                self.early_exposure,
+                self.intentional_overlap,
+                self.breadth_and_depth,
+                self.multiple_subdisciplines,
+            )
+        )
+
+
+@dataclasses.dataclass
+class ComplianceReport:
+    """The engine's full judgement of one program."""
+
+    program_name: str
+    criteria: CriteriaCheck
+    approach: Approach
+    covered_topics: List[PdcTopic]
+    concept_coverage: Dict[CderConcept, bool]
+    newhall: NewhallAudit
+    total_weight: float
+
+    @property
+    def compliant(self) -> bool:
+        """Does the program satisfy the ABET CS criteria (incl. PDC)?"""
+        return self.criteria.satisfied
+
+    @property
+    def concepts_complete(self) -> bool:
+        """All three CDER concepts reached (stronger than ABET requires)."""
+        return all(self.concept_coverage.values())
+
+    def summary(self) -> str:
+        """A one-paragraph verdict for reports."""
+        verdict = "COMPLIANT" if self.compliant else "NOT COMPLIANT"
+        return (
+            f"{self.program_name}: {verdict} via {self.approach.value}; "
+            f"{len(self.covered_topics)}/14 Table-I topics in required "
+            f"courses (weight {self.total_weight:g}); CDER concepts "
+            f"{'all covered' if self.concepts_complete else 'incomplete'}; "
+            f"Newhall score {self.newhall.score}/4."
+        )
+
+
+#: Minimum topics in required courses to call distributed coverage real
+#: "exposure" rather than incidental mention.
+_MIN_TOPICS_FOR_EXPOSURE = 3
+
+
+def check_program(program: Program) -> ComplianceReport:
+    """Run the full compliance analysis on ``program``."""
+    criteria = CacCriteria().check(program)
+    matrix = CoverageMatrix.of(program)
+    covered = matrix.covered_topics()
+
+    if program.has_dedicated_pdc_course(required_only=True):
+        approach = Approach.DEDICATED_COURSE
+    elif len(covered) >= _MIN_TOPICS_FOR_EXPOSURE:
+        approach = Approach.DISTRIBUTED
+    else:
+        approach = Approach.INSUFFICIENT
+
+    concept_coverage = {
+        concept: any(concept in TOPIC_CONCEPTS[t] for t in covered)
+        for concept in CderConcept
+    }
+
+    depths = program.topic_depths(required_only=True)
+    early = program.earliest_pdc_year()
+    pdc_course_types = {
+        c.course_type
+        for c in program.required_courses()
+        if c.pdc_topics()
+    }
+    newhall = NewhallAudit(
+        early_exposure=early is not None and early <= 2,
+        intentional_overlap=any(len(ds) >= 2 for ds in depths.values()),
+        breadth_and_depth=(
+            len(covered) >= len(PdcTopic) // 2
+            and any(max(ds) >= 3 for ds in depths.values())
+        ),
+        multiple_subdisciplines=len(pdc_course_types) >= 3,
+    )
+
+    return ComplianceReport(
+        program_name=program.name,
+        criteria=criteria,
+        approach=approach,
+        covered_topics=covered,
+        concept_coverage=concept_coverage,
+        newhall=newhall,
+        total_weight=matrix.total_weight(),
+    )

@@ -1,0 +1,86 @@
+"""Courses and their PDC topic coverage.
+
+A :class:`Course` declares which :class:`~repro.core.taxonomy.PdcTopic`\\ s
+it covers and at what :class:`Depth`.  Depth is the engine's quantitative
+handle: the paper's survey method computes "a weighted sum of all courses
+that tackle specific components of the PDC knowledge area" (§III), and
+depth supplies the weights (exposure counts less than a dedicated
+treatment).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.knowledge import LearningOutcome
+from repro.core.taxonomy import CourseType, PdcTopic
+
+__all__ = ["Depth", "Coverage", "Course"]
+
+
+class Depth(enum.IntEnum):
+    """How deeply a course treats a topic (the survey weights).
+
+    The ordinal values are the weights used in weighted sums: a MASTERY
+    treatment counts three times an EXPOSURE mention — a conventional
+    choice the ablation bench varies (unweighted vs. weighted).
+    """
+
+    EXPOSURE = 1  # a few lectures embedded in the course (paper §II-A)
+    WORKING = 2  # assignments exercise the topic
+    MASTERY = 3  # projects/labs assess the topic in depth
+
+
+@dataclasses.dataclass(frozen=True)
+class Coverage:
+    """One (topic, depth) coverage claim inside a course."""
+
+    topic: PdcTopic
+    depth: Depth = Depth.EXPOSURE
+
+
+@dataclasses.dataclass
+class Course:
+    """A course in a program's curriculum."""
+
+    code: str
+    title: str
+    course_type: CourseType
+    credits: float = 3.0
+    required: bool = True
+    coverage: Sequence[Coverage] = ()
+    outcomes: Sequence[LearningOutcome] = ()
+    year: Optional[int] = None  # curriculum year (1 = freshman), for Newhall audits
+
+    def __post_init__(self) -> None:
+        if self.credits <= 0:
+            raise ValueError("credits must be positive")
+        topics = [c.topic for c in self.coverage]
+        if len(set(topics)) != len(topics):
+            raise ValueError(f"duplicate topic coverage in {self.code}")
+
+    def pdc_topics(self) -> List[PdcTopic]:
+        """Topics this course covers, in declaration order."""
+        return [c.topic for c in self.coverage]
+
+    def depth_of(self, topic: PdcTopic) -> Optional[Depth]:
+        """Depth for ``topic``, or ``None`` if not covered."""
+        for c in self.coverage:
+            if c.topic is topic:
+                return c.depth
+        return None
+
+    def pdc_weight(self) -> int:
+        """Sum of depth weights over all covered topics."""
+        return sum(int(c.depth) for c in self.coverage)
+
+    @property
+    def is_dedicated_pdc(self) -> bool:
+        """Is this a dedicated parallel-programming course?"""
+        return self.course_type is CourseType.PARALLEL_PROGRAMMING
+
+    def coverage_map(self) -> Dict[PdcTopic, Depth]:
+        """Topic → depth mapping."""
+        return {c.topic: c.depth for c in self.coverage}

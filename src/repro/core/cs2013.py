@@ -1,0 +1,172 @@
+"""CS2013's Parallel and Distributed Computing (PD) knowledge area.
+
+The paper (§II-A) quotes CS2013's definition of PDC as encompassing
+fundamental systems concepts (concurrency and parallel execution,
+consistency in state/memory manipulation, latency), parallel algorithms
+(decomposition, architecture, implementation, performance analysis and
+tuning), and the message-passing and shared-memory models.  This module
+encodes the PD area's knowledge units with their tier hours (tier-1 and
+tier-2 units are core; the rest elective) and flags each topic that the
+Table I vocabulary can express.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.knowledge import (
+    CognitiveLevel,
+    KnowledgeArea,
+    KnowledgeUnit,
+    LearningOutcome,
+    TopicSpec,
+)
+from repro.core.taxonomy import PdcTopic
+
+__all__ = ["PD_AREA", "pd_core_hours", "CS2013_PDC_DEFINITION", "topic_units"]
+
+_K = CognitiveLevel.KNOWLEDGE
+_C = CognitiveLevel.COMPREHENSION
+_A = CognitiveLevel.APPLICATION
+
+#: The three-clause definition quoted in paper §II-A.
+CS2013_PDC_DEFINITION: List[str] = [
+    "An understanding of fundamental systems concepts such as concurrency "
+    "and parallel execution, consistency in state/memory manipulation, and "
+    "latency.",
+    "Understanding of parallel algorithms, strategies for problem "
+    "decomposition, system architecture, detailed implementation "
+    "strategies, and performance analysis and tuning.",
+    "Message-passing and shared-memory models of computing.",
+]
+
+PD_AREA = KnowledgeArea(
+    name="Parallel and Distributed Computing (PD)",
+    units=(
+        KnowledgeUnit(
+            name="Parallelism Fundamentals",
+            core=True,
+            hours=2.0,  # tier 1
+            topics=(
+                TopicSpec("Multiple simultaneous computations", _C, pdc_related=True),
+                TopicSpec("Parallelism vs. concurrency", _C, pdc_related=True),
+                TopicSpec("Programming constructs for creating parallelism", _A, True),
+                TopicSpec("Communication and coordination", _C, True),
+            ),
+            outcomes=(
+                LearningOutcome(
+                    "Distinguish using computational resources for a faster "
+                    "answer from managing efficient access to a shared resource.",
+                    _C,
+                ),
+            ),
+        ),
+        KnowledgeUnit(
+            name="Parallel Decomposition",
+            core=True,
+            hours=4.0,  # 1 tier-1 + 3 tier-2
+            topics=(
+                TopicSpec("Need for communication and coordination/synchronization", _C, True),
+                TopicSpec("Independence and partitioning", _A, True),
+                TopicSpec("Task-based decomposition", _A, True),
+                TopicSpec("Data-parallel decomposition", _A, True),
+            ),
+        ),
+        KnowledgeUnit(
+            name="Communication and Coordination",
+            core=True,
+            hours=4.0,  # 1 tier-1 + 3 tier-2
+            topics=(
+                TopicSpec("Shared memory", _A, True),
+                TopicSpec("Message passing", _A, True),
+                TopicSpec("Atomicity", _A, True),
+                TopicSpec("Consensus", _K, True),
+                TopicSpec("Conditional actions and deadlock", _C, True),
+            ),
+        ),
+        KnowledgeUnit(
+            name="Parallel Algorithms, Analysis, and Programming",
+            core=True,
+            hours=3.0,  # tier 2
+            topics=(
+                TopicSpec("Critical path, work, and span", _C, True),
+                TopicSpec("Speed-up and scalability", _C, True),
+                TopicSpec("Naturally parallel algorithms", _A, True),
+                TopicSpec("Parallel divide-and-conquer", _A, True),
+            ),
+        ),
+        KnowledgeUnit(
+            name="Parallel Architecture",
+            core=True,
+            hours=2.0,  # 1 tier-1 + 1 tier-2
+            topics=(
+                TopicSpec("Multicore processors", _C, True),
+                TopicSpec("Shared vs. distributed memory", _C, True),
+                TopicSpec("SIMD, vector processing", _K, True),
+                TopicSpec("GPU, co-processing", _K, True),
+            ),
+        ),
+        KnowledgeUnit(
+            name="Parallel Performance",
+            core=False,
+            topics=(
+                TopicSpec("Load balancing", _C, True),
+                TopicSpec("Data locality and false sharing", _C, True),
+                TopicSpec("Performance measurement and tuning", _A, True),
+            ),
+        ),
+        KnowledgeUnit(
+            name="Distributed Systems",
+            core=False,
+            topics=(
+                TopicSpec("Faults and partial failure", _C, True),
+                TopicSpec("Distributed message sending", _A, True),
+                TopicSpec("Distributed system design tradeoffs", _C, True),
+                TopicSpec("Core distributed algorithms", _A, True),
+            ),
+        ),
+        KnowledgeUnit(
+            name="Cloud Computing",
+            core=False,
+            topics=(
+                TopicSpec("Services and infrastructure models", _K, True),
+                TopicSpec("Elasticity and scaling", _C, True),
+            ),
+        ),
+        KnowledgeUnit(
+            name="Formal Models and Semantics",
+            core=False,
+            topics=(
+                TopicSpec("Formal models of processes and message passing", _K, True),
+                TopicSpec("Consistency models", _C, True),
+            ),
+        ),
+    ),
+)
+
+
+def pd_core_hours() -> float:
+    """Total core (tier-1 + tier-2) hours of the PD area (15 in CS2013)."""
+    return sum(u.hours or 0.0 for u in PD_AREA.core_units())
+
+
+#: Which PD knowledge units exercise which Table I topics — the bridge
+#: between the guideline and the course-level vocabulary.
+topic_units: Dict[PdcTopic, List[str]] = {
+    PdcTopic.PARALLELISM_CONCURRENCY: [
+        "Parallelism Fundamentals",
+        "Parallel Decomposition",
+    ],
+    PdcTopic.SHARED_MEMORY_PROGRAMMING: ["Communication and Coordination"],
+    PdcTopic.ATOMICITY: ["Communication and Coordination"],
+    PdcTopic.PERFORMANCE: [
+        "Parallel Algorithms, Analysis, and Programming",
+        "Parallel Performance",
+    ],
+    PdcTopic.MULTICORE: ["Parallel Architecture"],
+    PdcTopic.SHARED_VS_DISTRIBUTED: ["Parallel Architecture"],
+    PdcTopic.SIMD_VECTOR: ["Parallel Architecture"],
+    PdcTopic.THREADS: ["Parallelism Fundamentals", "Communication and Coordination"],
+    PdcTopic.IPC: ["Communication and Coordination", "Distributed Systems"],
+    PdcTopic.CLIENT_SERVER: ["Distributed Systems"],
+}

@@ -1,0 +1,71 @@
+"""A registry unifying the four guideline encodings.
+
+DESIGN.md's inventory names one encoding module per guideline; this
+registry gives tooling (reports, docs, the advisor) a single place to
+enumerate them and to answer cross-guideline questions like "how many
+PDC-related core units exist across all guidelines the paper cites?".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.core.ce2016 import CE2016_AREAS
+from repro.core.cs2013 import PD_AREA
+from repro.core.knowledge import KnowledgeArea
+from repro.core.se2014 import SEEK_AREAS
+
+__all__ = ["Guideline", "GUIDELINES", "pdc_unit_census"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Guideline:
+    """One ACM/IEEE-CS curricular guideline, as encoded in this package."""
+
+    key: str
+    title: str
+    year: int
+    discipline: str
+    areas: Sequence[KnowledgeArea]
+
+    def pdc_core_units(self) -> List[str]:
+        """Names of all PDC-related core units across the areas."""
+        return [
+            unit.name
+            for area in self.areas
+            for unit in area.pdc_core_units()
+        ]
+
+
+GUIDELINES: Dict[str, Guideline] = {
+    "cs2013": Guideline(
+        key="cs2013",
+        title="Computer Science Curricula 2013",
+        year=2013,
+        discipline="CS",
+        areas=[PD_AREA],
+    ),
+    "ce2016": Guideline(
+        key="ce2016",
+        title="Computer Engineering Curricula 2016",
+        year=2016,
+        discipline="CE",
+        areas=CE2016_AREAS,
+    ),
+    "se2014": Guideline(
+        key="se2014",
+        title="Software Engineering 2014 (SEEK)",
+        year=2014,
+        discipline="SE",
+        areas=SEEK_AREAS,
+    ),
+}
+
+
+def pdc_unit_census() -> Dict[str, int]:
+    """PDC-related core-unit counts per guideline (the paper's cross-
+    discipline point in one dict)."""
+    return {
+        key: len(g.pdc_core_units()) for key, g in GUIDELINES.items()
+    }

@@ -1,0 +1,98 @@
+"""Knowledge areas, units, topics, outcomes, and cognitive levels.
+
+The structural vocabulary shared by all four guideline encodings: ACM/IEEE
+guidelines decompose a body of knowledge into *knowledge areas*, each a
+set of *knowledge units* (core or supplementary/elective), each a list of
+*topics* with *learning outcomes* at stated *cognitive levels* (paper §V:
+"CE2016 defines … the cognitive skill level at which each topic … is
+expected to be attained.  Three cognitive skill levels are defined with
+application being the highest level.").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "CognitiveLevel",
+    "TopicSpec",
+    "LearningOutcome",
+    "KnowledgeUnit",
+    "KnowledgeArea",
+]
+
+
+class CognitiveLevel(enum.IntEnum):
+    """The three-level scale used by CE2016/SE2014 (application highest).
+
+    Ordered, so ``level >= CognitiveLevel.APPLICATION`` reads naturally.
+    """
+
+    KNOWLEDGE = 1  # remember/recognize
+    COMPREHENSION = 2  # explain/classify
+    APPLICATION = 3  # use/build
+
+
+@dataclasses.dataclass(frozen=True)
+class TopicSpec:
+    """One topic inside a knowledge unit."""
+
+    name: str
+    level: CognitiveLevel = CognitiveLevel.COMPREHENSION
+    pdc_related: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.name} [{self.level.name.lower()}]"
+
+
+@dataclasses.dataclass(frozen=True)
+class LearningOutcome:
+    """A measurable outcome attached to a unit or course."""
+
+    text: str
+    level: CognitiveLevel = CognitiveLevel.COMPREHENSION
+
+
+@dataclasses.dataclass(frozen=True)
+class KnowledgeUnit:
+    """A knowledge unit: named, core or not, with topics and outcomes."""
+
+    name: str
+    core: bool = True
+    topics: Sequence[TopicSpec] = ()
+    outcomes: Sequence[LearningOutcome] = ()
+    hours: Optional[float] = None  # tier/core hours where the guideline gives them
+
+    def pdc_topics(self) -> List[TopicSpec]:
+        """The PDC-flagged topics of this unit."""
+        return [t for t in self.topics if t.pdc_related]
+
+    @property
+    def is_pdc_related(self) -> bool:
+        """Whether any topic of the unit is PDC-flagged."""
+        return any(t.pdc_related for t in self.topics)
+
+
+@dataclasses.dataclass(frozen=True)
+class KnowledgeArea:
+    """A knowledge area: a named set of units."""
+
+    name: str
+    units: Sequence[KnowledgeUnit] = ()
+
+    def core_units(self) -> List[KnowledgeUnit]:
+        """Units marked core."""
+        return [u for u in self.units if u.core]
+
+    def pdc_core_units(self) -> List[KnowledgeUnit]:
+        """Core units containing PDC-flagged topics (Tables II/III rows)."""
+        return [u for u in self.core_units() if u.is_pdc_related]
+
+    def unit(self, name: str) -> KnowledgeUnit:
+        """Look up a unit by name."""
+        for u in self.units:
+            if u.name == name:
+                return u
+        raise KeyError(f"no unit {name!r} in {self.name}")

@@ -1,0 +1,78 @@
+"""Degree programs: a named, accreditable collection of courses."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.course import Course, Depth
+from repro.core.taxonomy import CourseType, PdcTopic
+
+__all__ = ["Program"]
+
+
+@dataclasses.dataclass
+class Program:
+    """A degree program.
+
+    ``discipline`` distinguishes CS (CAC criteria) from CE/SE (EAC); the
+    case studies instantiate one of each flavour.
+    """
+
+    name: str
+    institution: str
+    courses: Sequence[Course] = ()
+    discipline: str = "CS"
+    accredited_since: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        codes = [c.code for c in self.courses]
+        if len(set(codes)) != len(codes):
+            raise ValueError("duplicate course codes in program")
+
+    def required_courses(self) -> List[Course]:
+        """Courses every graduate must take — where accreditation looks
+        (paper §II-B: coverage must reach *all* graduating students)."""
+        return [c for c in self.courses if c.required]
+
+    def elective_courses(self) -> List[Course]:
+        """The electives (context, not compliance evidence)."""
+        return [c for c in self.courses if not c.required]
+
+    def course(self, code: str) -> Course:
+        """Look up a course by code."""
+        for c in self.courses:
+            if c.code == code:
+                return c
+        raise KeyError(f"no course {code!r} in {self.name}")
+
+    def courses_of_type(self, course_type: CourseType) -> List[Course]:
+        """All courses of one type."""
+        return [c for c in self.courses if c.course_type is course_type]
+
+    def has_dedicated_pdc_course(self, required_only: bool = True) -> bool:
+        """Does the program include a dedicated parallel-programming course?"""
+        pool = self.required_courses() if required_only else list(self.courses)
+        return any(c.is_dedicated_pdc for c in pool)
+
+    def topic_depths(self, required_only: bool = True) -> Dict[PdcTopic, List[Depth]]:
+        """Every (course, topic) depth claim, grouped by topic."""
+        pool = self.required_courses() if required_only else list(self.courses)
+        out: Dict[PdcTopic, List[Depth]] = {}
+        for course in pool:
+            for topic, depth in course.coverage_map().items():
+                out.setdefault(topic, []).append(depth)
+        return out
+
+    def covered_topics(self, required_only: bool = True) -> List[PdcTopic]:
+        """Topics covered by at least one (required) course."""
+        return sorted(self.topic_depths(required_only), key=lambda t: t.name)
+
+    def earliest_pdc_year(self) -> Optional[int]:
+        """First curriculum year touching any PDC topic (Newhall principle 1)."""
+        years = [
+            c.year
+            for c in self.required_courses()
+            if c.year is not None and c.pdc_topics()
+        ]
+        return min(years) if years else None

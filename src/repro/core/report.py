@@ -1,0 +1,168 @@
+"""Renderers that regenerate every table and figure of the paper.
+
+All renderers return plain strings (monospace tables / horizontal bar
+charts), so benches can ``print`` them and tests can assert on their
+content without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.abet import CAC_CS_CURRICULUM_AREAS, CacCriteria
+from repro.core.ce2016 import ce_pdc_table
+from repro.core.compliance import ComplianceReport
+from repro.core.mapping import TABLE_I
+from repro.core.se2014 import se_pdc_table
+from repro.core.survey import SurveyAnalysis
+from repro.core.taxonomy import CourseType, PdcTopic
+
+__all__ = [
+    "render_fig1",
+    "render_table1",
+    "render_fig2",
+    "render_fig3",
+    "render_table2",
+    "render_table3",
+    "render_case_studies",
+]
+
+_TABLE1_COLUMNS: List[CourseType] = [
+    CourseType.SYSTEMS_PROGRAMMING,
+    CourseType.ARCHITECTURE,
+    CourseType.OPERATING_SYSTEMS,
+    CourseType.DATABASE,
+    CourseType.NETWORKS,
+]
+
+
+def _bar(value: float, max_value: float, width: int = 40) -> str:
+    filled = 0 if max_value <= 0 else round(width * value / max_value)
+    return "#" * filled
+
+
+def render_fig1() -> str:
+    """Fig. 1: the CS Program Criteria curriculum requirement."""
+    lines = [
+        "Fig. 1 — Computer Science Program Criteria (Curriculum)",
+        "",
+        f"At least {CacCriteria.MIN_CS_CREDIT_HOURS:g} semester credit hours "
+        "that must include (among other topics):",
+        "",
+        "  Exposure to:",
+    ]
+    for area in CAC_CS_CURRICULUM_AREAS:
+        lines.append(f"    - {area.value}")
+    return "\n".join(lines)
+
+
+def render_table1() -> str:
+    """Table I: mapping PDC concepts to typical courses."""
+    header_labels = ["SysProg", "Arch", "OS", "DB", "Net"]
+    name_width = max(len(t.label) for t in PdcTopic) + 2
+    lines = [
+        "Table I — Mapping different PDC concepts to typical courses",
+        "",
+        " " * name_width + " | ".join(f"{h:^7}" for h in header_labels),
+        "-" * (name_width + 10 * len(header_labels)),
+    ]
+    for topic in PdcTopic:
+        marks = [
+            f"{'x':^7}" if col in TABLE_I[topic] else f"{'':^7}"
+            for col in _TABLE1_COLUMNS
+        ]
+        lines.append(f"{topic.label:<{name_width}}" + " | ".join(marks))
+    return "\n".join(lines)
+
+
+def render_fig2(analysis: SurveyAnalysis) -> str:
+    """Fig. 2: PDC topics used by surveyed programs (bar chart)."""
+    counts = analysis.topic_counts
+    weights = analysis.topic_weights
+    max_weight = max(weights.values()) if weights else 1.0
+    name_width = max(len(t.label) for t in PdcTopic) + 2
+    lines = [
+        "Fig. 2 — PDC topics used by surveyed programs for ABET accreditation",
+        f"({analysis.num_programs} programs; bar = weighted coverage sum, "
+        "n = programs covering the topic)",
+        "",
+    ]
+    for topic in sorted(
+        PdcTopic, key=lambda t: (-weights[t], -counts[t], t.label)
+    ):
+        lines.append(
+            f"{topic.label:<{name_width}}"
+            f"{_bar(weights[topic], max_weight)} "
+            f"{weights[topic]:g} (n={counts[topic]})"
+        )
+    return "\n".join(lines)
+
+
+def render_fig3(analysis: SurveyAnalysis) -> str:
+    """Fig. 3: courses for PDC content by surveyed programs (percentages)."""
+    pct = analysis.course_percentages
+    max_pct = max(pct.values()) if pct else 1.0
+    name_width = max(len(ct.value) for ct in pct) + 2 if pct else 20
+    lines = [
+        "Fig. 3 — Courses for PDC content by surveyed programs",
+        "(bar = % of all PDC-carrying required courses)",
+        "",
+    ]
+    for ct, value in pct.items():
+        lines.append(f"{ct.value:<{name_width}}{_bar(value, max_pct)} {value:.1f}%")
+    dedicated = analysis.dedicated_course_programs
+    lines.append("")
+    lines.append(
+        f"Programs with a dedicated parallel-programming course: "
+        f"{dedicated} of {analysis.num_programs}"
+    )
+    return "\n".join(lines)
+
+
+def render_table2() -> str:
+    """Table II: PDC in computer engineering knowledge areas (CE2016)."""
+    table = ce_pdc_table()
+    lines = [
+        "Table II — PDC in Computer Engineering knowledge areas [CE2016]",
+        "",
+        f"{'Knowledge Area':<34}PDC-related Core Knowledge Units",
+        "-" * 80,
+    ]
+    for area, units in table.items():
+        first = True
+        for unit in units:
+            lines.append(f"{area if first else '':<34}{unit}")
+            first = False
+    return "\n".join(lines)
+
+
+def render_table3() -> str:
+    """Table III: PDC in software engineering knowledge areas (SE2014)."""
+    table = se_pdc_table()
+    lines = [
+        "Table III — PDC in Software Engineering knowledge areas [SE2014]",
+        "",
+        f"{'Knowledge Area':<26}{'PDC-related Core Topic':<84}Level",
+        "-" * 116,
+    ]
+    for area, topics in table.items():
+        first = True
+        for topic, level in topics:
+            lines.append(
+                f"{area if first else '':<26}{topic:<84}{level.lower()}"
+            )
+            first = False
+    return "\n".join(lines)
+
+
+def render_case_studies(reports: Sequence[ComplianceReport]) -> str:
+    """§IV: the three case-study compliance verdicts."""
+    lines = ["Case studies — PDC compliance (paper §IV)", ""]
+    for report in reports:
+        lines.append(report.summary())
+        lines.append(
+            "    topics: "
+            + ", ".join(t.label for t in report.covered_topics)
+        )
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""SE2014 (SEEK): software engineering knowledge areas with PDC topics.
+
+Table III of the paper:
+
+================  ==================================================
+Knowledge Area    PDC-related Core Topics
+================  ==================================================
+Computing         Concurrency primitives (e.g., semaphores and
+Essentials        monitors); Construction methods for distributed
+                  software (e.g., cloud and mobile computing)
+================  ==================================================
+
+Paper §V: "SEEK comprises 10 knowledge areas"; "Both topics are
+classified as essential to the core and expected to be met at the
+application level."  The encoding carries exactly that: both PDC topics
+sit in Computing Essentials' construction-technologies unit, essential,
+at :attr:`~repro.core.knowledge.CognitiveLevel.APPLICATION`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.knowledge import (
+    CognitiveLevel,
+    KnowledgeArea,
+    KnowledgeUnit,
+    TopicSpec,
+)
+
+__all__ = ["SEEK_AREAS", "se_pdc_table", "SEEK_AREA_COUNT"]
+
+_A = CognitiveLevel.APPLICATION
+_C = CognitiveLevel.COMPREHENSION
+
+SEEK_AREA_COUNT = 10
+
+SEEK_AREAS: List[KnowledgeArea] = [
+    KnowledgeArea(
+        name="Computing Essentials",
+        units=(
+            KnowledgeUnit(
+                name="Construction technologies",
+                core=True,
+                topics=(
+                    TopicSpec(
+                        "Concurrency primitives (e.g., semaphores and monitors)",
+                        _A,
+                        pdc_related=True,
+                    ),
+                    TopicSpec(
+                        "Construction methods for distributed software "
+                        "(e.g., cloud and mobile computing)",
+                        _A,
+                        pdc_related=True,
+                    ),
+                    TopicSpec("Error handling and defensive programming", _A),
+                ),
+            ),
+            KnowledgeUnit(
+                name="Computer science foundations",
+                core=True,
+                topics=(TopicSpec("Data structures and algorithms", _A),),
+            ),
+        ),
+    ),
+    # The other nine SEEK areas (no PDC-related essential topics in Table III).
+    KnowledgeArea(name="Mathematical and Engineering Fundamentals"),
+    KnowledgeArea(name="Professional Practice"),
+    KnowledgeArea(name="Software Modeling and Analysis"),
+    KnowledgeArea(name="Requirements Analysis and Specification"),
+    KnowledgeArea(name="Software Design"),
+    KnowledgeArea(name="Software Verification and Validation"),
+    KnowledgeArea(name="Software Process"),
+    KnowledgeArea(name="Software Quality"),
+    KnowledgeArea(name="Security"),
+]
+
+
+def se_pdc_table() -> Dict[str, List[Tuple[str, str]]]:
+    """Regenerate Table III: area → [(PDC core topic, cognitive level)].
+
+    Levels come out as names (``"APPLICATION"``) so reports can assert
+    the paper's "expected to be met at the application level".
+    """
+    table: Dict[str, List[Tuple[str, str]]] = {}
+    for area in SEEK_AREAS:
+        rows: List[Tuple[str, str]] = []
+        for unit in area.pdc_core_units():
+            for topic in unit.pdc_topics():
+                rows.append((topic.name, topic.level.name))
+        if rows:
+            table[area.name] = rows
+    return table

@@ -1,0 +1,201 @@
+"""The §III survey: 20 top accredited programs, synthesized and analyzed.
+
+**Substitution note (DESIGN.md):** the paper's authors read 20 real
+program catalogs (US News top-100, ABET-accredited) — data that is not
+published with the paper.  :func:`generate_survey` synthesizes 20
+ABET-plausible programs calibrated to everything §III *does* report:
+
+- exactly **one** of the 20 has a dedicated parallel-programming course,
+  "while the remaining programs used multiple courses to cover PDC
+  topics";
+- per-course topic incidence follows Table I's mapping (a topic is likely
+  in a course type its row marks, rare elsewhere), so the most common
+  topic is "parallelism and concurrency" (marked in all five columns) and
+  the PDC-heaviest course types are OS and architecture;
+- every program is accreditation-plausible: ≥ 40 required CS credit
+  hours and required courses in all five exposure areas.
+
+The analysis half (:class:`SurveyAnalysis`) is the paper's actual method
+and runs unchanged on *real* program encodings (the case studies use it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.course import Course, Coverage, Depth
+from repro.core.coverage import (
+    course_type_percentages,
+    topic_program_counts,
+    weighted_topic_scores,
+)
+from repro.core.mapping import TABLE_I
+from repro.core.program import Program
+from repro.core.taxonomy import CourseType, PdcTopic
+
+__all__ = ["generate_survey", "SurveyAnalysis", "analyze_survey"]
+
+#: The required-course skeleton every synthetic program shares
+#: (course type, base code, title, credits, typical year).
+_SKELETON: List[Tuple[CourseType, str, str, float, int]] = [
+    (CourseType.INTRO_PROGRAMMING, "CS101", "Programming I", 4.0, 1),
+    (CourseType.INTRO_PROGRAMMING, "CS102", "Programming II", 4.0, 1),
+    (CourseType.ALGORITHMS, "CS240", "Data Structures", 3.0, 2),
+    (CourseType.ALGORITHMS, "CS340", "Design and Analysis of Algorithms", 3.0, 3),
+    (CourseType.ARCHITECTURE, "CS220", "Computer Organization", 3.0, 2),
+    (CourseType.ARCHITECTURE, "CS320", "Computer Architecture", 3.0, 3),
+    (CourseType.SYSTEMS_PROGRAMMING, "CS250", "Systems Programming", 3.0, 2),
+    (CourseType.OPERATING_SYSTEMS, "CS350", "Operating Systems", 3.0, 3),
+    (CourseType.DATABASE, "CS360", "Database Systems", 3.0, 3),
+    (CourseType.NETWORKS, "CS370", "Computer Networks", 3.0, 3),
+    (CourseType.PROGRAMMING_LANGUAGES, "CS330", "Programming Languages", 3.0, 3),
+    (CourseType.SOFTWARE_ENGINEERING, "CS380", "Software Engineering", 3.0, 3),
+    (CourseType.ALGORITHMS, "CS490", "Capstone Project", 4.0, 4),
+]
+
+#: Probability that a course of a given type covers a topic: high when
+#: Table I marks the cell, low otherwise.  Architecture and OS run hotter
+#: (the paper's §III singles them out as the natural PDC carriers).
+_MARKED_P = {
+    CourseType.ARCHITECTURE: 0.9,
+    CourseType.OPERATING_SYSTEMS: 0.9,
+    CourseType.SYSTEMS_PROGRAMMING: 0.7,
+    CourseType.DATABASE: 0.7,
+    CourseType.NETWORKS: 0.7,
+}
+_UNMARKED_P = 0.015
+
+#: Topics a dedicated parallel-programming course always covers (the LAU
+#: §IV-A course description, generalized).
+_DEDICATED_TOPICS = [
+    PdcTopic.THREADS,
+    PdcTopic.PARALLELISM_CONCURRENCY,
+    PdcTopic.SHARED_MEMORY_PROGRAMMING,
+    PdcTopic.ATOMICITY,
+    PdcTopic.PERFORMANCE,
+    PdcTopic.MULTICORE,
+    PdcTopic.SHARED_VS_DISTRIBUTED,
+    PdcTopic.SIMD_VECTOR,
+    PdcTopic.IPC,
+]
+
+
+def _coverage_for(
+    course_type: CourseType, rng: np.random.Generator
+) -> List[Coverage]:
+    out: List[Coverage] = []
+    for topic, marked_types in TABLE_I.items():
+        marked = course_type in marked_types
+        p = _MARKED_P.get(course_type, 0.6) if marked else _UNMARKED_P
+        if rng.random() < p:
+            depth = Depth(int(rng.choice([1, 1, 2, 2, 3])))
+            out.append(Coverage(topic, depth))
+    return out
+
+
+def generate_survey(
+    n: int = 20, seed: int = 2021, dedicated_index: int = 7
+) -> List[Program]:
+    """Synthesize ``n`` accredited programs; program ``dedicated_index``
+    carries the survey's single dedicated PDC course."""
+    if not 0 <= dedicated_index < n:
+        raise ValueError("dedicated_index out of range")
+    rng = np.random.default_rng(seed)
+    programs: List[Program] = []
+    for i in range(n):
+        courses: List[Course] = []
+        for ctype, code, title, credits, year in _SKELETON:
+            coverage = (
+                _coverage_for(ctype, rng)
+                if ctype not in (CourseType.INTRO_PROGRAMMING,)
+                or rng.random() < 0.5
+                else []
+            )
+            if ctype is CourseType.INTRO_PROGRAMMING and coverage:
+                # Intro courses only ever brush threads/client-server.
+                coverage = [
+                    c
+                    for c in coverage
+                    if c.topic in (PdcTopic.THREADS, PdcTopic.CLIENT_SERVER)
+                ]
+            courses.append(
+                Course(
+                    code=code,
+                    title=title,
+                    course_type=ctype,
+                    credits=credits,
+                    required=True,
+                    coverage=coverage,
+                    year=year,
+                )
+            )
+        if i == dedicated_index:
+            courses.append(
+                Course(
+                    code="CS440",
+                    title="Parallel Programming",
+                    course_type=CourseType.PARALLEL_PROGRAMMING,
+                    credits=3.0,
+                    required=True,
+                    coverage=[Coverage(t, Depth.MASTERY) for t in _DEDICATED_TOPICS],
+                    year=4,
+                )
+            )
+        programs.append(
+            Program(
+                name=f"Synthetic University {i + 1:02d} — BS Computer Science",
+                institution=f"Synthetic University {i + 1:02d}",
+                courses=courses,
+                discipline="CS",
+                accredited_since=int(rng.integers(1990, 2019)),
+            )
+        )
+    return programs
+
+
+@dataclasses.dataclass
+class SurveyAnalysis:
+    """Everything §III reports, computed from a program list."""
+
+    num_programs: int
+    dedicated_course_programs: int
+    topic_counts: Dict[PdcTopic, int]  # Fig. 2: programs covering each topic
+    topic_weights: Dict[PdcTopic, float]  # §III: the weighted sums
+    course_percentages: Dict[CourseType, float]  # Fig. 3
+
+    def top_topics(self, k: int = 5) -> List[PdcTopic]:
+        """The k most-emphasized topics by the §III weighted sum.
+
+        Program counts saturate at ``num_programs`` for widely-taught
+        topics, so the ranking uses the weighted sums (the paper's own
+        metric), with program counts as the tie-breaker.
+        """
+        ranked = sorted(
+            self.topic_weights,
+            key=lambda t: (-self.topic_weights[t], -self.topic_counts[t], t.name),
+        )
+        return ranked[:k]
+
+    def top_course_types(self, k: int = 3) -> List[CourseType]:
+        """The k course types carrying the most PDC content (Fig. 3)."""
+        ranked = sorted(
+            self.course_percentages,
+            key=lambda ct: (-self.course_percentages[ct], ct.value),
+        )
+        return ranked[:k]
+
+
+def analyze_survey(programs: Sequence[Program]) -> SurveyAnalysis:
+    """Run the paper's §III analysis over any set of programs."""
+    return SurveyAnalysis(
+        num_programs=len(programs),
+        dedicated_course_programs=sum(
+            1 for p in programs if p.has_dedicated_pdc_course()
+        ),
+        topic_counts=topic_program_counts(programs),
+        topic_weights=weighted_topic_scores(programs, weighted=True),
+        course_percentages=course_type_percentages(programs),
+    )

@@ -1,0 +1,117 @@
+"""The PDC vocabulary: topics (Table I rows), course types (its columns),
+and the CDER concept triad.
+
+Table I of the paper maps fourteen PDC concepts onto five typical course
+types; those fourteen concepts are this module's :class:`PdcTopic` enum —
+the shared vocabulary every other part of :mod:`repro.core` (courses,
+surveys, compliance, reports) speaks.  CDER's triad (*concurrency*,
+*parallelism*, *distribution* — paper §II-B, [24]) classifies each topic.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+__all__ = ["CderConcept", "PdcTopic", "CourseType", "TOPIC_CONCEPTS"]
+
+
+class CderConcept(enum.Enum):
+    """The three core PDC concepts identified by CDER [24]."""
+
+    CONCURRENCY = "concurrency"
+    PARALLELISM = "parallelism"
+    DISTRIBUTION = "distribution"
+
+
+class PdcTopic(enum.Enum):
+    """The fourteen PDC concepts of Table I, in the paper's row order."""
+
+    THREADS = "Programming with threads"
+    TRANSACTIONS = "Transactions processing"
+    PARALLELISM_CONCURRENCY = "Parallelism and concurrency"
+    SHARED_MEMORY_PROGRAMMING = "Shared-Memory programming"
+    IPC = "Inter-Process Communication (IPC)"
+    ATOMICITY = "Atomicity"
+    PERFORMANCE = "Performance measurement, speed-up, and scalability"
+    MULTICORE = "Multicore processors"
+    SHARED_VS_DISTRIBUTED = "Shared vs. distributed memory"
+    SIMD_VECTOR = "SIMD and vector processors"
+    ILP = "Instruction Level Parallelism"
+    FLYNN = "Flynn's taxonomy"
+    CLIENT_SERVER = "Client-server programming"
+    MEMORY_CACHING = "Memory and caching"
+
+    @property
+    def label(self) -> str:
+        """The Table I row label."""
+        return self.value
+
+
+class CourseType(enum.Enum):
+    """Course categories.
+
+    The first five are Table I's columns; the rest appear in §III's
+    enumeration of PDC-capable courses and in the case studies (§IV), and
+    are needed to encode real programs and the survey.
+    """
+
+    SYSTEMS_PROGRAMMING = "Systems Programming"
+    ARCHITECTURE = "Computer Organization/Architecture"
+    OPERATING_SYSTEMS = "Operating Systems"
+    DATABASE = "Database Systems"
+    NETWORKS = "Computer Networks"
+    # Beyond Table I's columns:
+    PARALLEL_PROGRAMMING = "Parallel Programming (dedicated)"
+    ALGORITHMS = "Design and Analysis of Algorithms"
+    PROGRAMMING_LANGUAGES = "Programming Languages"
+    SOFTWARE_ENGINEERING = "Software Engineering"
+    DISTRIBUTED_SYSTEMS = "Distributed Systems"
+    INTRO_PROGRAMMING = "Introductory Programming Sequence"
+
+    @property
+    def in_table1(self) -> bool:
+        """Whether this course type is one of Table I's five columns."""
+        return self in _TABLE1_COLUMNS
+
+
+_TABLE1_COLUMNS = {
+    CourseType.SYSTEMS_PROGRAMMING,
+    CourseType.ARCHITECTURE,
+    CourseType.OPERATING_SYSTEMS,
+    CourseType.DATABASE,
+    CourseType.NETWORKS,
+}
+
+
+#: CDER concept classification of each Table I topic (paper §II-B).
+TOPIC_CONCEPTS: Dict[PdcTopic, List[CderConcept]] = {
+    PdcTopic.THREADS: [CderConcept.CONCURRENCY, CderConcept.PARALLELISM],
+    PdcTopic.TRANSACTIONS: [CderConcept.CONCURRENCY, CderConcept.DISTRIBUTION],
+    PdcTopic.PARALLELISM_CONCURRENCY: [
+        CderConcept.CONCURRENCY,
+        CderConcept.PARALLELISM,
+    ],
+    PdcTopic.SHARED_MEMORY_PROGRAMMING: [
+        CderConcept.CONCURRENCY,
+        CderConcept.PARALLELISM,
+    ],
+    PdcTopic.IPC: [CderConcept.CONCURRENCY, CderConcept.DISTRIBUTION],
+    PdcTopic.ATOMICITY: [CderConcept.CONCURRENCY],
+    PdcTopic.PERFORMANCE: [CderConcept.PARALLELISM],
+    PdcTopic.MULTICORE: [CderConcept.PARALLELISM],
+    PdcTopic.SHARED_VS_DISTRIBUTED: [
+        CderConcept.PARALLELISM,
+        CderConcept.DISTRIBUTION,
+    ],
+    PdcTopic.SIMD_VECTOR: [CderConcept.PARALLELISM],
+    PdcTopic.ILP: [CderConcept.PARALLELISM],
+    PdcTopic.FLYNN: [CderConcept.PARALLELISM],
+    PdcTopic.CLIENT_SERVER: [CderConcept.DISTRIBUTION],
+    PdcTopic.MEMORY_CACHING: [CderConcept.PARALLELISM],
+}
+
+
+def topics_for_concept(concept: CderConcept) -> List[PdcTopic]:
+    """All Table I topics touching one CDER concept."""
+    return [t for t, cs in TOPIC_CONCEPTS.items() if concept in cs]

@@ -1,0 +1,50 @@
+"""Database transaction concurrency (Table I's database-systems column).
+
+"A database management course can incorporate distributed computing
+concepts including transactions processing, scheduling concurrent
+transactions, transactions locks, and deadlocks" (paper §III).  This
+subpackage is that course's lab substrate:
+
+- :mod:`repro.db.transaction` — transactions as operation scripts, and
+  schedules (histories) over them.
+- :mod:`repro.db.serializability` — conflict-serializability testing via
+  the precedence graph, with an equivalent serial order when one exists.
+- :mod:`repro.db.locking` — a shared/exclusive lock manager with strict
+  two-phase locking, deadlock detection on the wait-for graph, and
+  wait-die / wound-wait prevention variants for the ablation bench.
+- :mod:`repro.db.engine` — a deterministic concurrent-transaction
+  executor that interleaves scripts under the lock manager, aborts
+  deadlock victims, and retries them.
+"""
+
+from repro.db.engine import ExecutionReport, TransactionEngine
+from repro.db.locking import (
+    DeadlockPolicy,
+    LockManager,
+    LockMode,
+    TransactionAborted,
+)
+from repro.db.serializability import (
+    conflicts,
+    is_conflict_serializable,
+    precedence_graph,
+    serial_order,
+)
+from repro.db.transaction import Op, OpKind, Schedule, Transaction
+
+__all__ = [
+    "conflicts",
+    "DeadlockPolicy",
+    "ExecutionReport",
+    "is_conflict_serializable",
+    "LockManager",
+    "LockMode",
+    "Op",
+    "OpKind",
+    "precedence_graph",
+    "Schedule",
+    "serial_order",
+    "Transaction",
+    "TransactionAborted",
+    "TransactionEngine",
+]

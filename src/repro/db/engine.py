@@ -1,0 +1,245 @@
+"""A deterministic concurrent-transaction executor.
+
+The engine interleaves transaction scripts (round-robin by default, or any
+explicit turn order), acquiring strict-2PL locks through the
+:class:`~repro.db.locking.LockManager`.  Blocked transactions skip their
+turn; deadlock victims abort, roll their writes back, and retry from the
+start.  The produced history (with commits) is returned as a
+:class:`~repro.db.transaction.Schedule`, so the 2PL serializability
+guarantee is directly checkable::
+
+    report = TransactionEngine(txns).run()
+    assert is_conflict_serializable(report.history)   # always holds
+
+Writes are *semantic* when the transaction provides ``compute``: at its
+first write, the transaction's accumulated read snapshot is passed to
+``compute``, which returns the values to write (a bank transfer reads two
+balances and writes their updates).  Without ``compute``, each write sets
+``item = <txn id marker>``, enough for serializability analysis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.db.locking import (
+    DeadlockPolicy,
+    LockManager,
+    LockMode,
+    TransactionAborted,
+)
+from repro.db.transaction import Op, OpKind, Schedule, Transaction
+
+__all__ = ["ExecutionReport", "TransactionEngine"]
+
+
+@dataclasses.dataclass
+class ExecutionReport:
+    """Outcome of one engine run."""
+
+    history: Schedule
+    database: Dict[str, Any]
+    aborts: int
+    deadlocks: int
+    turns: int
+    committed: List[int]
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborts per committed transaction."""
+        return self.aborts / len(self.committed) if self.committed else 0.0
+
+
+@dataclasses.dataclass
+class _TxnState:
+    txn: Transaction
+    pc: int = 0
+    snapshot: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    pending_writes: Optional[Dict[str, Any]] = None
+    undo: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    done: bool = False
+    restarts: int = 0
+    wake_turn: int = 0  # restart backoff: no turns before this global turn
+
+
+class TransactionEngine:
+    """Run transaction scripts concurrently under strict 2PL."""
+
+    def __init__(
+        self,
+        transactions: Sequence[Transaction],
+        database: Optional[Dict[str, Any]] = None,
+        policy: DeadlockPolicy = DeadlockPolicy.DETECTION,
+    ) -> None:
+        tids = [t.tid for t in transactions]
+        if len(set(tids)) != len(tids):
+            raise ValueError("transaction ids must be unique")
+        self.transactions = list(transactions)
+        self.database: Dict[str, Any] = dict(database or {})
+        self.locks = LockManager(policy)
+        self.history: List[Op] = []
+        self.deadlocks = 0
+        self.aborts = 0
+
+    def run(
+        self,
+        turn_order: Optional[Sequence[int]] = None,
+        max_turns: int = 100_000,
+    ) -> ExecutionReport:
+        """Execute all transactions to commit.
+
+        ``turn_order``: optional explicit sequence of transaction ids; by
+        default a round-robin over unfinished transactions.  Each turn a
+        transaction executes (at most) one operation.
+        """
+        states = {t.tid: _TxnState(t) for t in self.transactions}
+        committed: List[int] = []
+        turns = 0
+        explicit = list(turn_order) if turn_order is not None else None
+        explicit_pos = 0
+
+        def next_tid() -> Optional[int]:
+            nonlocal explicit_pos
+            if explicit is not None:
+                while explicit_pos < len(explicit):
+                    tid = explicit[explicit_pos]
+                    explicit_pos += 1
+                    if not states[tid].done:
+                        return tid
+                # Fall back to round-robin for whatever remains (retries).
+            for tid in sorted(states):
+                if not states[tid].done:
+                    return tid
+            return None
+
+        rr_cursor = 0
+
+        def round_robin() -> Optional[int]:
+            nonlocal rr_cursor
+            live = [tid for tid in sorted(states) if not states[tid].done]
+            if not live:
+                return None
+            # Respect restart backoff; if everyone is backing off, wake the
+            # one due soonest rather than spinning.
+            eligible = [t for t in live if states[t].wake_turn <= turns]
+            if not eligible:
+                eligible = [min(live, key=lambda t: states[t].wake_turn)]
+            tid = eligible[rr_cursor % len(eligible)]
+            rr_cursor += 1
+            return tid
+
+        while True:
+            if turns >= max_turns:
+                raise RuntimeError("engine exceeded max_turns (livelock?)")
+            tid = next_tid() if explicit is not None and explicit_pos < len(explicit) else round_robin()
+            if tid is None:
+                break
+            turns += 1
+            state = states[tid]
+            progressed = False
+            # At most two attempts: a wound/abort of *another* transaction
+            # frees the lock, and the requester must retry immediately or
+            # the victim's restart re-takes the lock first (livelock).
+            for _attempt in range(2):
+                try:
+                    progressed = self._step(state)
+                    break
+                except TransactionAborted as aborted:
+                    self.aborts += len(aborted.txns)
+                    if aborted.reason == "deadlock-victim":
+                        self.deadlocks += 1
+                    for victim in aborted.txns:
+                        vstate = states[victim]
+                        self._rollback(vstate)
+                        # Deterministic, per-victim-distinct backoff: breaks
+                        # the lockstep in which a clique of retried
+                        # transactions re-forms the identical deadlock
+                        # every round-robin period.
+                        vstate.wake_turn = turns + (4 + victim) * vstate.restarts
+                    if tid in aborted.txns:
+                        break  # the current transaction died; yield the turn
+            if progressed and state.pc >= len(state.txn.ops):
+                self._commit(state)
+                committed.append(tid)
+
+        return ExecutionReport(
+            history=Schedule(self.history),
+            database=dict(self.database),
+            aborts=self.aborts,
+            deadlocks=self.deadlocks,
+            turns=turns,
+            committed=committed,
+        )
+
+    # -- per-operation execution -----------------------------------------------
+    def _step(self, state: _TxnState) -> bool:
+        """Execute one operation of one transaction; False if blocked."""
+        op = state.txn.ops[state.pc]
+        mode = LockMode.S if op.kind is OpKind.READ else LockMode.X
+        assert op.item is not None
+        if not self.locks.acquire(state.txn.tid, op.item, mode):
+            return False
+        if op.kind is OpKind.READ:
+            state.snapshot[op.item] = self.database.get(op.item, 0)
+        else:
+            if state.pending_writes is None:
+                state.pending_writes = self._computed_writes(state)
+            if op.item not in state.undo:
+                state.undo[op.item] = self.database.get(op.item, 0)
+            value = state.pending_writes.get(op.item, f"T{state.txn.tid}")
+            self.database[op.item] = value
+        self.history.append(op)
+        state.pc += 1
+        return True
+
+    def _computed_writes(self, state: _TxnState) -> Dict[str, Any]:
+        compute = state.txn.compute
+        if compute is None:
+            return {}
+        fn: Callable[[Dict[str, Any]], Dict[str, Any]] = compute  # type: ignore[assignment]
+        return dict(fn(dict(state.snapshot)))
+
+    def _commit(self, state: _TxnState) -> None:
+        state.done = True
+        self.history.append(Op.commit(state.txn.tid))
+        self.locks.release_all(state.txn.tid)
+
+    def _rollback(self, state: _TxnState) -> None:
+        """Undo writes, release locks, record the abort, retry from scratch."""
+        for item, old in state.undo.items():
+            self.database[item] = old
+        self.history.append(Op.abort(state.txn.tid))
+        self.locks.release_all(state.txn.tid)
+        state.pc = 0
+        state.snapshot = {}
+        state.pending_writes = None
+        state.undo = {}
+        state.restarts += 1
+        if state.restarts > 100:
+            raise RuntimeError(
+                f"T{state.txn.tid} restarted >100 times (livelock)"
+            )
+
+
+def committed_projection(history: Schedule) -> Schedule:
+    """The committed projection of a history.
+
+    Keeps only operations of committed transactions, and for a transaction
+    that aborted and retried, only the operations of its *final* (committed)
+    attempt — rolled-back work is undone and must not contribute conflict
+    edges.
+    """
+    committed = {op.txn for op in history.ops if op.kind is OpKind.COMMIT}
+    last_abort: Dict[int, int] = {}
+    for pos, op in enumerate(history.ops):
+        if op.kind is OpKind.ABORT:
+            last_abort[op.txn] = pos
+    kept = [
+        op
+        for pos, op in enumerate(history.ops)
+        if op.txn in committed
+        and op.kind is not OpKind.ABORT
+        and pos > last_abort.get(op.txn, -1)
+    ]
+    return Schedule(kept)

@@ -1,0 +1,223 @@
+"""Shared/exclusive locking with strict 2PL and deadlock handling.
+
+The lock manager is a deterministic, single-threaded simulation object
+(the engine interleaves transactions explicitly), which makes deadlock
+scenarios exactly reproducible in tests — the property that makes this a
+better lab substrate than "run threads and hope".
+
+Three deadlock policies, ablated in the benches:
+
+- ``DETECTION`` — waits-for graph (:class:`repro.smp.deadlock.WaitForGraph`
+  machinery re-expressed for S/X locks); on a cycle the youngest
+  transaction in the cycle aborts.
+- ``WAIT_DIE`` — non-preemptive prevention: an older requester waits; a
+  younger one dies (aborts) immediately.
+- ``WOUND_WAIT`` — preemptive prevention: an older requester wounds
+  (aborts) the younger holders; a younger requester waits.
+
+Transaction age = transaction id (lower id == older), the standard
+timestamp convention.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+__all__ = ["LockMode", "DeadlockPolicy", "TransactionAborted", "LockManager"]
+
+
+class LockMode(enum.Enum):
+    """Shared (read) or exclusive (write) lock."""
+
+    S = "S"
+    X = "X"
+
+
+class DeadlockPolicy(enum.Enum):
+    """How lock conflicts that could deadlock are resolved."""
+
+    DETECTION = "detection"
+    WAIT_DIE = "wait-die"
+    WOUND_WAIT = "wound-wait"
+
+
+class TransactionAborted(RuntimeError):
+    """Raised toward the engine when transactions must abort.
+
+    Attributes
+    ----------
+    txns:
+        The aborted transaction ids (wound-wait can wound several shared
+        holders at once).
+    txn:
+        The first victim (convenience for the single-victim policies).
+    reason:
+        ``"deadlock-victim"``, ``"wait-die"``, or ``"wounded"``.
+    """
+
+    def __init__(self, txns: "int | List[int]", reason: str) -> None:
+        victims = [txns] if isinstance(txns, int) else list(txns)
+        names = ", ".join(f"T{t}" for t in victims)
+        super().__init__(f"{names} aborted ({reason})")
+        self.txns = victims
+        self.txn = victims[0]
+        self.reason = reason
+
+
+@dataclasses.dataclass
+class _ItemLock:
+    mode: Optional[LockMode] = None
+    holders: Set[int] = dataclasses.field(default_factory=set)
+    queue: List[int] = dataclasses.field(default_factory=list)  # FIFO waiters
+
+
+class LockManager:
+    """The S/X lock table.
+
+    :meth:`acquire` returns ``True`` (granted) or ``False`` (must wait);
+    it raises :class:`TransactionAborted` when the policy kills someone —
+    either the requester itself, or (``WOUND_WAIT``) a *different*
+    transaction, reported via the exception's ``txn`` field.
+    Strict 2PL: locks are only ever released by :meth:`release_all`.
+    """
+
+    def __init__(self, policy: DeadlockPolicy = DeadlockPolicy.DETECTION) -> None:
+        self.policy = policy
+        self._table: Dict[str, _ItemLock] = {}
+        self._waits_for: Dict[int, Tuple[str, LockMode]] = {}  # txn -> want
+        self.aborts = 0
+        self.deadlocks_detected = 0
+        self._abort_counts: Dict[int, int] = {}
+
+    # -- compatibility -------------------------------------------------------
+    @staticmethod
+    def _compatible(mode: LockMode, lock: _ItemLock, txn: int) -> bool:
+        if lock.mode is None or not lock.holders:
+            return True
+        if lock.holders == {txn}:
+            return True  # re-entrant / upgrade by the sole holder
+        if mode is LockMode.S and lock.mode is LockMode.S:
+            return True
+        return False
+
+    def holders_of(self, item: str) -> Set[int]:
+        """Transactions currently holding a lock on ``item``."""
+        return set(self._table.get(item, _ItemLock()).holders)
+
+    def locks_held(self, txn: int) -> List[Tuple[str, LockMode]]:
+        """All ``(item, mode)`` locks held by ``txn``."""
+        out = []
+        for item, lock in self._table.items():
+            if txn in lock.holders and lock.mode is not None:
+                out.append((item, lock.mode))
+        return out
+
+    # -- acquisition ------------------------------------------------------------
+    def acquire(self, txn: int, item: str, mode: LockMode) -> bool:
+        """Try to take ``mode`` on ``item``; see class docs for outcomes.
+
+        Grants are FIFO-fair: a request compatible with the current holders
+        still waits behind earlier waiters (no barging), which is what
+        guarantees a restarted deadlock victim cannot starve the older
+        transaction it collided with.
+        """
+        lock = self._table.setdefault(item, _ItemLock())
+        ahead = [w for w in lock.queue if w != txn]
+        may_grant = (
+            not ahead or lock.queue[0] == txn or lock.holders == {txn}
+        )
+        if self._compatible(mode, lock, txn) and may_grant:
+            lock.holders.add(txn)
+            if lock.mode is None or mode is LockMode.X:
+                lock.mode = mode
+            if txn in lock.queue:
+                lock.queue.remove(txn)
+            self._waits_for.pop(txn, None)
+            return True
+
+        # Blockers: current holders plus everyone ahead in the FIFO.
+        blockers = (lock.holders | set(ahead)) - {txn}
+        if self.policy is DeadlockPolicy.WAIT_DIE:
+            if any(txn > other for other in blockers):
+                # Younger than some holder: die.
+                self.aborts += 1
+                raise TransactionAborted(txn, "wait-die")
+            self._enqueue(lock, txn)
+            self._waits_for[txn] = (item, mode)
+            return False
+        if self.policy is DeadlockPolicy.WOUND_WAIT:
+            younger = sorted(
+                (other for other in blockers if other > txn), reverse=True
+            )
+            if younger:
+                # Older requester wounds every younger blocking holder.
+                self.aborts += len(younger)
+                raise TransactionAborted(younger, "wounded")
+            self._enqueue(lock, txn)
+            self._waits_for[txn] = (item, mode)
+            return False
+
+        # DETECTION: record the wait, look for a cycle.
+        self._enqueue(lock, txn)
+        self._waits_for[txn] = (item, mode)
+        cycle = self._find_cycle()
+        if cycle is not None:
+            self.deadlocks_detected += 1
+            # Victim: fewest prior aborts (prevents picking the same victim
+            # forever — the textbook "avoid starving the victim" rule),
+            # tie-broken by youth (highest id).
+            victim = min(
+                cycle, key=lambda t: (self._abort_counts.get(t, 0), -t)
+            )
+            self.aborts += 1
+            self._abort_counts[victim] = self._abort_counts.get(victim, 0) + 1
+            raise TransactionAborted(victim, "deadlock-victim")
+        return False
+
+    @staticmethod
+    def _enqueue(lock: _ItemLock, txn: int) -> None:
+        if txn not in lock.queue:
+            lock.queue.append(txn)
+
+    def _find_cycle(self) -> Optional[List[int]]:
+        g = nx.DiGraph()
+        for waiter, (item, _mode) in self._waits_for.items():
+            lock = self._table.get(item, _ItemLock())
+            # A waiter waits on the holders *and* on earlier queued waiters
+            # (FIFO grants mean the predecessor really does block it).
+            blockers = set(lock.holders)
+            if waiter in lock.queue:
+                blockers.update(lock.queue[: lock.queue.index(waiter)])
+            for blocker in blockers:
+                if blocker != waiter:
+                    g.add_edge(waiter, blocker)
+        try:
+            return [edge[0] for edge in nx.find_cycle(g)]
+        except nx.NetworkXNoCycle:
+            return None
+
+    # -- release -------------------------------------------------------------------
+    def release_all(self, txn: int) -> List[str]:
+        """Strict 2PL release at commit/abort; returns the freed items."""
+        freed: List[str] = []
+        for item, lock in self._table.items():
+            if txn in lock.queue:
+                lock.queue.remove(txn)
+            if txn in lock.holders:
+                lock.holders.discard(txn)
+                if not lock.holders:
+                    lock.mode = None
+                    freed.append(item)
+                elif lock.mode is LockMode.X:
+                    # The remaining holders must have been S-compatible.
+                    lock.mode = LockMode.S
+        self._waits_for.pop(txn, None)
+        return freed
+
+    def waiting(self, txn: int) -> Optional[Tuple[str, LockMode]]:
+        """What ``txn`` is currently waiting for, if anything."""
+        return self._waits_for.get(txn)

@@ -1,0 +1,88 @@
+"""Conflict-serializability via the precedence graph.
+
+The decision procedure every database course teaches: build the directed
+graph whose nodes are transactions and whose edges follow conflicting
+operation pairs; the schedule is conflict-serializable iff the graph is
+acyclic, and any topological order is an equivalent serial schedule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from repro.db.transaction import Op, OpKind, Schedule
+
+__all__ = [
+    "conflicts",
+    "precedence_graph",
+    "is_conflict_serializable",
+    "serial_order",
+    "is_recoverable",
+]
+
+
+def conflicts(schedule: Schedule) -> List[Tuple[Op, Op]]:
+    """All ordered conflicting pairs ``(earlier, later)`` in the history."""
+    pairs: List[Tuple[Op, Op]] = []
+    ops = [op for op in schedule.ops if op.kind in (OpKind.READ, OpKind.WRITE)]
+    for i, earlier in enumerate(ops):
+        for later in ops[i + 1 :]:
+            if earlier.conflicts_with(later):
+                pairs.append((earlier, later))
+    return pairs
+
+
+def precedence_graph(schedule: Schedule) -> nx.DiGraph:
+    """The conflict (serialization) graph of the history."""
+    g = nx.DiGraph()
+    g.add_nodes_from(schedule.transactions())
+    for earlier, later in conflicts(schedule):
+        g.add_edge(earlier.txn, later.txn)
+    return g
+
+
+def is_conflict_serializable(schedule: Schedule) -> bool:
+    """True iff the precedence graph is acyclic."""
+    return nx.is_directed_acyclic_graph(precedence_graph(schedule))
+
+
+def serial_order(schedule: Schedule) -> Optional[List[int]]:
+    """An equivalent serial transaction order, or ``None`` if none exists.
+
+    Deterministic: among ready transactions, the lowest id goes first
+    (lexicographic topological sort).
+    """
+    g = precedence_graph(schedule)
+    if not nx.is_directed_acyclic_graph(g):
+        return None
+    return list(nx.lexicographical_topological_sort(g))
+
+
+def is_recoverable(schedule: Schedule) -> bool:
+    """Recoverability: a reader of T's dirty data commits only after T.
+
+    For every read by Tj of an item last written by Ti (i != j), Ti's
+    commit must precede Tj's commit in the history.  Histories missing a
+    commit for a reading transaction are treated as recoverable-so-far.
+    """
+    commit_pos = {
+        op.txn: pos
+        for pos, op in enumerate(schedule.ops)
+        if op.kind is OpKind.COMMIT
+    }
+    last_writer: dict[str, int] = {}
+    reads_from: List[Tuple[int, int]] = []  # (reader, writer)
+    for op in schedule.ops:
+        if op.kind is OpKind.WRITE and op.item is not None:
+            last_writer[op.item] = op.txn
+        elif op.kind is OpKind.READ and op.item is not None:
+            writer = last_writer.get(op.item)
+            if writer is not None and writer != op.txn:
+                reads_from.append((op.txn, writer))
+    for reader, writer in reads_from:
+        if reader in commit_pos:
+            if writer not in commit_pos or commit_pos[writer] > commit_pos[reader]:
+                return False
+    return True

@@ -1,0 +1,164 @@
+"""Transactions as operation scripts; schedules as histories.
+
+The textbook notation ``r1(x) w1(x) r2(y) c1`` maps directly:
+:func:`Op.read`/:func:`Op.write`/:func:`Op.commit` build operations, a
+:class:`Transaction` is the per-transaction sequence, and a
+:class:`Schedule` is a global interleaving whose properties
+(:mod:`repro.db.serializability`) can be checked.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["OpKind", "Op", "Transaction", "Schedule"]
+
+
+class OpKind(enum.Enum):
+    """Operation kinds appearing in histories."""
+
+    READ = "r"
+    WRITE = "w"
+    COMMIT = "c"
+    ABORT = "a"
+
+
+@dataclasses.dataclass(frozen=True)
+class Op:
+    """One operation of one transaction on one item (item None for c/a)."""
+
+    txn: int
+    kind: OpKind
+    item: Optional[str] = None
+
+    @staticmethod
+    def read(txn: int, item: str) -> "Op":
+        """``r_txn(item)``"""
+        return Op(txn, OpKind.READ, item)
+
+    @staticmethod
+    def write(txn: int, item: str) -> "Op":
+        """``w_txn(item)``"""
+        return Op(txn, OpKind.WRITE, item)
+
+    @staticmethod
+    def commit(txn: int) -> "Op":
+        """``c_txn``"""
+        return Op(txn, OpKind.COMMIT)
+
+    @staticmethod
+    def abort(txn: int) -> "Op":
+        """``a_txn``"""
+        return Op(txn, OpKind.ABORT)
+
+    def __str__(self) -> str:
+        if self.item is None:
+            return f"{self.kind.value}{self.txn}"
+        return f"{self.kind.value}{self.txn}({self.item})"
+
+    def conflicts_with(self, other: "Op") -> bool:
+        """Two ops conflict: different txns, same item, at least one write."""
+        return (
+            self.txn != other.txn
+            and self.item is not None
+            and self.item == other.item
+            and (self.kind is OpKind.WRITE or other.kind is OpKind.WRITE)
+        )
+
+
+@dataclasses.dataclass
+class Transaction:
+    """A transaction's operation script (reads/writes; commit implied).
+
+    ``compute`` optionally transforms the transaction's read snapshot into
+    the values it writes, letting the engine run *semantically* meaningful
+    transactions (e.g. bank transfers) rather than opaque w/r noise.
+    """
+
+    tid: int
+    ops: List[Op]
+    compute: Optional[object] = None  # Callable[[dict], dict], kept loose
+
+    def __post_init__(self) -> None:
+        for op in self.ops:
+            if op.txn != self.tid:
+                raise ValueError(f"operation {op} does not belong to T{self.tid}")
+            if op.kind in (OpKind.COMMIT, OpKind.ABORT):
+                raise ValueError("scripts list only reads/writes; commit is implicit")
+
+    def read_set(self) -> List[str]:
+        """Items read, in order, without duplicates."""
+        seen: List[str] = []
+        for op in self.ops:
+            if op.kind is OpKind.READ and op.item not in seen:
+                seen.append(op.item)  # type: ignore[arg-type]
+        return seen
+
+    def write_set(self) -> List[str]:
+        """Items written, in order, without duplicates."""
+        seen: List[str] = []
+        for op in self.ops:
+            if op.kind is OpKind.WRITE and op.item not in seen:
+                seen.append(op.item)  # type: ignore[arg-type]
+        return seen
+
+
+class Schedule:
+    """A history: a global sequence of operations from several transactions."""
+
+    def __init__(self, ops: Iterable[Op]) -> None:
+        self.ops: List[Op] = list(ops)
+
+    @classmethod
+    def parse(cls, text: str) -> "Schedule":
+        """Parse ``"r1(x) w2(x) c1 c2"`` textbook notation."""
+        ops: List[Op] = []
+        for token in text.split():
+            kind = OpKind(token[0])
+            rest = token[1:]
+            if "(" in rest:
+                txn_str, item = rest.split("(")
+                ops.append(Op(int(txn_str), kind, item.rstrip(")")))
+            else:
+                ops.append(Op(int(rest), kind))
+        return cls(ops)
+
+    def transactions(self) -> List[int]:
+        """Distinct transaction ids in first-appearance order."""
+        seen: List[int] = []
+        for op in self.ops:
+            if op.txn not in seen:
+                seen.append(op.txn)
+        return seen
+
+    def is_serial(self) -> bool:
+        """True when transactions never interleave."""
+        order: List[int] = []
+        for op in self.ops:
+            if not order or order[-1] != op.txn:
+                if op.txn in order:
+                    return False
+                order.append(op.txn)
+        return True
+
+    def projected(self, txn: int) -> List[Op]:
+        """The sub-history of one transaction."""
+        return [op for op in self.ops if op.txn == txn]
+
+    @staticmethod
+    def serial(transactions: Sequence[Transaction], order: Sequence[int]) -> "Schedule":
+        """The serial schedule executing ``transactions`` in ``order``."""
+        by_tid: Dict[int, Transaction] = {t.tid: t for t in transactions}
+        ops: List[Op] = []
+        for tid in order:
+            ops.extend(by_tid[tid].ops)
+            ops.append(Op.commit(tid))
+        return Schedule(ops)
+
+    def __str__(self) -> str:
+        return " ".join(str(op) for op in self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)

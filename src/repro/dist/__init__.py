@@ -1,0 +1,62 @@
+"""Distributed-systems algorithms and middleware.
+
+AUC's *fundamentals of distributed computing* course (paper §IV-B) "covers
+topics ranging from modeling and specification to consistency and
+inter-process communication, load balancing, process migration, and
+distributed challenges"; RIT's course adds "distributed system
+architectures and middleware, distributed objects".  One module per topic:
+
+- :mod:`repro.dist.clocks` — Lamport and vector clocks, happens-before.
+- :mod:`repro.dist.election` — ring (Chang–Roberts) and bully leader
+  election with message counts.
+- :mod:`repro.dist.mutex` — distributed mutual exclusion: Lamport,
+  Ricart–Agrawala, and token ring, with messages-per-entry accounting.
+- :mod:`repro.dist.consistency` — linearizability and sequential-
+  consistency checkers over register histories; eventual-consistency
+  convergence.
+- :mod:`repro.dist.loadbalance` — round-robin, least-loaded, and
+  power-of-two-choices placement.
+- :mod:`repro.dist.migration` — process migration policies over loaded
+  nodes.
+- :mod:`repro.dist.middleware` — RPC with client stubs and a name service
+  (distributed objects) over :mod:`repro.net`.
+- :mod:`repro.dist.mapreduce` — a thread-pool MapReduce engine.
+"""
+
+from repro.dist.clocks import LamportClock, VectorClock, happens_before
+from repro.dist.commit import Coordinator, Participant, TwoPcOutcome
+from repro.dist.consistency import (
+    HistoryEvent,
+    is_linearizable,
+    is_sequentially_consistent,
+)
+from repro.dist.election import bully_election, ring_election
+from repro.dist.loadbalance import Balancer, PlacementPolicy
+from repro.dist.mapreduce import MapReduce
+from repro.dist.middleware import NameService, RpcServer, rpc_proxy
+from repro.dist.mutex import MutexAlgorithm, simulate_mutex
+from repro.dist.snapshot import Snapshot, TokenSystem
+
+__all__ = [
+    "Balancer",
+    "bully_election",
+    "Coordinator",
+    "Participant",
+    "Snapshot",
+    "TokenSystem",
+    "TwoPcOutcome",
+    "happens_before",
+    "HistoryEvent",
+    "is_linearizable",
+    "is_sequentially_consistent",
+    "LamportClock",
+    "MapReduce",
+    "MutexAlgorithm",
+    "NameService",
+    "PlacementPolicy",
+    "ring_election",
+    "rpc_proxy",
+    "RpcServer",
+    "simulate_mutex",
+    "VectorClock",
+]

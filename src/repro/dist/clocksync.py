@@ -1,0 +1,137 @@
+"""Physical clock synchronization: Cristian's algorithm and Berkeley.
+
+The distributed course's "distributed monitoring and control" (paper §I)
+needs synchronized physical clocks; these are the two algorithms every
+course teaches before vector clocks take over.  Drifting clocks are
+simulated explicitly (rate error in ppm-like units), so the algorithms'
+residual error bounds can be measured, not just stated:
+
+- Cristian's: client asks a time server; the round-trip uncertainty is
+  ``rtt / 2``; the test asserts the bound.
+- Berkeley: a master polls everyone (including itself), averages the
+  offsets (optionally discarding outliers), and sends each clock an
+  adjustment — no reference clock needed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["DriftingClock", "cristian_sync", "berkeley_sync", "BerkeleyReport"]
+
+
+@dataclasses.dataclass
+class DriftingClock:
+    """A clock with an offset and a rate error.
+
+    ``read(t)`` returns the clock's display at true time ``t``:
+    ``offset + t * rate``.  ``adjust`` shifts the offset (clocks are
+    corrected by slewing/stepping the offset; the rate error remains —
+    which is why synchronization must repeat).
+    """
+
+    name: str
+    offset: float = 0.0
+    rate: float = 1.0
+
+    def read(self, true_time: float) -> float:
+        """The time this clock shows at ``true_time``."""
+        return self.offset + true_time * self.rate
+
+    def adjust(self, delta: float) -> None:
+        """Apply a correction to the displayed time."""
+        self.offset += delta
+
+
+def cristian_sync(
+    client: DriftingClock,
+    server: DriftingClock,
+    true_time: float,
+    rtt: float,
+) -> Tuple[float, float]:
+    """Cristian's algorithm: one request/response to a time server.
+
+    The server's reply (its clock at the midpoint of the exchange) is
+    assumed to be received after ``rtt/2`` more; the client sets itself
+    to ``server_time + rtt/2``.  Returns ``(residual_error,
+    error_bound)`` where the bound is ``rtt/2`` (plus server drift over
+    the exchange, negligible here).
+    """
+    if rtt < 0:
+        raise ValueError("rtt must be non-negative")
+    # Server is read at the true midpoint of the round trip.
+    server_time = server.read(true_time + rtt / 2.0)
+    estimate = server_time + rtt / 2.0
+    arrival = true_time + rtt
+    client.adjust(estimate - client.read(arrival))
+    residual = abs(client.read(arrival) - server.read(arrival))
+    return residual, rtt / 2.0
+
+
+@dataclasses.dataclass
+class BerkeleyReport:
+    """Outcome of one Berkeley round."""
+
+    average_adjustment: float
+    adjustments: Dict[str, float]
+    discarded: List[str]
+    spread_before: float
+    spread_after: float
+
+
+def berkeley_sync(
+    clocks: Sequence[DriftingClock],
+    true_time: float,
+    master_index: int = 0,
+    outlier_threshold: Optional[float] = None,
+) -> BerkeleyReport:
+    """One Berkeley round at true time ``true_time``.
+
+    The master collects every clock's offset from its own, discards
+    readings farther than ``outlier_threshold`` (faulty clocks), averages
+    the remainder (its own 0 included), and sends each clock the delta
+    taking it to the average — including itself.  The *spread* (max-min
+    of displayed times) collapses to ~0 regardless of the true time.
+    """
+    if not clocks:
+        raise ValueError("need at least one clock")
+    if not 0 <= master_index < len(clocks):
+        raise ValueError("master_index out of range")
+    master = clocks[master_index]
+    master_now = master.read(true_time)
+    readings = {c.name: c.read(true_time) - master_now for c in clocks}
+
+    discarded: List[str] = []
+    usable: Dict[str, float] = {}
+    for name, delta in readings.items():
+        if (
+            outlier_threshold is not None
+            and abs(delta) > outlier_threshold
+            and name != master.name
+        ):
+            discarded.append(name)
+        else:
+            usable[name] = delta
+
+    before = [c.read(true_time) for c in clocks]
+    average = sum(usable.values()) / len(usable)
+    adjustments: Dict[str, float] = {}
+    for clock in clocks:
+        delta = readings[clock.name]
+        correction = average - delta
+        if clock.name in discarded:
+            # Faulty clocks are told the full correction too (Berkeley
+            # still fixes them; it just excludes them from the average).
+            correction = average - delta
+        clock.adjust(correction)
+        adjustments[clock.name] = correction
+
+    after = [c.read(true_time) for c in clocks]
+    return BerkeleyReport(
+        average_adjustment=average,
+        adjustments=adjustments,
+        discarded=discarded,
+        spread_before=max(before) - min(before),
+        spread_after=max(after) - min(after),
+    )

@@ -1,0 +1,139 @@
+"""Two-phase commit: atomic commitment across distributed participants.
+
+The natural meeting point of the database column (transactions) and the
+distributed course's "distributed challenges": a coordinator asks every
+participant to PREPARE; only a unanimous yes commits, any no (or crash
+before voting) aborts everyone.  The simulation injects crashes at
+scripted points so the blocking behaviour — 2PC's famous weakness — is
+observable and testable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ParticipantState", "Participant", "Coordinator", "TwoPcOutcome"]
+
+
+class ParticipantState(enum.Enum):
+    """A participant's local protocol state."""
+
+    INIT = "init"
+    PREPARED = "prepared"  # voted yes, holding locks, awaiting verdict
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+    CRASHED = "crashed"
+
+
+@dataclasses.dataclass
+class Participant:
+    """One resource manager.
+
+    ``will_vote_yes`` scripts the vote; ``crash_before_vote`` /
+    ``crash_after_vote`` script failures at the two interesting points.
+    """
+
+    name: str
+    will_vote_yes: bool = True
+    crash_before_vote: bool = False
+    crash_after_vote: bool = False
+    state: ParticipantState = ParticipantState.INIT
+
+    def prepare(self) -> Optional[bool]:
+        """Phase 1: returns the vote, or ``None`` if crashed (no reply)."""
+        if self.crash_before_vote:
+            self.state = ParticipantState.CRASHED
+            return None
+        if not self.will_vote_yes:
+            self.state = ParticipantState.ABORTED  # unilateral abort on no
+            return False
+        self.state = ParticipantState.PREPARED
+        if self.crash_after_vote:
+            # Voted yes, then crashed: on recovery it is *still* prepared
+            # and must block until it learns the verdict.
+            self.state = ParticipantState.CRASHED
+        return True
+
+    def commit(self) -> None:
+        """Phase 2 (commit verdict)."""
+        if self.state is ParticipantState.PREPARED:
+            self.state = ParticipantState.COMMITTED
+
+    def abort(self) -> None:
+        """Phase 2 (abort verdict)."""
+        if self.state in (ParticipantState.PREPARED, ParticipantState.INIT):
+            self.state = ParticipantState.ABORTED
+
+    def recover(self, verdict: "TwoPcOutcome") -> None:
+        """Crash recovery: a prepared participant asks for the verdict."""
+        if self.state is ParticipantState.CRASHED:
+            self.state = (
+                ParticipantState.COMMITTED
+                if verdict.committed
+                else ParticipantState.ABORTED
+            )
+
+
+@dataclasses.dataclass
+class TwoPcOutcome:
+    """The coordinator's decision plus the message accounting."""
+
+    committed: bool
+    votes: Dict[str, Optional[bool]]
+    messages: int
+    blocked_participants: List[str]
+
+
+class Coordinator:
+    """Drives the two phases over a participant list."""
+
+    def __init__(self, participants: Sequence[Participant]) -> None:
+        if not participants:
+            raise ValueError("need at least one participant")
+        names = [p.name for p in participants]
+        if len(set(names)) != len(names):
+            raise ValueError("participant names must be unique")
+        self.participants = list(participants)
+
+    def run(self) -> TwoPcOutcome:
+        """Execute 2PC: PREPARE round, decision, verdict round.
+
+        Message count: one PREPARE per participant, one vote per
+        *responding* participant, one verdict per participant (crashed
+        ones get it on recovery; the send still happens).
+        """
+        messages = 0
+        votes: Dict[str, Optional[bool]] = {}
+        for p in self.participants:
+            messages += 1  # PREPARE
+            vote = p.prepare()
+            votes[p.name] = vote
+            if vote is not None:
+                messages += 1  # the vote reply
+
+        decision = all(v is True for v in votes.values())
+        for p in self.participants:
+            messages += 1  # verdict broadcast
+            if decision:
+                p.commit()
+            else:
+                p.abort()
+
+        blocked = [
+            p.name
+            for p in self.participants
+            if p.state is ParticipantState.CRASHED
+        ]
+        return TwoPcOutcome(
+            committed=decision,
+            votes=votes,
+            messages=messages,
+            blocked_participants=blocked,
+        )
+
+    @staticmethod
+    def message_complexity(n: int) -> int:
+        """Failure-free cost: prepare + vote + verdict = ``3n`` messages."""
+        return 3 * n

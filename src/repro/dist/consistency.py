@@ -1,0 +1,175 @@
+"""Consistency models, as checkers over register histories.
+
+"Consistency" is a named topic of AUC's distributed course.  Instead of
+prose definitions, this module gives *decision procedures* students can
+run against histories they construct:
+
+- :func:`is_linearizable` — exhaustive search for a linearization of a
+  concurrent history of reads/writes on registers that respects real-time
+  order and register semantics (Herlihy & Wing, made executable for
+  classroom-sized histories).
+- :func:`is_sequentially_consistent` — the same search but only requiring
+  per-process program order (Lamport's definition); histories that are SC
+  but not linearizable are the classic lecture example, and a test pins
+  one.
+- :class:`EventuallyConsistentStore` — replicas with last-writer-wins
+  merge; anti-entropy rounds drive convergence, which tests assert.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "HistoryEvent",
+    "is_linearizable",
+    "is_sequentially_consistent",
+    "EventuallyConsistentStore",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class HistoryEvent:
+    """One completed operation in a concurrent history.
+
+    ``start``/``end`` are real-time bounds (used by linearizability only).
+    ``kind`` is ``"r"`` or ``"w"``; a read's ``value`` is what it returned.
+    """
+
+    process: int
+    kind: str
+    register: str
+    value: Any
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("r", "w"):
+            raise ValueError("kind must be 'r' or 'w'")
+        if self.end < self.start:
+            raise ValueError("end before start")
+
+
+def _legal_sequential(order: Sequence[HistoryEvent], initial: Any = None) -> bool:
+    """Register semantics: every read returns the latest preceding write."""
+    state: Dict[str, Any] = {}
+    for ev in order:
+        if ev.kind == "w":
+            state[ev.register] = ev.value
+        else:
+            if state.get(ev.register, initial) != ev.value:
+                return False
+    return True
+
+
+def _respects_realtime(order: Sequence[HistoryEvent]) -> bool:
+    """op1 before op2 in real time (end1 < start2) must stay ordered."""
+    for i, a in enumerate(order):
+        for b in order[i + 1 :]:
+            if b.end < a.start:
+                return False
+    return True
+
+
+def _respects_program_order(order: Sequence[HistoryEvent]) -> bool:
+    """Per-process order (by start time) must be preserved."""
+    last_start: Dict[int, float] = {}
+    for ev in order:
+        if ev.process in last_start and ev.start < last_start[ev.process]:
+            return False
+        last_start[ev.process] = ev.start
+    return True
+
+
+def _search(
+    history: Sequence[HistoryEvent],
+    need_realtime: bool,
+    initial: Any,
+) -> Optional[List[HistoryEvent]]:
+    events = list(history)
+    n = len(events)
+    if n > 9:
+        raise ValueError(
+            "exhaustive checker is for classroom histories (<= 9 events)"
+        )
+    for perm in itertools.permutations(events):
+        if not _respects_program_order(perm):
+            continue
+        if need_realtime and not _respects_realtime(perm):
+            continue
+        if _legal_sequential(perm, initial):
+            return list(perm)
+    return None
+
+
+def is_linearizable(
+    history: Sequence[HistoryEvent], initial: Any = None
+) -> bool:
+    """Is there a legal total order respecting real-time precedence?"""
+    return _search(history, need_realtime=True, initial=initial) is not None
+
+
+def is_sequentially_consistent(
+    history: Sequence[HistoryEvent], initial: Any = None
+) -> bool:
+    """Is there a legal total order respecting only program order?"""
+    return _search(history, need_realtime=False, initial=initial) is not None
+
+
+class EventuallyConsistentStore:
+    """Replicated last-writer-wins registers with anti-entropy gossip.
+
+    Writes land on one replica with a (timestamp, replica) version;
+    :meth:`anti_entropy_round` pairwise-merges replicas; :meth:`converged`
+    reports whether all replicas agree — which they always do after
+    enough rounds, the "eventual" in the name.
+    """
+
+    def __init__(self, replicas: int) -> None:
+        if replicas < 1:
+            raise ValueError("need at least one replica")
+        self.replicas = replicas
+        # replica -> register -> (timestamp, origin_replica, value)
+        self._state: List[Dict[str, Tuple[float, int, Any]]] = [
+            {} for _ in range(replicas)
+        ]
+        self.merges = 0
+
+    def write(self, replica: int, register: str, value: Any, timestamp: float) -> None:
+        """A client writes at one replica."""
+        self._merge_entry(replica, register, (timestamp, replica, value))
+
+    def read(self, replica: int, register: str) -> Any:
+        """A client reads at one replica (possibly stale)."""
+        entry = self._state[replica].get(register)
+        return entry[2] if entry else None
+
+    def _merge_entry(
+        self, replica: int, register: str, entry: Tuple[float, int, Any]
+    ) -> None:
+        current = self._state[replica].get(register)
+        if current is None or entry[:2] > current[:2]:  # LWW, replica id breaks ties
+            self._state[replica][register] = entry
+
+    def anti_entropy_round(self) -> None:
+        """Every replica gossips with its ring successor (both directions)."""
+        for a in range(self.replicas):
+            b = (a + 1) % self.replicas
+            for src, dst in ((a, b), (b, a)):
+                for register, entry in self._state[src].items():
+                    self._merge_entry(dst, register, entry)
+            self.merges += 1
+
+    def converged(self) -> bool:
+        """Do all replicas hold identical state?"""
+        return all(s == self._state[0] for s in self._state[1:])
+
+    def converge(self, max_rounds: int = 64) -> int:
+        """Run anti-entropy until convergence; returns rounds used."""
+        for round_no in range(1, max_rounds + 1):
+            self.anti_entropy_round()
+            if self.converged():
+                return round_no
+        raise RuntimeError("did not converge (should be impossible)")

@@ -1,0 +1,115 @@
+"""Leader election: the ring (Chang–Roberts) and bully algorithms.
+
+Simulated deterministically over a static process set with crash faults
+declared up front; both functions return the elected leader *and* the
+message count, the comparison the lecture builds (ring: O(n) to O(n²)
+messages; bully: O(n²) worst case but faster convergence when the top
+survivor starts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Set, Tuple
+
+__all__ = ["ElectionResult", "ring_election", "bully_election"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ElectionResult:
+    """Outcome of one election."""
+
+    leader: int
+    messages: int
+    rounds: int
+
+
+def ring_election(
+    ids: Sequence[int], initiator: int, crashed: Set[int] = frozenset()
+) -> ElectionResult:
+    """Chang–Roberts on a unidirectional ring.
+
+    Processes sit in ``ids`` order around the ring.  An ELECTION token
+    carries the maximum live id seen so far; when it returns to that
+    maximum's owner, a COORDINATOR message circulates.  Crashed processes
+    are skipped by their predecessors (next-hop forwarding cost is still
+    one message per live hop).
+    """
+    if initiator in crashed:
+        raise ValueError("initiator must be alive")
+    live = [p for p in ids if p not in crashed]
+    if not live:
+        raise ValueError("no live processes")
+    n = len(ids)
+    order = list(ids)
+
+    def next_live(pos: int) -> int:
+        for step in range(1, n + 1):
+            candidate = order[(pos + step) % n]
+            if candidate not in crashed:
+                return (pos + step) % n
+        raise AssertionError("unreachable: at least one live process exists")
+
+    messages = 0
+    pos = order.index(initiator)
+    token = initiator
+    # Election phase: the token travels until it returns to the max id.
+    current = next_live(pos)
+    messages += 1
+    while order[current] != token:
+        token = max(token, order[current])
+        current = next_live(current)
+        messages += 1
+    leader = token
+    # Coordinator phase: one full circulation of the result.
+    start = current
+    current = next_live(current)
+    messages += 1
+    while current != start:
+        current = next_live(current)
+        messages += 1
+    return ElectionResult(leader=leader, messages=messages, rounds=2)
+
+
+def bully_election(
+    ids: Sequence[int], initiator: int, crashed: Set[int] = frozenset()
+) -> ElectionResult:
+    """The bully algorithm.
+
+    The initiator challenges all higher ids; any live higher process
+    answers (OK) and takes over the election.  The highest live id wins
+    and broadcasts COORDINATOR to all lower live processes.  Message
+    counting follows the textbook accounting: ELECTION and OK messages to
+    crashed processes still cost a send (you don't know they're dead).
+    """
+    if initiator in crashed:
+        raise ValueError("initiator must be alive")
+    live = sorted(p for p in ids if p not in crashed)
+    messages = 0
+    rounds = 0
+    current_initiators: List[int] = [initiator]
+    seen: Set[int] = set()
+    while current_initiators:
+        rounds += 1
+        next_initiators: List[int] = []
+        for p in current_initiators:
+            if p in seen:
+                continue
+            seen.add(p)
+            higher = [q for q in ids if q > p]
+            messages += len(higher)  # ELECTION to every higher id
+            responders = [q for q in higher if q not in crashed]
+            messages += len(responders)  # OK replies
+            for q in responders:
+                if q not in seen:
+                    next_initiators.append(q)
+            if not responders:
+                # p hears silence: p is the leader.
+                lower_live = [q for q in live if q < p]
+                messages += len(lower_live)  # COORDINATOR broadcast
+                return ElectionResult(leader=p, messages=messages, rounds=rounds)
+        current_initiators = sorted(set(next_initiators))
+    # The highest live process never found a superior: it is the leader.
+    leader = max(live)
+    messages += len([q for q in live if q < leader])
+    return ElectionResult(leader=leader, messages=messages, rounds=rounds)

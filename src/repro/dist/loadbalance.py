@@ -1,0 +1,113 @@
+"""Load balancing: placement policies and their tail behaviour.
+
+AUC's distributed course names load balancing directly.  The balancer
+assigns tasks to servers under four policies; the interesting output is
+the load *distribution* (max load, imbalance), where the
+power-of-two-choices result — two random probes get you nearly the
+balance of full information — is the famous surprise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["PlacementPolicy", "BalanceReport", "Balancer"]
+
+
+class PlacementPolicy(enum.Enum):
+    """How the balancer picks a server for each task."""
+
+    ROUND_ROBIN = "round-robin"
+    RANDOM = "random"
+    LEAST_LOADED = "least-loaded"
+    TWO_CHOICES = "two-choices"
+
+
+@dataclasses.dataclass
+class BalanceReport:
+    """Final load vector plus derived statistics."""
+
+    policy: PlacementPolicy
+    loads: List[float]
+
+    @property
+    def max_load(self) -> float:
+        """The hottest server's load."""
+        return float(max(self.loads))
+
+    @property
+    def imbalance(self) -> float:
+        """Max/mean load (1.0 = perfect)."""
+        arr = np.asarray(self.loads)
+        mean = arr.mean()
+        return float(arr.max() / mean) if mean > 0 else 1.0
+
+    @property
+    def stddev(self) -> float:
+        """Standard deviation of server loads."""
+        return float(np.asarray(self.loads).std())
+
+
+class Balancer:
+    """Assigns a stream of task weights to ``servers`` under one policy."""
+
+    def __init__(
+        self,
+        servers: int,
+        policy: PlacementPolicy = PlacementPolicy.ROUND_ROBIN,
+        seed: int = 0,
+    ) -> None:
+        if servers < 1:
+            raise ValueError("need at least one server")
+        self.servers = servers
+        self.policy = policy
+        self._rng = np.random.default_rng(seed)
+        self.loads = [0.0] * servers
+        self._rr_next = 0
+        self.assignments: List[int] = []
+
+    def place(self, weight: float = 1.0) -> int:
+        """Assign one task; returns the chosen server."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        if self.policy is PlacementPolicy.ROUND_ROBIN:
+            server = self._rr_next
+            self._rr_next = (self._rr_next + 1) % self.servers
+        elif self.policy is PlacementPolicy.RANDOM:
+            server = int(self._rng.integers(self.servers))
+        elif self.policy is PlacementPolicy.LEAST_LOADED:
+            server = int(np.argmin(self.loads))
+        elif self.policy is PlacementPolicy.TWO_CHOICES:
+            a, b = self._rng.integers(self.servers, size=2)
+            server = int(a if self.loads[a] <= self.loads[b] else b)
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown policy {self.policy!r}")
+        self.loads[server] += weight
+        self.assignments.append(server)
+        return server
+
+    def run(self, weights: Sequence[float]) -> BalanceReport:
+        """Place a whole stream; returns the report."""
+        for w in weights:
+            self.place(w)
+        return BalanceReport(self.policy, list(self.loads))
+
+
+def compare_policies(
+    servers: int, tasks: int, seed: int = 0, heavy_tail: bool = False
+) -> Dict[str, BalanceReport]:
+    """All four policies on an identical task stream (the lecture table)."""
+    rng = np.random.default_rng(seed)
+    if heavy_tail:
+        weights = list(rng.pareto(2.0, tasks) + 0.5)
+    else:
+        weights = [1.0] * tasks
+    out: Dict[str, BalanceReport] = {}
+    for policy in PlacementPolicy:
+        balancer = Balancer(servers, policy, seed=seed + 1)
+        out[policy.value] = balancer.run(weights)
+    return out

@@ -1,0 +1,173 @@
+"""Middleware: RPC, client stubs, and a name service over :mod:`repro.net`.
+
+RIT's course covers "middleware, distributed objects, and web services";
+this module is the lab where students *build* the middleware instead of
+just calling it:
+
+- :class:`RpcServer` exports a plain Python object's public methods over
+  a connection; concurrent clients get threaded handlers.
+- :func:`rpc_proxy` manufactures a client stub whose attribute access
+  turns into remote calls — location transparency in ~30 lines, including
+  the part that leaks (exceptions arrive as :class:`RemoteError`, and
+  latency is visible), which is the lecture's honesty clause.
+- :class:`NameService` maps service names to addresses so clients bind by
+  name (the registry pattern under every distributed-object system).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.net.simnet import Address, Network
+from repro.net.sockets import Connection, ServerSocket
+
+__all__ = ["RemoteError", "RpcServer", "rpc_proxy", "NameService"]
+
+
+class RemoteError(RuntimeError):
+    """A remote method raised; carries the remote exception's repr."""
+
+
+class RpcServer:
+    """Exports ``obj``'s public methods at ``address``.
+
+    Wire protocol: request ``("call", method, args, kwargs)``; response
+    ``("ok", result)`` or ``("err", repr(exception))``.  One thread per
+    connection; the exported object must handle its own synchronization
+    (a deliberate teaching choice — the KV-store lab revisits it).
+    """
+
+    def __init__(self, network: Network, address: Address, obj: Any) -> None:
+        self.network = network
+        self.address = address
+        self.obj = obj
+        self._server = ServerSocket(network, address)
+        self._running = False
+        self._threads: List[threading.Thread] = []
+        self._accept_thread: Optional[threading.Thread] = None
+        self.calls_served = 0
+
+    def start(self) -> "RpcServer":
+        """Start serving in the background."""
+        self._running = True
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn = self._server.accept(timeout=0.2)
+            except (TimeoutError, OSError):
+                if not self._running:
+                    return
+                continue
+            t = threading.Thread(target=self._serve, args=(conn,), daemon=True)
+            self._threads.append(t)
+            t.start()
+
+    def _serve(self, conn: Connection) -> None:
+        try:
+            while True:
+                message = conn.recv()
+                if (
+                    not isinstance(message, tuple)
+                    or len(message) != 4
+                    or message[0] != "call"
+                ):
+                    conn.send(("err", f"malformed request: {message!r}"))
+                    continue
+                _tag, method_name, args, kwargs = message
+                self.calls_served += 1
+                try:
+                    if method_name.startswith("_"):
+                        raise AttributeError(
+                            f"private method {method_name!r} is not exported"
+                        )
+                    method: Callable[..., Any] = getattr(self.obj, method_name)
+                    conn.send(("ok", method(*args, **kwargs)))
+                except Exception as exc:  # noqa: BLE001 - marshalled to client
+                    conn.send(("err", repr(exc)))
+        except EOFError:
+            pass
+        finally:
+            conn.close()
+
+    def stop(self) -> None:
+        """Stop accepting; finish in-flight handlers."""
+        self._running = False
+        self._server.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        for t in self._threads:
+            t.join(timeout=5)
+
+    def __enter__(self) -> "RpcServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+class _RpcProxy:
+    """The client stub: attribute access becomes a remote call."""
+
+    def __init__(self, conn: Connection) -> None:
+        object.__setattr__(self, "_conn", conn)
+
+    def __getattr__(self, name: str) -> Callable[..., Any]:
+        conn: Connection = object.__getattribute__(self, "_conn")
+
+        def call(*args: Any, **kwargs: Any) -> Any:
+            conn.send(("call", name, args, kwargs))
+            status, payload = conn.recv()
+            if status == "ok":
+                return payload
+            raise RemoteError(payload)
+
+        call.__name__ = name
+        return call
+
+    def _close(self) -> None:
+        object.__getattribute__(self, "_conn").close()
+
+
+def rpc_proxy(network: Network, address: Address, host: str = "client") -> _RpcProxy:
+    """Connect and return a stub for the service at ``address``."""
+    return _RpcProxy(Connection.connect(network, address, local_host=host))
+
+
+class NameService:
+    """A registry mapping service names to addresses.
+
+    Itself exported over RPC in the integrated labs (it is just an
+    object), closing the loop: the name service is a distributed object
+    that names distributed objects.
+    """
+
+    def __init__(self) -> None:
+        self._registry: Dict[str, Address] = {}
+        self._lock = threading.Lock()
+
+    def register(self, name: str, host: str, port: int) -> bool:
+        """Bind ``name`` to an address; re-binding overwrites."""
+        with self._lock:
+            self._registry[name] = Address(host, port)
+            return True
+
+    def lookup(self, name: str) -> Optional[tuple]:
+        """Resolve ``name`` to ``(host, port)`` or ``None``."""
+        with self._lock:
+            addr = self._registry.get(name)
+            return (addr.host, addr.port) if addr else None
+
+    def unregister(self, name: str) -> bool:
+        """Remove a binding; returns whether it existed."""
+        with self._lock:
+            return self._registry.pop(name, None) is not None
+
+    def services(self) -> List[str]:
+        """All registered names, sorted."""
+        with self._lock:
+            return sorted(self._registry)

@@ -1,0 +1,192 @@
+"""Process migration: when moving work is worth the freight.
+
+AUC's distributed course lists process migration.  The model: nodes carry
+processes with remaining work; a migration policy periodically moves
+processes from overloaded to underloaded nodes, paying a transfer cost
+proportional to the process's memory footprint.  The simulation exposes
+the trade-off: aggressive migration balances load but can *increase*
+makespan when transfer costs dominate — the ablation the bench sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["MigratingProcess", "MigrationPolicy", "MigrationReport", "Cluster"]
+
+
+@dataclasses.dataclass
+class MigratingProcess:
+    """A process with remaining CPU work and a memory footprint."""
+
+    pid: int
+    work: float
+    memory: float = 1.0
+    home: int = 0
+    migrations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.work <= 0 or self.memory <= 0:
+            raise ValueError("work and memory must be positive")
+
+
+class MigrationPolicy(enum.Enum):
+    """When to migrate."""
+
+    NEVER = "never"
+    THRESHOLD = "threshold"  # move when a node exceeds mean load by a factor
+    GREEDY_REBALANCE = "greedy"  # always equalize at each step
+
+
+@dataclasses.dataclass
+class MigrationReport:
+    """Outcome of one cluster run."""
+
+    policy: MigrationPolicy
+    makespan: float
+    migrations: int
+    transfer_cost: float
+    final_loads: List[float]
+
+    @property
+    def imbalance(self) -> float:
+        """Max/mean of total per-node busy time."""
+        arr = np.asarray(self.final_loads)
+        mean = arr.mean()
+        return float(arr.max() / mean) if mean > 0 else 1.0
+
+
+class Cluster:
+    """A cluster of nodes executing processes in discrete time steps.
+
+    Each step: every node runs its processes (processor sharing — one
+    unit of CPU split evenly among residents), then the policy may migrate
+    one process per overloaded node.  ``transfer_cost_per_mem`` freezes a
+    migrating process for that many steps per unit memory (the copy time).
+    """
+
+    def __init__(
+        self,
+        nodes: int,
+        policy: MigrationPolicy = MigrationPolicy.NEVER,
+        threshold: float = 1.5,
+        transfer_cost_per_mem: float = 1.0,
+    ) -> None:
+        if nodes < 1:
+            raise ValueError("need at least one node")
+        self.nodes = nodes
+        self.policy = policy
+        self.threshold = threshold
+        self.transfer_cost_per_mem = transfer_cost_per_mem
+        self._residents: List[List[MigratingProcess]] = [[] for _ in range(nodes)]
+        self._frozen_until: Dict[int, float] = {}
+        self.migrations = 0
+        self.transfer_cost = 0.0
+
+    def submit(self, process: MigratingProcess, node: Optional[int] = None) -> None:
+        """Place a process on a node (default: its ``home``)."""
+        target = process.home if node is None else node
+        if not 0 <= target < self.nodes:
+            raise ValueError("node out of range")
+        process.home = target
+        self._residents[target].append(process)
+
+    def node_load(self, node: int) -> float:
+        """Remaining work resident on ``node``."""
+        return sum(p.work for p in self._residents[node])
+
+    def run(self, max_steps: int = 100_000) -> MigrationReport:
+        """Run to completion; returns the report."""
+        busy = [0.0] * self.nodes
+        step = 0
+        while any(self._residents[n] for n in range(self.nodes)):
+            step += 1
+            if step > max_steps:
+                raise RuntimeError("cluster run exceeded max_steps")
+            # Execute one time unit per node, processor-sharing style.
+            for n in range(self.nodes):
+                active = [
+                    p
+                    for p in self._residents[n]
+                    if self._frozen_until.get(p.pid, 0.0) < step
+                ]
+                if not active:
+                    continue
+                busy[n] += 1.0
+                share = 1.0 / len(active)
+                for p in active:
+                    p.work -= share
+                self._residents[n] = [p for p in self._residents[n] if p.work > 1e-9]
+            self._maybe_migrate(step)
+        return MigrationReport(
+            policy=self.policy,
+            makespan=float(step),
+            migrations=self.migrations,
+            transfer_cost=self.transfer_cost,
+            final_loads=busy,
+        )
+
+    def _maybe_migrate(self, step: int) -> None:
+        if self.policy is MigrationPolicy.NEVER:
+            return
+        loads = [self.node_load(n) for n in range(self.nodes)]
+        mean = sum(loads) / self.nodes
+        if mean <= 0:
+            return
+        for n in range(self.nodes):
+            overloaded = (
+                loads[n] > self.threshold * mean
+                if self.policy is MigrationPolicy.THRESHOLD
+                else loads[n] > mean
+            )
+            if not overloaded or len(self._residents[n]) <= 1:
+                continue
+            target = int(np.argmin(loads))
+            if target == n or loads[n] - loads[target] < 1e-9:
+                continue
+            # Move the smallest process (cheapest copy, least disruption).
+            process = min(self._residents[n], key=lambda p: p.memory)
+            self._residents[n].remove(process)
+            self._residents[target].append(process)
+            process.migrations += 1
+            self.migrations += 1
+            cost = process.memory * self.transfer_cost_per_mem
+            self.transfer_cost += cost
+            self._frozen_until[process.pid] = step + cost
+            loads[n] -= process.work
+            loads[target] += process.work
+
+
+def migration_sweep(
+    num_processes: int = 24,
+    nodes: int = 4,
+    seed: int = 0,
+    transfer_costs: Sequence[float] = (0.0, 1.0, 4.0, 16.0),
+) -> List[Tuple[float, Dict[str, float]]]:
+    """Makespan vs transfer cost for each policy (the bench's data).
+
+    All processes start on node 0 — the "hotspot relief" scenario where
+    migration matters most.
+    """
+    rng = np.random.default_rng(seed)
+    # One workload, shared by every (cost, policy) cell of the sweep.
+    workload = [
+        (float(rng.integers(5, 20)), float(rng.integers(1, 4)))
+        for _ in range(num_processes)
+    ]
+    results = []
+    for cost in transfer_costs:
+        row: Dict[str, float] = {}
+        for policy in MigrationPolicy:
+            cluster = Cluster(nodes, policy, transfer_cost_per_mem=cost)
+            for pid, (work, memory) in enumerate(workload):
+                cluster.submit(
+                    MigratingProcess(pid=pid, work=work, memory=memory, home=0)
+                )
+            row[policy.value] = cluster.run().makespan
+        results.append((float(cost), row))
+    return results

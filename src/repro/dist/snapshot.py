@@ -1,0 +1,157 @@
+"""Chandy–Lamport distributed snapshots.
+
+AUC's distributed-computing course covers "modeling and specification …
+and distributed challenges" (paper §IV-B); the global-snapshot problem is
+the canonical specimen: record a consistent global state of a running
+message-passing system without stopping it.
+
+The simulation runs processes holding token balances that send transfer
+messages over FIFO channels; an initiator starts the Chandy–Lamport
+protocol (record own state, send markers on all outgoing channels; on
+first marker, record state and start recording every other channel until
+its marker arrives).  The classic invariant — the snapshot's total
+balance equals the system's conserved total, even though the snapshot is
+taken mid-flight — is what the tests assert.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = ["TokenSystem", "Snapshot"]
+
+
+@dataclasses.dataclass
+class Snapshot:
+    """A recorded consistent global state."""
+
+    process_states: Dict[int, int]  # pid -> recorded balance
+    channel_states: Dict[Tuple[int, int], List[int]]  # (src, dst) -> in-flight
+
+    @property
+    def total(self) -> int:
+        """Recorded balances plus recorded in-flight transfers."""
+        in_flight = sum(sum(msgs) for msgs in self.channel_states.values())
+        return sum(self.process_states.values()) + in_flight
+
+
+_MARKER = "MARKER"
+
+
+class TokenSystem:
+    """N processes exchanging token transfers over FIFO channels.
+
+    Deterministic: the caller scripts transfers with :meth:`transfer` and
+    message deliveries with :meth:`deliver_one`; the snapshot protocol
+    rides the same channels (so markers order correctly w.r.t. data, the
+    property the algorithm depends on).
+    """
+
+    def __init__(self, balances: List[int]) -> None:
+        if not balances:
+            raise ValueError("need at least one process")
+        self.n = len(balances)
+        self.balances = list(balances)
+        self.channels: Dict[Tuple[int, int], Deque[object]] = {
+            (i, j): collections.deque()
+            for i in range(self.n)
+            for j in range(self.n)
+            if i != j
+        }
+        # Snapshot state:
+        self._recording: Dict[int, bool] = {p: False for p in range(self.n)}
+        self._recorded_state: Dict[int, int] = {}
+        self._recording_channel: Dict[Tuple[int, int], bool] = {}
+        self._channel_record: Dict[Tuple[int, int], List[int]] = {}
+        self._markers_pending: Dict[int, int] = {}
+        self.snapshot_done = False
+
+    # -- application actions ----------------------------------------------------
+    def transfer(self, src: int, dst: int, amount: int) -> None:
+        """``src`` sends ``amount`` tokens to ``dst`` (debited at send)."""
+        if amount <= 0 or self.balances[src] < amount:
+            raise ValueError("invalid transfer")
+        self.balances[src] -= amount
+        self.channels[(src, dst)].append(amount)
+
+    def deliver_one(self, src: int, dst: int) -> Optional[object]:
+        """Deliver the head message of channel (src, dst), if any."""
+        channel = self.channels[(src, dst)]
+        if not channel:
+            return None
+        msg = channel.popleft()
+        if msg == _MARKER:
+            self._on_marker(src, dst)
+        else:
+            assert isinstance(msg, int)
+            self.balances[dst] += msg
+            if self._recording_channel.get((src, dst)):
+                self._channel_record[(src, dst)].append(msg)
+        return msg
+
+    def deliver_all(self) -> None:
+        """Drain every channel round-robin until the system quiesces."""
+        progress = True
+        while progress:
+            progress = False
+            for key in sorted(self.channels):
+                if self.channels[key]:
+                    self.deliver_one(*key)
+                    progress = True
+
+    @property
+    def total(self) -> int:
+        """Conserved quantity: balances plus in-flight transfers."""
+        in_flight = sum(
+            sum(m for m in ch if isinstance(m, int))
+            for ch in self.channels.values()
+        )
+        return sum(self.balances) + in_flight
+
+    # -- the Chandy-Lamport protocol ----------------------------------------------
+    def start_snapshot(self, initiator: int) -> None:
+        """The initiator records itself and emits markers."""
+        self._record_process(initiator)
+
+    def _record_process(self, pid: int) -> None:
+        if self._recording[pid]:
+            return
+        self._recording[pid] = True
+        self._recorded_state[pid] = self.balances[pid]
+        # Markers out on every outgoing channel.
+        for dst in range(self.n):
+            if dst != pid:
+                self.channels[(pid, dst)].append(_MARKER)
+        # Start recording every incoming channel.
+        incoming = [(src, pid) for src in range(self.n) if src != pid]
+        self._markers_pending[pid] = len(incoming)
+        for key in incoming:
+            self._recording_channel[key] = True
+            self._channel_record.setdefault(key, [])
+
+    def _on_marker(self, src: int, dst: int) -> None:
+        if not self._recording[dst]:
+            # First marker: record state; channel (src,dst) records empty.
+            self._record_process(dst)
+        # Marker closes the (src, dst) channel's recording.
+        if self._recording_channel.get((src, dst)):
+            self._recording_channel[(src, dst)] = False
+        self._markers_pending[dst] = self._markers_pending.get(dst, 0) - 1
+        if all(
+            self._recording[p] and self._markers_pending.get(p, 1) <= 0
+            for p in range(self.n)
+        ):
+            self.snapshot_done = True
+
+    def snapshot(self) -> Snapshot:
+        """The recorded global state (call once :attr:`snapshot_done`)."""
+        if not self.snapshot_done:
+            raise RuntimeError("snapshot has not completed yet")
+        return Snapshot(
+            process_states=dict(self._recorded_state),
+            channel_states={
+                k: list(v) for k, v in self._channel_record.items() if v
+            },
+        )

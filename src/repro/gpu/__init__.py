@@ -1,0 +1,55 @@
+"""A SIMT manycore simulator (the CUDA teaching model, without the GPU).
+
+Roughly 60% of the LAU case-study course (paper §IV-A) is manycore
+programming: the SIMT execution model, grids/blocks/threads, shared memory,
+barrier synchronization, memory coalescing, and warp divergence.  The paper's
+course runs on NVIDIA cloud GPUs; this subpackage substitutes a simulator
+that executes kernels written in a CUDA-like style and *counts* the
+phenomena the course grades:
+
+- **memory transactions** per warp access (coalesced vs. strided vs. random),
+- **divergent branches** per warp,
+- **barrier divergence** (some threads of a block skip a ``syncthreads`` —
+  undefined behaviour on hardware, a detected error here),
+- shared-memory usage per block.
+
+Kernels are Python *generator functions* taking a
+:class:`~repro.gpu.kernel.ThreadContext` first; they ``yield ctx.syncthreads()``
+at block barriers.  Example::
+
+    def vec_add(ctx, a, b, out):
+        i = ctx.global_id()
+        if i < out.size:
+            out[i] = a[i] + b[i]
+        return
+        yield  # marks this function as a generator kernel
+
+    dev = Device()
+    launch(dev, vec_add, grid=4, block=64)(a, b, out)
+"""
+
+from repro.gpu.device import Device, DeviceProperties, KernelStats
+from repro.gpu.kernel import (
+    BarrierDivergence,
+    KernelError,
+    ThreadContext,
+    launch,
+)
+from repro.gpu.memory import CoalescingAnalyzer, GlobalArray, SharedMemory
+from repro.gpu.streams import Stream, StreamScheduler, pipeline_demo
+
+__all__ = [
+    "BarrierDivergence",
+    "CoalescingAnalyzer",
+    "Device",
+    "DeviceProperties",
+    "GlobalArray",
+    "KernelError",
+    "KernelStats",
+    "launch",
+    "pipeline_demo",
+    "SharedMemory",
+    "Stream",
+    "StreamScheduler",
+    "ThreadContext",
+]

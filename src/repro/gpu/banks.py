@@ -1,0 +1,92 @@
+"""Shared-memory bank conflicts — the other half of GPU memory tuning.
+
+The LAU course's manycore part teaches "advanced memory management
+techniques" (paper §IV-A): after global-memory coalescing
+(:mod:`repro.gpu.memory`) comes shared-memory banking.  Shared memory is
+split into ``num_banks`` banks, word-interleaved; a warp's access
+completes in as many cycles as the *maximum number of distinct words any
+single bank must serve* (broadcast of one identical word is free).
+
+:func:`bank_conflicts` analyzes one warp access pattern;
+:func:`matrix_column_access` and the padding variant regenerate the
+classic ``tile[33][32]``-padding lesson: a column walk of a 32-wide tile
+is a 32-way conflict, and one pad column makes it conflict-free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+__all__ = [
+    "BankReport",
+    "bank_conflicts",
+    "matrix_column_access",
+    "padded_matrix_column_access",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class BankReport:
+    """Bank behaviour of one warp access."""
+
+    num_banks: int
+    conflict_degree: int  # max distinct words served by one bank
+    serialized_cycles: int  # == conflict_degree (1 == conflict-free)
+    broadcasts: int  # banks that served one word to many lanes
+
+    @property
+    def conflict_free(self) -> bool:
+        """One cycle: every bank serves at most one distinct word."""
+        return self.conflict_degree <= 1
+
+
+def bank_conflicts(
+    word_addresses: Sequence[int], num_banks: int = 32
+) -> BankReport:
+    """Analyze one warp's shared-memory access (word addresses).
+
+    A bank serving k *distinct* words serializes into k cycles; a bank
+    serving one word to any number of lanes broadcasts in one cycle.
+    """
+    if num_banks < 1:
+        raise ValueError("num_banks must be positive")
+    per_bank: List[set] = [set() for _ in range(num_banks)]
+    lanes_per_bank: List[int] = [0] * num_banks
+    for addr in word_addresses:
+        if addr < 0:
+            raise ValueError("addresses must be non-negative")
+        bank = addr % num_banks
+        per_bank[bank].add(addr)
+        lanes_per_bank[bank] += 1
+    degree = max((len(words) for words in per_bank), default=0)
+    broadcasts = sum(
+        1
+        for words, lanes in zip(per_bank, lanes_per_bank)
+        if len(words) == 1 and lanes > 1
+    )
+    return BankReport(
+        num_banks=num_banks,
+        conflict_degree=max(degree, 1 if word_addresses else 0),
+        serialized_cycles=max(degree, 1 if word_addresses else 0),
+        broadcasts=broadcasts,
+    )
+
+
+def matrix_column_access(
+    column: int, rows: int = 32, row_stride: int = 32
+) -> List[int]:
+    """Addresses of a warp reading one column of a row-major tile.
+
+    With ``row_stride == num_banks`` every element maps to the same bank
+    — the classic worst case.
+    """
+    return [r * row_stride + column for r in range(rows)]
+
+
+def padded_matrix_column_access(
+    column: int, rows: int = 32, row_stride: int = 33
+) -> List[int]:
+    """The fix: pad each row by one word (``tile[32][33]``), skewing the
+    column across all banks."""
+    return matrix_column_access(column, rows, row_stride)

@@ -1,0 +1,108 @@
+"""Device properties and per-launch statistics."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+__all__ = ["DeviceProperties", "KernelStats", "Device"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceProperties:
+    """Static hardware parameters of the simulated device.
+
+    Defaults model a small educational GPU: 32-wide warps (NVIDIA's
+    constant since Tesla), 1024-thread blocks, 48 KiB of shared memory per
+    block, and 128-byte memory transactions (one full cache line per
+    coalesced warp access of 4-byte elements).
+    """
+
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    shared_mem_per_block: int = 48 * 1024
+    transaction_bytes: int = 128
+    element_bytes: int = 4
+    num_sms: int = 8
+
+    def transactions_for(self, addresses: list[int]) -> int:
+        """Memory transactions needed to serve one warp's addresses.
+
+        Addresses are element indices; a transaction covers
+        ``transaction_bytes // element_bytes`` consecutive elements.  The
+        count is the number of distinct transaction-sized segments touched —
+        exactly the coalescing rule taught for post-Fermi GPUs.
+        """
+        if not addresses:
+            return 0
+        span = self.transaction_bytes // self.element_bytes
+        return len({a // span for a in addresses})
+
+
+@dataclasses.dataclass
+class KernelStats:
+    """Counters accumulated across one kernel launch."""
+
+    blocks: int = 0
+    threads: int = 0
+    warps: int = 0
+    global_loads: int = 0
+    global_stores: int = 0
+    transactions: int = 0
+    instrumented_branches: int = 0
+    divergent_branches: int = 0
+    syncthreads: int = 0
+    shared_bytes_peak: int = 0
+
+    def coalescing_efficiency(self) -> float:
+        """Ideal transactions / actual transactions (1.0 == fully coalesced).
+
+        Ideal assumes each warp access of W addresses needs
+        ``ceil(W * element_bytes / transaction_bytes)`` transactions.
+        Meaningful only after at least one access.
+        """
+        if self.transactions == 0:
+            return 1.0
+        accesses = self.global_loads + self.global_stores
+        if accesses == 0:
+            return 1.0
+        return min(1.0, self.ideal_transactions / self.transactions)
+
+    # Filled by the launcher; declared here so the dataclass carries it.
+    ideal_transactions: int = 0
+
+    def divergence_rate(self) -> float:
+        """Fraction of instrumented branches that diverged within a warp."""
+        if self.instrumented_branches == 0:
+            return 0.0
+        return self.divergent_branches / self.instrumented_branches
+
+
+class Device:
+    """The simulated manycore device: properties plus a stats registry.
+
+    One :class:`KernelStats` is recorded per launch under the kernel's
+    name (suffixed on repeats), so back-to-back ablation runs can be
+    compared.
+    """
+
+    def __init__(self, properties: DeviceProperties | None = None) -> None:
+        self.properties = properties or DeviceProperties()
+        self.launches: Dict[str, KernelStats] = {}
+
+    def new_stats(self, kernel_name: str) -> KernelStats:
+        """Register and return a fresh stats record for one launch."""
+        name = kernel_name
+        suffix = 1
+        while name in self.launches:
+            suffix += 1
+            name = f"{kernel_name}#{suffix}"
+        stats = KernelStats()
+        self.launches[name] = stats
+        return stats
+
+    def last_stats(self) -> KernelStats:
+        """Stats of the most recent launch."""
+        if not self.launches:
+            raise RuntimeError("no kernel has been launched on this device")
+        return next(reversed(self.launches.values()))

@@ -1,0 +1,327 @@
+"""The SIMT execution engine: thread contexts, barriers, and the launcher.
+
+Blocks are executed one after another (hardware gives no ordering or
+communication guarantees *between* blocks, so sequential execution is a
+valid schedule).  Within a block, threads run as generators driven by a
+trampoline: each thread runs until it either finishes or yields at a
+``syncthreads`` barrier; when every live thread has arrived, the next phase
+begins.  A thread that finishes while siblings are waiting at a barrier is
+*barrier divergence* — undefined behaviour on real hardware, a diagnosed
+:class:`BarrierDivergence` error here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import math
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.gpu.device import Device, KernelStats
+from repro.gpu.memory import CoalescingAnalyzer, GlobalArray, SharedMemory
+
+__all__ = ["ThreadContext", "launch", "KernelError", "BarrierDivergence", "Dim3"]
+
+_SYNC = object()  # sentinel yielded at barriers
+
+
+class KernelError(RuntimeError):
+    """A kernel misused the programming model (bad launch config, etc.)."""
+
+
+class BarrierDivergence(KernelError):
+    """Some threads of a block reached ``syncthreads`` and others exited."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Dim3:
+    """A CUDA-style dimension triple with ``.x``/``.y``/``.z`` access."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    @classmethod
+    def of(cls, value: Union[int, Sequence[int], "Dim3"]) -> "Dim3":
+        """Normalize an int / tuple / Dim3 into a Dim3."""
+        if isinstance(value, Dim3):
+            return value
+        if isinstance(value, int):
+            return cls(value)
+        vals = list(value) + [1] * (3 - len(value))
+        return cls(*vals[:3])
+
+    @property
+    def count(self) -> int:
+        """Total elements: ``x * y * z``."""
+        return self.x * self.y * self.z
+
+
+class _BlockRecorder:
+    """Per-block instrumentation shared by all threads of the block."""
+
+    def __init__(self, block_linear: int) -> None:
+        self.block = block_linear
+        self.current_thread = 0
+        self.mem_log: List[Tuple[Tuple[int, int, int], int, int, bool]] = []
+        self.branch_log: List[Tuple[Tuple[int, int, int], bool]] = []
+        self._mem_seq: Dict[int, int] = {}
+        self._branch_seq: Dict[int, int] = {}
+        self.loads = 0
+        self.stores = 0
+
+    def record_access(self, index: int, array_id: int, is_store: bool) -> None:
+        t = self.current_thread
+        seq = self._mem_seq.get(t, 0)
+        self._mem_seq[t] = seq + 1
+        self.mem_log.append(((self.block, t, seq), index, array_id, is_store))
+        if is_store:
+            self.stores += 1
+        else:
+            self.loads += 1
+
+    def record_branch(self, outcome: bool) -> None:
+        t = self.current_thread
+        seq = self._branch_seq.get(t, 0)
+        self._branch_seq[t] = seq + 1
+        self.branch_log.append(((self.block, t, seq), outcome))
+
+
+class ThreadContext:
+    """The per-thread view of the kernel: indices, memory, and barriers.
+
+    Kernels receive this as their first argument.  The CUDA built-ins map
+    as: ``threadIdx`` -> :attr:`thread_idx`, ``blockIdx`` ->
+    :attr:`block_idx`, ``blockDim``/``gridDim`` likewise;
+    ``__syncthreads()`` -> ``yield ctx.syncthreads()``; ``__shared__`` ->
+    :meth:`shared_array`.
+    """
+
+    def __init__(
+        self,
+        thread_idx: Dim3,
+        block_idx: Dim3,
+        block_dim: Dim3,
+        grid_dim: Dim3,
+        shared: SharedMemory,
+        recorder: _BlockRecorder,
+        warp_size: int,
+    ) -> None:
+        self.thread_idx = thread_idx
+        self.block_idx = block_idx
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self._shared = shared
+        self._recorder = recorder
+        self._warp_size = warp_size
+
+    # -- indexing helpers ----------------------------------------------------
+    @property
+    def thread_linear(self) -> int:
+        """Linear thread id within the block (x fastest, CUDA order)."""
+        t, d = self.thread_idx, self.block_dim
+        return t.x + t.y * d.x + t.z * d.x * d.y
+
+    @property
+    def block_linear(self) -> int:
+        """Linear block id within the grid."""
+        b, g = self.block_idx, self.grid_dim
+        return b.x + b.y * g.x + b.z * g.x * g.y
+
+    def global_id(self) -> int:
+        """1-D global thread index: ``blockIdx.x * blockDim.x + threadIdx.x``."""
+        return self.block_idx.x * self.block_dim.x + self.thread_idx.x
+
+    def global_id_2d(self) -> Tuple[int, int]:
+        """(row, col) global index for 2-D launches: (y-axis, x-axis)."""
+        row = self.block_idx.y * self.block_dim.y + self.thread_idx.y
+        col = self.block_idx.x * self.block_dim.x + self.thread_idx.x
+        return row, col
+
+    @property
+    def warp(self) -> int:
+        """This thread's warp index within its block."""
+        return self.thread_linear // self._warp_size
+
+    @property
+    def lane(self) -> int:
+        """This thread's lane within its warp."""
+        return self.thread_linear % self._warp_size
+
+    # -- programming-model operations -----------------------------------------
+    def syncthreads(self) -> object:
+        """Block-wide barrier.  Must be *yielded*: ``yield ctx.syncthreads()``."""
+        return _SYNC
+
+    def shared_array(
+        self, name: str, shape: Any, dtype: Any = np.float64
+    ) -> np.ndarray:
+        """Declare/fetch a ``__shared__`` array visible to the whole block."""
+        return self._shared.allocate(name, shape, dtype)
+
+    def branch(self, condition: bool) -> bool:
+        """An instrumented branch: records the outcome for divergence stats.
+
+        Use as ``if ctx.branch(i < n):`` where divergence matters; plain
+        Python ``if`` is always allowed but not counted.
+        """
+        self._recorder.record_branch(bool(condition))
+        return bool(condition)
+
+
+def _iter_dim3(dim: Dim3):
+    for z in range(dim.z):
+        for y in range(dim.y):
+            for x in range(dim.x):
+                yield Dim3(x, y, z)
+
+
+def launch(
+    device: Device,
+    kernel: Callable[..., Any],
+    grid: Union[int, Sequence[int], Dim3],
+    block: Union[int, Sequence[int], Dim3],
+) -> Callable[..., KernelStats]:
+    """Configure a kernel launch: ``launch(dev, k, grid, block)(*args)``.
+
+    Returns a callable that executes the kernel over the whole grid and
+    returns the launch's :class:`~repro.gpu.device.KernelStats` (also
+    recorded on the device under the kernel's name).
+    """
+    grid_dim = Dim3.of(grid)
+    block_dim = Dim3.of(block)
+    props = device.properties
+    if block_dim.count < 1 or grid_dim.count < 1:
+        raise KernelError("grid and block must be non-empty")
+    if block_dim.count > props.max_threads_per_block:
+        raise KernelError(
+            f"block of {block_dim.count} threads exceeds device limit "
+            f"{props.max_threads_per_block}"
+        )
+    is_generator = inspect.isgeneratorfunction(kernel)
+    analyzer = CoalescingAnalyzer(props.warp_size, props.transactions_for)
+
+    def run(*args: Any) -> KernelStats:
+        stats = device.new_stats(getattr(kernel, "__name__", "kernel"))
+        stats.blocks = grid_dim.count
+        stats.threads = grid_dim.count * block_dim.count
+        stats.warps = grid_dim.count * math.ceil(
+            block_dim.count / props.warp_size
+        )
+        global_arrays = [a for a in args if isinstance(a, GlobalArray)]
+
+        for block_idx in _iter_dim3(grid_dim):
+            shared = SharedMemory(props.shared_mem_per_block)
+            block_linear = (
+                block_idx.x
+                + block_idx.y * grid_dim.x
+                + block_idx.z * grid_dim.x * grid_dim.y
+            )
+            recorder = _BlockRecorder(block_linear)
+            for arr in global_arrays:
+                arr._log = _ArrayLogAdapter(recorder, arr)  # type: ignore[assignment]
+            contexts = [
+                ThreadContext(
+                    thread_idx=tid,
+                    block_idx=block_idx,
+                    block_dim=block_dim,
+                    grid_dim=grid_dim,
+                    shared=shared,
+                    recorder=recorder,
+                    warp_size=props.warp_size,
+                )
+                for tid in _iter_dim3(block_dim)
+            ]
+            try:
+                if is_generator:
+                    _run_block_trampoline(contexts, kernel, args, recorder, stats)
+                else:
+                    for ctx in contexts:
+                        recorder.current_thread = ctx.thread_linear
+                        kernel(ctx, *args)
+            finally:
+                for arr in global_arrays:
+                    arr._detach()
+            # Per-block accounting.
+            actual, ideal = analyzer.analyze(recorder.mem_log)
+            stats.transactions += actual
+            stats.ideal_transactions += ideal
+            stats.global_loads += recorder.loads
+            stats.global_stores += recorder.stores
+            _account_divergence(recorder, props.warp_size, stats)
+            if shared.used_bytes > stats.shared_bytes_peak:
+                stats.shared_bytes_peak = shared.used_bytes
+        return stats
+
+    return run
+
+
+class _ArrayLogAdapter:
+    """Adapts GlobalArray's append-style logging onto the block recorder."""
+
+    def __init__(self, recorder: _BlockRecorder, array: GlobalArray) -> None:
+        self._recorder = recorder
+        self._array_id = id(array)
+        # Make the array's _record path route through us.
+        array._log = self  # type: ignore[assignment]
+        array._thread_key = (0, 0, 0)  # non-None enables recording
+
+    def append(
+        self, entry: Tuple[Tuple[int, int, int], int, int, bool]
+    ) -> None:
+        _key, index, array_id, is_store = entry
+        self._recorder.record_access(index, array_id, is_store)
+
+
+def _run_block_trampoline(
+    contexts: List[ThreadContext],
+    kernel: Callable[..., Any],
+    args: Tuple[Any, ...],
+    recorder: _BlockRecorder,
+    stats: KernelStats,
+) -> None:
+    """Drive all threads of one block between barrier phases."""
+    gens: List[Optional[Any]] = []
+    for ctx in contexts:
+        recorder.current_thread = ctx.thread_linear
+        gens.append(kernel(ctx, *args))
+    live = list(range(len(gens)))
+    # Phase loop: advance every live thread to its next barrier or its end.
+    while live:
+        arrived: List[int] = []
+        finished: List[int] = []
+        for t in live:
+            recorder.current_thread = contexts[t].thread_linear
+            gen = gens[t]
+            try:
+                yielded = next(gen)
+            except StopIteration:
+                finished.append(t)
+                continue
+            if yielded is not _SYNC:
+                raise KernelError(
+                    f"kernel yielded {yielded!r}; only "
+                    "'yield ctx.syncthreads()' is allowed"
+                )
+            arrived.append(t)
+        if arrived and finished:
+            raise BarrierDivergence(
+                f"{len(arrived)} thread(s) wait at syncthreads while "
+                f"{len(finished)} thread(s) exited the kernel"
+            )
+        if arrived:
+            stats.syncthreads += 1
+        live = arrived
+
+
+def _account_divergence(
+    recorder: _BlockRecorder, warp_size: int, stats: KernelStats
+) -> None:
+    groups: Dict[Tuple[int, int], set] = {}
+    for (block, thread, seq), outcome in recorder.branch_log:
+        warp = thread // warp_size
+        groups.setdefault((warp, seq), set()).add(outcome)
+    stats.instrumented_branches += len(groups)
+    stats.divergent_branches += sum(1 for s in groups.values() if len(s) > 1)

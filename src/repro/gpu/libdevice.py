@@ -1,0 +1,185 @@
+"""Reference device kernels: the standard manycore teaching algorithms.
+
+These are the kernels the LAU course's CUDA part assigns — vector add,
+block-level tree reduction in shared memory, Hillis–Steele scan, and tiled
+matrix multiply — written against :mod:`repro.gpu`'s programming model.
+They double as executable documentation and as the workload for the GPU
+benchmarks (coalescing/divergence ablations).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.gpu.device import Device, KernelStats
+from repro.gpu.kernel import ThreadContext, launch
+from repro.gpu.memory import GlobalArray
+
+__all__ = [
+    "vector_add",
+    "vector_add_strided",
+    "block_reduce_sum",
+    "device_reduce_sum",
+    "hillis_steele_scan",
+    "device_inclusive_scan",
+    "tiled_matmul",
+    "device_matmul",
+]
+
+
+def vector_add(ctx: ThreadContext, a: GlobalArray, b: GlobalArray, out: GlobalArray):
+    """``out[i] = a[i] + b[i]`` with one thread per element (coalesced)."""
+    i = ctx.global_id()
+    if ctx.branch(i < out.size):
+        out[i] = a[i] + b[i]
+    return
+    yield  # generator form so guard branches and barriers stay legal
+
+
+def vector_add_strided(
+    ctx: ThreadContext, a: GlobalArray, b: GlobalArray, out: GlobalArray, stride: int
+):
+    """A deliberately *uncoalesced* vector add: thread ``i`` handles
+    element ``(i * stride) % n``.  Used by the coalescing ablation bench —
+    same arithmetic as :func:`vector_add`, many more transactions."""
+    i = ctx.global_id()
+    n = out.size
+    if ctx.branch(i < n):
+        j = (i * stride) % n
+        out[j] = a[j] + b[j]
+    return
+    yield
+
+
+def block_reduce_sum(
+    ctx: ThreadContext, data: GlobalArray, partials: GlobalArray
+):
+    """Shared-memory tree reduction: one partial sum per block.
+
+    The canonical first CUDA assignment: load to shared memory, then halve
+    the active thread count each step with a barrier between steps.
+    """
+    tile = ctx.shared_array("tile", ctx.block_dim.x)
+    tid = ctx.thread_idx.x
+    i = ctx.global_id()
+    tile[tid] = data[i] if i < data.size else 0.0
+    yield ctx.syncthreads()
+    stride = ctx.block_dim.x // 2
+    while stride > 0:
+        if tid < stride:
+            tile[tid] += tile[tid + stride]
+        yield ctx.syncthreads()
+        stride //= 2
+    if tid == 0:
+        partials[ctx.block_idx.x] = tile[0]
+
+
+def device_reduce_sum(
+    device: Device, host_data: np.ndarray, block: int = 64
+) -> Tuple[float, KernelStats]:
+    """Full device reduction: per-block kernel + host combine of partials.
+
+    ``block`` must be a power of two (the tree halves it each step).
+    Returns ``(sum, stats_of_the_kernel_launch)``.
+    """
+    if block & (block - 1):
+        raise ValueError("block size must be a power of two")
+    data = GlobalArray.from_host(np.asarray(host_data, dtype=np.float64))
+    grid = math.ceil(data.size / block)
+    partials = GlobalArray.zeros(grid)
+    stats = launch(device, block_reduce_sum, grid=grid, block=block)(data, partials)
+    return float(partials.to_host().sum()), stats
+
+
+def hillis_steele_scan(ctx: ThreadContext, data: GlobalArray, out: GlobalArray):
+    """Inclusive prefix sum of one block via Hillis–Steele (work n log n).
+
+    Double-buffered in shared memory; each of the log2(n) steps is barrier
+    separated.  Handles a single block of up to ``blockDim.x`` elements —
+    the form in which the algorithm is taught before multi-block scans.
+    """
+    n = ctx.block_dim.x
+    buf_a = ctx.shared_array("scan_a", n)
+    buf_b = ctx.shared_array("scan_b", n)
+    tid = ctx.thread_idx.x
+    buf_a[tid] = data[tid] if tid < data.size else 0.0
+    yield ctx.syncthreads()
+    src, dst = buf_a, buf_b
+    offset = 1
+    while offset < n:
+        if tid >= offset:
+            dst[tid] = src[tid] + src[tid - offset]
+        else:
+            dst[tid] = src[tid]
+        yield ctx.syncthreads()
+        src, dst = dst, src
+        offset *= 2
+    if tid < out.size:
+        out[tid] = src[tid]
+
+
+def device_inclusive_scan(
+    device: Device, host_data: np.ndarray
+) -> Tuple[np.ndarray, KernelStats]:
+    """Single-block inclusive scan (pads the block to a power of two)."""
+    data = GlobalArray.from_host(np.asarray(host_data, dtype=np.float64))
+    n = data.size
+    block = 1 << max(0, (n - 1)).bit_length()
+    block = max(block, 1)
+    out = GlobalArray.zeros(n)
+    stats = launch(device, hillis_steele_scan, grid=1, block=block)(data, out)
+    return out.to_host(), stats
+
+
+def tiled_matmul(
+    ctx: ThreadContext,
+    a: GlobalArray,
+    b: GlobalArray,
+    c: GlobalArray,
+    n: int,
+    tile: int,
+):
+    """Shared-memory tiled matrix multiply of two n x n matrices.
+
+    Each block computes one ``tile x tile`` output tile; each phase stages
+    one tile of A and one of B through shared memory, cutting global loads
+    by a factor of ``tile`` — the flagship shared-memory optimization.
+    Matrices are stored row-major in 1-D global arrays.
+    """
+    tile_a = ctx.shared_array("tile_a", (tile, tile))
+    tile_b = ctx.shared_array("tile_b", (tile, tile))
+    row = ctx.block_idx.y * tile + ctx.thread_idx.y
+    col = ctx.block_idx.x * tile + ctx.thread_idx.x
+    acc = 0.0
+    for phase in range(n // tile):
+        a_col = phase * tile + ctx.thread_idx.x
+        b_row = phase * tile + ctx.thread_idx.y
+        tile_a[ctx.thread_idx.y, ctx.thread_idx.x] = a[row * n + a_col]
+        tile_b[ctx.thread_idx.y, ctx.thread_idx.x] = b[b_row * n + col]
+        yield ctx.syncthreads()
+        for k in range(tile):
+            acc += tile_a[ctx.thread_idx.y, k] * tile_b[k, ctx.thread_idx.x]
+        yield ctx.syncthreads()
+    c[row * n + col] = acc
+
+
+def device_matmul(
+    device: Device, a: np.ndarray, b: np.ndarray, tile: int = 4
+) -> Tuple[np.ndarray, KernelStats]:
+    """Multiply square matrices on the device; ``n`` must be divisible by ``tile``."""
+    n = a.shape[0]
+    if a.shape != (n, n) or b.shape != (n, n):
+        raise ValueError("device_matmul needs square matrices of equal size")
+    if n % tile:
+        raise ValueError("matrix size must be divisible by the tile size")
+    ga = GlobalArray.from_host(a.astype(np.float64).reshape(-1))
+    gb = GlobalArray.from_host(b.astype(np.float64).reshape(-1))
+    gc = GlobalArray.zeros(n * n)
+    blocks = n // tile
+    stats = launch(device, tiled_matmul, grid=(blocks, blocks), block=(tile, tile))(
+        ga, gb, gc, n, tile
+    )
+    return gc.to_host().reshape(n, n), stats

@@ -1,0 +1,143 @@
+"""Device memory: instrumented global arrays and per-block shared memory."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["GlobalArray", "SharedMemory", "CoalescingAnalyzer"]
+
+
+class GlobalArray:
+    """A NumPy-backed device array whose element accesses are logged.
+
+    Indexing with a plain integer behaves like a normal array but records
+    ``(thread_key, access_seq, index, is_store)`` into the active access
+    log.  Slicing and fancy indexing are deliberately unsupported inside
+    kernels — a GPU thread touches scalars — and raise ``TypeError``.
+    """
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = np.ascontiguousarray(data)
+        self._log: List[Tuple[Tuple[int, int, int], int, int, bool]] | None = None
+        self._thread_key: Tuple[int, int, int] | None = None
+        self._seq = 0
+
+    @classmethod
+    def zeros(cls, n: int, dtype: Any = np.float64) -> "GlobalArray":
+        """A zero-initialized device array of ``n`` elements."""
+        return cls(np.zeros(n, dtype=dtype))
+
+    @classmethod
+    def from_host(cls, data: Any) -> "GlobalArray":
+        """Copy host data to the device (models ``cudaMemcpyHostToDevice``)."""
+        return cls(np.array(data))
+
+    def to_host(self) -> np.ndarray:
+        """Copy back to the host (models ``cudaMemcpyDeviceToHost``)."""
+        return self.data.copy()
+
+    @property
+    def size(self) -> int:
+        """Element count."""
+        return int(self.data.size)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # -- instrumentation plumbing (driven by the launcher) -------------------
+    def _attach(self, log: list, thread_key: Tuple[int, int, int]) -> None:
+        self._log = log
+        self._thread_key = thread_key
+
+    def _detach(self) -> None:
+        self._log = None
+        self._thread_key = None
+
+    def _record(self, index: int, is_store: bool) -> None:
+        if self._log is not None and self._thread_key is not None:
+            self._log.append((self._thread_key, index, id(self), is_store))
+
+    def __getitem__(self, index: int) -> Any:
+        if not isinstance(index, (int, np.integer)):
+            raise TypeError("GPU threads access scalars: index must be an int")
+        self._record(int(index), is_store=False)
+        return self.data[index]
+
+    def __setitem__(self, index: int, value: Any) -> None:
+        if not isinstance(index, (int, np.integer)):
+            raise TypeError("GPU threads access scalars: index must be an int")
+        self._record(int(index), is_store=True)
+        self.data[index] = value
+
+
+class SharedMemory:
+    """Per-block scratchpad memory (``__shared__``).
+
+    Allocated through :meth:`ThreadContext.shared_array`; a block's
+    allocations are capped by the device's ``shared_mem_per_block``.
+    Backed by a plain NumPy array — shared-memory accesses are not charged
+    global transactions, which is the entire point of the tiling idiom.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self._arrays: Dict[str, np.ndarray] = {}
+
+    def allocate(self, name: str, shape: Any, dtype: Any = np.float64) -> np.ndarray:
+        """Allocate (once per block) a named shared array.
+
+        Subsequent calls with the same name return the same storage, so
+        every thread of the block sees one array — matching ``__shared__``
+        declaration semantics.
+        """
+        if name in self._arrays:
+            return self._arrays[name]
+        arr = np.zeros(shape, dtype=dtype)
+        nbytes = int(arr.nbytes)
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise MemoryError(
+                f"shared memory exhausted: {self.used_bytes} + {nbytes} "
+                f"> {self.capacity_bytes} bytes"
+            )
+        self.used_bytes += nbytes
+        self._arrays[name] = arr
+        return arr
+
+
+class CoalescingAnalyzer:
+    """Groups a warp's logged accesses into memory transactions.
+
+    Threads of a warp execute in lockstep, so the *k*-th global access of
+    each thread corresponds to the same static instruction (exactly true
+    for non-divergent code; a documented approximation under divergence).
+    Accesses are therefore grouped by ``(warp, per-thread access sequence,
+    array, load/store)`` and each group is charged
+    :meth:`DeviceProperties.transactions_for` transactions.
+    """
+
+    def __init__(self, warp_size: int, transactions_for: Any) -> None:
+        self.warp_size = warp_size
+        self._transactions_for = transactions_for
+
+    def analyze(
+        self, log: List[Tuple[Tuple[int, int, int], int, int, bool]]
+    ) -> Tuple[int, int]:
+        """Return ``(transactions, ideal_transactions)`` for one block's log.
+
+        ``log`` entries are ``((block, thread, seq), index, array_id,
+        is_store)``.
+        """
+        groups: Dict[Tuple[int, int, int, bool], List[int]] = {}
+        for (block, thread, seq), index, array_id, is_store in log:
+            warp = thread // self.warp_size
+            groups.setdefault((warp, seq, array_id, is_store), []).append(index)
+        actual = 0
+        ideal = 0
+        for addresses in groups.values():
+            actual += self._transactions_for(addresses)
+            # Ideal: the same addresses, packed densely from the first one.
+            ideal += self._transactions_for(list(range(len(addresses))))
+        return actual, ideal

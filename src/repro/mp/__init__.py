@@ -1,0 +1,69 @@
+"""An in-process, mpi4py-flavoured message-passing runtime.
+
+The LAU case-study course (paper §IV-A) closes with message-passing
+cluster computing; CS2013's PDC area requires the message-passing model
+alongside shared memory.  The paper's authors taught this on real MPI
+clusters; this subpackage substitutes a deterministic, laptop-scale runtime
+where *ranks are threads* and messages travel through matched mailboxes,
+preserving MPI's semantics (non-overtaking point-to-point order, rooted and
+symmetric collectives, cartesian topologies).
+
+API conventions follow mpi4py (per the session's HPC guides):
+
+- lowercase methods (``send``/``recv``/``bcast``/``scatter``/``gather``/
+  ``reduce`` …) communicate arbitrary Python objects;
+- uppercase methods (``Send``/``Recv``/``Bcast``/``Reduce`` …) operate on
+  NumPy buffers, filling the receive buffer in place;
+- ``Get_rank()`` / ``Get_size()``; ``ANY_SOURCE`` / ``ANY_TAG`` wildcards;
+  ``isend``/``irecv`` return :class:`~repro.mp.communicator.Request` objects
+  with ``wait``/``test``.
+
+Entry point::
+
+    from repro import mp
+
+    def main(comm):
+        rank = comm.Get_rank()
+        data = comm.bcast({"n": 100} if rank == 0 else None, root=0)
+        return comm.reduce(rank, op=mp.SUM, root=0)
+
+    results = mp.run_spmd(4, main)   # results[0] == 0+1+2+3
+"""
+
+from repro.mp.communicator import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Communicator,
+    MessageTruncated,
+    Request,
+    Status,
+)
+from repro.mp.io import MpiFile, SimFile
+from repro.mp.ops import BAND, BOR, LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, Op
+from repro.mp.runtime import World, run_spmd
+from repro.mp.topology import CartComm
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "BAND",
+    "BOR",
+    "CartComm",
+    "Communicator",
+    "LAND",
+    "LOR",
+    "MAX",
+    "MAXLOC",
+    "MessageTruncated",
+    "MIN",
+    "MINLOC",
+    "MpiFile",
+    "Op",
+    "PROD",
+    "Request",
+    "run_spmd",
+    "SimFile",
+    "Status",
+    "SUM",
+    "World",
+]

@@ -1,0 +1,347 @@
+"""Collective operations, implemented over point-to-point messaging.
+
+All ranks of a communicator must call a collective in the same order; the
+mixin exploits this (as MPI implementations do) to assign each collective
+call a unique internal tag from a per-rank counter that stays in agreement
+across ranks.
+
+Two algorithm families are provided where it matters, so the ablation
+benches can compare them:
+
+- ``"linear"`` — the root exchanges directly with every other rank
+  (``p - 1`` serialized root messages, depth ``p - 1``);
+- ``"tree"`` — binomial tree (depth ``ceil(log2 p)``; the root sends only
+  ``ceil(log2 p)`` messages itself).
+
+Reductions with non-commutative operators always take the linear path so
+operands combine in rank order, matching the MPI standard's guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.mp.ops import Op, SUM
+
+__all__ = ["CollectiveMixin"]
+
+
+class CollectiveMixin:
+    """Collective methods shared by :class:`repro.mp.communicator.Communicator`.
+
+    Host-class contract: ``Get_rank``, ``Get_size``, ``_internal_send``,
+    ``_internal_recv``, ``_next_collective_tag``.
+    """
+
+    # These are provided by Communicator; declared for type checkers.
+    def Get_rank(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def Get_size(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _internal_send(self, dest: int, tag: int, payload: Any) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _internal_recv(self, source: int, tag: int) -> Any:  # pragma: no cover
+        raise NotImplementedError
+
+    def _next_collective_tag(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    # -- barrier -------------------------------------------------------------
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier.
+
+        Implemented as a binomial fan-in to rank 0 followed by a binomial
+        fan-out, so it costs ``2 * ceil(log2 p)`` rounds.
+        """
+        tag = self._next_collective_tag()
+        self._tree_reduce_to_root(None, tag, root=0, op=None)
+        self._tree_bcast(None, tag + 0, root=0, recv_offset=1)
+
+    # MPI-style capitalized alias.
+    Barrier = barrier
+
+    # -- broadcast -----------------------------------------------------------
+    def bcast(self, obj: Any = None, root: int = 0, algorithm: str = "tree") -> Any:
+        """Broadcast ``obj`` from ``root`` to every rank; returns the object.
+
+        Non-root callers pass anything (conventionally ``None``) and receive
+        the root's value, per mpi4py convention.
+        """
+        self._check_root(root)
+        tag = self._next_collective_tag()
+        rank, size = self.Get_rank(), self.Get_size()
+        if size == 1:
+            return obj
+        if algorithm == "linear":
+            if rank == root:
+                for dest in range(size):
+                    if dest != root:
+                        self._internal_send(dest, tag, obj)
+                return obj
+            return self._internal_recv(root, tag)
+        if algorithm == "tree":
+            return self._tree_bcast(obj, tag, root)
+        raise ValueError(f"unknown broadcast algorithm: {algorithm!r}")
+
+    def _tree_bcast(
+        self, obj: Any, tag: int, root: int, recv_offset: int = 0
+    ) -> Any:
+        """Binomial-tree broadcast; ``recv_offset`` shifts the internal tag
+        so barrier's fan-out cannot collide with its fan-in."""
+        rank, size = self.Get_rank(), self.Get_size()
+        relrank = (rank - root) % size
+        tag = tag * 2 + recv_offset  # disjoint tag space per phase
+        mask = 1
+        while mask < size:
+            if relrank & mask:
+                src = (relrank - mask + root) % size
+                obj = self._internal_recv(src, tag)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if relrank + mask < size:
+                dest = (relrank + mask + root) % size
+                self._internal_send(dest, tag, obj)
+            mask >>= 1
+        return obj
+
+    # -- gather / scatter ------------------------------------------------------
+    def gather(self, sendobj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one object per rank to ``root`` (rank order); ``None`` elsewhere."""
+        self._check_root(root)
+        tag = self._next_collective_tag()
+        rank, size = self.Get_rank(), self.Get_size()
+        if rank == root:
+            out: List[Any] = []
+            for src in range(size):
+                out.append(sendobj if src == root else self._internal_recv(src, tag))
+            return out
+        self._internal_send(root, tag, sendobj)
+        return None
+
+    def scatter(self, sendobj: Optional[Sequence[Any]] = None, root: int = 0) -> Any:
+        """Scatter a length-``size`` sequence from ``root``; returns one item."""
+        self._check_root(root)
+        tag = self._next_collective_tag()
+        rank, size = self.Get_rank(), self.Get_size()
+        if rank == root:
+            if sendobj is None or len(sendobj) != size:
+                raise ValueError(
+                    f"scatter at root needs a sequence of exactly {size} items"
+                )
+            for dest in range(size):
+                if dest != root:
+                    self._internal_send(dest, tag, sendobj[dest])
+            return sendobj[root]
+        return self._internal_recv(root, tag)
+
+    def allgather(self, sendobj: Any) -> List[Any]:
+        """Gather every rank's object to every rank (gather + broadcast)."""
+        gathered = self.gather(sendobj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def alltoall(self, sendobjs: Sequence[Any]) -> List[Any]:
+        """Personalized all-to-all: item ``j`` of this rank goes to rank ``j``.
+
+        Returns the list whose item ``i`` came from rank ``i``.  Sends are
+        posted before receives (our sends are eager), so the exchange cannot
+        deadlock.
+        """
+        rank, size = self.Get_rank(), self.Get_size()
+        if len(sendobjs) != size:
+            raise ValueError(f"alltoall needs exactly {size} items")
+        tag = self._next_collective_tag()
+        for dest in range(size):
+            if dest != rank:
+                self._internal_send(dest, tag, sendobjs[dest])
+        out: List[Any] = []
+        for src in range(size):
+            out.append(sendobjs[rank] if src == rank else self._internal_recv(src, tag))
+        return out
+
+    # -- reductions --------------------------------------------------------------
+    def reduce(
+        self,
+        sendobj: Any,
+        op: Op = SUM,
+        root: int = 0,
+        algorithm: str = "tree",
+    ) -> Any:
+        """Reduce one value per rank onto ``root``; ``None`` at other ranks.
+
+        Tree reduction requires a commutative ``op``; non-commutative
+        operators silently fall back to the linear rank-order algorithm (the
+        MPI standard requires rank-order combination for them).
+        """
+        self._check_root(root)
+        tag = self._next_collective_tag()
+        if algorithm == "linear" or not op.commutative:
+            return self._linear_reduce(sendobj, tag, root, op)
+        if algorithm == "tree":
+            return self._tree_reduce_to_root(sendobj, tag, root, op)
+        raise ValueError(f"unknown reduce algorithm: {algorithm!r}")
+
+    def _linear_reduce(self, sendobj: Any, tag: int, root: int, op: Op) -> Any:
+        rank, size = self.Get_rank(), self.Get_size()
+        if rank != root:
+            self._internal_send(root, tag, sendobj)
+            return None
+        acc: Any = None
+        have = False
+        for src in range(size):
+            val = sendobj if src == root else self._internal_recv(src, tag)
+            acc = val if not have else op(acc, val)
+            have = True
+        return acc
+
+    def _tree_reduce_to_root(
+        self, sendobj: Any, tag: int, root: int, op: Optional[Op]
+    ) -> Any:
+        """Binomial fan-in; with ``op=None`` it is a pure synchronization.
+
+        Children at increasing mask distances hold contiguous, increasing
+        relrank ranges, so in-order combination preserves rank order among
+        subtrees rooted at the same node.
+        """
+        rank, size = self.Get_rank(), self.Get_size()
+        relrank = (rank - root) % size
+        tag = tag * 2  # same phase-splitting trick as _tree_bcast
+        acc = sendobj
+        mask = 1
+        while mask < size:
+            if relrank & mask:
+                parent = (relrank - mask + root) % size
+                self._internal_send(parent, tag, acc)
+                return None
+            child = relrank + mask
+            if child < size:
+                val = self._internal_recv((child + root) % size, tag)
+                if op is not None:
+                    acc = op(acc, val)
+            mask <<= 1
+        return acc
+
+    def allreduce(self, sendobj: Any, op: Op = SUM) -> Any:
+        """Reduce then broadcast: every rank gets the reduced value."""
+        reduced = self.reduce(sendobj, op=op, root=0)
+        return self.bcast(reduced, root=0)
+
+    def scan(self, sendobj: Any, op: Op = SUM) -> Any:
+        """Inclusive prefix reduction: rank ``r`` gets ``op`` over ranks 0..r."""
+        tag = self._next_collective_tag()
+        rank, size = self.Get_rank(), self.Get_size()
+        acc = sendobj
+        if rank > 0:
+            prefix = self._internal_recv(rank - 1, tag)
+            acc = op(prefix, sendobj)
+        if rank + 1 < size:
+            self._internal_send(rank + 1, tag, acc)
+        return acc
+
+    def exscan(self, sendobj: Any, op: Op = SUM) -> Any:
+        """Exclusive prefix reduction: rank ``r`` gets ``op`` over ranks 0..r-1.
+
+        Rank 0 receives ``None`` (MPI leaves it undefined).
+        """
+        tag = self._next_collective_tag()
+        rank, size = self.Get_rank(), self.Get_size()
+        prefix: Any = None
+        if rank > 0:
+            prefix = self._internal_recv(rank - 1, tag)
+        inclusive = sendobj if prefix is None else op(prefix, sendobj)
+        if rank + 1 < size:
+            self._internal_send(rank + 1, tag, inclusive)
+        return prefix
+
+    # -- buffer (NumPy) collectives ----------------------------------------------
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> None:
+        """Broadcast a NumPy array from ``root``, filling ``buf`` in place."""
+        data = self.bcast(buf if self.Get_rank() == root else None, root=root)
+        if self.Get_rank() != root:
+            np.copyto(buf, np.asarray(data).reshape(buf.shape))
+
+    def Scatter(
+        self,
+        sendbuf: Optional[np.ndarray],
+        recvbuf: np.ndarray,
+        root: int = 0,
+    ) -> None:
+        """Scatter rows of ``sendbuf`` (shape ``(size, ...)``) from ``root``."""
+        rank, size = self.Get_rank(), self.Get_size()
+        if rank == root:
+            if sendbuf is None or sendbuf.shape[0] != size:
+                raise ValueError(f"Scatter sendbuf must have leading dim {size}")
+            parts: Optional[List[np.ndarray]] = [
+                np.ascontiguousarray(sendbuf[i]) for i in range(size)
+            ]
+        else:
+            parts = None
+        mine = self.scatter(parts, root=root)
+        np.copyto(recvbuf, np.asarray(mine).reshape(recvbuf.shape))
+
+    def Gather(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray],
+        root: int = 0,
+    ) -> None:
+        """Gather equal-shaped arrays into rows of ``recvbuf`` at ``root``."""
+        rank, size = self.Get_rank(), self.Get_size()
+        parts = self.gather(np.ascontiguousarray(sendbuf), root=root)
+        if rank == root:
+            if recvbuf is None or recvbuf.shape[0] != size:
+                raise ValueError(f"Gather recvbuf must have leading dim {size}")
+            assert parts is not None
+            for i, part in enumerate(parts):
+                np.copyto(recvbuf[i], part.reshape(recvbuf[i].shape))
+
+    def Allgather(self, sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
+        """Gather equal-shaped arrays into rows of ``recvbuf`` at every rank."""
+        parts = self.allgather(np.ascontiguousarray(sendbuf))
+        for i, part in enumerate(parts):
+            np.copyto(recvbuf[i], part.reshape(recvbuf[i].shape))
+
+    def Reduce(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray],
+        op: Op = SUM,
+        root: int = 0,
+    ) -> None:
+        """Element-wise reduce arrays onto ``recvbuf`` at ``root``."""
+        result = self.reduce(
+            np.ascontiguousarray(sendbuf), op=_buffer_op(op), root=root
+        )
+        if self.Get_rank() == root:
+            if recvbuf is None:
+                raise ValueError("Reduce needs a recvbuf at the root")
+            np.copyto(recvbuf, result.reshape(recvbuf.shape))
+
+    def Allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: Op = SUM) -> None:
+        """Element-wise all-reduce into ``recvbuf`` at every rank."""
+        result = self.allreduce(np.ascontiguousarray(sendbuf), op=_buffer_op(op))
+        np.copyto(recvbuf, result.reshape(recvbuf.shape))
+
+    # -- helpers -----------------------------------------------------------------
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.Get_size():
+            raise ValueError(f"root {root} out of range")
+
+
+def _buffer_op(op: Op) -> Op:
+    """Lift ``op`` to combine NumPy arrays element-wise via its ufunc."""
+    if op.ufunc is None:
+        raise TypeError(f"{op.name} cannot be used in buffer collectives")
+    ufunc = op.ufunc
+    return Op(
+        name=op.name,
+        fn=lambda a, b: ufunc(a, b),
+        ufunc=ufunc,
+        commutative=op.commutative,
+    )

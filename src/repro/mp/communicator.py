@@ -1,0 +1,394 @@
+"""Point-to-point messaging: mailboxes, requests, and the Communicator.
+
+Semantics preserved from MPI:
+
+- **Value semantics.** Payloads are deep-copied at send time, so mutating an
+  object after ``send`` cannot retroactively change the message (real MPI
+  serializes into a wire buffer; we model that with ``copy.deepcopy``).
+- **Non-overtaking order.** Two messages from the same sender to the same
+  receiver are matched in the order they were sent: a receive always takes
+  the *earliest* matching message in arrival order.
+- **Wildcards.** ``ANY_SOURCE`` and ``ANY_TAG`` match anything; the actual
+  source/tag are reported through the :class:`Status` object.
+- **Buffer calls.** Uppercase ``Send``/``Recv`` move NumPy arrays; ``Recv``
+  fills the caller's buffer in place and raises :class:`MessageTruncated`
+  when the buffer is too small — modelling ``MPI_ERR_TRUNCATE``.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import itertools
+import threading
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+import numpy as np
+
+from repro.mp.collectives import CollectiveMixin
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mp.runtime import World
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+# Tags at or above this value are reserved for internal collective traffic.
+_INTERNAL_TAG_BASE = 1_000_000
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "MessageTruncated",
+    "Request",
+    "Status",
+]
+
+
+class MessageTruncated(RuntimeError):
+    """A buffer receive found a message longer than the receive buffer."""
+
+
+@dataclasses.dataclass
+class Status:
+    """Receive-side message metadata (MPI_Status).
+
+    ``source`` and ``tag`` are the *actual* values (useful after wildcard
+    receives); ``count`` is the element count for buffer messages and 1 for
+    object messages.
+    """
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    count: int = 0
+
+    def Get_source(self) -> int:
+        """The actual source rank of the received message."""
+        return self.source
+
+    def Get_tag(self) -> int:
+        """The actual tag of the received message."""
+        return self.tag
+
+    def Get_count(self) -> int:
+        """Number of elements received (1 for object messages)."""
+        return self.count
+
+
+@dataclasses.dataclass
+class _Envelope:
+    seq: int
+    source: int
+    tag: int
+    payload: Any
+    is_buffer: bool
+
+    def matches(self, source: int, tag: int) -> bool:
+        return (source == ANY_SOURCE or source == self.source) and (
+            tag == ANY_TAG or tag == self.tag
+        )
+
+
+class _Mailbox:
+    """A rank's incoming-message store with condition-variable matching."""
+
+    def __init__(self) -> None:
+        self._messages: List[_Envelope] = []
+        self._cond = threading.Condition()
+
+    def deliver(self, env: _Envelope) -> None:
+        with self._cond:
+            self._messages.append(env)
+            self._cond.notify_all()
+
+    def _find(self, source: int, tag: int) -> Optional[_Envelope]:
+        # Earliest arrival first => non-overtaking per sender.
+        for env in self._messages:
+            if env.matches(source, tag):
+                return env
+        return None
+
+    def take(
+        self, source: int, tag: int, timeout: Optional[float] = None
+    ) -> _Envelope:
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: self._find(source, tag) is not None, timeout
+            )
+            if not ok:
+                raise TimeoutError(
+                    f"recv(source={source}, tag={tag}) timed out"
+                )
+            env = self._find(source, tag)
+            assert env is not None
+            self._messages.remove(env)
+            return env
+
+    def try_take(self, source: int, tag: int) -> Optional[_Envelope]:
+        with self._cond:
+            env = self._find(source, tag)
+            if env is not None:
+                self._messages.remove(env)
+            return env
+
+    def peek(self, source: int, tag: int) -> Optional[_Envelope]:
+        with self._cond:
+            return self._find(source, tag)
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._messages)
+
+
+class Request:
+    """Handle for a non-blocking operation (MPI_Request).
+
+    ``isend`` requests are complete at creation (this runtime buffers
+    eagerly, like MPI's buffered mode); ``irecv`` requests complete when a
+    matching message is taken from the mailbox.
+    """
+
+    def __init__(
+        self,
+        complete_fn: Optional[Callable[[Optional[float]], Any]] = None,
+        try_fn: Optional[Callable[[], tuple[bool, Any]]] = None,
+        result: Any = None,
+        done: bool = False,
+    ) -> None:
+        self._complete_fn = complete_fn
+        self._try_fn = try_fn
+        self._result = result
+        self._done = done
+
+    @classmethod
+    def completed(cls, result: Any = None) -> "Request":
+        """A request that is already finished (eager-send completion)."""
+        return cls(result=result, done=True)
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Block until the operation completes; return its result."""
+        if not self._done:
+            assert self._complete_fn is not None
+            self._result = self._complete_fn(timeout)
+            self._done = True
+        return self._result
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check: ``(done, result_or_None)``."""
+        if self._done:
+            return True, self._result
+        assert self._try_fn is not None
+        done, result = self._try_fn()
+        if done:
+            self._done = True
+            self._result = result
+        return done, self._result if done else None
+
+    @property
+    def done(self) -> bool:
+        """Whether the operation has completed."""
+        return self._done
+
+    @staticmethod
+    def waitall(requests: List["Request"]) -> List[Any]:
+        """Wait on every request; return their results in order."""
+        return [r.wait() for r in requests]
+
+
+class Communicator(CollectiveMixin):
+    """A communication context binding one rank into a world of ``size`` ranks.
+
+    Created by :func:`repro.mp.runtime.run_spmd`; user code receives one
+    communicator per rank and calls mpi4py-shaped methods on it.
+    """
+
+    def __init__(self, world: "World", rank: int) -> None:
+        self._world = world
+        self._rank = rank
+        self._send_seq = itertools.count()
+        # Per-rank collective sequence number.  MPI requires all ranks to
+        # invoke collectives in the same order, so these local counters agree
+        # across ranks and can synthesize a unique internal tag per call.
+        self._coll_seq = 0
+
+    # -- identity ----------------------------------------------------------
+    def Get_rank(self) -> int:
+        """This process's rank in the communicator (0 .. size-1)."""
+        return self._rank
+
+    def Get_size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self._world.size
+
+    @property
+    def rank(self) -> int:
+        """Alias for :meth:`Get_rank` (mpi4py exposes both)."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Alias for :meth:`Get_size`."""
+        return self._world.size
+
+    # -- object point-to-point (lowercase: pickles/any object) -------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send a Python object to ``dest`` (deep-copied: value semantics)."""
+        self._check_rank(dest)
+        self._check_user_tag(tag)
+        self._post(dest, tag, copy.deepcopy(obj), is_buffer=False)
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Receive a Python object; blocks until a matching message arrives."""
+        env = self._world.mailbox(self._rank).take(source, tag, timeout)
+        self._fill_status(status, env)
+        return env.payload
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send (eagerly buffered, hence immediately complete)."""
+        self.send(obj, dest, tag)
+        return Request.completed()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive; ``req.wait()`` returns the object."""
+        mailbox = self._world.mailbox(self._rank)
+
+        def complete(timeout: Optional[float]) -> Any:
+            return mailbox.take(source, tag, timeout).payload
+
+        def attempt() -> tuple[bool, Any]:
+            env = mailbox.try_take(source, tag)
+            return (env is not None), (env.payload if env else None)
+
+        return Request(complete_fn=complete, try_fn=attempt)
+
+    def sendrecv(
+        self,
+        sendobj: Any,
+        dest: int,
+        sendtag: int = 0,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> Any:
+        """Combined send+receive; deadlock-free for exchange patterns."""
+        self.send(sendobj, dest, sendtag)
+        return self.recv(source, recvtag, status)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
+        """Block until a matching message is available; do not consume it."""
+        mailbox = self._world.mailbox(self._rank)
+        with mailbox._cond:
+            mailbox._cond.wait_for(lambda: mailbox._find(source, tag) is not None)
+            env = mailbox._find(source, tag)
+        status = Status()
+        self._fill_status(status, env)
+        return status
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-blocking probe: is a matching message waiting?"""
+        return self._world.mailbox(self._rank).peek(source, tag) is not None
+
+    # -- buffer point-to-point (uppercase: NumPy arrays) --------------------
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Send a NumPy array (copied at send time, like a wire buffer)."""
+        self._check_rank(dest)
+        self._check_user_tag(tag)
+        arr = np.ascontiguousarray(buf)
+        self._post(dest, tag, arr.copy(), is_buffer=True)
+
+    def Recv(
+        self,
+        buf: np.ndarray,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> None:
+        """Receive into ``buf`` in place.
+
+        Raises :class:`MessageTruncated` if the incoming message has more
+        elements than ``buf`` (MPI_ERR_TRUNCATE); a shorter message fills a
+        prefix, and ``status.count`` reports how many elements arrived.
+        """
+        env = self._world.mailbox(self._rank).take(source, tag, None)
+        data = env.payload
+        if not isinstance(data, np.ndarray):
+            raise TypeError(
+                "Recv matched an object message; use lowercase recv() for it"
+            )
+        flat_in = data.reshape(-1)
+        flat_out = buf.reshape(-1)
+        if flat_in.size > flat_out.size:
+            raise MessageTruncated(
+                f"message of {flat_in.size} elements into buffer of {flat_out.size}"
+            )
+        flat_out[: flat_in.size] = flat_in
+        env = dataclasses.replace(env, payload=data)
+        self._fill_status(status, env)
+
+    def Sendrecv(
+        self,
+        sendbuf: np.ndarray,
+        dest: int,
+        recvbuf: np.ndarray,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> None:
+        """Buffer-mode combined exchange."""
+        self.Send(sendbuf, dest, sendtag)
+        self.Recv(recvbuf, source, recvtag)
+
+    # -- internals -----------------------------------------------------------
+    def _post(self, dest: int, tag: int, payload: Any, is_buffer: bool) -> None:
+        env = _Envelope(
+            seq=next(self._send_seq),
+            source=self._rank,
+            tag=tag,
+            payload=payload,
+            is_buffer=is_buffer,
+        )
+        self._world.record_message(self._rank, dest, tag)
+        self._world.mailbox(dest).deliver(env)
+
+    def _internal_send(self, dest: int, tag: int, payload: Any) -> None:
+        """Collective-internal send: skips the user-tag range check."""
+        self._post(dest, tag, copy.deepcopy(payload), is_buffer=False)
+
+    def _internal_recv(self, source: int, tag: int) -> Any:
+        return self._world.mailbox(self._rank).take(source, tag, None).payload
+
+    def _next_collective_tag(self) -> int:
+        tag = _INTERNAL_TAG_BASE + self._coll_seq
+        self._coll_seq += 1
+        return tag
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self._world.size:
+            raise ValueError(
+                f"rank {rank} out of range for world of size {self._world.size}"
+            )
+
+    @staticmethod
+    def _check_user_tag(tag: int) -> None:
+        if tag < 0:
+            raise ValueError("user tags must be non-negative")
+        if tag >= _INTERNAL_TAG_BASE:
+            raise ValueError(
+                f"tags >= {_INTERNAL_TAG_BASE} are reserved for collectives"
+            )
+
+    @staticmethod
+    def _fill_status(status: Optional[Status], env: _Envelope) -> None:
+        if status is None:
+            return
+        status.source = env.source
+        status.tag = env.tag
+        payload = env.payload
+        status.count = int(payload.size) if isinstance(payload, np.ndarray) else 1

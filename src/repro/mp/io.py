@@ -1,0 +1,153 @@
+"""Collective file I/O (MPI-IO), simulated on a shared byte store.
+
+The mpi4py tutorial's MPI-IO section (one of this session's reference
+guides) demonstrates ``File.Open`` + ``Write_at_all`` with per-rank
+offsets and strided file views; cluster courses use the same exercise to
+teach how N ranks write one file without stepping on each other.  This
+module reproduces that API against an in-memory :class:`SimFile`:
+
+- ``Write_at_all(offset, buf)`` / ``Read_at_all(offset, buf)`` — explicit
+  per-rank offsets (the contiguous pattern);
+- ``Set_view(displacement, stride_count, block, stride)`` +
+  ``Write_all(buf)`` — the non-contiguous interleaved pattern of the
+  tutorial's ``Create_vector`` example.
+
+All ranks must call collectives together (enforced with an internal
+barrier), and the file records how many write calls it served — the
+"collective I/O aggregates requests" talking point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.mp.communicator import Communicator
+
+__all__ = ["SimFile", "MpiFile"]
+
+
+class SimFile:
+    """The shared byte store standing in for a parallel filesystem."""
+
+    def __init__(self) -> None:
+        self._data = bytearray()
+        self._lock = threading.Lock()
+        self.write_calls = 0
+        self.read_calls = 0
+
+    def write_at(self, offset: int, payload: bytes) -> None:
+        """Write ``payload`` at absolute byte ``offset`` (auto-extends)."""
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        with self._lock:
+            end = offset + len(payload)
+            if end > len(self._data):
+                self._data.extend(b"\x00" * (end - len(self._data)))
+            self._data[offset:end] = payload
+            self.write_calls += 1
+
+    def read_at(self, offset: int, size: int) -> bytes:
+        """Read ``size`` bytes at ``offset`` (zero-filled past EOF)."""
+        with self._lock:
+            self.read_calls += 1
+            chunk = bytes(self._data[offset : offset + size])
+            return chunk + b"\x00" * (size - len(chunk))
+
+    @property
+    def size(self) -> int:
+        """Current file size in bytes."""
+        with self._lock:
+            return len(self._data)
+
+    def as_array(self, dtype: np.dtype) -> np.ndarray:
+        """The whole file viewed as a typed array (for assertions)."""
+        with self._lock:
+            return np.frombuffer(bytes(self._data), dtype=dtype).copy()
+
+
+@dataclasses.dataclass
+class _View:
+    displacement: int
+    block_elems: int
+    stride_elems: int
+
+
+class MpiFile:
+    """A rank's handle on a :class:`SimFile` (MPI_File, simplified).
+
+    Every rank constructs its handle with the same shared ``SimFile`` and
+    its communicator; the ``*_all`` methods are collective (they barrier),
+    matching MPI's requirement that all ranks participate.
+    """
+
+    def __init__(self, comm: Communicator, simfile: SimFile) -> None:
+        self.comm = comm
+        self.file = simfile
+        self._view: Optional[_View] = None
+
+    # -- explicit-offset collectives ------------------------------------------
+    def Write_at_all(self, offset_bytes: int, buf: np.ndarray) -> None:
+        """Each rank writes its buffer at its own absolute offset."""
+        data = np.ascontiguousarray(buf)
+        self.file.write_at(offset_bytes, data.tobytes())
+        self.comm.barrier()
+
+    def Read_at_all(self, offset_bytes: int, buf: np.ndarray) -> None:
+        """Each rank reads into its buffer from its own offset."""
+        raw = self.file.read_at(offset_bytes, buf.nbytes)
+        np.copyto(buf, np.frombuffer(raw, dtype=buf.dtype).reshape(buf.shape))
+        self.comm.barrier()
+
+    # -- file views (the Create_vector pattern) ----------------------------------
+    def Set_view(
+        self,
+        displacement_bytes: int,
+        block_elems: int = 1,
+        stride_elems: Optional[int] = None,
+    ) -> None:
+        """Install a strided view: this rank owns blocks of
+        ``block_elems`` elements every ``stride_elems`` elements, starting
+        at ``displacement_bytes``.  Default stride = communicator size
+        (the tutorial's round-robin interleave)."""
+        stride = self.comm.Get_size() if stride_elems is None else stride_elems
+        if block_elems < 1 or stride < block_elems:
+            raise ValueError("need 1 <= block_elems <= stride_elems")
+        self._view = _View(displacement_bytes, block_elems, stride)
+
+    def Write_all(self, buf: np.ndarray) -> None:
+        """Collective write through the view (interleaved round-robin)."""
+        if self._view is None:
+            raise RuntimeError("Set_view must be called before Write_all")
+        data = np.ascontiguousarray(buf).reshape(-1)
+        itemsize = data.itemsize
+        view = self._view
+        per_block = view.block_elems
+        for block_index in range(0, data.size, per_block):
+            logical_block = block_index // per_block
+            file_elem = logical_block * view.stride_elems
+            offset = view.displacement + file_elem * itemsize
+            chunk = data[block_index : block_index + per_block]
+            self.file.write_at(offset, chunk.tobytes())
+        self.comm.barrier()
+
+    def Read_all(self, buf: np.ndarray) -> None:
+        """Collective read through the view."""
+        if self._view is None:
+            raise RuntimeError("Set_view must be called before Read_all")
+        out = buf.reshape(-1)
+        itemsize = out.itemsize
+        view = self._view
+        per_block = view.block_elems
+        for block_index in range(0, out.size, per_block):
+            logical_block = block_index // per_block
+            file_elem = logical_block * view.stride_elems
+            offset = view.displacement + file_elem * itemsize
+            raw = self.file.read_at(offset, per_block * itemsize)
+            out[block_index : block_index + per_block] = np.frombuffer(
+                raw, dtype=out.dtype
+            )
+        self.comm.barrier()

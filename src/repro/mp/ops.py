@@ -1,0 +1,91 @@
+"""Reduction operations for :mod:`repro.mp` collectives.
+
+Each :class:`Op` pairs an element-wise binary function (for Python objects)
+with a NumPy ufunc (for buffer collectives), mirroring how MPI predefined
+operations apply both to scalars and to typed arrays.  All predefined ops
+are associative and commutative, which is what lets tree-based reduction
+algorithms reorder the combination.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Op",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "BAND",
+    "BOR",
+    "MAXLOC",
+    "MINLOC",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Op:
+    """A reduction operation.
+
+    Parameters
+    ----------
+    name:
+        MPI-style name (``"MPI_SUM"`` …), used in reprs and traces.
+    fn:
+        Binary function on Python objects.
+    ufunc:
+        NumPy ufunc applied element-wise for buffer reductions; ``None``
+        for ops (like MAXLOC) that have no ufunc form.
+    commutative:
+        Predefined ops are commutative; user ops may not be, which forces
+        collectives to combine in rank order.
+    """
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+    ufunc: Optional[np.ufunc] = None
+    commutative: bool = True
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def reduce_arrays(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise combine two buffers (in-place into a copy of ``a``)."""
+        if self.ufunc is None:
+            raise TypeError(f"{self.name} has no buffer (ufunc) form")
+        return self.ufunc(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def _maxloc(a: Tuple[Any, int], b: Tuple[Any, int]) -> Tuple[Any, int]:
+    """MAXLOC combines (value, index) pairs; ties prefer the lower index."""
+    if a[0] > b[0] or (a[0] == b[0] and a[1] <= b[1]):
+        return a
+    return b
+
+
+def _minloc(a: Tuple[Any, int], b: Tuple[Any, int]) -> Tuple[Any, int]:
+    """MINLOC combines (value, index) pairs; ties prefer the lower index."""
+    if a[0] < b[0] or (a[0] == b[0] and a[1] <= b[1]):
+        return a
+    return b
+
+
+SUM = Op("MPI_SUM", lambda a, b: a + b, np.add)
+PROD = Op("MPI_PROD", lambda a, b: a * b, np.multiply)
+MAX = Op("MPI_MAX", lambda a, b: a if a >= b else b, np.maximum)
+MIN = Op("MPI_MIN", lambda a, b: a if a <= b else b, np.minimum)
+LAND = Op("MPI_LAND", lambda a, b: bool(a) and bool(b), np.logical_and)
+LOR = Op("MPI_LOR", lambda a, b: bool(a) or bool(b), np.logical_or)
+BAND = Op("MPI_BAND", lambda a, b: a & b, np.bitwise_and)
+BOR = Op("MPI_BOR", lambda a, b: a | b, np.bitwise_or)
+MAXLOC = Op("MPI_MAXLOC", _maxloc, None)
+MINLOC = Op("MPI_MINLOC", _minloc, None)

@@ -1,0 +1,164 @@
+"""The SPMD runtime: a world of rank-threads and its message fabric.
+
+:func:`run_spmd` is the ``mpiexec -n <size> python script.py`` of this
+substrate: it spawns one thread per rank, hands each a
+:class:`~repro.mp.communicator.Communicator`, runs the same function
+everywhere (Single Program, Multiple Data), and returns the per-rank return
+values.  An exception in any rank aborts the job and is re-raised in the
+caller with its rank attached, which is also how students learn that MPI
+errors are job-global.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.mp.communicator import Communicator, _Mailbox
+
+__all__ = ["World", "SpmdError", "run_spmd"]
+
+
+class SpmdError(RuntimeError):
+    """An exception escaped a rank's main function.
+
+    Attributes
+    ----------
+    rank:
+        The rank whose function raised.
+    cause:
+        The original exception (also chained via ``__cause__``).
+    """
+
+    def __init__(self, rank: int, cause: BaseException) -> None:
+        super().__init__(f"rank {rank} raised {type(cause).__name__}: {cause}")
+        self.rank = rank
+        self.cause = cause
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageRecord:
+    """One entry of the world's message trace (for stats and ablations)."""
+
+    source: int
+    dest: int
+    tag: int
+
+
+class World:
+    """Shared state of one SPMD job: mailboxes and a message trace."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("world size must be positive")
+        self.size = size
+        self._mailboxes = [_Mailbox() for _ in range(size)]
+        self._trace: List[MessageRecord] = []
+        self._trace_lock = threading.Lock()
+
+    def mailbox(self, rank: int) -> _Mailbox:
+        """The incoming-message store of ``rank``."""
+        return self._mailboxes[rank]
+
+    def record_message(self, source: int, dest: int, tag: int) -> None:
+        """Append one send to the message trace."""
+        with self._trace_lock:
+            self._trace.append(MessageRecord(source, dest, tag))
+
+    @property
+    def message_count(self) -> int:
+        """Total messages sent in this world so far."""
+        with self._trace_lock:
+            return len(self._trace)
+
+    def messages_from(self, rank: int) -> int:
+        """Messages sent by ``rank`` (the root-serialization metric)."""
+        with self._trace_lock:
+            return sum(1 for m in self._trace if m.source == rank)
+
+    def trace(self) -> List[MessageRecord]:
+        """A snapshot of the full message trace."""
+        with self._trace_lock:
+            return list(self._trace)
+
+    def communicator(self, rank: int) -> Communicator:
+        """Build the communicator bound to ``rank``."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range")
+        return Communicator(self, rank)
+
+
+def run_spmd(
+    size: int,
+    main: Callable[..., Any],
+    *args: Any,
+    world: Optional[World] = None,
+    timeout: Optional[float] = 60.0,
+    **kwargs: Any,
+) -> List[Any]:
+    """Run ``main(comm, *args, **kwargs)`` on ``size`` rank-threads.
+
+    Returns the list of per-rank return values, indexed by rank.  Pass a
+    pre-built :class:`World` to inspect its message trace afterwards.
+
+    ``timeout`` bounds the whole job; a hung rank (e.g. a deadlocked
+    receive) raises ``TimeoutError`` instead of hanging the test suite —
+    deliberately, since "my ranks deadlocked" is a teaching moment, not an
+    infrastructure failure.
+    """
+    w = world if world is not None else World(size)
+    if w.size != size:
+        raise ValueError("world size does not match requested size")
+    results: Dict[int, Any] = {}
+    errors: List[Tuple[int, BaseException]] = []
+    lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        comm = w.communicator(rank)
+        try:
+            value = main(comm, *args, **kwargs)
+            with lock:
+                results[rank] = value
+        except BaseException as exc:  # noqa: BLE001 - relayed to the caller
+            with lock:
+                errors.append((rank, exc))
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), daemon=True, name=f"rank-{r}")
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+
+    import time as _time
+
+    deadline = None if timeout is None else _time.monotonic() + timeout
+    while True:
+        alive = [t for t in threads if t.is_alive()]
+        if not alive:
+            break
+        with lock:
+            failed = bool(errors)
+        if failed:
+            # A rank died; siblings blocked on its messages will never
+            # finish.  Give them a short grace period, then abandon them
+            # (daemon threads) and report the real error.
+            grace = _time.monotonic() + 0.5
+            while _time.monotonic() < grace and any(
+                t.is_alive() for t in threads
+            ):
+                _time.sleep(0.01)
+            break
+        if deadline is not None and _time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"SPMD job did not finish within {timeout}s "
+                f"({alive[0].name} still running; likely an unmatched recv "
+                "or deadlock)"
+            )
+        _time.sleep(0.005)
+
+    if errors:
+        rank, cause = min(errors, key=lambda e: e[0])
+        raise SpmdError(rank, cause) from cause
+    return [results[r] for r in range(size)]

@@ -1,0 +1,150 @@
+"""Virtual process topologies (MPI_Cart_*).
+
+Cluster courses teach domain decomposition on cartesian grids — halo
+exchanges for stencils, row/column communicators for matrix algorithms.
+:class:`CartComm` wraps a communicator with an N-dimensional grid layout and
+provides ``Get_coords``/``Get_cart_rank``/``Shift`` plus a halo-exchange
+convenience built on ``sendrecv``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.mp.communicator import Communicator
+
+__all__ = ["CartComm", "dims_create"]
+
+
+def dims_create(nnodes: int, ndims: int) -> List[int]:
+    """Balanced factorization of ``nnodes`` into ``ndims`` dims (MPI_Dims_create).
+
+    Produces a non-increasing dimension vector whose product is ``nnodes``,
+    as close to a hypercube as the factorization allows.
+    """
+    if nnodes < 1 or ndims < 1:
+        raise ValueError("nnodes and ndims must be positive")
+    dims = [1] * ndims
+    remaining = nnodes
+    # Greedily peel the largest factor <= the balanced target for each slot.
+    for i in range(ndims - 1):
+        target = round(remaining ** (1.0 / (ndims - i)))
+        best = 1
+        for f in range(max(1, target), 0, -1):
+            if remaining % f == 0:
+                best = f
+                break
+        # Also consider the smallest factor above the target; pick the closer.
+        above = None
+        for f in range(max(2, target + 1), remaining + 1):
+            if remaining % f == 0:
+                above = f
+                break
+        if above is not None and abs(above - target) < abs(best - target):
+            best = above
+        dims[i] = best
+        remaining //= best
+    dims[-1] = remaining
+    dims.sort(reverse=True)
+    if math.prod(dims) != nnodes:
+        raise AssertionError("dims_create produced an invalid factorization")
+    return dims
+
+
+class CartComm:
+    """A cartesian grid view over a communicator.
+
+    Ranks are laid out in row-major order over ``dims`` (matching MPI's
+    default).  ``periods[d]`` makes dimension ``d`` wrap around.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        dims: Sequence[int],
+        periods: Optional[Sequence[bool]] = None,
+    ) -> None:
+        if math.prod(dims) != comm.Get_size():
+            raise ValueError(
+                f"grid {tuple(dims)} needs {math.prod(dims)} ranks, "
+                f"world has {comm.Get_size()}"
+            )
+        self.comm = comm
+        self.dims = tuple(int(d) for d in dims)
+        self.periods = tuple(bool(p) for p in (periods or [False] * len(dims)))
+        if len(self.periods) != len(self.dims):
+            raise ValueError("periods must match dims in length")
+
+    # -- coordinate arithmetic ------------------------------------------------
+    def Get_coords(self, rank: Optional[int] = None) -> Tuple[int, ...]:
+        """Grid coordinates of ``rank`` (default: the calling rank)."""
+        r = self.comm.Get_rank() if rank is None else rank
+        coords = []
+        for d in reversed(self.dims):
+            coords.append(r % d)
+            r //= d
+        return tuple(reversed(coords))
+
+    def Get_cart_rank(self, coords: Sequence[int]) -> int:
+        """Rank at grid ``coords`` (periodic dims wrap; others must be valid)."""
+        if len(coords) != len(self.dims):
+            raise ValueError("coordinate dimensionality mismatch")
+        rank = 0
+        for c, d, p in zip(coords, self.dims, self.periods):
+            if p:
+                c %= d
+            elif not 0 <= c < d:
+                raise ValueError(f"coordinate {c} out of range for dim {d}")
+            rank = rank * d + c
+        return rank
+
+    def Shift(self, direction: int, disp: int = 1) -> Tuple[Optional[int], Optional[int]]:
+        """Source and destination ranks for a shift along ``direction``.
+
+        Returns ``(source, dest)`` — the rank that would send to me and the
+        rank I would send to — with ``None`` standing in for MPI_PROC_NULL
+        at non-periodic edges.
+        """
+        coords = list(self.Get_coords())
+
+        def neighbour(offset: int) -> Optional[int]:
+            c = list(coords)
+            c[direction] += offset
+            if self.periods[direction]:
+                c[direction] %= self.dims[direction]
+            elif not 0 <= c[direction] < self.dims[direction]:
+                return None
+            return self.Get_cart_rank(c)
+
+        return neighbour(-disp), neighbour(+disp)
+
+    # -- convenience patterns ----------------------------------------------------
+    def neighbor_exchange(self, direction: int, sendobj: Any) -> Tuple[Any, Any]:
+        """Halo exchange along one dimension.
+
+        Sends ``sendobj`` to both neighbours and returns
+        ``(from_lower, from_upper)``; ``None`` where the grid edge is
+        non-periodic.  The two exchanges use distinct tags so opposite
+        directions cannot be confused.
+        """
+        lower, upper = self.Shift(direction)
+        tag_up = 2 * direction
+        tag_down = 2 * direction + 1
+        if upper is not None:
+            self.comm.send(sendobj, upper, tag=tag_up)
+        if lower is not None:
+            self.comm.send(sendobj, lower, tag=tag_down)
+        from_lower = self.comm.recv(lower, tag=tag_up) if lower is not None else None
+        from_upper = self.comm.recv(upper, tag=tag_down) if upper is not None else None
+        return from_lower, from_upper
+
+    def row_ranks(self, dim: int) -> List[int]:
+        """Ranks sharing this rank's coordinates except along ``dim``."""
+        coords = list(self.Get_coords())
+        out = []
+        for c in range(self.dims[dim]):
+            cc = list(coords)
+            cc[dim] = c
+            out.append(self.Get_cart_rank(cc))
+        return out

@@ -1,0 +1,59 @@
+"""Simulated networking: sockets, protocols, client–server, P2P, security.
+
+RIT's *Concepts of Parallel and Distributed Systems* course (paper §IV-C)
+interleaves "networked computers (client-server, connections, application
+protocol design, socket and datagram programming); network protocols and
+security".  This subpackage is that course's substrate, built over an
+in-process simulated network so every lab runs deterministically on a
+laptop:
+
+- :mod:`repro.net.simnet` — the network fabric: named hosts, ports,
+  reliable connections and (optionally lossy) datagrams.
+- :mod:`repro.net.sockets` — the socket API: listen/accept/connect
+  streams and sendto/recvfrom datagrams.
+- :mod:`repro.net.protocol` — layered encapsulation (application /
+  transport / network / link headers) and a request–response application
+  protocol codec.
+- :mod:`repro.net.clientserver` — echo and key-value servers with
+  threaded request handling, plus client helpers.
+- :mod:`repro.net.p2p` — unstructured flooding lookup and a
+  consistent-hashing ring (DHT-style) overlay.
+- :mod:`repro.net.security` — the toy ciphers and Diffie–Hellman exchange
+  used to teach the security unit (teaching artifacts, *not* cryptography).
+"""
+
+from repro.net.clientserver import EchoServer, KeyValueClient, KeyValueServer
+from repro.net.gbn import GbnReport, simulate_go_back_n
+from repro.net.protocol import (
+    Frame,
+    LayeredStack,
+    ProtocolError,
+    Request,
+    Response,
+)
+from repro.net.simnet import Address, Network
+from repro.net.sockets import (
+    Connection,
+    ConnectionRefused,
+    DatagramSocket,
+    ServerSocket,
+)
+
+__all__ = [
+    "Address",
+    "Connection",
+    "ConnectionRefused",
+    "DatagramSocket",
+    "EchoServer",
+    "Frame",
+    "GbnReport",
+    "KeyValueClient",
+    "simulate_go_back_n",
+    "KeyValueServer",
+    "LayeredStack",
+    "Network",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "ServerSocket",
+]

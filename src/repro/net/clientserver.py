@@ -1,0 +1,186 @@
+"""Client–server programming: echo and key-value servers.
+
+Table I maps "client-server programming" to systems-programming and
+networking courses; the RIT course builds exactly these servers.  Both
+servers spawn one handler thread per connection (the thread-per-client
+model — the course's bridge between its threading and networking units).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.net.protocol import ProtocolError, Request, Response
+from repro.net.simnet import Address, Network
+from repro.net.sockets import Connection, ServerSocket
+
+__all__ = ["EchoServer", "KeyValueServer", "KeyValueClient"]
+
+
+class _ThreadedServer:
+    """Shared accept-loop plumbing: accept, spawn handler, track threads."""
+
+    def __init__(self, network: Network, address: Address) -> None:
+        self.network = network
+        self.address = address
+        self._server = ServerSocket(network, address)
+        self._threads: List[threading.Thread] = []
+        self._accept_thread: Optional[threading.Thread] = None
+        self._running = False
+        self.connections_served = 0
+
+    def start(self) -> "_ThreadedServer":
+        """Begin accepting connections on a background thread."""
+        self._running = True
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn = self._server.accept(timeout=0.2)
+            except (TimeoutError, OSError):
+                if not self._running:
+                    return
+                continue
+            self.connections_served += 1
+            t = threading.Thread(target=self._serve, args=(conn,), daemon=True)
+            self._threads.append(t)
+            t.start()
+
+    def _serve(self, conn: Connection) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        """Stop accepting and wait for in-flight handlers."""
+        self._running = False
+        self._server.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        for t in self._threads:
+            t.join(timeout=5)
+
+    def __enter__(self) -> "_ThreadedServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+class EchoServer(_ThreadedServer):
+    """Echoes every message back until the client closes — the hello-world
+    of network programming."""
+
+    def _serve(self, conn: Connection) -> None:
+        try:
+            while True:
+                msg = conn.recv()
+                conn.send(msg)
+        except EOFError:
+            pass
+        finally:
+            conn.close()
+
+
+class KeyValueServer(_ThreadedServer):
+    """A concurrent key-value store speaking the Request/Response protocol.
+
+    Verbs: ``GET key``, ``PUT key`` (body = value), ``DELETE key``,
+    ``KEYS`` (ignored resource), ``INCR key`` (atomic read-modify-write —
+    the store lock makes it safe under concurrent clients, which a test
+    hammers).
+    """
+
+    def __init__(self, network: Network, address: Address) -> None:
+        super().__init__(network, address)
+        self._store: Dict[str, Any] = {}
+        self._store_lock = threading.Lock()
+
+    def _serve(self, conn: Connection) -> None:
+        try:
+            while True:
+                wire = conn.recv()
+                try:
+                    request = Request.decode(wire)
+                    response = self._dispatch(request)
+                except ProtocolError as exc:
+                    response = Response(400, str(exc))
+                conn.send(response)
+        except EOFError:
+            pass
+        finally:
+            conn.close()
+
+    def _dispatch(self, request: Request) -> Response:
+        with self._store_lock:
+            if request.verb == "GET":
+                if request.resource in self._store:
+                    return Response(200, self._store[request.resource])
+                return Response(404, None)
+            if request.verb == "PUT":
+                self._store[request.resource] = request.body
+                return Response(200, None)
+            if request.verb == "DELETE":
+                existed = self._store.pop(request.resource, None) is not None
+                return Response(200 if existed else 404, None)
+            if request.verb == "KEYS":
+                return Response(200, sorted(self._store))
+            if request.verb == "INCR":
+                value = self._store.get(request.resource, 0)
+                if not isinstance(value, int):
+                    return Response(409, "not an integer")
+                self._store[request.resource] = value + 1
+                return Response(200, value + 1)
+        return Response(405, f"unknown verb {request.verb}")
+
+
+class KeyValueClient:
+    """A typed client for :class:`KeyValueServer`."""
+
+    def __init__(
+        self, network: Network, server: Address, host: str = "client"
+    ) -> None:
+        self._conn = Connection.connect(network, server, local_host=host)
+
+    def _call(self, request: Request) -> Response:
+        self._conn.send(request.encode())
+        reply = self._conn.recv()
+        if not isinstance(reply, Response):
+            raise ProtocolError(f"unexpected reply: {reply!r}")
+        return reply
+
+    def get(self, key: str) -> Optional[Any]:
+        """Value at ``key``, or ``None`` if absent."""
+        response = self._call(Request("GET", key))
+        return response.body if response.ok else None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` at ``key``."""
+        self._call(Request("PUT", key, value))
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; returns whether it existed."""
+        return self._call(Request("DELETE", key)).ok
+
+    def keys(self) -> List[str]:
+        """All keys, sorted."""
+        return list(self._call(Request("KEYS", "*")).body or [])
+
+    def incr(self, key: str) -> int:
+        """Atomically increment the integer at ``key``; returns the new value."""
+        response = self._call(Request("INCR", key))
+        if not response.ok:
+            raise ValueError(response.body)
+        return int(response.body)
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "KeyValueClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

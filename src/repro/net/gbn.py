@@ -1,0 +1,225 @@
+"""Sliding-window ARQ: Go-Back-N and Selective Repeat.
+
+The follow-on to the stop-and-wait lab (:mod:`repro.net.protocol`): a
+window of ``N`` packets is in flight at once.  Two receiver disciplines:
+
+- **Go-Back-N**: the receiver accepts only in-order packets and sends
+  cumulative ACKs; a timeout resends the whole window — simple, but every
+  loss wastes the window's worth of successors.
+- **Selective Repeat**: the receiver buffers out-of-order packets and
+  ACKs individually; only genuinely lost packets are resent.
+
+Both run in deterministic lockstep (seeded per-transmission loss on data
+and ACKs), so the classic curves are exactly reproducible: throughput
+rises with window size, GBN's efficiency collapses under loss, and SR
+holds it near ``1 - loss_rate``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = [
+    "GbnReport",
+    "simulate_go_back_n",
+    "simulate_selective_repeat",
+    "window_sweep",
+    "protocol_comparison",
+]
+
+
+@dataclasses.dataclass
+class GbnReport:
+    """Outcome of one Go-Back-N session."""
+
+    num_packets: int
+    window: int
+    transmissions: int
+    acks_sent: int
+    timeouts: int
+    rounds: int
+
+    @property
+    def efficiency(self) -> float:
+        """Useful packets per data transmission (1.0 = loss-free)."""
+        if self.transmissions == 0:
+            return 0.0
+        return self.num_packets / self.transmissions
+
+
+def simulate_go_back_n(
+    num_packets: int,
+    window: int,
+    loss_rate: float = 0.0,
+    ack_loss_rate: float = 0.0,
+    seed: int = 0,
+    max_rounds: int = 100_000,
+) -> GbnReport:
+    """Run a Go-Back-N session in lockstep rounds.
+
+    One round = the sender transmits every unsent packet in its window,
+    the receiver processes arrivals in order and emits one cumulative ACK
+    per data packet received, the sender processes surviving ACKs.  If a
+    round delivers no new ACK progress, a timeout fires and the window is
+    resent — the protocol's defining (and wasteful) recovery.
+    """
+    if num_packets < 0 or window < 1:
+        raise ValueError("need num_packets >= 0 and window >= 1")
+    if not (0.0 <= loss_rate < 1.0 and 0.0 <= ack_loss_rate < 1.0):
+        raise ValueError("loss rates must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+
+    base = 0  # oldest unacked sequence number
+    next_seq = 0  # next never-yet-sent sequence number
+    expected = 0  # receiver's next in-order sequence number
+    transmissions = 0
+    acks_sent = 0
+    timeouts = 0
+    rounds = 0
+
+    while base < num_packets:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError("GBN session did not terminate")
+
+        # Sender: fill the window.
+        to_send = list(range(next_seq, min(base + window, num_packets)))
+        arrivals: List[int] = []
+        for seq in to_send:
+            transmissions += 1
+            if rng.random() >= loss_rate:
+                arrivals.append(seq)
+        next_seq = max(next_seq, min(base + window, num_packets))
+
+        # Receiver: accept in-order, cumulative-ACK each arrival.
+        best_ack = -1
+        for seq in arrivals:
+            if seq == expected:
+                expected += 1
+            acks_sent += 1
+            # Cumulative ACK carries expected-1; the ACK itself may drop.
+            if rng.random() >= ack_loss_rate:
+                best_ack = max(best_ack, expected - 1)
+
+        # Sender: advance on the best surviving cumulative ACK.
+        if best_ack >= base:
+            base = best_ack + 1
+        else:
+            # No progress: timeout -> go back N (resend from base).
+            timeouts += 1
+            next_seq = base
+
+    return GbnReport(
+        num_packets=num_packets,
+        window=window,
+        transmissions=transmissions,
+        acks_sent=acks_sent,
+        timeouts=timeouts,
+        rounds=rounds,
+    )
+
+
+def simulate_selective_repeat(
+    num_packets: int,
+    window: int,
+    loss_rate: float = 0.0,
+    ack_loss_rate: float = 0.0,
+    seed: int = 0,
+    max_rounds: int = 100_000,
+) -> GbnReport:
+    """Run a Selective Repeat session in lockstep rounds.
+
+    Each round the sender transmits every unacked packet in its window
+    that is not already known-received; the receiver buffers whatever
+    arrives and ACKs each packet individually; surviving ACKs mark
+    packets received, and the window slides past the longest acked
+    prefix.  Timeouts are implicit — unacked packets simply go out again
+    next round — so the ``timeouts`` field counts rounds that made no
+    sliding progress.
+    """
+    if num_packets < 0 or window < 1:
+        raise ValueError("need num_packets >= 0 and window >= 1")
+    if not (0.0 <= loss_rate < 1.0 and 0.0 <= ack_loss_rate < 1.0):
+        raise ValueError("loss rates must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+
+    base = 0
+    acked = [False] * num_packets
+    received = [False] * num_packets
+    transmissions = 0
+    acks_sent = 0
+    timeouts = 0
+    rounds = 0
+
+    while base < num_packets:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError("SR session did not terminate")
+
+        window_end = min(base + window, num_packets)
+        arrivals: List[int] = []
+        for seq in range(base, window_end):
+            if acked[seq]:
+                continue
+            transmissions += 1
+            if rng.random() >= loss_rate:
+                arrivals.append(seq)
+
+        progressed = False
+        for seq in arrivals:
+            received[seq] = True
+            acks_sent += 1
+            if rng.random() >= ack_loss_rate:
+                if not acked[seq]:
+                    acked[seq] = True
+                    progressed = True
+
+        if not progressed:
+            timeouts += 1
+        while base < num_packets and acked[base]:
+            base += 1
+
+    return GbnReport(
+        num_packets=num_packets,
+        window=window,
+        transmissions=transmissions,
+        acks_sent=acks_sent,
+        timeouts=timeouts,
+        rounds=rounds,
+    )
+
+
+def window_sweep(
+    num_packets: int = 100,
+    windows: List[int] = [1, 2, 4, 8, 16],
+    loss_rate: float = 0.1,
+    seed: int = 0,
+) -> Dict[int, GbnReport]:
+    """The lab's plot: rounds (≈ time) and transmissions vs window size."""
+    return {
+        w: simulate_go_back_n(num_packets, w, loss_rate=loss_rate, seed=seed)
+        for w in windows
+    }
+
+
+def protocol_comparison(
+    num_packets: int = 200,
+    window: int = 8,
+    loss_rates: List[float] = [0.0, 0.05, 0.1, 0.2, 0.3],
+    seed: int = 0,
+) -> Dict[float, Dict[str, GbnReport]]:
+    """GBN vs SR efficiency as loss grows — the lecture's closing plot."""
+    out: Dict[float, Dict[str, GbnReport]] = {}
+    for loss in loss_rates:
+        out[loss] = {
+            "go-back-n": simulate_go_back_n(
+                num_packets, window, loss_rate=loss, seed=seed
+            ),
+            "selective-repeat": simulate_selective_repeat(
+                num_packets, window, loss_rate=loss, seed=seed
+            ),
+        }
+    return out

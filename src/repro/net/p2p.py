@@ -1,0 +1,165 @@
+"""Peer-to-peer overlays: flooding lookup and a consistent-hash ring.
+
+RIT's course description names "peer-to-peer systems" among its topics.
+Two canonical designs, as graph simulations (the overlay logic is the
+lesson; the message transport below it is :mod:`repro.net.simnet`'s job in
+the integrated labs):
+
+- **Unstructured overlay** (:class:`FloodingNetwork`): peers hold local
+  items; lookups flood with a TTL; the hop/message counts show why
+  flooding does not scale.
+- **Structured overlay** (:class:`ConsistentHashRing`): a DHT-style ring
+  with virtual nodes; lookups are O(1) given the ring, and the
+  rebalancing statistics on node join/leave show the design's point —
+  only ~1/n of keys move.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+__all__ = ["FloodingNetwork", "LookupResult", "ConsistentHashRing"]
+
+
+@dataclasses.dataclass
+class LookupResult:
+    """Outcome of one flooding lookup."""
+
+    found_at: Optional[str]
+    messages: int
+    hops: int
+    visited: Set[str]
+
+
+class FloodingNetwork:
+    """An unstructured P2P overlay with TTL-bounded flooding search."""
+
+    def __init__(self) -> None:
+        self.graph = nx.Graph()
+        self._items: Dict[str, Set[str]] = {}
+
+    def add_peer(self, name: str, neighbors: Sequence[str] = ()) -> None:
+        """Join a peer, optionally wiring it to existing neighbors."""
+        self.graph.add_node(name)
+        self._items.setdefault(name, set())
+        for n in neighbors:
+            if n not in self.graph:
+                raise KeyError(f"unknown neighbor {n}")
+            self.graph.add_edge(name, n)
+
+    def store(self, peer: str, item: str) -> None:
+        """Place ``item`` on ``peer`` (unstructured: data stays local)."""
+        self._items[peer].add(item)
+
+    def lookup(self, origin: str, item: str, ttl: int = 4) -> LookupResult:
+        """Breadth-first flood from ``origin`` with the given TTL.
+
+        Message count = every edge traversal attempted (queries are sent
+        to all neighbors except the one the query arrived from), the
+        metric that explodes as the overlay grows.
+        """
+        if origin not in self.graph:
+            raise KeyError(f"unknown peer {origin}")
+        visited: Set[str] = {origin}
+        frontier: List[Tuple[str, Optional[str]]] = [(origin, None)]
+        messages = 0
+        if item in self._items[origin]:
+            return LookupResult(origin, 0, 0, visited)
+        for hop in range(1, ttl + 1):
+            next_frontier: List[Tuple[str, Optional[str]]] = []
+            for peer, came_from in frontier:
+                for neighbor in sorted(self.graph.neighbors(peer)):
+                    if neighbor == came_from:
+                        continue
+                    messages += 1  # the query is sent even to visited peers
+                    if neighbor in visited:
+                        continue
+                    visited.add(neighbor)
+                    if item in self._items[neighbor]:
+                        return LookupResult(neighbor, messages, hop, visited)
+                    next_frontier.append((neighbor, peer))
+            frontier = next_frontier
+            if not frontier:
+                break
+        return LookupResult(None, messages, ttl, visited)
+
+
+class ConsistentHashRing:
+    """Consistent hashing with virtual nodes (the DHT placement function).
+
+    Keys and nodes hash onto a ring; a key lives on the first node
+    clockwise from its hash.  ``virtual_nodes`` spreads each physical node
+    across the ring, smoothing the load distribution (exposed via
+    :meth:`load_distribution`, which the tests bound).
+    """
+
+    def __init__(self, nodes: Sequence[str] = (), virtual_nodes: int = 16) -> None:
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be positive")
+        self.virtual_nodes = virtual_nodes
+        self._ring: List[Tuple[int, str]] = []
+        self._nodes: Set[str] = set()
+        for n in nodes:
+            self.add_node(n)
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(value.encode()).digest()[:8], "big"
+        )
+
+    def add_node(self, node: str) -> None:
+        """Join a node (its ``virtual_nodes`` points enter the ring)."""
+        if node in self._nodes:
+            raise ValueError(f"node {node} already present")
+        self._nodes.add(node)
+        for v in range(self.virtual_nodes):
+            self._ring.append((self._hash(f"{node}#{v}"), node))
+        self._ring.sort()
+
+    def remove_node(self, node: str) -> None:
+        """Leave: the node's points vanish; successors absorb its keys."""
+        if node not in self._nodes:
+            raise KeyError(f"unknown node {node}")
+        self._nodes.discard(node)
+        self._ring = [(h, n) for h, n in self._ring if n != node]
+
+    def node_for(self, key: str) -> str:
+        """The node responsible for ``key``."""
+        if not self._ring:
+            raise RuntimeError("ring is empty")
+        h = self._hash(key)
+        # Binary search for the first ring point >= h (wrap to 0).
+        lo, hi = 0, len(self._ring)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._ring[mid][0] < h:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._ring[lo % len(self._ring)][1]
+
+    def placement(self, keys: Sequence[str]) -> Dict[str, str]:
+        """Key → node for a batch of keys."""
+        return {k: self.node_for(k) for k in keys}
+
+    def load_distribution(self, keys: Sequence[str]) -> Dict[str, int]:
+        """Keys per node."""
+        counts: Dict[str, int] = {n: 0 for n in self._nodes}
+        for k in keys:
+            counts[self.node_for(k)] += 1
+        return counts
+
+    @staticmethod
+    def moved_keys(
+        before: Dict[str, str], after: Dict[str, str]
+    ) -> float:
+        """Fraction of keys whose node changed between two placements."""
+        if not before:
+            return 0.0
+        moved = sum(1 for k in before if after.get(k) != before[k])
+        return moved / len(before)

@@ -1,0 +1,201 @@
+"""Protocol layering and application protocol design.
+
+Two teaching artifacts from the RIT course's networking unit:
+
+1. **Layered encapsulation** — :class:`LayeredStack` pushes a payload down
+   through application/transport/network/link layers, each wrapping it in
+   a :class:`Frame` with its own header, and pops it back up on the
+   receive side, verifying headers as it goes.  The printable nesting is
+   the lecture diagram, executable.
+
+2. **Application protocol design** — :class:`Request`/:class:`Response`
+   with a tiny codec (verb, resource, body, status), the shape of every
+   RPC/HTTP-ish protocol students design in projects, plus
+   :func:`stop_and_wait_send`, the reliability-on-datagrams exercise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.net.simnet import Address
+from repro.net.sockets import DatagramSocket
+
+__all__ = [
+    "ProtocolError",
+    "Frame",
+    "LayeredStack",
+    "Request",
+    "Response",
+    "stop_and_wait_send",
+    "stop_and_wait_recv",
+]
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame or protocol violation."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Frame:
+    """A payload wrapped with one layer's header."""
+
+    layer: str
+    header: Dict[str, Any]
+    payload: Any
+
+    def __str__(self) -> str:
+        inner = str(self.payload) if isinstance(self.payload, Frame) else repr(self.payload)
+        hdr = ",".join(f"{k}={v}" for k, v in sorted(self.header.items()))
+        return f"[{self.layer} {hdr} | {inner}]"
+
+
+class LayeredStack:
+    """A protocol stack: encapsulate down the layers, decapsulate up.
+
+    Default layers mirror the 4-layer Internet model.  Each layer stamps
+    its header at send time; at receive time headers are stripped in
+    reverse order and validated (wrong layer order raises
+    :class:`ProtocolError` — the "you can't parse an IP header as
+    Ethernet" lesson).
+    """
+
+    DEFAULT_LAYERS: Sequence[str] = ("application", "transport", "network", "link")
+
+    def __init__(self, layers: Optional[Sequence[str]] = None) -> None:
+        self.layers: Tuple[str, ...] = tuple(
+            self.DEFAULT_LAYERS if layers is None else layers
+        )
+        if not self.layers:
+            raise ValueError("need at least one layer")
+        self._seq = 0
+
+    def encapsulate(
+        self, payload: Any, src: str = "A", dst: str = "B"
+    ) -> Frame:
+        """Wrap ``payload`` in one frame per layer, top-down."""
+        self._seq += 1
+        frame: Any = payload
+        for depth, layer in enumerate(self.layers):
+            header = {"src": src, "dst": dst, "seq": self._seq, "hop": depth}
+            frame = Frame(layer=layer, header=header, payload=frame)
+        return frame  # outermost == lowest layer
+
+    def decapsulate(self, frame: Frame) -> Any:
+        """Strip all layers bottom-up, validating order; returns the payload."""
+        current: Any = frame
+        for layer in reversed(self.layers):
+            if not isinstance(current, Frame):
+                raise ProtocolError(f"expected a {layer} frame, got payload early")
+            if current.layer != layer:
+                raise ProtocolError(
+                    f"layer mismatch: expected {layer}, found {current.layer}"
+                )
+            current = current.payload
+        return current
+
+    def trace(self, frame: Frame) -> List[str]:
+        """The header nesting as printable lines (outermost first)."""
+        lines: List[str] = []
+        current: Any = frame
+        while isinstance(current, Frame):
+            lines.append(f"{current.layer}: {current.header}")
+            current = current.payload
+        lines.append(f"payload: {current!r}")
+        return lines
+
+
+@dataclasses.dataclass(frozen=True)
+class Request:
+    """An application-protocol request: VERB resource, plus a body."""
+
+    verb: str
+    resource: str
+    body: Any = None
+
+    def encode(self) -> Tuple[str, str, Any]:
+        """Wire form (kept structured; framing is the connection's job)."""
+        return (self.verb.upper(), self.resource, self.body)
+
+    @staticmethod
+    def decode(wire: Tuple[str, str, Any]) -> "Request":
+        """Parse the wire form; raises :class:`ProtocolError` when malformed."""
+        if not isinstance(wire, tuple) or len(wire) != 3:
+            raise ProtocolError(f"malformed request: {wire!r}")
+        verb, resource, body = wire
+        if not isinstance(verb, str) or not isinstance(resource, str):
+            raise ProtocolError(f"malformed request fields: {wire!r}")
+        return Request(verb.upper(), resource, body)
+
+
+@dataclasses.dataclass(frozen=True)
+class Response:
+    """An application-protocol response: status code plus a body."""
+
+    status: int
+    body: Any = None
+
+    @property
+    def ok(self) -> bool:
+        """2xx means success, as convention dictates."""
+        return 200 <= self.status < 300
+
+
+def stop_and_wait_send(
+    sock: DatagramSocket,
+    dest: Address,
+    messages: Sequence[Any],
+    max_retries: int = 50,
+    ack_timeout: float = 0.05,
+) -> int:
+    """Reliable transfer over lossy datagrams: the stop-and-wait ARQ lab.
+
+    Sends each message with a sequence number and retransmits until the
+    matching ACK arrives.  Returns the total number of transmissions
+    (``== len(messages)`` on a loss-free fabric; more under loss — the
+    measurable cost of reliability).
+    """
+    transmissions = 0
+    for seq, msg in enumerate(messages):
+        for attempt in range(max_retries):
+            sock.sendto(("DATA", seq, msg), dest)
+            transmissions += 1
+            try:
+                _src, reply = sock.recvfrom(timeout=ack_timeout)
+            except (TimeoutError, OSError):
+                continue
+            if reply == ("ACK", seq):
+                break
+        else:
+            raise TimeoutError(f"message {seq} not acknowledged after {max_retries} tries")
+    return transmissions
+
+
+def stop_and_wait_recv(
+    sock: DatagramSocket, expected: int, timeout: float = 5.0
+) -> List[Any]:
+    """Receiver side of the ARQ lab: ACK everything, deduplicate by seq.
+
+    After the last message, the receiver lingers and keeps ACKing
+    retransmissions until the line goes quiet — without this, a dropped
+    final ACK strands the sender forever (the two-generals tail the lab
+    asks students to explain).
+    """
+    received: Dict[int, Any] = {}
+    while len(received) < expected:
+        src, datagram = sock.recvfrom(timeout=timeout)
+        if not (isinstance(datagram, tuple) and len(datagram) == 3 and datagram[0] == "DATA"):
+            raise ProtocolError(f"unexpected datagram: {datagram!r}")
+        _kind, seq, msg = datagram
+        received[seq] = msg  # duplicates overwrite harmlessly
+        sock.sendto(("ACK", seq), src)
+    # Linger: re-ACK retransmissions until the sender falls silent.
+    while True:
+        try:
+            src, datagram = sock.recvfrom(timeout=0.2)
+        except (TimeoutError, OSError):
+            break
+        if isinstance(datagram, tuple) and len(datagram) == 3 and datagram[0] == "DATA":
+            sock.sendto(("ACK", datagram[1]), src)
+    return [received[i] for i in sorted(received)]

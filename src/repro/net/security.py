@@ -1,0 +1,167 @@
+"""The network-security teaching unit: classical ciphers and key exchange.
+
+RIT's course includes "principles of network security" at survey depth.
+These are the standard classroom artifacts — Caesar/Vigenère ciphers with
+a frequency-analysis breaker (to teach *why* they fail), finite-field
+Diffie–Hellman over the simulated network (to teach key agreement), and a
+hash-based message authenticator.  **None of this is real cryptography**;
+it exists to be attacked in labs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Tuple
+
+from repro.net.simnet import Address, Network
+from repro.net.sockets import DatagramSocket
+
+__all__ = [
+    "caesar_encrypt",
+    "caesar_decrypt",
+    "caesar_break",
+    "vigenere_encrypt",
+    "vigenere_decrypt",
+    "DiffieHellman",
+    "dh_exchange_over_network",
+    "mac_sign",
+    "mac_verify",
+]
+
+_ALPHA = "abcdefghijklmnopqrstuvwxyz"
+# English letter frequencies (percent), for the chi-squared breaker.
+_ENGLISH_FREQ = {
+    "a": 8.2, "b": 1.5, "c": 2.8, "d": 4.3, "e": 12.7, "f": 2.2, "g": 2.0,
+    "h": 6.1, "i": 7.0, "j": 0.15, "k": 0.77, "l": 4.0, "m": 2.4, "n": 6.7,
+    "o": 7.5, "p": 1.9, "q": 0.095, "r": 6.0, "s": 6.3, "t": 9.1, "u": 2.8,
+    "v": 0.98, "w": 2.4, "x": 0.15, "y": 2.0, "z": 0.074,
+}
+
+
+def _shift_char(ch: str, k: int) -> str:
+    if ch.islower():
+        return _ALPHA[(_ALPHA.index(ch) + k) % 26]
+    if ch.isupper():
+        return _ALPHA[(_ALPHA.index(ch.lower()) + k) % 26].upper()
+    return ch
+
+
+def caesar_encrypt(plaintext: str, key: int) -> str:
+    """Shift every letter forward by ``key`` (non-letters pass through)."""
+    return "".join(_shift_char(c, key) for c in plaintext)
+
+
+def caesar_decrypt(ciphertext: str, key: int) -> str:
+    """Invert :func:`caesar_encrypt`."""
+    return caesar_encrypt(ciphertext, -key)
+
+
+def caesar_break(ciphertext: str) -> Tuple[int, str]:
+    """Recover the key by chi-squared fit to English letter frequencies.
+
+    Returns ``(key, plaintext)`` — the lab's punchline: 26 candidates is
+    no keyspace at all.
+    """
+    best_key, best_score = 0, float("inf")
+    for key in range(26):
+        candidate = caesar_decrypt(ciphertext, key)
+        letters = [c for c in candidate.lower() if c in _ALPHA]
+        if not letters:
+            continue
+        counts: Dict[str, int] = {}
+        for c in letters:
+            counts[c] = counts.get(c, 0) + 1
+        n = len(letters)
+        score = sum(
+            (counts.get(ch, 0) - n * freq / 100.0) ** 2 / (n * freq / 100.0)
+            for ch, freq in _ENGLISH_FREQ.items()
+        )
+        if score < best_score:
+            best_key, best_score = key, score
+    return best_key, caesar_decrypt(ciphertext, best_key)
+
+
+def vigenere_encrypt(plaintext: str, key: str) -> str:
+    """Polyalphabetic shift; the key repeats over letter positions."""
+    if not key or not key.isalpha():
+        raise ValueError("key must be non-empty and alphabetic")
+    shifts = [_ALPHA.index(c) for c in key.lower()]
+    out: List[str] = []
+    i = 0
+    for ch in plaintext:
+        if ch.isalpha():
+            out.append(_shift_char(ch, shifts[i % len(shifts)]))
+            i += 1
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def vigenere_decrypt(ciphertext: str, key: str) -> str:
+    """Invert :func:`vigenere_encrypt`."""
+    inverse = "".join(_ALPHA[(26 - _ALPHA.index(c)) % 26] for c in key.lower())
+    return vigenere_encrypt(ciphertext, inverse)
+
+
+class DiffieHellman:
+    """Finite-field Diffie–Hellman with a (teaching-sized) safe prime.
+
+    Default parameters use a small prime so labs can brute-force the
+    discrete log and *see* why real parameters are 2048+ bits.
+    """
+
+    #: A 61-bit safe-ish prime and a generator — fine for teaching only.
+    DEFAULT_P = 2305843009213693951  # 2^61 - 1 (Mersenne)
+    DEFAULT_G = 3
+
+    def __init__(self, private: int, p: int = DEFAULT_P, g: int = DEFAULT_G) -> None:
+        if private < 1:
+            raise ValueError("private key must be positive")
+        self.p = p
+        self.g = g
+        self._private = private
+
+    @property
+    def public(self) -> int:
+        """``g^private mod p`` — safe to send in the clear."""
+        return pow(self.g, self._private, self.p)
+
+    def shared_secret(self, other_public: int) -> int:
+        """``other_public^private mod p`` — equal on both sides."""
+        return pow(other_public, self._private, self.p)
+
+
+def dh_exchange_over_network(
+    network: Network,
+    alice_private: int,
+    bob_private: int,
+    alice_addr: Address = Address("alice", 5000),
+    bob_addr: Address = Address("bob", 5000),
+) -> Tuple[int, int]:
+    """Run the DH exchange as two datagrams over the fabric.
+
+    Returns both computed secrets (equal), demonstrating that only the
+    public values crossed the wire.
+    """
+    alice = DiffieHellman(alice_private)
+    bob = DiffieHellman(bob_private)
+    with DatagramSocket(network, alice_addr) as a_sock, DatagramSocket(
+        network, bob_addr
+    ) as b_sock:
+        a_sock.sendto(alice.public, bob_addr)
+        b_sock.sendto(bob.public, alice_addr)
+        _, bob_public = a_sock.recvfrom()
+        _, alice_public = b_sock.recvfrom()
+    return alice.shared_secret(bob_public), bob.shared_secret(alice_public)
+
+
+def mac_sign(key: int, message: Any) -> str:
+    """A hash-based message authenticator keyed by the shared secret."""
+    data = f"{key}:{message!r}".encode()
+    return hashlib.sha256(data).hexdigest()
+
+
+def mac_verify(key: int, message: Any, tag: str) -> bool:
+    """Check a :func:`mac_sign` tag (constant-time comparison skipped —
+    and that omission is itself a discussion question in the lab)."""
+    return mac_sign(key, message) == tag

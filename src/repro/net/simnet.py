@@ -1,0 +1,128 @@
+"""The simulated network fabric.
+
+A :class:`Network` is a set of named hosts.  Ports on hosts can be bound
+to listeners (connection-oriented) or to datagram endpoints.  Delivery is
+in-order and reliable for connections; datagram delivery can be configured
+with a deterministic (seeded) drop rate, so "UDP is unreliable" labs are
+reproducible.
+
+The fabric counts every message and byte it carries, giving labs a
+traffic meter (``network.stats``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.smp.squeue import SynchronizedQueue
+
+__all__ = ["Address", "NetworkStats", "Network"]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Address:
+    """A (host, port) endpoint."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclasses.dataclass
+class NetworkStats:
+    """Fabric-wide traffic counters."""
+
+    messages: int = 0
+    bytes: int = 0
+    dropped: int = 0
+
+    def record(self, payload: Any) -> None:
+        """Account one delivered message (pickle size approximates bytes)."""
+        self.messages += 1
+        try:
+            self.bytes += len(pickle.dumps(payload))
+        except Exception:  # unpicklable payloads still count as messages
+            pass
+
+
+class Network:
+    """The shared fabric connecting simulated hosts.
+
+    ``drop_rate`` applies to datagrams only (connections are reliable, as
+    TCP is to applications).  The drop decision stream is seeded, so a
+    test that loses the 3rd datagram always loses the 3rd datagram.
+    """
+
+    def __init__(self, drop_rate: float = 0.0, seed: int = 0) -> None:
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError("drop_rate must be in [0, 1)")
+        self.drop_rate = drop_rate
+        self._rng = np.random.default_rng(seed)
+        self._listeners: Dict[Address, SynchronizedQueue] = {}
+        self._datagram_boxes: Dict[Address, SynchronizedQueue] = {}
+        self._lock = threading.Lock()
+        self.stats = NetworkStats()
+
+    # -- connection-oriented plumbing (used by sockets.ServerSocket) -------
+    def bind_listener(self, address: Address) -> SynchronizedQueue:
+        """Register a connection-accept queue at ``address``."""
+        with self._lock:
+            if address in self._listeners:
+                raise OSError(f"address already in use: {address}")
+            q: SynchronizedQueue = SynchronizedQueue()
+            self._listeners[address] = q
+            return q
+
+    def unbind_listener(self, address: Address) -> None:
+        """Release a listening address."""
+        with self._lock:
+            q = self._listeners.pop(address, None)
+        if q is not None:
+            q.close()
+
+    def listener_at(self, address: Address) -> Optional[SynchronizedQueue]:
+        """The accept queue at ``address``, if any."""
+        with self._lock:
+            return self._listeners.get(address)
+
+    # -- datagram plumbing ---------------------------------------------------
+    def bind_datagram(self, address: Address) -> SynchronizedQueue:
+        """Register a datagram mailbox at ``address``."""
+        with self._lock:
+            if address in self._datagram_boxes:
+                raise OSError(f"address already in use: {address}")
+            q: SynchronizedQueue = SynchronizedQueue()
+            self._datagram_boxes[address] = q
+            return q
+
+    def unbind_datagram(self, address: Address) -> None:
+        """Release a datagram address."""
+        with self._lock:
+            q = self._datagram_boxes.pop(address, None)
+        if q is not None:
+            q.close()
+
+    def send_datagram(self, source: Address, dest: Address, payload: Any) -> bool:
+        """Fire-and-forget delivery; returns whether the datagram survived.
+
+        Unknown destinations silently drop (as UDP does); configured loss
+        applies before the address lookup, modelling in-flight loss.
+        """
+        if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
+            self.stats.dropped += 1
+            return False
+        with self._lock:
+            box = self._datagram_boxes.get(dest)
+        if box is None:
+            self.stats.dropped += 1
+            return False
+        self.stats.record(payload)
+        box.put((source, payload))
+        return True

@@ -1,0 +1,175 @@
+"""Socket programming over the simulated fabric.
+
+The RIT course's "socket and datagram programming" unit, shaped like the
+BSD API students later meet in ``import socket``:
+
+- server: ``server = ServerSocket(net, Address("srv", 80))`` then
+  ``conn = server.accept()``;
+- client: ``conn = Connection.connect(net, Address("srv", 80),
+  local_host="cli")``;
+- datagrams: ``DatagramSocket(net, Address("a", 9)).sendto(payload, dst)``.
+
+Connections carry whole Python objects as messages (a message-oriented
+stream — like a length-prefixed TCP protocol after framing), are
+bidirectional, and deliver in order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Optional, Tuple
+
+from repro.net.simnet import Address, Network
+from repro.smp.squeue import QueueClosed, SynchronizedQueue
+
+__all__ = ["ConnectionRefused", "Connection", "ServerSocket", "DatagramSocket"]
+
+_conn_ids = itertools.count(1)
+
+
+class ConnectionRefused(ConnectionError):
+    """No listener at the destination address."""
+
+
+class Connection:
+    """One endpoint of an established, bidirectional, reliable stream."""
+
+    def __init__(
+        self,
+        network: Network,
+        local: Address,
+        peer: Address,
+        send_q: SynchronizedQueue,
+        recv_q: SynchronizedQueue,
+        conn_id: int,
+    ) -> None:
+        self._network = network
+        self.local = local
+        self.peer = peer
+        self._send_q = send_q
+        self._recv_q = recv_q
+        self.conn_id = conn_id
+
+    @classmethod
+    def connect(
+        cls,
+        network: Network,
+        dest: Address,
+        local_host: str = "client",
+        local_port: Optional[int] = None,
+        timeout: Optional[float] = 10.0,
+    ) -> "Connection":
+        """Open a connection to a listening address (the 3-way handshake,
+        abstracted to one rendezvous through the listener's accept queue)."""
+        listener = network.listener_at(dest)
+        if listener is None:
+            raise ConnectionRefused(f"connection refused: {dest}")
+        conn_id = next(_conn_ids)
+        local = Address(local_host, local_port if local_port is not None else 50_000 + conn_id)
+        a_to_b: SynchronizedQueue = SynchronizedQueue()
+        b_to_a: SynchronizedQueue = SynchronizedQueue()
+        client_end = cls(network, local, dest, a_to_b, b_to_a, conn_id)
+        server_end = cls(network, dest, local, b_to_a, a_to_b, conn_id)
+        listener.put(server_end, timeout=timeout)
+        return client_end
+
+    def send(self, obj: Any) -> None:
+        """Send one message; raises ``BrokenPipeError`` after a close."""
+        try:
+            self._network.stats.record(obj)
+            self._send_q.put(obj)
+        except QueueClosed as exc:
+            raise BrokenPipeError(f"connection to {self.peer} closed") from exc
+
+    def recv(self, timeout: Optional[float] = 10.0) -> Any:
+        """Receive the next message; ``EOFError`` once the peer closed."""
+        try:
+            return self._recv_q.get(timeout=timeout)
+        except QueueClosed as exc:
+            raise EOFError(f"connection from {self.peer} closed") from exc
+
+    def close(self) -> None:
+        """Half-close: the peer drains buffered messages then sees EOF."""
+        self._send_q.close()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class ServerSocket:
+    """A listening socket: bind at construction, then :meth:`accept` peers."""
+
+    def __init__(self, network: Network, address: Address) -> None:
+        self.network = network
+        self.address = address
+        self._accept_q = network.bind_listener(address)
+        self._closed = False
+
+    def accept(self, timeout: Optional[float] = 10.0) -> Connection:
+        """Block for the next incoming connection."""
+        try:
+            return self._accept_q.get(timeout=timeout)
+        except QueueClosed as exc:
+            raise OSError("server socket closed") from exc
+
+    def close(self) -> None:
+        """Stop listening; pending connects see a closed queue."""
+        if not self._closed:
+            self._closed = True
+            self.network.unbind_listener(self.address)
+
+    def __enter__(self) -> "ServerSocket":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class DatagramSocket:
+    """Connectionless messaging: ``sendto`` / ``recvfrom``.
+
+    Reliability is whatever the fabric's drop rate leaves; there is no
+    acknowledgement — labs build stop-and-wait on top of this (see
+    :func:`repro.net.protocol.stop_and_wait_send`).
+    """
+
+    def __init__(self, network: Network, address: Address) -> None:
+        self.network = network
+        self.address = address
+        self._box = network.bind_datagram(address)
+        self._closed = False
+
+    def sendto(self, payload: Any, dest: Address) -> bool:
+        """Send one datagram; returns whether the fabric delivered it.
+
+        (Real UDP cannot know — the return value exists for tests and for
+        teaching the difference.)
+        """
+        return self.network.send_datagram(self.address, dest, payload)
+
+    def recvfrom(self, timeout: Optional[float] = 10.0) -> Tuple[Address, Any]:
+        """Block for the next datagram; returns ``(source, payload)``."""
+        try:
+            return self._box.get(timeout=timeout)
+        except QueueClosed as exc:
+            raise OSError("datagram socket closed") from exc
+
+    def poll(self) -> Optional[Tuple[Address, Any]]:
+        """Non-blocking receive; ``None`` when nothing is waiting."""
+        return self._box.try_get()
+
+    def close(self) -> None:
+        """Release the address."""
+        if not self._closed:
+            self._closed = True
+            self.network.unbind_datagram(self.address)
+
+    def __enter__(self) -> "DatagramSocket":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

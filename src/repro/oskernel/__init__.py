@@ -1,0 +1,54 @@
+"""Operating-systems teaching kit: scheduling and synchronization.
+
+The operating-systems column of Table I covers threads, parallelism and
+concurrency, shared memory, IPC, atomicity, and shared-vs-distributed
+memory; the AUC case study (§IV-B) details "multi-threading, speedup,
+multiprocessing, mutual exclusion, synchronization, deadline and
+starvation, and scheduling on single and multiprocessor systems".
+
+- :mod:`repro.oskernel.process` — process control blocks and workloads.
+- :mod:`repro.oskernel.scheduler` — single-CPU schedulers (FCFS, SJF,
+  SRTF, RR, preemptive priority with optional aging, MLFQ) with exact
+  waiting/turnaround/response metrics and Gantt traces.
+- :mod:`repro.oskernel.smp` — multiprocessor scheduling: global queue,
+  static partitioning, and per-CPU queues with work stealing.
+- :mod:`repro.oskernel.syncproblems` — producer–consumer, dining
+  philosophers (deadlocking and deadlock-free variants), and
+  readers–writers, built on :mod:`repro.smp` primitives.
+"""
+
+from repro.oskernel.process import Process, ProcessState, Workloads
+from repro.oskernel.scheduler import (
+    FCFS,
+    MLFQ,
+    Metrics,
+    PriorityScheduler,
+    RoundRobin,
+    Scheduler,
+    SJF,
+    SRTF,
+    simulate,
+)
+from repro.oskernel.iosim import IoProcess, multiprogramming_curve, simulate_io
+from repro.oskernel.smp import SmpPolicy, SmpResult, simulate_smp
+
+__all__ = [
+    "FCFS",
+    "IoProcess",
+    "multiprogramming_curve",
+    "simulate_io",
+    "Metrics",
+    "MLFQ",
+    "PriorityScheduler",
+    "Process",
+    "ProcessState",
+    "RoundRobin",
+    "Scheduler",
+    "simulate",
+    "simulate_smp",
+    "SJF",
+    "SmpPolicy",
+    "SmpResult",
+    "SRTF",
+    "Workloads",
+]

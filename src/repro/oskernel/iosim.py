@@ -1,0 +1,244 @@
+"""CPU/I-O burst scheduling: overlap, utilization, multiprogramming.
+
+The pure-CPU model of :mod:`repro.oskernel.scheduler` isolates policy
+behaviour; real workloads alternate CPU bursts with I/O waits, and the
+scheduler's job becomes *overlap* — keep the CPU busy while jobs block.
+This simulator adds that dimension:
+
+- an :class:`IoProcess` is an alternating burst list
+  ``[cpu, io, cpu, io, ..., cpu]``;
+- blocked processes wait on an (infinitely parallel) I/O subsystem;
+- any :class:`~repro.oskernel.scheduler.Scheduler` policy drives the CPU.
+
+The headline output is the classic lecture curve: **CPU utilization vs
+degree of multiprogramming** (:func:`multiprogramming_curve`) — one
+I/O-bound job leaves the CPU mostly idle; enough of them saturate it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.oskernel.scheduler import Scheduler
+
+__all__ = ["IoProcess", "IoMetrics", "simulate_io", "multiprogramming_curve"]
+
+
+@dataclasses.dataclass
+class IoProcess:
+    """A process as an alternating CPU/I-O burst sequence.
+
+    ``bursts[0], bursts[2], ...`` are CPU bursts; odd indices are I/O
+    waits.  The list must start and end with a CPU burst.
+    """
+
+    pid: int
+    arrival: int
+    bursts: List[int]
+    priority: int = 0
+
+    # Simulation outputs:
+    completion_time: Optional[int] = None
+    cpu_time: int = 0
+    io_time: int = 0
+    first_run: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.bursts or len(self.bursts) % 2 == 0:
+            raise ValueError("bursts must be an odd-length list (CPU first/last)")
+        if any(b <= 0 for b in self.bursts):
+            raise ValueError("bursts must be positive")
+        self.cpu_time = sum(self.bursts[0::2])
+        self.io_time = sum(self.bursts[1::2])
+
+    @property
+    def turnaround(self) -> int:
+        assert self.completion_time is not None
+        return self.completion_time - self.arrival
+
+
+@dataclasses.dataclass
+class IoMetrics:
+    """Outcome of one CPU/I-O simulation."""
+
+    processes: List[IoProcess]
+    makespan: int
+    cpu_busy: int
+    context_switches: int
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Fraction of the makespan the CPU did useful work."""
+        return self.cpu_busy / self.makespan if self.makespan else 0.0
+
+    @property
+    def avg_turnaround(self) -> float:
+        return sum(p.turnaround for p in self.processes) / len(self.processes)
+
+
+@dataclasses.dataclass
+class _Pcb:
+    proc: IoProcess
+    burst_index: int = 0
+    remaining: int = 0
+
+    def __post_init__(self) -> None:
+        self.remaining = self.proc.bursts[0]
+
+
+class _ReadyShim:
+    """Adapts a PCB into the duck type Scheduler policies expect."""
+
+    __slots__ = ("pcb",)
+
+    def __init__(self, pcb: _Pcb) -> None:
+        self.pcb = pcb
+
+    @property
+    def pid(self) -> int:
+        return self.pcb.proc.pid
+
+    @property
+    def arrival(self) -> int:
+        return self.pcb.proc.arrival
+
+    @property
+    def priority(self) -> int:
+        return self.pcb.proc.priority
+
+    @property
+    def burst(self) -> int:
+        return self.pcb.proc.bursts[self.pcb.burst_index]
+
+    @property
+    def remaining(self) -> int:
+        return self.pcb.remaining
+
+
+def simulate_io(
+    processes: Sequence[IoProcess], scheduler: Scheduler, max_ticks: int = 1_000_000
+) -> IoMetrics:
+    """Run alternating-burst processes under any scheduling policy."""
+    if not processes:
+        raise ValueError("need at least one process")
+    procs = [
+        IoProcess(p.pid, p.arrival, list(p.bursts), p.priority)
+        for p in processes
+    ]
+    pcbs = {p.pid: _Pcb(p) for p in procs}
+    pending = sorted(procs, key=lambda p: (p.arrival, p.pid))
+    ready: List[_ReadyShim] = []
+    blocked: Dict[int, int] = {}  # pid -> io completion time
+    current: Optional[_ReadyShim] = None
+    quantum_left: Optional[int] = None
+    now = 0
+    cpu_busy = 0
+    switches = 0
+
+    def admit() -> None:
+        while pending and pending[0].arrival <= now:
+            p = pending.pop(0)
+            ready.append(_ReadyShim(pcbs[p.pid]))
+
+    def unblock() -> None:
+        for pid, wake in sorted(blocked.items()):
+            if wake <= now:
+                del blocked[pid]
+                pcb = pcbs[pid]
+                pcb.burst_index += 1
+                pcb.remaining = pcb.proc.bursts[pcb.burst_index]
+                ready.append(_ReadyShim(pcb))
+
+    while pending or ready or blocked or current is not None:
+        if now > max_ticks:
+            raise RuntimeError("simulation exceeded max_ticks")
+        admit()
+        unblock()
+
+        if current is None and not ready:
+            # CPU idle: jump to the next event.
+            candidates = []
+            if pending:
+                candidates.append(pending[0].arrival)
+            if blocked:
+                candidates.append(min(blocked.values()))
+            now = max(now + 1, min(candidates)) if candidates else now + 1
+            continue
+
+        reschedule = current is None
+        if current is not None:
+            if quantum_left == 0:
+                scheduler.on_preempt(current)
+                ready.append(current)
+                current = None
+                reschedule = True
+            elif scheduler.preemptive and ready:
+                best = scheduler.pick(ready + [current], now)
+                if best is not current:
+                    ready.append(current)
+                    current = None
+                    reschedule = True
+
+        if reschedule and ready:
+            chosen = scheduler.pick(ready, now)
+            ready.remove(chosen)
+            switches += 1
+            if chosen.pcb.proc.first_run is None:
+                chosen.pcb.proc.first_run = now
+            current = chosen
+            quantum_left = scheduler.quantum_for(chosen)
+
+        if current is None:
+            now += 1
+            continue
+
+        # Execute one tick of the current CPU burst.
+        scheduler.on_wait_tick(ready, now)
+        current.pcb.remaining -= 1
+        cpu_busy += 1
+        now += 1
+        if quantum_left is not None:
+            quantum_left -= 1
+        if current.pcb.remaining == 0:
+            pcb = current.pcb
+            if pcb.burst_index + 1 < len(pcb.proc.bursts):
+                # Enter the next I/O wait.
+                blocked[pcb.proc.pid] = now + pcb.proc.bursts[pcb.burst_index + 1]
+                pcb.burst_index += 1
+            else:
+                pcb.proc.completion_time = now
+            current = None
+            quantum_left = None
+
+    return IoMetrics(
+        processes=procs,
+        makespan=now,
+        cpu_busy=cpu_busy,
+        context_switches=max(0, switches - 1),
+    )
+
+
+def multiprogramming_curve(
+    degrees: Sequence[int],
+    scheduler_factory,
+    cpu_burst: int = 2,
+    io_burst: int = 8,
+    cycles: int = 5,
+) -> Dict[int, float]:
+    """CPU utilization vs number of identical I/O-bound jobs.
+
+    Each job alternates a short CPU burst with a long I/O wait; with one
+    job the CPU idles during every wait, with ``io/cpu + 1`` jobs it
+    saturates — the curve every OS lecture draws.
+    """
+    out: Dict[int, float] = {}
+    for n in degrees:
+        bursts: List[int] = []
+        for _ in range(cycles):
+            bursts.extend([cpu_burst, io_burst])
+        bursts.append(cpu_burst)
+        jobs = [IoProcess(pid=i + 1, arrival=0, bursts=list(bursts)) for i in range(n)]
+        metrics = simulate_io(jobs, scheduler_factory())
+        out[n] = metrics.cpu_utilization
+    return out

@@ -1,0 +1,130 @@
+"""Processes and canonical scheduling workloads."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["ProcessState", "Process", "Workloads"]
+
+
+class ProcessState(enum.Enum):
+    """The five-state process lifecycle."""
+
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    TERMINATED = "terminated"
+
+
+@dataclasses.dataclass
+class Process:
+    """A schedulable process (CPU-burst model).
+
+    ``priority``: lower number = higher priority (Unix convention).
+    The mutable fields are filled in by the simulator.
+    """
+
+    pid: int
+    arrival: int
+    burst: int
+    priority: int = 0
+
+    # Simulation outputs:
+    state: ProcessState = ProcessState.NEW
+    remaining: int = dataclasses.field(default=0)
+    start_time: Optional[int] = None
+    completion_time: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.burst <= 0:
+            raise ValueError("burst must be positive")
+        if self.arrival < 0:
+            raise ValueError("arrival must be non-negative")
+        self.remaining = self.burst
+
+    def reset(self) -> "Process":
+        """A fresh copy for re-running under another scheduler."""
+        return Process(self.pid, self.arrival, self.burst, self.priority)
+
+    @property
+    def turnaround(self) -> int:
+        """Completion − arrival."""
+        assert self.completion_time is not None
+        return self.completion_time - self.arrival
+
+    @property
+    def waiting(self) -> int:
+        """Turnaround − burst."""
+        return self.turnaround - self.burst
+
+    @property
+    def response(self) -> int:
+        """First-run − arrival."""
+        assert self.start_time is not None
+        return self.start_time - self.arrival
+
+
+class Workloads:
+    """Workload generators for scheduler benches and tests."""
+
+    @staticmethod
+    def textbook() -> List[Process]:
+        """The classic 5-process example used in OS lecture notes."""
+        return [
+            Process(1, arrival=0, burst=10, priority=3),
+            Process(2, arrival=1, burst=1, priority=1),
+            Process(3, arrival=2, burst=2, priority=4),
+            Process(4, arrival=3, burst=1, priority=5),
+            Process(5, arrival=4, burst=5, priority=2),
+        ]
+
+    @staticmethod
+    def convoy() -> List[Process]:
+        """One long job ahead of many short ones — the FCFS convoy effect.
+
+        All jobs arrive together; FCFS (pid tie-break) runs the long job
+        first and every short job convoys behind it, while SJF runs the
+        shorts first.
+        """
+        return [Process(1, 0, 100)] + [
+            Process(i + 2, 0, 2) for i in range(9)
+        ]
+
+    @staticmethod
+    def random(
+        n: int,
+        seed: int = 0,
+        max_arrival: int = 50,
+        max_burst: int = 20,
+        priorities: int = 5,
+    ) -> List[Process]:
+        """A reproducible random workload."""
+        rng = np.random.default_rng(seed)
+        return [
+            Process(
+                pid=i + 1,
+                arrival=int(rng.integers(0, max_arrival + 1)),
+                burst=int(rng.integers(1, max_burst + 1)),
+                priority=int(rng.integers(0, priorities)),
+            )
+            for i in range(n)
+        ]
+
+    @staticmethod
+    def starvation_prone(n_high: int = 20) -> List[Process]:
+        """A low-priority job buried under a stream of high-priority ones.
+
+        Under strict priority scheduling without aging, the pid-0 job's
+        waiting time grows with ``n_high`` — the starvation demonstration.
+        """
+        victim = [Process(999, arrival=0, burst=5, priority=9)]
+        hogs = [
+            Process(i + 1, arrival=i * 2, burst=4, priority=0)
+            for i in range(n_high)
+        ]
+        return victim + hogs

@@ -1,0 +1,294 @@
+"""Single-CPU scheduling algorithms over a discrete-time simulator.
+
+Each scheduler is a policy object answering one question — *given the
+ready set at time t, who runs next, and for how long may they run
+unpreempted?* — and :func:`simulate` drives the clock.  This separation
+keeps each algorithm a few lines and makes the simulator's accounting
+(waiting, turnaround, response, Gantt chart) uniform across policies, so
+benches compare policies on identical ground.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.oskernel.process import Process, ProcessState
+
+__all__ = [
+    "Scheduler",
+    "FCFS",
+    "SJF",
+    "SRTF",
+    "RoundRobin",
+    "PriorityScheduler",
+    "MLFQ",
+    "Metrics",
+    "simulate",
+]
+
+
+class Scheduler:
+    """Base policy.  Subclasses override :meth:`pick` (and optionally
+    :meth:`quantum_for` / :meth:`on_preempt` for time-sliced policies)."""
+
+    #: Preemptive policies re-evaluate on every arrival/tick.
+    preemptive = False
+    name = "base"
+
+    def pick(self, ready: List[Process], now: int) -> Process:
+        """Choose the next process to run from a non-empty ready list."""
+        raise NotImplementedError
+
+    def quantum_for(self, process: Process) -> Optional[int]:
+        """Max ticks the pick may run before forced re-scheduling (None = ∞)."""
+        return None
+
+    def on_preempt(self, process: Process) -> None:
+        """Hook invoked when a quantum expires (MLFQ demotion lives here)."""
+
+    def on_wait_tick(self, ready: List[Process], now: int) -> None:
+        """Hook invoked each tick for the waiting set (aging lives here)."""
+
+
+class FCFS(Scheduler):
+    """First-come, first-served (non-preemptive): by arrival, then pid."""
+
+    name = "FCFS"
+
+    def pick(self, ready: List[Process], now: int) -> Process:
+        return min(ready, key=lambda p: (p.arrival, p.pid))
+
+
+class SJF(Scheduler):
+    """Shortest job first (non-preemptive): by total burst."""
+
+    name = "SJF"
+
+    def pick(self, ready: List[Process], now: int) -> Process:
+        return min(ready, key=lambda p: (p.burst, p.arrival, p.pid))
+
+
+class SRTF(Scheduler):
+    """Shortest remaining time first (preemptive SJF)."""
+
+    name = "SRTF"
+    preemptive = True
+
+    def pick(self, ready: List[Process], now: int) -> Process:
+        return min(ready, key=lambda p: (p.remaining, p.arrival, p.pid))
+
+
+class RoundRobin(Scheduler):
+    """Round-robin with a fixed quantum; FIFO order among ready processes."""
+
+    name = "RR"
+
+    def __init__(self, quantum: int = 4) -> None:
+        if quantum < 1:
+            raise ValueError("quantum must be positive")
+        self.quantum = quantum
+        self._fifo: List[int] = []  # pids in queue order
+
+    def pick(self, ready: List[Process], now: int) -> Process:
+        by_pid = {p.pid: p for p in ready}
+        # Keep FIFO order; append newly arrived pids in (arrival, pid) order.
+        self._fifo = [pid for pid in self._fifo if pid in by_pid]
+        known = set(self._fifo)
+        for p in sorted(ready, key=lambda p: (p.arrival, p.pid)):
+            if p.pid not in known:
+                self._fifo.append(p.pid)
+        return by_pid[self._fifo[0]]
+
+    def quantum_for(self, process: Process) -> Optional[int]:
+        return self.quantum
+
+    def on_preempt(self, process: Process) -> None:
+        # Rotate the preempted process to the back of the queue.
+        if self._fifo and self._fifo[0] == process.pid:
+            self._fifo.append(self._fifo.pop(0))
+
+
+class PriorityScheduler(Scheduler):
+    """Preemptive priority (lower number wins), with optional aging.
+
+    With ``aging_every`` set, a waiting process's *effective* priority
+    improves by one level per ``aging_every`` ticks waited — the standard
+    starvation fix, ablated by the scheduler benches.
+    """
+
+    name = "PRIO"
+    preemptive = True
+
+    def __init__(self, aging_every: Optional[int] = None) -> None:
+        self.aging_every = aging_every
+        self._waited: Dict[int, int] = {}
+
+    def _effective(self, p: Process) -> float:
+        if not self.aging_every:
+            return p.priority
+        return p.priority - self._waited.get(p.pid, 0) / self.aging_every
+
+    def pick(self, ready: List[Process], now: int) -> Process:
+        return min(ready, key=lambda p: (self._effective(p), p.arrival, p.pid))
+
+    def on_wait_tick(self, ready: List[Process], now: int) -> None:
+        for p in ready:
+            self._waited[p.pid] = self._waited.get(p.pid, 0) + 1
+
+
+class MLFQ(Scheduler):
+    """Multi-level feedback queue: RR levels with growing quanta.
+
+    New processes enter the top level; a process that exhausts its quantum
+    is demoted one level.  Lower levels run only when higher ones are
+    empty.  (No periodic boost — its absence is visible in the starvation
+    bench, which is the point.)
+    """
+
+    name = "MLFQ"
+
+    def __init__(self, quanta: Sequence[int] = (2, 4, 8)) -> None:
+        if not quanta or any(q < 1 for q in quanta):
+            raise ValueError("quanta must be positive")
+        self.quanta = tuple(quanta)
+        self._level: Dict[int, int] = {}
+
+    def _level_of(self, p: Process) -> int:
+        return self._level.get(p.pid, 0)
+
+    def pick(self, ready: List[Process], now: int) -> Process:
+        return min(ready, key=lambda p: (self._level_of(p), p.arrival, p.pid))
+
+    def quantum_for(self, process: Process) -> Optional[int]:
+        return self.quanta[min(self._level_of(process), len(self.quanta) - 1)]
+
+    def on_preempt(self, process: Process) -> None:
+        self._level[process.pid] = min(
+            self._level_of(process) + 1, len(self.quanta) - 1
+        )
+
+
+@dataclasses.dataclass
+class Metrics:
+    """Aggregate outcome of one scheduling run."""
+
+    processes: List[Process]
+    gantt: List[Tuple[int, int, int]]  # (pid, start, end) slices
+    context_switches: int
+
+    def _stat(self, attr: str) -> np.ndarray:
+        return np.array([getattr(p, attr) for p in self.processes], dtype=float)
+
+    @property
+    def avg_waiting(self) -> float:
+        """Mean waiting time."""
+        return float(self._stat("waiting").mean())
+
+    @property
+    def avg_turnaround(self) -> float:
+        """Mean turnaround time."""
+        return float(self._stat("turnaround").mean())
+
+    @property
+    def avg_response(self) -> float:
+        """Mean response time."""
+        return float(self._stat("response").mean())
+
+    @property
+    def max_waiting(self) -> int:
+        """Worst-case waiting time — the starvation indicator."""
+        return int(self._stat("waiting").max())
+
+    @property
+    def makespan(self) -> int:
+        """Completion time of the last process."""
+        return max(p.completion_time for p in self.processes)  # type: ignore[type-var]
+
+
+def simulate(processes: Sequence[Process], scheduler: Scheduler) -> Metrics:
+    """Run ``processes`` (copied; inputs are untouched) under ``scheduler``."""
+    procs = [p.reset() for p in processes]
+    if not procs:
+        raise ValueError("need at least one process")
+    pending = sorted(procs, key=lambda p: (p.arrival, p.pid))
+    ready: List[Process] = []
+    gantt: List[Tuple[int, int, int]] = []
+    now = 0
+    switches = 0
+    current: Optional[Process] = None
+    slice_start = 0
+    quantum_left: Optional[int] = None
+
+    def admit(t: int) -> None:
+        while pending and pending[0].arrival <= t:
+            p = pending.pop(0)
+            p.state = ProcessState.READY
+            ready.append(p)
+
+    def close_slice(t: int) -> None:
+        nonlocal current
+        if current is not None and t > slice_start:
+            gantt.append((current.pid, slice_start, t))
+
+    while pending or ready or current is not None:
+        admit(now)
+        if current is None and not ready:
+            # Idle until the next arrival.
+            now = pending[0].arrival
+            admit(now)
+
+        reschedule = current is None
+        if current is not None:
+            if quantum_left == 0:
+                close_slice(now)
+                scheduler.on_preempt(current)
+                current.state = ProcessState.READY
+                ready.append(current)
+                current = None
+                reschedule = True
+            elif scheduler.preemptive and ready:
+                best = scheduler.pick(ready + [current], now)
+                if best is not current:
+                    close_slice(now)
+                    current.state = ProcessState.READY
+                    ready.append(current)
+                    current = None
+                    reschedule = True
+
+        if reschedule and ready:
+            chosen = scheduler.pick(ready, now)
+            ready.remove(chosen)
+            if gantt or current is not None:
+                switches += 1
+            chosen.state = ProcessState.RUNNING
+            if chosen.start_time is None:
+                chosen.start_time = now
+            current = chosen
+            slice_start = now
+            quantum_left = scheduler.quantum_for(chosen)
+
+        # One tick of execution.
+        assert current is not None
+        scheduler.on_wait_tick(ready, now)
+        current.remaining -= 1
+        now += 1
+        if quantum_left is not None:
+            quantum_left -= 1
+        if current.remaining == 0:
+            close_slice(now)
+            current.state = ProcessState.TERMINATED
+            current.completion_time = now
+            current = None
+            quantum_left = None
+
+    return Metrics(processes=procs, gantt=gantt, context_switches=switches)
+
+
+def compare(
+    processes: Sequence[Process], schedulers: Sequence[Scheduler]
+) -> Dict[str, Metrics]:
+    """Run one workload under several policies; keyed by scheduler name."""
+    return {s.name: simulate(processes, s) for s in schedulers}

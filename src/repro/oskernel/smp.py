@@ -1,0 +1,149 @@
+"""Multiprocessor scheduling: global queue, partitioning, work stealing.
+
+"Scheduling on single and multiprocessor systems" (paper §IV-B).  Tasks
+are independent CPU bursts; three placement policies are simulated:
+
+- ``GLOBAL``: one shared ready queue; any idle CPU takes the next task
+  (perfect balance, maximal queue contention — contention is *modelled*
+  as a per-dequeue overhead).
+- ``PARTITIONED``: tasks statically round-robined to per-CPU queues
+  (zero contention, imbalance when task sizes skew).
+- ``WORK_STEALING``: partitioned start, but an idle CPU steals the
+  largest remaining task from the most loaded queue.
+
+The bench compares makespan and imbalance across policies on skewed
+workloads — the classic argument for stealing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import heapq
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["SmpPolicy", "SmpResult", "simulate_smp", "skewed_tasks"]
+
+
+class SmpPolicy(enum.Enum):
+    """Task-placement policy."""
+
+    GLOBAL = "global"
+    PARTITIONED = "partitioned"
+    WORK_STEALING = "work-stealing"
+
+
+@dataclasses.dataclass
+class SmpResult:
+    """Outcome of one multiprocessor run."""
+
+    policy: SmpPolicy
+    num_cpus: int
+    makespan: float
+    busy_time: List[float]
+    steals: int
+    dequeue_overhead: float
+
+    @property
+    def imbalance(self) -> float:
+        """Max/mean busy time across CPUs (1.0 = perfectly balanced)."""
+        busy = np.asarray(self.busy_time)
+        mean = busy.mean()
+        return float(busy.max() / mean) if mean > 0 else 1.0
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of the makespan each CPU spent busy."""
+        if self.makespan == 0:
+            return 1.0
+        return float(np.mean(self.busy_time) / self.makespan)
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over running all tasks on one CPU."""
+        total = float(np.sum(self.busy_time))
+        return total / self.makespan if self.makespan else 1.0
+
+
+def simulate_smp(
+    tasks: Sequence[float],
+    num_cpus: int,
+    policy: SmpPolicy = SmpPolicy.GLOBAL,
+    global_queue_overhead: float = 0.0,
+    steal_overhead: float = 0.0,
+) -> SmpResult:
+    """Schedule independent ``tasks`` (durations) on ``num_cpus`` CPUs.
+
+    ``global_queue_overhead`` is added per dequeue under the GLOBAL policy
+    (lock contention model); ``steal_overhead`` per successful steal.
+    """
+    if num_cpus < 1:
+        raise ValueError("num_cpus must be positive")
+    durations = [float(t) for t in tasks]
+    if any(d <= 0 for d in durations):
+        raise ValueError("task durations must be positive")
+    busy = [0.0] * num_cpus
+    steals = 0
+    overhead = 0.0
+
+    if policy is SmpPolicy.GLOBAL:
+        # Earliest-available CPU takes the next task (list scheduling).
+        heap = [(0.0, cpu) for cpu in range(num_cpus)]
+        heapq.heapify(heap)
+        for d in durations:
+            t, cpu = heapq.heappop(heap)
+            cost = d + global_queue_overhead
+            overhead += global_queue_overhead
+            busy[cpu] += cost
+            heapq.heappush(heap, (t + cost, cpu))
+        makespan = max(t for t, _ in heap)
+        return SmpResult(policy, num_cpus, makespan, busy, 0, overhead)
+
+    # Partitioned start: round-robin assignment.
+    queues: List[List[float]] = [[] for _ in range(num_cpus)]
+    for i, d in enumerate(durations):
+        queues[i % num_cpus].append(d)
+
+    if policy is SmpPolicy.PARTITIONED:
+        busy = [sum(q) for q in queues]
+        return SmpResult(policy, num_cpus, max(busy) if busy else 0.0, busy, 0, 0.0)
+
+    if policy is SmpPolicy.WORK_STEALING:
+        clock = [0.0] * num_cpus
+        # Event loop: repeatedly advance the least-loaded CPU.
+        while True:
+            cpu = min(range(num_cpus), key=lambda c: clock[c])
+            if queues[cpu]:
+                d = queues[cpu].pop(0)
+                clock[cpu] += d
+                busy[cpu] += d
+                continue
+            # Steal: take the largest task from the queue with most pending work.
+            victims = [c for c in range(num_cpus) if queues[c]]
+            if not victims:
+                break
+            victim = max(victims, key=lambda c: sum(queues[c]))
+            stolen = max(queues[victim])
+            queues[victim].remove(stolen)
+            steals += 1
+            clock[cpu] += steal_overhead
+            overhead += steal_overhead
+            clock[cpu] += stolen
+            busy[cpu] += stolen
+        makespan = max(clock)
+        return SmpResult(policy, num_cpus, makespan, busy, steals, overhead)
+
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+def skewed_tasks(n: int, seed: int = 0, skew: float = 2.0) -> List[float]:
+    """A reproducible heavy-tailed task-size workload (Pareto-ish).
+
+    Larger ``skew`` concentrates more total work in fewer tasks, which is
+    what separates the three policies.
+    """
+    rng = np.random.default_rng(seed)
+    sizes = rng.pareto(max(skew, 0.5), n) + 1.0
+    return [float(s) for s in sizes]

@@ -1,0 +1,37 @@
+"""Pedagogy: exercises, autograding, labs, and ABET outcome assessment.
+
+The layer that turns the substrate into a course.  LAU's case study
+(§IV-A) grades labs, milestone projects, and reports, and uses the course
+to assess ABET Student Outcomes 2 and 3; this subpackage provides the
+machinery:
+
+- :mod:`repro.pedagogy.exercise` — exercises with reference checks and
+  point values.
+- :mod:`repro.pedagogy.autograder` — run student submissions against
+  exercises; produce grade reports with partial credit.
+- :mod:`repro.pedagogy.labs` — a library of ready labs, one per substrate
+  area (race detection, deadlock ordering, MPI π, GPU coalescing,
+  Amdahl analysis, scheduler comparison, transactions, client–server).
+- :mod:`repro.pedagogy.outcomes` — map exercises to ABET Student
+  Outcomes and compute cohort attainment.
+- :mod:`repro.pedagogy.coursebuilder` — assemble the LAU and RIT
+  case-study courses as syllabi of labs.
+"""
+
+from repro.pedagogy.autograder import Autograder, GradeReport
+from repro.pedagogy.coursebuilder import build_lau_course, build_rit_course
+from repro.pedagogy.exercise import Exercise, ExerciseResult
+from repro.pedagogy.labs import standard_labs
+from repro.pedagogy.outcomes import AttainmentReport, OutcomeAssessment
+
+__all__ = [
+    "AttainmentReport",
+    "Autograder",
+    "build_lau_course",
+    "build_rit_course",
+    "Exercise",
+    "ExerciseResult",
+    "GradeReport",
+    "OutcomeAssessment",
+    "standard_labs",
+]

@@ -1,0 +1,103 @@
+"""The autograder: submissions × exercises → grade reports."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.pedagogy.exercise import Exercise, ExerciseResult
+
+__all__ = ["GradeReport", "Autograder"]
+
+
+@dataclasses.dataclass
+class GradeReport:
+    """One student's results over a lab's exercises."""
+
+    student: str
+    results: List[ExerciseResult]
+
+    @property
+    def points_earned(self) -> float:
+        """Total points earned."""
+        return sum(r.points_earned for r in self.results)
+
+    @property
+    def points_possible(self) -> float:
+        """Total points available."""
+        return sum(r.points_possible for r in self.results)
+
+    @property
+    def percentage(self) -> float:
+        """Overall score in [0, 100]."""
+        if self.points_possible == 0:
+            return 0.0
+        return 100.0 * self.points_earned / self.points_possible
+
+    @property
+    def letter(self) -> str:
+        """A coarse letter grade (the usual 90/80/70/60 cut-offs)."""
+        pct = self.percentage
+        for cut, letter in ((90, "A"), (80, "B"), (70, "C"), (60, "D")):
+            if pct >= cut:
+                return letter
+        return "F"
+
+    def result_for(self, exercise_id: str) -> ExerciseResult:
+        """Look up one exercise's result."""
+        for r in self.results:
+            if r.exercise_id == exercise_id:
+                return r
+        raise KeyError(f"no result for {exercise_id!r}")
+
+
+class Autograder:
+    """Grades submissions against a fixed exercise list.
+
+    A submission maps exercise ids to whatever each exercise's checker
+    expects; missing entries score zero (with an explanatory error).
+    """
+
+    def __init__(self, exercises: Sequence[Exercise]) -> None:
+        ids = [e.exercise_id for e in exercises]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate exercise ids")
+        self.exercises = list(exercises)
+
+    def grade(self, student: str, submission: Mapping[str, Any]) -> GradeReport:
+        """Grade one student."""
+        results: List[ExerciseResult] = []
+        for exercise in self.exercises:
+            if exercise.exercise_id in submission:
+                results.append(exercise.grade(submission[exercise.exercise_id]))
+            else:
+                results.append(
+                    ExerciseResult(
+                        exercise_id=exercise.exercise_id,
+                        fraction=0.0,
+                        points_earned=0.0,
+                        points_possible=exercise.points,
+                        error="not submitted",
+                    )
+                )
+        return GradeReport(student=student, results=results)
+
+    def grade_cohort(
+        self, submissions: Mapping[str, Mapping[str, Any]]
+    ) -> Dict[str, GradeReport]:
+        """Grade every student; keyed by student name."""
+        return {s: self.grade(s, sub) for s, sub in submissions.items()}
+
+    def sanity_check(self) -> List[str]:
+        """Grade each exercise's reference submission; full credit expected.
+
+        Returns the ids of exercises whose reference does *not* earn full
+        credit — the instructor's pre-release checklist (empty == good).
+        """
+        bad: List[str] = []
+        for exercise in self.exercises:
+            if exercise.reference is None:
+                continue
+            if exercise.grade(exercise.reference).fraction < 1.0:
+                bad.append(exercise.exercise_id)
+        return bad

@@ -1,0 +1,143 @@
+"""Assemble the case-study courses as runnable syllabi of labs.
+
+The LAU course's three parts (§IV-A: foundations; multicore/OpenMP;
+manycore/CUDA at ~60%) and the RIT breadth course's units (§IV-C:
+threads; networks; security; distributed; parallel) become
+:class:`Syllabus` objects whose units carry the lab exercises of
+:mod:`repro.pedagogy.labs` — a dedicated-course and a breadth-course
+instantiation of the same machinery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.pedagogy.exercise import Exercise
+from repro.pedagogy.labs import standard_labs
+
+__all__ = ["SyllabusUnit", "Syllabus", "build_lau_course", "build_rit_course"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SyllabusUnit:
+    """One part/unit of a course: a share of the term plus its labs."""
+
+    title: str
+    weight: float  # fraction of the course
+    lab_ids: Sequence[str]
+
+    def __post_init__(self) -> None:
+        if not 0 < self.weight <= 1:
+            raise ValueError("weight must be in (0, 1]")
+
+
+@dataclasses.dataclass
+class Syllabus:
+    """A course as an ordered set of units over the lab library."""
+
+    course_title: str
+    units: List[SyllabusUnit]
+    labs: Dict[str, Exercise]
+
+    def __post_init__(self) -> None:
+        total = sum(u.weight for u in self.units)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"unit weights must sum to 1 (got {total})")
+        for unit in self.units:
+            for lab_id in unit.lab_ids:
+                if lab_id not in self.labs:
+                    raise KeyError(f"unknown lab {lab_id!r} in {unit.title!r}")
+
+    def exercises(self) -> List[Exercise]:
+        """All labs of the course, in unit order (no duplicates)."""
+        seen: List[Exercise] = []
+        ids: set = set()
+        for unit in self.units:
+            for lab_id in unit.lab_ids:
+                if lab_id not in ids:
+                    ids.add(lab_id)
+                    seen.append(self.labs[lab_id])
+        return seen
+
+    def unit_for(self, lab_id: str) -> SyllabusUnit:
+        """Which unit a lab belongs to (first occurrence)."""
+        for unit in self.units:
+            if lab_id in unit.lab_ids:
+                return unit
+        raise KeyError(f"lab {lab_id!r} not in syllabus")
+
+
+def _lab_index() -> Dict[str, Exercise]:
+    return {e.exercise_id: e for e in standard_labs()}
+
+
+def build_lau_course() -> Syllabus:
+    """LAU's dedicated parallel-programming course (§IV-A).
+
+    Three parts; the manycore part carries ~60% of the course, exactly as
+    the paper describes.
+    """
+    return Syllabus(
+        course_title="CSC447 Parallel Programming (LAU)",
+        units=[
+            SyllabusUnit(
+                "Part 1 — History and driving forces of PDC",
+                weight=0.15,
+                lab_ids=["arch-amdahl", "algo-work-span"],
+            ),
+            SyllabusUnit(
+                "Part 2 — Multicore programming (Pthreads/OpenMP)",
+                weight=0.25,
+                lab_ids=["smp-atomic-counter", "smp-lock-order",
+                         "smp-bounded-buffer"],
+            ),
+            SyllabusUnit(
+                "Part 3 — Manycore programming (SIMT) and clusters",
+                weight=0.60,
+                lab_ids=["gpu-coalesced-double", "mp-pi"],
+            ),
+        ],
+        labs=_lab_index(),
+    )
+
+
+def build_rit_course() -> Syllabus:
+    """RIT's Concepts of Parallel and Distributed Systems (§IV-C).
+
+    The breadth design: five interleaved units, none in depth, covering
+    multithreading, networking, security-adjacent protocol work,
+    distributed systems, and parallel computing.
+    """
+    return Syllabus(
+        course_title="CSCI251 Concepts of Parallel and Distributed Systems (RIT)",
+        units=[
+            SyllabusUnit(
+                "Multithreaded computing",
+                weight=0.25,
+                lab_ids=["smp-atomic-counter", "smp-lock-order",
+                         "smp-bounded-buffer"],
+            ),
+            SyllabusUnit(
+                "Networked computers and protocols",
+                weight=0.25,
+                lab_ids=["net-kv-protocol"],
+            ),
+            SyllabusUnit(
+                "Distributed systems and middleware",
+                weight=0.2,
+                lab_ids=["mp-pi"],
+            ),
+            SyllabusUnit(
+                "Transactions and coordination",
+                weight=0.15,
+                lab_ids=["db-serializable-interleaving"],
+            ),
+            SyllabusUnit(
+                "Parallel computing architectures",
+                weight=0.15,
+                lab_ids=["arch-amdahl", "os-scheduler-pick", "algo-work-span"],
+            ),
+        ],
+        labs=_lab_index(),
+    )

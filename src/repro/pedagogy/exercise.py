@@ -1,0 +1,72 @@
+"""Exercises: a prompt, a checker, points, and outcome tags."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.taxonomy import PdcTopic
+
+__all__ = ["Exercise", "ExerciseResult"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Exercise:
+    """One gradable exercise.
+
+    ``check`` receives the student's submission (any callable or value,
+    per the exercise's contract) and returns a score in [0, 1]; the
+    autograder scales it by ``points``.  ``reference`` is a known-good
+    submission used by tests and by instructors sanity-checking the lab.
+    """
+
+    exercise_id: str
+    prompt: str
+    check: Callable[[Any], float]
+    points: float = 10.0
+    topics: Sequence[PdcTopic] = ()
+    outcome_numbers: Sequence[int] = (2,)  # ABET Student Outcomes assessed
+    reference: Optional[Any] = None
+    #: Substrate modules the lab exercises (evidence for competency checks).
+    modules: Sequence[str] = ()
+
+    def __post_init__(self) -> None:
+        if self.points <= 0:
+            raise ValueError("points must be positive")
+
+    def grade(self, submission: Any) -> "ExerciseResult":
+        """Run the checker defensively; exceptions score zero."""
+        try:
+            fraction = float(self.check(submission))
+        except Exception as exc:  # noqa: BLE001 - a failing submission
+            return ExerciseResult(
+                exercise_id=self.exercise_id,
+                fraction=0.0,
+                points_earned=0.0,
+                points_possible=self.points,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        fraction = min(1.0, max(0.0, fraction))
+        return ExerciseResult(
+            exercise_id=self.exercise_id,
+            fraction=fraction,
+            points_earned=fraction * self.points,
+            points_possible=self.points,
+            error=None,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ExerciseResult:
+    """The graded outcome of one exercise."""
+
+    exercise_id: str
+    fraction: float
+    points_earned: float
+    points_possible: float
+    error: Optional[str]
+
+    @property
+    def passed(self) -> bool:
+        """Full-credit threshold (>= 60% counts as meeting the outcome)."""
+        return self.fraction >= 0.6

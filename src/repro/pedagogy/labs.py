@@ -1,0 +1,354 @@
+"""The standard lab library: one exercise per substrate area.
+
+Each lab's ``check`` runs the student's submission against the relevant
+simulator/detector and scores the *observable behaviour* — a race-free
+counter, a cycle-free lock order, a correct π, a coalesced kernel — the
+style of grading the LAU course's "experimentally analyzing and tuning
+parallel software" description implies.  Reference solutions are included
+(and sanity-checked by tests) so the labs are self-validating.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List
+
+import numpy as np
+
+from repro.core.taxonomy import PdcTopic
+from repro.gpu import Device, GlobalArray, launch
+from repro.mp import SUM, run_spmd
+from repro.oskernel import RoundRobin, SRTF, Workloads, simulate
+from repro.pedagogy.exercise import Exercise
+from repro.smp.atomics import AtomicCounter
+from repro.smp.deadlock import LockGraph
+
+__all__ = ["standard_labs"]
+
+
+# -- Lab 1: atomic counter (races) -------------------------------------------
+def _check_counter(make_counter: Callable[[], Any]) -> float:
+    """Submission: a zero-arg factory for an object with ``increment()``
+    and ``value`` that stays correct under interleaved increments."""
+    import threading
+
+    counter = make_counter()
+    per_thread, threads = 200, 4
+
+    def worker() -> None:
+        for _ in range(per_thread):
+            counter.increment()
+
+    ts = [threading.Thread(target=worker) for _ in range(threads)]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join()
+    return 1.0 if counter.value == per_thread * threads else 0.0
+
+
+# -- Lab 2: lock ordering (deadlock) ----------------------------------------
+def _check_lock_order(order_fn: Callable[[int, int], tuple]) -> float:
+    """Submission: ``order_fn(left, right) -> (first, second)`` giving the
+    acquisition order for a philosopher's two forks.  Scored by the lock
+    graph staying acyclic over all philosophers."""
+    n = 5
+    graph = LockGraph()
+    for p in range(n):
+        first, second = order_fn(p, (p + 1) % n)
+        graph.on_acquire(f"fork{first}")
+        graph.on_acquire(f"fork{second}")
+        graph.on_release(f"fork{second}")
+        graph.on_release(f"fork{first}")
+    return 1.0 if graph.is_safe() else 0.0
+
+
+# -- Lab 3: MPI pi (message passing) ------------------------------------------
+def _check_mpi_pi(rank_main: Callable[..., float]) -> float:
+    """Submission: an SPMD main ``f(comm, n)`` returning π at rank 0 via a
+    reduction over rank-strided midpoint slices (the mpi4py cpi example)."""
+    results = run_spmd(4, rank_main, 10_000)
+    pi = results[0]
+    if pi is None:
+        return 0.0
+    return 1.0 if abs(pi - math.pi) < 1e-6 else 0.0
+
+
+def _reference_mpi_pi(comm: Any, n: int) -> float:
+    rank, size = comm.Get_rank(), comm.Get_size()
+    h = 1.0 / n
+    local = sum(
+        4.0 / (1.0 + (h * (i + 0.5)) ** 2) for i in range(rank, n, size)
+    )
+    total = comm.reduce(local * h, op=SUM, root=0)
+    return total if rank == 0 else None
+
+
+# -- Lab 4: GPU coalescing ------------------------------------------------------
+def _check_gpu_kernel(kernel: Callable[..., Any]) -> float:
+    """Submission: a vector-doubling kernel ``k(ctx, data, out)``.  Half
+    credit for correctness; full credit only if accesses are coalesced
+    (efficiency >= 0.9) — grading the lab's actual objective."""
+    device = Device()
+    n = 256
+    data = GlobalArray.from_host(np.arange(n, dtype=np.float64))
+    out = GlobalArray.zeros(n)
+    stats = launch(device, kernel, grid=n // 64, block=64)(data, out)
+    if not np.allclose(out.to_host(), 2.0 * np.arange(n)):
+        return 0.0
+    return 1.0 if stats.coalescing_efficiency() >= 0.9 else 0.5
+
+
+def _reference_gpu_double(ctx: Any, data: GlobalArray, out: GlobalArray):
+    i = ctx.global_id()
+    if i < out.size:
+        out[i] = 2.0 * data[i]
+    return
+    yield
+
+
+# -- Lab 5: Amdahl analysis ------------------------------------------------------
+def _check_amdahl(answer_fn: Callable[[float, int], float]) -> float:
+    """Submission: ``f(parallel_fraction, processors) -> speedup``.
+    Scored over a grid against the law."""
+    from repro.arch.laws import amdahl_speedup
+
+    grid = [(f, p) for f in (0.5, 0.9, 0.95, 0.99) for p in (2, 8, 64, 1024)]
+    good = sum(
+        1
+        for f, p in grid
+        if abs(answer_fn(f, p) - float(amdahl_speedup(f, p))) < 1e-9
+    )
+    return good / len(grid)
+
+
+# -- Lab 6: scheduler choice ------------------------------------------------------
+def _check_scheduler_claim(choice: str) -> float:
+    """Submission: which policy minimizes average waiting time on the
+    textbook workload ("SRTF" is provably optimal for this metric)."""
+    workload = Workloads.textbook()
+    srtf = simulate(workload, SRTF()).avg_waiting
+    rr = simulate(workload, RoundRobin(2)).avg_waiting
+    assert srtf <= rr  # the premise of the question
+    return 1.0 if str(choice).strip().upper() == "SRTF" else 0.0
+
+
+# -- Lab 7: serializability ---------------------------------------------------------
+def _check_serializable_schedule(schedule_text: str) -> float:
+    """Submission: a history (textbook notation) over T1/T2 on items x,y
+    that interleaves the transactions yet stays conflict-serializable."""
+    from repro.db import Schedule, is_conflict_serializable
+
+    schedule = Schedule.parse(schedule_text)
+    if schedule.is_serial():
+        return 0.3  # correct but dodged the point of the exercise
+    return 1.0 if is_conflict_serializable(schedule) else 0.0
+
+
+# -- Lab 8: client-server protocol -----------------------------------------------------
+def _check_kv_protocol(client_fn: Callable[[Any], Any]) -> float:
+    """Submission: ``f(client)`` that stores 3 keys and returns the value
+    of "b" using the KV client — exercises the request/response protocol."""
+    from repro.net import Address, KeyValueClient, KeyValueServer, Network
+
+    network = Network()
+    with KeyValueServer(network, Address("kv", 6379)) as _server:
+        with KeyValueClient(network, Address("kv", 6379)) as client:
+            result = client_fn(client)
+            stored = client.keys()
+    return 1.0 if result == "beta" and len(stored) >= 3 else 0.0
+
+
+def _reference_kv(client: Any) -> Any:
+    client.put("a", "alpha")
+    client.put("b", "beta")
+    client.put("c", "gamma")
+    return client.get("b")
+
+
+# -- Lab 9: work-span analysis (CC2020: divide-and-conquer, critical path) ----
+def _check_work_span(analyze: Callable[[Any], tuple]) -> float:
+    """Submission: ``f(dag) -> (work, span)`` for a TaskDag.  Scored over
+    a chain, an independent set, and a fork-join tree — partial credit
+    per correct shape."""
+    from repro.algorithms.dag import TaskDag
+
+    shapes = [TaskDag.chain(7), TaskDag.fully_parallel(9), TaskDag.fork_join_tree(3)]
+    good = 0
+    for dag in shapes:
+        work, span = analyze(dag)
+        if work == dag.work and span == dag.span:
+            good += 1
+    return good / len(shapes)
+
+
+def _reference_work_span(dag: Any) -> tuple:
+    return (dag.work, dag.span)
+
+
+# -- Lab 10: bounded buffer (CC2020: properly synchronized queues) -------------
+def _check_bounded_buffer(make_buffer: Callable[[int], Any]) -> float:
+    """Submission: ``f(capacity)`` returning an object with blocking
+    ``put(item)``/``get()``.  Scored by a producer-consumer session: all
+    items delivered exactly once, FIFO per producer."""
+    import threading
+
+    buffer = make_buffer(3)
+    n, producers = 40, 2
+    consumed: List[Any] = []
+    lock = threading.Lock()
+
+    def produce(base: int) -> None:
+        for i in range(n):
+            buffer.put((base, i))
+
+    def consume() -> None:
+        for _ in range(n):
+            item = buffer.get()
+            with lock:
+                consumed.append(item)
+
+    threads = [
+        threading.Thread(target=produce, args=(b,), daemon=True)
+        for b in range(producers)
+    ] + [threading.Thread(target=consume, daemon=True) for _ in range(producers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=20)
+        if t.is_alive():
+            return 0.0  # deadlocked or lost wakeups
+    expected = {(b, i) for b in range(producers) for i in range(n)}
+    if set(consumed) != expected or len(consumed) != len(expected):
+        return 0.0
+    # FIFO per producer:
+    for base in range(producers):
+        seq = [i for (b, i) in consumed if b == base]
+        if seq != sorted(seq):
+            return 0.5
+    return 1.0
+
+
+def _reference_bounded_buffer(capacity: int) -> Any:
+    from repro.smp.squeue import SynchronizedQueue
+
+    return SynchronizedQueue(capacity)
+
+
+def standard_labs() -> List[Exercise]:
+    """The ten standard labs, one per substrate area."""
+    return [
+        Exercise(
+            "smp-atomic-counter",
+            "Build a thread-safe counter: increment() from 4 threads x 200 "
+            "times must yield exactly 800.",
+            _check_counter,
+            points=10,
+            topics=[PdcTopic.ATOMICITY, PdcTopic.THREADS],
+            outcome_numbers=(2,),
+            reference=AtomicCounter,
+            modules=("repro.smp.atomics",),
+        ),
+        Exercise(
+            "smp-lock-order",
+            "Give a fork-acquisition order for the dining philosophers that "
+            "admits no deadlock (the lock-order graph must be acyclic).",
+            _check_lock_order,
+            points=10,
+            topics=[PdcTopic.SHARED_MEMORY_PROGRAMMING],
+            outcome_numbers=(2,),
+            reference=lambda left, right: (min(left, right), max(left, right)),
+            modules=("repro.smp.deadlock",),
+        ),
+        Exercise(
+            "mp-pi",
+            "Compute pi with the midpoint rule, strided over ranks, reduced "
+            "to rank 0 (the classic MPI cpi exercise).",
+            _check_mpi_pi,
+            points=15,
+            topics=[PdcTopic.IPC, PdcTopic.SHARED_VS_DISTRIBUTED],
+            outcome_numbers=(2,),
+            reference=_reference_mpi_pi,
+            modules=("repro.mp.communicator", "repro.mp.collectives"),
+        ),
+        Exercise(
+            "gpu-coalesced-double",
+            "Write a SIMT kernel doubling a vector with fully coalesced "
+            "global accesses (efficiency >= 0.9).",
+            _check_gpu_kernel,
+            points=15,
+            topics=[PdcTopic.SIMD_VECTOR, PdcTopic.MEMORY_CACHING],
+            outcome_numbers=(2,),
+            reference=_reference_gpu_double,
+            modules=("repro.gpu.kernel", "repro.gpu.memory"),
+        ),
+        Exercise(
+            "arch-amdahl",
+            "Implement Amdahl's law: speedup(parallel_fraction, processors).",
+            _check_amdahl,
+            points=10,
+            topics=[PdcTopic.PERFORMANCE],
+            outcome_numbers=(1, 2),
+            reference=lambda f, p: 1.0 / ((1.0 - f) + f / p),
+            modules=("repro.arch.laws",),
+        ),
+        Exercise(
+            "os-scheduler-pick",
+            "Which policy minimizes average waiting time on the textbook "
+            "workload: FCFS, RR, or SRTF?",
+            _check_scheduler_claim,
+            points=5,
+            topics=[PdcTopic.PARALLELISM_CONCURRENCY],
+            outcome_numbers=(1,),
+            reference="SRTF",
+            modules=("repro.oskernel.scheduler", "repro.oskernel.process"),
+        ),
+        Exercise(
+            "db-serializable-interleaving",
+            "Write a non-serial yet conflict-serializable history over "
+            "T1/T2 on items x and y (textbook notation).",
+            _check_serializable_schedule,
+            points=10,
+            topics=[PdcTopic.TRANSACTIONS],
+            outcome_numbers=(1, 2),
+            reference="r1(x) w1(x) r2(x) r1(y) w2(x) w1(y) c1 c2",
+            modules=("repro.db.serializability", "repro.db.transaction"),
+        ),
+        Exercise(
+            "net-kv-protocol",
+            "Using the key-value client, store three keys and return the "
+            "value of 'b'.",
+            _check_kv_protocol,
+            points=10,
+            topics=[PdcTopic.CLIENT_SERVER],
+            outcome_numbers=(2,),
+            reference=_reference_kv,
+            modules=("repro.net.clientserver", "repro.net.protocol"),
+        ),
+        Exercise(
+            "algo-work-span",
+            "Compute the work (T1) and span (T_inf) of a task DAG; the "
+            "critical path is the span's witness.",
+            _check_work_span,
+            points=10,
+            topics=[PdcTopic.PARALLELISM_CONCURRENCY, PdcTopic.PERFORMANCE],
+            outcome_numbers=(1, 2),
+            reference=_reference_work_span,
+            modules=(
+                "repro.algorithms.dag",
+                "repro.algorithms.dnc",
+                "repro.algorithms.sorting",
+            ),
+        ),
+        Exercise(
+            "smp-bounded-buffer",
+            "Build a bounded blocking queue (capacity-limited put/get) and "
+            "survive a multi-producer multi-consumer session.",
+            _check_bounded_buffer,
+            points=10,
+            topics=[PdcTopic.SHARED_MEMORY_PROGRAMMING, PdcTopic.IPC],
+            outcome_numbers=(2,),
+            reference=_reference_bounded_buffer,
+            modules=("repro.smp.squeue", "repro.smp.monitor"),
+        ),
+    ]

@@ -1,0 +1,99 @@
+"""ABET Student Outcome assessment from graded exercises.
+
+The LAU case study uses its parallel-programming course "to meet multiple
+performance criteria in ABET's Student Outcome 2 … and Student Outcome 3"
+(§IV-A).  Accreditation assessment asks: for each outcome, what fraction
+of the cohort *attained* it (scored above a threshold on the exercises
+mapped to it)?  :class:`OutcomeAssessment` computes exactly that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Sequence
+
+from repro.core.abet import STUDENT_OUTCOMES, StudentOutcome
+from repro.pedagogy.autograder import GradeReport
+from repro.pedagogy.exercise import Exercise
+
+__all__ = ["AttainmentReport", "OutcomeAssessment"]
+
+
+@dataclasses.dataclass
+class AttainmentReport:
+    """Cohort attainment of one Student Outcome."""
+
+    outcome: StudentOutcome
+    students_assessed: int
+    students_attained: int
+    target_rate: float
+
+    @property
+    def rate(self) -> float:
+        """Fraction of assessed students attaining the outcome."""
+        if self.students_assessed == 0:
+            return 0.0
+        return self.students_attained / self.students_assessed
+
+    @property
+    def met(self) -> bool:
+        """Did the cohort meet the program's target rate?"""
+        return self.students_assessed > 0 and self.rate >= self.target_rate
+
+
+class OutcomeAssessment:
+    """Aggregates graded exercises into per-outcome attainment.
+
+    ``attainment_threshold`` — a student attains an outcome when their
+    mean fraction over the outcome's mapped exercises reaches it.
+    ``target_rate`` — the program's continuous-improvement target (70%
+    of students attaining is a common choice).
+    """
+
+    def __init__(
+        self,
+        exercises: Sequence[Exercise],
+        attainment_threshold: float = 0.6,
+        target_rate: float = 0.7,
+    ) -> None:
+        self.exercises = list(exercises)
+        self.attainment_threshold = attainment_threshold
+        self.target_rate = target_rate
+
+    def _exercises_for(self, outcome_number: int) -> List[Exercise]:
+        return [
+            e for e in self.exercises if outcome_number in e.outcome_numbers
+        ]
+
+    def assess(
+        self, reports: Mapping[str, GradeReport]
+    ) -> Dict[int, AttainmentReport]:
+        """Compute attainment for every outcome any exercise maps to."""
+        numbers = sorted(
+            {n for e in self.exercises for n in e.outcome_numbers}
+        )
+        outcome_by_number = {o.number: o for o in STUDENT_OUTCOMES}
+        out: Dict[int, AttainmentReport] = {}
+        for number in numbers:
+            mapped = self._exercises_for(number)
+            mapped_ids = {e.exercise_id for e in mapped}
+            attained = 0
+            assessed = 0
+            for report in reports.values():
+                fractions = [
+                    r.fraction
+                    for r in report.results
+                    if r.exercise_id in mapped_ids
+                ]
+                if not fractions:
+                    continue
+                assessed += 1
+                if sum(fractions) / len(fractions) >= self.attainment_threshold:
+                    attained += 1
+            out[number] = AttainmentReport(
+                outcome=outcome_by_number[number],
+                students_assessed=assessed,
+                students_attained=attained,
+                target_rate=self.target_rate,
+            )
+        return out

@@ -1,0 +1,86 @@
+"""Shared-memory concurrency teaching kit.
+
+This subpackage implements the shared-memory half of the PDC topics mapped in
+Table I of the paper (threads, shared-memory programming, atomicity,
+inter-process communication, synchronization) as instrumented, deterministic
+primitives suitable for coursework:
+
+- :mod:`repro.smp.atomics` — atomic cells, counters, and compare-and-swap.
+- :mod:`repro.smp.locks` — spin/ticket/reader-writer locks with contention
+  counters.
+- :mod:`repro.smp.monitor` — monitors and condition variables (SE2014
+  "concurrency primitives (e.g., semaphores and monitors)").
+- :mod:`repro.smp.barrier` — cyclic and sense-reversing barriers.
+- :mod:`repro.smp.squeue` — properly synchronized bounded queues (a CC2020
+  named topic).
+- :mod:`repro.smp.pool` — an OpenMP-flavoured ``parallel_for`` /
+  ``parallel_reduce`` thread pool with static/dynamic/guided schedules.
+- :mod:`repro.smp.racedetect` — an Eraser-style lockset data-race detector.
+- :mod:`repro.smp.deadlock` — wait-for-graph deadlock detection and lock
+  ordering audits.
+- :mod:`repro.smp.falseshare` — a cache-line model for demonstrating false
+  sharing without real hardware.
+"""
+
+from repro.smp.atomics import AtomicCell, AtomicCounter, AtomicFlag
+from repro.smp.barrier import CyclicBarrier, SenseReversingBarrier
+from repro.smp.deadlock import DeadlockDetected, LockGraph, WaitForGraph
+from repro.smp.falseshare import CacheLineModel, PaddedCounters, SharedCounters
+from repro.smp.interleave import (
+    Step,
+    explore,
+    peterson_program,
+    racy_counter_program,
+)
+from repro.smp.locks import (
+    CountingSemaphore,
+    InstrumentedLock,
+    ReaderWriterLock,
+    SpinLock,
+    TicketLock,
+)
+from repro.smp.monitor import BoundedBuffer, ConditionVariable, Monitor
+from repro.smp.pool import (
+    Schedule,
+    ThreadTeam,
+    parallel_for,
+    parallel_map,
+    parallel_reduce,
+)
+from repro.smp.racedetect import LocksetRaceDetector, RaceReport, SharedVariable
+from repro.smp.squeue import SynchronizedQueue
+
+__all__ = [
+    "AtomicCell",
+    "AtomicCounter",
+    "AtomicFlag",
+    "BoundedBuffer",
+    "CacheLineModel",
+    "ConditionVariable",
+    "CountingSemaphore",
+    "CyclicBarrier",
+    "DeadlockDetected",
+    "explore",
+    "InstrumentedLock",
+    "LockGraph",
+    "LocksetRaceDetector",
+    "Monitor",
+    "PaddedCounters",
+    "parallel_for",
+    "parallel_map",
+    "parallel_reduce",
+    "peterson_program",
+    "RaceReport",
+    "racy_counter_program",
+    "ReaderWriterLock",
+    "Schedule",
+    "SenseReversingBarrier",
+    "SharedCounters",
+    "SharedVariable",
+    "SpinLock",
+    "Step",
+    "SynchronizedQueue",
+    "ThreadTeam",
+    "TicketLock",
+    "WaitForGraph",
+]

@@ -1,0 +1,169 @@
+"""Atomic primitives built on a single internal mutex.
+
+CPython does not expose hardware atomics, so these classes model the *API and
+semantics* of atomic operations (the level at which the CS2013 PDC knowledge
+area and the Table I "Atomicity" row teach them).  Every read-modify-write is
+performed under one lock, which makes each operation linearizable; the
+sequence of successful operations therefore has a total order, which tests and
+labs can rely on.
+
+The classes deliberately mirror the shape of ``java.util.concurrent.atomic``
+and C++ ``std::atomic``: ``load``/``store``, ``fetch_add``,
+``compare_and_swap``, ``exchange``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["AtomicCell", "AtomicCounter", "AtomicFlag"]
+
+
+class AtomicCell(Generic[T]):
+    """A linearizable single-value cell.
+
+    Supports the classic atomic register operations plus compare-and-swap,
+    the universal primitive students meet when studying lock-free algorithms.
+    """
+
+    def __init__(self, value: T) -> None:
+        self._value = value
+        self._lock = threading.Lock()
+        self._cas_failures = 0
+
+    def load(self) -> T:
+        """Atomically read the current value."""
+        with self._lock:
+            return self._value
+
+    def store(self, value: T) -> None:
+        """Atomically overwrite the current value."""
+        with self._lock:
+            self._value = value
+
+    def exchange(self, value: T) -> T:
+        """Atomically set ``value`` and return the previous value."""
+        with self._lock:
+            old = self._value
+            self._value = value
+            return old
+
+    def compare_and_swap(self, expected: T, new: T) -> bool:
+        """CAS: set ``new`` iff the current value equals ``expected``.
+
+        Returns ``True`` on success.  Failed attempts are counted in
+        :attr:`cas_failures`, which labs use to visualize contention.
+        """
+        with self._lock:
+            if self._value == expected:
+                self._value = new
+                return True
+            self._cas_failures += 1
+            return False
+
+    def update(self, fn: Callable[[T], T]) -> T:
+        """Atomically apply ``fn`` to the value; return the new value.
+
+        Equivalent to a CAS retry loop that always succeeds (the lock stands
+        in for the loop).
+        """
+        with self._lock:
+            self._value = fn(self._value)
+            return self._value
+
+    @property
+    def cas_failures(self) -> int:
+        """Number of failed :meth:`compare_and_swap` attempts so far."""
+        with self._lock:
+            return self._cas_failures
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AtomicCell({self.load()!r})"
+
+
+class AtomicCounter:
+    """An atomic integer counter with fetch-and-add semantics.
+
+    The canonical counterexample to "`x += 1` is one operation": labs pair
+    this class with :class:`repro.smp.racedetect.SharedVariable` to contrast
+    a racy increment with an atomic one.
+    """
+
+    def __init__(self, initial: int = 0) -> None:
+        self._value = initial
+        self._lock = threading.Lock()
+
+    def fetch_add(self, delta: int = 1) -> int:
+        """Atomically add ``delta``; return the value *before* the add."""
+        with self._lock:
+            old = self._value
+            self._value += delta
+            return old
+
+    def add_fetch(self, delta: int = 1) -> int:
+        """Atomically add ``delta``; return the value *after* the add."""
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    def increment(self) -> int:
+        """Atomically add one; return the new value."""
+        return self.add_fetch(1)
+
+    def decrement(self) -> int:
+        """Atomically subtract one; return the new value."""
+        return self.add_fetch(-1)
+
+    @property
+    def value(self) -> int:
+        """The current count (atomic read)."""
+        with self._lock:
+            return self._value
+
+    def reset(self, value: int = 0) -> None:
+        """Atomically reset the counter to ``value``."""
+        with self._lock:
+            self._value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AtomicCounter({self.value})"
+
+
+class AtomicFlag:
+    """A test-and-set boolean flag (the primitive under spin locks)."""
+
+    def __init__(self) -> None:
+        self._set = False
+        self._lock = threading.Lock()
+
+    def test_and_set(self) -> bool:
+        """Atomically set the flag; return its *previous* state."""
+        with self._lock:
+            old = self._set
+            self._set = True
+            return old
+
+    def clear(self) -> None:
+        """Reset the flag to the unset state."""
+        with self._lock:
+            self._set = False
+
+    def is_set(self) -> bool:
+        """Atomically read the flag."""
+        with self._lock:
+            return self._set
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AtomicFlag(set={self.is_set()})"
+
+
+def atomic_max(cell: AtomicCell[Any], candidate: Any) -> Any:
+    """Atomically raise ``cell`` to ``candidate`` if larger; return the max.
+
+    A small worked example of building a derived atomic operation from
+    :meth:`AtomicCell.update`, used in the parallel-reduction labs.
+    """
+    return cell.update(lambda cur: candidate if candidate > cur else cur)

@@ -1,0 +1,120 @@
+"""Barrier synchronization.
+
+Barriers are the workhorse of bulk-synchronous shared-memory programs (the
+OpenMP part of the LAU case-study course) and of :mod:`repro.mp`'s collective
+semantics.  Two classic constructions are provided: a reusable cyclic barrier
+and the sense-reversing barrier from Mellor-Crummey & Scott, which textbooks
+use to show *why* naive counter barriers break on reuse.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+__all__ = ["CyclicBarrier", "SenseReversingBarrier", "BrokenBarrier"]
+
+
+class BrokenBarrier(RuntimeError):
+    """Raised when a barrier is aborted while threads are waiting."""
+
+
+class CyclicBarrier:
+    """A reusable barrier for a fixed party of threads.
+
+    Optionally runs ``action`` exactly once per generation, by the last
+    thread to arrive (mirrors ``java.util.concurrent.CyclicBarrier``).
+    """
+
+    def __init__(self, parties: int, action: Optional[Callable[[], None]] = None):
+        if parties < 1:
+            raise ValueError("parties must be positive")
+        self.parties = parties
+        self._action = action
+        self._cond = threading.Condition()
+        self._count = 0
+        self._generation = 0
+        self._broken = False
+
+    def wait(self, timeout: Optional[float] = None) -> int:
+        """Block until ``parties`` threads have called :meth:`wait`.
+
+        Returns the arrival index within this generation (``parties - 1``
+        for the first arrival, ``0`` for the last — the thread that trips
+        the barrier and runs the action).
+        """
+        with self._cond:
+            if self._broken:
+                raise BrokenBarrier("barrier is broken")
+            generation = self._generation
+            self._count += 1
+            index = self.parties - self._count
+            if self._count == self.parties:
+                if self._action is not None:
+                    self._action()
+                self._generation += 1
+                self._count = 0
+                self._cond.notify_all()
+                return index
+            while generation == self._generation and not self._broken:
+                if not self._cond.wait(timeout):
+                    self._broken = True
+                    self._cond.notify_all()
+                    raise BrokenBarrier("barrier timed out")
+            if self._broken:
+                raise BrokenBarrier("barrier is broken")
+            return index
+
+    def abort(self) -> None:
+        """Break the barrier, waking all waiters with :class:`BrokenBarrier`."""
+        with self._cond:
+            self._broken = True
+            self._cond.notify_all()
+
+    @property
+    def generation(self) -> int:
+        """Number of completed barrier episodes."""
+        with self._cond:
+            return self._generation
+
+    @property
+    def waiting(self) -> int:
+        """Threads currently blocked at the barrier."""
+        with self._cond:
+            return self._count
+
+
+class SenseReversingBarrier:
+    """The sense-reversing centralized barrier (MCS 1991, Algorithm 7).
+
+    Each thread keeps a private *sense* bit that it flips on every episode;
+    the barrier releases a generation by flipping its global sense.  The
+    private bit is held in thread-local storage so callers use the natural
+    ``barrier.wait()`` API.
+    """
+
+    def __init__(self, parties: int) -> None:
+        if parties < 1:
+            raise ValueError("parties must be positive")
+        self.parties = parties
+        self._count = parties
+        self._sense = False
+        self._cond = threading.Condition()
+        self._local = threading.local()
+        self.episodes = 0
+
+    def wait(self) -> None:
+        """Block until all parties arrive; reusable across episodes."""
+        my_sense = not getattr(self._local, "sense", False)
+        self._local.sense = my_sense
+        with self._cond:
+            self._count -= 1
+            if self._count == 0:
+                # Last arrival: reset the count and reverse the global sense.
+                self._count = self.parties
+                self._sense = my_sense
+                self.episodes += 1
+                self._cond.notify_all()
+            else:
+                while self._sense != my_sense:
+                    self._cond.wait()

@@ -1,0 +1,201 @@
+"""Deadlock detection: wait-for graphs and lock-order audits.
+
+Deadlock appears three times in the paper's topic inventory — CC2020 names
+it directly, the AUC operating-systems course covers it (§IV-B), and the
+database row of Table I needs it for transaction scheduling.  Two
+complementary tools are provided:
+
+- :class:`WaitForGraph` — runtime detection: threads/transactions declare
+  "holds" and "waits-for" edges; a cycle is a deadlock (single-instance
+  resources, so cycle <=> deadlock).
+- :class:`LockGraph` — static prevention: record the *order* in which locks
+  are taken; a cycle in the lock-order graph means some interleaving can
+  deadlock, even if this run did not.
+
+Both use :mod:`networkx` for cycle detection.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+__all__ = ["DeadlockDetected", "WaitForGraph", "LockGraph"]
+
+
+class DeadlockDetected(RuntimeError):
+    """Raised when an operation would create a deadlock cycle.
+
+    Attributes
+    ----------
+    cycle:
+        The participants along the detected cycle.
+    """
+
+    def __init__(self, cycle: Sequence[Hashable]) -> None:
+        super().__init__(f"deadlock cycle: {' -> '.join(map(str, cycle))}")
+        self.cycle = list(cycle)
+
+
+class WaitForGraph:
+    """A wait-for graph over agents (threads, processes, transactions).
+
+    Nodes are agents; an edge ``a -> b`` means *a waits for a resource held
+    by b*.  With single-instance resources a cycle is exactly a deadlock
+    (Coffman's circular-wait condition made checkable).
+    """
+
+    def __init__(self, raise_on_cycle: bool = True) -> None:
+        self._holds: Dict[Hashable, Hashable] = {}  # resource -> agent
+        self._wants: Dict[Hashable, Hashable] = {}  # agent -> resource
+        self._lock = threading.Lock()
+        self.raise_on_cycle = raise_on_cycle
+        self.detected_cycles: List[List[Hashable]] = []
+
+    def acquire(self, agent: Hashable, resource: Hashable) -> bool:
+        """Declare that ``agent`` wants ``resource``.
+
+        If the resource is free, the hold is granted immediately and
+        ``True`` is returned.  If it is held, the wait edge is recorded and
+        the graph is checked; on a cycle, :class:`DeadlockDetected` is
+        raised (or ``False`` returned when ``raise_on_cycle`` is off).
+        Otherwise ``False`` means "must wait".
+        """
+        with self._lock:
+            holder = self._holds.get(resource)
+            if holder is None or holder == agent:
+                self._holds[resource] = agent
+                self._wants.pop(agent, None)
+                return True
+            self._wants[agent] = resource
+            cycle = self._find_cycle()
+            if cycle is not None:
+                self.detected_cycles.append(cycle)
+                if self.raise_on_cycle:
+                    self._wants.pop(agent, None)  # roll back the doomed wait
+                    raise DeadlockDetected(cycle)
+            return False
+
+    def grant_waiting(self, resource: Hashable) -> Optional[Hashable]:
+        """After a release, grant ``resource`` to one waiter (if any)."""
+        with self._lock:
+            if self._holds.get(resource) is not None:
+                return None
+            for agent, wanted in list(self._wants.items()):
+                if wanted == resource:
+                    self._holds[resource] = agent
+                    del self._wants[agent]
+                    return agent
+            return None
+
+    def release(self, agent: Hashable, resource: Hashable) -> None:
+        """Declare that ``agent`` released ``resource``."""
+        with self._lock:
+            if self._holds.get(resource) == agent:
+                del self._holds[resource]
+
+    def remove_agent(self, agent: Hashable) -> None:
+        """Drop every hold and wait of ``agent`` (e.g. an aborted victim)."""
+        with self._lock:
+            self._wants.pop(agent, None)
+            for res in [r for r, a in self._holds.items() if a == agent]:
+                del self._holds[res]
+
+    def _graph(self) -> nx.DiGraph:
+        g = nx.DiGraph()
+        for agent, resource in self._wants.items():
+            holder = self._holds.get(resource)
+            if holder is not None and holder != agent:
+                g.add_edge(agent, holder)
+        return g
+
+    def _find_cycle(self) -> Optional[List[Hashable]]:
+        try:
+            cycle_edges = nx.find_cycle(self._graph())
+        except nx.NetworkXNoCycle:
+            return None
+        return [edge[0] for edge in cycle_edges]
+
+    def find_deadlock(self) -> Optional[List[Hashable]]:
+        """Return the agents on a deadlock cycle, or ``None``."""
+        with self._lock:
+            return self._find_cycle()
+
+    def waiting_agents(self) -> Set[Hashable]:
+        """Agents currently blocked waiting for a resource."""
+        with self._lock:
+            return set(self._wants)
+
+    def holder_of(self, resource: Hashable) -> Optional[Hashable]:
+        """The agent holding ``resource``, or ``None``."""
+        with self._lock:
+            return self._holds.get(resource)
+
+    def pick_victim(self, cycle: Sequence[Hashable]) -> Hashable:
+        """Victim-selection policy: the youngest agent (max by sort order).
+
+        Deterministic and simple; matches the "abort the youngest
+        transaction" heuristic taught in database courses.
+        """
+        return max(cycle, key=lambda a: (str(type(a)), str(a)))
+
+
+class LockGraph:
+    """Lock-order audit: detects *potential* deadlocks from nesting order.
+
+    Every time a thread acquires lock B while holding lock A, the edge
+    ``A -> B`` is recorded.  A cycle in this graph means two threads can
+    take the locks in opposite orders — the classic ABBA deadlock — even if
+    no run has deadlocked yet.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+        self._held: Dict[int, List[Hashable]] = {}
+        self._lock = threading.Lock()
+
+    def on_acquire(self, lock_name: Hashable) -> None:
+        """Record an acquisition by the calling thread."""
+        tid = threading.get_ident()
+        with self._lock:
+            stack = self._held.setdefault(tid, [])
+            for outer in stack:
+                if outer != lock_name:
+                    self._graph.add_edge(outer, lock_name)
+            stack.append(lock_name)
+
+    def on_release(self, lock_name: Hashable) -> None:
+        """Record a release by the calling thread."""
+        tid = threading.get_ident()
+        with self._lock:
+            stack = self._held.get(tid, [])
+            if lock_name in stack:
+                stack.remove(lock_name)
+
+    def order_violations(self) -> List[List[Hashable]]:
+        """All simple cycles in the lock-order graph (empty == safe)."""
+        with self._lock:
+            return [list(c) for c in nx.simple_cycles(self._graph)]
+
+    def is_safe(self) -> bool:
+        """``True`` iff the recorded lock orders admit no ABBA deadlock."""
+        return not self.order_violations()
+
+    def edges(self) -> List[Tuple[Hashable, Hashable]]:
+        """The recorded "acquired-while-holding" edges."""
+        with self._lock:
+            return list(self._graph.edges())
+
+    def suggest_order(self) -> Optional[List[Hashable]]:
+        """A global lock order consistent with observations, if one exists.
+
+        Returns a topological order of the lock graph, or ``None`` when the
+        graph is cyclic (no consistent global order exists).
+        """
+        with self._lock:
+            try:
+                return list(nx.topological_sort(self._graph))
+            except nx.NetworkXUnfeasible:
+                return None

@@ -1,0 +1,138 @@
+"""A cache-line model that makes false sharing measurable.
+
+"False sharing" is a named topic of the LAU course's shared-memory part
+(paper §IV-A).  Demonstrating it on real hardware requires careful
+micro-benchmarking; instead, :class:`CacheLineModel` simulates a
+line-granular invalidation-based coherence protocol just well enough to
+*count* coherence misses, so the padded/unpadded comparison gives a crisp,
+deterministic signal.
+
+The model: each core has a private set of "valid lines"; a write to a line
+invalidates every other core's copy of that line; a read or write of a line
+not valid locally is a coherence miss.  Two counters that live on the same
+line therefore thrash each other even though the programs never touch the
+same *variable* — false sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+__all__ = ["CacheLineModel", "SharedCounters", "PaddedCounters"]
+
+
+class CacheLineModel:
+    """Line-granular MSI-flavoured coherence miss counter.
+
+    Addresses are abstract integers; a line holds ``line_size`` consecutive
+    addresses.  Not a full protocol (no shared/exclusive distinction — see
+    :mod:`repro.arch.coherence` for MESI); this is the minimal machinery
+    false sharing needs.
+    """
+
+    def __init__(self, num_cores: int, line_size: int = 8) -> None:
+        if num_cores < 1 or line_size < 1:
+            raise ValueError("num_cores and line_size must be positive")
+        self.num_cores = num_cores
+        self.line_size = line_size
+        self._valid: List[Set[int]] = [set() for _ in range(num_cores)]
+        self.coherence_misses: Dict[int, int] = {c: 0 for c in range(num_cores)}
+        self.invalidations = 0
+        self.accesses = 0
+
+    def line_of(self, address: int) -> int:
+        """The line index containing ``address``."""
+        return address // self.line_size
+
+    def read(self, core: int, address: int) -> None:
+        """Model a load by ``core`` from ``address``."""
+        self._touch(core, address, write=False)
+
+    def write(self, core: int, address: int) -> None:
+        """Model a store by ``core`` to ``address``; invalidates other copies."""
+        self._touch(core, address, write=True)
+
+    def _touch(self, core: int, address: int, write: bool) -> None:
+        if not 0 <= core < self.num_cores:
+            raise IndexError(f"no such core: {core}")
+        line = self.line_of(address)
+        self.accesses += 1
+        if line not in self._valid[core]:
+            self.coherence_misses[core] += 1
+            self._valid[core].add(line)
+        if write:
+            for other in range(self.num_cores):
+                if other != core and line in self._valid[other]:
+                    self._valid[other].discard(line)
+                    self.invalidations += 1
+
+    @property
+    def total_misses(self) -> int:
+        """Coherence misses summed over all cores."""
+        return sum(self.coherence_misses.values())
+
+    def miss_rate(self) -> float:
+        """Misses per access (0.0 when nothing has run)."""
+        return self.total_misses / self.accesses if self.accesses else 0.0
+
+
+class SharedCounters:
+    """Per-core counters packed adjacently — the false-sharing layout.
+
+    Counter ``i`` lives at address ``i``; with the default line size of 8,
+    up to 8 counters share one line and every increment by one core
+    invalidates its neighbours' copies.
+    """
+
+    def __init__(self, model: CacheLineModel) -> None:
+        self.model = model
+        self.values = [0] * model.num_cores
+
+    def address_of(self, core: int) -> int:
+        """Address of ``core``'s counter (adjacent packing)."""
+        return core
+
+    def increment(self, core: int) -> None:
+        """core reads-modifies-writes its own counter."""
+        addr = self.address_of(core)
+        self.model.read(core, addr)
+        self.values[core] += 1
+        self.model.write(core, addr)
+
+
+class PaddedCounters(SharedCounters):
+    """Per-core counters padded to one per cache line — the fixed layout.
+
+    Identical workload to :class:`SharedCounters`, but counter ``i`` lives
+    at ``i * line_size`` so no two counters share a line.  The coherence
+    miss count collapses to one cold miss per core.
+    """
+
+    def address_of(self, core: int) -> int:
+        """Address of ``core``'s counter (one line per counter)."""
+        return core * self.model.line_size
+
+
+def false_sharing_demo(
+    num_cores: int = 4, increments: int = 100, line_size: int = 8
+) -> Dict[str, int]:
+    """Run both layouts round-robin; return their total coherence misses.
+
+    The headline teaching number: the shared layout misses
+    ~``num_cores * increments`` times, the padded layout ~``num_cores``
+    times (cold misses only).
+    """
+    shared_model = CacheLineModel(num_cores, line_size)
+    padded_model = CacheLineModel(num_cores, line_size)
+    shared = SharedCounters(shared_model)
+    padded = PaddedCounters(padded_model)
+    for _ in range(increments):
+        for core in range(num_cores):
+            shared.increment(core)
+            padded.increment(core)
+    return {
+        "shared_misses": shared_model.total_misses,
+        "padded_misses": padded_model.total_misses,
+        "shared_invalidations": shared_model.invalidations,
+        "padded_invalidations": padded_model.invalidations,
+    }

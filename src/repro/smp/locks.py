@@ -1,0 +1,326 @@
+"""Instrumented mutual-exclusion primitives.
+
+Each lock counts acquisitions and contended acquisitions, so coursework can
+*measure* contention rather than hand-wave about it — the "performance
+measurement" thread that runs through the LAU case-study course (paper
+§IV-A).  All locks are context managers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+__all__ = [
+    "InstrumentedLock",
+    "SpinLock",
+    "TicketLock",
+    "CountingSemaphore",
+    "ReaderWriterLock",
+]
+
+
+class InstrumentedLock:
+    """A mutex that records acquisition and contention statistics.
+
+    Attributes
+    ----------
+    acquisitions:
+        Total successful ``acquire`` calls.
+    contended:
+        Acquisitions that found the lock already held (an uncontended
+        ``acquire`` succeeds on the fast path).
+    """
+
+    def __init__(self, name: str = "lock") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._meta = threading.Lock()
+        self.acquisitions = 0
+        self.contended = 0
+        self._owner: Optional[int] = None
+
+    def acquire(self, timeout: Optional[float] = None) -> bool:
+        """Acquire the lock; returns ``False`` only on timeout."""
+        fast = self._lock.acquire(blocking=False)
+        if not fast:
+            with self._meta:
+                self.contended += 1
+            if timeout is None:
+                self._lock.acquire()
+            elif not self._lock.acquire(timeout=timeout):
+                return False
+        with self._meta:
+            self.acquisitions += 1
+            self._owner = threading.get_ident()
+        return True
+
+    def release(self) -> None:
+        """Release the lock.  Raises ``RuntimeError`` if not held."""
+        with self._meta:
+            self._owner = None
+        self._lock.release()
+
+    def locked(self) -> bool:
+        """Whether the lock is currently held by some thread."""
+        return self._lock.locked()
+
+    @property
+    def owner(self) -> Optional[int]:
+        """Thread id of the current holder, or ``None``."""
+        with self._meta:
+            return self._owner
+
+    @property
+    def contention_ratio(self) -> float:
+        """Fraction of acquisitions that were contended (0.0 if none)."""
+        with self._meta:
+            if self.acquisitions == 0:
+                return 0.0
+            return self.contended / self.acquisitions
+
+    def __enter__(self) -> "InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InstrumentedLock({self.name!r}, acquisitions={self.acquisitions}, "
+            f"contended={self.contended})"
+        )
+
+
+class SpinLock:
+    """A test-and-set spin lock with a spin counter.
+
+    Spinning in pure Python is never a performance win; the point is the
+    *algorithm* — the same one students later see in xv6 or in textbook
+    MESI-based spinlock discussions.  ``spins`` records wasted iterations,
+    the quantity a cache-coherence discussion wants to minimize.
+    """
+
+    def __init__(self, yield_every: int = 64) -> None:
+        self._flag = threading.Lock()  # stands in for the TAS word
+        self.spins = 0
+        self._meta = threading.Lock()
+        self._yield_every = max(1, yield_every)
+
+    def acquire(self) -> None:
+        """Spin (test-and-set loop) until the lock is obtained."""
+        local_spins = 0
+        while not self._flag.acquire(blocking=False):
+            local_spins += 1
+            if local_spins % self._yield_every == 0:
+                time.sleep(0)  # yield the GIL so the holder can progress
+        if local_spins:
+            with self._meta:
+                self.spins += local_spins
+
+    def release(self) -> None:
+        """Release the lock."""
+        self._flag.release()
+
+    def locked(self) -> bool:
+        """Whether the lock is currently held."""
+        return self._flag.locked()
+
+    def __enter__(self) -> "SpinLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class TicketLock:
+    """A FIFO ticket lock: fair admission in take-a-number order.
+
+    Demonstrates the fairness/locality trade-off versus :class:`SpinLock`.
+    The implementation uses a condition variable instead of spinning so it is
+    GIL-friendly, but preserves strict ticket order.
+    """
+
+    def __init__(self) -> None:
+        self._next_ticket = 0
+        self._now_serving = 0
+        self._cond = threading.Condition()
+
+    def acquire(self) -> int:
+        """Take a ticket and wait until it is served; returns the ticket."""
+        with self._cond:
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            while self._now_serving != ticket:
+                self._cond.wait()
+            return ticket
+
+    def release(self) -> None:
+        """Serve the next ticket."""
+        with self._cond:
+            self._now_serving += 1
+            self._cond.notify_all()
+
+    @property
+    def queue_length(self) -> int:
+        """Number of threads holding or waiting on tickets."""
+        with self._cond:
+            return self._next_ticket - self._now_serving
+
+    def __enter__(self) -> "TicketLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class CountingSemaphore:
+    """Dijkstra's counting semaphore with P/V aliases and a waiter count.
+
+    SE2014's "Computing Essentials" knowledge area names semaphores as an
+    essential concurrency primitive (paper Table III); this class is the
+    lab-facing implementation.
+    """
+
+    def __init__(self, permits: int = 1) -> None:
+        if permits < 0:
+            raise ValueError("permits must be non-negative")
+        self._permits = permits
+        self._cond = threading.Condition()
+        self._waiters = 0
+
+    def acquire(self, timeout: Optional[float] = None) -> bool:
+        """P / wait: take a permit, blocking while none are available."""
+        with self._cond:
+            self._waiters += 1
+            try:
+                deadline = None if timeout is None else time.monotonic() + timeout
+                while self._permits == 0:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            return False
+                    self._cond.wait(remaining)
+                self._permits -= 1
+                return True
+            finally:
+                self._waiters -= 1
+
+    def release(self, n: int = 1) -> None:
+        """V / signal: return ``n`` permits and wake waiters."""
+        if n < 1:
+            raise ValueError("must release at least one permit")
+        with self._cond:
+            self._permits += n
+            self._cond.notify(n)
+
+    # Classic Dijkstra names, used verbatim in OS course materials.
+    P = acquire
+    V = release
+    wait = acquire
+    signal = release
+
+    @property
+    def permits(self) -> int:
+        """Permits currently available."""
+        with self._cond:
+            return self._permits
+
+    @property
+    def waiters(self) -> int:
+        """Threads currently blocked in :meth:`acquire`."""
+        with self._cond:
+            return self._waiters
+
+    def __enter__(self) -> "CountingSemaphore":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class ReaderWriterLock:
+    """A writer-preference readers–writer lock.
+
+    Writer preference prevents writer starvation, making this the variant
+    OS courses use to *discuss* starvation (paper §IV-B: "deadline and
+    starvation").  Statistics expose maximum reader concurrency observed.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+        self.max_concurrent_readers = 0
+
+    def acquire_read(self) -> None:
+        """Enter the critical section as a reader (shared mode)."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting > 0:
+                self._cond.wait()
+            self._readers += 1
+            if self._readers > self.max_concurrent_readers:
+                self.max_concurrent_readers = self._readers
+
+    def release_read(self) -> None:
+        """Leave the shared critical section."""
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without acquire_read")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        """Enter the critical section as the exclusive writer."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers > 0:
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        """Leave the exclusive critical section."""
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without acquire_write")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    class _ReadGuard:
+        def __init__(self, rw: "ReaderWriterLock") -> None:
+            self._rw = rw
+
+        def __enter__(self) -> None:
+            self._rw.acquire_read()
+
+        def __exit__(self, *exc: object) -> None:
+            self._rw.release_read()
+
+    class _WriteGuard:
+        def __init__(self, rw: "ReaderWriterLock") -> None:
+            self._rw = rw
+
+        def __enter__(self) -> None:
+            self._rw.acquire_write()
+
+        def __exit__(self, *exc: object) -> None:
+            self._rw.release_write()
+
+    def read_locked(self) -> "ReaderWriterLock._ReadGuard":
+        """Context manager acquiring the lock in shared mode."""
+        return ReaderWriterLock._ReadGuard(self)
+
+    def write_locked(self) -> "ReaderWriterLock._WriteGuard":
+        """Context manager acquiring the lock in exclusive mode."""
+        return ReaderWriterLock._WriteGuard(self)

@@ -1,0 +1,153 @@
+"""Monitors and condition variables (Hoare's structuring discipline).
+
+SE2014 names monitors, alongside semaphores, as *the* essential concurrency
+primitives (paper Table III).  :class:`Monitor` packages a mutex with named
+condition variables and a decorator that turns methods into monitor entries,
+so lab code reads like the textbook pseudocode.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["ConditionVariable", "Monitor", "BoundedBuffer"]
+
+
+class ConditionVariable:
+    """A Mesa-style condition variable bound to an external mutex.
+
+    Mesa (signal-and-continue) semantics are what Python, Java, and every
+    mainstream OS expose, hence the loop-around-wait idiom this class's docs
+    and tests drill: ``while not predicate: cv.wait()``.
+    """
+
+    def __init__(self, lock: threading.RLock | threading.Lock) -> None:
+        self._cond = threading.Condition(lock)
+        self.signals = 0
+        self.waits = 0
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Atomically release the mutex and sleep; reacquire before return."""
+        self.waits += 1
+        return self._cond.wait(timeout)
+
+    def wait_for(
+        self, predicate: Callable[[], bool], timeout: Optional[float] = None
+    ) -> bool:
+        """Loop-wait until ``predicate()`` holds (the safe Mesa idiom)."""
+        self.waits += 1
+        return self._cond.wait_for(predicate, timeout)
+
+    def signal(self) -> None:
+        """Wake one waiter (Mesa: the waiter re-checks its predicate)."""
+        self.signals += 1
+        self._cond.notify()
+
+    def broadcast(self) -> None:
+        """Wake all waiters."""
+        self.signals += 1
+        self._cond.notify_all()
+
+    # Java-flavoured aliases used by some course materials.
+    notify = signal
+    notify_all = broadcast
+
+
+class Monitor:
+    """A monitor: one implicit mutex + named condition variables.
+
+    Subclass and wrap public methods with :meth:`entry`, or use the instance
+    as a context manager for ad-hoc critical sections::
+
+        class Account(Monitor):
+            def __init__(self):
+                super().__init__()
+                self.balance = 0
+                self.nonzero = self.condition("nonzero")
+
+            @Monitor.entry
+            def deposit(self, amount):
+                self.balance += amount
+                self.nonzero.broadcast()
+
+            @Monitor.entry
+            def withdraw(self, amount):
+                self.nonzero.wait_for(lambda: self.balance >= amount)
+                self.balance -= amount
+    """
+
+    def __init__(self) -> None:
+        self._monitor_lock = threading.RLock()
+        self._conditions: Dict[str, ConditionVariable] = {}
+        self.entries = 0
+
+    def condition(self, name: str) -> ConditionVariable:
+        """Create (or fetch) the condition variable called ``name``."""
+        if name not in self._conditions:
+            self._conditions[name] = ConditionVariable(self._monitor_lock)
+        return self._conditions[name]
+
+    @staticmethod
+    def entry(method: Callable[..., T]) -> Callable[..., T]:
+        """Decorator: run ``method`` with the monitor lock held."""
+
+        def wrapper(self: "Monitor", *args: Any, **kwargs: Any) -> T:
+            with self._monitor_lock:
+                self.entries += 1
+                return method(self, *args, **kwargs)
+
+        wrapper.__name__ = method.__name__
+        wrapper.__doc__ = method.__doc__
+        return wrapper
+
+    def __enter__(self) -> "Monitor":
+        self._monitor_lock.acquire()
+        self.entries += 1
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._monitor_lock.release()
+
+
+class BoundedBuffer(Monitor, Generic[T]):
+    """The producer–consumer bounded buffer, written as a monitor.
+
+    The canonical worked example in every OS course the paper surveys; also
+    the "properly synchronized queue" CC2020 names as a recommended topic.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__()
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._items: List[T] = []
+        self._not_full = self.condition("not_full")
+        self._not_empty = self.condition("not_empty")
+        self.total_put = 0
+        self.total_got = 0
+
+    @Monitor.entry
+    def put(self, item: T) -> None:
+        """Deposit ``item``, blocking while the buffer is full."""
+        self._not_full.wait_for(lambda: len(self._items) < self.capacity)
+        self._items.append(item)
+        self.total_put += 1
+        self._not_empty.signal()
+
+    @Monitor.entry
+    def get(self) -> T:
+        """Remove and return the oldest item, blocking while empty."""
+        self._not_empty.wait_for(lambda: len(self._items) > 0)
+        item = self._items.pop(0)
+        self.total_got += 1
+        self._not_full.signal()
+        return item
+
+    @Monitor.entry
+    def size(self) -> int:
+        """Number of items currently buffered."""
+        return len(self._items)

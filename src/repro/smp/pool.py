@@ -1,0 +1,273 @@
+"""An OpenMP-flavoured thread team: ``parallel_for`` and ``parallel_reduce``.
+
+The LAU case-study course (paper §IV-A, part 2) teaches multicore programming
+with Pthreads and OpenMP: worksharing loops, schedule clauses, and
+reductions.  :func:`parallel_for` mirrors ``#pragma omp parallel for
+schedule(...)``; :func:`parallel_reduce` mirrors the ``reduction`` clause.
+
+Because CPython's GIL serializes pure-Python bytecode, these constructs teach
+the *decomposition and scheduling model* (iteration spaces, chunking,
+load balance) rather than wall-clock speedup; the chunk traces they record
+are what labs grade.  NumPy-heavy loop bodies do release the GIL and can see
+real speedups.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Callable, Dict, Generic, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = [
+    "Schedule",
+    "ThreadTeam",
+    "parallel_for",
+    "parallel_map",
+    "parallel_reduce",
+]
+
+
+class Schedule(enum.Enum):
+    """OpenMP loop schedules.
+
+    - ``STATIC``: iterations pre-divided into equal contiguous chunks.
+    - ``DYNAMIC``: fixed-size chunks handed out first-come-first-served.
+    - ``GUIDED``: exponentially shrinking chunks (large first, then smaller),
+      trading scheduling overhead against load balance.
+    """
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    GUIDED = "guided"
+
+
+def _static_chunks(n: int, num_threads: int) -> List[range]:
+    """Split ``range(n)`` into ``num_threads`` near-equal contiguous chunks."""
+    base, extra = divmod(n, num_threads)
+    chunks: List[range] = []
+    start = 0
+    for t in range(num_threads):
+        size = base + (1 if t < extra else 0)
+        chunks.append(range(start, start + size))
+        start += size
+    return chunks
+
+
+class _ChunkDispenser:
+    """Thread-safe source of iteration chunks for dynamic/guided schedules."""
+
+    def __init__(self, n: int, schedule: Schedule, chunk: int, num_threads: int):
+        self._n = n
+        self._next = 0
+        self._schedule = schedule
+        self._chunk = max(1, chunk)
+        self._num_threads = num_threads
+        self._lock = threading.Lock()
+
+    def take(self) -> Optional[range]:
+        """Claim the next chunk, or ``None`` when the space is exhausted."""
+        with self._lock:
+            if self._next >= self._n:
+                return None
+            if self._schedule is Schedule.GUIDED:
+                remaining = self._n - self._next
+                size = max(self._chunk, remaining // self._num_threads)
+            else:
+                size = self._chunk
+            start = self._next
+            self._next = min(self._n, start + size)
+            return range(start, self._next)
+
+
+class ThreadTeam:
+    """A reusable team of worker threads, OpenMP's ``parallel`` region.
+
+    The team records, per worker, which iteration chunks it executed
+    (:attr:`chunk_trace`), so scheduling behaviour is observable and
+    testable.
+    """
+
+    def __init__(self, num_threads: int = 4) -> None:
+        if num_threads < 1:
+            raise ValueError("num_threads must be positive")
+        self.num_threads = num_threads
+        self.chunk_trace: Dict[int, List[range]] = {}
+
+    def parallel_for(
+        self,
+        n: int,
+        body: Callable[[int], None],
+        schedule: Schedule = Schedule.STATIC,
+        chunk: int = 1,
+    ) -> Dict[int, List[range]]:
+        """Execute ``body(i)`` for ``i in range(n)`` across the team.
+
+        Returns the per-thread chunk trace.  Exceptions in any worker are
+        re-raised in the caller after all workers join (first one wins),
+        matching the "an uncaught exception terminates the region" model.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        trace: Dict[int, List[range]] = {t: [] for t in range(self.num_threads)}
+        errors: List[BaseException] = []
+        err_lock = threading.Lock()
+
+        if schedule is Schedule.STATIC and chunk == 1:
+            assigned = _static_chunks(n, self.num_threads)
+
+            def run_static(tid: int) -> None:
+                chunk_range = assigned[tid]
+                if len(chunk_range) == 0:
+                    return
+                trace[tid].append(chunk_range)
+                try:
+                    for i in chunk_range:
+                        body(i)
+                except BaseException as exc:  # noqa: BLE001 - relayed to caller
+                    with err_lock:
+                        errors.append(exc)
+
+            workers = [
+                threading.Thread(target=run_static, args=(t,), daemon=True)
+                for t in range(self.num_threads)
+            ]
+        else:
+            if schedule is Schedule.STATIC:
+                # Static with an explicit chunk size: round-robin chunks.
+                dispenser = None
+                all_chunks = [
+                    range(s, min(n, s + chunk)) for s in range(0, n, chunk)
+                ]
+                per_thread = {
+                    t: all_chunks[t :: self.num_threads]
+                    for t in range(self.num_threads)
+                }
+
+                def run_rr(tid: int) -> None:
+                    try:
+                        for chunk_range in per_thread[tid]:
+                            trace[tid].append(chunk_range)
+                            for i in chunk_range:
+                                body(i)
+                    except BaseException as exc:  # noqa: BLE001
+                        with err_lock:
+                            errors.append(exc)
+
+                workers = [
+                    threading.Thread(target=run_rr, args=(t,), daemon=True)
+                    for t in range(self.num_threads)
+                ]
+            else:
+                dispenser = _ChunkDispenser(n, schedule, chunk, self.num_threads)
+
+                def run_dyn(tid: int) -> None:
+                    try:
+                        while True:
+                            chunk_range = dispenser.take()
+                            if chunk_range is None:
+                                return
+                            trace[tid].append(chunk_range)
+                            for i in chunk_range:
+                                body(i)
+                    except BaseException as exc:  # noqa: BLE001
+                        with err_lock:
+                            errors.append(exc)
+
+                workers = [
+                    threading.Thread(target=run_dyn, args=(t,), daemon=True)
+                    for t in range(self.num_threads)
+                ]
+
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        if errors:
+            raise errors[0]
+        self.chunk_trace = trace
+        return trace
+
+    def load_imbalance(self) -> float:
+        """Max/mean iteration count across workers for the last loop.
+
+        1.0 is perfect balance; large values indicate skew — the quantity a
+        ``schedule`` clause exists to control.
+        """
+        counts = [
+            sum(len(c) for c in chunks) for chunks in self.chunk_trace.values()
+        ]
+        if not counts or sum(counts) == 0:
+            return 1.0
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 1.0
+
+
+def parallel_for(
+    n: int,
+    body: Callable[[int], None],
+    num_threads: int = 4,
+    schedule: Schedule = Schedule.STATIC,
+    chunk: int = 1,
+) -> ThreadTeam:
+    """One-shot ``#pragma omp parallel for``; returns the team for inspection."""
+    team = ThreadTeam(num_threads)
+    team.parallel_for(n, body, schedule=schedule, chunk=chunk)
+    return team
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    num_threads: int = 4,
+    schedule: Schedule = Schedule.STATIC,
+    chunk: int = 1,
+) -> List[R]:
+    """Map ``fn`` over ``items`` with a worksharing loop; preserves order."""
+    out: List[Optional[R]] = [None] * len(items)
+
+    def body(i: int) -> None:
+        out[i] = fn(items[i])
+
+    parallel_for(len(items), body, num_threads=num_threads, schedule=schedule, chunk=chunk)
+    return out  # type: ignore[return-value]
+
+
+class _ReductionSlot(Generic[R]):
+    """Per-thread partial accumulator (models OpenMP's private copies)."""
+
+    def __init__(self, identity: R) -> None:
+        self.value = identity
+
+
+def parallel_reduce(
+    n: int,
+    mapper: Callable[[int], R],
+    combine: Callable[[R, R], R],
+    identity: R,
+    num_threads: int = 4,
+    schedule: Schedule = Schedule.STATIC,
+    chunk: int = 1,
+) -> R:
+    """``reduction`` clause: combine ``mapper(i)`` over ``range(n)``.
+
+    Each worker reduces into a private copy initialized to ``identity``;
+    the private copies are combined at the join, exactly the OpenMP model.
+    ``combine`` must be associative for the result to be deterministic.
+    """
+    slots: Dict[int, _ReductionSlot[R]] = {}
+    slots_lock = threading.Lock()
+
+    def body(i: int) -> None:
+        tid = threading.get_ident()
+        with slots_lock:
+            slot = slots.setdefault(tid, _ReductionSlot(identity))
+        slot.value = combine(slot.value, mapper(i))
+
+    parallel_for(n, body, num_threads=num_threads, schedule=schedule, chunk=chunk)
+    result = identity
+    for slot in slots.values():
+        result = combine(result, slot.value)
+    return result

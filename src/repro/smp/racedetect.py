@@ -1,0 +1,223 @@
+"""An Eraser-style lockset data-race detector.
+
+"Data races" are a named topic of the LAU case-study course (paper §IV-A)
+and of CC2020's PDC competencies ("race conditions").  Real race detectors
+(TSan, Eraser) instrument loads and stores; here, shared state is wrapped in
+:class:`SharedVariable`, whose reads/writes report to a
+:class:`LocksetRaceDetector` implementing the classic Eraser state machine:
+
+    Virgin -> Exclusive -> Shared (reads only) -> Shared-Modified
+
+A variable's *candidate lockset* starts as "all locks" and is intersected
+with the locks held at each access once the variable leaves the Exclusive
+state.  An empty candidate lockset in the Shared-Modified state is reported
+as a race.  This catches races even on runs where the threads never actually
+interleave badly — the property that makes lockset analysis pedagogically
+superior to "run it 1000 times and hope".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import threading
+from typing import Dict, FrozenSet, Generic, List, Optional, Set, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["AccessKind", "RaceReport", "LocksetRaceDetector", "SharedVariable"]
+
+
+class AccessKind(enum.Enum):
+    """Whether an instrumented access was a read or a write."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class _State(enum.Enum):
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+    SHARED_MODIFIED = "shared-modified"
+
+
+@dataclasses.dataclass(frozen=True)
+class RaceReport:
+    """A detected (potential) data race on one variable."""
+
+    variable: str
+    kind: AccessKind
+    thread: int
+    locks_held: FrozenSet[str]
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RACE on {self.variable}: {self.message}"
+
+
+@dataclasses.dataclass
+class _VarInfo:
+    state: _State = _State.VIRGIN
+    first_thread: Optional[int] = None
+    candidate: Optional[FrozenSet[str]] = None  # None == "all locks"
+    exclusive_locks: Optional[FrozenSet[str]] = None  # locks at first access
+
+
+class LocksetRaceDetector:
+    """Tracks held locks per thread and runs the Eraser state machine.
+
+    Use :meth:`held` as a context manager around critical sections, or call
+    :meth:`on_acquire` / :meth:`on_release` directly; instrumented variables
+    call :meth:`record_access`.
+    """
+
+    def __init__(self) -> None:
+        self._held: Dict[int, Set[str]] = {}
+        self._vars: Dict[str, _VarInfo] = {}
+        self._lock = threading.Lock()
+        self.reports: List[RaceReport] = []
+
+    # -- lock tracking ----------------------------------------------------
+    def on_acquire(self, lock_name: str) -> None:
+        """Record that the calling thread now holds ``lock_name``."""
+        tid = threading.get_ident()
+        with self._lock:
+            self._held.setdefault(tid, set()).add(lock_name)
+
+    def on_release(self, lock_name: str) -> None:
+        """Record that the calling thread released ``lock_name``."""
+        tid = threading.get_ident()
+        with self._lock:
+            self._held.get(tid, set()).discard(lock_name)
+
+    class _Held:
+        def __init__(self, det: "LocksetRaceDetector", name: str) -> None:
+            self._det = det
+            self._name = name
+
+        def __enter__(self) -> None:
+            self._det.on_acquire(self._name)
+
+        def __exit__(self, *exc: object) -> None:
+            self._det.on_release(self._name)
+
+    def held(self, lock_name: str) -> "LocksetRaceDetector._Held":
+        """Context manager declaring ``lock_name`` held in its body."""
+        return LocksetRaceDetector._Held(self, lock_name)
+
+    def locks_of(self, tid: Optional[int] = None) -> FrozenSet[str]:
+        """Locks currently held by ``tid`` (default: the calling thread)."""
+        tid = threading.get_ident() if tid is None else tid
+        with self._lock:
+            return frozenset(self._held.get(tid, set()))
+
+    # -- the Eraser state machine -----------------------------------------
+    def record_access(self, variable: str, kind: AccessKind) -> Optional[RaceReport]:
+        """Advance the state machine for one access; return a report if racy."""
+        tid = threading.get_ident()
+        with self._lock:
+            held = frozenset(self._held.get(tid, set()))
+            info = self._vars.setdefault(variable, _VarInfo())
+
+            if info.state is _State.VIRGIN:
+                info.state = _State.EXCLUSIVE
+                info.first_thread = tid
+                info.exclusive_locks = held
+                return None
+
+            if info.state is _State.EXCLUSIVE:
+                if tid == info.first_thread:
+                    # Keep refining the first thread's lockset (its last
+                    # consistently-held set is what sharing inherits).
+                    assert info.exclusive_locks is not None
+                    info.exclusive_locks = info.exclusive_locks & held
+                    return None
+                # Second thread: the variable becomes shared.  Refinement
+                # starts from the *intersection* of the first thread's
+                # lockset with the current one — a strengthening of the
+                # original Eraser (which forgets the Exclusive phase and
+                # thereby misses first-vs-second-thread inconsistencies).
+                assert info.exclusive_locks is not None
+                info.candidate = info.exclusive_locks & held
+                info.state = (
+                    _State.SHARED_MODIFIED
+                    if kind is AccessKind.WRITE
+                    else _State.SHARED
+                )
+                return self._check(variable, info, kind, tid, held)
+
+            # SHARED or SHARED_MODIFIED: intersect candidate lockset.
+            assert info.candidate is not None
+            info.candidate = info.candidate & held
+            if kind is AccessKind.WRITE:
+                info.state = _State.SHARED_MODIFIED
+            return self._check(variable, info, kind, tid, held)
+
+    def _check(
+        self,
+        variable: str,
+        info: _VarInfo,
+        kind: AccessKind,
+        tid: int,
+        held: FrozenSet[str],
+    ) -> Optional[RaceReport]:
+        if info.state is _State.SHARED_MODIFIED and not info.candidate:
+            report = RaceReport(
+                variable=variable,
+                kind=kind,
+                thread=tid,
+                locks_held=held,
+                message=(
+                    "written by multiple threads with no common lock "
+                    "(candidate lockset is empty)"
+                ),
+            )
+            self.reports.append(report)
+            return report
+        return None
+
+    def candidate_lockset(self, variable: str) -> Optional[FrozenSet[str]]:
+        """The current candidate lockset, or ``None`` before sharing."""
+        with self._lock:
+            info = self._vars.get(variable)
+            return info.candidate if info else None
+
+    @property
+    def racy_variables(self) -> Set[str]:
+        """Names of variables with at least one race report."""
+        return {r.variable for r in self.reports}
+
+
+class SharedVariable(Generic[T]):
+    """A value cell whose reads and writes are race-checked.
+
+    Labs rewrite a racy counter loop twice — once bare, once under
+    ``detector.held("m")`` — and watch the detector's verdict flip.
+    """
+
+    def __init__(
+        self, name: str, value: T, detector: LocksetRaceDetector
+    ) -> None:
+        self.name = name
+        self._value = value
+        self._detector = detector
+
+    def read(self) -> T:
+        """Instrumented read."""
+        self._detector.record_access(self.name, AccessKind.READ)
+        return self._value
+
+    def write(self, value: T) -> None:
+        """Instrumented write."""
+        self._detector.record_access(self.name, AccessKind.WRITE)
+        self._value = value
+
+    @property
+    def value(self) -> T:
+        """Alias for :meth:`read` (property access is instrumented too)."""
+        return self.read()
+
+    @value.setter
+    def value(self, v: T) -> None:
+        self.write(v)

@@ -1,0 +1,121 @@
+"""Tests for task DAGs and the work-span model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.dag import TaskDag, brent_bound, greedy_schedule
+
+
+class TestWorkSpan:
+    def test_chain(self):
+        dag = TaskDag.chain(10)
+        assert dag.work == 10
+        assert dag.span == 10
+        assert dag.parallelism == 1.0
+
+    def test_fully_parallel(self):
+        dag = TaskDag.fully_parallel(8)
+        assert dag.work == 8
+        assert dag.span == 1
+        assert dag.parallelism == 8.0
+
+    def test_fork_join_tree(self):
+        dag = TaskDag.fork_join_tree(3)  # 1 + 2 + 4 + 8 + 1 join
+        assert dag.work == 16
+        assert dag.span == 5  # root + 3 levels + join
+
+    def test_weighted_span(self):
+        dag = TaskDag()
+        dag.add_task("a", 1).add_task("b", 10).add_task("c", 2)
+        dag.add_dep("a", "b")
+        dag.add_dep("a", "c")
+        assert dag.span == 11
+        assert dag.work == 13
+
+    def test_critical_path_tasks(self):
+        dag = TaskDag()
+        dag.add_task("a", 1).add_task("slow", 10).add_task("fast", 1)
+        dag.add_task("z", 1)
+        dag.add_dep("a", "slow")
+        dag.add_dep("a", "fast")
+        dag.add_dep("slow", "z")
+        dag.add_dep("fast", "z")
+        assert dag.critical_path() == ["a", "slow", "z"]
+
+    def test_cycle_rejected(self):
+        dag = TaskDag.chain(3)
+        with pytest.raises(ValueError):
+            dag.add_dep(2, 0)
+
+    def test_nonpositive_cost_rejected(self):
+        with pytest.raises(ValueError):
+            TaskDag().add_task("x", 0)
+
+    def test_empty_dag(self):
+        dag = TaskDag()
+        assert dag.work == 0 and dag.span == 0
+        assert dag.critical_path() == []
+
+
+class TestGreedySchedule:
+    def test_one_processor_equals_work(self):
+        dag = TaskDag.fork_join_tree(2)
+        assert greedy_schedule(dag, 1).makespan == dag.work
+
+    def test_infinite_processors_equal_span(self):
+        dag = TaskDag.fork_join_tree(3)
+        assert greedy_schedule(dag, 64).makespan == dag.span
+
+    def test_makespan_monotone_in_processors(self):
+        dag = TaskDag.fork_join_tree(3)
+        spans = [greedy_schedule(dag, p).makespan for p in (1, 2, 4, 8)]
+        assert spans == sorted(spans, reverse=True)
+
+    def test_respects_dependencies(self):
+        dag = TaskDag.chain(5)
+        result = greedy_schedule(dag, 4)
+        start = {t: s for t, _p, s, _e in result.timeline}
+        end = {t: e for t, _p, _s, e in result.timeline}
+        for i in range(1, 5):
+            assert start[i] >= end[i - 1]
+
+    def test_no_processor_overlap(self):
+        dag = TaskDag.fork_join_tree(3)
+        result = greedy_schedule(dag, 3)
+        by_proc = {}
+        for task, proc, s, e in result.timeline:
+            by_proc.setdefault(proc, []).append((s, e))
+        for intervals in by_proc.values():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert e1 <= s2
+
+    def test_brent_bound_function(self):
+        assert brent_bound(100, 10, 10) == 20.0
+        with pytest.raises(ValueError):
+            brent_bound(1, 1, 0)
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError):
+            greedy_schedule(TaskDag.chain(2), 0)
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_property_brent_inequality_on_random_dags(self, data):
+        """Any greedy schedule satisfies T_p <= T_1/p + T_inf."""
+        n = data.draw(st.integers(1, 12))
+        dag = TaskDag()
+        for i in range(n):
+            dag.add_task(i, data.draw(st.integers(1, 5)))
+        for i in range(n):
+            for j in range(i + 1, n):
+                if data.draw(st.booleans()) and data.draw(st.booleans()):
+                    dag.add_dep(i, j)
+        p = data.draw(st.integers(1, 6))
+        result = greedy_schedule(dag, p)
+        assert result.satisfies_brent(dag.work, dag.span)
+        # Also the universal lower bounds:
+        assert result.makespan >= dag.span - 1e-9
+        assert result.makespan >= dag.work / p - 1e-9

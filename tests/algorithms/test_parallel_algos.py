@@ -1,0 +1,260 @@
+"""Tests for sorting, scans, reductions, matrix, and graph algorithms."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.dnc import fork_join
+from repro.algorithms.graph import connected_components, parallel_bfs
+from repro.algorithms.matrix import blocked_matmul, matmul_loop_orders, parallel_matmul
+from repro.algorithms.reduction import reduce_depth, tree_reduce
+from repro.algorithms.scan import blelloch_scan, hillis_steele_scan, sequential_scan
+from repro.algorithms.sorting import (
+    merge,
+    parallel_mergesort,
+    parallel_quicksort,
+    serial_mergesort,
+)
+
+
+class TestForkJoin:
+    def test_sum_via_fork_join(self):
+        result, stats = fork_join(
+            list(range(100)),
+            is_base=lambda xs: len(xs) <= 10,
+            solve_base=sum,
+            split=lambda xs: (xs[: len(xs) // 2], xs[len(xs) // 2 :]),
+            combine=sum,
+            parallel_depth=2,
+        )
+        assert result == 4950
+        assert stats.forked_tasks > 0
+        assert stats.max_depth >= 2
+
+    def test_depth_zero_fully_sequential(self):
+        _result, stats = fork_join(
+            list(range(64)),
+            is_base=lambda xs: len(xs) <= 8,
+            solve_base=sum,
+            split=lambda xs: (xs[:32], xs[32:]) if len(xs) > 32 else (xs[:len(xs)//2], xs[len(xs)//2:]),
+            combine=sum,
+            parallel_depth=0,
+        )
+        assert stats.forked_tasks == 0
+
+    def test_exception_propagates(self):
+        def bad_base(xs):
+            raise RuntimeError("base failure")
+
+        with pytest.raises(RuntimeError, match="base failure"):
+            fork_join(
+                [1, 2, 3, 4],
+                is_base=lambda xs: len(xs) <= 1,
+                solve_base=bad_base,
+                split=lambda xs: (xs[: len(xs) // 2], xs[len(xs) // 2 :]),
+                combine=lambda parts: None,
+                parallel_depth=1,
+            )
+
+
+class TestSorting:
+    def test_merge_stable_ordered(self):
+        assert merge([1, 3, 5], [2, 3, 4]) == [1, 2, 3, 3, 4, 5]
+        assert merge([], [1]) == [1]
+
+    def test_serial_mergesort(self):
+        data = [5, 2, 8, 1, 9, 3]
+        assert serial_mergesort(data) == sorted(data)
+        assert serial_mergesort([]) == []
+
+    def test_parallel_mergesort_matches(self):
+        rng = np.random.default_rng(0)
+        data = list(rng.integers(0, 10_000, 1000))
+        result, stats = parallel_mergesort(data)
+        assert result == sorted(data)
+        assert stats.forked_tasks > 0
+
+    def test_parallel_quicksort_matches(self):
+        rng = np.random.default_rng(1)
+        data = list(rng.integers(0, 100, 800))  # heavy duplicates
+        result, _ = parallel_quicksort(data)
+        assert result == sorted(data)
+
+    def test_quicksort_all_equal_terminates(self):
+        result, _ = parallel_quicksort([7] * 500)
+        assert result == [7] * 500
+
+    def test_quicksort_sorted_input(self):
+        result, _ = parallel_quicksort(list(range(300)))
+        assert result == list(range(300))
+
+    def test_mergesort_reverse_input(self):
+        result, _ = parallel_mergesort(list(range(300, 0, -1)))
+        assert result == list(range(1, 301))
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_property_sorts_agree(self, data):
+        expected = sorted(data)
+        assert serial_mergesort(data) == expected
+        assert parallel_mergesort(data, parallel_depth=1)[0] == expected
+        assert parallel_quicksort(data, parallel_depth=1)[0] == expected
+
+
+class TestScans:
+    def test_all_three_agree(self):
+        x = np.random.default_rng(2).random(100)
+        seq, _ = sequential_scan(x)
+        hs, _ = hillis_steele_scan(x)
+        bl, _ = blelloch_scan(x)
+        assert np.allclose(seq, np.cumsum(x))
+        assert np.allclose(hs, seq)
+        assert np.allclose(bl + x, seq)  # exclusive + element = inclusive
+
+    def test_hillis_steele_step_count(self):
+        x = np.ones(64)
+        _, stats = hillis_steele_scan(x)
+        assert stats.steps == 6  # log2(64)
+
+    def test_blelloch_step_count(self):
+        x = np.ones(64)
+        _, stats = blelloch_scan(x)
+        assert stats.steps == 12  # 2 * log2(64)
+
+    def test_work_efficiency_comparison(self):
+        """Blelloch does Θ(n) work; Hillis-Steele Θ(n log n)."""
+        x = np.ones(1024)
+        _, hs = hillis_steele_scan(x)
+        _, bl = blelloch_scan(x)
+        assert bl.work < hs.work
+        assert bl.work <= 2 * 1024
+        assert hs.work >= 1024 * 9  # ~ n log n - n
+
+    def test_non_power_of_two(self):
+        x = np.arange(100.0)
+        bl, _ = blelloch_scan(x)
+        assert np.allclose(bl, np.cumsum(x) - x)
+
+    def test_empty_and_single(self):
+        empty, _ = blelloch_scan(np.array([]))
+        assert empty.size == 0
+        single, _ = blelloch_scan(np.array([5.0]))
+        assert single.tolist() == [0.0]
+
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_property_scans_match_cumsum(self, values):
+        x = np.array(values)
+        hs, _ = hillis_steele_scan(x)
+        bl, _ = blelloch_scan(x)
+        assert np.allclose(hs, np.cumsum(x), atol=1e-6)
+        assert np.allclose(bl, np.cumsum(x) - x if x.size else x, atol=1e-6)
+
+
+class TestReduction:
+    def test_tree_reduce_sum(self):
+        total, stats = tree_reduce(np.arange(1000.0))
+        assert total == pytest.approx(499500.0)
+        assert stats.combines == 999
+
+    def test_step_count_logarithmic(self):
+        _, stats = tree_reduce(np.ones(128))
+        assert stats.steps == reduce_depth(128) == 7
+
+    def test_odd_sizes(self):
+        for n in (1, 3, 7, 100, 127):
+            total, _ = tree_reduce(np.ones(n))
+            assert total == n
+
+    def test_other_ops(self):
+        top, _ = tree_reduce(np.array([3.0, 9.0, 1.0]), op=np.maximum)
+        assert top == 9.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tree_reduce(np.array([]))
+
+    def test_reduce_depth_validation(self):
+        assert reduce_depth(1) == 0
+        with pytest.raises(ValueError):
+            reduce_depth(0)
+
+
+class TestMatrix:
+    def test_blocked_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.random((20, 14)), rng.random((14, 9))
+        assert np.allclose(blocked_matmul(a, b, block=5), a @ b)
+
+    def test_blocked_validates(self):
+        with pytest.raises(ValueError):
+            blocked_matmul(np.ones((2, 3)), np.ones((4, 2)))
+        with pytest.raises(ValueError):
+            blocked_matmul(np.ones((2, 2)), np.ones((2, 2)), block=0)
+
+    def test_parallel_matches_numpy(self):
+        rng = np.random.default_rng(4)
+        a, b = rng.random((33, 17)), rng.random((17, 8))
+        c, rows = parallel_matmul(a, b, num_threads=4)
+        assert np.allclose(c, a @ b)
+        assert sum(rows.values()) == 33
+
+    def test_loop_order_cache_behaviour(self):
+        rates = matmul_loop_orders(16)
+        assert rates["ikj"] < rates["ijk"]  # the lecture's punchline
+        assert set(rates) == {"ijk", "ikj", "jik"}
+
+    @given(st.integers(1, 24), st.integers(1, 24), st.integers(1, 24))
+    @settings(max_examples=20, deadline=None)
+    def test_property_blocked_any_shape(self, n, m, p):
+        rng = np.random.default_rng(n * 100 + m * 10 + p)
+        a, b = rng.random((n, m)), rng.random((m, p))
+        assert np.allclose(blocked_matmul(a, b, block=4), a @ b)
+
+
+class TestGraph:
+    def test_bfs_grid_distances(self):
+        g = nx.grid_2d_graph(5, 5)
+        result = parallel_bfs(g, (0, 0))
+        assert result.distances[(4, 4)] == 8
+        assert result.distances[(0, 0)] == 0
+        assert result.levels == 9
+
+    def test_bfs_frontier_shape(self):
+        g = nx.grid_2d_graph(10, 10)
+        result = parallel_bfs(g, (0, 0))
+        assert result.frontier_sizes[0] == 1
+        assert result.max_parallelism == 10  # the anti-diagonal
+
+    def test_bfs_matches_networkx(self):
+        g = nx.gnp_random_graph(50, 0.1, seed=7)
+        g.add_node(999)  # isolated
+        result = parallel_bfs(g, 0)
+        expected = nx.single_source_shortest_path_length(g, 0)
+        assert result.distances == dict(expected)
+
+    def test_bfs_unknown_source(self):
+        with pytest.raises(KeyError):
+            parallel_bfs(nx.Graph(), "missing")
+
+    def test_components_match_networkx(self):
+        g = nx.gnp_random_graph(40, 0.05, seed=8)
+        labels, _rounds = connected_components(g)
+        for comp in nx.connected_components(g):
+            comp_labels = {labels[n] for n in comp}
+            assert len(comp_labels) == 1
+
+    def test_components_rounds_bounded_by_diameter(self):
+        g = nx.path_graph(20)
+        _labels, rounds = connected_components(g)
+        assert rounds <= 21
+
+    def test_isolated_nodes_self_labeled(self):
+        g = nx.Graph()
+        g.add_nodes_from([1, 2, 3])
+        labels, _ = connected_components(g)
+        assert labels == {1: 1, 2: 2, 3: 3}

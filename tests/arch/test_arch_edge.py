@@ -1,0 +1,139 @@
+"""Edge cases across the architecture simulators."""
+
+import pytest
+
+from repro.arch.cache import Cache, CacheConfig
+from repro.arch.coherence import CoherentSystem, LineState, Protocol
+from repro.arch.pipeline import Instr, Op, Pipeline, PipelineConfig
+from repro.arch.tomasulo import TInstr, TOp, TomasuloCPU
+
+
+class TestTomasuloFlushEdge:
+    def test_flush_frees_in_flight_wrong_path_stations(self):
+        """A long MUL issued down the wrong path must be squashed and its
+        reservation station freed, or later programs starve."""
+        prog = [
+            TInstr(TOp.LOAD, rd=1, addr=0),      # r1 = 1 -> branch taken
+            TInstr(TOp.BNEZ, rs=1, target=4),
+            TInstr(TOp.MUL, rd=2, rs=1, rt=1),   # wrong path, long latency
+            TInstr(TOp.MUL, rd=3, rs=1, rt=1),   # wrong path
+            TInstr(TOp.ADD, rd=4, rs=1, rt=1),   # correct target
+        ]
+        cpu = TomasuloCPU(prog, speculative=True, memory={0: 1.0},
+                          num_multipliers=2)
+        stats = cpu.run()
+        assert stats.mispredictions == 1
+        assert cpu.registers[2] == 0.0  # never committed
+        assert cpu.registers[3] == 0.0
+        assert cpu.registers[4] == 2.0
+        # All stations free at the end.
+        assert not any(s.busy for s in cpu.stations)
+
+    def test_back_to_back_branches(self):
+        prog = [
+            TInstr(TOp.LOAD, rd=1, addr=0),      # 1.0
+            TInstr(TOp.BNEZ, rs=1, target=3),    # taken
+            TInstr(TOp.ADD, rd=9, rs=1, rt=1),   # squashed
+            TInstr(TOp.LOAD, rd=2, addr=1),      # 0.0
+            TInstr(TOp.BNEZ, rs=2, target=6),    # not taken
+            TInstr(TOp.ADD, rd=5, rs=1, rt=1),
+            TInstr(TOp.ADD, rd=6, rs=5, rt=1),
+        ]
+        cpu = TomasuloCPU(prog, speculative=True, memory={0: 1.0, 1: 0.0})
+        stats = cpu.run()
+        assert stats.mispredictions == 1
+        assert cpu.registers[9] == 0.0
+        assert cpu.registers[5] == 2.0
+        assert cpu.registers[6] == 3.0
+
+    def test_rename_chain_through_rob_values(self):
+        """A consumer issued while its producer's value sits only in the
+        ROB (written, not committed) must read it from there."""
+        prog = [
+            TInstr(TOp.ADD, rd=1, rs=0, rt=0),
+            TInstr(TOp.MUL, rd=2, rs=0, rt=0),   # long op keeps ROB head busy
+            TInstr(TOp.ADD, rd=3, rs=1, rt=1),   # r1 is ready in ROB only
+        ]
+        cpu = TomasuloCPU(prog, speculative=True, registers={0: 2.0})
+        cpu.run()
+        assert cpu.registers[3] == 8.0  # (2+2)+(2+2)
+
+
+class TestPipelineBranchHazards:
+    def test_branch_in_id_waits_for_operand(self):
+        """Early branch resolution reads registers in ID, so it must stall
+        behind an in-flight producer — and still branch correctly."""
+        prog = [
+            Instr(Op.ADDI, rd=1, rs1=0, imm=5),
+            Instr(Op.BNE, rs1=1, rs2=0, imm=3),  # depends on r1; taken
+            Instr(Op.ADDI, rd=2, rs1=0, imm=99),  # squashed
+            Instr(Op.ADDI, rd=3, rs1=0, imm=7),
+        ]
+        pipe = Pipeline(prog, PipelineConfig(branch_in_id=True))
+        stats = pipe.run()
+        assert pipe.registers[2] == 0
+        assert pipe.registers[3] == 7
+        assert stats.stalls >= 1  # waited for r1
+
+    def test_branch_to_end_of_program(self):
+        prog = [
+            Instr(Op.BEQ, rs1=0, rs2=0, imm=3),  # jump past everything
+            Instr(Op.ADDI, rd=1, rs1=0, imm=1),
+            Instr(Op.ADDI, rd=2, rs1=0, imm=1),
+        ]
+        pipe = Pipeline(prog)
+        pipe.run()
+        assert pipe.registers[1] == 0 and pipe.registers[2] == 0
+
+    def test_store_data_hazard_without_forwarding(self):
+        prog = [
+            Instr(Op.ADDI, rd=1, rs1=0, imm=42),
+            Instr(Op.SW, rs1=0, rs2=1, imm=0),  # stores r1
+        ]
+        pipe = Pipeline(prog, PipelineConfig(forwarding=False))
+        pipe.run()
+        assert pipe.memory[0] == 42
+
+    def test_register_validation(self):
+        with pytest.raises(ValueError):
+            Pipeline([Instr(Op.ADDI, rd=32, rs1=0, imm=1)])
+
+
+class TestCacheEdge:
+    def test_write_through_read_fill_then_write_hit(self):
+        cfg = CacheConfig(size_bytes=128, line_bytes=64, associativity=1,
+                          write_back=False)
+        cache = Cache(cfg)
+        cache.access(0, write=False)  # fill by read
+        assert cache.access(0, write=True) is True  # write hit, no dirty
+        assert cache.stats.writebacks == 0
+
+    def test_fully_associative_never_conflicts(self):
+        cfg = CacheConfig(size_bytes=256, line_bytes=64, associativity=4)
+        cache = Cache(cfg)
+        assert cfg.num_sets == 1
+        trace = [i * 64 for i in range(4)] * 5  # fits exactly
+        cache.run_trace(trace)
+        assert cache.stats.conflict_misses == 0
+        assert cache.stats.capacity_misses == 0
+
+
+class TestCoherenceEdge:
+    def test_evict_unknown_line_is_silent(self):
+        sys = CoherentSystem(2)
+        sys.evict(0, 99)
+        assert sys.stats.writebacks == 0
+
+    def test_msi_write_after_own_read_needs_upgrade(self):
+        """MSI pays BusUpgr even with no sharers — the exact cost MESI's
+        E state eliminates."""
+        sys = CoherentSystem(2, Protocol.MSI)
+        sys.read(0, 1)  # S (MSI has no E)
+        sys.write(0, 1)
+        assert sys.stats.bus_upgr == 1
+
+    def test_read_after_remote_write_gets_shared(self):
+        sys = CoherentSystem(3, Protocol.MESI)
+        sys.write(1, 7)
+        assert sys.read(2, 7) is LineState.SHARED
+        sys.check_invariant()

@@ -1,0 +1,119 @@
+"""Tests for branch predictors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.branchpred import (
+    AlwaysNotTaken,
+    AlwaysTaken,
+    OneBitPredictor,
+    TwoBitPredictor,
+    TwoLevelPredictor,
+    alternating_trace,
+    effective_cpi,
+    evaluate,
+    loop_trace,
+)
+
+
+class TestStaticBaselines:
+    def test_not_taken_on_loop(self):
+        trace = loop_trace(iterations=10, trips=5)
+        report = evaluate(AlwaysNotTaken(), trace)
+        assert report.mispredictions == 9 * 5  # every taken branch
+
+    def test_taken_on_loop(self):
+        trace = loop_trace(iterations=10, trips=5)
+        report = evaluate(AlwaysTaken(), trace)
+        assert report.mispredictions == 5  # the exits only
+
+
+class TestOneBit:
+    def test_double_miss_per_loop_trip(self):
+        """The teaching flaw: miss at exit AND at next entry."""
+        trace = loop_trace(iterations=10, trips=5)
+        report = evaluate(OneBitPredictor(), trace)
+        # First trip: miss entry (init NT) + miss exit; later trips: 2 each.
+        assert report.mispredictions == 2 * 5
+
+    def test_learns_constant_behaviour(self):
+        trace = [(0, True)] * 20
+        report = evaluate(OneBitPredictor(), trace)
+        assert report.mispredictions == 1  # only the cold miss
+
+
+class TestTwoBit:
+    def test_single_miss_per_loop_trip_after_warmup(self):
+        trace = loop_trace(iterations=10, trips=5)
+        report = evaluate(TwoBitPredictor(), trace)
+        # Warmup costs an extra miss or two; steady state: 1 per trip.
+        assert 5 <= report.mispredictions <= 7
+        one_bit = evaluate(OneBitPredictor(), loop_trace(10, 5))
+        assert report.mispredictions < one_bit.mispredictions
+
+    def test_hysteresis_survives_single_anomaly(self):
+        trace = [(0, True)] * 5 + [(0, False)] + [(0, True)] * 5
+        report = evaluate(TwoBitPredictor(), trace)
+        # Misses: warmup (1) + the anomaly (1); the T after the anomaly
+        # is still predicted taken thanks to hysteresis.
+        assert report.mispredictions == 2
+
+    def test_alternating_is_pathological(self):
+        report = evaluate(TwoBitPredictor(), alternating_trace(40))
+        assert report.accuracy <= 0.6
+
+
+class TestTwoLevel:
+    def test_learns_alternating_pattern(self):
+        report = evaluate(TwoLevelPredictor(history_bits=2), alternating_trace(60))
+        # After warmup the history predicts the alternation perfectly.
+        assert report.accuracy > 0.85
+
+    def test_beats_two_bit_on_alternation(self):
+        trace = alternating_trace(60)
+        two_level = evaluate(TwoLevelPredictor(2), trace)
+        two_bit = evaluate(TwoBitPredictor(), trace)
+        assert two_level.mispredictions < two_bit.mispredictions
+
+    def test_history_bits_validated(self):
+        with pytest.raises(ValueError):
+            TwoLevelPredictor(0)
+
+
+class TestEffectiveCpi:
+    def test_perfect_prediction_base_cpi(self):
+        assert effective_cpi(1.0) == 1.0
+
+    def test_formula(self):
+        # 20% branches, 90% accuracy, 2-cycle penalty:
+        assert effective_cpi(0.9) == pytest.approx(1.0 + 0.2 * 0.1 * 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_cpi(1.5)
+        with pytest.raises(ValueError):
+            effective_cpi(0.9, branch_fraction=2.0)
+
+    def test_predictor_quality_orders_cpi(self):
+        trace = loop_trace(iterations=8, trips=20)
+        cpis = {}
+        for predictor in (AlwaysNotTaken(), OneBitPredictor(), TwoBitPredictor()):
+            report = evaluate(predictor, trace)
+            cpis[report.name] = effective_cpi(report.accuracy)
+        assert cpis["two-bit"] < cpis["one-bit"] < cpis["always-not-taken"]
+
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.booleans()), max_size=100))
+@settings(max_examples=60, deadline=None)
+def test_property_reports_consistent(trace):
+    for predictor in (
+        AlwaysNotTaken(),
+        AlwaysTaken(),
+        OneBitPredictor(),
+        TwoBitPredictor(),
+        TwoLevelPredictor(3),
+    ):
+        report = evaluate(predictor, trace)
+        assert 0 <= report.mispredictions <= report.branches == len(trace)
+        assert 0.0 <= report.accuracy <= 1.0

@@ -1,0 +1,146 @@
+"""Tests for the set-associative cache simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cache import Cache, CacheConfig
+
+
+class TestConfig:
+    def test_geometry(self):
+        cfg = CacheConfig(size_bytes=1024, line_bytes=64, associativity=2)
+        assert cfg.num_sets == 8
+        assert cfg.num_lines == 16
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=64, associativity=2)
+
+    def test_positive_fields(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0, line_bytes=64, associativity=1)
+
+
+class TestHitsAndMisses:
+    def test_first_access_misses(self):
+        cache = Cache()
+        assert cache.access(0) is False
+        assert cache.stats.cold_misses == 1
+
+    def test_same_line_hits(self):
+        cache = Cache(CacheConfig(line_bytes=64))
+        cache.access(0)
+        assert cache.access(63) is True  # same line
+        assert cache.access(64) is False  # next line
+
+    def test_sequential_locality(self):
+        cache = Cache(CacheConfig(size_bytes=512, line_bytes=64, associativity=2))
+        cache.run_trace(list(range(0, 1024, 4)))
+        # One miss per 16 accesses (64B line / 4B stride).
+        assert cache.stats.miss_rate == pytest.approx(1 / 16)
+
+    def test_repeated_small_working_set_all_hits_after_warmup(self):
+        cache = Cache(CacheConfig(size_bytes=1024, line_bytes=64, associativity=2))
+        warm = list(range(0, 512, 64))
+        cache.run_trace(warm)
+        misses_after_warm = cache.stats.misses
+        cache.run_trace(warm * 10)
+        assert cache.stats.misses == misses_after_warm
+
+
+class TestLruAndConflict:
+    def test_lru_evicts_oldest(self):
+        # Direct-mapped-ish: 1 set, 2 ways.
+        cache = Cache(CacheConfig(size_bytes=128, line_bytes=64, associativity=2))
+        cache.access(0)      # line 0
+        cache.access(64)     # line 1
+        cache.access(0)      # touch line 0 (now MRU)
+        cache.access(128)    # evicts line 1 (LRU)
+        assert cache.access(0) is True
+        assert cache.access(64) is False
+
+    def test_conflict_misses_classified(self):
+        # Two lines mapping to the same set of a 1-way cache thrash, while
+        # the shadow fully-associative cache holds both -> conflict misses.
+        cfg = CacheConfig(size_bytes=256, line_bytes=64, associativity=1)
+        cache = Cache(cfg)
+        a, b = 0, 256  # same set (4 sets; line 0 and line 4)
+        for _ in range(10):
+            cache.access(a)
+            cache.access(b)
+        assert cache.stats.conflict_misses > 0
+        assert cache.stats.capacity_misses == 0
+
+    def test_capacity_misses_classified(self):
+        # Working set of 32 lines cycling through a 4-line cache: even a
+        # fully associative cache would miss.
+        cfg = CacheConfig(size_bytes=256, line_bytes=64, associativity=4)
+        cache = Cache(cfg)
+        trace = [i * 64 for i in range(32)] * 3
+        cache.run_trace(trace)
+        assert cache.stats.capacity_misses > 0
+
+    def test_three_cs_sum_to_misses(self):
+        cache = Cache(CacheConfig(size_bytes=512, line_bytes=64, associativity=2))
+        cache.run_trace([i * 64 for i in range(64)] * 2)
+        s = cache.stats
+        assert s.cold_misses + s.capacity_misses + s.conflict_misses == s.misses
+
+
+class TestWritePolicies:
+    def test_write_back_marks_dirty_and_writes_back(self):
+        cfg = CacheConfig(size_bytes=128, line_bytes=64, associativity=1,
+                          write_back=True)
+        cache = Cache(cfg)
+        cache.access(0, write=True)   # dirty line 0 in set 0
+        cache.access(128, write=False)  # evicts dirty line -> writeback
+        assert cache.stats.writebacks == 1
+
+    def test_write_through_no_allocate(self):
+        cfg = CacheConfig(size_bytes=128, line_bytes=64, associativity=1,
+                          write_back=False)
+        cache = Cache(cfg)
+        cache.access(0, write=True)
+        # No-allocate: the line was not filled.
+        assert cache.access(0, write=False) is False
+        assert cache.stats.writebacks == 0
+
+    def test_clean_eviction_no_writeback(self):
+        cfg = CacheConfig(size_bytes=128, line_bytes=64, associativity=1)
+        cache = Cache(cfg)
+        cache.access(0)
+        cache.access(128)
+        assert cache.stats.writebacks == 0
+
+
+class TestAmat:
+    def test_amat_formula(self):
+        cfg = CacheConfig(hit_time=1.0, miss_penalty=100.0)
+        cache = Cache(cfg)
+        cache.access(0)  # miss
+        cache.access(0)  # hit
+        assert cache.amat() == pytest.approx(1.0 + 0.5 * 100.0)
+
+    def test_amat_no_accesses(self):
+        assert Cache().amat() == pytest.approx(1.0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=4096), max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_property_stats_consistent(addresses):
+    cache = Cache(CacheConfig(size_bytes=512, line_bytes=64, associativity=2))
+    cache.run_trace(addresses)
+    s = cache.stats
+    assert s.hits + s.misses == s.accesses == len(addresses)
+    assert s.cold_misses + s.capacity_misses + s.conflict_misses == s.misses
+    assert 0.0 <= s.miss_rate <= 1.0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_property_single_line_misses_once(offsets):
+    """All addresses within one line: exactly one (cold) miss."""
+    cache = Cache(CacheConfig(size_bytes=512, line_bytes=64, associativity=2))
+    cache.run_trace(offsets)
+    assert cache.stats.misses == 1

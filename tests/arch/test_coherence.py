@@ -1,0 +1,162 @@
+"""Tests for MSI/MESI snooping coherence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.coherence import (
+    CoherentSystem,
+    LineState,
+    Protocol,
+    ping_pong_workload,
+    private_rw_workload,
+)
+
+
+class TestStateTransitions:
+    def test_mesi_first_read_is_exclusive(self):
+        sys = CoherentSystem(2, Protocol.MESI)
+        assert sys.read(0, 1) is LineState.EXCLUSIVE
+
+    def test_msi_first_read_is_shared(self):
+        sys = CoherentSystem(2, Protocol.MSI)
+        assert sys.read(0, 1) is LineState.SHARED
+
+    def test_second_reader_shares(self):
+        sys = CoherentSystem(2, Protocol.MESI)
+        sys.read(0, 1)
+        assert sys.read(1, 1) is LineState.SHARED
+        assert sys.state_of(0, 1) is LineState.SHARED  # E downgrades
+
+    def test_silent_e_to_m_upgrade(self):
+        sys = CoherentSystem(2, Protocol.MESI)
+        sys.read(0, 1)  # E
+        before = sys.stats.total_transactions
+        assert sys.write(0, 1) is LineState.MODIFIED
+        assert sys.stats.total_transactions == before  # no bus traffic
+
+    def test_s_to_m_needs_upgrade(self):
+        sys = CoherentSystem(2, Protocol.MESI)
+        sys.read(0, 1)
+        sys.read(1, 1)
+        sys.write(0, 1)
+        assert sys.stats.bus_upgr == 1
+        assert sys.stats.invalidations == 1
+        assert sys.state_of(1, 1) is LineState.INVALID
+
+    def test_write_miss_is_rdx(self):
+        sys = CoherentSystem(2, Protocol.MESI)
+        sys.write(0, 5)
+        assert sys.stats.bus_rdx == 1
+        assert sys.state_of(0, 5) is LineState.MODIFIED
+
+    def test_read_of_modified_forces_flush(self):
+        sys = CoherentSystem(2, Protocol.MESI)
+        sys.write(0, 1)
+        sys.read(1, 1)
+        assert sys.stats.writebacks == 1
+        assert sys.stats.cache_to_cache == 1
+        assert sys.state_of(0, 1) is LineState.SHARED
+
+    def test_write_hit_on_m_is_free(self):
+        sys = CoherentSystem(2, Protocol.MESI)
+        sys.write(0, 1)
+        before = sys.stats.total_transactions
+        sys.write(0, 1)
+        assert sys.stats.total_transactions == before
+
+    def test_eviction_of_m_writes_back(self):
+        sys = CoherentSystem(2, Protocol.MESI)
+        sys.write(0, 1)
+        sys.evict(0, 1)
+        assert sys.stats.writebacks == 1
+        assert sys.state_of(0, 1) is LineState.INVALID
+
+    def test_eviction_of_clean_is_silent(self):
+        sys = CoherentSystem(2, Protocol.MESI)
+        sys.read(0, 1)
+        sys.evict(0, 1)
+        assert sys.stats.writebacks == 0
+
+
+class TestProtocolComparison:
+    def test_mesi_saves_upgrades_on_private_data(self):
+        """The headline ablation: private read-then-write costs MSI a
+        BusUpgr per first write; MESI none."""
+        msi = CoherentSystem(4, Protocol.MSI)
+        mesi = CoherentSystem(4, Protocol.MESI)
+        workload = private_rw_workload(4, repeats=10)
+        msi.run_trace(workload)
+        mesi.run_trace(workload)
+        assert msi.stats.bus_upgr == 4
+        assert mesi.stats.bus_upgr == 0
+        assert mesi.stats.total_transactions < msi.stats.total_transactions
+
+    def test_ping_pong_invalidates_every_write(self):
+        sys = CoherentSystem(2, Protocol.MESI)
+        sys.run_trace(ping_pong_workload(10))
+        assert sys.stats.invalidations + sys.stats.bus_rdx >= 19
+
+    def test_sharing_read_workload_cheap(self):
+        sys = CoherentSystem(4, Protocol.MESI)
+        trace = [(c, "r", 0) for c in range(4)] * 5
+        sys.run_trace(trace)
+        assert sys.stats.bus_rd == 4  # one per core, then hits
+
+
+class TestInvariant:
+    def test_swmr_after_scenarios(self):
+        sys = CoherentSystem(3, Protocol.MESI)
+        sys.write(0, 1)
+        sys.check_invariant()
+        sys.read(1, 1)
+        sys.check_invariant()
+        sys.write(2, 1)
+        sys.check_invariant()
+        assert sys.state_of(0, 1) is LineState.INVALID
+        assert sys.state_of(1, 1) is LineState.INVALID
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),
+                st.sampled_from(["r", "w"]),
+                st.integers(0, 4),
+            ),
+            max_size=100,
+        ),
+        st.sampled_from([Protocol.MSI, Protocol.MESI]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_swmr_always_holds(self, trace, protocol):
+        sys = CoherentSystem(4, protocol)
+        sys.run_trace(trace)
+        sys.check_invariant()
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 2),
+                st.sampled_from(["r", "w"]),
+                st.integers(0, 3),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_mesi_never_costs_more_bus_than_msi(self, trace):
+        msi = CoherentSystem(3, Protocol.MSI)
+        mesi = CoherentSystem(3, Protocol.MESI)
+        msi.run_trace(trace)
+        mesi.run_trace(trace)
+        assert (
+            mesi.stats.total_transactions <= msi.stats.total_transactions
+        )
+
+    def test_rejects_bad_trace_kind(self):
+        with pytest.raises(ValueError):
+            CoherentSystem(2).run_trace([(0, "x", 1)])
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            CoherentSystem(0)

@@ -1,0 +1,108 @@
+"""Tests for Flynn's taxonomy and the vector machine model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.flynn import (
+    GALLERY,
+    FlynnClass,
+    MachineDescription,
+    classify,
+    gallery_table,
+    subclassify,
+)
+from repro.arch.vector import VectorMachine, compare_vector_lengths
+
+
+class TestFlynn:
+    def test_four_classes(self):
+        assert classify(MachineDescription("u", 1, 1)) is FlynnClass.SISD
+        assert classify(MachineDescription("v", 1, 64)) is FlynnClass.SIMD
+        assert classify(MachineDescription("s", 3, 1)) is FlynnClass.MISD
+        assert classify(MachineDescription("m", 4, 4)) is FlynnClass.MIMD
+
+    def test_invalid_streams(self):
+        with pytest.raises(ValueError):
+            MachineDescription("bad", 0, 1)
+
+    def test_subclassify_simd(self):
+        lockstep = MachineDescription("gpu", 1, 32, lockstep=True)
+        vector = MachineDescription("cray", 1, 64, lockstep=False)
+        assert "array" in subclassify(lockstep)
+        assert "vector" in subclassify(vector)
+
+    def test_subclassify_mimd(self):
+        shared = MachineDescription("smp", 4, 4, shared_memory=True)
+        cluster = MachineDescription("mpp", 64, 64, shared_memory=False)
+        assert "shared-memory" in subclassify(shared)
+        assert "cluster" in subclassify(cluster)
+
+    def test_gallery_covers_all_classes(self):
+        classes = {classify(m) for m in GALLERY.values()}
+        assert classes == set(FlynnClass)
+
+    def test_gallery_table_shape(self):
+        table = gallery_table()
+        assert len(table) == len(GALLERY)
+        assert all({"machine", "class", "subclass"} <= set(r) for r in table)
+
+    def test_descriptions_nonempty(self):
+        for cls in FlynnClass:
+            assert cls.description
+
+
+class TestVectorMachine:
+    def test_daxpy_correct(self):
+        vm = VectorMachine(64)
+        x = np.arange(100.0)
+        y = np.ones(100)
+        out, _ = vm.daxpy(2.0, x, y)
+        assert np.allclose(out, 2 * x + y)
+
+    def test_strip_mine_chunk_count(self):
+        vm = VectorMachine(64)
+        assert vm.expected_chunks(1000) == 16
+        assert vm.expected_chunks(64) == 1
+        assert vm.expected_chunks(0) == 0
+
+    def test_map_stats(self):
+        vm = VectorMachine(32)
+        out, stats = vm.map(lambda c: c * 2, np.ones(100), ops_per_element=1)
+        assert np.all(out == 2)
+        assert stats.strip_mine_chunks == 4
+        assert stats.vector_instructions == 4 * 3
+        assert stats.scalar_instructions_equivalent == 100 * 4
+
+    def test_instruction_reduction_grows_with_vl(self):
+        results = compare_vector_lengths(1024, [4, 16, 64, 256])
+        reductions = [results[vl]["instruction_reduction"] for vl in (4, 16, 64, 256)]
+        assert reductions == sorted(reductions)
+
+    def test_lanes_utilization_remainder(self):
+        vm = VectorMachine(64)
+        assert vm.lanes_utilization(64) == 1.0
+        assert vm.lanes_utilization(65) == pytest.approx(65 / 128)
+
+    def test_zip_map_shape_mismatch(self):
+        vm = VectorMachine(8)
+        with pytest.raises(ValueError):
+            vm.zip_map(np.add, np.ones(4), np.ones(5))
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            VectorMachine(0)
+
+    @given(
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=1, max_value=128),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_daxpy_matches_numpy(self, n, vl):
+        vm = VectorMachine(vl)
+        x = np.arange(float(n))
+        y = np.full(n, 3.0)
+        out, stats = vm.daxpy(0.5, x, y)
+        assert np.allclose(out, 0.5 * x + y)
+        assert stats.strip_mine_chunks == vm.expected_chunks(n)

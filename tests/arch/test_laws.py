@@ -1,0 +1,140 @@
+"""Tests for performance laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.laws import (
+    amdahl_limit,
+    amdahl_speedup,
+    crossover_processors,
+    efficiency,
+    gustafson_speedup,
+    isoefficiency_problem_size,
+    karp_flatt,
+    speedup,
+    speedup_sweep,
+)
+
+
+class TestAmdahl:
+    def test_serial_program_never_speeds_up(self):
+        assert float(amdahl_speedup(0.0, 64)) == 1.0
+
+    def test_perfectly_parallel_is_linear(self):
+        assert float(amdahl_speedup(1.0, 64)) == pytest.approx(64.0)
+
+    def test_textbook_value(self):
+        # f=0.95, p=8: 1/(0.05 + 0.95/8)
+        assert float(amdahl_speedup(0.95, 8)) == pytest.approx(5.925925925925926)
+
+    def test_limit(self):
+        assert float(amdahl_limit(0.95)) == pytest.approx(20.0)
+        assert np.isinf(amdahl_limit(1.0))
+
+    def test_vectorized_sweep(self):
+        p = np.array([1, 2, 4, 8])
+        s = amdahl_speedup(0.9, p)
+        assert s.shape == (4,)
+        assert s[0] == 1.0
+        assert np.all(np.diff(s) > 0)
+
+    def test_speedup_monotone_in_p(self):
+        s = amdahl_speedup(0.8, np.arange(1, 100))
+        assert np.all(np.diff(s) > 0)
+        assert np.all(s < float(amdahl_limit(0.8)))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 4)
+        with pytest.raises(ValueError):
+            amdahl_speedup(-0.1, 4)
+
+    def test_rejects_bad_processors(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.999),
+        st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_bounded_by_limit_and_p(self, f, p):
+        s = float(amdahl_speedup(f, p))
+        assert 1.0 <= s + 1e-12
+        assert s <= p + 1e-9
+        assert s <= float(amdahl_limit(f)) + 1e-9
+
+
+class TestGustafson:
+    def test_serial_fraction_zero(self):
+        assert float(gustafson_speedup(1.0, 16)) == 16.0
+
+    def test_textbook_value(self):
+        assert float(gustafson_speedup(0.95, 100)) == pytest.approx(95.05)
+
+    def test_exceeds_amdahl_for_same_fraction(self):
+        p = np.arange(2, 128)
+        assert np.all(gustafson_speedup(0.9, p) > amdahl_speedup(0.9, p))
+
+
+class TestKarpFlatt:
+    def test_recovers_serial_fraction(self):
+        """Feeding Amdahl-generated speedups back recovers 1-f exactly."""
+        f = 0.9
+        for p in (2, 4, 8, 64):
+            s = float(amdahl_speedup(f, p))
+            assert float(karp_flatt(s, p)) == pytest.approx(1 - f)
+
+    def test_undefined_at_one_processor(self):
+        assert np.isnan(karp_flatt(1.0, 1))
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.99),
+        st.integers(min_value=2, max_value=1000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_inverse_of_amdahl(self, f, p):
+        s = float(amdahl_speedup(f, p))
+        assert float(karp_flatt(s, p)) == pytest.approx(1 - f, abs=1e-9)
+
+
+class TestEfficiencyAndSweep:
+    def test_efficiency(self):
+        assert float(efficiency(4.0, 8)) == 0.5
+
+    def test_speedup_helper(self):
+        assert float(speedup(10.0, 2.5)) == 4.0
+
+    def test_sweep_structure(self):
+        sweep = speedup_sweep(0.95, max_processors=256)
+        assert sweep["processors"].shape == (256,)
+        assert sweep["amdahl"][0] == 1.0
+        assert sweep["gustafson"][-1] > sweep["amdahl"][-1]
+        assert np.all(np.diff(sweep["amdahl_efficiency"]) <= 1e-12)
+
+
+class TestCrossoverAndIso:
+    def test_crossover_reaches_target(self):
+        p = crossover_processors(0.95, 10)
+        assert p == 19  # exact solution of 1/(0.05 + 0.95/p) = 10
+        assert float(amdahl_speedup(0.95, p)) == pytest.approx(10.0)
+        assert float(amdahl_speedup(0.95, p - 1)) < 10
+
+    def test_crossover_unreachable_target(self):
+        with pytest.raises(ValueError):
+            crossover_processors(0.9, 15)  # limit is 10
+
+    def test_crossover_trivial_target(self):
+        assert crossover_processors(0.5, 1.0) == 1
+
+    def test_isoefficiency_grows_superlinearly(self):
+        p = np.array([2.0, 4.0, 8.0, 16.0])
+        w = isoefficiency_problem_size(p, target_efficiency=0.8)
+        growth = w[1:] / w[:-1]
+        assert np.all(growth > 2.0)  # faster than linear in p
+
+    def test_isoefficiency_validates_target(self):
+        with pytest.raises(ValueError):
+            isoefficiency_problem_size(4, target_efficiency=1.0)

@@ -1,0 +1,207 @@
+"""Tests for the 5-stage pipeline simulator."""
+
+import pytest
+
+from repro.arch.pipeline import Instr, Op, Pipeline, PipelineConfig
+
+
+def _prog_independent(n):
+    return [Instr(Op.ADDI, rd=(i % 31) + 1, rs1=0, imm=i) for i in range(n)]
+
+
+class TestIdealPipelining:
+    def test_fill_plus_one_per_instruction(self):
+        stats = Pipeline(_prog_independent(8)).run()
+        assert stats.cycles == 12  # 8 + 4 fill
+        assert stats.stalls == 0
+        assert stats.instructions == 8
+
+    def test_cpi_approaches_one(self):
+        stats = Pipeline(_prog_independent(100)).run()
+        assert stats.cpi == pytest.approx(1.04)
+
+    def test_speedup_vs_unpipelined(self):
+        stats = Pipeline(_prog_independent(100)).run()
+        assert stats.speedup_vs_unpipelined == pytest.approx(500 / 104)
+
+    def test_empty_program(self):
+        stats = Pipeline([]).run()
+        assert stats.cycles == 0 and stats.instructions == 0
+
+
+class TestDataHazards:
+    RAW_CHAIN = [
+        Instr(Op.ADDI, rd=1, rs1=0, imm=5),
+        Instr(Op.ADD, rd=2, rs1=1, rs2=1),
+        Instr(Op.ADD, rd=3, rs1=2, rs2=2),
+    ]
+
+    def test_forwarding_eliminates_alu_stalls(self):
+        pipe = Pipeline(self.RAW_CHAIN)
+        stats = pipe.run()
+        assert stats.stalls == 0
+        assert stats.cycles == 7
+        assert pipe.registers[3] == 20
+
+    def test_no_forwarding_costs_two_stalls_per_dependence(self):
+        pipe = Pipeline(self.RAW_CHAIN, PipelineConfig(forwarding=False))
+        stats = pipe.run()
+        assert stats.stalls == 4  # two per distance-1 dependence
+        assert stats.cycles == 11
+        assert pipe.registers[3] == 20  # same architectural result
+
+    def test_distance_two_needs_one_stall_without_forwarding(self):
+        prog = [
+            Instr(Op.ADDI, rd=1, rs1=0, imm=5),
+            Instr(Op.ADDI, rd=4, rs1=0, imm=1),  # filler
+            Instr(Op.ADD, rd=2, rs1=1, rs2=1),
+        ]
+        stats = Pipeline(prog, PipelineConfig(forwarding=False)).run()
+        assert stats.stalls == 1
+
+    def test_distance_three_needs_no_stall(self):
+        prog = [
+            Instr(Op.ADDI, rd=1, rs1=0, imm=5),
+            Instr(Op.ADDI, rd=4, rs1=0, imm=1),
+            Instr(Op.ADDI, rd=5, rs1=0, imm=1),
+            Instr(Op.ADD, rd=2, rs1=1, rs2=1),
+        ]
+        stats = Pipeline(prog, PipelineConfig(forwarding=False)).run()
+        assert stats.stalls == 0
+
+    def test_load_use_stalls_once_with_forwarding(self):
+        prog = [
+            Instr(Op.ADDI, rd=1, rs1=0, imm=100),
+            Instr(Op.SW, rs1=0, rs2=1, imm=8),
+            Instr(Op.LW, rd=2, rs1=0, imm=8),
+            Instr(Op.ADD, rd=3, rs1=2, rs2=2),
+        ]
+        pipe = Pipeline(prog)
+        stats = pipe.run()
+        assert stats.stalls == 1
+        assert pipe.registers[3] == 200
+
+    def test_load_independent_consumer_no_stall(self):
+        prog = [
+            Instr(Op.LW, rd=2, rs1=0, imm=8),
+            Instr(Op.ADDI, rd=3, rs1=0, imm=1),  # does not use r2
+        ]
+        assert Pipeline(prog).run().stalls == 0
+
+    def test_x0_never_hazards(self):
+        prog = [
+            Instr(Op.ADDI, rd=0, rs1=0, imm=5),  # writes to x0: discarded
+            Instr(Op.ADD, rd=1, rs1=0, rs2=0),
+        ]
+        pipe = Pipeline(prog, PipelineConfig(forwarding=False))
+        stats = pipe.run()
+        assert stats.stalls == 0
+        assert pipe.registers[0] == 0
+        assert pipe.registers[1] == 0
+
+
+class TestMemory:
+    def test_store_then_load(self):
+        prog = [
+            Instr(Op.ADDI, rd=1, rs1=0, imm=77),
+            Instr(Op.SW, rs1=0, rs2=1, imm=4),
+            Instr(Op.ADDI, rd=9, rs1=0, imm=0),  # spacing
+            Instr(Op.ADDI, rd=9, rs1=0, imm=0),
+            Instr(Op.LW, rd=2, rs1=0, imm=4),
+        ]
+        pipe = Pipeline(prog)
+        pipe.run()
+        assert pipe.registers[2] == 77
+        assert pipe.memory[4] == 77
+
+    def test_initial_memory_and_registers(self):
+        prog = [Instr(Op.LW, rd=1, rs1=2, imm=0)]
+        pipe = Pipeline(prog, registers={2: 100}, memory={100: 55})
+        pipe.run()
+        assert pipe.registers[1] == 55
+
+
+class TestControlHazards:
+    TAKEN = [
+        Instr(Op.ADDI, rd=1, rs1=0, imm=1),
+        Instr(Op.BEQ, rs1=0, rs2=0, imm=4),  # always taken
+        Instr(Op.ADDI, rd=2, rs1=0, imm=99),  # squashed
+        Instr(Op.ADDI, rd=3, rs1=0, imm=99),  # squashed
+        Instr(Op.ADDI, rd=4, rs1=0, imm=7),
+    ]
+
+    def test_taken_branch_flushes_two(self):
+        pipe = Pipeline(self.TAKEN)
+        stats = pipe.run()
+        assert stats.flushes == 2
+        assert pipe.registers[2] == 0 and pipe.registers[3] == 0
+        assert pipe.registers[4] == 7
+
+    def test_not_taken_branch_costs_nothing(self):
+        prog = [
+            Instr(Op.ADDI, rd=1, rs1=0, imm=1),
+            Instr(Op.BNE, rs1=0, rs2=0, imm=4),  # never taken
+            Instr(Op.ADDI, rd=2, rs1=0, imm=5),
+        ]
+        pipe = Pipeline(prog)
+        stats = pipe.run()
+        assert stats.flushes == 0
+        assert pipe.registers[2] == 5
+
+    def test_branch_in_id_halves_penalty(self):
+        late = Pipeline(self.TAKEN).run()
+        early = Pipeline(self.TAKEN, PipelineConfig(branch_in_id=True)).run()
+        assert early.flushes == 1
+        assert early.cycles < late.cycles
+
+    def test_branch_in_id_same_semantics(self):
+        p1 = Pipeline(self.TAKEN)
+        p2 = Pipeline(self.TAKEN, PipelineConfig(branch_in_id=True))
+        p1.run(), p2.run()
+        assert p1.registers == p2.registers
+
+    def test_loop_executes_correct_count(self):
+        # r1 = 3; loop: r2 += 1; r1 -= 1; if r1 != 0 goto loop
+        prog = [
+            Instr(Op.ADDI, rd=1, rs1=0, imm=3),
+            Instr(Op.ADDI, rd=2, rs1=2, imm=1),   # index 1: loop body
+            Instr(Op.ADDI, rd=1, rs1=1, imm=-1),
+            Instr(Op.BNE, rs1=1, rs2=0, imm=1),
+        ]
+        pipe = Pipeline(prog)
+        pipe.run()
+        assert pipe.registers[2] == 3
+        assert pipe.registers[1] == 0
+
+    def test_runaway_program_guard(self):
+        prog = [Instr(Op.BEQ, rs1=0, rs2=0, imm=0)]  # infinite loop
+        with pytest.raises(RuntimeError):
+            Pipeline(prog).run(max_cycles=100)
+
+
+class TestSemanticsEquivalence:
+    """Forwarding must change timing only, never results."""
+
+    @pytest.mark.parametrize("config", [
+        PipelineConfig(forwarding=True),
+        PipelineConfig(forwarding=False),
+        PipelineConfig(branch_in_id=True),
+    ])
+    def test_program_result_stable(self, config):
+        prog = [
+            Instr(Op.ADDI, rd=1, rs1=0, imm=10),
+            Instr(Op.ADDI, rd=2, rs1=0, imm=3),
+            Instr(Op.ADD, rd=3, rs1=1, rs2=2),
+            Instr(Op.SUB, rd=4, rs1=3, rs2=2),
+            Instr(Op.SW, rs1=0, rs2=4, imm=0),
+            Instr(Op.LW, rd=5, rs1=0, imm=0),
+            Instr(Op.AND, rd=6, rs1=5, rs2=1),
+            Instr(Op.OR, rd=7, rs1=6, rs2=2),
+        ]
+        pipe = Pipeline(prog, config)
+        pipe.run()
+        assert pipe.registers[3] == 13
+        assert pipe.registers[4] == 10
+        assert pipe.registers[5] == 10
+        assert pipe.registers[6] == 10 & 10
+        assert pipe.registers[7] == (10 & 10) | 3

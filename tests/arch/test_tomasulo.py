@@ -1,0 +1,196 @@
+"""Tests for Tomasulo dynamic scheduling (both variants)."""
+
+import pytest
+
+from repro.arch.tomasulo import TInstr, TOp, TomasuloCPU
+
+
+def _hp_example():
+    """The Hennessy & Patterson chapter-3 running example."""
+    return [
+        TInstr(TOp.LOAD, rd=6, addr=34),
+        TInstr(TOp.LOAD, rd=2, addr=45),
+        TInstr(TOp.MUL, rd=0, rs=2, rt=4),
+        TInstr(TOp.SUB, rd=8, rs=6, rt=2),
+        TInstr(TOp.DIV, rd=10, rs=0, rt=6),
+        TInstr(TOp.ADD, rd=6, rs=8, rt=2),
+    ]
+
+
+class TestNonSpeculative:
+    def test_hp_timing_table(self):
+        cpu = TomasuloCPU(
+            _hp_example(), memory={34: 3.0, 45: 2.0}, registers={4: 5.0}
+        )
+        cpu.run()
+        t = cpu.timing_table()
+        # Classic timings (latency: load 2, add/sub 2, mul 10, div 40):
+        assert (t[0].issue, t[0].exec_start, t[0].exec_end, t[0].write) == (1, 2, 3, 4)
+        assert (t[1].issue, t[1].write) == (2, 5)
+        assert (t[2].exec_start, t[2].exec_end, t[2].write) == (5, 14, 15)  # MUL waits for L2
+        assert (t[3].exec_start, t[3].write) == (5, 7)  # SUB runs ahead of MUL
+        assert (t[4].exec_start, t[4].write) == (15, 55)  # DIV waits for MUL
+        assert (t[5].exec_start, t[5].write) == (7, 9)  # ADD out-of-order done
+
+    def test_out_of_order_completion(self):
+        cpu = TomasuloCPU(
+            _hp_example(), memory={34: 3.0, 45: 2.0}, registers={4: 5.0}
+        )
+        cpu.run()
+        t = cpu.timing_table()
+        assert t[3].write < t[2].write  # SUB finishes before the earlier MUL
+
+    def test_architectural_results(self):
+        cpu = TomasuloCPU(
+            _hp_example(), memory={34: 3.0, 45: 2.0}, registers={4: 5.0}
+        )
+        cpu.run()
+        assert cpu.registers[0] == 10.0        # 2*5
+        assert cpu.registers[8] == 1.0         # 3-2
+        assert cpu.registers[10] == pytest.approx(10.0 / 3.0)
+        assert cpu.registers[6] == 3.0         # WAR on F6 renamed away: 1+2
+
+    def test_war_hazard_renamed_away(self):
+        """ADD writes F6 while DIV still needs the OLD F6 — renaming must
+        let DIV read the load's value, not the ADD's."""
+        cpu = TomasuloCPU(
+            _hp_example(), memory={34: 3.0, 45: 2.0}, registers={4: 5.0}
+        )
+        cpu.run()
+        # DIV = F0/F6(old)=10/3, not 10/3.0->F6 new (3.0)... distinguish:
+        assert cpu.registers[10] == pytest.approx(10.0 / 3.0)
+
+    def test_structural_hazard_stalls_issue(self):
+        # Three multiplies, two multiplier stations: the third waits.
+        prog = [
+            TInstr(TOp.MUL, rd=1, rs=0, rt=0),
+            TInstr(TOp.MUL, rd=2, rs=0, rt=0),
+            TInstr(TOp.MUL, rd=3, rs=0, rt=0),
+        ]
+        cpu = TomasuloCPU(prog, num_multipliers=2)
+        cpu.run()
+        t = cpu.timing_table()
+        assert t[0].issue == 1 and t[1].issue == 2
+        assert t[2].issue > 3  # blocked until a station frees
+
+    def test_cdb_one_writer_per_cycle(self):
+        prog = [
+            TInstr(TOp.ADD, rd=1, rs=0, rt=0),
+            TInstr(TOp.ADD, rd=2, rs=0, rt=0),
+        ]
+        cpu = TomasuloCPU(prog)
+        cpu.run()
+        t = cpu.timing_table()
+        assert t[0].write != t[1].write  # serialized on the single CDB
+
+    def test_branch_stalls_issue_nonspeculative(self):
+        prog = [
+            TInstr(TOp.LOAD, rd=1, addr=0),       # r1 = 0
+            TInstr(TOp.BNEZ, rs=1, target=3),     # not taken
+            TInstr(TOp.ADD, rd=2, rs=1, rt=1),
+            TInstr(TOp.ADD, rd=3, rs=2, rt=2),
+        ]
+        cpu = TomasuloCPU(prog, memory={0: 0.0})
+        stats = cpu.run()
+        assert stats.branch_stall_cycles > 0
+
+    def test_ipc(self):
+        cpu = TomasuloCPU([TInstr(TOp.ADD, rd=1, rs=0, rt=0)])
+        stats = cpu.run()
+        assert 0 < stats.ipc <= 1
+
+
+class TestSpeculative:
+    def test_in_order_commit(self):
+        cpu = TomasuloCPU(
+            _hp_example(), speculative=True,
+            memory={34: 3.0, 45: 2.0}, registers={4: 5.0},
+        )
+        cpu.run()
+        commits = [t.commit for t in cpu.timing_table() if not t.squashed]
+        assert commits == sorted(commits)
+        assert len(set(commits)) == len(commits)  # one commit per cycle
+
+    def test_same_results_as_nonspeculative(self):
+        a = TomasuloCPU(_hp_example(), memory={34: 3.0, 45: 2.0},
+                        registers={4: 5.0})
+        b = TomasuloCPU(_hp_example(), speculative=True,
+                        memory={34: 3.0, 45: 2.0}, registers={4: 5.0})
+        a.run(), b.run()
+        assert a.registers == b.registers
+
+    def test_not_taken_branch_predicted_correctly(self):
+        prog = [
+            TInstr(TOp.LOAD, rd=1, addr=0),   # 0.0 -> branch not taken
+            TInstr(TOp.BNEZ, rs=1, target=3),
+            TInstr(TOp.ADD, rd=2, rs=1, rt=1),
+        ]
+        cpu = TomasuloCPU(prog, speculative=True, memory={0: 0.0})
+        stats = cpu.run()
+        assert stats.mispredictions == 0
+        assert stats.flushed == 0
+
+    def test_taken_branch_flushes_wrong_path(self):
+        prog = [
+            TInstr(TOp.LOAD, rd=1, addr=0),   # 5.0 -> taken
+            TInstr(TOp.BNEZ, rs=1, target=3),
+            TInstr(TOp.ADD, rd=2, rs=1, rt=1),  # wrong path
+            TInstr(TOp.ADD, rd=3, rs=1, rt=1),  # target
+        ]
+        cpu = TomasuloCPU(prog, speculative=True, memory={0: 5.0})
+        stats = cpu.run()
+        assert stats.mispredictions == 1
+        assert stats.flushed >= 1
+        assert cpu.registers[2] == 0.0  # squashed write never committed
+        assert cpu.registers[3] == 10.0
+
+    def test_speculation_beats_stalling_on_not_taken_branches(self):
+        prog = [
+            TInstr(TOp.LOAD, rd=1, addr=0),
+            TInstr(TOp.BNEZ, rs=4, target=5),  # r4 = 0: not taken
+            TInstr(TOp.ADD, rd=2, rs=1, rt=1),
+            TInstr(TOp.ADD, rd=3, rs=2, rt=2),
+            TInstr(TOp.ADD, rd=5, rs=3, rt=3),
+        ]
+        slow = TomasuloCPU(prog, memory={0: 2.0}).run()
+        fast = TomasuloCPU(prog, speculative=True, memory={0: 2.0}).run()
+        assert fast.cycles < slow.cycles
+
+    def test_rob_capacity_limits_issue(self):
+        prog = [TInstr(TOp.ADD, rd=i % 8, rs=0, rt=0) for i in range(6)]
+        cpu = TomasuloCPU(prog, speculative=True, rob_size=2, num_adders=6)
+        cpu.run()
+        t = cpu.timing_table()
+        assert t[2].issue > 3  # had to wait for a ROB slot
+
+    def test_squashed_instructions_marked(self):
+        prog = [
+            TInstr(TOp.LOAD, rd=1, addr=0),
+            TInstr(TOp.BNEZ, rs=1, target=3),
+            TInstr(TOp.ADD, rd=2, rs=1, rt=1),
+            TInstr(TOp.ADD, rd=3, rs=1, rt=1),
+        ]
+        cpu = TomasuloCPU(prog, speculative=True, memory={0: 1.0})
+        cpu.run()
+        assert any(t.squashed for t in cpu.timing_table())
+
+
+class TestConfiguration:
+    def test_custom_latency(self):
+        cpu = TomasuloCPU(
+            [TInstr(TOp.MUL, rd=1, rs=0, rt=0)], latencies={TOp.MUL: 3}
+        )
+        cpu.run()
+        t = cpu.timing_table()[0]
+        assert t.exec_end - t.exec_start + 1 == 3
+
+    def test_division_by_zero_yields_inf(self):
+        cpu = TomasuloCPU(
+            [TInstr(TOp.DIV, rd=1, rs=2, rt=3)], registers={2: 4.0, 3: 0.0}
+        )
+        cpu.run()
+        assert cpu.registers[1] == float("inf")
+
+    def test_runaway_guard(self):
+        with pytest.raises(RuntimeError):
+            TomasuloCPU([TInstr(TOp.ADD, rd=1)]).run(max_cycles=1)

@@ -1,0 +1,164 @@
+"""Tests for the ABET criteria, Course, and Program models."""
+
+import pytest
+
+from repro.core.abet import (
+    CAC_CS_CURRICULUM_AREAS,
+    STUDENT_OUTCOMES,
+    CacCriteria,
+    ExposureArea,
+)
+from repro.core.course import Course, Coverage, Depth
+from repro.core.program import Program
+from repro.core.taxonomy import CourseType, PdcTopic
+
+
+def _base_courses(pdc: bool = True):
+    """A minimal >= 40 credit-hour skeleton with all exposures."""
+    coverage = [Coverage(PdcTopic.THREADS, Depth.WORKING)] if pdc else []
+    return [
+        Course("C1", "Programming I", CourseType.INTRO_PROGRAMMING, 4.0, year=1),
+        Course("C2", "Programming II", CourseType.INTRO_PROGRAMMING, 4.0, year=1),
+        Course("C3", "Architecture", CourseType.ARCHITECTURE, 3.0, year=2),
+        Course("C4", "Operating Systems", CourseType.OPERATING_SYSTEMS, 3.0,
+               year=3, coverage=coverage),
+        Course("C5", "Databases", CourseType.DATABASE, 3.0, year=3),
+        Course("C6", "Networks", CourseType.NETWORKS, 3.0, year=3),
+        Course("C7", "Algorithms", CourseType.ALGORITHMS, 3.0, year=2),
+        Course("C8", "Software Engineering", CourseType.SOFTWARE_ENGINEERING, 3.0, year=3),
+        Course("C9", "Theory", CourseType.ALGORITHMS, 3.0, year=3),
+        Course("C10", "PL", CourseType.PROGRAMMING_LANGUAGES, 3.0, year=3),
+        Course("C11", "Capstone I", CourseType.ALGORITHMS, 4.0, year=4),
+        Course("C12", "Capstone II", CourseType.ALGORITHMS, 4.0, year=4),
+    ]
+
+
+class TestCourse:
+    def test_duplicate_topic_rejected(self):
+        with pytest.raises(ValueError):
+            Course("X", "t", CourseType.OPERATING_SYSTEMS,
+                   coverage=[Coverage(PdcTopic.THREADS), Coverage(PdcTopic.THREADS)])
+
+    def test_nonpositive_credits(self):
+        with pytest.raises(ValueError):
+            Course("X", "t", CourseType.ALGORITHMS, credits=0)
+
+    def test_depth_lookup_and_weight(self):
+        c = Course(
+            "X", "t", CourseType.OPERATING_SYSTEMS,
+            coverage=[
+                Coverage(PdcTopic.THREADS, Depth.MASTERY),
+                Coverage(PdcTopic.IPC, Depth.EXPOSURE),
+            ],
+        )
+        assert c.depth_of(PdcTopic.THREADS) is Depth.MASTERY
+        assert c.depth_of(PdcTopic.FLYNN) is None
+        assert c.pdc_weight() == 4
+
+    def test_dedicated_flag(self):
+        c = Course("X", "Parallel", CourseType.PARALLEL_PROGRAMMING)
+        assert c.is_dedicated_pdc
+
+    def test_depth_weights_are_1_2_3(self):
+        assert [int(d) for d in Depth] == [1, 2, 3]
+
+
+class TestProgram:
+    def test_duplicate_codes_rejected(self):
+        c = Course("X", "t", CourseType.ALGORITHMS)
+        with pytest.raises(ValueError):
+            Program("p", "i", courses=[c, c])
+
+    def test_required_vs_elective_split(self):
+        courses = _base_courses() + [
+            Course("E1", "Elective", CourseType.DISTRIBUTED_SYSTEMS, required=False)
+        ]
+        program = Program("p", "i", courses=courses)
+        assert len(program.required_courses()) == 12
+        assert len(program.elective_courses()) == 1
+
+    def test_course_lookup(self):
+        program = Program("p", "i", courses=_base_courses())
+        assert program.course("C4").title == "Operating Systems"
+        with pytest.raises(KeyError):
+            program.course("ZZ")
+
+    def test_topic_depths_required_only(self):
+        courses = _base_courses() + [
+            Course("E1", "Elective", CourseType.DISTRIBUTED_SYSTEMS, required=False,
+                   coverage=[Coverage(PdcTopic.CLIENT_SERVER, Depth.MASTERY)])
+        ]
+        program = Program("p", "i", courses=courses)
+        assert PdcTopic.CLIENT_SERVER not in program.topic_depths()
+        assert PdcTopic.CLIENT_SERVER in program.topic_depths(required_only=False)
+
+    def test_earliest_pdc_year(self):
+        program = Program("p", "i", courses=_base_courses())
+        assert program.earliest_pdc_year() == 3
+
+    def test_earliest_pdc_year_none_without_coverage(self):
+        program = Program("p", "i", courses=_base_courses(pdc=False))
+        assert program.earliest_pdc_year() is None
+
+
+class TestCacCriteria:
+    def test_five_exposure_areas_in_order(self):
+        assert [a.value for a in CAC_CS_CURRICULUM_AREAS] == [
+            "computer architecture and organization",
+            "information management",
+            "networking and communication",
+            "operating systems",
+            "parallel and distributed computing",
+        ]
+
+    def test_six_student_outcomes(self):
+        assert [o.number for o in STUDENT_OUTCOMES] == [1, 2, 3, 4, 5, 6]
+        assert "Communicate effectively" in STUDENT_OUTCOMES[2].text
+
+    def test_compliant_program_passes(self):
+        program = Program("p", "i", courses=_base_courses())
+        check = CacCriteria().check(program)
+        assert check.satisfied
+        assert check.missing() == []
+
+    def test_missing_pdc_fails(self):
+        program = Program("p", "i", courses=_base_courses(pdc=False))
+        check = CacCriteria().check(program)
+        assert not check.satisfied
+        assert not check.pdc_exposed
+        assert any("parallel and distributed" in m for m in check.missing())
+
+    def test_hours_floor_enforced(self):
+        few = _base_courses()[:5]
+        program = Program("p", "i", courses=few)
+        check = CacCriteria().check(program)
+        assert not check.credit_hours_ok
+        assert any("credit hours" in m for m in check.missing())
+
+    def test_missing_exposure_area_detected(self):
+        courses = [c for c in _base_courses() if c.course_type is not CourseType.DATABASE]
+        courses.append(Course("C13", "Extra", CourseType.ALGORITHMS, 3.0))
+        program = Program("p", "i", courses=courses)
+        check = CacCriteria().check(program)
+        assert not check.exposures[ExposureArea.INFORMATION_MANAGEMENT]
+
+    def test_elective_pdc_does_not_count(self):
+        courses = _base_courses(pdc=False) + [
+            Course("E1", "Parallel", CourseType.PARALLEL_PROGRAMMING,
+                   required=False,
+                   coverage=[Coverage(PdcTopic.THREADS, Depth.MASTERY)])
+        ]
+        program = Program("p", "i", courses=courses)
+        assert not CacCriteria().check(program).pdc_exposed
+
+    def test_pdc_via_systems_programming_counts_for_os_exposure(self):
+        courses = [
+            c for c in _base_courses()
+            if c.course_type is not CourseType.OPERATING_SYSTEMS
+        ]
+        courses.append(
+            Course("S1", "Systems Programming", CourseType.SYSTEMS_PROGRAMMING,
+                   3.0, coverage=[Coverage(PdcTopic.THREADS, Depth.WORKING)])
+        )
+        program = Program("p", "i", courses=courses)
+        assert CacCriteria().check(program).exposures[ExposureArea.OPERATING_SYSTEMS]

@@ -1,0 +1,133 @@
+"""Tests for the curriculum advisor and the guideline registry."""
+
+import importlib
+
+import pytest
+
+from repro.core.advisor import advise
+from repro.core.casestudies import lau_program
+from repro.core.course import Course, Coverage, Depth
+from repro.core.guidelines import GUIDELINES, pdc_unit_census
+from repro.core.program import Program
+from repro.core.taxonomy import CourseType, PdcTopic
+
+
+def _skeleton(with_os_coverage: bool = False):
+    os_cov = (
+        [Coverage(PdcTopic.THREADS, Depth.WORKING),
+         Coverage(PdcTopic.IPC, Depth.WORKING),
+         Coverage(PdcTopic.ATOMICITY, Depth.WORKING)]
+        if with_os_coverage
+        else []
+    )
+    return Program(
+        "Skeleton U — BS CS", "Skeleton U",
+        courses=[
+            Course("CS1", "Prog I", CourseType.INTRO_PROGRAMMING, 4.0, year=1),
+            Course("CS2", "Prog II", CourseType.INTRO_PROGRAMMING, 4.0, year=1),
+            Course("ARCH", "Architecture", CourseType.ARCHITECTURE, 3.0, year=2),
+            Course("OS", "Operating Systems", CourseType.OPERATING_SYSTEMS,
+                   3.0, year=3, coverage=os_cov),
+            Course("DB", "Databases", CourseType.DATABASE, 3.0, year=3),
+            Course("NET", "Networks", CourseType.NETWORKS, 3.0, year=3),
+            Course("ALG", "Algorithms", CourseType.ALGORITHMS, 3.0, year=2),
+            Course("SE", "Software Eng", CourseType.SOFTWARE_ENGINEERING, 3.0, year=3),
+            Course("THY", "Theory", CourseType.ALGORITHMS, 3.0, year=3),
+            Course("PL", "Prog Langs", CourseType.PROGRAMMING_LANGUAGES, 3.0, year=3),
+            Course("CAP", "Capstone", CourseType.ALGORITHMS, 4.0, year=4),
+            Course("CAP2", "Capstone II", CourseType.ALGORITHMS, 4.0, year=4),
+        ],
+    )
+
+
+class TestAdvisor:
+    def test_bare_program_gets_full_plan(self):
+        report = advise(_skeleton())
+        assert not report.already_compliant
+        assert len(report.uncovered_topics) == 14
+        assert report.suggest_dedicated_course
+        assert len(report.recommendations) == 14
+
+    def test_recommendations_target_table1_hosts(self):
+        report = advise(_skeleton())
+        by_topic = {r.topic: r for r in report.recommendations}
+        assert by_topic[PdcTopic.FLYNN].target_course == "ARCH"
+        assert by_topic[PdcTopic.TRANSACTIONS].target_course == "DB"
+        assert by_topic[PdcTopic.CLIENT_SERVER].target_course == "NET"
+
+    def test_all_recommendations_carry_lab_modules(self):
+        report = advise(_skeleton())
+        for rec in report.recommendations:
+            assert rec.lab_modules
+            for module in rec.lab_modules:
+                importlib.import_module(module)
+
+    def test_partial_coverage_smaller_plan(self):
+        report = advise(_skeleton(with_os_coverage=True))
+        assert report.already_compliant  # 3 topics is exposure
+        assert PdcTopic.THREADS not in report.uncovered_topics
+        assert len(report.uncovered_topics) == 11
+
+    def test_case_study_needs_little_or_nothing(self):
+        report = advise(lau_program())
+        assert report.already_compliant
+        assert report.uncovered_topics == []
+        assert "nothing to do" in report.summary()
+
+    def test_add_course_when_no_host_exists(self):
+        program = Program(
+            "No-Arch U", "N",
+            courses=[
+                Course("OS", "OS", CourseType.OPERATING_SYSTEMS, 40.0),
+            ],
+        )
+        report = advise(program)
+        by_topic = {r.topic: r for r in report.recommendations}
+        flynn = by_topic[PdcTopic.FLYNN]  # only architecture hosts Flynn
+        assert flynn.action == "add-course"
+        assert flynn.course_type is CourseType.ARCHITECTURE
+
+    def test_recommendation_str(self):
+        report = advise(_skeleton())
+        text = str(report.recommendations[0])
+        assert "embed" in text or "add-course" in text
+
+    def test_applying_the_plan_reaches_compliance(self):
+        """Closing the loop: apply every embedding and re-check."""
+        program = _skeleton()
+        report = advise(program)
+        additions = {}
+        for rec in report.recommendations:
+            if rec.action == "embed":
+                additions.setdefault(rec.target_course, []).append(
+                    Coverage(rec.topic, Depth.WORKING)
+                )
+        courses = []
+        for course in program.courses:
+            if course.code in additions:
+                courses.append(
+                    Course(course.code, course.title, course.course_type,
+                           course.credits, course.required,
+                           coverage=additions[course.code], year=course.year)
+                )
+            else:
+                courses.append(course)
+        fixed = Program(program.name, program.institution, courses=courses)
+        assert advise(fixed).already_compliant
+
+
+class TestGuidelineRegistry:
+    def test_three_guidelines_registered(self):
+        assert set(GUIDELINES) == {"cs2013", "ce2016", "se2014"}
+
+    def test_census_counts(self):
+        census = pdc_unit_census()
+        assert census["cs2013"] == 5  # the five core PD units
+        assert census["ce2016"] == 5  # Table II's five units
+        assert census["se2014"] == 1  # construction technologies
+
+    def test_metadata(self):
+        assert GUIDELINES["cs2013"].year == 2013
+        assert GUIDELINES["ce2016"].discipline == "CE"
+        for g in GUIDELINES.values():
+            assert g.pdc_core_units()

@@ -1,0 +1,179 @@
+"""Tests for the §IV case studies and the compliance engine."""
+
+import pytest
+
+from repro.core.casestudies import (
+    auc_program,
+    case_study_programs,
+    lau_program,
+    rit_program,
+)
+from repro.core.compliance import Approach, check_program
+from repro.core.course import Course, Coverage, Depth
+from repro.core.knowledge import CognitiveLevel
+from repro.core.program import Program
+from repro.core.taxonomy import CderConcept, CourseType, PdcTopic
+
+
+class TestLau:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return check_program(lau_program())
+
+    def test_compliant_via_dedicated_course(self, report):
+        assert report.compliant
+        assert report.approach is Approach.DEDICATED_COURSE
+
+    def test_dedicated_course_details(self):
+        program = lau_program()
+        course = program.course("CSC447")
+        assert course.required
+        assert course.is_dedicated_pdc
+        # "design, analyze, and implement" outcome at application level:
+        assert any(
+            o.level is CognitiveLevel.APPLICATION for o in course.outcomes
+        )
+        # Part 3 manycore content: SIMD/SIMT at mastery.
+        assert course.depth_of(PdcTopic.SIMD_VECTOR) is Depth.MASTERY
+
+    def test_pdc_also_in_other_required_courses(self):
+        """§IV-A: 'students explore PDC concepts in various required
+        courses including operating systems, computer organization, and
+        database management systems.'"""
+        program = lau_program()
+        for code in ("CSC326", "CSC320", "CSC375"):
+            assert program.course(code).pdc_topics()
+
+    def test_all_cder_concepts(self, report):
+        assert report.concepts_complete
+
+    def test_full_newhall_score(self, report):
+        assert report.newhall.score == 4
+
+
+class TestAuc:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return check_program(auc_program())
+
+    def test_compliant_via_distributed_approach(self, report):
+        """§IV-B: no dedicated required PDC course, yet compliant."""
+        assert report.compliant
+        assert report.approach is Approach.DISTRIBUTED
+
+    def test_no_required_dedicated_course(self):
+        assert not auc_program().has_dedicated_pdc_course(required_only=True)
+
+    def test_distributed_systems_course_is_elective(self):
+        course = auc_program().course("CSCE425")
+        assert not course.required
+        assert course.course_type is CourseType.DISTRIBUTED_SYSTEMS
+
+    def test_tomasulo_gives_ilp_mastery(self):
+        """§IV-B(2): speculative and non-speculative Tomasulo are taught
+        in the architecture course."""
+        arch = auc_program().course("CSCE321")
+        assert arch.depth_of(PdcTopic.ILP) is Depth.MASTERY
+
+    def test_os_course_substantial_depth(self):
+        os_course = auc_program().course("CSCE345")
+        assert os_course.depth_of(PdcTopic.THREADS) is Depth.MASTERY
+        assert os_course.depth_of(PdcTopic.ATOMICITY) is Depth.MASTERY
+
+    def test_early_exposure_in_fundamentals(self):
+        """§IV-B(1): basic threads and client-server in the fundamentals
+        sequence — the 'early maturity' approach."""
+        assert auc_program().earliest_pdc_year() == 1
+
+
+class TestRit:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return check_program(rit_program())
+
+    def test_compliant_via_dedicated_breadth_course(self, report):
+        assert report.compliant
+        assert report.approach is Approach.DEDICATED_COURSE
+
+    def test_cpds_course_covers_breadth(self):
+        cpds = rit_program().course("CSCI251")
+        topics = set(cpds.pdc_topics())
+        assert {
+            PdcTopic.THREADS,
+            PdcTopic.CLIENT_SERVER,
+            PdcTopic.MULTICORE,
+        } <= topics
+        assert len(cpds.outcomes) == 6  # the six listed outcomes
+
+    def test_second_year_placement(self):
+        assert rit_program().course("CSCI251").year == 2
+
+    def test_os_and_networking_are_electives_post_change(self):
+        """§IV-C: 'modified courses in operating systems and networking
+        were created as electives'."""
+        program = rit_program()
+        assert not program.course("CSCI452").required
+        assert not program.course("CSCI351").required
+
+    def test_early_thread_coverage(self):
+        """Threads start in CS2 (freshman year) and Mechanics of
+        Programming covers pthreads in depth."""
+        program = rit_program()
+        assert program.course("CSCI142").depth_of(PdcTopic.THREADS) is Depth.WORKING
+        assert program.course("CSCI243").depth_of(PdcTopic.THREADS) is Depth.MASTERY
+
+
+class TestComplianceEngine:
+    def test_three_case_studies_all_compliant(self):
+        """The paper's central claim: three different programs, three
+        compliant outcomes, two approaches."""
+        reports = [check_program(p) for p in case_study_programs()]
+        assert all(r.compliant for r in reports)
+        approaches = [r.approach for r in reports]
+        assert approaches.count(Approach.DEDICATED_COURSE) == 2
+        assert approaches.count(Approach.DISTRIBUTED) == 1
+
+    def test_insufficient_program_flagged(self):
+        bare = Program(
+            "Bare", "B",
+            courses=[
+                Course(f"C{i}", f"Course {i}", CourseType.ALGORITHMS, 4.0)
+                for i in range(10)
+            ] + [
+                Course("ARCH", "Arch", CourseType.ARCHITECTURE, 3.0),
+                Course("OS", "OS", CourseType.OPERATING_SYSTEMS, 3.0),
+                Course("DB", "DB", CourseType.DATABASE, 3.0),
+                Course("NET", "Net", CourseType.NETWORKS, 3.0),
+            ],
+        )
+        report = check_program(bare)
+        assert not report.compliant
+        assert report.approach is Approach.INSUFFICIENT
+
+    def test_two_topic_program_insufficient_approach(self):
+        program = Program(
+            "Thin", "T",
+            courses=[
+                Course("OS", "OS", CourseType.OPERATING_SYSTEMS, 40.0,
+                       coverage=[Coverage(PdcTopic.THREADS, Depth.EXPOSURE),
+                                 Coverage(PdcTopic.IPC, Depth.EXPOSURE)]),
+                Course("ARCH", "Arch", CourseType.ARCHITECTURE, 3.0),
+                Course("DB", "DB", CourseType.DATABASE, 3.0),
+                Course("NET", "Net", CourseType.NETWORKS, 3.0),
+            ],
+        )
+        report = check_program(program)
+        assert report.approach is Approach.INSUFFICIENT
+
+    def test_concept_coverage_reported(self):
+        report = check_program(lau_program())
+        assert set(report.concept_coverage) == set(CderConcept)
+
+    def test_summary_text(self):
+        summary = check_program(lau_program()).summary()
+        assert "COMPLIANT" in summary
+        assert "dedicated" in summary
+
+    def test_total_weight_positive_for_real_programs(self):
+        for program in case_study_programs():
+            assert check_program(program).total_weight > 10

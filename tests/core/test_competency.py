@@ -1,0 +1,63 @@
+"""Tests for the CC2020 competency checker."""
+
+import pytest
+
+from repro.core.cc2020 import CC2020_PDC_COMPETENCIES
+from repro.core.competency import check_syllabus
+from repro.pedagogy import build_lau_course, build_rit_course
+from repro.pedagogy.coursebuilder import Syllabus, SyllabusUnit
+from repro.pedagogy.labs import standard_labs
+
+
+class TestCheckSyllabus:
+    def test_rit_breadth_course_evidences_all_six(self):
+        """The breadth design's payoff: every CC2020 PDC competency has a
+        supporting lab."""
+        report = check_syllabus(build_rit_course())
+        assert report.complete
+        assert report.missing() == []
+
+    def test_lau_course_misses_processes_only(self):
+        """An honest finding: the dedicated parallel-programming course
+        does not teach process scheduling — LAU's OS course does (paper
+        §IV-A notes PDC also lives in other required courses)."""
+        report = check_syllabus(build_lau_course())
+        assert report.evidenced_count == 5
+        assert report.missing() == ["Processes"]
+
+    def test_every_competency_checked(self):
+        report = check_syllabus(build_rit_course())
+        names = {e.competency.name for e in report.evidence}
+        assert names == {c.name for c in CC2020_PDC_COMPETENCIES}
+
+    def test_supporting_labs_named(self):
+        report = check_syllabus(build_rit_course())
+        by_name = {e.competency.name: e for e in report.evidence}
+        queues = by_name["Properly synchronized queues"]
+        assert "smp-bounded-buffer" in queues.supporting_labs
+        dnc = by_name["Parallel divide-and-conquer algorithm"]
+        assert "algo-work-span" in dnc.supporting_labs
+
+    def test_empty_syllabus_evidences_nothing(self):
+        labs = {e.exercise_id: e for e in standard_labs()}
+        empty = Syllabus(
+            "Empty", [SyllabusUnit("u", 1.0, ["net-kv-protocol"])], labs
+        )
+        report = check_syllabus(empty)
+        assert report.evidenced_count == 0
+
+    def test_evidence_str(self):
+        report = check_syllabus(build_rit_course())
+        text = str(report.evidence[0])
+        assert "evidenced" in text
+
+    def test_sibling_modules_do_not_match(self):
+        """A scheduler lab must not evidence a sorting competency."""
+        from repro.core.competency import _modules_match
+
+        assert not _modules_match(
+            "repro.algorithms.sorting", ["repro.algorithms.dag"]
+        )
+        assert _modules_match("repro.smp.racedetect", ["repro.smp"])
+        assert _modules_match("repro.smp", ["repro.smp.racedetect"])
+        assert _modules_match("repro.smp.atomics", ["repro.smp.atomics"])

@@ -1,0 +1,123 @@
+"""Tests for the CS2013/CC2020/CE2016/SE2014 encodings (Tables II & III)."""
+
+import importlib
+
+import pytest
+
+from repro.core.cc2020 import CC2020_PDC_COMPETENCIES, competency_lab_index
+from repro.core.ce2016 import CE2016_AREA_COUNT, CE2016_AREAS, ce_pdc_table
+from repro.core.cs2013 import (
+    CS2013_PDC_DEFINITION,
+    PD_AREA,
+    pd_core_hours,
+    topic_units,
+)
+from repro.core.knowledge import CognitiveLevel
+from repro.core.se2014 import SEEK_AREA_COUNT, SEEK_AREAS, se_pdc_table
+
+
+class TestCs2013:
+    def test_definition_has_three_clauses(self):
+        assert len(CS2013_PDC_DEFINITION) == 3
+        assert "message-passing" in CS2013_PDC_DEFINITION[2].lower()
+
+    def test_core_hours_total_fifteen(self):
+        """CS2013's PD area carries 5 tier-1 + 10 tier-2 = 15 core hours."""
+        assert pd_core_hours() == 15.0
+
+    def test_core_units(self):
+        names = {u.name for u in PD_AREA.core_units()}
+        assert "Parallelism Fundamentals" in names
+        assert "Parallel Architecture" in names
+        assert "Distributed Systems" not in names  # elective
+
+    def test_every_unit_has_pdc_topics(self):
+        for unit in PD_AREA.units:
+            assert unit.pdc_topics(), unit.name
+
+    def test_unit_lookup(self):
+        unit = PD_AREA.unit("Communication and Coordination")
+        topic_names = {t.name for t in unit.topics}
+        assert "Atomicity" in topic_names
+        with pytest.raises(KeyError):
+            PD_AREA.unit("No Such Unit")
+
+    def test_topic_units_reference_real_units(self):
+        unit_names = {u.name for u in PD_AREA.units}
+        for units in topic_units.values():
+            assert set(units) <= unit_names
+
+
+class TestCc2020:
+    def test_six_named_topics(self):
+        """The paper names exactly six CC2020 PDC topics (§II-A)."""
+        names = {c.name.lower() for c in CC2020_PDC_COMPETENCIES}
+        assert len(CC2020_PDC_COMPETENCIES) == 6
+        for expected in (
+            "parallel divide-and-conquer algorithm",
+            "critical path",
+            "race conditions",
+            "processes",
+            "deadlocks",
+            "properly synchronized queues",
+        ):
+            assert expected in names
+
+    def test_competency_structure(self):
+        for c in CC2020_PDC_COMPETENCIES:
+            assert c.knowledge and c.skill and c.disposition
+            assert c.substrate_modules
+
+    def test_all_lab_modules_importable(self):
+        for entry in competency_lab_index():
+            for module in entry["modules"]:
+                importlib.import_module(module)
+
+
+class TestCe2016Table2:
+    def test_twelve_knowledge_areas(self):
+        assert len(CE2016_AREAS) == CE2016_AREA_COUNT == 12
+
+    def test_table2_exact_contents(self):
+        table = ce_pdc_table()
+        assert table == {
+            "Computing Algorithms": ["Parallel algorithms/threading"],
+            "Architecture and Organization": [
+                "Multi/Many-core architectures",
+                "Distributed system architectures",
+            ],
+            "Systems Resource Management": ["Concurrent processing support"],
+            "Software Design": ["Event-driven and concurrent programming"],
+        }
+
+    def test_pdc_units_are_core(self):
+        for area in CE2016_AREAS:
+            for unit in area.pdc_core_units():
+                assert unit.core
+
+    def test_non_pdc_areas_absent_from_table(self):
+        assert "Digital Design" not in ce_pdc_table()
+
+
+class TestSe2014Table3:
+    def test_ten_knowledge_areas(self):
+        assert len(SEEK_AREAS) == SEEK_AREA_COUNT == 10
+
+    def test_table3_exact_contents(self):
+        table = se_pdc_table()
+        assert list(table) == ["Computing Essentials"]
+        topics = table["Computing Essentials"]
+        assert (
+            "Concurrency primitives (e.g., semaphores and monitors)",
+            "APPLICATION",
+        ) in topics
+        assert any("distributed software" in t for t, _l in topics)
+
+    def test_both_topics_at_application_level(self):
+        """Paper §V: 'expected to be met at the application level'."""
+        for _topic, level in se_pdc_table()["Computing Essentials"]:
+            assert level == CognitiveLevel.APPLICATION.name
+
+    def test_cognitive_levels_ordered(self):
+        assert CognitiveLevel.KNOWLEDGE < CognitiveLevel.COMPREHENSION
+        assert CognitiveLevel.COMPREHENSION < CognitiveLevel.APPLICATION

@@ -1,0 +1,115 @@
+"""Tests for the table/figure renderers."""
+
+import pytest
+
+from repro.core.casestudies import case_study_programs
+from repro.core.compliance import check_program
+from repro.core.report import (
+    render_case_studies,
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.core.survey import analyze_survey, generate_survey
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return analyze_survey(generate_survey())
+
+
+class TestFig1:
+    def test_lists_all_five_areas(self):
+        text = render_fig1()
+        assert "40 semester credit hours" in text
+        for area in (
+            "computer architecture and organization",
+            "information management",
+            "networking and communication",
+            "operating systems",
+            "parallel and distributed computing",
+        ):
+            assert area in text
+
+
+class TestTable1:
+    def test_all_topics_rendered(self):
+        text = render_table1()
+        assert "Programming with threads" in text
+        assert "Flynn's taxonomy" in text
+        assert text.count("\n") >= 16
+
+    def test_x_mark_count_matches_paper(self):
+        text = render_table1()
+        data_lines = text.splitlines()[4:]
+        # Cells render as centered single 'x' in a 7-wide field; counting
+        # the padded pattern avoids the 'x' inside "Flynn's taxonomy".
+        marks = sum(line.count("   x   ") for line in data_lines)
+        assert marks == 29
+
+    def test_column_headers(self):
+        header = render_table1().splitlines()[2]
+        for col in ("SysProg", "Arch", "OS", "DB", "Net"):
+            assert col in header
+
+
+class TestFig2(object):
+    def test_all_topics_with_bars(self, analysis):
+        text = render_fig2(analysis)
+        assert "Parallelism and concurrency" in text
+        assert "#" in text
+        assert "(n=" in text
+
+    def test_sorted_descending(self, analysis):
+        text = render_fig2(analysis)
+        lines = [l for l in text.splitlines() if "(n=" in l]
+        weights = [float(l.split("#")[-1].split()[0]) for l in lines]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_first_bar_is_parallelism_concurrency(self, analysis):
+        lines = [l for l in render_fig2(analysis).splitlines() if "(n=" in l]
+        assert lines[0].startswith("Parallelism and concurrency")
+
+
+class TestFig3:
+    def test_reports_dedicated_count(self, analysis):
+        text = render_fig3(analysis)
+        assert "dedicated parallel-programming course: 1 of 20" in text
+
+    def test_percent_lines(self, analysis):
+        text = render_fig3(analysis)
+        assert "%" in text
+        assert "Computer Organization/Architecture" in text
+
+
+class TestTables2And3:
+    def test_table2_rows(self):
+        text = render_table2()
+        for area in (
+            "Computing Algorithms",
+            "Architecture and Organization",
+            "Systems Resource Management",
+            "Software Design",
+        ):
+            assert area in text
+        assert "Multi/Many-core architectures" in text
+        assert "Distributed system architectures" in text
+
+    def test_table3_rows(self):
+        text = render_table3()
+        assert "Computing Essentials" in text
+        assert "Concurrency primitives" in text
+        assert "application" in text
+
+
+class TestCaseStudyReport:
+    def test_three_verdicts(self):
+        reports = [check_program(p) for p in case_study_programs()]
+        text = render_case_studies(reports)
+        assert text.count("COMPLIANT") == 3
+        assert "Lebanese American University" in text
+        assert "Rochester Institute of Technology" in text
+        assert "American University in Cairo" in text

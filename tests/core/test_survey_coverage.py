@@ -1,0 +1,151 @@
+"""Tests for the coverage analysis and the §III survey (Figs. 2-3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import (
+    CoverageMatrix,
+    course_type_percentages,
+    topic_program_counts,
+    weighted_topic_scores,
+)
+from repro.core.course import Course, Coverage, Depth
+from repro.core.program import Program
+from repro.core.survey import SurveyAnalysis, analyze_survey, generate_survey
+from repro.core.taxonomy import CourseType, PdcTopic
+
+
+def _tiny_program():
+    return Program(
+        "Tiny", "T",
+        courses=[
+            Course("OS", "OS", CourseType.OPERATING_SYSTEMS,
+                   coverage=[
+                       Coverage(PdcTopic.THREADS, Depth.MASTERY),
+                       Coverage(PdcTopic.IPC, Depth.EXPOSURE),
+                   ]),
+            Course("ARCH", "Arch", CourseType.ARCHITECTURE,
+                   coverage=[Coverage(PdcTopic.THREADS, Depth.EXPOSURE)]),
+            Course("MATH", "Math", CourseType.ALGORITHMS),
+            Course("EL", "Elective", CourseType.NETWORKS, required=False,
+                   coverage=[Coverage(PdcTopic.CLIENT_SERVER, Depth.MASTERY)]),
+        ],
+    )
+
+
+class TestCoverageMatrix:
+    def test_shape_and_contents(self):
+        cm = CoverageMatrix.of(_tiny_program())
+        assert cm.matrix.shape == (14, 3)  # required courses only
+        assert cm.course_codes == ["OS", "ARCH", "MATH"]
+
+    def test_topic_weights(self):
+        weights = CoverageMatrix.of(_tiny_program()).topic_weights()
+        assert weights[PdcTopic.THREADS] == 4.0  # 3 + 1
+        assert weights[PdcTopic.IPC] == 1.0
+        assert weights[PdcTopic.CLIENT_SERVER] == 0.0  # elective excluded
+
+    def test_topic_course_counts_unweighted(self):
+        counts = CoverageMatrix.of(_tiny_program()).topic_course_counts()
+        assert counts[PdcTopic.THREADS] == 2
+        assert counts[PdcTopic.IPC] == 1
+
+    def test_covered_topics_and_courses(self):
+        cm = CoverageMatrix.of(_tiny_program())
+        assert set(cm.covered_topics()) == {PdcTopic.THREADS, PdcTopic.IPC}
+        assert cm.pdc_courses() == ["OS", "ARCH"]
+
+    def test_total_weight(self):
+        assert CoverageMatrix.of(_tiny_program()).total_weight() == 5.0
+
+    def test_weighted_vs_unweighted_aggregate(self):
+        programs = [_tiny_program(), _tiny_program()]
+        weighted = weighted_topic_scores(programs, weighted=True)
+        unweighted = weighted_topic_scores(programs, weighted=False)
+        assert weighted[PdcTopic.THREADS] == 8.0
+        assert unweighted[PdcTopic.THREADS] == 4.0
+
+    def test_topic_program_counts(self):
+        counts = topic_program_counts([_tiny_program(), _tiny_program()])
+        assert counts[PdcTopic.THREADS] == 2
+        assert counts[PdcTopic.FLYNN] == 0
+
+    def test_course_type_percentages_sum_to_100(self):
+        pct = course_type_percentages([_tiny_program()])
+        assert sum(pct.values()) == pytest.approx(100.0)
+        assert pct[CourseType.OPERATING_SYSTEMS] == pytest.approx(50.0)
+
+    def test_empty_percentages(self):
+        bare = Program("b", "b", courses=[Course("X", "x", CourseType.ALGORITHMS)])
+        assert course_type_percentages([bare]) == {}
+
+
+class TestSurveyGeneration:
+    def test_twenty_programs(self):
+        assert len(generate_survey()) == 20
+
+    def test_deterministic_for_seed(self):
+        a = analyze_survey(generate_survey(seed=2021))
+        b = analyze_survey(generate_survey(seed=2021))
+        assert a.topic_weights == b.topic_weights
+
+    def test_exactly_one_dedicated_course_program(self):
+        """Paper §III: 'only one program had a dedicated parallel
+        programming course'."""
+        analysis = analyze_survey(generate_survey())
+        assert analysis.dedicated_course_programs == 1
+
+    def test_every_program_accreditable(self):
+        from repro.core.compliance import check_program
+
+        for program in generate_survey():
+            assert check_program(program).compliant
+
+    def test_dedicated_index_validated(self):
+        with pytest.raises(ValueError):
+            generate_survey(n=5, dedicated_index=7)
+
+    def test_programs_have_distinct_names(self):
+        names = [p.name for p in generate_survey()]
+        assert len(set(names)) == 20
+
+
+class TestSurveyAnalysis:
+    @pytest.fixture(scope="class")
+    def analysis(self) -> SurveyAnalysis:
+        return analyze_survey(generate_survey())
+
+    def test_parallelism_concurrency_is_top_topic(self, analysis):
+        """Fig. 2's shape: the topic marked in all five Table-I columns
+        dominates the weighted sums."""
+        assert analysis.top_topics(1) == [PdcTopic.PARALLELISM_CONCURRENCY]
+
+    def test_all_topics_covered_somewhere(self, analysis):
+        assert all(count > 0 for count in analysis.topic_counts.values())
+
+    def test_architecture_and_os_lead_fig3(self, analysis):
+        """Fig. 3's shape: OS/architecture are the main PDC carriers."""
+        top3 = analysis.top_course_types(3)
+        assert CourseType.ARCHITECTURE in top3
+        assert CourseType.OPERATING_SYSTEMS in top3 or (
+            CourseType.SYSTEMS_PROGRAMMING in top3
+        )
+
+    def test_dedicated_course_is_a_tiny_slice(self, analysis):
+        pct = analysis.course_percentages
+        assert pct[CourseType.PARALLEL_PROGRAMMING] < 5.0
+
+    def test_percentages_sum_to_100(self, analysis):
+        assert sum(analysis.course_percentages.values()) == pytest.approx(100.0)
+
+    def test_weighted_scores_dominate_counts(self, analysis):
+        for topic in PdcTopic:
+            assert analysis.topic_weights[topic] >= analysis.topic_counts[topic]
+
+    def test_analysis_runs_on_case_studies_too(self):
+        """The same pipeline the paper applies to real programs."""
+        from repro.core.casestudies import case_study_programs
+
+        analysis = analyze_survey(case_study_programs())
+        assert analysis.num_programs == 3
+        assert analysis.dedicated_course_programs == 2  # LAU and RIT

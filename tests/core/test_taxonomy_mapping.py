@@ -1,0 +1,122 @@
+"""Tests for the PDC taxonomy and the Table I mapping."""
+
+import importlib
+
+import pytest
+
+from repro.core.mapping import SUBSTRATE_INDEX, TABLE_I, substrate_for, verify_substrates
+from repro.core.taxonomy import (
+    TOPIC_CONCEPTS,
+    CderConcept,
+    CourseType,
+    PdcTopic,
+    topics_for_concept,
+)
+
+
+class TestTaxonomy:
+    def test_fourteen_topics(self):
+        """Table I has exactly fourteen rows."""
+        assert len(PdcTopic) == 14
+
+    def test_topic_labels_match_paper_rows(self):
+        assert PdcTopic.THREADS.label == "Programming with threads"
+        assert PdcTopic.FLYNN.label == "Flynn's taxonomy"
+        assert (
+            PdcTopic.PERFORMANCE.label
+            == "Performance measurement, speed-up, and scalability"
+        )
+
+    def test_five_table1_columns(self):
+        table1_types = [ct for ct in CourseType if ct.in_table1]
+        assert len(table1_types) == 5
+
+    def test_dedicated_course_not_a_table1_column(self):
+        assert not CourseType.PARALLEL_PROGRAMMING.in_table1
+
+    def test_every_topic_has_cder_concepts(self):
+        for topic in PdcTopic:
+            assert TOPIC_CONCEPTS[topic], topic
+
+    def test_all_three_concepts_used(self):
+        for concept in CderConcept:
+            assert topics_for_concept(concept)
+
+    def test_client_server_is_distribution(self):
+        assert CderConcept.DISTRIBUTION in TOPIC_CONCEPTS[PdcTopic.CLIENT_SERVER]
+
+
+class TestTableI:
+    def test_all_topics_mapped(self):
+        assert set(TABLE_I) == set(PdcTopic)
+
+    def test_parallelism_concurrency_in_all_five_columns(self):
+        """The paper marks 'Parallelism and concurrency' in every column."""
+        assert len(TABLE_I[PdcTopic.PARALLELISM_CONCURRENCY]) == 5
+
+    def test_exact_paper_cells_spot_checks(self):
+        assert TABLE_I[PdcTopic.TRANSACTIONS] == {CourseType.DATABASE}
+        assert TABLE_I[PdcTopic.FLYNN] == {CourseType.ARCHITECTURE}
+        assert TABLE_I[PdcTopic.ILP] == {CourseType.ARCHITECTURE}
+        assert TABLE_I[PdcTopic.SIMD_VECTOR] == {CourseType.ARCHITECTURE}
+        assert TABLE_I[PdcTopic.PERFORMANCE] == {CourseType.ARCHITECTURE}
+        assert TABLE_I[PdcTopic.MULTICORE] == {CourseType.ARCHITECTURE}
+        assert TABLE_I[PdcTopic.CLIENT_SERVER] == {
+            CourseType.SYSTEMS_PROGRAMMING,
+            CourseType.NETWORKS,
+        }
+        assert TABLE_I[PdcTopic.MEMORY_CACHING] == {
+            CourseType.SYSTEMS_PROGRAMMING,
+            CourseType.ARCHITECTURE,
+            CourseType.OPERATING_SYSTEMS,
+        }
+
+    def test_threads_row(self):
+        assert TABLE_I[PdcTopic.THREADS] == {
+            CourseType.SYSTEMS_PROGRAMMING,
+            CourseType.OPERATING_SYSTEMS,
+            CourseType.NETWORKS,
+        }
+
+    def test_total_mark_count(self):
+        """Table I contains 29 x-marks (3+1+5+2+3+2+1+1+3+1+1+1+2+3)."""
+        assert sum(len(cols) for cols in TABLE_I.values()) == 29
+
+    def test_only_table1_columns_used(self):
+        for cols in TABLE_I.values():
+            assert all(c.in_table1 for c in cols)
+
+    def test_architecture_column_has_most_topics(self):
+        by_column = {}
+        for topic, cols in TABLE_I.items():
+            for col in cols:
+                by_column[col] = by_column.get(col, 0) + 1
+        top = max(by_column.values())
+        leaders = {c for c, n in by_column.items() if n == top}
+        # Architecture and systems programming tie at 8 marks each.
+        assert leaders == {
+            CourseType.ARCHITECTURE,
+            CourseType.SYSTEMS_PROGRAMMING,
+        }
+
+
+class TestSubstrateIndex:
+    def test_every_topic_has_substrate(self):
+        assert set(SUBSTRATE_INDEX) == set(PdcTopic)
+        for modules in SUBSTRATE_INDEX.values():
+            assert modules
+
+    def test_every_module_importable(self):
+        verified = verify_substrates()
+        assert set(verified) == set(PdcTopic)
+
+    def test_substrate_for_returns_copy(self):
+        modules = substrate_for(PdcTopic.ATOMICITY)
+        modules.append("fake")
+        assert "fake" not in SUBSTRATE_INDEX[PdcTopic.ATOMICITY]
+
+    @pytest.mark.parametrize("topic", list(PdcTopic))
+    def test_modules_belong_to_repro(self, topic):
+        for module in SUBSTRATE_INDEX[topic]:
+            assert module.startswith("repro.")
+            importlib.import_module(module)

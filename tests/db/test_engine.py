@@ -1,0 +1,150 @@
+"""Tests for the concurrent transaction engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    DeadlockPolicy,
+    Op,
+    Transaction,
+    TransactionEngine,
+    is_conflict_serializable,
+)
+from repro.db.engine import committed_projection
+from repro.db.serializability import is_recoverable
+
+
+def _deadlock_pair():
+    t1 = Transaction(1, [Op.read(1, "x"), Op.write(1, "y")])
+    t2 = Transaction(2, [Op.read(2, "y"), Op.write(2, "x")])
+    return [t1, t2]
+
+
+class TestBasicExecution:
+    def test_single_transaction_commits(self):
+        t = Transaction(1, [Op.read(1, "x"), Op.write(1, "x")])
+        report = TransactionEngine([t]).run()
+        assert report.committed == [1]
+        assert report.aborts == 0
+
+    def test_duplicate_tids_rejected(self):
+        t = Transaction(1, [Op.read(1, "x")])
+        with pytest.raises(ValueError):
+            TransactionEngine([t, t])
+
+    def test_non_conflicting_run_concurrently(self):
+        t1 = Transaction(1, [Op.write(1, "a")])
+        t2 = Transaction(2, [Op.write(2, "b")])
+        report = TransactionEngine([t1, t2]).run()
+        assert sorted(report.committed) == [1, 2]
+        assert report.deadlocks == 0
+
+    def test_history_records_commits(self):
+        t = Transaction(1, [Op.write(1, "x")])
+        report = TransactionEngine([t]).run()
+        assert str(report.history) == "w1(x) c1"
+
+    def test_explicit_turn_order(self):
+        t1 = Transaction(1, [Op.write(1, "a")])
+        t2 = Transaction(2, [Op.write(2, "b")])
+        report = TransactionEngine([t1, t2]).run(turn_order=[2, 1, 2, 1])
+        assert report.history.ops[0].txn == 2
+
+
+class TestDeadlockHandling:
+    @pytest.mark.parametrize("policy", list(DeadlockPolicy))
+    def test_all_policies_complete_the_classic_deadlock(self, policy):
+        engine = TransactionEngine(_deadlock_pair(), policy=policy)
+        report = engine.run()
+        assert sorted(report.committed) == [1, 2]
+        assert report.aborts >= 1
+
+    def test_detection_counts_deadlocks(self):
+        report = TransactionEngine(
+            _deadlock_pair(), policy=DeadlockPolicy.DETECTION
+        ).run()
+        assert report.deadlocks == 1
+
+    def test_victim_retries_and_commits(self):
+        report = TransactionEngine(_deadlock_pair()).run()
+        aborts_in_history = sum(
+            1 for op in report.history.ops if op.kind.value == "a"
+        )
+        assert aborts_in_history == report.aborts
+
+
+class TestSerializabilityGuarantee:
+    def test_committed_projection_serializable(self):
+        report = TransactionEngine(_deadlock_pair()).run()
+        assert is_conflict_serializable(committed_projection(report.history))
+
+    def test_history_recoverable(self):
+        report = TransactionEngine(_deadlock_pair()).run()
+        assert is_recoverable(committed_projection(report.history))
+
+    def test_projection_drops_aborted_attempts(self):
+        report = TransactionEngine(_deadlock_pair()).run()
+        proj = committed_projection(report.history)
+        assert all(op.kind.value != "a" for op in proj.ops)
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.sampled_from(list(DeadlockPolicy)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_strict_2pl_always_serializable(self, seed, policy):
+        rng = np.random.default_rng(seed)
+        txns = []
+        for i in range(1, 6):
+            items = rng.choice(["a", "b", "c"], size=3)
+            ops = [
+                Op.read(i, str(it)) if j % 2 == 0 else Op.write(i, str(it))
+                for j, it in enumerate(items)
+            ]
+            txns.append(Transaction(i, ops))
+        report = TransactionEngine(txns, policy=policy).run()
+        assert sorted(report.committed) == [1, 2, 3, 4, 5]
+        assert is_conflict_serializable(committed_projection(report.history))
+
+
+class TestSemantics:
+    def _transfer(self, amount):
+        def fn(snap):
+            return {"A": snap["A"] - amount, "B": snap["B"] + amount}
+
+        return fn
+
+    def _transfer_txn(self, tid, amount):
+        return Transaction(
+            tid,
+            [Op.read(tid, "A"), Op.read(tid, "B"),
+             Op.write(tid, "A"), Op.write(tid, "B")],
+            compute=self._transfer(amount),
+        )
+
+    def test_concurrent_transfers_conserve_money(self):
+        engine = TransactionEngine(
+            [self._transfer_txn(1, 10), self._transfer_txn(2, 5)],
+            database={"A": 100, "B": 0},
+        )
+        report = engine.run()
+        assert report.database["A"] + report.database["B"] == 100
+        assert report.database["B"] == 15
+
+    def test_rollback_restores_database(self):
+        # The deadlock pair writes markers; after retries the final state
+        # must reflect only committed work.
+        report = TransactionEngine(_deadlock_pair()).run()
+        assert report.database["x"] == "T2"
+        assert report.database["y"] == "T1"
+
+    def test_default_write_marker(self):
+        t = Transaction(1, [Op.write(1, "k")])
+        report = TransactionEngine([t]).run()
+        assert report.database["k"] == "T1"
+
+    def test_abort_rate(self):
+        report = TransactionEngine(_deadlock_pair()).run()
+        assert report.abort_rate == pytest.approx(report.aborts / 2)

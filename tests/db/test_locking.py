@@ -1,0 +1,150 @@
+"""Tests for the 2PL lock manager and deadlock policies."""
+
+import pytest
+
+from repro.db import DeadlockPolicy, LockManager, LockMode, TransactionAborted
+
+
+class TestCompatibility:
+    def test_shared_locks_compatible(self):
+        lm = LockManager()
+        assert lm.acquire(1, "x", LockMode.S)
+        assert lm.acquire(2, "x", LockMode.S)
+        assert lm.holders_of("x") == {1, 2}
+
+    def test_exclusive_blocks_shared(self):
+        lm = LockManager()
+        assert lm.acquire(1, "x", LockMode.X)
+        assert not lm.acquire(2, "x", LockMode.S)
+
+    def test_shared_blocks_exclusive(self):
+        lm = LockManager()
+        lm.acquire(1, "x", LockMode.S)
+        assert not lm.acquire(2, "x", LockMode.X)
+
+    def test_reentrant(self):
+        lm = LockManager()
+        assert lm.acquire(1, "x", LockMode.X)
+        assert lm.acquire(1, "x", LockMode.X)
+
+    def test_sole_holder_upgrade(self):
+        lm = LockManager()
+        lm.acquire(1, "x", LockMode.S)
+        assert lm.acquire(1, "x", LockMode.X)
+
+    def test_shared_holder_cannot_upgrade_past_others(self):
+        lm = LockManager()
+        lm.acquire(1, "x", LockMode.S)
+        lm.acquire(2, "x", LockMode.S)
+        assert not lm.acquire(1, "x", LockMode.X)
+
+
+class TestFifoFairness:
+    def test_no_barging_past_queued_waiter(self):
+        lm = LockManager()
+        lm.acquire(1, "x", LockMode.X)
+        assert not lm.acquire(2, "x", LockMode.X)  # T2 queues
+        lm.release_all(1)
+        # T3 arrives after T2; even though x is free, T2 is ahead.
+        assert not lm.acquire(3, "x", LockMode.S)
+        assert lm.acquire(2, "x", LockMode.X)
+
+    def test_queue_cleared_on_release_all(self):
+        lm = LockManager()
+        lm.acquire(1, "x", LockMode.X)
+        lm.acquire(2, "x", LockMode.X)
+        lm.release_all(2)  # T2 gives up its wait
+        lm.release_all(1)
+        assert lm.acquire(3, "x", LockMode.X)
+
+
+class TestRelease:
+    def test_release_all_frees_items(self):
+        lm = LockManager()
+        lm.acquire(1, "x", LockMode.X)
+        lm.acquire(1, "y", LockMode.S)
+        freed = lm.release_all(1)
+        assert set(freed) == {"x", "y"}
+        assert lm.holders_of("x") == set()
+
+    def test_partial_release_downgrades_mode(self):
+        lm = LockManager()
+        lm.acquire(1, "x", LockMode.S)
+        lm.acquire(2, "x", LockMode.S)
+        lm.release_all(1)
+        assert lm.holders_of("x") == {2}
+
+    def test_locks_held_listing(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.S)
+        lm.acquire(1, "b", LockMode.X)
+        held = dict(lm.locks_held(1))
+        assert held == {"a": LockMode.S, "b": LockMode.X}
+
+
+class TestDetection:
+    def test_cycle_aborts_youngest(self):
+        lm = LockManager(DeadlockPolicy.DETECTION)
+        lm.acquire(1, "x", LockMode.X)
+        lm.acquire(2, "y", LockMode.X)
+        assert not lm.acquire(1, "y", LockMode.X)
+        with pytest.raises(TransactionAborted) as exc:
+            lm.acquire(2, "x", LockMode.X)
+        assert exc.value.txn == 2
+        assert exc.value.reason == "deadlock-victim"
+        assert lm.deadlocks_detected == 1
+
+    def test_no_false_positive_on_simple_wait(self):
+        lm = LockManager(DeadlockPolicy.DETECTION)
+        lm.acquire(1, "x", LockMode.X)
+        assert not lm.acquire(2, "x", LockMode.X)
+        assert lm.deadlocks_detected == 0
+
+    def test_victim_rotation_via_abort_counts(self):
+        lm = LockManager(DeadlockPolicy.DETECTION)
+        lm._abort_counts[2] = 5  # T2 already aborted a lot
+        lm.acquire(1, "x", LockMode.X)
+        lm.acquire(2, "y", LockMode.X)
+        lm.acquire(2, "x", LockMode.X)
+        with pytest.raises(TransactionAborted) as exc:
+            lm.acquire(1, "y", LockMode.X)
+        assert exc.value.txn == 1  # fewest prior aborts loses
+
+
+class TestWaitDie:
+    def test_younger_requester_dies(self):
+        lm = LockManager(DeadlockPolicy.WAIT_DIE)
+        lm.acquire(1, "x", LockMode.X)  # older holder
+        with pytest.raises(TransactionAborted) as exc:
+            lm.acquire(2, "x", LockMode.X)
+        assert exc.value.txn == 2
+        assert exc.value.reason == "wait-die"
+
+    def test_older_requester_waits(self):
+        lm = LockManager(DeadlockPolicy.WAIT_DIE)
+        lm.acquire(2, "x", LockMode.X)  # younger holder
+        assert lm.acquire(1, "x", LockMode.X) is False  # older waits
+        assert lm.waiting(1) == ("x", LockMode.X)
+
+
+class TestWoundWait:
+    def test_older_wounds_younger_holder(self):
+        lm = LockManager(DeadlockPolicy.WOUND_WAIT)
+        lm.acquire(2, "x", LockMode.X)
+        with pytest.raises(TransactionAborted) as exc:
+            lm.acquire(1, "x", LockMode.X)
+        assert exc.value.txns == [2]
+        assert exc.value.reason == "wounded"
+
+    def test_wounds_all_younger_shared_holders(self):
+        lm = LockManager(DeadlockPolicy.WOUND_WAIT)
+        lm.acquire(2, "x", LockMode.S)
+        lm.acquire(3, "x", LockMode.S)
+        with pytest.raises(TransactionAborted) as exc:
+            lm.acquire(1, "x", LockMode.X)
+        assert set(exc.value.txns) == {2, 3}
+
+    def test_younger_requester_waits(self):
+        lm = LockManager(DeadlockPolicy.WOUND_WAIT)
+        lm.acquire(1, "x", LockMode.X)
+        assert lm.acquire(2, "x", LockMode.X) is False

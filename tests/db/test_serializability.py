@@ -1,0 +1,160 @@
+"""Tests for schedules and conflict-serializability."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    Op,
+    Schedule,
+    Transaction,
+    conflicts,
+    is_conflict_serializable,
+    precedence_graph,
+    serial_order,
+)
+from repro.db.serializability import is_recoverable
+from repro.db.transaction import OpKind
+
+
+class TestScheduleParsing:
+    def test_parse_roundtrip(self):
+        text = "r1(x) w2(x) c1 a2"
+        assert str(Schedule.parse(text)) == text
+
+    def test_parse_kinds(self):
+        s = Schedule.parse("r1(x) w1(y) c1")
+        assert [op.kind for op in s.ops] == [OpKind.READ, OpKind.WRITE, OpKind.COMMIT]
+
+    def test_transactions_in_order(self):
+        s = Schedule.parse("r2(x) r1(x) r3(x)")
+        assert s.transactions() == [2, 1, 3]
+
+    def test_is_serial(self):
+        assert Schedule.parse("r1(x) w1(x) c1 r2(x) c2").is_serial()
+        assert not Schedule.parse("r1(x) r2(x) w1(x)").is_serial()
+
+    def test_projected(self):
+        s = Schedule.parse("r1(x) r2(y) w1(x)")
+        assert [str(op) for op in s.projected(1)] == ["r1(x)", "w1(x)"]
+
+    def test_serial_builder(self):
+        t1 = Transaction(1, [Op.read(1, "x")])
+        t2 = Transaction(2, [Op.write(2, "x")])
+        s = Schedule.serial([t1, t2], [2, 1])
+        assert str(s) == "w2(x) c2 r1(x) c1"
+
+    def test_transaction_validates_ownership(self):
+        with pytest.raises(ValueError):
+            Transaction(1, [Op.read(2, "x")])
+
+    def test_transaction_rejects_explicit_commit(self):
+        with pytest.raises(ValueError):
+            Transaction(1, [Op.commit(1)])
+
+    def test_read_write_sets(self):
+        t = Transaction(1, [Op.read(1, "x"), Op.write(1, "y"), Op.read(1, "x")])
+        assert t.read_set() == ["x"]
+        assert t.write_set() == ["y"]
+
+
+class TestConflicts:
+    def test_rw_conflict(self):
+        s = Schedule.parse("r1(x) w2(x)")
+        assert len(conflicts(s)) == 1
+
+    def test_rr_no_conflict(self):
+        assert conflicts(Schedule.parse("r1(x) r2(x)")) == []
+
+    def test_different_items_no_conflict(self):
+        assert conflicts(Schedule.parse("w1(x) w2(y)")) == []
+
+    def test_same_txn_no_conflict(self):
+        assert conflicts(Schedule.parse("r1(x) w1(x)")) == []
+
+    def test_ww_conflict(self):
+        assert len(conflicts(Schedule.parse("w1(x) w2(x)"))) == 1
+
+
+class TestSerializability:
+    def test_classic_nonserializable(self):
+        # Lost update: r1 r2 w1 w2 on the same item.
+        s = Schedule.parse("r1(x) r2(x) w1(x) w2(x) c1 c2")
+        assert not is_conflict_serializable(s)
+        assert serial_order(s) is None
+
+    def test_serializable_interleaving(self):
+        s = Schedule.parse("r1(x) w1(x) r2(x) w2(x) c1 c2")
+        assert is_conflict_serializable(s)
+        assert serial_order(s) == [1, 2]
+
+    def test_serial_always_serializable(self):
+        s = Schedule.parse("r1(x) w1(y) c1 r2(y) w2(x) c2")
+        assert is_conflict_serializable(s)
+
+    def test_equivalent_order_respects_conflicts(self):
+        s = Schedule.parse("w2(x) r1(x) w1(y) c1 c2")
+        assert serial_order(s) == [2, 1]
+
+    def test_precedence_graph_nodes(self):
+        s = Schedule.parse("r1(x) r2(y) r3(z)")
+        g = precedence_graph(s)
+        assert set(g.nodes) == {1, 2, 3}
+        assert g.number_of_edges() == 0
+
+    def test_three_transaction_cycle(self):
+        s = Schedule.parse("w1(x) r2(x) w2(y) r3(y) w3(z) r1(z)")
+        # Edges 1->2, 2->3, 3->1... wait: r1(z) after w3(z) gives 3->1.
+        assert not is_conflict_serializable(s)
+
+    def test_serial_order_deterministic_lowest_first(self):
+        s = Schedule.parse("r1(a) r2(b) r3(c)")  # no conflicts: any order legal
+        assert serial_order(s) == [1, 2, 3]
+
+
+class TestRecoverability:
+    def test_unrecoverable_dirty_read_commit_order(self):
+        assert not is_recoverable(Schedule.parse("w1(x) r2(x) c2 c1"))
+
+    def test_recoverable_when_writer_commits_first(self):
+        assert is_recoverable(Schedule.parse("w1(x) r2(x) c1 c2"))
+
+    def test_own_write_read_is_fine(self):
+        assert is_recoverable(Schedule.parse("w1(x) r1(x) c1"))
+
+    def test_no_commit_yet_is_recoverable_so_far(self):
+        assert is_recoverable(Schedule.parse("w1(x) r2(x)"))
+
+
+def _random_schedule_strategy():
+    op = st.tuples(
+        st.integers(1, 3),
+        st.sampled_from(["r", "w"]),
+        st.sampled_from(["x", "y"]),
+    )
+    return st.lists(op, min_size=1, max_size=8)
+
+
+@given(_random_schedule_strategy())
+@settings(max_examples=100, deadline=None)
+def test_property_checker_matches_bruteforce(spec):
+    """The precedence-graph test agrees with brute-force search over all
+    serial orders (checking conflict-order equivalence)."""
+    ops = [
+        Op.read(t, item) if kind == "r" else Op.write(t, item)
+        for t, kind, item in spec
+    ]
+    schedule = Schedule(ops)
+    txns = schedule.transactions()
+
+    def equivalent_to_some_serial() -> bool:
+        pairs = conflicts(schedule)
+        for perm in itertools.permutations(txns):
+            position = {t: i for i, t in enumerate(perm)}
+            if all(position[a.txn] < position[b.txn] for a, b in pairs):
+                return True
+        return False
+
+    assert is_conflict_serializable(schedule) == equivalent_to_some_serial()

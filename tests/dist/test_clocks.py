@@ -1,0 +1,137 @@
+"""Tests for logical clocks and happens-before."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.clocks import (
+    LamportClock,
+    VectorClock,
+    concurrent,
+    happens_before,
+    run_message_trace,
+)
+
+
+class TestLamport:
+    def test_tick_monotone(self):
+        clock = LamportClock()
+        stamps = [clock.tick() for _ in range(5)]
+        assert stamps == [1, 2, 3, 4, 5]
+
+    def test_receive_jumps_past_message(self):
+        clock = LamportClock()
+        clock.tick()  # 1
+        assert clock.on_receive(10) == 11
+
+    def test_receive_of_old_message_still_advances(self):
+        clock = LamportClock()
+        for _ in range(5):
+            clock.tick()
+        assert clock.on_receive(2) == 6
+
+    def test_send_receive_ordering(self):
+        a, b = LamportClock(), LamportClock()
+        ts = a.stamp_send()
+        assert b.on_receive(ts) > ts
+
+
+class TestVector:
+    def test_tick_advances_own_component(self):
+        v = VectorClock(1, 3)
+        assert v.tick() == (0, 1, 0)
+
+    def test_receive_merges_and_advances(self):
+        v = VectorClock(0, 3)
+        v.tick()  # (1,0,0)
+        assert v.on_receive((0, 5, 2)) == (2, 5, 2)
+
+    def test_pid_validation(self):
+        with pytest.raises(ValueError):
+            VectorClock(3, 3)
+
+    def test_snapshot_immutable(self):
+        v = VectorClock(0, 2)
+        snap = v.tick()
+        v.tick()
+        assert snap == (1, 0)
+
+
+class TestHappensBefore:
+    def test_strict_componentwise(self):
+        assert happens_before((1, 0), (2, 1))
+        assert not happens_before((2, 1), (1, 0))
+
+    def test_equal_not_ordered(self):
+        assert not happens_before((1, 1), (1, 1))
+
+    def test_concurrent(self):
+        assert concurrent((1, 0), (0, 1))
+        assert not concurrent((1, 0), (2, 0))
+        assert not concurrent((1, 1), (1, 1))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            happens_before((1,), (1, 2))
+
+
+class TestTrace:
+    def test_causal_chain_ordered_by_vectors(self):
+        events = run_message_trace(
+            3, [("msg", 0, 1), ("msg", 1, 2)]
+        )
+        send0, recv1, send1, recv2 = events
+        assert happens_before(send0.vector, recv2.vector)
+        assert recv2.lamport > send0.lamport
+
+    def test_concurrent_events_detected(self):
+        events = run_message_trace(2, [("local", 0, 0), ("local", 1, 0)])
+        assert concurrent(events[0].vector, events[1].vector)
+
+    def test_lamport_consistent_with_causality(self):
+        """a -> b implies L(a) < L(b) on every pair of trace events."""
+        events = run_message_trace(
+            3,
+            [("local", 0, 0), ("msg", 0, 1), ("local", 2, 0),
+             ("msg", 1, 2), ("msg", 2, 0)],
+        )
+        for a in events:
+            for b in events:
+                if happens_before(a.vector, b.vector):
+                    assert a.lamport < b.lamport
+
+    def test_lamport_converse_fails_somewhere(self):
+        """The lecture point: L(a) < L(b) does NOT imply a -> b."""
+        events = run_message_trace(
+            3, [("local", 0, 0), ("local", 0, 0), ("local", 1, 0)]
+        )
+        found = any(
+            a.lamport < b.lamport and not happens_before(a.vector, b.vector)
+            for a in events
+            for b in events
+        )
+        assert found
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(ValueError):
+            run_message_trace(2, [("teleport", 0, 1)])
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("local"), st.integers(0, 2), st.just(0)),
+            st.tuples(st.just("msg"), st.integers(0, 2), st.integers(0, 2)),
+        ),
+        max_size=30,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_clock_condition(actions):
+    """Vector happens-before always implies strictly smaller Lamport time."""
+    actions = [a for a in actions if not (a[0] == "msg" and a[1] == a[2])]
+    events = run_message_trace(3, actions)
+    for a in events:
+        for b in events:
+            if happens_before(a.vector, b.vector):
+                assert a.lamport < b.lamport

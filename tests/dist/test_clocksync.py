@@ -1,0 +1,101 @@
+"""Tests for physical clock synchronization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.clocksync import DriftingClock, berkeley_sync, cristian_sync
+
+
+class TestDriftingClock:
+    def test_read_with_drift(self):
+        clock = DriftingClock("c", offset=10.0, rate=1.001)
+        assert clock.read(1000.0) == pytest.approx(10.0 + 1001.0)
+
+    def test_adjust_shifts_offset_only(self):
+        clock = DriftingClock("c", offset=5.0, rate=2.0)
+        clock.adjust(-5.0)
+        assert clock.read(0.0) == 0.0
+        assert clock.read(1.0) == 2.0  # rate error persists
+
+
+class TestCristian:
+    def test_residual_within_bound(self):
+        client = DriftingClock("client", offset=37.0)
+        server = DriftingClock("server", offset=0.0)
+        residual, bound = cristian_sync(client, server, true_time=100.0, rtt=0.4)
+        assert bound == pytest.approx(0.2)
+        assert residual <= bound + 1e-9
+
+    def test_zero_rtt_exact(self):
+        client = DriftingClock("client", offset=-12.0)
+        server = DriftingClock("server", offset=3.0)
+        residual, _ = cristian_sync(client, server, true_time=50.0, rtt=0.0)
+        assert residual == pytest.approx(0.0)
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            cristian_sync(DriftingClock("a"), DriftingClock("b"), 0.0, -1.0)
+
+    @given(
+        st.floats(-1000, 1000),
+        st.floats(-1000, 1000),
+        st.floats(0.0, 2.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_bound_always_holds(self, client_off, server_off, rtt):
+        client = DriftingClock("c", offset=client_off)
+        server = DriftingClock("s", offset=server_off)
+        residual, bound = cristian_sync(client, server, 10.0, rtt)
+        assert residual <= bound + 1e-6
+
+
+class TestBerkeley:
+    def _fleet(self):
+        return [
+            DriftingClock("master", offset=0.0),
+            DriftingClock("a", offset=12.0),
+            DriftingClock("b", offset=-8.0),
+            DriftingClock("c", offset=3.0),
+        ]
+
+    def test_spread_collapses(self):
+        clocks = self._fleet()
+        report = berkeley_sync(clocks, true_time=500.0)
+        assert report.spread_before == pytest.approx(20.0)
+        assert report.spread_after == pytest.approx(0.0, abs=1e-9)
+
+    def test_converges_to_average_not_master(self):
+        clocks = self._fleet()
+        berkeley_sync(clocks, true_time=0.0)
+        # Average offset of {0, 12, -8, 3} is 1.75.
+        assert clocks[0].read(0.0) == pytest.approx(1.75)
+
+    def test_outlier_discarded_from_average_but_fixed(self):
+        clocks = self._fleet() + [DriftingClock("broken", offset=10_000.0)]
+        report = berkeley_sync(clocks, true_time=0.0, outlier_threshold=100.0)
+        assert report.discarded == ["broken"]
+        # Average excludes the outlier...
+        assert report.average_adjustment == pytest.approx(1.75)
+        # ...but the outlier still gets slewed onto the group.
+        assert clocks[-1].read(0.0) == pytest.approx(1.75)
+
+    def test_master_included_in_average(self):
+        clocks = [DriftingClock("m", offset=10.0), DriftingClock("x", offset=0.0)]
+        berkeley_sync(clocks, true_time=0.0)
+        assert clocks[0].read(0.0) == pytest.approx(5.0)
+        assert clocks[1].read(0.0) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            berkeley_sync([], 0.0)
+        with pytest.raises(ValueError):
+            berkeley_sync([DriftingClock("x")], 0.0, master_index=5)
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_property_spread_never_grows(self, offsets):
+        clocks = [DriftingClock(f"c{i}", offset=o) for i, o in enumerate(offsets)]
+        report = berkeley_sync(clocks, true_time=42.0)
+        assert report.spread_after <= report.spread_before + 1e-6
+        assert report.spread_after == pytest.approx(0.0, abs=1e-6)

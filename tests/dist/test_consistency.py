@@ -1,0 +1,136 @@
+"""Tests for consistency checkers and eventual consistency."""
+
+import pytest
+
+from repro.dist.consistency import (
+    EventuallyConsistentStore,
+    HistoryEvent,
+    is_linearizable,
+    is_sequentially_consistent,
+)
+
+
+def _w(proc, reg, val, start, end):
+    return HistoryEvent(proc, "w", reg, val, start, end)
+
+
+def _r(proc, reg, val, start, end):
+    return HistoryEvent(proc, "r", reg, val, start, end)
+
+
+class TestLinearizability:
+    def test_simple_write_then_read(self):
+        history = [_w(0, "x", 1, 0, 1), _r(1, "x", 1, 2, 3)]
+        assert is_linearizable(history)
+
+    def test_stale_read_after_write_completes(self):
+        history = [_w(0, "x", 1, 0, 1), _r(1, "x", None, 2, 3)]
+        assert not is_linearizable(history)
+
+    def test_overlapping_ops_flexible(self):
+        # Read overlaps the write: may see either old or new value.
+        old = [_w(0, "x", 1, 0, 10), _r(1, "x", None, 1, 2)]
+        new = [_w(0, "x", 1, 0, 10), _r(1, "x", 1, 1, 2)]
+        assert is_linearizable(old)
+        assert is_linearizable(new)
+
+    def test_two_registers(self):
+        history = [
+            _w(0, "x", 1, 0, 1),
+            _w(0, "y", 2, 2, 3),
+            _r(1, "y", 2, 4, 5),
+            _r(1, "x", 1, 6, 7),
+        ]
+        assert is_linearizable(history)
+
+    def test_initial_value_configurable(self):
+        history = [_r(0, "x", 0, 0, 1)]
+        assert is_linearizable(history, initial=0)
+        assert not is_linearizable(history, initial=None)
+
+    def test_size_limit(self):
+        big = [_w(0, "x", i, i, i + 0.5) for i in range(10)]
+        with pytest.raises(ValueError):
+            is_linearizable(big)
+
+
+class TestSequentialConsistency:
+    def test_sc_but_not_linearizable(self):
+        """The classic separator: a read returning the initial value after
+        a write completed in real time is SC (reorder across processes)
+        but not linearizable."""
+        history = [_w(0, "x", 1, 0, 1), _r(1, "x", None, 2, 3)]
+        assert is_sequentially_consistent(history)
+        assert not is_linearizable(history)
+
+    def test_program_order_still_binds(self):
+        # One process reads y=new then x=old, with writes x then y by the
+        # other process in program order: not SC.
+        history = [
+            _w(0, "x", 1, 0, 1),
+            _w(0, "y", 1, 2, 3),
+            _r(1, "y", 1, 4, 5),
+            _r(1, "x", None, 6, 7),
+        ]
+        assert not is_sequentially_consistent(history)
+
+    def test_linearizable_implies_sc(self):
+        history = [_w(0, "x", 1, 0, 1), _r(1, "x", 1, 2, 3)]
+        assert is_linearizable(history)
+        assert is_sequentially_consistent(history)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            HistoryEvent(0, "z", "x", 1, 0, 1)
+        with pytest.raises(ValueError):
+            HistoryEvent(0, "r", "x", 1, 5, 2)
+
+
+class TestEventualConsistency:
+    def test_converges(self):
+        store = EventuallyConsistentStore(5)
+        store.write(0, "x", "a", timestamp=1.0)
+        store.write(3, "x", "b", timestamp=2.0)
+        assert not store.converged()
+        rounds = store.converge()
+        assert store.converged()
+        assert rounds <= 5
+
+    def test_last_writer_wins(self):
+        store = EventuallyConsistentStore(3)
+        store.write(0, "x", "old", timestamp=1.0)
+        store.write(2, "x", "new", timestamp=5.0)
+        store.converge()
+        assert all(store.read(r, "x") == "new" for r in range(3))
+
+    def test_timestamp_tie_broken_by_replica(self):
+        store = EventuallyConsistentStore(3)
+        store.write(0, "x", "from0", timestamp=1.0)
+        store.write(2, "x", "from2", timestamp=1.0)
+        store.converge()
+        assert all(store.read(r, "x") == "from2" for r in range(3))
+
+    def test_reads_may_be_stale_before_convergence(self):
+        store = EventuallyConsistentStore(4)
+        store.write(0, "x", "v", timestamp=1.0)
+        assert store.read(2, "x") is None  # not yet propagated
+        store.converge()
+        assert store.read(2, "x") == "v"
+
+    def test_multiple_registers(self):
+        store = EventuallyConsistentStore(3)
+        store.write(0, "x", 1, timestamp=1.0)
+        store.write(1, "y", 2, timestamp=1.0)
+        store.converge()
+        for r in range(3):
+            assert store.read(r, "x") == 1
+            assert store.read(r, "y") == 2
+
+    def test_single_replica_trivially_converged(self):
+        store = EventuallyConsistentStore(1)
+        store.write(0, "x", 1, timestamp=1.0)
+        assert store.converged()
+
+    def test_rejects_zero_replicas(self):
+        with pytest.raises(ValueError):
+            EventuallyConsistentStore(0)

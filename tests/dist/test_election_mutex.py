@@ -1,0 +1,145 @@
+"""Tests for leader election and distributed mutual exclusion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.election import bully_election, ring_election
+from repro.dist.mutex import (
+    MutexAlgorithm,
+    message_complexity_table,
+    simulate_mutex,
+)
+
+
+class TestRingElection:
+    def test_highest_id_wins(self):
+        result = ring_election(list(range(8)), initiator=3)
+        assert result.leader == 7
+
+    def test_crashed_highest_skipped(self):
+        result = ring_election(list(range(8)), initiator=3, crashed={7})
+        assert result.leader == 6
+
+    def test_messages_bounded_by_three_laps(self):
+        # Election token: up to 2n hops (worst case: the initiator sits
+        # just after the max), coordinator circulation: n hops.
+        n = 10
+        result = ring_election(list(range(n)), initiator=0)
+        assert n <= result.messages <= 3 * n
+
+    def test_best_position_initiator_cheapest(self):
+        n = 10
+        best = ring_election(list(range(n)), initiator=n - 1)  # the max itself
+        worst = ring_election(list(range(n)), initiator=0)
+        assert best.messages < worst.messages
+
+    def test_initiator_must_be_alive(self):
+        with pytest.raises(ValueError):
+            ring_election([0, 1, 2], initiator=1, crashed={1})
+
+    def test_unordered_ring_ids(self):
+        result = ring_election([5, 2, 9, 1], initiator=2)
+        assert result.leader == 9
+
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_leader_is_max_live(self, n, data):
+        crashed = data.draw(
+            st.sets(st.integers(0, n - 1), max_size=n - 1)
+        )
+        live = [p for p in range(n) if p not in crashed]
+        initiator = data.draw(st.sampled_from(live))
+        result = ring_election(list(range(n)), initiator, crashed)
+        assert result.leader == max(live)
+
+
+class TestBullyElection:
+    def test_highest_id_wins(self):
+        assert bully_election(list(range(8)), initiator=0).leader == 7
+
+    def test_crashed_leader_replaced(self):
+        result = bully_election(list(range(8)), initiator=0, crashed={7})
+        assert result.leader == 6
+
+    def test_top_initiator_cheapest(self):
+        low = bully_election(list(range(8)), initiator=0)
+        high = bully_election(list(range(8)), initiator=7)
+        assert high.messages < low.messages
+
+    def test_messages_include_dead_challenges(self):
+        # Initiator 6 challenges only 7; 7 is dead -> 1 election message,
+        # 0 OKs, then coordinator to all lower live.
+        result = bully_election(list(range(8)), initiator=6, crashed={7})
+        assert result.leader == 6
+        assert result.messages == 1 + 6
+
+    @given(st.integers(min_value=2, max_value=10), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_property_same_winner_as_ring(self, n, data):
+        crashed = data.draw(st.sets(st.integers(0, n - 1), max_size=n - 1))
+        live = [p for p in range(n) if p not in crashed]
+        initiator = data.draw(st.sampled_from(live))
+        ring = ring_election(list(range(n)), initiator, crashed)
+        bully = bully_election(list(range(n)), initiator, crashed)
+        assert ring.leader == bully.leader == max(live)
+
+
+class TestDistributedMutex:
+    REQUESTS = [(1, 0), (2, 3), (3, 1), (4, 2)]
+
+    def test_lamport_message_count(self):
+        r = simulate_mutex(5, self.REQUESTS, MutexAlgorithm.LAMPORT)
+        assert r.messages == 4 * 3 * 4  # 3(n-1) per entry
+
+    def test_ricart_agrawala_message_count(self):
+        r = simulate_mutex(5, self.REQUESTS, MutexAlgorithm.RICART_AGRAWALA)
+        assert r.messages == 4 * 2 * 4
+
+    def test_token_ring_counts_hops(self):
+        r = simulate_mutex(4, [(1, 1), (2, 2), (3, 3)], MutexAlgorithm.TOKEN_RING)
+        # holder 0 -> 1 (1 hop), 1 -> 2 (1), 2 -> 3 (1)
+        assert r.messages == 3
+
+    def test_token_ring_wraps(self):
+        r = simulate_mutex(4, [(1, 3), (2, 1)], MutexAlgorithm.TOKEN_RING)
+        assert r.messages == 3 + 2  # 0->3 then 3->0->1
+
+    def test_entry_order_identical_across_algorithms(self):
+        orders = {
+            algo: simulate_mutex(5, self.REQUESTS, algo).entry_order
+            for algo in MutexAlgorithm
+        }
+        assert len(set(orders.values())) == 1
+        assert orders[MutexAlgorithm.LAMPORT] == tuple(sorted(self.REQUESTS))
+
+    def test_duplicate_requests_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_mutex(3, [(1, 0), (1, 0)])
+
+    def test_process_range_validated(self):
+        with pytest.raises(ValueError):
+            simulate_mutex(3, [(1, 5)])
+
+    def test_needs_two_processes(self):
+        with pytest.raises(ValueError):
+            simulate_mutex(1, [(1, 0)])
+
+    def test_complexity_table_ordering(self):
+        rows = {r["algorithm"]: r["per_entry"] for r in message_complexity_table(8)}
+        assert rows["lamport"] == 21.0
+        assert rows["ricart-agrawala"] == 14.0
+        assert rows["token-ring"] < rows["ricart-agrawala"]
+
+    @given(st.integers(2, 10), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_property_lamport_is_3_halves_of_ra(self, n, data):
+        k = data.draw(st.integers(1, 6))
+        requests = [(t + 1, data.draw(st.integers(0, n - 1))) for t in range(k)]
+        requests = list(dict.fromkeys(requests))
+        lam = simulate_mutex(n, requests, MutexAlgorithm.LAMPORT)
+        ra = simulate_mutex(n, requests, MutexAlgorithm.RICART_AGRAWALA)
+        assert lam.messages * 2 == ra.messages * 3

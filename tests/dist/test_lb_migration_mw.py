@@ -1,0 +1,213 @@
+"""Tests for load balancing, migration, middleware, and MapReduce."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.loadbalance import Balancer, PlacementPolicy, compare_policies
+from repro.dist.mapreduce import MapReduce, word_count
+from repro.dist.middleware import NameService, RemoteError, RpcServer, rpc_proxy
+from repro.dist.migration import (
+    Cluster,
+    MigratingProcess,
+    MigrationPolicy,
+    migration_sweep,
+)
+from repro.net import Address, Network
+
+
+class TestLoadBalancing:
+    def test_round_robin_even_on_uniform(self):
+        report = Balancer(4, PlacementPolicy.ROUND_ROBIN).run([1.0] * 100)
+        assert report.imbalance == pytest.approx(1.0)
+
+    def test_least_loaded_best_on_heavy_tail(self):
+        results = compare_policies(10, 500, seed=0, heavy_tail=True)
+        assert (
+            results["least-loaded"].max_load
+            <= results["random"].max_load
+        )
+
+    def test_two_choices_close_to_least_loaded(self):
+        results = compare_policies(10, 2000, seed=1, heavy_tail=False)
+        assert results["two-choices"].max_load <= results["random"].max_load
+
+    def test_weights_accumulate(self):
+        balancer = Balancer(2, PlacementPolicy.ROUND_ROBIN)
+        balancer.run([3.0, 5.0])
+        assert balancer.loads == [3.0, 5.0]
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            Balancer(2).place(0.0)
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ValueError):
+            Balancer(0)
+
+    def test_assignments_recorded(self):
+        balancer = Balancer(3, PlacementPolicy.ROUND_ROBIN)
+        balancer.run([1.0] * 5)
+        assert balancer.assignments == [0, 1, 2, 0, 1]
+
+    @given(st.integers(1, 8), st.integers(1, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_property_all_work_placed(self, servers, tasks):
+        for policy in PlacementPolicy:
+            report = Balancer(servers, policy, seed=3).run([1.0] * tasks)
+            assert sum(report.loads) == pytest.approx(tasks)
+
+
+class TestMigration:
+    def _hotspot_cluster(self, policy, cost=1.0):
+        cluster = Cluster(4, policy, transfer_cost_per_mem=cost)
+        for pid in range(12):
+            cluster.submit(MigratingProcess(pid, work=10.0, memory=1.0, home=0))
+        return cluster
+
+    def test_never_policy_leaves_hotspot(self):
+        report = self._hotspot_cluster(MigrationPolicy.NEVER).run()
+        assert report.migrations == 0
+        assert report.final_loads[1] == 0.0
+
+    def test_threshold_policy_relieves_hotspot(self):
+        never = self._hotspot_cluster(MigrationPolicy.NEVER).run()
+        threshold = self._hotspot_cluster(MigrationPolicy.THRESHOLD).run()
+        assert threshold.makespan < never.makespan
+        assert threshold.migrations > 0
+
+    def test_transfer_cost_charged(self):
+        report = self._hotspot_cluster(MigrationPolicy.THRESHOLD, cost=2.0).run()
+        assert report.transfer_cost == pytest.approx(report.migrations * 2.0)
+
+    def test_high_cost_can_make_greedy_worse(self):
+        sweep = migration_sweep(transfer_costs=(0.0, 16.0))
+        cheap, expensive = sweep[0][1], sweep[1][1]
+        assert cheap["greedy"] < cheap["never"]
+        assert expensive["greedy"] > cheap["greedy"]
+
+    def test_work_conserved(self):
+        report = self._hotspot_cluster(MigrationPolicy.GREEDY_REBALANCE).run()
+        assert sum(report.final_loads) >= 12 * 10.0 - 1e-6
+
+    def test_process_validation(self):
+        with pytest.raises(ValueError):
+            MigratingProcess(1, work=0.0)
+
+    def test_submit_validates_node(self):
+        cluster = Cluster(2)
+        with pytest.raises(ValueError):
+            cluster.submit(MigratingProcess(1, work=1.0), node=5)
+
+
+class TestMiddleware:
+    class Calc:
+        def add(self, a, b):
+            return a + b
+
+        def boom(self):
+            raise ValueError("remote failure")
+
+        def _secret(self):
+            return "hidden"
+
+    def test_rpc_roundtrip(self):
+        net = Network()
+        with RpcServer(net, Address("svc", 9000), self.Calc()):
+            proxy = rpc_proxy(net, Address("svc", 9000))
+            assert proxy.add(2, 3) == 5
+            assert proxy.add(a=1, b=2) == 3
+
+    def test_remote_exception_marshalled(self):
+        net = Network()
+        with RpcServer(net, Address("svc", 9000), self.Calc()):
+            proxy = rpc_proxy(net, Address("svc", 9000))
+            with pytest.raises(RemoteError, match="remote failure"):
+                proxy.boom()
+
+    def test_private_methods_not_exported(self):
+        net = Network()
+        with RpcServer(net, Address("svc", 9000), self.Calc()):
+            proxy = rpc_proxy(net, Address("svc", 9000))
+            with pytest.raises(RemoteError):
+                proxy._secret()
+
+    def test_unknown_method(self):
+        net = Network()
+        with RpcServer(net, Address("svc", 9000), self.Calc()):
+            proxy = rpc_proxy(net, Address("svc", 9000))
+            with pytest.raises(RemoteError):
+                proxy.no_such_method()
+
+    def test_calls_served_counted(self):
+        net = Network()
+        with RpcServer(net, Address("svc", 9000), self.Calc()) as server:
+            proxy = rpc_proxy(net, Address("svc", 9000))
+            proxy.add(1, 1)
+            proxy.add(2, 2)
+            assert server.calls_served == 2
+
+    def test_name_service_bind_lookup(self):
+        ns = NameService()
+        assert ns.lookup("calc") is None
+        ns.register("calc", "svc", 9000)
+        assert ns.lookup("calc") == ("svc", 9000)
+        assert ns.services() == ["calc"]
+        assert ns.unregister("calc")
+        assert not ns.unregister("calc")
+
+    def test_name_service_itself_over_rpc(self):
+        """The registry is just an object: export it, then bind through it."""
+        net = Network()
+        ns = NameService()
+        with RpcServer(net, Address("registry", 1), ns):
+            with RpcServer(net, Address("svc", 9000), self.Calc()):
+                registry = rpc_proxy(net, Address("registry", 1))
+                registry.register("calc", "svc", 9000)
+                host, port = registry.lookup("calc")
+                calc = rpc_proxy(net, Address(host, port))
+                assert calc.add(20, 22) == 42
+
+
+class TestMapReduce:
+    def test_word_count(self):
+        counts = word_count(["the cat sat", "the dog sat", "the cat ran"])
+        assert counts == {"the": 3, "cat": 2, "sat": 2, "dog": 1, "ran": 1}
+
+    def test_stats_populated(self):
+        job = MapReduce(
+            lambda doc: [(w, 1) for w in doc.split()],
+            lambda _k, vs: sum(vs),
+            num_partitions=4,
+        )
+        job.run(["a b", "b c", "c d"])
+        assert job.stats.map_tasks == 3
+        assert job.stats.intermediate_pairs == 6
+        assert job.stats.partitions == 4
+        assert job.stats.shuffle_skew >= 1.0
+
+    def test_custom_reduce(self):
+        job = MapReduce(
+            lambda n: [(n % 2, n)],
+            lambda _k, vs: max(vs),
+            num_workers=2,
+        )
+        result = job.run(list(range(10)))
+        assert result == {0: 8, 1: 9}
+
+    def test_empty_input(self):
+        job = MapReduce(lambda x: [(x, 1)], lambda _k, vs: sum(vs))
+        assert job.run([]) == {}
+
+    def test_validates_config(self):
+        with pytest.raises(ValueError):
+            MapReduce(lambda x: [], lambda k, v: None, num_workers=0)
+
+    @given(st.lists(st.text(alphabet="ab ", max_size=12), max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_serial_count(self, docs):
+        serial = {}
+        for doc in docs:
+            for word in doc.split():
+                serial[word] = serial.get(word, 0) + 1
+        assert word_count(docs, num_workers=3) == serial

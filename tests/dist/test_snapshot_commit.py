@@ -1,0 +1,169 @@
+"""Tests for Chandy-Lamport snapshots and two-phase commit."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.commit import (
+    Coordinator,
+    Participant,
+    ParticipantState,
+    TwoPcOutcome,
+)
+from repro.dist.snapshot import TokenSystem
+
+
+class TestTokenSystem:
+    def test_transfer_conserves_total(self):
+        sys = TokenSystem([10, 20, 30])
+        sys.transfer(2, 0, 5)
+        assert sys.total == 60
+        sys.deliver_all()
+        assert sys.balances == [15, 20, 25]
+
+    def test_invalid_transfer(self):
+        sys = TokenSystem([5, 5])
+        with pytest.raises(ValueError):
+            sys.transfer(0, 1, 10)
+        with pytest.raises(ValueError):
+            sys.transfer(0, 1, 0)
+
+    def test_fifo_channels(self):
+        sys = TokenSystem([10, 0])
+        sys.transfer(0, 1, 3)
+        sys.transfer(0, 1, 4)
+        assert sys.deliver_one(0, 1) == 3
+        assert sys.deliver_one(0, 1) == 4
+
+
+class TestChandyLamport:
+    def test_quiescent_snapshot_trivial(self):
+        sys = TokenSystem([10, 20])
+        sys.start_snapshot(0)
+        sys.deliver_all()
+        snap = sys.snapshot()
+        assert snap.process_states == {0: 10, 1: 20}
+        assert snap.channel_states == {}
+        assert snap.total == 30
+
+    def test_in_flight_message_recorded(self):
+        """The defining case: a transfer is mid-flight when the snapshot
+        starts; it must appear as channel state, not be lost."""
+        sys = TokenSystem([10, 10])
+        sys.transfer(0, 1, 4)  # in flight on (0, 1)
+        sys.start_snapshot(1)  # 1 records BEFORE receiving the tokens
+        sys.deliver_all()
+        snap = sys.snapshot()
+        assert snap.total == 20  # conservation holds in the snapshot
+        assert snap.channel_states.get((0, 1)) == [4]
+        assert snap.process_states[1] == 10  # pre-delivery balance
+
+    def test_snapshot_while_trading_conserves_total(self):
+        sys = TokenSystem([25, 25, 25, 25])
+        sys.transfer(0, 1, 5)
+        sys.transfer(1, 2, 7)
+        sys.transfer(3, 0, 2)
+        sys.start_snapshot(2)
+        # More traffic after the snapshot begins:
+        sys.transfer(2, 3, 1)
+        sys.deliver_all()
+        snap = sys.snapshot()
+        assert snap.total == 100
+        assert sys.total == 100
+
+    def test_snapshot_not_done_raises(self):
+        sys = TokenSystem([1, 1])
+        sys.start_snapshot(0)
+        with pytest.raises(RuntimeError):
+            sys.snapshot()
+
+    def test_needs_processes(self):
+        with pytest.raises(ValueError):
+            TokenSystem([])
+
+    @given(
+        st.lists(st.integers(10, 50), min_size=2, max_size=5),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_snapshot_conserves_total(self, balances, data):
+        sys = TokenSystem(balances)
+        n = len(balances)
+        total = sum(balances)
+        # Random pre-snapshot transfers.
+        for _ in range(data.draw(st.integers(0, 6))):
+            src = data.draw(st.integers(0, n - 1))
+            dst = data.draw(st.integers(0, n - 1))
+            if src != dst and sys.balances[src] > 0:
+                amount = data.draw(st.integers(1, sys.balances[src]))
+                sys.transfer(src, dst, amount)
+        sys.start_snapshot(data.draw(st.integers(0, n - 1)))
+        sys.deliver_all()
+        snap = sys.snapshot()
+        assert snap.total == total
+        assert sys.total == total
+
+
+class TestTwoPhaseCommit:
+    def test_unanimous_yes_commits(self):
+        parts = [Participant(f"p{i}") for i in range(3)]
+        outcome = Coordinator(parts).run()
+        assert outcome.committed
+        assert all(p.state is ParticipantState.COMMITTED for p in parts)
+        assert outcome.messages == Coordinator.message_complexity(3)
+
+    def test_single_no_aborts_everyone(self):
+        parts = [
+            Participant("a"),
+            Participant("b", will_vote_yes=False),
+            Participant("c"),
+        ]
+        outcome = Coordinator(parts).run()
+        assert not outcome.committed
+        assert parts[0].state is ParticipantState.ABORTED
+        assert parts[2].state is ParticipantState.ABORTED
+
+    def test_crash_before_vote_counts_as_no(self):
+        parts = [Participant("a"), Participant("b", crash_before_vote=True)]
+        outcome = Coordinator(parts).run()
+        assert not outcome.committed
+        assert outcome.votes["b"] is None
+        assert outcome.messages < Coordinator.message_complexity(2)
+
+    def test_crash_after_yes_blocks_until_recovery(self):
+        """2PC's blocking window: a prepared-then-crashed participant is
+        stuck holding locks until it learns the verdict."""
+        blocked = Participant("b", crash_after_vote=True)
+        parts = [Participant("a"), blocked]
+        outcome = Coordinator(parts).run()
+        assert outcome.committed  # it DID vote yes before crashing
+        assert outcome.blocked_participants == ["b"]
+        assert blocked.state is ParticipantState.CRASHED
+        blocked.recover(outcome)
+        assert blocked.state is ParticipantState.COMMITTED
+
+    def test_recovery_after_abort(self):
+        blocked = Participant("b", crash_after_vote=True)
+        parts = [Participant("a", will_vote_yes=False), blocked]
+        outcome = Coordinator(parts).run()
+        assert not outcome.committed
+        blocked.recover(outcome)
+        assert blocked.state is ParticipantState.ABORTED
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Coordinator([])
+        with pytest.raises(ValueError):
+            Coordinator([Participant("x"), Participant("x")])
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_property_commit_iff_unanimous(self, votes):
+        parts = [
+            Participant(f"p{i}", will_vote_yes=v) for i, v in enumerate(votes)
+        ]
+        outcome = Coordinator(parts).run()
+        assert outcome.committed == all(votes)
+        # Atomicity: nobody commits unless everyone does.
+        committed = [p for p in parts if p.state is ParticipantState.COMMITTED]
+        assert len(committed) in (0, len(parts))

@@ -1,0 +1,76 @@
+"""Tests for shared-memory bank-conflict analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.banks import (
+    bank_conflicts,
+    matrix_column_access,
+    padded_matrix_column_access,
+)
+
+
+class TestBankConflicts:
+    def test_sequential_access_conflict_free(self):
+        report = bank_conflicts(list(range(32)))
+        assert report.conflict_free
+        assert report.serialized_cycles == 1
+
+    def test_stride_num_banks_is_worst_case(self):
+        addresses = [i * 32 for i in range(32)]  # all hit bank 0
+        report = bank_conflicts(addresses)
+        assert report.conflict_degree == 32
+        assert not report.conflict_free
+
+    def test_broadcast_is_free(self):
+        report = bank_conflicts([7] * 32)  # all lanes read one word
+        assert report.conflict_free
+        assert report.broadcasts == 1
+
+    def test_two_way_conflict(self):
+        addresses = list(range(16)) + [a + 32 for a in range(16)]
+        report = bank_conflicts(addresses)
+        assert report.conflict_degree == 2
+        assert report.serialized_cycles == 2
+
+    def test_empty_access(self):
+        report = bank_conflicts([])
+        assert report.serialized_cycles == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bank_conflicts([1], num_banks=0)
+        with pytest.raises(ValueError):
+            bank_conflicts([-1])
+
+
+class TestPaddingLesson:
+    def test_column_walk_unpadded_is_32_way(self):
+        report = bank_conflicts(matrix_column_access(column=3))
+        assert report.conflict_degree == 32
+
+    def test_column_walk_padded_is_conflict_free(self):
+        report = bank_conflicts(padded_matrix_column_access(column=3))
+        assert report.conflict_free
+
+    @pytest.mark.parametrize("column", [0, 1, 15, 31])
+    def test_padding_works_for_every_column(self, column):
+        unpadded = bank_conflicts(matrix_column_access(column))
+        padded = bank_conflicts(padded_matrix_column_access(column))
+        assert unpadded.conflict_degree == 32
+        assert padded.conflict_degree == 1
+
+    def test_row_walks_fine_either_way(self):
+        row = [10 * 32 + c for c in range(32)]  # one row, unpadded
+        assert bank_conflicts(row).conflict_free
+
+
+@given(st.lists(st.integers(0, 1023), max_size=32),
+       st.integers(1, 64))
+@settings(max_examples=80, deadline=None)
+def test_property_degree_bounds(addresses, banks):
+    report = bank_conflicts(addresses, num_banks=banks)
+    if addresses:
+        assert 1 <= report.conflict_degree <= len(set(addresses))
+    assert report.serialized_cycles == report.conflict_degree

@@ -1,0 +1,213 @@
+"""Tests for the SIMT execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    BarrierDivergence,
+    Device,
+    DeviceProperties,
+    GlobalArray,
+    KernelError,
+    launch,
+)
+from repro.gpu.kernel import Dim3
+
+
+class TestDim3:
+    def test_of_int(self):
+        assert Dim3.of(7) == Dim3(7, 1, 1)
+
+    def test_of_tuple(self):
+        assert Dim3.of((2, 3)) == Dim3(2, 3, 1)
+
+    def test_count(self):
+        assert Dim3(2, 3, 4).count == 24
+
+
+class TestLaunchValidation:
+    def test_block_too_large(self):
+        dev = Device()
+        with pytest.raises(KernelError):
+            launch(dev, lambda ctx: None, grid=1, block=4096)
+
+    def test_empty_grid(self):
+        dev = Device()
+        with pytest.raises(KernelError):
+            launch(dev, lambda ctx: None, grid=0, block=32)
+
+
+class TestExecution:
+    def test_plain_function_kernel(self):
+        dev = Device()
+        out = GlobalArray.zeros(64)
+
+        def fill(ctx, out):
+            i = ctx.global_id()
+            out[i] = float(i)
+
+        launch(dev, fill, grid=2, block=32)(out)
+        assert np.allclose(out.to_host(), np.arange(64.0))
+
+    def test_generator_kernel_with_barrier(self):
+        dev = Device()
+        out = GlobalArray.zeros(8)
+
+        def kernel(ctx, out):
+            tile = ctx.shared_array("t", ctx.block_dim.x)
+            tile[ctx.thread_idx.x] = float(ctx.thread_idx.x)
+            yield ctx.syncthreads()
+            # After the barrier every thread sees all writes.
+            out[ctx.thread_idx.x] = float(sum(tile))
+
+        launch(dev, kernel, grid=1, block=8)(out)
+        assert np.allclose(out.to_host(), 28.0)
+
+    def test_thread_and_block_indices(self):
+        dev = Device()
+        out = GlobalArray.zeros(12)
+
+        def kernel(ctx, out):
+            out[ctx.global_id()] = ctx.block_idx.x * 100 + ctx.thread_idx.x
+
+        launch(dev, kernel, grid=3, block=4)(out)
+        expected = [b * 100 + t for b in range(3) for t in range(4)]
+        assert out.to_host().tolist() == expected
+
+    def test_2d_launch(self):
+        dev = Device()
+        n = 4
+        out = GlobalArray.zeros(n * n)
+
+        def kernel(ctx, out):
+            row, col = ctx.global_id_2d()
+            out[row * n + col] = row * 10 + col
+
+        launch(dev, kernel, grid=(2, 2), block=(2, 2))(out)
+        expected = [r * 10 + c for r in range(n) for c in range(n)]
+        assert out.to_host().tolist() == expected
+
+    def test_warp_and_lane(self):
+        dev = Device()
+        out = GlobalArray.zeros(64)
+
+        def kernel(ctx, out):
+            out[ctx.thread_linear] = ctx.warp * 1000 + ctx.lane
+
+        launch(dev, kernel, grid=1, block=64)(out)
+        host = out.to_host()
+        assert host[0] == 0 and host[31] == 31
+        assert host[32] == 1000 and host[63] == 1031
+
+
+class TestBarrierDivergence:
+    def test_divergent_exit_detected(self):
+        dev = Device()
+
+        def bad(ctx):
+            if ctx.thread_idx.x < 4:
+                yield ctx.syncthreads()  # only half the block arrives
+            return
+
+        with pytest.raises(BarrierDivergence):
+            launch(dev, bad, grid=1, block=8)()
+
+    def test_uniform_barriers_ok(self):
+        dev = Device()
+
+        def good(ctx):
+            for _ in range(3):
+                yield ctx.syncthreads()
+
+        stats = launch(dev, good, grid=2, block=8)()
+        assert stats.syncthreads == 6  # 3 per block x 2 blocks
+
+    def test_yield_of_non_sync_rejected(self):
+        dev = Device()
+
+        def bad(ctx):
+            yield "something else"
+
+        with pytest.raises(KernelError):
+            launch(dev, bad, grid=1, block=2)()
+
+
+class TestStats:
+    def test_thread_and_warp_counts(self):
+        dev = Device()
+        stats = launch(dev, lambda ctx: None, grid=4, block=48)()
+        assert stats.blocks == 4
+        assert stats.threads == 192
+        assert stats.warps == 4 * 2  # ceil(48/32) per block
+
+    def test_divergence_counted(self):
+        dev = Device()
+
+        def kernel(ctx):
+            if ctx.branch(ctx.thread_idx.x % 2 == 0):
+                pass
+
+        stats = launch(dev, kernel, grid=1, block=32)()
+        assert stats.instrumented_branches == 1
+        assert stats.divergent_branches == 1
+        assert stats.divergence_rate() == 1.0
+
+    def test_uniform_branch_not_divergent(self):
+        dev = Device()
+
+        def kernel(ctx):
+            if ctx.branch(ctx.block_idx.x == 0):  # uniform within a warp
+                pass
+
+        stats = launch(dev, kernel, grid=2, block=32)()
+        assert stats.instrumented_branches == 2  # one group per block
+        assert stats.divergent_branches == 0
+
+    def test_launch_registry_names(self):
+        dev = Device()
+
+        def k(ctx):
+            return None
+
+        launch(dev, k, grid=1, block=1)()
+        launch(dev, k, grid=1, block=1)()
+        assert "k" in dev.launches and "k#2" in dev.launches
+
+    def test_last_stats(self):
+        dev = Device()
+        with pytest.raises(RuntimeError):
+            dev.last_stats()
+        launch(dev, lambda ctx: None, grid=1, block=4)()
+        assert dev.last_stats().threads == 4
+
+
+class TestSharedMemory:
+    def test_shared_allocation_cap(self):
+        dev = Device(DeviceProperties(shared_mem_per_block=64))
+
+        def hog(ctx):
+            ctx.shared_array("big", 100)  # 800 bytes > 64
+
+        with pytest.raises(MemoryError):
+            launch(dev, hog, grid=1, block=1)()
+
+    def test_shared_peak_tracked(self):
+        dev = Device()
+
+        def kernel(ctx):
+            ctx.shared_array("a", 16)  # 128 bytes
+
+        stats = launch(dev, kernel, grid=2, block=4)()
+        assert stats.shared_bytes_peak == 128
+
+    def test_shared_is_per_block(self):
+        dev = Device()
+        out = GlobalArray.zeros(2)
+
+        def kernel(ctx, out):
+            tile = ctx.shared_array("t", 1)
+            tile[0] += 1.0  # each block starts from a fresh zero array
+            out[ctx.block_idx.x] = tile[0]
+
+        launch(dev, kernel, grid=2, block=1)(out)
+        assert out.to_host().tolist() == [1.0, 1.0]

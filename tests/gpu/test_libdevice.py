@@ -1,0 +1,113 @@
+"""Tests for the reference device kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import Device
+from repro.gpu.libdevice import (
+    device_inclusive_scan,
+    device_matmul,
+    device_reduce_sum,
+)
+
+
+class TestDeviceReduce:
+    def test_exact_sum(self):
+        dev = Device()
+        total, _stats = device_reduce_sum(dev, np.arange(1000.0))
+        assert total == float(np.arange(1000.0).sum())
+
+    def test_non_multiple_of_block(self):
+        dev = Device()
+        data = np.ones(100)
+        total, _ = device_reduce_sum(dev, data, block=64)
+        assert total == 100.0
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ValueError):
+            device_reduce_sum(Device(), np.ones(8), block=48)
+
+    def test_uses_shared_memory_and_barriers(self):
+        dev = Device()
+        _, stats = device_reduce_sum(dev, np.ones(128), block=64)
+        assert stats.shared_bytes_peak == 64 * 8
+        assert stats.syncthreads > 0
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_numpy(self, values):
+        dev = Device()
+        total, _ = device_reduce_sum(dev, np.array(values), block=16)
+        assert total == pytest.approx(float(np.sum(values)), rel=1e-9, abs=1e-9)
+
+
+class TestDeviceScan:
+    def test_matches_cumsum(self):
+        dev = Device()
+        data = np.arange(10.0)
+        out, _ = device_inclusive_scan(dev, data)
+        assert np.allclose(out, np.cumsum(data))
+
+    def test_power_of_two_length(self):
+        dev = Device()
+        data = np.ones(16)
+        out, _ = device_inclusive_scan(dev, data)
+        assert np.allclose(out, np.arange(1.0, 17.0))
+
+    def test_single_element(self):
+        out, _ = device_inclusive_scan(Device(), np.array([7.0]))
+        assert out.tolist() == [7.0]
+
+    @given(
+        st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_scan(self, values):
+        out, _ = device_inclusive_scan(Device(), np.array(values))
+        assert np.allclose(out, np.cumsum(values))
+
+
+class TestDeviceMatmul:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        a = rng.random((8, 8))
+        b = rng.random((8, 8))
+        c, stats = device_matmul(Device(), a, b, tile=4)
+        assert np.allclose(c, a @ b)
+        assert stats.shared_bytes_peak == 2 * 4 * 4 * 8  # two 4x4 f64 tiles
+
+    def test_identity(self):
+        n = 8
+        eye = np.eye(n)
+        m = np.arange(n * n, dtype=float).reshape(n, n)
+        c, _ = device_matmul(Device(), eye, m, tile=4)
+        assert np.allclose(c, m)
+
+    def test_rejects_bad_tile(self):
+        with pytest.raises(ValueError):
+            device_matmul(Device(), np.eye(6), np.eye(6), tile=4)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            device_matmul(Device(), np.ones((4, 2)), np.ones((2, 4)))
+
+    def test_tiling_reduces_transactions(self):
+        """The shared-memory payoff: bigger tiles -> fewer global loads."""
+        rng = np.random.default_rng(2)
+        a = rng.random((16, 16))
+        b = rng.random((16, 16))
+        _, small = device_matmul(Device(), a, b, tile=2)
+        _, big = device_matmul(Device(), a, b, tile=8)
+        assert big.global_loads < small.global_loads

@@ -1,0 +1,85 @@
+"""Tests for device memory and coalescing analysis."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device, DeviceProperties, GlobalArray, launch
+from repro.gpu.libdevice import vector_add, vector_add_strided
+
+
+class TestGlobalArray:
+    def test_from_host_copies(self):
+        host = np.arange(4.0)
+        arr = GlobalArray.from_host(host)
+        host[:] = 0
+        assert arr.to_host().tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_zeros(self):
+        arr = GlobalArray.zeros(5, dtype=np.int64)
+        assert arr.to_host().tolist() == [0] * 5
+
+    def test_scalar_indexing_only(self):
+        arr = GlobalArray.zeros(8)
+        with pytest.raises(TypeError):
+            arr[0:4]
+        with pytest.raises(TypeError):
+            arr[0:2] = 1.0
+
+    def test_len_and_size(self):
+        arr = GlobalArray.zeros(7)
+        assert len(arr) == 7 and arr.size == 7
+
+    def test_uninstrumented_access_outside_kernel(self):
+        arr = GlobalArray.from_host([1.0, 2.0])
+        assert arr[1] == 2.0
+        arr[0] = 5.0
+        assert arr.to_host()[0] == 5.0
+
+
+class TestTransactionModel:
+    def test_transactions_for_coalesced_warp(self):
+        props = DeviceProperties()
+        # 32 consecutive 4-byte elements fit one 128-byte transaction.
+        assert props.transactions_for(list(range(32))) == 1
+
+    def test_transactions_for_strided(self):
+        props = DeviceProperties()
+        addresses = [i * 32 for i in range(32)]
+        assert props.transactions_for(addresses) == 32
+
+    def test_transactions_for_empty(self):
+        assert DeviceProperties().transactions_for([]) == 0
+
+    def test_unaligned_spans_two(self):
+        props = DeviceProperties()
+        addresses = list(range(16, 48))  # crosses a 32-element boundary
+        assert props.transactions_for(addresses) == 2
+
+
+class TestCoalescingEndToEnd:
+    def _run(self, kernel, *extra):
+        dev = Device()
+        n = 256
+        a = GlobalArray.from_host(np.ones(n))
+        b = GlobalArray.from_host(np.ones(n))
+        out = GlobalArray.zeros(n)
+        stats = launch(dev, kernel, grid=n // 64, block=64)(a, b, out, *extra)
+        return out, stats
+
+    def test_coalesced_kernel_full_efficiency(self):
+        out, stats = self._run(vector_add)
+        assert np.all(out.to_host() == 2.0)
+        assert stats.coalescing_efficiency() == pytest.approx(1.0)
+        # 3 arrays x 256 elements / 32 per transaction = 24 transactions.
+        assert stats.transactions == 24
+
+    def test_strided_kernel_poor_efficiency(self):
+        out, stats = self._run(vector_add_strided, 17)
+        assert np.all(out.to_host() == 2.0)
+        assert stats.coalescing_efficiency() < 0.2
+        assert stats.transactions > 150
+
+    def test_loads_and_stores_counted(self):
+        _out, stats = self._run(vector_add)
+        assert stats.global_loads == 512  # a[i] and b[i]
+        assert stats.global_stores == 256

@@ -1,0 +1,77 @@
+"""Tests for concurrent streams (the LAU course's overlap unit)."""
+
+import pytest
+
+from repro.gpu.streams import (
+    EngineKind,
+    StreamOp,
+    StreamScheduler,
+    pipeline_demo,
+)
+
+
+class TestSingleStream:
+    def test_in_order_serialization(self):
+        sched = StreamScheduler()
+        sched.stream(0).memcpy_h2d("h", 2.0).launch("k", 3.0).memcpy_d2h("d", 2.0)
+        report = sched.run()
+        assert report.makespan == 7.0
+        starts = {op.name: op.start for op in report.timeline}
+        assert starts == {"h": 0.0, "k": 2.0, "d": 5.0}
+
+    def test_engine_busy_accounting(self):
+        sched = StreamScheduler()
+        sched.stream(0).memcpy_h2d("h", 1.0).launch("k", 4.0)
+        report = sched.run()
+        assert report.engine_busy[EngineKind.COPY_H2D] == 1.0
+        assert report.engine_busy[EngineKind.COMPUTE] == 4.0
+        assert report.overlap_fraction() == pytest.approx(0.0)
+
+    def test_duration_validation(self):
+        with pytest.raises(ValueError):
+            StreamOp("x", EngineKind.COMPUTE, 0.0)
+
+
+class TestMultiStreamOverlap:
+    def test_copy_and_compute_overlap_across_streams(self):
+        sched = StreamScheduler()
+        sched.stream(0).memcpy_h2d("h0", 2.0).launch("k0", 2.0)
+        sched.stream(1).memcpy_h2d("h1", 2.0).launch("k1", 2.0)
+        report = sched.run()
+        # Stream 1's copy overlaps stream 0's kernel: 2+2+2 = 6, not 8.
+        assert report.makespan == 6.0
+        assert report.overlap_fraction() > 0
+
+    def test_same_engine_still_serializes(self):
+        sched = StreamScheduler()
+        sched.stream(0).launch("k0", 3.0)
+        sched.stream(1).launch("k1", 3.0)
+        report = sched.run()
+        assert report.makespan == 6.0  # one compute engine
+
+    def test_pipeline_demo_streams_win(self):
+        serial, streamed = pipeline_demo(chunks=6, num_streams=6)
+        assert streamed < serial
+        # Serial: 6 chunks x 3 ops x 1.0 = 18.
+        assert serial == 18.0
+        # Streamed: pipelined across 3 engines — fill + drain + chunks.
+        assert streamed == 8.0
+
+    def test_single_stream_pipeline_no_benefit(self):
+        serial, streamed = pipeline_demo(chunks=4, num_streams=1)
+        assert streamed == serial
+
+    def test_more_streams_never_hurt(self):
+        spans = [
+            pipeline_demo(chunks=8, num_streams=s)[1] for s in (1, 2, 4, 8)
+        ]
+        assert spans == sorted(spans, reverse=True)
+
+    def test_report_timeline_complete(self):
+        sched = StreamScheduler()
+        sched.stream(0).memcpy_h2d("a", 1).launch("b", 1).memcpy_d2h("c", 1)
+        sched.stream(1).launch("d", 1)
+        report = sched.run()
+        assert {op.name for op in report.timeline} == {"a", "b", "c", "d"}
+        for op in report.timeline:
+            assert op.end == op.start + op.duration

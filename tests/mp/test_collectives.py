@@ -1,0 +1,257 @@
+"""Tests for collective operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mp import MAX, MAXLOC, MIN, MINLOC, PROD, SUM, run_spmd
+from repro.mp.ops import LAND, LOR, Op
+from repro.mp.runtime import World
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("algorithm", ["linear", "tree"])
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+    def test_bcast_all_sizes(self, algorithm, size):
+        def main(comm):
+            obj = {"n": 42} if comm.Get_rank() == 0 else None
+            return comm.bcast(obj, root=0, algorithm=algorithm)
+
+        assert run_spmd(size, main) == [{"n": 42}] * size
+
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_bcast_nonzero_root(self, root):
+        def main(comm):
+            obj = "payload" if comm.Get_rank() == root else None
+            return comm.bcast(obj, root=root)
+
+        assert run_spmd(4, main) == ["payload"] * 4
+
+    def test_tree_root_sends_fewer_messages(self):
+        """The ablation: the root's send count is log2(p) for the tree
+        and p-1 for linear."""
+        def run(algorithm):
+            world = World(8)
+
+            def main(comm):
+                comm.bcast("x" if comm.Get_rank() == 0 else None,
+                           root=0, algorithm=algorithm)
+
+            run_spmd(8, main, world=world)
+            return world.messages_from(0)
+
+        assert run("linear") == 7
+        assert run("tree") == 3  # log2(8)
+
+    def test_unknown_algorithm(self):
+        def main(comm):
+            comm.bcast(1, algorithm="magic")
+
+        from repro.mp.runtime import SpmdError
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, main)
+
+
+class TestGatherScatter:
+    def test_gather_rank_order(self):
+        def main(comm):
+            return comm.gather(comm.Get_rank() * 10, root=0)
+
+        results = run_spmd(4, main)
+        assert results[0] == [0, 10, 20, 30]
+        assert results[1] is None
+
+    def test_scatter(self):
+        def main(comm):
+            data = [i * i for i in range(4)] if comm.Get_rank() == 0 else None
+            return comm.scatter(data, root=0)
+
+        assert run_spmd(4, main) == [0, 1, 4, 9]
+
+    def test_scatter_wrong_length(self):
+        def main(comm):
+            comm.scatter([1, 2], root=0)  # world is 3
+
+        from repro.mp.runtime import SpmdError
+
+        with pytest.raises(SpmdError):
+            run_spmd(3, main)
+
+    def test_allgather(self):
+        def main(comm):
+            return comm.allgather(chr(ord("a") + comm.Get_rank()))
+
+        assert run_spmd(3, main) == [["a", "b", "c"]] * 3
+
+    def test_alltoall(self):
+        def main(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            return comm.alltoall([f"{rank}->{j}" for j in range(size)])
+
+        results = run_spmd(3, main)
+        for j, row in enumerate(results):
+            assert row == [f"{i}->{j}" for i in range(3)]
+
+
+class TestReductions:
+    @pytest.mark.parametrize("algorithm", ["linear", "tree"])
+    def test_reduce_sum(self, algorithm):
+        def main(comm):
+            return comm.reduce(comm.Get_rank() + 1, op=SUM, root=0,
+                               algorithm=algorithm)
+
+        results = run_spmd(6, main)
+        assert results[0] == 21
+        assert all(r is None for r in results[1:])
+
+    @pytest.mark.parametrize("op,expected", [
+        (SUM, 10), (PROD, 24), (MAX, 4), (MIN, 1),
+    ])
+    def test_predefined_ops(self, op, expected):
+        def main(comm):
+            return comm.allreduce(comm.Get_rank() + 1, op=op)
+
+        assert run_spmd(4, main) == [expected] * 4
+
+    def test_logical_ops(self):
+        def main(comm):
+            all_true = comm.allreduce(True, op=LAND)
+            any_high = comm.allreduce(comm.Get_rank() >= 3, op=LOR)
+            return (all_true, any_high)
+
+        assert run_spmd(4, main) == [(True, True)] * 4
+
+    def test_maxloc_minloc(self):
+        values = [3.0, 9.0, 1.0, 9.0]
+
+        def main(comm):
+            rank = comm.Get_rank()
+            hi = comm.allreduce((values[rank], rank), op=MAXLOC)
+            lo = comm.allreduce((values[rank], rank), op=MINLOC)
+            return (hi, lo)
+
+        results = run_spmd(4, main)
+        assert results[0] == ((9.0, 1), (1.0, 2))  # ties pick lower index
+
+    def test_noncommutative_op_uses_rank_order(self):
+        concat = Op("CONCAT", lambda a, b: a + b, commutative=False)
+
+        def main(comm):
+            return comm.reduce(str(comm.Get_rank()), op=concat, root=0,
+                               algorithm="tree")  # must fall back to linear
+
+        assert run_spmd(5, main)[0] == "01234"
+
+    def test_scan_inclusive(self):
+        def main(comm):
+            return comm.scan(comm.Get_rank() + 1, op=SUM)
+
+        assert run_spmd(5, main) == [1, 3, 6, 10, 15]
+
+    def test_exscan(self):
+        def main(comm):
+            return comm.exscan(comm.Get_rank() + 1, op=SUM)
+
+        assert run_spmd(5, main) == [None, 1, 3, 6, 10]
+
+    @given(st.lists(st.integers(-50, 50), min_size=2, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_allreduce_matches_serial(self, values):
+        def main(comm):
+            return comm.allreduce(values[comm.Get_rank()], op=SUM)
+
+        assert run_spmd(len(values), main) == [sum(values)] * len(values)
+
+
+class TestBarrier:
+    def test_barrier_synchronizes_phases(self):
+        def main(comm):
+            trace = []
+            for phase in range(3):
+                trace.append(phase)
+                comm.barrier()
+            return trace
+
+        assert run_spmd(4, main) == [[0, 1, 2]] * 4
+
+    def test_collectives_after_barrier_unconfused(self):
+        """Barrier's internal messages must not collide with later
+        collectives' traffic (distinct internal tags)."""
+        def main(comm):
+            comm.barrier()
+            a = comm.allreduce(1, op=SUM)
+            comm.barrier()
+            b = comm.allgather(comm.Get_rank())
+            return (a, b)
+
+        results = run_spmd(4, main)
+        assert results[0] == (4, [0, 1, 2, 3])
+
+
+class TestBufferCollectives:
+    def test_Bcast(self):
+        def main(comm):
+            buf = (np.arange(6.0) if comm.Get_rank() == 0 else np.empty(6))
+            comm.Bcast(buf, root=0)
+            return buf.sum()
+
+        assert run_spmd(3, main) == [15.0] * 3
+
+    def test_Scatter_Gather_roundtrip(self):
+        def main(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            send = (
+                np.arange(size * 4, dtype=np.float64).reshape(size, 4)
+                if rank == 0 else None
+            )
+            mine = np.empty(4)
+            comm.Scatter(send, mine, root=0)
+            mine += 100.0
+            out = np.empty((size, 4)) if rank == 0 else None
+            comm.Gather(mine, out, root=0)
+            return out.sum() if rank == 0 else None
+
+        total = run_spmd(4, main)[0]
+        assert total == np.arange(16).sum() + 100 * 16
+
+    def test_Allgather(self):
+        def main(comm):
+            size = comm.Get_size()
+            recv = np.empty((size, 2))
+            comm.Allgather(np.full(2, float(comm.Get_rank())), recv)
+            return recv[:, 0].tolist()
+
+        assert run_spmd(3, main) == [[0.0, 1.0, 2.0]] * 3
+
+    def test_Reduce_elementwise(self):
+        def main(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            send = np.arange(4, dtype=np.float64) * (rank + 1)
+            recv = np.empty(4) if rank == 0 else None
+            comm.Reduce(send, recv, op=SUM, root=0)
+            return recv.tolist() if rank == 0 else None
+
+        # sum over (rank+1) = 1+2+3 = 6; element i = 6*i
+        assert run_spmd(3, main)[0] == [0.0, 6.0, 12.0, 18.0]
+
+    def test_Allreduce_max(self):
+        def main(comm):
+            send = np.array([float(comm.Get_rank()), 10.0 - comm.Get_rank()])
+            recv = np.empty(2)
+            comm.Allreduce(send, recv, op=MAX)
+            return recv.tolist()
+
+        assert run_spmd(4, main) == [[3.0, 10.0]] * 4
+
+    def test_maxloc_rejected_in_buffer_mode(self):
+        def main(comm):
+            send = np.zeros(2)
+            recv = np.empty(2)
+            comm.Allreduce(send, recv, op=MAXLOC)
+
+        from repro.mp.runtime import SpmdError
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, main)

@@ -1,0 +1,121 @@
+"""Tests for simulated MPI-IO (the mpi4py tutorial patterns)."""
+
+import numpy as np
+import pytest
+
+from repro.mp import run_spmd
+from repro.mp.io import MpiFile, SimFile
+
+
+class TestSimFile:
+    def test_write_read_roundtrip(self):
+        f = SimFile()
+        f.write_at(4, b"abcd")
+        assert f.read_at(4, 4) == b"abcd"
+        assert f.size == 8
+
+    def test_holes_are_zero(self):
+        f = SimFile()
+        f.write_at(8, b"x")
+        assert f.read_at(0, 8) == b"\x00" * 8
+
+    def test_read_past_eof_zero_filled(self):
+        f = SimFile()
+        f.write_at(0, b"ab")
+        assert f.read_at(0, 4) == b"ab\x00\x00"
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            SimFile().write_at(-1, b"x")
+
+
+class TestContiguousCollective:
+    def test_write_at_all_mimics_tutorial(self):
+        """The mpi4py tutorial's contiguous example: each rank writes its
+        rank-filled buffer at rank * nbytes."""
+        simfile = SimFile()
+
+        def main(comm):
+            fh = MpiFile(comm, simfile)
+            buf = np.full(10, comm.Get_rank(), dtype=np.int32)
+            fh.Write_at_all(comm.Get_rank() * buf.nbytes, buf)
+
+        run_spmd(4, main)
+        contents = simfile.as_array(np.dtype(np.int32))
+        expected = np.repeat(np.arange(4, dtype=np.int32), 10)
+        assert np.array_equal(contents, expected)
+
+    def test_read_at_all_roundtrip(self):
+        simfile = SimFile()
+
+        def main(comm):
+            fh = MpiFile(comm, simfile)
+            out = np.full(5, comm.Get_rank(), dtype=np.float64)
+            fh.Write_at_all(comm.Get_rank() * out.nbytes, out)
+            back = np.empty(5)
+            fh.Read_at_all(comm.Get_rank() * out.nbytes, back)
+            return back.tolist()
+
+        results = run_spmd(3, main)
+        for rank, values in enumerate(results):
+            assert values == [float(rank)] * 5
+
+
+class TestStridedView:
+    def test_interleaved_write(self):
+        """The tutorial's Create_vector example: rank r owns every size-th
+        element starting at element r."""
+        simfile = SimFile()
+        item_count = 6
+
+        def main(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            fh = MpiFile(comm, simfile)
+            buf = np.full(item_count, rank, dtype=np.int32)
+            fh.Set_view(displacement_bytes=4 * rank)  # stride defaults to size
+            fh.Write_all(buf)
+
+        run_spmd(3, main)
+        contents = simfile.as_array(np.dtype(np.int32))
+        # Interleave: 0,1,2,0,1,2,...
+        assert np.array_equal(contents, np.tile([0, 1, 2], item_count).astype(np.int32))
+
+    def test_strided_read_back(self):
+        simfile = SimFile()
+
+        def main(comm):
+            rank = comm.Get_rank()
+            fh = MpiFile(comm, simfile)
+            buf = np.arange(4, dtype=np.int64) + 10 * rank
+            fh.Set_view(displacement_bytes=8 * rank)
+            fh.Write_all(buf)
+            out = np.empty(4, dtype=np.int64)
+            fh.Read_all(out)
+            return out.tolist()
+
+        results = run_spmd(2, main)
+        assert results[0] == [0, 1, 2, 3]
+        assert results[1] == [10, 11, 12, 13]
+
+    def test_view_required(self):
+        simfile = SimFile()
+
+        def main(comm):
+            MpiFile(comm, simfile).Write_all(np.zeros(2))
+
+        from repro.mp.runtime import SpmdError
+
+        with pytest.raises(SpmdError):
+            run_spmd(1, main)
+
+    def test_view_validation(self):
+        simfile = SimFile()
+
+        def main(comm):
+            fh = MpiFile(comm, simfile)
+            fh.Set_view(0, block_elems=4, stride_elems=2)
+
+        from repro.mp.runtime import SpmdError
+
+        with pytest.raises(SpmdError):
+            run_spmd(1, main)

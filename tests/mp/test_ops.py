@@ -1,0 +1,83 @@
+"""Tests for reduction operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mp.ops import (
+    BAND,
+    BOR,
+    LAND,
+    LOR,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    PROD,
+    SUM,
+)
+
+
+class TestScalarForms:
+    def test_sum_prod(self):
+        assert SUM(2, 3) == 5
+        assert PROD(2, 3) == 6
+
+    def test_max_min(self):
+        assert MAX(2, 9) == 9
+        assert MIN(2, 9) == 2
+
+    def test_logical(self):
+        assert LAND(1, 0) is False
+        assert LOR(0, 1) is True
+
+    def test_bitwise(self):
+        assert BAND(0b1100, 0b1010) == 0b1000
+        assert BOR(0b1100, 0b1010) == 0b1110
+
+    def test_maxloc_prefers_lower_index_on_tie(self):
+        assert MAXLOC((5, 2), (5, 1)) == (5, 1)
+        assert MAXLOC((7, 3), (5, 0)) == (7, 3)
+
+    def test_minloc(self):
+        assert MINLOC((5, 2), (3, 4)) == (3, 4)
+        assert MINLOC((3, 2), (3, 1)) == (3, 1)
+
+
+class TestBufferForms:
+    def test_ufunc_elementwise(self):
+        a = np.array([1.0, 5.0])
+        b = np.array([4.0, 2.0])
+        assert SUM.reduce_arrays(a, b).tolist() == [5.0, 7.0]
+        assert MAX.reduce_arrays(a, b).tolist() == [4.0, 5.0]
+
+    def test_maxloc_has_no_buffer_form(self):
+        with pytest.raises(TypeError):
+            MAXLOC.reduce_arrays(np.zeros(2), np.zeros(2))
+
+    def test_repr_is_mpi_name(self):
+        assert repr(SUM) == "MPI_SUM"
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_property_fold_order_irrelevant_for_sum(values):
+    """Commutative/associative: left fold == right fold."""
+    left = values[0]
+    for v in values[1:]:
+        left = SUM(left, v)
+    right = values[-1]
+    for v in reversed(values[:-1]):
+        right = SUM(v, right)
+    assert left == right == sum(values)
+
+
+@given(
+    st.tuples(st.integers(-50, 50), st.integers(0, 10)),
+    st.tuples(st.integers(-50, 50), st.integers(0, 10)),
+    st.tuples(st.integers(-50, 50), st.integers(0, 10)),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_maxloc_associative(a, b, c):
+    assert MAXLOC(MAXLOC(a, b), c) == MAXLOC(a, MAXLOC(b, c))

@@ -1,0 +1,278 @@
+"""Tests for point-to-point messaging in repro.mp."""
+
+import numpy as np
+import pytest
+
+from repro.mp import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MessageTruncated,
+    Request,
+    Status,
+    run_spmd,
+)
+from repro.mp.runtime import SpmdError, World
+
+
+class TestSendRecv:
+    def test_object_roundtrip(self):
+        def main(comm):
+            if comm.Get_rank() == 0:
+                comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        results = run_spmd(2, main)
+        assert results[1] == {"a": 7, "b": 3.14}
+
+    def test_value_semantics_deep_copy(self):
+        def main(comm):
+            if comm.Get_rank() == 0:
+                payload = [1, 2, 3]
+                comm.send(payload, dest=1)
+                payload.append(99)  # must not affect the message
+                return None
+            return comm.recv(source=0)
+
+        assert run_spmd(2, main)[1] == [1, 2, 3]
+
+    def test_wildcard_source_and_status(self):
+        def main(comm):
+            rank = comm.Get_rank()
+            if rank == 0:
+                status = Status()
+                value = comm.recv(source=ANY_SOURCE, tag=ANY_TAG, status=status)
+                return (value, status.Get_source(), status.Get_tag())
+            comm.send(f"from {rank}", dest=0, tag=rank * 10)
+            return None
+
+        value, source, tag = run_spmd(2, main)[0]
+        assert value == "from 1"
+        assert source == 1 and tag == 10
+
+    def test_non_overtaking_same_source(self):
+        def main(comm):
+            if comm.Get_rank() == 0:
+                for i in range(20):
+                    comm.send(i, dest=1, tag=5)
+                return None
+            return [comm.recv(source=0, tag=5) for _ in range(20)]
+
+        assert run_spmd(2, main)[1] == list(range(20))
+
+    def test_tag_selective_receive(self):
+        def main(comm):
+            if comm.Get_rank() == 0:
+                comm.send("first", dest=1, tag=1)
+                comm.send("second", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert run_spmd(2, main)[1] == ("first", "second")
+
+    def test_sendrecv_exchange_no_deadlock(self):
+        def main(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            partner = (rank + 1) % size
+            return comm.sendrecv(rank, dest=partner, source=(rank - 1) % size)
+
+        results = run_spmd(4, main)
+        assert results == [3, 0, 1, 2]
+
+    def test_invalid_dest_raises(self):
+        def main(comm):
+            comm.send(1, dest=99)
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, main)
+
+    def test_reserved_tag_rejected(self):
+        def main(comm):
+            comm.send(1, dest=0, tag=2_000_000)
+
+        with pytest.raises(SpmdError):
+            run_spmd(1, main)
+
+    def test_negative_tag_rejected(self):
+        def main(comm):
+            comm.send(1, dest=0, tag=-5)
+
+        with pytest.raises(SpmdError):
+            run_spmd(1, main)
+
+
+class TestNonBlocking:
+    def test_isend_irecv(self):
+        def main(comm):
+            if comm.Get_rank() == 0:
+                req = comm.isend([1, 2], dest=1)
+                req.wait()
+                return None
+            req = comm.irecv(source=0)
+            return req.wait()
+
+        assert run_spmd(2, main)[1] == [1, 2]
+
+    def test_irecv_test_polls(self):
+        def main(comm):
+            if comm.Get_rank() == 0:
+                comm.barrier()
+                comm.send("late", dest=1)
+                return None
+            req = comm.irecv(source=0)
+            done, _ = req.test()
+            assert not done  # nothing sent yet
+            comm.barrier()
+            value = req.wait()
+            done, value2 = req.test()
+            return (value, done, value2)
+
+        value, done, value2 = run_spmd(2, main)[1]
+        assert value == "late" and done and value2 == "late"
+
+    def test_waitall(self):
+        def main(comm):
+            rank = comm.Get_rank()
+            if rank == 0:
+                reqs = [comm.irecv(source=1) for _ in range(3)]
+                return Request.waitall(reqs)
+            for i in range(3):
+                comm.send(i, dest=0)
+            return None
+
+        assert run_spmd(2, main)[0] == [0, 1, 2]
+
+
+class TestProbe:
+    def test_iprobe(self):
+        def main(comm):
+            if comm.Get_rank() == 0:
+                assert not comm.iprobe()
+                comm.barrier()
+                comm.recv(source=1)
+                return None
+            comm.send("x", dest=0)
+            comm.barrier()
+            return None
+
+        run_spmd(2, main)
+
+    def test_probe_reports_metadata_without_consuming(self):
+        def main(comm):
+            if comm.Get_rank() == 0:
+                status = comm.probe(source=ANY_SOURCE)
+                value = comm.recv(source=status.Get_source(), tag=status.Get_tag())
+                return (status.Get_source(), status.Get_tag(), value)
+            comm.send("hello", dest=0, tag=9)
+            return None
+
+        assert run_spmd(2, main)[0] == (1, 9, "hello")
+
+
+class TestBufferMode:
+    def test_numpy_roundtrip(self):
+        def main(comm):
+            if comm.Get_rank() == 0:
+                comm.Send(np.arange(10, dtype=np.int64), dest=1, tag=3)
+                return None
+            buf = np.empty(10, dtype=np.int64)
+            status = Status()
+            comm.Recv(buf, source=0, tag=3, status=status)
+            return (buf.tolist(), status.Get_count())
+
+        data, count = run_spmd(2, main)[1]
+        assert data == list(range(10)) and count == 10
+
+    def test_truncation_raises(self):
+        def main(comm):
+            if comm.Get_rank() == 0:
+                comm.Send(np.zeros(10), dest=1)
+                return None
+            small = np.empty(5)
+            comm.Recv(small, source=0)
+
+        with pytest.raises(SpmdError) as exc:
+            run_spmd(2, main)
+        assert isinstance(exc.value.cause, MessageTruncated)
+
+    def test_send_copies_buffer(self):
+        def main(comm):
+            if comm.Get_rank() == 0:
+                data = np.ones(4)
+                comm.Send(data, dest=1)
+                data[:] = 99.0
+                return None
+            buf = np.empty(4)
+            comm.Recv(buf, source=0)
+            return buf.tolist()
+
+        assert run_spmd(2, main)[1] == [1.0, 1.0, 1.0, 1.0]
+
+    def test_recv_on_object_message_raises(self):
+        def main(comm):
+            if comm.Get_rank() == 0:
+                comm.send({"not": "array"}, dest=1)
+                return None
+            buf = np.empty(3)
+            comm.Recv(buf, source=0)
+
+        with pytest.raises(SpmdError) as exc:
+            run_spmd(2, main)
+        assert isinstance(exc.value.cause, TypeError)
+
+    def test_sendrecv_buffers(self):
+        def main(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            send = np.full(3, rank, dtype=np.int64)
+            recv = np.empty(3, dtype=np.int64)
+            comm.Sendrecv(
+                send, dest=(rank + 1) % size, recvbuf=recv,
+                source=(rank - 1) % size,
+            )
+            return recv[0]
+
+        assert run_spmd(3, main) == [2, 0, 1]
+
+
+class TestRuntime:
+    def test_results_indexed_by_rank(self):
+        assert run_spmd(5, lambda comm: comm.Get_rank() ** 2) == [0, 1, 4, 9, 16]
+
+    def test_spmd_error_carries_rank(self):
+        def main(comm):
+            if comm.Get_rank() == 2:
+                raise RuntimeError("rank 2 exploded")
+            return None
+
+        with pytest.raises(SpmdError) as exc:
+            run_spmd(4, main)
+        assert exc.value.rank == 2
+
+    def test_deadlock_times_out(self):
+        def main(comm):
+            comm.recv(source=0)  # nobody ever sends
+
+        with pytest.raises(TimeoutError):
+            run_spmd(2, main, timeout=0.3)
+
+    def test_world_message_trace(self):
+        world = World(2)
+
+        def main(comm):
+            if comm.Get_rank() == 0:
+                comm.send(1, dest=1)
+            else:
+                comm.recv(source=0)
+
+        run_spmd(2, main, world=world)
+        assert world.message_count == 1
+        assert world.messages_from(0) == 1
+
+    def test_world_size_mismatch(self):
+        with pytest.raises(ValueError):
+            run_spmd(3, lambda c: None, world=World(2))
+
+    def test_single_rank_world(self):
+        assert run_spmd(1, lambda comm: comm.Get_size()) == [1]

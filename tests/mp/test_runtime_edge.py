@@ -1,0 +1,125 @@
+"""Edge cases for the SPMD runtime and collectives."""
+
+import numpy as np
+import pytest
+
+from repro.mp import MAX, SUM, run_spmd
+from repro.mp.runtime import World
+
+
+class TestSingleRankDegenerate:
+    """Every collective must work on a world of one (MPI requires it)."""
+
+    def test_all_object_collectives(self):
+        def main(comm):
+            assert comm.bcast("x", root=0) == "x"
+            assert comm.gather(7, root=0) == [7]
+            assert comm.scatter([9], root=0) == 9
+            assert comm.allgather(1) == [1]
+            assert comm.alltoall(["self"]) == ["self"]
+            assert comm.reduce(5, op=SUM, root=0) == 5
+            assert comm.allreduce(5, op=MAX) == 5
+            assert comm.scan(3, op=SUM) == 3
+            assert comm.exscan(3, op=SUM) is None
+            comm.barrier()
+            return True
+
+        assert run_spmd(1, main) == [True]
+
+    def test_buffer_collectives_size_one(self):
+        def main(comm):
+            buf = np.arange(4.0)
+            comm.Bcast(buf, root=0)
+            recv = np.empty(4)
+            comm.Allreduce(buf, recv, op=SUM)
+            return recv.tolist()
+
+        assert run_spmd(1, main) == [[0.0, 1.0, 2.0, 3.0]]
+
+
+class TestNonZeroRoots:
+    @pytest.mark.parametrize("root", [1, 2, 3])
+    def test_tree_reduce_any_root(self, root):
+        def main(comm):
+            return comm.reduce(comm.Get_rank() + 1, op=SUM, root=root,
+                               algorithm="tree")
+
+        results = run_spmd(4, main)
+        assert results[root] == 10
+        assert all(results[r] is None for r in range(4) if r != root)
+
+    def test_gather_scatter_nonzero_root(self):
+        def main(comm):
+            gathered = comm.gather(comm.Get_rank(), root=2)
+            seeds = [10, 20, 30, 40] if comm.Get_rank() == 2 else None
+            mine = comm.scatter(seeds, root=2)
+            return (gathered, mine)
+
+        results = run_spmd(4, main)
+        assert results[2][0] == [0, 1, 2, 3]
+        assert [r[1] for r in results] == [10, 20, 30, 40]
+
+    def test_invalid_root_rejected(self):
+        from repro.mp.runtime import SpmdError
+
+        def main(comm):
+            comm.bcast("x", root=9)
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, main)
+
+
+class TestSelfMessaging:
+    def test_send_to_self(self):
+        def main(comm):
+            comm.send("note to self", dest=comm.Get_rank())
+            return comm.recv(source=comm.Get_rank())
+
+        assert run_spmd(2, main) == ["note to self"] * 2
+
+
+class TestWorldIntrospection:
+    def test_trace_records_source_dest_tag(self):
+        world = World(2)
+
+        def main(comm):
+            if comm.Get_rank() == 0:
+                comm.send("x", dest=1, tag=42)
+            else:
+                comm.recv(source=0)
+
+        run_spmd(2, main, world=world)
+        record = world.trace()[0]
+        assert (record.source, record.dest, record.tag) == (0, 1, 42)
+
+    def test_reusing_a_world_across_jobs_rejected_sizes(self):
+        world = World(3)
+        with pytest.raises(ValueError):
+            world.communicator(7)
+
+    def test_zero_size_world_rejected(self):
+        with pytest.raises(ValueError):
+            World(0)
+
+
+class TestObjectIsolation:
+    def test_numpy_in_object_mode_is_copied(self):
+        def main(comm):
+            if comm.Get_rank() == 0:
+                arr = np.zeros(3)
+                comm.send(arr, dest=1)
+                arr[:] = 9.0
+                return None
+            received = comm.recv(source=0)
+            return received.tolist()
+
+        assert run_spmd(2, main)[1] == [0.0, 0.0, 0.0]
+
+    def test_bcast_gives_each_rank_its_own_copy(self):
+        def main(comm):
+            data = comm.bcast({"xs": []} if comm.Get_rank() == 0 else None)
+            data["xs"].append(comm.Get_rank())
+            return len(data["xs"])
+
+        # If ranks shared one dict, lengths would exceed 1.
+        assert run_spmd(4, main) == [1, 1, 1, 1]

@@ -1,0 +1,132 @@
+"""Tests for cartesian topologies."""
+
+import pytest
+
+from repro.mp import CartComm, run_spmd
+from repro.mp.topology import dims_create
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize("nnodes,ndims", [(12, 2), (16, 2), (24, 3), (7, 1), (1, 2)])
+    def test_product_preserved(self, nnodes, ndims):
+        dims = dims_create(nnodes, ndims)
+        product = 1
+        for d in dims:
+            product *= d
+        assert product == nnodes
+        assert len(dims) == ndims
+
+    def test_balanced_square(self):
+        assert dims_create(16, 2) == [4, 4]
+
+    def test_nonincreasing(self):
+        for n in (6, 12, 30, 64):
+            dims = dims_create(n, 3)
+            assert dims == sorted(dims, reverse=True)
+
+    def test_prime_becomes_line(self):
+        assert dims_create(7, 2) == [7, 1]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            dims_create(0, 2)
+        with pytest.raises(ValueError):
+            dims_create(4, 0)
+
+
+class TestCartComm:
+    def test_size_must_match_grid(self):
+        def main(comm):
+            CartComm(comm, (2, 2))  # world is 6
+
+        from repro.mp.runtime import SpmdError
+
+        with pytest.raises(SpmdError):
+            run_spmd(6, main)
+
+    def test_coords_roundtrip(self):
+        def main(comm):
+            cart = CartComm(comm, (2, 3))
+            coords = cart.Get_coords()
+            return cart.Get_cart_rank(coords) == comm.Get_rank(), coords
+
+        results = run_spmd(6, main)
+        assert all(ok for ok, _ in results)
+        assert [c for _, c in results] == [
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2),
+        ]
+
+    def test_row_major_layout(self):
+        def main(comm):
+            cart = CartComm(comm, (2, 3))
+            return cart.Get_cart_rank((1, 2))
+
+        assert run_spmd(6, main)[0] == 5
+
+    def test_shift_non_periodic_edges(self):
+        def main(comm):
+            cart = CartComm(comm, (4,), periods=(False,))
+            return cart.Shift(0)
+
+        results = run_spmd(4, main)
+        assert results[0] == (None, 1)
+        assert results[3] == (2, None)
+        assert results[1] == (0, 2)
+
+    def test_shift_periodic_wraps(self):
+        def main(comm):
+            cart = CartComm(comm, (4,), periods=(True,))
+            return cart.Shift(0)
+
+        results = run_spmd(4, main)
+        assert results[0] == (3, 1)
+        assert results[3] == (2, 0)
+
+    def test_nonperiodic_out_of_range_coord(self):
+        def main(comm):
+            cart = CartComm(comm, (2, 2))
+            cart.Get_cart_rank((2, 0))
+
+        from repro.mp.runtime import SpmdError
+
+        with pytest.raises(SpmdError):
+            run_spmd(4, main)
+
+    def test_neighbor_exchange_ring(self):
+        def main(comm):
+            cart = CartComm(comm, (4,), periods=(True,))
+            lo, hi = cart.neighbor_exchange(0, comm.Get_rank())
+            return (lo, hi)
+
+        results = run_spmd(4, main)
+        assert results == [(3, 1), (0, 2), (1, 3), (2, 0)]
+
+    def test_neighbor_exchange_edge_gets_none(self):
+        def main(comm):
+            cart = CartComm(comm, (3,), periods=(False,))
+            return cart.neighbor_exchange(0, comm.Get_rank())
+
+        results = run_spmd(3, main)
+        assert results[0] == (None, 1)
+        assert results[2] == (1, None)
+
+    def test_row_ranks(self):
+        def main(comm):
+            cart = CartComm(comm, (2, 3))
+            return cart.row_ranks(1)
+
+        results = run_spmd(6, main)
+        assert results[0] == [0, 1, 2]
+        assert results[4] == [3, 4, 5]
+
+    def test_halo_stencil_average(self):
+        """A 1-D Jacobi step over a periodic ring, the topology's use case."""
+        def main(comm):
+            cart = CartComm(comm, (4,), periods=(True,))
+            mine = float(comm.Get_rank())
+            lo, hi = cart.neighbor_exchange(0, mine)
+            return (lo + mine + hi) / 3.0
+
+        results = run_spmd(4, main)
+        assert results[1] == pytest.approx((0 + 1 + 2) / 3)
+        assert results[0] == pytest.approx((3 + 0 + 1) / 3)

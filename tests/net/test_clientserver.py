@@ -1,0 +1,118 @@
+"""Tests for the echo and key-value servers."""
+
+import threading
+
+import pytest
+
+from repro.net import (
+    Address,
+    Connection,
+    EchoServer,
+    KeyValueClient,
+    KeyValueServer,
+    Network,
+)
+
+
+class TestEchoServer:
+    def test_echo(self):
+        net = Network()
+        with EchoServer(net, Address("echo", 7)):
+            with Connection.connect(net, Address("echo", 7)) as conn:
+                for msg in ("a", [1, 2], {"k": "v"}):
+                    conn.send(msg)
+                    assert conn.recv() == msg
+
+    def test_multiple_concurrent_clients(self):
+        net = Network()
+        with EchoServer(net, Address("echo", 7)) as server:
+            results = {}
+            lock = threading.Lock()
+
+            def client(tag):
+                with Connection.connect(net, Address("echo", 7)) as conn:
+                    conn.send(tag)
+                    with lock:
+                        results[tag] = conn.recv()
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(5)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(10)
+            assert results == {i: i for i in range(5)}
+            assert server.connections_served == 5
+
+
+class TestKeyValueServer:
+    @pytest.fixture()
+    def kv(self):
+        net = Network()
+        server = KeyValueServer(net, Address("kv", 6379)).start()
+        client = KeyValueClient(net, Address("kv", 6379))
+        yield net, server, client
+        client.close()
+        server.stop()
+
+    def test_put_get(self, kv):
+        _net, _server, client = kv
+        client.put("k", [1, 2, 3])
+        assert client.get("k") == [1, 2, 3]
+
+    def test_get_missing_returns_none(self, kv):
+        _net, _server, client = kv
+        assert client.get("nope") is None
+
+    def test_delete(self, kv):
+        _net, _server, client = kv
+        client.put("k", 1)
+        assert client.delete("k") is True
+        assert client.delete("k") is False
+        assert client.get("k") is None
+
+    def test_keys_sorted(self, kv):
+        _net, _server, client = kv
+        for k in ("zebra", "apple", "mango"):
+            client.put(k, 1)
+        assert client.keys() == ["apple", "mango", "zebra"]
+
+    def test_incr_atomic_under_concurrency(self, kv):
+        net, _server, _client = kv
+        per_client, clients = 40, 4
+
+        def hammer():
+            with KeyValueClient(net, Address("kv", 6379)) as c:
+                for _ in range(per_client):
+                    c.incr("counter")
+
+        threads = [threading.Thread(target=hammer) for _ in range(clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(20)
+        assert _client_get(net, "counter") == per_client * clients
+
+    def test_incr_non_integer_conflict(self, kv):
+        _net, _server, client = kv
+        client.put("s", "text")
+        with pytest.raises(ValueError):
+            client.incr("s")
+
+    def test_unknown_verb_405(self, kv):
+        _net, _server, client = kv
+        client._conn.send(("FROB", "x", None))
+        response = client._conn.recv()
+        assert response.status == 405
+
+    def test_malformed_request_400(self, kv):
+        _net, _server, client = kv
+        client._conn.send("garbage")
+        response = client._conn.recv()
+        assert response.status == 400
+
+
+def _client_get(net, key):
+    with KeyValueClient(net, Address("kv", 6379)) as c:
+        return c.get(key)

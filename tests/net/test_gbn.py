@@ -1,0 +1,133 @@
+"""Tests for Go-Back-N and Selective Repeat ARQ."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.gbn import (
+    protocol_comparison,
+    simulate_go_back_n,
+    simulate_selective_repeat,
+    window_sweep,
+)
+
+
+class TestLossFree:
+    def test_exact_transmission_count(self):
+        report = simulate_go_back_n(50, 4, loss_rate=0.0)
+        assert report.transmissions == 50
+        assert report.timeouts == 0
+        assert report.efficiency == 1.0
+
+    def test_rounds_scale_with_window(self):
+        r1 = simulate_go_back_n(64, 1, loss_rate=0.0)
+        r8 = simulate_go_back_n(64, 8, loss_rate=0.0)
+        assert r1.rounds == 64
+        assert r8.rounds == 8
+
+    def test_zero_packets(self):
+        report = simulate_go_back_n(0, 4)
+        assert report.transmissions == 0
+        assert report.rounds == 0
+
+
+class TestLossy:
+    def test_always_completes(self):
+        for seed in range(5):
+            report = simulate_go_back_n(40, 4, loss_rate=0.3, seed=seed)
+            assert report.transmissions >= 40
+            assert report.timeouts >= 0
+
+    def test_deterministic_per_seed(self):
+        a = simulate_go_back_n(40, 4, loss_rate=0.2, seed=9)
+        b = simulate_go_back_n(40, 4, loss_rate=0.2, seed=9)
+        assert a == b
+
+    def test_ack_loss_also_recovered(self):
+        report = simulate_go_back_n(
+            30, 4, loss_rate=0.0, ack_loss_rate=0.4, seed=3
+        )
+        assert report.transmissions >= 30
+
+    def test_stop_and_wait_is_window_one(self):
+        report = simulate_go_back_n(20, 1, loss_rate=0.25, seed=1)
+        # Window 1: never more than one distinct packet per round.
+        assert report.rounds >= 20
+
+    def test_window_sweep_tradeoff(self):
+        """Bigger windows finish in fewer rounds but burn more
+        transmissions under loss — the protocol's defining trade-off."""
+        sweep = window_sweep(num_packets=100, loss_rate=0.1, seed=0)
+        rounds = [sweep[w].rounds for w in (1, 2, 4, 8, 16)]
+        assert rounds == sorted(rounds, reverse=True)
+        assert sweep[16].transmissions > sweep[1].transmissions
+
+
+class TestValidation:
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            simulate_go_back_n(10, 0)
+
+    def test_bad_loss_rate(self):
+        with pytest.raises(ValueError):
+            simulate_go_back_n(10, 2, loss_rate=1.0)
+
+
+@given(
+    st.integers(0, 60),
+    st.integers(1, 12),
+    st.floats(0.0, 0.45),
+    st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_gbn_terminates_and_counts(n, window, loss, seed):
+    report = simulate_go_back_n(n, window, loss_rate=loss, seed=seed)
+    assert report.transmissions >= n
+    assert report.efficiency <= 1.0 + 1e-9
+    assert report.num_packets == n
+
+
+class TestSelectiveRepeat:
+    def test_lossfree_exact(self):
+        report = simulate_selective_repeat(50, 4, loss_rate=0.0)
+        assert report.transmissions == 50
+        assert report.rounds == 13  # ceil(50/4)
+
+    def test_only_lost_packets_resent(self):
+        """SR's defining property: efficiency ~ 1 - loss, independent of
+        window size (no go-back waste)."""
+        report = simulate_selective_repeat(200, 8, loss_rate=0.2, seed=1)
+        assert report.efficiency > 0.7
+
+    def test_deterministic(self):
+        a = simulate_selective_repeat(40, 6, loss_rate=0.3, seed=5)
+        assert a == simulate_selective_repeat(40, 6, loss_rate=0.3, seed=5)
+
+    def test_ack_loss_recovered(self):
+        report = simulate_selective_repeat(
+            30, 4, ack_loss_rate=0.4, seed=2
+        )
+        assert report.transmissions >= 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_selective_repeat(10, 0)
+
+    def test_sr_never_less_efficient_than_gbn(self):
+        for loss, row in protocol_comparison(seed=3).items():
+            assert (
+                row["selective-repeat"].efficiency
+                >= row["go-back-n"].efficiency - 1e-9
+            ), loss
+
+    def test_gap_widens_with_loss(self):
+        rows = protocol_comparison(loss_rates=[0.05, 0.3], seed=0)
+        gap_low = (
+            rows[0.05]["selective-repeat"].efficiency
+            - rows[0.05]["go-back-n"].efficiency
+        )
+        gap_high = (
+            rows[0.3]["selective-repeat"].efficiency
+            - rows[0.3]["go-back-n"].efficiency
+        )
+        assert gap_high > gap_low

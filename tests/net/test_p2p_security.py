@@ -1,0 +1,181 @@
+"""Tests for P2P overlays and the security teaching unit."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Network
+from repro.net.p2p import ConsistentHashRing, FloodingNetwork
+from repro.net.security import (
+    DiffieHellman,
+    caesar_break,
+    caesar_decrypt,
+    caesar_encrypt,
+    dh_exchange_over_network,
+    mac_sign,
+    mac_verify,
+    vigenere_decrypt,
+    vigenere_encrypt,
+)
+
+
+class TestFlooding:
+    def _line(self, n):
+        net = FloodingNetwork()
+        net.add_peer("p0")
+        for i in range(1, n):
+            net.add_peer(f"p{i}", [f"p{i-1}"])
+        return net
+
+    def test_find_local_item_zero_messages(self):
+        net = self._line(3)
+        net.store("p0", "item")
+        result = net.lookup("p0", "item")
+        assert result.found_at == "p0"
+        assert result.messages == 0 and result.hops == 0
+
+    def test_find_distant_item(self):
+        net = self._line(10)
+        net.store("p7", "song")
+        result = net.lookup("p0", "song", ttl=9)
+        assert result.found_at == "p7"
+        assert result.hops == 7
+
+    def test_ttl_limits_reach(self):
+        net = self._line(10)
+        net.store("p7", "song")
+        result = net.lookup("p0", "song", ttl=3)
+        assert result.found_at is None
+
+    def test_messages_grow_with_degree(self):
+        # A star floods everyone in one hop; a clique floods more edges.
+        star = FloodingNetwork()
+        star.add_peer("hub")
+        for i in range(6):
+            star.add_peer(f"leaf{i}", ["hub"])
+        star.store("leaf5", "x")
+        r = star.lookup("hub", "x", ttl=1)
+        assert r.found_at == "leaf5"
+        assert r.messages <= 6
+
+    def test_unknown_peer_raises(self):
+        net = self._line(2)
+        with pytest.raises(KeyError):
+            net.lookup("ghost", "x")
+        with pytest.raises(KeyError):
+            net.add_peer("new", ["ghost"])
+
+
+class TestConsistentHashing:
+    def test_deterministic_placement(self):
+        ring = ConsistentHashRing(["n1", "n2", "n3"])
+        assert ring.node_for("key") == ring.node_for("key")
+
+    def test_all_keys_placed_on_known_nodes(self):
+        ring = ConsistentHashRing(["n1", "n2", "n3"], virtual_nodes=32)
+        keys = [f"k{i}" for i in range(200)]
+        assert set(ring.placement(keys).values()) <= {"n1", "n2", "n3"}
+
+    def test_join_moves_about_one_over_n(self):
+        ring = ConsistentHashRing(["n1", "n2", "n3"], virtual_nodes=64)
+        keys = [f"k{i}" for i in range(2000)]
+        before = ring.placement(keys)
+        ring.add_node("n4")
+        moved = ConsistentHashRing.moved_keys(before, ring.placement(keys))
+        assert 0.15 < moved < 0.40  # ~1/4 expected
+
+    def test_leave_only_moves_departed_keys(self):
+        ring = ConsistentHashRing(["n1", "n2", "n3"], virtual_nodes=64)
+        keys = [f"k{i}" for i in range(1000)]
+        before = ring.placement(keys)
+        ring.remove_node("n2")
+        after = ring.placement(keys)
+        for k in keys:
+            if before[k] != "n2":
+                assert after[k] == before[k]
+
+    def test_load_reasonably_balanced(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"], virtual_nodes=128)
+        keys = [f"k{i}" for i in range(4000)]
+        loads = ring.load_distribution(keys)
+        assert max(loads.values()) < 2.0 * min(loads.values())
+
+    def test_duplicate_node_rejected(self):
+        ring = ConsistentHashRing(["n1"])
+        with pytest.raises(ValueError):
+            ring.add_node("n1")
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(RuntimeError):
+            ConsistentHashRing().node_for("k")
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ConsistentHashRing(["n1"]).remove_node("nx")
+
+
+class TestCiphers:
+    def test_caesar_roundtrip_preserves_case_and_punctuation(self):
+        pt = "Attack at Dawn, Zulu!"
+        ct = caesar_encrypt(pt, 5)
+        assert ct != pt
+        assert caesar_decrypt(ct, 5) == pt
+
+    def test_caesar_wraps_alphabet(self):
+        assert caesar_encrypt("xyz", 3) == "abc"
+
+    @pytest.mark.parametrize("key", [1, 7, 13, 25])
+    def test_caesar_break_recovers_key(self, key):
+        pt = ("the quick brown fox jumps over the lazy dog while the "
+              "rain in spain stays mainly in the plain")
+        found_key, found_pt = caesar_break(caesar_encrypt(pt, key))
+        assert found_key == key
+        assert found_pt == pt
+
+    def test_vigenere_roundtrip(self):
+        pt = "divert troops to east ridge"
+        assert vigenere_decrypt(vigenere_encrypt(pt, "lemon"), "lemon") == pt
+
+    def test_vigenere_differs_from_caesar(self):
+        pt = "aaaa aaaa"
+        ct = vigenere_encrypt(pt, "ab")
+        assert ct == "abab abab"  # polyalphabetic signature
+
+    def test_vigenere_key_validation(self):
+        with pytest.raises(ValueError):
+            vigenere_encrypt("x", "")
+        with pytest.raises(ValueError):
+            vigenere_encrypt("x", "k3y")
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz ", max_size=80),
+           st.integers(0, 25))
+    @settings(max_examples=60, deadline=None)
+    def test_property_caesar_roundtrip(self, pt, key):
+        assert caesar_decrypt(caesar_encrypt(pt, key), key) == pt
+
+
+class TestDiffieHellman:
+    def test_shared_secret_agreement(self):
+        alice = DiffieHellman(123456789)
+        bob = DiffieHellman(987654321)
+        assert alice.shared_secret(bob.public) == bob.shared_secret(alice.public)
+
+    def test_different_privates_different_publics(self):
+        assert DiffieHellman(2).public != DiffieHellman(3).public
+
+    def test_exchange_over_network(self):
+        s1, s2 = dh_exchange_over_network(Network(), 111, 222)
+        assert s1 == s2
+
+    def test_private_key_validation(self):
+        with pytest.raises(ValueError):
+            DiffieHellman(0)
+
+    def test_mac_sign_verify(self):
+        alice = DiffieHellman(5)
+        bob = DiffieHellman(7)
+        key = alice.shared_secret(bob.public)
+        tag = mac_sign(key, "launch at noon")
+        assert mac_verify(key, "launch at noon", tag)
+        assert not mac_verify(key, "launch at dawn", tag)
+        assert not mac_verify(key + 1, "launch at noon", tag)

@@ -1,0 +1,125 @@
+"""Tests for protocol layering, the app protocol, and stop-and-wait ARQ."""
+
+import threading
+
+import pytest
+
+from repro.net import Address, Network
+from repro.net.protocol import (
+    Frame,
+    LayeredStack,
+    ProtocolError,
+    Request,
+    Response,
+    stop_and_wait_recv,
+    stop_and_wait_send,
+)
+from repro.net.sockets import DatagramSocket
+
+
+class TestLayering:
+    def test_encapsulation_nests_all_layers(self):
+        stack = LayeredStack()
+        frame = stack.encapsulate("payload")
+        layers = []
+        current = frame
+        while isinstance(current, Frame):
+            layers.append(current.layer)
+            current = current.payload
+        assert layers == ["link", "network", "transport", "application"]
+        assert current == "payload"
+
+    def test_decapsulate_roundtrip(self):
+        stack = LayeredStack()
+        data = {"temp": 20.5}
+        assert stack.decapsulate(stack.encapsulate(data, "A", "B")) == data
+
+    def test_layer_order_enforced(self):
+        stack = LayeredStack()
+        bad = Frame("transport", {}, Frame("link", {}, "x"))
+        with pytest.raises(ProtocolError):
+            stack.decapsulate(bad)
+
+    def test_missing_layers_detected(self):
+        stack = LayeredStack()
+        with pytest.raises(ProtocolError):
+            stack.decapsulate(Frame("link", {}, "bare payload"))
+
+    def test_sequence_numbers_increment(self):
+        stack = LayeredStack()
+        f1 = stack.encapsulate("a")
+        f2 = stack.encapsulate("b")
+        assert f2.header["seq"] == f1.header["seq"] + 1
+
+    def test_trace_lines(self):
+        stack = LayeredStack(["app", "wire"])
+        lines = stack.trace(stack.encapsulate("x"))
+        assert len(lines) == 3
+        assert lines[0].startswith("wire:")
+        assert lines[-1] == "payload: 'x'"
+
+    def test_custom_layers(self):
+        stack = LayeredStack(["a", "b"])
+        assert stack.decapsulate(stack.encapsulate(1)) == 1
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ValueError):
+            LayeredStack([])
+
+
+class TestRequestResponse:
+    def test_encode_decode(self):
+        req = Request("get", "users/1", {"fields": ["name"]})
+        assert Request.decode(req.encode()) == Request("GET", "users/1", {"fields": ["name"]})
+
+    def test_decode_rejects_malformed(self):
+        with pytest.raises(ProtocolError):
+            Request.decode(("GET",))
+        with pytest.raises(ProtocolError):
+            Request.decode((1, 2, 3))
+        with pytest.raises(ProtocolError):
+            Request.decode("not a tuple")
+
+    def test_response_ok(self):
+        assert Response(200).ok
+        assert Response(204).ok
+        assert not Response(404).ok
+        assert not Response(500).ok
+
+
+class TestStopAndWait:
+    def _run(self, drop_rate, seed, messages):
+        net = Network(drop_rate=drop_rate, seed=seed)
+        sender = DatagramSocket(net, Address("tx", 1))
+        receiver = DatagramSocket(net, Address("rx", 1))
+        received = {}
+
+        def recv_side():
+            received["msgs"] = stop_and_wait_recv(receiver, len(messages))
+
+        t = threading.Thread(target=recv_side, daemon=True)
+        t.start()
+        transmissions = stop_and_wait_send(
+            sender, Address("rx", 1), messages
+        )
+        t.join(30)
+        return received["msgs"], transmissions
+
+    def test_lossless_exact_transmissions(self):
+        msgs, tx = self._run(0.0, 0, list(range(5)))
+        assert msgs == list(range(5))
+        assert tx == 5
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_lossy_delivery_complete_and_ordered(self, seed):
+        msgs, tx = self._run(0.3, seed, list(range(10)))
+        assert msgs == list(range(10))
+        assert tx >= 10  # retransmissions happened
+
+    def test_receiver_rejects_garbage(self):
+        net = Network()
+        a = DatagramSocket(net, Address("a", 1))
+        b = DatagramSocket(net, Address("b", 1))
+        a.sendto("not a DATA tuple", Address("b", 1))
+        with pytest.raises(ProtocolError):
+            stop_and_wait_recv(b, 1, timeout=1)

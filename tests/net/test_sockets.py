@@ -1,0 +1,160 @@
+"""Tests for the simulated network and socket API."""
+
+import threading
+
+import pytest
+
+from repro.net import Address, ConnectionRefused, Network
+from repro.net.sockets import Connection, DatagramSocket, ServerSocket
+
+
+class TestAddress:
+    def test_str(self):
+        assert str(Address("host", 80)) == "host:80"
+
+    def test_hashable_and_ordered(self):
+        a, b = Address("a", 1), Address("a", 2)
+        assert a < b
+        assert len({a, b, Address("a", 1)}) == 2
+
+
+class TestConnections:
+    def test_connect_refused_without_listener(self):
+        net = Network()
+        with pytest.raises(ConnectionRefused):
+            Connection.connect(net, Address("nowhere", 1))
+
+    def test_echo_roundtrip(self):
+        net = Network()
+        server = ServerSocket(net, Address("srv", 80))
+
+        def serve():
+            conn = server.accept()
+            conn.send(conn.recv())
+            conn.close()
+
+        t = threading.Thread(target=serve, daemon=True)
+        t.start()
+        client = Connection.connect(net, Address("srv", 80))
+        client.send("ping")
+        assert client.recv() == "ping"
+        t.join(5)
+        server.close()
+
+    def test_bidirectional_in_order(self):
+        net = Network()
+        server = ServerSocket(net, Address("srv", 80))
+
+        def serve():
+            conn = server.accept()
+            for _ in range(5):
+                conn.send(conn.recv() * 2)
+            conn.close()
+
+        t = threading.Thread(target=serve, daemon=True)
+        t.start()
+        client = Connection.connect(net, Address("srv", 80))
+        results = []
+        for i in range(5):
+            client.send(i)
+            results.append(client.recv())
+        assert results == [0, 2, 4, 6, 8]
+        t.join(5)
+        server.close()
+
+    def test_eof_after_close(self):
+        net = Network()
+        server = ServerSocket(net, Address("srv", 80))
+
+        def serve():
+            conn = server.accept()
+            conn.send("bye")
+            conn.close()
+
+        t = threading.Thread(target=serve, daemon=True)
+        t.start()
+        client = Connection.connect(net, Address("srv", 80))
+        assert client.recv() == "bye"
+        with pytest.raises(EOFError):
+            client.recv()
+        t.join(5)
+        server.close()
+
+    def test_send_after_peer_close_breaks_pipe(self):
+        net = Network()
+        server = ServerSocket(net, Address("srv", 80))
+        client = Connection.connect(net, Address("srv", 80))
+        conn = server.accept()
+        client.close()
+        conn.recv if False else None
+        with pytest.raises(BrokenPipeError):
+            client.send("too late")
+        server.close()
+
+    def test_address_already_in_use(self):
+        net = Network()
+        ServerSocket(net, Address("srv", 80))
+        with pytest.raises(OSError):
+            ServerSocket(net, Address("srv", 80))
+
+    def test_rebind_after_close(self):
+        net = Network()
+        s = ServerSocket(net, Address("srv", 80))
+        s.close()
+        ServerSocket(net, Address("srv", 80)).close()
+
+    def test_traffic_metered(self):
+        net = Network()
+        server = ServerSocket(net, Address("srv", 80))
+        client = Connection.connect(net, Address("srv", 80))
+        conn = server.accept()
+        client.send("data")
+        conn.recv()
+        assert net.stats.messages == 1
+        assert net.stats.bytes > 0
+        server.close()
+
+
+class TestDatagrams:
+    def test_sendto_recvfrom(self):
+        net = Network()
+        a = DatagramSocket(net, Address("a", 1))
+        b = DatagramSocket(net, Address("b", 1))
+        assert a.sendto("hello", Address("b", 1))
+        source, payload = b.recvfrom()
+        assert source == Address("a", 1)
+        assert payload == "hello"
+
+    def test_unknown_destination_dropped(self):
+        net = Network()
+        a = DatagramSocket(net, Address("a", 1))
+        assert not a.sendto("x", Address("ghost", 9))
+        assert net.stats.dropped == 1
+
+    def test_deterministic_loss(self):
+        def run(seed):
+            net = Network(drop_rate=0.5, seed=seed)
+            a = DatagramSocket(net, Address("a", 1))
+            DatagramSocket(net, Address("b", 1))
+            return [a.sendto(i, Address("b", 1)) for i in range(20)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_poll_nonblocking(self):
+        net = Network()
+        a = DatagramSocket(net, Address("a", 1))
+        assert a.poll() is None
+        b = DatagramSocket(net, Address("b", 1))
+        b.sendto("x", Address("a", 1))
+        assert a.poll() == (Address("b", 1), "x")
+
+    def test_invalid_drop_rate(self):
+        with pytest.raises(ValueError):
+            Network(drop_rate=1.0)
+
+    def test_close_releases_address(self):
+        net = Network()
+        s = DatagramSocket(net, Address("a", 1))
+        s.close()
+        DatagramSocket(net, Address("a", 1)).close()

@@ -1,0 +1,136 @@
+"""Tests for CPU/I-O burst scheduling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oskernel import FCFS, MLFQ, RoundRobin, SRTF
+from repro.oskernel.iosim import IoProcess, multiprogramming_curve, simulate_io
+
+
+class TestIoProcess:
+    def test_burst_totals(self):
+        p = IoProcess(1, 0, [3, 5, 2])
+        assert p.cpu_time == 5
+        assert p.io_time == 5
+
+    def test_even_length_rejected(self):
+        with pytest.raises(ValueError):
+            IoProcess(1, 0, [2, 3])
+
+    def test_empty_and_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            IoProcess(1, 0, [])
+        with pytest.raises(ValueError):
+            IoProcess(1, 0, [2, 0, 2])
+
+
+class TestSimulateIo:
+    def test_cpu_only_process(self):
+        metrics = simulate_io([IoProcess(1, 0, [5])], FCFS())
+        assert metrics.makespan == 5
+        assert metrics.cpu_utilization == 1.0
+        assert metrics.processes[0].turnaround == 5
+
+    def test_single_io_bound_job_idles_cpu(self):
+        metrics = simulate_io([IoProcess(1, 0, [2, 8, 2])], FCFS())
+        assert metrics.makespan == 12
+        assert metrics.cpu_busy == 4
+        assert metrics.cpu_utilization == pytest.approx(4 / 12)
+
+    def test_overlap_raises_utilization(self):
+        one = simulate_io([IoProcess(1, 0, [2, 8, 2])], FCFS())
+        two = simulate_io(
+            [IoProcess(1, 0, [2, 8, 2]), IoProcess(2, 0, [2, 8, 2])], FCFS()
+        )
+        assert two.cpu_utilization > one.cpu_utilization
+        # The second job's CPU bursts fit entirely inside the first's
+        # I/O window, so the makespan grows by only 2 ticks.
+        assert two.makespan == 14
+
+    def test_all_bursts_executed(self):
+        jobs = [IoProcess(1, 0, [3, 2, 3]), IoProcess(2, 1, [1, 5, 1])]
+        metrics = simulate_io(jobs, RoundRobin(2))
+        assert metrics.cpu_busy == sum(p.cpu_time for p in metrics.processes)
+        for p in metrics.processes:
+            assert p.completion_time is not None
+            assert p.turnaround >= p.cpu_time + p.io_time
+
+    def test_inputs_not_mutated(self):
+        job = IoProcess(1, 0, [2, 2, 2])
+        simulate_io([job], FCFS())
+        assert job.completion_time is None
+
+    def test_late_arrival_idle_gap(self):
+        metrics = simulate_io([IoProcess(1, 10, [3])], FCFS())
+        assert metrics.makespan == 13
+        assert metrics.processes[0].turnaround == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_io([], FCFS())
+
+    @pytest.mark.parametrize("make_sched", [FCFS, SRTF, lambda: RoundRobin(2), MLFQ])
+    def test_policies_all_complete(self, make_sched):
+        jobs = [
+            IoProcess(1, 0, [4, 3, 4]),
+            IoProcess(2, 1, [1, 6, 1, 6, 1]),
+            IoProcess(3, 2, [8]),
+        ]
+        metrics = simulate_io(jobs, make_sched())
+        assert all(p.completion_time is not None for p in metrics.processes)
+        assert metrics.cpu_busy == sum(p.cpu_time for p in metrics.processes)
+
+
+class TestMultiprogrammingCurve:
+    def test_saturation_at_io_cpu_ratio(self):
+        """Utilization saturates at degree io/cpu + 1 — the lecture figure."""
+        curve = multiprogramming_curve(
+            [1, 2, 3, 4, 5, 6], RoundRobin, cpu_burst=2, io_burst=8
+        )
+        assert curve[1] < 0.3
+        assert curve[5] == pytest.approx(1.0, abs=0.05)
+        assert curve[6] == pytest.approx(1.0, abs=0.05)
+
+    def test_monotone_nondecreasing_under_rr(self):
+        """Round-robin de-phases identical jobs, giving the clean
+        monotone curve (FCFS can phase-align identical jobs so that they
+        all block at once — a real convoy effect the RR slice breaks)."""
+        curve = multiprogramming_curve(
+            [1, 2, 3, 4], RoundRobin, cpu_burst=3, io_burst=6
+        )
+        values = [curve[d] for d in (1, 2, 3, 4)]
+        assert values == sorted(values)
+
+    def test_fcfs_phase_convoy_can_dip(self):
+        """The surprise worth teaching: non-preemptive FCFS on identical
+        I/O-bound jobs can phase-lock and *lose* utilization at higher
+        degree — time-slicing exists partly to prevent this."""
+        curve = multiprogramming_curve(
+            [3, 4], FCFS, cpu_burst=3, io_burst=6
+        )
+        assert curve[4] < curve[3]
+
+    def test_cpu_bound_jobs_saturate_immediately(self):
+        curve = multiprogramming_curve([1, 2], FCFS, cpu_burst=8, io_burst=1)
+        assert curve[1] > 0.85
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_property_io_conservation(data):
+    n = data.draw(st.integers(1, 4))
+    jobs = []
+    for i in range(n):
+        cycles = data.draw(st.integers(0, 2))
+        bursts = []
+        for _ in range(cycles):
+            bursts.extend([data.draw(st.integers(1, 4)), data.draw(st.integers(1, 4))])
+        bursts.append(data.draw(st.integers(1, 4)))
+        jobs.append(IoProcess(i + 1, data.draw(st.integers(0, 5)), bursts))
+    metrics = simulate_io(jobs, RoundRobin(2))
+    total_cpu = sum(p.cpu_time for p in metrics.processes)
+    assert metrics.cpu_busy == total_cpu
+    assert metrics.makespan >= total_cpu / 1  # single CPU lower bound... >=
+    for p in metrics.processes:
+        assert p.turnaround >= p.cpu_time + p.io_time

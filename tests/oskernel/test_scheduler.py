@@ -1,0 +1,221 @@
+"""Tests for single-CPU scheduling policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oskernel import (
+    FCFS,
+    MLFQ,
+    PriorityScheduler,
+    Process,
+    RoundRobin,
+    SJF,
+    SRTF,
+    Workloads,
+    simulate,
+)
+from repro.oskernel.scheduler import compare
+
+
+class TestProcessModel:
+    def test_metrics_derivation(self):
+        p = Process(1, arrival=2, burst=5)
+        p.start_time = 4
+        p.completion_time = 10
+        assert p.turnaround == 8
+        assert p.waiting == 3
+        assert p.response == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Process(1, arrival=0, burst=0)
+        with pytest.raises(ValueError):
+            Process(1, arrival=-1, burst=1)
+
+    def test_reset_returns_fresh_copy(self):
+        p = Process(1, 0, 5)
+        p.remaining = 0
+        fresh = p.reset()
+        assert fresh.remaining == 5
+        assert fresh is not p
+
+
+class TestFcfs:
+    def test_arrival_order(self):
+        procs = [Process(1, 0, 3), Process(2, 1, 3), Process(3, 2, 3)]
+        m = simulate(procs, FCFS())
+        order = [pid for pid, _s, _e in m.gantt]
+        assert order == [1, 2, 3]
+
+    def test_convoy_effect(self):
+        convoy = Workloads.convoy()
+        fcfs = simulate(convoy, FCFS())
+        sjf = simulate(convoy, SJF())
+        assert fcfs.avg_waiting > 5 * sjf.avg_waiting
+
+    def test_textbook_average_waiting(self):
+        m = simulate(Workloads.textbook(), FCFS())
+        assert m.avg_waiting == pytest.approx(7.6)
+
+    def test_idle_gap_handled(self):
+        procs = [Process(1, 0, 2), Process(2, 10, 2)]
+        m = simulate(procs, FCFS())
+        assert m.makespan == 12
+
+
+class TestSjfSrtf:
+    def test_sjf_nonpreemptive(self):
+        # Long job arrives first and runs to completion even when a short
+        # job arrives meanwhile.
+        procs = [Process(1, 0, 10), Process(2, 1, 1)]
+        m = simulate(procs, SJF())
+        assert m.gantt[0][:1] == (1,)
+        p2 = next(p for p in m.processes if p.pid == 2)
+        assert p2.start_time == 10
+
+    def test_srtf_preempts(self):
+        procs = [Process(1, 0, 10), Process(2, 1, 1)]
+        m = simulate(procs, SRTF())
+        p2 = next(p for p in m.processes if p.pid == 2)
+        assert p2.start_time == 1  # preempts the long job immediately
+
+    def test_srtf_optimal_avg_waiting(self):
+        """SRTF is provably optimal for mean waiting; no other policy here
+        may beat it."""
+        workload = Workloads.random(12, seed=5)
+        results = compare(
+            workload,
+            [FCFS(), SJF(), SRTF(), RoundRobin(2), PriorityScheduler(), MLFQ()],
+        )
+        best = min(m.avg_waiting for m in results.values())
+        assert results["SRTF"].avg_waiting == pytest.approx(best)
+
+
+class TestRoundRobin:
+    def test_quantum_slices(self):
+        procs = [Process(1, 0, 4), Process(2, 0, 4)]
+        m = simulate(procs, RoundRobin(2))
+        order = [pid for pid, _s, _e in m.gantt]
+        assert order == [1, 2, 1, 2]
+
+    def test_rejects_zero_quantum(self):
+        with pytest.raises(ValueError):
+            RoundRobin(0)
+
+    def test_large_quantum_degenerates_to_fcfs(self):
+        workload = Workloads.random(8, seed=1)
+        rr = simulate(workload, RoundRobin(10_000))
+        fcfs = simulate(workload, FCFS())
+        assert rr.avg_waiting == pytest.approx(fcfs.avg_waiting)
+
+    def test_smaller_quantum_better_response_more_switches(self):
+        workload = Workloads.random(10, seed=2)
+        small = simulate(workload, RoundRobin(1))
+        large = simulate(workload, RoundRobin(8))
+        assert small.avg_response <= large.avg_response
+        assert small.context_switches > large.context_switches
+
+
+class TestPriority:
+    def test_higher_priority_preempts(self):
+        procs = [
+            Process(1, 0, 10, priority=5),
+            Process(2, 1, 2, priority=0),
+        ]
+        m = simulate(procs, PriorityScheduler())
+        p2 = next(p for p in m.processes if p.pid == 2)
+        assert p2.start_time == 1
+
+    def test_aging_rescues_victim(self):
+        workload = Workloads.starvation_prone(20)
+
+        def victim_wait(metrics):
+            return next(p for p in metrics.processes if p.pid == 999).waiting
+
+        without = victim_wait(simulate(workload, PriorityScheduler()))
+        with_aging = victim_wait(
+            simulate(workload, PriorityScheduler(aging_every=2))
+        )
+        assert with_aging < without
+
+
+class TestMlfq:
+    def test_demotion_on_quantum_expiry(self):
+        sched = MLFQ(quanta=(2, 4, 8))
+        procs = [Process(1, 0, 20)]
+        simulate(procs, sched)
+        assert sched._level[1] == 2  # demoted to the bottom level
+
+    def test_short_jobs_stay_on_top(self):
+        sched = MLFQ(quanta=(2, 4, 8))
+        procs = [Process(1, 0, 2)]
+        simulate(procs, sched)
+        assert sched._level.get(1, 0) == 0
+
+    def test_interactive_beats_fcfs_response(self):
+        workload = Workloads.random(12, seed=3)
+        mlfq = simulate(workload, MLFQ())
+        fcfs = simulate(workload, FCFS())
+        assert mlfq.avg_response <= fcfs.avg_response
+
+    def test_validates_quanta(self):
+        with pytest.raises(ValueError):
+            MLFQ(quanta=())
+        with pytest.raises(ValueError):
+            MLFQ(quanta=(0,))
+
+
+class TestSimulatorInvariants:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            simulate([], FCFS())
+
+    def test_inputs_not_mutated(self):
+        procs = [Process(1, 0, 5)]
+        simulate(procs, FCFS())
+        assert procs[0].remaining == 5
+        assert procs[0].completion_time is None
+
+    def test_gantt_covers_all_bursts(self):
+        workload = Workloads.random(10, seed=4)
+        for sched in (FCFS(), SRTF(), RoundRobin(3), MLFQ()):
+            m = simulate(workload, sched)
+            run_time = sum(e - s for _pid, s, e in m.gantt)
+            assert run_time == sum(p.burst for p in workload)
+
+    def test_gantt_slices_do_not_overlap(self):
+        m = simulate(Workloads.random(10, seed=6), SRTF())
+        slices = sorted(m.gantt, key=lambda x: x[1])
+        for (_p1, _s1, e1), (_p2, s2, _e2) in zip(slices, slices[1:]):
+            assert e1 <= s2
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(1, 15), st.integers(0, 4)),
+            min_size=1,
+            max_size=12,
+        ),
+        st.sampled_from(["FCFS", "SJF", "SRTF", "RR", "PRIO", "MLFQ"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_conservation(self, specs, policy):
+        procs = [
+            Process(i + 1, arrival=a, burst=b, priority=pr)
+            for i, (a, b, pr) in enumerate(specs)
+        ]
+        sched = {
+            "FCFS": FCFS(), "SJF": SJF(), "SRTF": SRTF(),
+            "RR": RoundRobin(2), "PRIO": PriorityScheduler(), "MLFQ": MLFQ(),
+        }[policy]
+        m = simulate(procs, sched)
+        # Every process completes, exactly once, after its arrival.
+        assert len(m.processes) == len(procs)
+        for original, finished in zip(
+            sorted(procs, key=lambda p: p.pid),
+            sorted(m.processes, key=lambda p: p.pid),
+        ):
+            assert finished.completion_time is not None
+            assert finished.completion_time >= original.arrival + original.burst
+            assert finished.waiting >= 0
+            assert finished.remaining == 0

@@ -1,0 +1,90 @@
+"""Tests for multiprocessor scheduling policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oskernel.smp import SmpPolicy, simulate_smp, skewed_tasks
+
+
+class TestGlobalQueue:
+    def test_balanced_uniform_tasks(self):
+        r = simulate_smp([1.0] * 16, 4, SmpPolicy.GLOBAL)
+        assert r.makespan == 4.0
+        assert r.imbalance == pytest.approx(1.0)
+
+    def test_dequeue_overhead_charged(self):
+        r = simulate_smp([1.0] * 8, 2, SmpPolicy.GLOBAL, global_queue_overhead=0.5)
+        assert r.dequeue_overhead == pytest.approx(4.0)
+        assert r.makespan == pytest.approx(6.0)
+
+    def test_speedup_bounded_by_cpus(self):
+        tasks = skewed_tasks(100, seed=0)
+        r = simulate_smp(tasks, 8, SmpPolicy.GLOBAL)
+        assert 1.0 <= r.speedup <= 8.0
+
+
+class TestPartitioned:
+    def test_round_robin_assignment(self):
+        r = simulate_smp([3.0, 1.0, 3.0, 1.0], 2, SmpPolicy.PARTITIONED)
+        assert r.busy_time == [6.0, 2.0]
+        assert r.makespan == 6.0
+
+    def test_skew_hurts_partitioned_most(self):
+        tasks = skewed_tasks(200, seed=3, skew=3.0)
+        part = simulate_smp(tasks, 8, SmpPolicy.PARTITIONED)
+        glob = simulate_smp(tasks, 8, SmpPolicy.GLOBAL)
+        assert part.makespan >= glob.makespan
+
+
+class TestWorkStealing:
+    def test_steals_recorded(self):
+        # One CPU gets all the work via round-robin; others must steal.
+        tasks = [5.0, 0.1, 0.1, 0.1] * 6
+        r = simulate_smp(tasks, 4, SmpPolicy.WORK_STEALING)
+        assert r.steals > 0
+
+    def test_stealing_beats_partitioned_on_skew(self):
+        tasks = skewed_tasks(200, seed=3, skew=3.0)
+        part = simulate_smp(tasks, 8, SmpPolicy.PARTITIONED)
+        steal = simulate_smp(tasks, 8, SmpPolicy.WORK_STEALING)
+        assert steal.makespan <= part.makespan
+
+    def test_steal_overhead_charged(self):
+        tasks = [10.0] + [0.1] * 3
+        r = simulate_smp(tasks, 4, SmpPolicy.WORK_STEALING, steal_overhead=1.0)
+        assert r.dequeue_overhead == pytest.approx(r.steals * 1.0)
+
+    def test_no_work_lost(self):
+        tasks = skewed_tasks(50, seed=9)
+        r = simulate_smp(tasks, 4, SmpPolicy.WORK_STEALING)
+        assert sum(r.busy_time) == pytest.approx(sum(tasks))
+
+
+class TestValidation:
+    def test_rejects_zero_cpus(self):
+        with pytest.raises(ValueError):
+            simulate_smp([1.0], 0)
+
+    def test_rejects_nonpositive_tasks(self):
+        with pytest.raises(ValueError):
+            simulate_smp([0.0], 2)
+
+    def test_skewed_tasks_reproducible(self):
+        assert skewed_tasks(10, seed=4) == skewed_tasks(10, seed=4)
+
+
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=20.0), min_size=1, max_size=40),
+    st.integers(min_value=1, max_value=8),
+    st.sampled_from(list(SmpPolicy)),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_work_conserved_and_bounds(tasks, cpus, policy):
+    r = simulate_smp(tasks, cpus, policy)
+    total = sum(tasks)
+    assert sum(r.busy_time) == pytest.approx(total)
+    # Makespan at least the critical lower bounds:
+    assert r.makespan >= max(tasks) - 1e-9
+    assert r.makespan >= total / cpus - 1e-9
+    assert r.imbalance >= 1.0 - 1e-9

@@ -1,0 +1,86 @@
+"""Tests for the classic synchronization problems."""
+
+import pytest
+
+from repro.oskernel.syncproblems import (
+    DiningPhilosophers,
+    ProducerConsumer,
+    ReadersWriters,
+)
+
+
+class TestProducerConsumer:
+    def test_all_items_consumed_exactly_once(self):
+        pc = ProducerConsumer(4)
+        consumed = pc.run(producers=3, consumers=2, items_each=20)
+        assert sorted(consumed) == sorted(pc.produced)
+        assert len(consumed) == 60
+
+    def test_buffer_never_exceeds_capacity(self):
+        pc = ProducerConsumer(2)
+        pc.run(producers=2, consumers=2, items_each=25)
+        # The semaphore triple enforces the bound; buffer must be empty now.
+        assert pc.buffer == []
+
+    def test_single_producer_consumer(self):
+        pc = ProducerConsumer(1)
+        consumed = pc.run(producers=1, consumers=1, items_each=10)
+        assert consumed == list(range(10))  # capacity 1 forces exact FIFO
+
+    def test_uneven_split_rejected(self):
+        pc = ProducerConsumer(4)
+        with pytest.raises(ValueError):
+            pc.run(producers=3, consumers=2, items_each=1)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ProducerConsumer(0)
+
+
+class TestDiningPhilosophers:
+    def test_naive_protocol_can_deadlock(self):
+        report = DiningPhilosophers(5).analyze_naive()
+        assert report.deadlock_possible
+        assert any(len(c) == 5 for c in report.cycles)
+
+    def test_ordered_protocol_cannot_deadlock(self):
+        report = DiningPhilosophers(5).analyze_ordered()
+        assert not report.deadlock_possible
+        assert report.cycles == []
+
+    def test_ordered_protocol_runs_to_completion(self):
+        report = DiningPhilosophers(5).run_ordered(meals_each=15)
+        assert report.meals == {p: 15 for p in range(5)}
+
+    def test_two_philosophers(self):
+        dp = DiningPhilosophers(2)
+        assert dp.analyze_naive().deadlock_possible
+        assert not dp.analyze_ordered().deadlock_possible
+
+    def test_rejects_single_philosopher(self):
+        with pytest.raises(ValueError):
+            DiningPhilosophers(1)
+
+    @pytest.mark.parametrize("n", [3, 4, 7])
+    def test_scales_with_table_size(self, n):
+        dp = DiningPhilosophers(n)
+        assert dp.analyze_naive().deadlock_possible
+        assert not dp.analyze_ordered().deadlock_possible
+
+
+class TestReadersWriters:
+    def test_writer_count_exact(self):
+        rw = ReadersWriters()
+        summary = rw.run(readers=4, writers=4, writes_each=25)
+        assert summary["final_value"] == summary["expected_value"] == 100
+
+    def test_reads_observe_monotonic_values(self):
+        rw = ReadersWriters()
+        rw.run(readers=4, writers=2, writes_each=20)
+        assert all(0 <= v <= 40 for v in rw.read_values)
+
+    def test_reader_concurrency_demonstrable(self):
+        assert ReadersWriters().demonstrate_reader_concurrency(4) == 4
+
+    def test_single_reader(self):
+        assert ReadersWriters().demonstrate_reader_concurrency(1) == 1

@@ -1,0 +1,196 @@
+"""Tests for exercises, autograding, labs, outcomes, and course builders."""
+
+import pytest
+
+from repro.core.abet import STUDENT_OUTCOMES
+from repro.pedagogy import (
+    Autograder,
+    Exercise,
+    OutcomeAssessment,
+    build_lau_course,
+    build_rit_course,
+    standard_labs,
+)
+from repro.pedagogy.coursebuilder import Syllabus, SyllabusUnit
+
+
+class TestExercise:
+    def _simple(self, points=10.0):
+        return Exercise(
+            "add", "implement add", lambda fn: 1.0 if fn(2, 3) == 5 else 0.0,
+            points=points, reference=lambda a, b: a + b,
+        )
+
+    def test_full_credit(self):
+        result = self._simple().grade(lambda a, b: a + b)
+        assert result.fraction == 1.0
+        assert result.points_earned == 10.0
+        assert result.passed
+
+    def test_zero_credit(self):
+        result = self._simple().grade(lambda a, b: a * b)
+        assert result.fraction == 0.0
+        assert not result.passed
+
+    def test_exception_scores_zero_with_error(self):
+        result = self._simple().grade(lambda a, b: 1 / 0)
+        assert result.fraction == 0.0
+        assert "ZeroDivisionError" in result.error
+
+    def test_fraction_clamped(self):
+        ex = Exercise("x", "p", lambda _s: 5.0, points=10)
+        assert ex.grade(None).fraction == 1.0
+
+    def test_points_validation(self):
+        with pytest.raises(ValueError):
+            Exercise("x", "p", lambda s: 1.0, points=0)
+
+
+class TestAutograder:
+    def test_duplicate_ids_rejected(self):
+        ex = Exercise("same", "p", lambda s: 1.0)
+        with pytest.raises(ValueError):
+            Autograder([ex, ex])
+
+    def test_missing_submission_scores_zero(self):
+        grader = Autograder([Exercise("a", "p", lambda s: 1.0, points=5)])
+        report = grader.grade("student", {})
+        assert report.points_earned == 0
+        assert report.result_for("a").error == "not submitted"
+
+    def test_percentage_and_letter(self):
+        exercises = [
+            Exercise("a", "p", lambda s: float(s), points=50),
+            Exercise("b", "p", lambda s: float(s), points=50),
+        ]
+        grader = Autograder(exercises)
+        assert grader.grade("s", {"a": 1.0, "b": 1.0}).letter == "A"
+        assert grader.grade("s", {"a": 1.0, "b": 0.7}).letter == "B"
+        assert grader.grade("s", {"a": 1.0, "b": 0.0}).letter == "F"
+
+    def test_cohort(self):
+        grader = Autograder([Exercise("a", "p", lambda s: float(s), points=10)])
+        reports = grader.grade_cohort({"x": {"a": 1.0}, "y": {"a": 0.5}})
+        assert reports["x"].percentage == 100.0
+        assert reports["y"].percentage == 50.0
+
+    def test_result_lookup_missing(self):
+        grader = Autograder([Exercise("a", "p", lambda s: 1.0)])
+        report = grader.grade("s", {"a": None})
+        with pytest.raises(KeyError):
+            report.result_for("zzz")
+
+
+class TestStandardLabs:
+    def test_ten_labs(self):
+        assert len(standard_labs()) == 10
+
+    def test_all_references_earn_full_credit(self):
+        """The instructor's pre-release check: every reference solution
+        passes its own lab."""
+        grader = Autograder(standard_labs())
+        assert grader.sanity_check() == []
+
+    def test_wrong_submissions_fail(self):
+        labs = {e.exercise_id: e for e in standard_labs()}
+        # Unsafe counter: a plain int container without locking would be
+        # checked live; simplest failing case is a counter that ignores
+        # increments.
+        class BrokenCounter:
+            value = 0
+
+            def increment(self):
+                pass
+
+        assert labs["smp-atomic-counter"].grade(BrokenCounter).fraction == 0.0
+        # Deadlock-prone fork order:
+        assert labs["smp-lock-order"].grade(lambda l, r: (l, r)).fraction == 0.0
+        # Wrong scheduler claim:
+        assert labs["os-scheduler-pick"].grade("FCFS").fraction == 0.0
+        # Serial (cop-out) schedule gets partial credit only:
+        assert labs["db-serializable-interleaving"].grade(
+            "r1(x) w1(x) c1 r2(x) c2"
+        ).fraction == pytest.approx(0.3)
+        # Non-serializable interleaving fails:
+        assert labs["db-serializable-interleaving"].grade(
+            "r1(x) r2(x) w1(x) w2(x) c1 c2"
+        ).fraction == 0.0
+
+    def test_uncoalesced_gpu_kernel_gets_half_credit(self):
+        labs = {e.exercise_id: e for e in standard_labs()}
+
+        def strided_double(ctx, data, out):
+            i = ctx.global_id()
+            n = out.size
+            j = (i * 33) % n
+            out[j] = 2.0 * data[j]
+            return
+            yield
+
+        assert labs["gpu-coalesced-double"].grade(strided_double).fraction == 0.5
+
+    def test_labs_tag_topics_and_outcomes(self):
+        for lab in standard_labs():
+            assert lab.topics
+            assert lab.outcome_numbers
+
+
+class TestOutcomeAssessment:
+    def _reports(self):
+        labs = standard_labs()
+        grader = Autograder(labs)
+        perfect = {e.exercise_id: e.reference for e in labs}
+        empty = {}
+        return labs, grader.grade_cohort({"ace": perfect, "ghost": empty})
+
+    def test_attainment_rates(self):
+        labs, reports = self._reports()
+        assessment = OutcomeAssessment(labs, target_rate=0.7)
+        results = assessment.assess(reports)
+        for att in results.values():
+            assert att.students_assessed == 2
+            assert att.students_attained == 1
+            assert att.rate == 0.5
+            assert not att.met  # 0.5 < 0.7
+
+    def test_outcome_metadata(self):
+        labs, reports = self._reports()
+        results = OutcomeAssessment(labs).assess(reports)
+        assert set(results) <= {o.number for o in STUDENT_OUTCOMES}
+        assert 2 in results  # every lab assesses SO2 or SO1
+
+
+class TestCourseBuilders:
+    def test_lau_part3_weight_is_sixty_percent(self):
+        """§IV-A: the manycore part is 'roughly 60% of the course'."""
+        lau = build_lau_course()
+        part3 = next(u for u in lau.units if "Manycore" in u.title)
+        assert part3.weight == pytest.approx(0.60)
+
+    def test_lau_three_parts(self):
+        assert len(build_lau_course().units) == 3
+
+    def test_rit_five_units(self):
+        assert len(build_rit_course().units) == 5
+
+    def test_weights_sum_to_one(self):
+        for syllabus in (build_lau_course(), build_rit_course()):
+            assert sum(u.weight for u in syllabus.units) == pytest.approx(1.0)
+
+    def test_exercises_resolvable_and_gradable(self):
+        for syllabus in (build_lau_course(), build_rit_course()):
+            grader = Autograder(syllabus.exercises())
+            assert grader.sanity_check() == []
+
+    def test_unit_lookup(self):
+        lau = build_lau_course()
+        assert "Manycore" in lau.unit_for("gpu-coalesced-double").title
+        with pytest.raises(KeyError):
+            lau.unit_for("no-such-lab")
+
+    def test_syllabus_validation(self):
+        labs = {e.exercise_id: e for e in standard_labs()}
+        with pytest.raises(ValueError):
+            Syllabus("bad", [SyllabusUnit("u", 0.5, [])], labs)
+        with pytest.raises(KeyError):
+            Syllabus("bad", [SyllabusUnit("u", 1.0, ["ghost-lab"])], labs)

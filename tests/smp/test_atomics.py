@@ -1,0 +1,137 @@
+"""Tests for repro.smp.atomics."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smp.atomics import AtomicCell, AtomicCounter, AtomicFlag, atomic_max
+
+
+class TestAtomicCell:
+    def test_load_store(self):
+        cell = AtomicCell(5)
+        assert cell.load() == 5
+        cell.store(9)
+        assert cell.load() == 9
+
+    def test_exchange_returns_previous(self):
+        cell = AtomicCell("a")
+        assert cell.exchange("b") == "a"
+        assert cell.load() == "b"
+
+    def test_cas_success(self):
+        cell = AtomicCell(1)
+        assert cell.compare_and_swap(1, 2)
+        assert cell.load() == 2
+
+    def test_cas_failure_leaves_value(self):
+        cell = AtomicCell(1)
+        assert not cell.compare_and_swap(99, 2)
+        assert cell.load() == 1
+
+    def test_cas_failures_counted(self):
+        cell = AtomicCell(0)
+        cell.compare_and_swap(5, 1)
+        cell.compare_and_swap(5, 1)
+        assert cell.cas_failures == 2
+
+    def test_update_applies_function(self):
+        cell = AtomicCell(10)
+        assert cell.update(lambda v: v * 3) == 30
+
+    def test_concurrent_updates_lose_nothing(self):
+        cell = AtomicCell(0)
+        threads = [
+            threading.Thread(
+                target=lambda: [cell.update(lambda v: v + 1) for _ in range(100)]
+            )
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cell.load() == 400
+
+    def test_atomic_max_helper(self):
+        cell = AtomicCell(5)
+        assert atomic_max(cell, 3) == 5
+        assert atomic_max(cell, 8) == 8
+        assert cell.load() == 8
+
+
+class TestAtomicCounter:
+    def test_fetch_add_returns_old(self):
+        counter = AtomicCounter(10)
+        assert counter.fetch_add(5) == 10
+        assert counter.value == 15
+
+    def test_add_fetch_returns_new(self):
+        counter = AtomicCounter()
+        assert counter.add_fetch(3) == 3
+
+    def test_increment_decrement(self):
+        counter = AtomicCounter()
+        assert counter.increment() == 1
+        assert counter.decrement() == 0
+
+    def test_reset(self):
+        counter = AtomicCounter(44)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_concurrent_increments_exact(self):
+        counter = AtomicCounter()
+        n, threads = 500, 8
+
+        def work():
+            for _ in range(n):
+                counter.increment()
+
+        ts = [threading.Thread(target=work) for _ in range(threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert counter.value == n * threads
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_sequential_adds_sum(self, deltas):
+        counter = AtomicCounter()
+        for d in deltas:
+            counter.add_fetch(d)
+        assert counter.value == sum(deltas)
+
+
+class TestAtomicFlag:
+    def test_test_and_set_semantics(self):
+        flag = AtomicFlag()
+        assert flag.test_and_set() is False  # previously unset
+        assert flag.test_and_set() is True  # now set
+        assert flag.is_set()
+
+    def test_clear(self):
+        flag = AtomicFlag()
+        flag.test_and_set()
+        flag.clear()
+        assert not flag.is_set()
+
+    def test_only_one_thread_wins_the_flag(self):
+        flag = AtomicFlag()
+        winners = []
+        barrier = threading.Barrier(8)
+
+        def race():
+            barrier.wait()
+            if not flag.test_and_set():
+                winners.append(threading.get_ident())
+
+        ts = [threading.Thread(target=race) for _ in range(8)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert len(winners) == 1

@@ -1,0 +1,137 @@
+"""Tests for repro.smp.barrier."""
+
+import threading
+
+import pytest
+
+from repro.smp.barrier import BrokenBarrier, CyclicBarrier, SenseReversingBarrier
+
+
+def _run_parties(barrier, parties, body, rounds=1):
+    errors = []
+
+    def worker(i):
+        try:
+            for r in range(rounds):
+                body(i, r)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    ts = [threading.Thread(target=worker, args=(i,)) for i in range(parties)]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join(10)
+    if errors:
+        raise errors[0]
+
+
+class TestCyclicBarrier:
+    def test_rejects_zero_parties(self):
+        with pytest.raises(ValueError):
+            CyclicBarrier(0)
+
+    def test_all_arrive_before_any_proceeds(self):
+        barrier = CyclicBarrier(4)
+        arrived = []
+        proceeded = []
+        lock = threading.Lock()
+
+        def body(i, _r):
+            with lock:
+                arrived.append(i)
+            barrier.wait()
+            with lock:
+                # By the time anyone proceeds, all four arrived.
+                assert len(arrived) == 4
+                proceeded.append(i)
+
+        _run_parties(barrier, 4, body)
+        assert sorted(proceeded) == [0, 1, 2, 3]
+
+    def test_reusable_across_generations(self):
+        barrier = CyclicBarrier(3)
+        _run_parties(barrier, 3, lambda i, r: barrier.wait(), rounds=5)
+        assert barrier.generation == 5
+
+    def test_action_runs_once_per_generation(self):
+        count = [0]
+        barrier = CyclicBarrier(3, action=lambda: count.__setitem__(0, count[0] + 1))
+        _run_parties(barrier, 3, lambda i, r: barrier.wait(), rounds=4)
+        assert count[0] == 4
+
+    def test_last_arrival_gets_index_zero(self):
+        barrier = CyclicBarrier(3)
+        indices = []
+        lock = threading.Lock()
+
+        def body(i, _r):
+            idx = barrier.wait()
+            with lock:
+                indices.append(idx)
+
+        _run_parties(barrier, 3, body)
+        assert sorted(indices) == [0, 1, 2]
+
+    def test_timeout_breaks_barrier(self):
+        barrier = CyclicBarrier(2)
+        with pytest.raises(BrokenBarrier):
+            barrier.wait(timeout=0.05)
+
+    def test_abort_wakes_waiters(self):
+        barrier = CyclicBarrier(2)
+        raised = threading.Event()
+
+        def waiter():
+            try:
+                barrier.wait()
+            except BrokenBarrier:
+                raised.set()
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        import time
+
+        time.sleep(0.05)
+        barrier.abort()
+        assert raised.wait(5)
+        t.join()
+
+    def test_waiting_count(self):
+        barrier = CyclicBarrier(2)
+        t = threading.Thread(target=barrier.wait)
+        t.start()
+        import time
+
+        time.sleep(0.05)
+        assert barrier.waiting == 1
+        barrier.wait()
+        t.join()
+
+
+class TestSenseReversingBarrier:
+    def test_rejects_zero_parties(self):
+        with pytest.raises(ValueError):
+            SenseReversingBarrier(0)
+
+    def test_episode_counting(self):
+        barrier = SenseReversingBarrier(4)
+        _run_parties(barrier, 4, lambda i, r: barrier.wait(), rounds=10)
+        assert barrier.episodes == 10
+
+    def test_no_thread_laps_the_barrier(self):
+        """The sense-reversal property: a fast thread cannot pass the
+        barrier twice while a slow thread has passed once."""
+        barrier = SenseReversingBarrier(3)
+        phase_counts = [0, 0, 0]
+        lock = threading.Lock()
+
+        def body(i, r):
+            barrier.wait()
+            with lock:
+                phase_counts[i] += 1
+                # No thread may be more than one phase ahead of another.
+                assert max(phase_counts) - min(phase_counts) <= 1
+
+        _run_parties(barrier, 3, body, rounds=20)
+        assert phase_counts == [20, 20, 20]

@@ -1,0 +1,142 @@
+"""Tests for wait-for-graph and lock-order deadlock detection."""
+
+import threading
+
+import pytest
+
+from repro.smp.deadlock import DeadlockDetected, LockGraph, WaitForGraph
+
+
+class TestWaitForGraph:
+    def test_free_resource_granted(self):
+        g = WaitForGraph()
+        assert g.acquire("T1", "r1") is True
+        assert g.holder_of("r1") == "T1"
+
+    def test_reacquire_by_holder(self):
+        g = WaitForGraph()
+        g.acquire("T1", "r1")
+        assert g.acquire("T1", "r1") is True
+
+    def test_held_resource_causes_wait(self):
+        g = WaitForGraph()
+        g.acquire("T1", "r1")
+        assert g.acquire("T2", "r1") is False
+        assert "T2" in g.waiting_agents()
+
+    def test_abba_cycle_detected(self):
+        g = WaitForGraph()
+        g.acquire("T1", "A")
+        g.acquire("T2", "B")
+        g.acquire("T1", "B")  # T1 waits on T2
+        with pytest.raises(DeadlockDetected) as exc:
+            g.acquire("T2", "A")  # T2 waits on T1 -> cycle
+        assert set(exc.value.cycle) == {"T1", "T2"}
+
+    def test_three_way_cycle(self):
+        g = WaitForGraph()
+        for t, r in (("T1", "A"), ("T2", "B"), ("T3", "C")):
+            g.acquire(t, r)
+        g.acquire("T1", "B")
+        g.acquire("T2", "C")
+        with pytest.raises(DeadlockDetected) as exc:
+            g.acquire("T3", "A")
+        assert set(exc.value.cycle) == {"T1", "T2", "T3"}
+
+    def test_no_raise_mode_records_cycle(self):
+        g = WaitForGraph(raise_on_cycle=False)
+        g.acquire("T1", "A")
+        g.acquire("T2", "B")
+        g.acquire("T1", "B")
+        assert g.acquire("T2", "A") is False
+        assert g.detected_cycles
+
+    def test_release_breaks_wait(self):
+        g = WaitForGraph()
+        g.acquire("T1", "A")
+        g.acquire("T2", "A")  # waits
+        g.release("T1", "A")
+        assert g.holder_of("A") is None
+        assert g.grant_waiting("A") == "T2"
+        assert g.holder_of("A") == "T2"
+
+    def test_remove_agent_clears_holds_and_waits(self):
+        g = WaitForGraph()
+        g.acquire("T1", "A")
+        g.acquire("T2", "B")
+        g.acquire("T1", "B")
+        g.remove_agent("T1")
+        assert g.holder_of("A") is None
+        assert "T1" not in g.waiting_agents()
+        assert g.find_deadlock() is None
+
+    def test_pick_victim_is_deterministic(self):
+        g = WaitForGraph()
+        assert g.pick_victim(["T1", "T3", "T2"]) == "T3"
+
+    def test_no_deadlock_without_cycle(self):
+        g = WaitForGraph()
+        g.acquire("T1", "A")
+        g.acquire("T2", "A")
+        g.acquire("T3", "A")
+        assert g.find_deadlock() is None
+
+
+class TestLockGraph:
+    def test_consistent_order_is_safe(self):
+        g = LockGraph()
+        for _ in range(3):
+            g.on_acquire("A")
+            g.on_acquire("B")
+            g.on_release("B")
+            g.on_release("A")
+        assert g.is_safe()
+        assert g.suggest_order() == ["A", "B"]
+
+    def test_abba_order_unsafe(self):
+        g = LockGraph()
+        g.on_acquire("A")
+        g.on_acquire("B")
+        g.on_release("B")
+        g.on_release("A")
+        g.on_acquire("B")
+        g.on_acquire("A")
+        g.on_release("A")
+        g.on_release("B")
+        assert not g.is_safe()
+        assert g.suggest_order() is None
+        assert any(set(c) == {"A", "B"} for c in g.order_violations())
+
+    def test_edges_recorded_per_nesting(self):
+        g = LockGraph()
+        g.on_acquire("A")
+        g.on_acquire("B")
+        g.on_acquire("C")
+        assert set(g.edges()) == {("A", "B"), ("A", "C"), ("B", "C")}
+
+    def test_cross_thread_orders_merge(self):
+        g = LockGraph()
+
+        def t1():
+            g.on_acquire("A")
+            g.on_acquire("B")
+            g.on_release("B")
+            g.on_release("A")
+
+        def t2():
+            g.on_acquire("B")
+            g.on_acquire("A")
+            g.on_release("A")
+            g.on_release("B")
+
+        a = threading.Thread(target=t1)
+        b = threading.Thread(target=t2)
+        a.start(); a.join()
+        b.start(); b.join()
+        assert not g.is_safe()
+
+    def test_reacquire_same_lock_no_self_edge(self):
+        g = LockGraph()
+        g.on_acquire("A")
+        g.on_acquire("A")
+        assert g.is_safe()

@@ -1,0 +1,101 @@
+"""Tests for the false-sharing cache-line model."""
+
+import pytest
+
+from repro.smp.falseshare import (
+    CacheLineModel,
+    PaddedCounters,
+    SharedCounters,
+    false_sharing_demo,
+)
+
+
+class TestCacheLineModel:
+    def test_line_mapping(self):
+        model = CacheLineModel(2, line_size=8)
+        assert model.line_of(0) == 0
+        assert model.line_of(7) == 0
+        assert model.line_of(8) == 1
+
+    def test_first_access_is_cold_miss(self):
+        model = CacheLineModel(2)
+        model.read(0, 0)
+        assert model.coherence_misses[0] == 1
+
+    def test_repeated_read_hits(self):
+        model = CacheLineModel(2)
+        model.read(0, 0)
+        model.read(0, 1)  # same line
+        assert model.coherence_misses[0] == 1
+
+    def test_write_invalidates_other_cores(self):
+        model = CacheLineModel(2)
+        model.read(0, 0)
+        model.read(1, 0)
+        model.write(0, 0)
+        assert model.invalidations == 1
+        model.read(1, 0)  # must re-miss
+        assert model.coherence_misses[1] == 2
+
+    def test_write_to_private_line_no_invalidation(self):
+        model = CacheLineModel(2, line_size=1)
+        model.write(0, 0)
+        model.write(1, 1)
+        assert model.invalidations == 0
+
+    def test_bad_core_index(self):
+        model = CacheLineModel(2)
+        with pytest.raises(IndexError):
+            model.read(5, 0)
+
+    def test_miss_rate(self):
+        model = CacheLineModel(1)
+        assert model.miss_rate() == 0.0
+        model.read(0, 0)
+        model.read(0, 0)
+        assert model.miss_rate() == 0.5
+
+
+class TestFalseSharing:
+    def test_shared_layout_thrashes(self):
+        model = CacheLineModel(4, line_size=8)
+        counters = SharedCounters(model)
+        for _ in range(50):
+            for core in range(4):
+                counters.increment(core)
+        # Every increment after the first per core re-misses.
+        assert model.total_misses > 4 * 40
+
+    def test_padded_layout_only_cold_misses(self):
+        model = CacheLineModel(4, line_size=8)
+        counters = PaddedCounters(model)
+        for _ in range(50):
+            for core in range(4):
+                counters.increment(core)
+        assert model.total_misses == 4  # one cold miss per core
+        assert model.invalidations == 0
+
+    def test_both_layouts_count_correctly(self):
+        shared_model = CacheLineModel(2)
+        padded_model = CacheLineModel(2)
+        shared = SharedCounters(shared_model)
+        padded = PaddedCounters(padded_model)
+        for _ in range(10):
+            shared.increment(0)
+            shared.increment(1)
+            padded.increment(0)
+            padded.increment(1)
+        assert shared.values == padded.values == [10, 10]
+
+    def test_demo_shape(self):
+        result = false_sharing_demo(num_cores=4, increments=100)
+        assert result["padded_misses"] == 4
+        assert result["shared_misses"] > 100
+        assert result["padded_invalidations"] == 0
+        assert result["shared_invalidations"] > 0
+
+    def test_padding_addresses_disjoint_lines(self):
+        model = CacheLineModel(4, line_size=8)
+        padded = PaddedCounters(model)
+        lines = {model.line_of(padded.address_of(c)) for c in range(4)}
+        assert len(lines) == 4

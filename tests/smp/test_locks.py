@@ -1,0 +1,297 @@
+"""Tests for repro.smp.locks."""
+
+import threading
+import time
+
+import pytest
+
+from repro.smp.locks import (
+    CountingSemaphore,
+    InstrumentedLock,
+    ReaderWriterLock,
+    SpinLock,
+    TicketLock,
+)
+
+
+class TestInstrumentedLock:
+    def test_mutual_exclusion(self):
+        lock = InstrumentedLock()
+        shared = []
+
+        def work(tag):
+            for _ in range(100):
+                with lock:
+                    shared.append(tag)
+                    shared.append(tag)
+
+        ts = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        # Entries always come in same-tag pairs: no interleaving inside CS.
+        assert all(shared[i] == shared[i + 1] for i in range(0, len(shared), 2))
+
+    def test_counts_acquisitions(self):
+        lock = InstrumentedLock()
+        for _ in range(5):
+            with lock:
+                pass
+        assert lock.acquisitions == 5
+
+    def test_uncontended_has_zero_contention(self):
+        lock = InstrumentedLock()
+        with lock:
+            pass
+        assert lock.contended == 0
+        assert lock.contention_ratio == 0.0
+
+    def test_contention_detected(self):
+        lock = InstrumentedLock()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with lock:
+                entered.set()
+                release.wait(5)
+
+        t = threading.Thread(target=holder)
+        t.start()
+        entered.wait(5)
+        t2 = threading.Thread(target=lambda: lock.acquire() or lock.release())
+        t2.start()
+        time.sleep(0.05)
+        release.set()
+        t.join()
+        t2.join()
+        assert lock.contended >= 1
+
+    def test_owner_tracking(self):
+        lock = InstrumentedLock()
+        assert lock.owner is None
+        with lock:
+            assert lock.owner == threading.get_ident()
+        assert lock.owner is None
+
+    def test_timeout_returns_false(self):
+        lock = InstrumentedLock()
+        lock.acquire()
+        result = []
+        t = threading.Thread(target=lambda: result.append(lock.acquire(timeout=0.05)))
+        t.start()
+        t.join()
+        assert result == [False]
+        lock.release()
+
+
+class TestSpinLock:
+    def test_basic_acquire_release(self):
+        lock = SpinLock()
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+
+    def test_spins_counted_under_contention(self):
+        lock = SpinLock()
+        lock.acquire()
+
+        def contender():
+            lock.acquire()
+            lock.release()
+
+        t = threading.Thread(target=contender)
+        t.start()
+        time.sleep(0.05)
+        lock.release()
+        t.join()
+        assert lock.spins > 0
+
+    def test_mutual_exclusion_counter(self):
+        lock = SpinLock()
+        count = [0]
+
+        def work():
+            for _ in range(200):
+                with lock:
+                    count[0] += 1
+
+        ts = [threading.Thread(target=work) for _ in range(4)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert count[0] == 800
+
+
+class TestTicketLock:
+    def test_tickets_issued_in_order(self):
+        lock = TicketLock()
+        t1 = lock.acquire()
+        lock.release()
+        t2 = lock.acquire()
+        lock.release()
+        assert (t1, t2) == (0, 1)
+
+    def test_fifo_admission(self):
+        lock = TicketLock()
+        order = []
+        lock.acquire()  # hold so waiters queue
+
+        def waiter(tag):
+            lock.acquire()
+            order.append(tag)
+            lock.release()
+
+        threads = []
+        for i in range(4):
+            t = threading.Thread(target=waiter, args=(i,))
+            t.start()
+            # Let each thread reach the wait before starting the next, so
+            # ticket order matches spawn order.
+            time.sleep(0.05)
+            threads.append(t)
+        lock.release()
+        for t in threads:
+            t.join()
+        assert order == [0, 1, 2, 3]
+
+    def test_queue_length(self):
+        lock = TicketLock()
+        lock.acquire()
+        assert lock.queue_length == 1
+        lock.release()
+        assert lock.queue_length == 0
+
+
+class TestCountingSemaphore:
+    def test_permit_accounting(self):
+        sem = CountingSemaphore(3)
+        sem.P()
+        sem.P()
+        assert sem.permits == 1
+        sem.V()
+        assert sem.permits == 2
+
+    def test_rejects_negative_permits(self):
+        with pytest.raises(ValueError):
+            CountingSemaphore(-1)
+
+    def test_blocks_at_zero_until_release(self):
+        sem = CountingSemaphore(0)
+        got = threading.Event()
+
+        def taker():
+            sem.acquire()
+            got.set()
+
+        t = threading.Thread(target=taker)
+        t.start()
+        assert not got.wait(0.05)
+        sem.release()
+        assert got.wait(5)
+        t.join()
+
+    def test_timeout(self):
+        sem = CountingSemaphore(0)
+        assert sem.acquire(timeout=0.05) is False
+
+    def test_release_many(self):
+        sem = CountingSemaphore(0)
+        sem.release(3)
+        assert sem.permits == 3
+
+    def test_release_requires_positive(self):
+        sem = CountingSemaphore(0)
+        with pytest.raises(ValueError):
+            sem.release(0)
+
+    def test_bounds_concurrency(self):
+        sem = CountingSemaphore(2)
+        active = [0]
+        peak = [0]
+        guard = threading.Lock()
+
+        def work():
+            with sem:
+                with guard:
+                    active[0] += 1
+                    peak[0] = max(peak[0], active[0])
+                time.sleep(0.01)
+                with guard:
+                    active[0] -= 1
+
+        ts = [threading.Thread(target=work) for _ in range(8)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert peak[0] <= 2
+
+    def test_dijkstra_aliases(self):
+        sem = CountingSemaphore(1)
+        sem.wait()
+        sem.signal()
+        assert sem.permits == 1
+
+
+class TestReaderWriterLock:
+    def test_writer_exclusion(self):
+        rw = ReaderWriterLock()
+        value = [0]
+
+        def writer():
+            for _ in range(100):
+                with rw.write_locked():
+                    v = value[0]
+                    value[0] = v + 1
+
+        ts = [threading.Thread(target=writer) for _ in range(4)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert value[0] == 400
+
+    def test_readers_concurrent(self):
+        rw = ReaderWriterLock()
+        gate = threading.Barrier(3)
+
+        def reader():
+            with rw.read_locked():
+                gate.wait(timeout=5)
+
+        ts = [threading.Thread(target=reader) for _ in range(3)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert rw.max_concurrent_readers == 3
+
+    def test_release_read_without_acquire_raises(self):
+        rw = ReaderWriterLock()
+        with pytest.raises(RuntimeError):
+            rw.release_read()
+
+    def test_release_write_without_acquire_raises(self):
+        rw = ReaderWriterLock()
+        with pytest.raises(RuntimeError):
+            rw.release_write()
+
+    def test_writer_blocks_new_readers(self):
+        rw = ReaderWriterLock()
+        rw.acquire_write()
+        read_done = threading.Event()
+
+        def reader():
+            rw.acquire_read()
+            read_done.set()
+            rw.release_read()
+
+        t = threading.Thread(target=reader)
+        t.start()
+        assert not read_done.wait(0.05)
+        rw.release_write()
+        assert read_done.wait(5)
+        t.join()

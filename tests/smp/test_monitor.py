@@ -1,0 +1,147 @@
+"""Tests for repro.smp.monitor."""
+
+import threading
+
+import pytest
+
+from repro.smp.monitor import BoundedBuffer, Monitor
+
+
+class Account(Monitor):
+    """The docstring example, used as the subclassing test fixture."""
+
+    def __init__(self):
+        super().__init__()
+        self.balance = 0
+        self.nonzero = self.condition("nonzero")
+
+    @Monitor.entry
+    def deposit(self, amount):
+        self.balance += amount
+        self.nonzero.broadcast()
+
+    @Monitor.entry
+    def withdraw(self, amount):
+        self.nonzero.wait_for(lambda: self.balance >= amount)
+        self.balance -= amount
+
+
+class TestMonitor:
+    def test_entry_counting(self):
+        acct = Account()
+        acct.deposit(5)
+        acct.deposit(5)
+        assert acct.entries == 2
+
+    def test_condition_is_memoized(self):
+        m = Monitor()
+        assert m.condition("c") is m.condition("c")
+
+    def test_withdraw_waits_for_deposit(self):
+        acct = Account()
+        done = threading.Event()
+
+        def withdrawer():
+            acct.withdraw(10)
+            done.set()
+
+        t = threading.Thread(target=withdrawer)
+        t.start()
+        assert not done.wait(0.05)  # blocked: balance is 0
+        acct.deposit(10)
+        assert done.wait(5)
+        t.join()
+        assert acct.balance == 0
+
+    def test_context_manager_entry(self):
+        m = Monitor()
+        with m:
+            assert m.entries == 1
+
+    def test_signal_and_wait_counters(self):
+        acct = Account()
+        t = threading.Thread(target=acct.withdraw, args=(1,))
+        t.start()
+        import time
+
+        time.sleep(0.05)
+        acct.deposit(1)
+        t.join()
+        assert acct.nonzero.signals >= 1
+        assert acct.nonzero.waits >= 1
+
+
+class TestBoundedBuffer:
+    def test_fifo_order(self):
+        buf = BoundedBuffer(10)
+        for i in range(5):
+            buf.put(i)
+        assert [buf.get() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedBuffer(0)
+
+    def test_put_blocks_when_full(self):
+        buf = BoundedBuffer(1)
+        buf.put("x")
+        second_done = threading.Event()
+
+        def producer():
+            buf.put("y")
+            second_done.set()
+
+        t = threading.Thread(target=producer)
+        t.start()
+        assert not second_done.wait(0.05)
+        assert buf.get() == "x"
+        assert second_done.wait(5)
+        t.join()
+
+    def test_get_blocks_when_empty(self):
+        buf = BoundedBuffer(1)
+        got = []
+
+        def consumer():
+            got.append(buf.get())
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        assert t.is_alive()
+        buf.put(42)
+        t.join(5)
+        assert got == [42]
+
+    def test_many_producers_consumers_conserve_items(self):
+        buf = BoundedBuffer(4)
+        n_items, n_threads = 50, 3
+        consumed = []
+        consumed_lock = threading.Lock()
+
+        def producer(base):
+            for i in range(n_items):
+                buf.put((base, i))
+
+        def consumer():
+            for _ in range(n_items):
+                item = buf.get()
+                with consumed_lock:
+                    consumed.append(item)
+
+        producers = [
+            threading.Thread(target=producer, args=(b,)) for b in range(n_threads)
+        ]
+        consumers = [threading.Thread(target=consumer) for _ in range(n_threads)]
+        for t in producers + consumers:
+            t.start()
+        for t in producers + consumers:
+            t.join(10)
+        expected = {(b, i) for b in range(n_threads) for i in range(n_items)}
+        assert set(consumed) == expected
+        assert buf.total_put == buf.total_got == n_items * n_threads
+
+    def test_size(self):
+        buf = BoundedBuffer(5)
+        buf.put(1)
+        buf.put(2)
+        assert buf.size() == 2

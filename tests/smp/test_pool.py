@@ -1,0 +1,158 @@
+"""Tests for repro.smp.pool (worksharing loops and reductions)."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smp.pool import (
+    Schedule,
+    ThreadTeam,
+    parallel_for,
+    parallel_map,
+    parallel_reduce,
+)
+
+
+class TestParallelFor:
+    def test_every_iteration_runs_exactly_once(self):
+        seen = []
+        lock = threading.Lock()
+
+        def body(i):
+            with lock:
+                seen.append(i)
+
+        parallel_for(100, body, num_threads=4)
+        assert sorted(seen) == list(range(100))
+
+    def test_static_chunks_are_contiguous_and_balanced(self):
+        team = ThreadTeam(4)
+        team.parallel_for(10, lambda i: None, schedule=Schedule.STATIC)
+        sizes = [sum(len(c) for c in team.chunk_trace[t]) for t in range(4)]
+        assert sorted(sizes) == [2, 2, 3, 3]
+        for chunks in team.chunk_trace.values():
+            assert len(chunks) <= 1  # one contiguous chunk per thread
+
+    def test_static_with_chunk_round_robins(self):
+        team = ThreadTeam(2)
+        team.parallel_for(8, lambda i: None, schedule=Schedule.STATIC, chunk=2)
+        t0 = [tuple(c) for c in team.chunk_trace[0]]
+        t1 = [tuple(c) for c in team.chunk_trace[1]]
+        assert t0 == [(0, 1), (4, 5)]
+        assert t1 == [(2, 3), (6, 7)]
+
+    def test_dynamic_covers_all_iterations(self):
+        seen = []
+        lock = threading.Lock()
+
+        def body(i):
+            with lock:
+                seen.append(i)
+
+        parallel_for(97, body, num_threads=3, schedule=Schedule.DYNAMIC, chunk=5)
+        assert sorted(seen) == list(range(97))
+
+    def test_guided_chunks_shrink(self):
+        from repro.smp.pool import _ChunkDispenser
+
+        dispenser = _ChunkDispenser(100, Schedule.GUIDED, chunk=1, num_threads=4)
+        sizes = []
+        while True:
+            chunk = dispenser.take()
+            if chunk is None:
+                break
+            sizes.append(len(chunk))
+        assert sizes[0] == 25  # remaining/num_threads at the start
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[-1] < sizes[0]
+        assert sum(sizes) == 100
+
+    def test_guided_covers_all_iterations(self):
+        seen = []
+        lock = threading.Lock()
+
+        def body(i):
+            with lock:
+                seen.append(i)
+
+        parallel_for(100, body, num_threads=4, schedule=Schedule.GUIDED)
+        assert sorted(seen) == list(range(100))
+
+    def test_zero_iterations(self):
+        team = ThreadTeam(4)
+        trace = team.parallel_for(0, lambda i: pytest.fail("should not run"))
+        assert all(not chunks for chunks in trace.values())
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_for(-1, lambda i: None)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            ThreadTeam(0)
+
+    def test_exception_propagates(self):
+        def body(i):
+            if i == 7:
+                raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            parallel_for(10, body, num_threads=2)
+
+    def test_load_imbalance_metric(self):
+        team = ThreadTeam(4)
+        team.parallel_for(100, lambda i: None)
+        assert team.load_imbalance() == pytest.approx(1.0)
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        out = parallel_map(lambda x: x * x, list(range(50)), num_threads=4)
+        assert out == [x * x for x in range(50)]
+
+    def test_dynamic_schedule(self):
+        out = parallel_map(
+            str, list(range(20)), num_threads=3, schedule=Schedule.DYNAMIC, chunk=3
+        )
+        assert out == [str(i) for i in range(20)]
+
+    def test_empty(self):
+        assert parallel_map(str, []) == []
+
+
+class TestParallelReduce:
+    def test_sum(self):
+        total = parallel_reduce(1000, lambda i: i, lambda a, b: a + b, 0, num_threads=4)
+        assert total == sum(range(1000))
+
+    def test_max_with_identity(self):
+        result = parallel_reduce(
+            100,
+            lambda i: (i * 37) % 100,
+            lambda a, b: a if a >= b else b,
+            -1,
+            num_threads=4,
+        )
+        assert result == 99
+
+    def test_different_schedules_agree(self):
+        results = {
+            sched: parallel_reduce(
+                500, lambda i: i * i, lambda a, b: a + b, 0,
+                num_threads=4, schedule=sched, chunk=7,
+            )
+            for sched in Schedule
+        }
+        assert len(set(results.values())) == 1
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=60),
+           st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_reduce_equals_serial_sum(self, values, threads):
+        total = parallel_reduce(
+            len(values), lambda i: values[i], lambda a, b: a + b, 0,
+            num_threads=threads,
+        )
+        assert total == sum(values)

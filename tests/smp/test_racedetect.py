@@ -1,0 +1,128 @@
+"""Tests for the Eraser-style lockset race detector."""
+
+import threading
+
+from repro.smp.racedetect import AccessKind, LocksetRaceDetector, SharedVariable
+
+
+def _on_thread(fn):
+    t = threading.Thread(target=fn)
+    t.start()
+    t.join()
+
+
+class TestLocksetStateMachine:
+    def test_single_thread_never_races(self):
+        det = LocksetRaceDetector()
+        var = SharedVariable("x", 0, det)
+        for i in range(10):
+            var.write(i)
+            var.read()
+        assert det.reports == []
+
+    def test_unlocked_cross_thread_write_is_race(self):
+        det = LocksetRaceDetector()
+        var = SharedVariable("x", 0, det)
+        var.write(1)  # main thread: Exclusive
+        _on_thread(lambda: var.write(2))  # second thread, no locks
+        assert "x" in det.racy_variables
+
+    def test_consistent_locking_is_clean(self):
+        det = LocksetRaceDetector()
+        var = SharedVariable("x", 0, det)
+
+        def locked_write():
+            with det.held("m"):
+                var.write(var.read() + 1)
+
+        locked_write()
+        _on_thread(locked_write)
+        _on_thread(locked_write)
+        assert det.reports == []
+        assert det.candidate_lockset("x") == frozenset({"m"})
+
+    def test_inconsistent_locks_race(self):
+        det = LocksetRaceDetector()
+        var = SharedVariable("x", 0, det)
+        with det.held("a"):
+            var.write(1)
+
+        def other():
+            with det.held("b"):  # different lock: candidate set empties
+                var.write(2)
+
+        _on_thread(other)
+        assert "x" in det.racy_variables
+
+    def test_read_sharing_without_locks_is_not_a_race(self):
+        det = LocksetRaceDetector()
+        var = SharedVariable("x", 42, det)
+        var.write(42)  # writer initializes (Exclusive)
+        _on_thread(var.read)  # other threads only read
+        _on_thread(var.read)
+        assert det.reports == []
+
+    def test_write_after_read_sharing_races_without_lock(self):
+        det = LocksetRaceDetector()
+        var = SharedVariable("x", 0, det)
+        var.write(0)
+        _on_thread(var.read)  # Shared
+        _on_thread(lambda: var.write(1))  # Shared-Modified, empty lockset
+        assert "x" in det.racy_variables
+
+    def test_candidate_lockset_intersection(self):
+        det = LocksetRaceDetector()
+        var = SharedVariable("x", 0, det)
+
+        def with_locks(locks):
+            def body():
+                for name in locks:
+                    det.on_acquire(name)
+                var.write(1)
+                for name in locks:
+                    det.on_release(name)
+
+            return body
+
+        with_locks(["a", "b"])()
+        _on_thread(with_locks(["b", "c"]))
+        assert det.candidate_lockset("x") == frozenset({"b"})
+        assert det.reports == []  # "b" still protects it
+
+    def test_report_carries_context(self):
+        det = LocksetRaceDetector()
+        var = SharedVariable("v", 0, det)
+        var.write(1)
+        _on_thread(lambda: var.write(2))
+        report = det.reports[0]
+        assert report.variable == "v"
+        assert report.kind is AccessKind.WRITE
+        assert "candidate lockset is empty" in report.message
+
+    def test_property_setter_instrumented(self):
+        det = LocksetRaceDetector()
+        var = SharedVariable("x", 0, det)
+        var.value = 5
+        assert var.value == 5
+        _on_thread(lambda: setattr(var, "value", 6))
+        assert "x" in det.racy_variables
+
+    def test_two_variables_tracked_independently(self):
+        det = LocksetRaceDetector()
+        safe = SharedVariable("safe", 0, det)
+        racy = SharedVariable("racy", 0, det)
+
+        def body():
+            with det.held("m"):
+                safe.write(1)
+            racy.write(1)
+
+        body()
+        _on_thread(body)
+        assert det.racy_variables == {"racy"}
+
+    def test_locks_of_reports_held_locks(self):
+        det = LocksetRaceDetector()
+        with det.held("q"):
+            assert det.locks_of() == frozenset({"q"})
+        assert det.locks_of() == frozenset()

@@ -1,0 +1,189 @@
+"""Integration tests: flows that cross subpackage boundaries.
+
+Each test is a miniature of how a course actually strings the library
+together — the substrate feeding the pedagogy feeding the accreditation
+engine, or two substrates composing (MPI + algorithms, GPU + scans).
+"""
+
+import numpy as np
+import pytest
+
+from repro.mp import SUM, run_spmd
+
+
+class TestMpiAlgorithmComposition:
+    def test_distributed_mergesort(self):
+        """Scatter chunks, sort locally (the algorithms package), gather,
+        and k-way merge at the root — the classic cluster sort lab."""
+        from repro.algorithms.sorting import merge, serial_mergesort
+
+        rng = np.random.default_rng(5)
+        data = list(rng.integers(0, 10_000, 400))
+
+        def main(comm, data):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            if rank == 0:
+                chunks = [list(data[i::size]) for i in range(size)]
+            else:
+                chunks = None
+            mine = comm.scatter(chunks, root=0)
+            mine_sorted = serial_mergesort(mine)
+            gathered = comm.gather(mine_sorted, root=0)
+            if rank == 0:
+                out: list = []
+                for chunk in gathered:
+                    out = merge(out, chunk)
+                return out
+            return None
+
+        result = run_spmd(4, main, data)[0]
+        assert result == sorted(data)
+
+    def test_distributed_dot_product_matches_numpy(self):
+        x = np.arange(128.0)
+        y = np.arange(128.0)[::-1].copy()
+
+        def main(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            lo = rank * len(x) // size
+            hi = (rank + 1) * len(x) // size
+            return comm.allreduce(float(x[lo:hi] @ y[lo:hi]), op=SUM)
+
+        results = run_spmd(4, main)
+        assert all(r == pytest.approx(float(x @ y)) for r in results)
+
+    def test_cartesian_jacobi_converges(self):
+        """A 1-D Jacobi heat solve over a ring of ranks with halo
+        exchange; the interior converges toward the linear profile."""
+        from repro.mp.topology import CartComm
+
+        def main(comm, steps=200):
+            cart = CartComm(comm, (comm.Get_size(),), periods=(False,))
+            rank, size = comm.Get_rank(), comm.Get_size()
+            u = 0.0  # one cell per rank, boundaries fixed at 0 and 1
+            for _ in range(steps):
+                lo, hi = cart.neighbor_exchange(0, u)
+                left = 0.0 if lo is None else lo
+                right = 1.0 if hi is None else hi
+                u = 0.5 * (left + right)
+            return u
+
+        values = run_spmd(4, main)
+        expected = [(r + 1) / 5 for r in range(4)]
+        assert values == pytest.approx(expected, abs=1e-3)
+
+
+class TestGpuAlgorithmAgreement:
+    def test_device_scan_matches_host_scans(self):
+        from repro.algorithms.scan import blelloch_scan, hillis_steele_scan
+        from repro.gpu import Device
+        from repro.gpu.libdevice import device_inclusive_scan
+
+        x = np.random.default_rng(6).random(64)
+        gpu, _ = device_inclusive_scan(Device(), x)
+        hs, _ = hillis_steele_scan(x)
+        bl, _ = blelloch_scan(x)
+        assert np.allclose(gpu, hs)
+        assert np.allclose(gpu, bl + x)
+
+    def test_device_reduce_matches_tree_reduce(self):
+        from repro.algorithms.reduction import tree_reduce
+        from repro.gpu import Device
+        from repro.gpu.libdevice import device_reduce_sum
+
+        x = np.random.default_rng(7).random(500)
+        gpu_total, _ = device_reduce_sum(Device(), x, block=32)
+        host_total, _ = tree_reduce(x)
+        assert gpu_total == pytest.approx(host_total)
+
+
+class TestCoursePipelineEndToEnd:
+    def test_syllabus_to_accreditation_evidence(self):
+        """The full §IV-A loop: deliver the LAU syllabus, grade a cohort,
+        compute SO attainment, and confirm the program the course belongs
+        to is compliant — the artifacts an ABET visit asks for."""
+        from repro.core.casestudies import lau_program
+        from repro.core.compliance import check_program
+        from repro.pedagogy import Autograder, OutcomeAssessment, build_lau_course
+
+        syllabus = build_lau_course()
+        grader = Autograder(syllabus.exercises())
+        assert grader.sanity_check() == []
+
+        perfect = {e.exercise_id: e.reference for e in syllabus.exercises()}
+        reports = grader.grade_cohort(
+            {f"student{i}": perfect for i in range(5)}
+        )
+        attainment = OutcomeAssessment(syllabus.exercises()).assess(reports)
+        assert all(a.met for a in attainment.values())
+
+        compliance = check_program(lau_program())
+        assert compliance.compliant
+        # The course's topics all appear in the compliance evidence.
+        course = lau_program().course("CSC447")
+        assert set(course.pdc_topics()) <= set(compliance.covered_topics)
+
+    def test_advisor_plus_designer_loop(self):
+        """Advisor recommendations, applied, satisfy the criteria the
+        compliance engine checks — the designer workflow, automated."""
+        from repro.core.advisor import advise
+        from repro.core.compliance import check_program
+        from repro.core.course import Course, Coverage, Depth
+        from repro.core.program import Program
+        from repro.core.taxonomy import CourseType
+
+        program = Program(
+            "Loop U", "L",
+            courses=[
+                Course("ARCH", "Arch", CourseType.ARCHITECTURE, 10.0),
+                Course("OS", "OS", CourseType.OPERATING_SYSTEMS, 10.0),
+                Course("DB", "DB", CourseType.DATABASE, 10.0),
+                Course("NET", "Net", CourseType.NETWORKS, 10.0),
+            ],
+        )
+        plan = advise(program)
+        assert not plan.already_compliant
+        embeddings: dict = {}
+        for rec in plan.recommendations:
+            assert rec.action == "embed"  # the four hosts cover Table I
+            embeddings.setdefault(rec.target_course, []).append(
+                Coverage(rec.topic, Depth.WORKING)
+            )
+        fixed_courses = [
+            Course(c.code, c.title, c.course_type, c.credits,
+                   coverage=embeddings.get(c.code, []))
+            for c in program.courses
+        ]
+        fixed = Program(program.name, program.institution, courses=fixed_courses)
+        assert check_program(fixed).compliant
+
+
+class TestNetDistComposition:
+    def test_rpc_backed_eventually_consistent_store(self):
+        """Replicated store replicas exported over RPC; a client writes
+        through one stub, anti-entropy converges, reads agree."""
+        from repro.dist.consistency import EventuallyConsistentStore
+        from repro.dist.middleware import RpcServer, rpc_proxy
+        from repro.net import Address, Network
+
+        store = EventuallyConsistentStore(3)
+        network = Network()
+        with RpcServer(network, Address("replica", 1), store):
+            stub = rpc_proxy(network, Address("replica", 1))
+            stub.write(0, "x", "v1", 1.0)
+            stub.write(2, "x", "v2", 2.0)
+            assert stub.converge() <= 3
+            assert stub.read(1, "x") == "v2"
+
+    def test_token_snapshot_with_election_recovery(self):
+        """A leader crash triggers election; the new leader initiates the
+        snapshot — two distributed protocols composed."""
+        from repro.dist.election import bully_election
+        from repro.dist.snapshot import TokenSystem
+
+        result = bully_election(list(range(4)), initiator=0, crashed={3})
+        sys = TokenSystem([10, 10, 10, 10])
+        sys.transfer(0, 1, 5)
+        sys.start_snapshot(result.leader)  # leader == 2
+        sys.deliver_all()
+        assert sys.snapshot().total == 40

@@ -1,0 +1,249 @@
+"""Cross-cutting property tests with independent oracles.
+
+Each property pits a simulator against a trivially-correct sequential
+oracle (or a universally quantified invariant), over hypothesis-generated
+inputs — the strongest correctness statements in the suite:
+
+- the 5-stage pipeline computes exactly what a sequential interpreter
+  computes, under every datapath configuration;
+- Tomasulo (both variants) computes exactly what in-order execution
+  computes, despite out-of-order completion and speculation;
+- the 2PL engine's committed projection is conflict-serializable under
+  *arbitrary* explicit interleavings, not just round-robin;
+- MPI collectives agree with their serial definitions for every op and
+  world size.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.pipeline import Instr, Op, Pipeline, PipelineConfig
+from repro.arch.tomasulo import TInstr, TOp, TomasuloCPU
+from repro.db import Op as DbOp
+from repro.db import Transaction, TransactionEngine, is_conflict_serializable
+from repro.db.engine import committed_projection
+from repro.mp import MAX, MIN, PROD, SUM, run_spmd
+
+
+# -- pipeline vs sequential interpreter ------------------------------------
+def _interpret_riscish(program, registers=None, memory=None):
+    """The oracle: execute the pipeline ISA sequentially."""
+    regs = [0] * 32
+    for r, v in (registers or {}).items():
+        if r != 0:
+            regs[r] = v
+    mem = dict(memory or {})
+    pc = 0
+    steps = 0
+    while pc < len(program):
+        steps += 1
+        if steps > 10_000:
+            raise RuntimeError("oracle runaway")
+        instr = program[pc]
+        a, b = regs[instr.rs1], regs[instr.rs2]
+        if instr.op is Op.ADD:
+            value = a + b
+        elif instr.op is Op.SUB:
+            value = a - b
+        elif instr.op is Op.AND:
+            value = a & b
+        elif instr.op is Op.OR:
+            value = a | b
+        elif instr.op is Op.ADDI:
+            value = a + instr.imm
+        elif instr.op is Op.LW:
+            value = mem.get(a + instr.imm, 0)
+        elif instr.op is Op.SW:
+            mem[a + instr.imm] = b
+            pc += 1
+            continue
+        elif instr.op in (Op.BEQ, Op.BNE):
+            taken = (a == b) if instr.op is Op.BEQ else (a != b)
+            pc = instr.imm if taken else pc + 1
+            continue
+        else:  # NOP
+            pc += 1
+            continue
+        if instr.rd != 0:
+            regs[instr.rd] = value
+        pc += 1
+    return regs, mem
+
+
+_pipeline_instr = st.one_of(
+    st.builds(
+        Instr,
+        op=st.sampled_from([Op.ADD, Op.SUB, Op.AND, Op.OR]),
+        rd=st.integers(0, 7),
+        rs1=st.integers(0, 7),
+        rs2=st.integers(0, 7),
+    ),
+    st.builds(
+        Instr,
+        op=st.just(Op.ADDI),
+        rd=st.integers(0, 7),
+        rs1=st.integers(0, 7),
+        imm=st.integers(-8, 8),
+    ),
+    st.builds(
+        Instr,
+        op=st.just(Op.LW),
+        rd=st.integers(0, 7),
+        rs1=st.just(0),
+        imm=st.integers(0, 7),
+    ),
+    st.builds(
+        Instr,
+        op=st.just(Op.SW),
+        rs1=st.just(0),
+        rs2=st.integers(0, 7),
+        imm=st.integers(0, 7),
+    ),
+)
+
+
+@given(
+    st.lists(_pipeline_instr, max_size=16),
+    st.sampled_from(
+        [
+            PipelineConfig(forwarding=True),
+            PipelineConfig(forwarding=False),
+            PipelineConfig(branch_in_id=True),
+        ]
+    ),
+)
+@settings(max_examples=120, deadline=None)
+def test_property_pipeline_matches_interpreter(program, config):
+    initial_mem = {i: i * 10 for i in range(8)}
+    oracle_regs, oracle_mem = _interpret_riscish(program, memory=initial_mem)
+    pipe = Pipeline(program, config, memory=initial_mem)
+    pipe.run()
+    assert pipe.registers == oracle_regs
+    assert pipe.memory == oracle_mem
+
+
+# -- tomasulo vs in-order execution ---------------------------------------------
+def _interpret_fp(program, registers=None, memory=None):
+    regs = [0.0] * 32
+    for r, v in (registers or {}).items():
+        regs[r] = v
+    mem = dict(memory or {})
+    pc = 0
+    while pc < len(program):
+        instr = program[pc]
+        if instr.op is TOp.LOAD:
+            regs[instr.rd] = float(mem.get(instr.addr, 0.0))
+        elif instr.op is TOp.ADD:
+            regs[instr.rd] = regs[instr.rs] + regs[instr.rt]
+        elif instr.op is TOp.SUB:
+            regs[instr.rd] = regs[instr.rs] - regs[instr.rt]
+        elif instr.op is TOp.MUL:
+            regs[instr.rd] = regs[instr.rs] * regs[instr.rt]
+        elif instr.op is TOp.BNEZ:
+            if regs[instr.rs] != 0:
+                pc = instr.target
+                continue
+        pc += 1
+    return regs
+
+
+_tomasulo_instr = st.one_of(
+    st.builds(
+        TInstr,
+        op=st.sampled_from([TOp.ADD, TOp.SUB, TOp.MUL]),
+        rd=st.integers(1, 6),
+        rs=st.integers(0, 6),
+        rt=st.integers(0, 6),
+    ),
+    st.builds(
+        TInstr,
+        op=st.just(TOp.LOAD),
+        rd=st.integers(1, 6),
+        addr=st.integers(0, 4),
+    ),
+)
+
+
+@given(st.lists(_tomasulo_instr, max_size=12), st.booleans())
+@settings(max_examples=100, deadline=None)
+def test_property_tomasulo_matches_inorder(program, speculative):
+    memory = {i: float(i + 1) for i in range(5)}
+    registers = {0: 2.0}
+    oracle = _interpret_fp(program, registers=registers, memory=memory)
+    cpu = TomasuloCPU(
+        program, speculative=speculative, registers=registers, memory=memory
+    )
+    stats = cpu.run()
+    assert cpu.registers == oracle
+    assert stats.committed == len(program)
+
+
+@given(st.lists(_tomasulo_instr, min_size=1, max_size=8), st.data())
+@settings(max_examples=60, deadline=None)
+def test_property_tomasulo_with_branch_matches_inorder(program, data):
+    """Insert one forward BNEZ at a random point; both variants (stall
+    and speculate) must still match in-order semantics."""
+    pos = data.draw(st.integers(0, len(program)))
+    target = data.draw(st.integers(pos + 1, len(program) + 1))
+    rs = data.draw(st.integers(0, 6))
+    full = list(program)
+    full.insert(pos, TInstr(TOp.BNEZ, rs=rs, target=target))
+    memory = {i: float(i) for i in range(5)}  # mem[0] = 0 -> some not-taken
+    registers = {0: 1.0}
+    oracle = _interpret_fp(full, registers=registers, memory=memory)
+    for speculative in (False, True):
+        cpu = TomasuloCPU(
+            full, speculative=speculative, registers=registers, memory=memory
+        )
+        cpu.run()
+        assert cpu.registers == oracle, (full, speculative)
+
+
+# -- 2PL engine under arbitrary interleavings ---------------------------------
+@given(st.data())
+@settings(max_examples=80, deadline=None)
+def test_property_engine_serializable_any_turn_order(data):
+    txns = []
+    for i in range(1, 5):
+        n_ops = data.draw(st.integers(1, 4))
+        ops = []
+        for j in range(n_ops):
+            item = data.draw(st.sampled_from(["x", "y", "z"]))
+            kind = data.draw(st.booleans())
+            ops.append(DbOp.read(i, item) if kind else DbOp.write(i, item))
+        txns.append(Transaction(i, ops))
+    order = data.draw(
+        st.lists(st.integers(1, 4), min_size=0, max_size=24)
+    )
+    report = TransactionEngine(txns).run(turn_order=order)
+    assert sorted(report.committed) == [1, 2, 3, 4]
+    assert is_conflict_serializable(committed_projection(report.history))
+
+
+# -- collectives vs serial definitions -----------------------------------------
+@given(
+    st.lists(st.integers(-20, 20), min_size=1, max_size=6),
+    st.sampled_from([SUM, PROD, MAX, MIN]),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_allreduce_any_op(values, op):
+    serial = values[0]
+    for v in values[1:]:
+        serial = op(serial, v)
+
+    def main(comm):
+        return comm.allreduce(values[comm.Get_rank()], op=op)
+
+    assert run_spmd(len(values), main) == [serial] * len(values)
+
+
+@given(st.lists(st.integers(-20, 20), min_size=1, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_property_scan_prefixes(values):
+    def main(comm):
+        return comm.scan(values[comm.Get_rank()], op=SUM)
+
+    expected = list(np.cumsum(values))
+    assert run_spmd(len(values), main) == expected
