@@ -16,8 +16,10 @@ library.  Two halves:
   synchronization), :mod:`repro.db` (transaction concurrency),
   :mod:`repro.net` (networks & client-server), :mod:`repro.dist`
   (distributed algorithms), :mod:`repro.algorithms` (parallel algorithms &
-  work-span analysis), and :mod:`repro.pedagogy` (labs, autograding, ABET
-  outcome assessment).
+  work-span analysis), :mod:`repro.pedagogy` (labs, autograding, ABET
+  outcome assessment), and :mod:`repro.analysis` (PDC-Lint, the static
+  concurrency analyzer: races, lock-order cycles, locking hygiene — the
+  pre-execution feedback loop, runnable as ``pdc-lint``).
 
 Subpackages are imported on demand (``from repro import mp``) rather than
 eagerly here, so ``import repro`` stays cheap.
@@ -37,4 +39,5 @@ __all__ = [
     "dist",
     "algorithms",
     "pedagogy",
+    "analysis",
 ]

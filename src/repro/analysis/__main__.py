@@ -1,0 +1,90 @@
+"""The ``pdc-lint`` CLI: ``python -m repro.analysis <paths>``.
+
+Exit codes: 0 clean, 1 findings, 2 unreadable or unparsable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.analyzer import analyze_paths
+from repro.analysis.report import render_json, render_text
+from repro.analysis.rules import default_registry
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pdc-lint",
+        description=(
+            "Static concurrency analysis for Python teaching code: data-race "
+            "candidates (PDC101), lock-order cycles (PDC102), and locking "
+            "hygiene (PDC2xx). Suppress a finding on its line with "
+            "`# pdc-lint: disable=PDC101 -- justification`."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories (recurses into *.py)"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help=(
+            "comma-separated rule ids or prefixes to run "
+            "(e.g. PDC101,PDC2 — default: all rules)"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for r in default_registry().rules():
+        lines.append(f"{r.id}  {r.name:<24} [{r.severity.value}] {r.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the linter; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if not args.paths:
+        parser.error("no paths given (or use --list-rules)")
+    select: Optional[List[str]] = (
+        [s for s in args.select.split(",") if s.strip()] if args.select else None
+    )
+    result = analyze_paths(args.paths, select=select)
+    renderer = render_json if args.format == "json" else render_text
+    try:
+        print(
+            renderer(
+                result.findings,
+                files=result.files,
+                suppressed=result.suppressed,
+                errors=result.errors,
+            )
+        )
+    except BrokenPipeError:
+        # `pdc-lint ... | head` closed the pipe; the verdict still stands.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,336 @@
+"""The PDC-Lint driver: module contexts, file walking, rule dispatch.
+
+A :class:`ModuleContext` is everything the rules need to know about one
+module: its AST, its :class:`~repro.analysis.lockmodel.LockModel`, every
+function definition with qualified names, which functions are *thread
+targets* (``threading.Thread(target=f)``, ``executor.submit(f)``,
+``start_new_thread(f)``), the call-graph closure of those targets (the
+*concurrent* set), and which targets are spawned more than once (in a
+loop, a comprehension, or at two or more sites) — the distinction that
+lets the static Eraser treat a single multiply-spawned worker as racing
+with itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lockmodel import LockModel, dotted_name
+from repro.analysis.report import Finding, apply_suppressions
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleContext",
+    "AnalysisResult",
+    "analyze_source",
+    "analyze_file",
+    "analyze_paths",
+]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_LOOPY = (
+    ast.For,
+    ast.While,
+    ast.AsyncFor,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    name: str
+    qualname: str
+    node: ast.AST
+    owner_class: Optional[str]
+    lineno: int
+
+    @property
+    def is_init(self) -> bool:
+        """Constructors run before threads exist (happens-before spawn)."""
+        return self.name in ("__init__", "__new__", "__post_init__")
+
+
+@dataclasses.dataclass
+class _Spawn:
+    """One thread-creation site."""
+
+    target: str  # simple name of the target callable
+    lineno: int
+    in_loop: bool
+
+
+class ModuleContext:
+    """Everything the rules see about one module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lockmodel = LockModel(tree)
+        self.functions: List[FunctionInfo] = []
+        self.imports: Dict[str, str] = {}  # local alias -> canonical dotted name
+        self._spawns: List[_Spawn] = []
+        self._calls: Dict[str, Set[str]] = {}  # caller simple name -> callees
+        self._scan()
+        self.thread_targets: Set[str] = {s.target for s in self._spawns}
+        self.multi_spawned: Set[str] = self._find_multi_spawned()
+        self.concurrent: Set[str] = self._closure(self.thread_targets)
+        #: Functions reachable from a multiply-spawned target: they run in
+        #: several threads at once even if only one function accesses them.
+        self.multi_concurrent: Set[str] = self._closure(self.multi_spawned)
+
+    @classmethod
+    def build(cls, path: str, source: str) -> "ModuleContext":
+        """Parse and index one module."""
+        return cls(path, source, ast.parse(source, filename=path))
+
+    # -- scanning ---------------------------------------------------------
+    def _scan(self) -> None:
+        self._scan_imports()
+        self._walk_functions(self.tree.body, prefix="", owner=None)
+        # Module-level code spawns threads too (scripts, fixtures, demos).
+        self._index_body("<module>", self.tree.body)
+
+    def _scan_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def _walk_functions(
+        self, body: Sequence[ast.stmt], prefix: str, owner: Optional[str]
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, _FUNC_NODES):
+                qual = f"{prefix}{stmt.name}"
+                self.functions.append(
+                    FunctionInfo(
+                        name=stmt.name,
+                        qualname=qual,
+                        node=stmt,
+                        owner_class=owner,
+                        lineno=stmt.lineno,
+                    )
+                )
+                self._index_function(stmt)
+                self._walk_functions(stmt.body, prefix=f"{qual}.", owner=owner)
+            elif isinstance(stmt, ast.ClassDef):
+                self._walk_functions(
+                    stmt.body, prefix=f"{prefix}{stmt.name}.", owner=stmt.name
+                )
+
+    def _index_function(self, func: ast.AST) -> None:
+        self._index_body(func.name, getattr(func, "body", []))
+
+    def _index_body(self, caller: str, body: Sequence[ast.stmt]) -> None:
+        """Record spawn sites and same-module calls made by ``caller``."""
+        callees = self._calls.setdefault(caller, set())
+
+        def visit(node: ast.AST, in_loop: bool) -> None:
+            if isinstance(node, _FUNC_NODES):
+                return  # nested defs are indexed on their own
+            if isinstance(node, ast.Call):
+                target = self._spawn_target(node)
+                if target is not None:
+                    self._spawns.append(
+                        _Spawn(target=target, lineno=node.lineno, in_loop=in_loop)
+                    )
+                callee = self._callee_name(node)
+                if callee is not None:
+                    callees.add(callee)
+            loops = in_loop or isinstance(node, _LOOPY)
+            for child in ast.iter_child_nodes(node):
+                visit(child, loops)
+
+        for stmt in body:
+            visit(stmt, in_loop=False)
+
+    def _spawn_target(self, call: ast.Call) -> Optional[str]:
+        """The simple name of the callable this call hands to a thread."""
+        fn = self.resolve_call(call)
+        if fn is not None and fn.split(".")[-1] == "Thread":
+            for kw in call.keywords:
+                if kw.arg == "target":
+                    return self._simple_name(kw.value)
+            return None
+        if fn is not None and fn.endswith("start_new_thread") and call.args:
+            return self._simple_name(call.args[0])
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "submit"
+            and call.args
+        ):
+            return self._simple_name(call.args[0])
+        return None
+
+    @staticmethod
+    def _simple_name(expr: ast.expr) -> Optional[str]:
+        name = dotted_name(expr)
+        return name.split(".")[-1] if name else None
+
+    def _callee_name(self, call: ast.Call) -> Optional[str]:
+        if isinstance(call.func, ast.Name):
+            return call.func.id
+        if isinstance(call.func, ast.Attribute) and isinstance(
+            call.func.value, ast.Name
+        ):
+            if call.func.value.id == "self":
+                return call.func.attr
+        return None
+
+    def resolve_call(self, call: ast.Call) -> Optional[str]:
+        """Canonical dotted name of the called function, through aliases.
+
+        ``sleep(1)`` after ``from time import sleep`` resolves to
+        ``time.sleep``; ``t.sleep(1)`` after ``import time as t`` too.
+        """
+        name = dotted_name(call.func)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        canonical = self.imports.get(head, head)
+        return f"{canonical}.{rest}" if rest else canonical
+
+    # -- concurrency classification ---------------------------------------
+    def _find_multi_spawned(self) -> Set[str]:
+        counts: Dict[str, int] = {}
+        multi: Set[str] = set()
+        for spawn in self._spawns:
+            counts[spawn.target] = counts.get(spawn.target, 0) + 1
+            if spawn.in_loop:
+                multi.add(spawn.target)
+        multi.update(t for t, c in counts.items() if c >= 2)
+        return multi
+
+    def _closure(self, roots: Set[str]) -> Set[str]:
+        seen: Set[str] = set()
+        frontier = [r for r in roots if r]
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            frontier.extend(self._calls.get(name, ()))
+        return seen
+
+    def function_named(self, name: str) -> Optional[FunctionInfo]:
+        """The first function with this simple name, if any."""
+        for info in self.functions:
+            if info.name == name:
+                return info
+        return None
+
+    def locksets(self, func: ast.AST) -> Dict[int, FrozenSet[str]]:
+        """Lockset at entry of every statement of ``func`` (cached)."""
+        return self.lockmodel.locksets(func)
+
+
+@dataclasses.dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced."""
+
+    findings: List[Finding]
+    files: int
+    suppressed: int
+    errors: List[str]
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean · 1 findings · 2 unreadable/unparsable input."""
+        if self.errors:
+            return 2
+        return 1 if self.findings else 0
+
+
+def _run_rules(
+    ctx: ModuleContext, select: Optional[Sequence[str]]
+) -> List[Finding]:
+    from repro.analysis.rules import default_registry
+
+    findings: List[Finding] = []
+    for rule in default_registry().selected(select):
+        findings.extend(rule.check(ctx))
+    return findings
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Analyze one module's source; suppression comments are honored."""
+    ctx = ModuleContext.build(path, source)
+    kept, _ = apply_suppressions(_run_rules(ctx, select), source)
+    return sorted(kept)
+
+
+def analyze_file(
+    path: str, select: Optional[Sequence[str]] = None
+) -> AnalysisResult:
+    """Analyze one file on disk."""
+    return analyze_paths([path], select=select)
+
+
+def _iter_python_files(paths: Iterable[str]) -> Tuple[List[str], List[str]]:
+    files: List[str] = []
+    errors: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs.sort()
+                dirs[:] = [d for d in dirs if d not in ("__pycache__", ".git")]
+                files.extend(
+                    os.path.join(root, n) for n in sorted(names)
+                    if n.endswith(".py")
+                )
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            errors.append(f"{path}: no such file or directory")
+    return files, errors
+
+
+def analyze_paths(
+    paths: Sequence[str], select: Optional[Sequence[str]] = None
+) -> AnalysisResult:
+    """Analyze files and directory trees (recursing into ``*.py``)."""
+    files, errors = _iter_python_files(paths)
+    findings: List[Finding] = []
+    suppressed = 0
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            errors.append(f"{path}: {exc}")
+            continue
+        try:
+            kept, dropped = apply_suppressions(
+                _run_rules(ModuleContext.build(path, source), select), source
+            )
+        except SyntaxError as exc:
+            errors.append(f"{path}: syntax error: {exc.msg} (line {exc.lineno})")
+            continue
+        findings.extend(kept)
+        suppressed += len(dropped)
+    return AnalysisResult(
+        findings=sorted(findings),
+        files=len(files),
+        suppressed=suppressed,
+        errors=errors,
+    )

@@ -1,0 +1,198 @@
+"""Per-function control-flow graphs over ``ast``, plus a dataflow solver.
+
+Every statement of a function becomes one node; compound statements
+(``if``/``while``/``for``/``with``/``try``/``match``) become a *header*
+node whose successors are the entry nodes of their bodies.  ``with``
+statements additionally get a synthetic ``WITH_EXIT`` node on the fall-out
+edge, so scoped effects (releasing a lock) have a place to live — the
+property :mod:`repro.analysis.lockmodel` relies on.
+
+The exception model is deliberately coarse: a ``try`` header has an edge
+straight to every handler (as if the body could raise before doing
+anything), which is the *conservative* direction for must-hold lockset
+analysis — a lock acquired inside the body is never assumed held in the
+handler.  ``return``/``raise`` jump to the synthetic exit node without
+unwinding ``finally`` blocks; that costs nothing for the intersection-based
+analyses built on top.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import enum
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+__all__ = ["NodeKind", "CFGNode", "ControlFlowGraph", "build_cfg", "solve_forward"]
+
+
+class NodeKind(enum.Enum):
+    """What a CFG node represents."""
+
+    ENTRY = "entry"
+    EXIT = "exit"
+    STMT = "stmt"
+    WITH_EXIT = "with-exit"  # synthetic: leaving a with-block's scope
+
+
+@dataclasses.dataclass
+class CFGNode:
+    """One node: a statement (or synthetic marker) and its successor ids."""
+
+    index: int
+    kind: NodeKind
+    stmt: Optional[ast.stmt]
+    succ: List[int] = dataclasses.field(default_factory=list)
+
+
+class ControlFlowGraph:
+    """A statement-level CFG with distinguished entry and exit nodes."""
+
+    def __init__(self) -> None:
+        self.nodes: List[CFGNode] = []
+        self.entry = self._new(NodeKind.ENTRY, None)
+        self.exit = self._new(NodeKind.EXIT, None)
+
+    def _new(self, kind: NodeKind, stmt: Optional[ast.stmt]) -> int:
+        node = CFGNode(index=len(self.nodes), kind=kind, stmt=stmt)
+        self.nodes.append(node)
+        return node.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.nodes[src].succ:
+            self.nodes[src].succ.append(dst)
+
+    def preds(self) -> List[List[int]]:
+        """Predecessor lists, indexed like :attr:`nodes`."""
+        table: List[List[int]] = [[] for _ in self.nodes]
+        for node in self.nodes:
+            for s in node.succ:
+                table[s].append(node.index)
+        return table
+
+    def statement_nodes(self) -> List[CFGNode]:
+        """All non-synthetic nodes (each carries a real ``ast.stmt``)."""
+        return [n for n in self.nodes if n.kind is NodeKind.STMT]
+
+
+_LOOP_HEADERS = (ast.While, ast.For, ast.AsyncFor)
+
+
+class _Builder:
+    """Wires statement lists back-to-front so each node knows its follow."""
+
+    def __init__(self) -> None:
+        self.g = ControlFlowGraph()
+        # (continue_target, break_target) per enclosing loop
+        self._loops: List[Tuple[int, int]] = []
+
+    def build(self, body: List[ast.stmt]) -> ControlFlowGraph:
+        first = self._wire_body(body, self.g.exit)
+        self.g._edge(self.g.entry, first)
+        return self.g
+
+    def _wire_body(self, stmts: List[ast.stmt], follow: int) -> int:
+        entry = follow
+        for stmt in reversed(stmts):
+            entry = self._wire_stmt(stmt, entry)
+        return entry
+
+    def _wire_stmt(self, stmt: ast.stmt, follow: int) -> int:
+        g = self.g
+        if isinstance(stmt, ast.If):
+            n = g._new(NodeKind.STMT, stmt)
+            g._edge(n, self._wire_body(stmt.body, follow))
+            g._edge(n, self._wire_body(stmt.orelse, follow) if stmt.orelse else follow)
+            return n
+        if isinstance(stmt, _LOOP_HEADERS):
+            n = g._new(NodeKind.STMT, stmt)
+            exit_ = self._wire_body(stmt.orelse, follow) if stmt.orelse else follow
+            self._loops.append((n, exit_))
+            g._edge(n, self._wire_body(stmt.body, n))
+            self._loops.pop()
+            g._edge(n, exit_)
+            return n
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            leave = g._new(NodeKind.WITH_EXIT, stmt)
+            g._edge(leave, follow)
+            n = g._new(NodeKind.STMT, stmt)
+            g._edge(n, self._wire_body(stmt.body, leave))
+            return n
+        if isinstance(stmt, ast.Try) or stmt.__class__.__name__ == "TryStar":
+            fin = self._wire_body(stmt.finalbody, follow) if stmt.finalbody else follow
+            after_body = self._wire_body(stmt.orelse, fin) if stmt.orelse else fin
+            n = g._new(NodeKind.STMT, stmt)
+            g._edge(n, self._wire_body(stmt.body, after_body))
+            for handler in stmt.handlers:
+                g._edge(n, self._wire_body(handler.body, fin))
+            return n
+        if isinstance(stmt, ast.Match):
+            n = g._new(NodeKind.STMT, stmt)
+            for case in stmt.cases:
+                g._edge(n, self._wire_body(case.body, follow))
+            g._edge(n, follow)  # no case may match
+            return n
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            n = g._new(NodeKind.STMT, stmt)
+            g._edge(n, g.exit)
+            return n
+        if isinstance(stmt, ast.Break):
+            n = g._new(NodeKind.STMT, stmt)
+            g._edge(n, self._loops[-1][1] if self._loops else g.exit)
+            return n
+        if isinstance(stmt, ast.Continue):
+            n = g._new(NodeKind.STMT, stmt)
+            g._edge(n, self._loops[-1][0] if self._loops else g.exit)
+            return n
+        # Nested defs/classes are opaque single statements: each function
+        # gets its own CFG; we never descend here.
+        n = g._new(NodeKind.STMT, stmt)
+        g._edge(n, follow)
+        return n
+
+
+def build_cfg(func: ast.AST) -> ControlFlowGraph:
+    """Build the CFG of a function (or any object with a ``body`` list)."""
+    body = getattr(func, "body", None)
+    if not isinstance(body, list):
+        raise TypeError(f"cannot build a CFG for {type(func).__name__}")
+    return _Builder().build(body)
+
+
+def solve_forward(
+    cfg: ControlFlowGraph,
+    transfer: Callable[[CFGNode, FrozenSet[str]], FrozenSet[str]],
+    init: FrozenSet[str] = frozenset(),
+) -> Dict[int, FrozenSet[str]]:
+    """Forward must-analysis: meet = set intersection, to a fixpoint.
+
+    Returns the **in**-set of every reachable node.  Unreached predecessors
+    contribute nothing (the standard "top = all" treatment, realized by
+    skipping them), so the result is the set of facts that hold on *every*
+    path reaching the node — exactly what a "locks certainly held" analysis
+    wants.
+    """
+    preds = cfg.preds()
+    in_: Dict[int, FrozenSet[str]] = {cfg.entry: init}
+    out: Dict[int, FrozenSet[str]] = {}
+    worklist = [cfg.entry]
+    while worklist:
+        idx = worklist.pop()
+        node = cfg.nodes[idx]
+        if idx == cfg.entry:
+            node_in = init
+        else:
+            avail = [out[p] for p in preds[idx] if p in out]
+            if not avail:
+                continue
+            node_in = frozenset.intersection(*avail)
+        in_[idx] = node_in
+        node_out = transfer(node, node_in)
+        if out.get(idx) != node_out:
+            out[idx] = node_out
+            worklist.extend(node.succ)
+        else:
+            # Revisit successors still missing an in-set (first visit may
+            # have been skipped for lack of any available predecessor).
+            worklist.extend(s for s in node.succ if s not in in_)
+    return in_

@@ -1,0 +1,293 @@
+"""Recognizing ``threading`` locks and computing locksets statically.
+
+Two halves:
+
+- **Discovery** — scan a module for names bound to ``threading.Lock()``,
+  ``RLock()``, ``Condition()``, ``Semaphore()``, ``BoundedSemaphore()``
+  (bare or attribute form, module level, function level, or ``self.x =``
+  inside methods).  Aliased locks (``b = a``) and locks received as
+  parameters are deliberately out of scope; the discovered set is what all
+  downstream passes reason about.
+- **Locksets** — a forward must-analysis over the function's CFG
+  (:func:`repro.analysis.cfg.solve_forward`): ``with lock:`` holds the lock
+  for exactly the body, a blocking ``lock.acquire()`` statement holds it
+  from that point on, ``lock.release()`` drops it.  Non-blocking tries
+  (``acquire(blocking=False)``, ``acquire(False)``) prove nothing and are
+  ignored.  The result maps every statement to the set of locks *certainly*
+  held when it starts — empty-intersection reasoning then powers the static
+  Eraser (:mod:`repro.analysis.races`) and the hygiene rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.analysis.cfg import CFGNode, NodeKind, build_cfg, solve_forward
+
+__all__ = [
+    "LockInfo",
+    "LockModel",
+    "dotted_name",
+    "Acquisition",
+    "iter_statements",
+    "own_nodes",
+]
+
+
+def own_nodes(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Nodes belonging to ``stmt`` itself, not to nested statements.
+
+    ``ast.walk`` would descend into a compound statement's body and
+    attribute inner expressions to the outer statement — wrong for any
+    per-statement lockset query, because the body runs under locks the
+    header does not hold.
+    """
+    stack: List[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, ast.stmt):
+                stack.append(child)
+
+
+def iter_statements(func: ast.AST) -> Iterator[ast.stmt]:
+    """Every statement in ``func``'s body, not descending into nested defs."""
+    stack: List[ast.stmt] = list(getattr(func, "body", []))
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for field in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(stmt, field, []) or [])
+        for handler in getattr(stmt, "handlers", []) or []:
+            stack.extend(handler.body)
+        for case in getattr(stmt, "cases", []) or []:
+            stack.extend(case.body)
+
+#: ``threading`` factory callables that create a lock-like object.
+LOCK_FACTORIES = {
+    "Lock": "lock",
+    "RLock": "rlock",
+    "Condition": "condition",
+    "Semaphore": "semaphore",
+    "BoundedSemaphore": "semaphore",
+}
+
+
+def dotted_name(expr: ast.expr) -> Optional[str]:
+    """``a``, ``self.x``, ``a.b.c`` — or ``None`` for anything fancier."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@dataclasses.dataclass(frozen=True)
+class LockInfo:
+    """One discovered lock: its dotted name and what kind of lock it is."""
+
+    name: str
+    kind: str  # one of LOCK_FACTORIES' values
+    lineno: int
+    #: ``Condition(existing_lock)`` — lock management is delegated to an
+    #: external mutex this analysis cannot track across methods.
+    external_lock: bool = False
+
+    @property
+    def reentrant(self) -> bool:
+        """RLocks may be re-acquired by the holder (PDC208 exemption)."""
+        return self.kind == "rlock"
+
+
+@dataclasses.dataclass(frozen=True)
+class Acquisition:
+    """One static acquisition site of a discovered lock."""
+
+    lock: str
+    stmt: ast.stmt
+    lineno: int
+    col: int
+    via_with: bool
+    #: Locks certainly held when this acquisition starts.
+    held_before: FrozenSet[str]
+
+
+def _factory_kind(call: ast.expr) -> Optional[Tuple[str, bool]]:
+    """``(kind, has_args)`` if ``call`` constructs a lock, else ``None``."""
+    if not isinstance(call, ast.Call):
+        return None
+    fn = call.func
+    name = fn.attr if isinstance(fn, ast.Attribute) else (
+        fn.id if isinstance(fn, ast.Name) else None
+    )
+    if name not in LOCK_FACTORIES:
+        return None
+    return LOCK_FACTORIES[name], bool(call.args or call.keywords)
+
+
+class LockModel:
+    """All lock knowledge about one module."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.locks: Dict[str, LockInfo] = {}
+        self._collect(tree)
+        self._lockset_cache: Dict[int, Dict[int, FrozenSet[str]]] = {}
+
+    # -- discovery --------------------------------------------------------
+    def _collect(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            found = _factory_kind(value)
+            if found is None:
+                continue
+            kind, has_args = found
+            for target in targets:
+                name = dotted_name(target)
+                if name is None:
+                    continue
+                self.locks[name] = LockInfo(
+                    name=name,
+                    kind=kind,
+                    lineno=node.lineno,
+                    external_lock=(kind == "condition" and has_args),
+                )
+
+    def is_lock(self, name: Optional[str]) -> bool:
+        """Whether ``name`` is a discovered lock-like object."""
+        return name is not None and name in self.locks
+
+    def conditions(self) -> List[LockInfo]:
+        """The discovered condition variables."""
+        return [i for i in self.locks.values() if i.kind == "condition"]
+
+    # -- acquisition idioms ----------------------------------------------
+    def with_locks(self, stmt: ast.stmt) -> List[str]:
+        """Discovered locks acquired by a ``with`` statement's items."""
+        if not isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return []
+        names = []
+        for item in stmt.items:
+            name = dotted_name(item.context_expr)
+            if self.is_lock(name):
+                names.append(name)
+        return names
+
+    def call_acquisition(self, stmt: ast.stmt) -> Optional[str]:
+        """The lock a blocking ``x.acquire()`` expression-statement takes."""
+        call = self._method_call(stmt, "acquire")
+        if call is None:
+            return None
+        if self._nonblocking(call):
+            return None
+        return dotted_name(call.func.value)  # type: ignore[attr-defined]
+
+    def call_release(self, stmt: ast.stmt) -> Optional[str]:
+        """The lock a ``x.release()`` expression-statement drops."""
+        call = self._method_call(stmt, "release")
+        if call is None:
+            return None
+        return dotted_name(call.func.value)  # type: ignore[attr-defined]
+
+    def _method_call(self, stmt: ast.stmt, method: str) -> Optional[ast.Call]:
+        if not isinstance(stmt, ast.Expr):
+            return None
+        call = stmt.value
+        if (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr == method
+            and self.is_lock(dotted_name(call.func.value))
+        ):
+            return call
+        return None
+
+    @staticmethod
+    def _nonblocking(call: ast.Call) -> bool:
+        if call.args:
+            first = call.args[0]
+            if isinstance(first, ast.Constant) and first.value is False:
+                return True
+        for kw in call.keywords:
+            if kw.arg == "blocking":
+                return not (
+                    isinstance(kw.value, ast.Constant) and kw.value.value is True
+                )
+        return False
+
+    # -- lockset dataflow -------------------------------------------------
+    def locksets(self, func: ast.AST) -> Dict[int, FrozenSet[str]]:
+        """Map ``id(stmt)`` -> locks certainly held when ``stmt`` starts.
+
+        Covers every statement in ``func``'s body, however deeply nested in
+        compound statements.  Results are cached per function node.
+        """
+        cached = self._lockset_cache.get(id(func))
+        if cached is not None:
+            return cached
+        cfg = build_cfg(func)
+
+        def transfer(node: CFGNode, held: FrozenSet[str]) -> FrozenSet[str]:
+            if node.kind is NodeKind.WITH_EXIT:
+                return held - frozenset(self.with_locks(node.stmt))
+            if node.kind is not NodeKind.STMT or node.stmt is None:
+                return held
+            stmt = node.stmt
+            acquired = self.with_locks(stmt)
+            if acquired:
+                return held | frozenset(acquired)
+            taken = self.call_acquisition(stmt)
+            if taken is not None:
+                return held | {taken}
+            dropped = self.call_release(stmt)
+            if dropped is not None:
+                return held - {dropped}
+            return held
+
+        node_in = solve_forward(cfg, transfer)
+        result: Dict[int, FrozenSet[str]] = {}
+        for node in cfg.statement_nodes():
+            if node.index in node_in and node.stmt is not None:
+                result[id(node.stmt)] = node_in[node.index]
+        self._lockset_cache[id(func)] = result
+        return result
+
+    def acquisitions(self, func: ast.AST) -> Iterator[Acquisition]:
+        """Every acquisition site in ``func``, with the lockset before it."""
+        locksets = self.locksets(func)
+        for stmt in self._all_statements(func):
+            held = locksets.get(id(stmt), frozenset())
+            for name in self.with_locks(stmt):
+                yield Acquisition(
+                    lock=name,
+                    stmt=stmt,
+                    lineno=stmt.lineno,
+                    col=stmt.col_offset,
+                    via_with=True,
+                    held_before=held,
+                )
+            taken = self.call_acquisition(stmt)
+            if taken is not None:
+                yield Acquisition(
+                    lock=taken,
+                    stmt=stmt,
+                    lineno=stmt.lineno,
+                    col=stmt.col_offset,
+                    via_with=False,
+                    held_before=held,
+                )
+
+    _all_statements = staticmethod(iter_statements)

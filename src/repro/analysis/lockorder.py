@@ -1,0 +1,88 @@
+"""Static lock-order graph: ABBA deadlock potential (PDC102).
+
+The dynamic :class:`repro.smp.deadlock.LockGraph` records "acquired B
+while holding A" edges as a program *runs*; this pass reads the same edges
+off the AST: every acquisition site whose entry lockset is non-empty
+contributes ``held -> acquired`` edges.  A cycle in the resulting directed
+graph means two call paths take the same locks in opposite orders — the
+classic ABBA hang — even though no execution has deadlocked yet.  The
+cross-validation tests replay fixture programs through the dynamic
+``LockGraph`` and assert both analyses agree on cyclicity.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple
+
+import networkx as nx
+
+from repro.analysis.analyzer import ModuleContext
+from repro.analysis.report import Finding, Severity
+from repro.analysis.rules import Rule, rule
+
+__all__ = ["LockOrderRule", "build_lock_order_graph"]
+
+
+def build_lock_order_graph(ctx: ModuleContext) -> nx.DiGraph:
+    """``held -> acquired`` edges over the module's discovered locks.
+
+    Each edge carries a ``sites`` attribute: ``(function, lineno)`` pairs
+    where the nested acquisition occurs.
+    """
+    graph = nx.DiGraph()
+    for info in ctx.functions:
+        for acq in ctx.lockmodel.acquisitions(info.node):
+            for outer in acq.held_before:
+                if outer == acq.lock:
+                    continue  # re-entry is PDC208's finding, not an order edge
+                if not graph.has_edge(outer, acq.lock):
+                    graph.add_edge(outer, acq.lock, sites=[])
+                graph.edges[outer, acq.lock]["sites"].append(
+                    (info.name, acq.lineno)
+                )
+    return graph
+
+
+@rule
+class LockOrderRule(Rule):
+    """PDC102: a cycle in the static lock-order graph."""
+
+    id = "PDC102"
+    name = "lock-order-cycle"
+    summary = (
+        "nested acquisitions take locks in conflicting orders (ABBA "
+        "deadlock potential); impose one global order"
+    )
+    severity = Severity.ERROR
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        graph = build_lock_order_graph(ctx)
+        for cycle in sorted(nx.simple_cycles(graph), key=len):
+            yield self._report(ctx, graph, list(cycle))
+
+    def _report(
+        self, ctx: ModuleContext, graph: nx.DiGraph, cycle: List[str]
+    ) -> Finding:
+        edges = list(zip(cycle, cycle[1:] + cycle[:1]))
+        sites: List[Tuple[str, int]] = []
+        for a, b in edges:
+            sites.extend(graph.edges[a, b]["sites"])
+        func, lineno = min(sites, key=lambda s: s[1])
+        order = " -> ".join(cycle + [cycle[0]])
+        where = ", ".join(
+            sorted({f"{f}():{ln}" for f, ln in sites})
+        )
+        return Finding(
+            path=ctx.path,
+            line=lineno,
+            col=0,
+            rule=self.id,
+            message=(
+                f"lock-order cycle {order}: some interleaving of the "
+                f"nesting sites ({where}) deadlocks; acquire these locks in "
+                "one global order everywhere"
+            ),
+            severity=self.severity,
+            symbol=order,
+        )

@@ -1,0 +1,225 @@
+"""The static Eraser: lockset-based data-race candidates (PDC101).
+
+The dynamic detector (:class:`repro.smp.racedetect.LocksetRaceDetector`)
+intersects the locks held at each *observed* access; this pass does the
+same over *all* syntactic access sites, before the program ever runs:
+
+1. Shared-state candidates are module globals (written under a ``global``
+   declaration), ``nonlocal`` cells, and ``self.`` attributes — the state a
+   thread-target function can reach that other threads reach too.
+2. An access site's lockset comes from the must-hold dataflow
+   (:meth:`~repro.analysis.lockmodel.LockModel.locksets`).
+3. Only accesses in *concurrent* functions (thread targets and everything
+   they call) participate.  A candidate is *shared* when two distinct
+   concurrent functions touch it, or when its single accessor is spawned
+   more than once — N copies of ``worker`` race with each other.  It is
+   *racy* when it is shared, some write exists, and the intersection of
+   locksets over its concurrent access sites is empty.
+
+Constructor accesses (``__init__`` et al.) and main-thread harness code
+are ignored: they are ordered by the thread ``start()``/``join()``
+happens-before edges this analysis cannot see.
+Like every lockset analysis this one cannot certify ad-hoc synchronization
+(flags, ``turn`` variables — Peterson's algorithm): such programs are
+flagged even when a model checker proves them race-free, which is exactly
+the Eraser trade-off the labs teach.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.analyzer import FunctionInfo, ModuleContext
+from repro.analysis.lockmodel import iter_statements, own_nodes
+from repro.analysis.report import Finding, Severity
+from repro.analysis.rules import Rule, rule
+
+__all__ = ["StaticRaceRule", "collect_accesses", "Access"]
+
+VarKey = Tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class Access:
+    """One syntactic access to a shared-state candidate."""
+
+    var: VarKey
+    write: bool
+    func: str  # simple function name ("" for module level)
+    lineno: int
+    lockset: FrozenSet[str]
+    in_init: bool
+
+
+def _module_globals(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        for t in targets:
+            if isinstance(t, ast.Name):
+                names.add(t.id)
+            elif isinstance(t, ast.Tuple):
+                names.update(e.id for e in t.elts if isinstance(e, ast.Name))
+    return names
+
+
+def _declared(func: ast.AST, kind: type) -> Set[str]:
+    found: Set[str] = set()
+    for stmt in iter_statements(func):
+        if isinstance(stmt, kind):
+            found.update(stmt.names)
+    return found
+
+
+def _local_names(func: ast.AST, escaping: Set[str]) -> Set[str]:
+    """Parameters plus names the function binds without global/nonlocal."""
+    args = func.args
+    names = {
+        a.arg
+        for a in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+    }
+    for extra in (args.vararg, args.kwarg):
+        if extra is not None:
+            names.add(extra.arg)
+    for stmt in iter_statements(func):
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                names.add(node.id)
+    return names - escaping
+
+
+def collect_accesses(ctx: ModuleContext) -> Dict[VarKey, List[Access]]:
+    """Every access to every shared-state candidate in the module."""
+    module_globals = _module_globals(ctx.tree)
+    table: Dict[VarKey, List[Access]] = {}
+
+    for info in ctx.functions:
+        globals_ = _declared(info.node, ast.Global)
+        nonlocals = _declared(info.node, ast.Nonlocal)
+        escaping = globals_ | nonlocals
+        locals_ = _local_names(info.node, escaping)
+        locksets = ctx.locksets(info.node)
+
+        for stmt in iter_statements(info.node):
+            held = locksets.get(id(stmt), frozenset())
+            callee_ids = {
+                id(c.func) for c in own_nodes(stmt) if isinstance(c, ast.Call)
+            }
+            for node in own_nodes(stmt):
+                key = self_attr = None
+                write = False
+                if isinstance(node, ast.Name):
+                    write = isinstance(node.ctx, (ast.Store, ast.Del))
+                    if node.id in globals_:
+                        key = ("global", node.id)
+                    elif node.id in nonlocals:
+                        key = ("nonlocal", node.id)
+                    elif (
+                        not write
+                        and node.id in module_globals
+                        and node.id not in locals_
+                    ):
+                        key = ("global", node.id)
+                elif (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and info.owner_class is not None
+                    and id(node) not in callee_ids  # self.method() is a call
+                ):
+                    write = isinstance(node.ctx, (ast.Store, ast.Del))
+                    self_attr = f"self.{node.attr}"
+                    key = ("attr", info.owner_class, node.attr)
+                if key is None:
+                    continue
+                # Lock objects themselves are synchronization, not data.
+                if ctx.lockmodel.is_lock(self_attr or node.id):  # type: ignore[union-attr]
+                    continue
+                # AugAssign targets are read-modify-write: record the write,
+                # which subsumes the read for lockset intersection.
+                table.setdefault(key, []).append(
+                    Access(
+                        var=key,
+                        write=write,
+                        func=info.name,
+                        lineno=node.lineno,
+                        lockset=held,
+                        in_init=info.is_init,
+                    )
+                )
+    return table
+
+
+def _display(var: VarKey) -> str:
+    if var[0] == "attr":
+        return f"self.{var[2]} (class {var[1]})"
+    return var[1]
+
+
+@rule
+class StaticRaceRule(Rule):
+    """PDC101: shared state written with an empty common lockset."""
+
+    id = "PDC101"
+    name = "static-race"
+    summary = (
+        "shared state written from concurrent code with no consistently "
+        "held lock (static Eraser)"
+    )
+    severity = Severity.ERROR
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.thread_targets:
+            return
+        for var, accesses in sorted(collect_accesses(ctx).items()):
+            finding = self._judge(ctx, var, accesses)
+            if finding is not None:
+                yield finding
+
+    def _judge(
+        self, ctx: ModuleContext, var: VarKey, accesses: List[Access]
+    ) -> Optional[Finding]:
+        # Only thread-reachable accesses participate: the main thread's
+        # spawn-join-assert harness reads/writes are ordered by the start()
+        # and join() happens-before edges this analysis cannot see, and
+        # flagging them would make every test harness a false positive.
+        live = [
+            a for a in accesses if not a.in_init and a.func in ctx.concurrent
+        ]
+        writes = [a for a in live if a.write]
+        if not writes:
+            return None
+        funcs = sorted({a.func for a in live})
+        shared = len(funcs) >= 2 or any(
+            f in ctx.multi_concurrent for f in funcs
+        )
+        if not shared:
+            return None
+        candidate = frozenset.intersection(*(a.lockset for a in live))
+        if candidate:
+            return None
+        first = min(writes, key=lambda a: a.lineno)
+        return Finding(
+            path=ctx.path,
+            line=first.lineno,
+            col=0,
+            rule=self.id,
+            message=(
+                f"potential data race on `{_display(var)}`: written from "
+                f"concurrent code with an empty candidate lockset "
+                f"(accessed in: {', '.join(funcs)}); hold one common lock "
+                "at every access"
+            ),
+            severity=self.severity,
+            symbol=_display(var),
+        )

@@ -1,0 +1,153 @@
+"""Findings, suppressions, and reporters for PDC-Lint.
+
+A :class:`Finding` is one diagnostic at one source location.  Students (and
+this repo's own self-lint) can silence a finding *with a justification* by
+putting a suppression comment on the flagged line::
+
+    counter += 1  # pdc-lint: disable=PDC101 -- intentionally racy lab
+
+``disable=all`` silences every rule on that line.  Anything after ``--`` is
+the human justification; the analyzer does not require it, but this repo's
+convention (and the autograder's advice to students) is that a suppression
+without a reason is a smell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "parse_suppressions",
+    "apply_suppressions",
+    "render_text",
+    "render_json",
+]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is (JSON reporters emit the value string)."""
+
+    ERROR = "error"  # likely defect: race, deadlock potential
+    WARNING = "warning"  # risky idiom: bare acquire, sleep under lock
+    ADVICE = "advice"  # style-of-concurrency guidance
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a rule firing at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str = dataclasses.field(compare=False)
+    severity: Severity = dataclasses.field(default=Severity.WARNING, compare=False)
+    #: The program entity involved (variable, lock, function) — machine use.
+    symbol: str = dataclasses.field(default="", compare=False)
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable prefix of the text format."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*pdc-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?|all)\s*(?:--.*)?$"
+)
+
+
+def parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed rule ids (``None`` means *all* rules).
+
+    Only the physical line carrying the comment is suppressed; findings
+    anchor to the line of the offending node, so put the comment there.
+    """
+    table: Dict[int, Optional[Set[str]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(text)
+        if not m:
+            continue
+        spec = m.group("rules").strip()
+        if spec.lower() == "all":
+            table[lineno] = None
+        else:
+            table[lineno] = {r.strip().upper() for r in spec.split(",") if r.strip()}
+    return table
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], source: str
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (kept, suppressed) per the source's comments."""
+    table = parse_suppressions(source)
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for f in findings:
+        rules = table.get(f.line, ...)
+        if rules is ... :
+            kept.append(f)
+        elif rules is None or f.rule in rules:
+            suppressed.append(f)
+        else:
+            kept.append(f)
+    return kept, suppressed
+
+
+def render_text(
+    findings: Sequence[Finding],
+    files: int = 0,
+    suppressed: int = 0,
+    errors: Sequence[str] = (),
+) -> str:
+    """The human format: one ``path:line:col: RULE message`` per finding."""
+    lines = [
+        f"{f.location()}: {f.rule} [{f.severity.value}] {f.message}"
+        for f in sorted(findings)
+    ]
+    lines.extend(f"error: {e}" for e in errors)
+    noun = "finding" if len(findings) == 1 else "findings"
+    tail = f"{len(findings)} {noun}"
+    if files:
+        tail += f" in {files} file{'s' if files != 1 else ''}"
+    if suppressed:
+        tail += f" ({suppressed} suppressed)"
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    files: int = 0,
+    suppressed: int = 0,
+    errors: Sequence[str] = (),
+) -> str:
+    """The machine format: findings plus a per-rule summary."""
+    by_rule: Dict[str, int] = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    payload = {
+        "tool": "pdc-lint",
+        "files": files,
+        "suppressed": suppressed,
+        "errors": list(errors),
+        "summary": dict(sorted(by_rule.items())),
+        "findings": [f.as_dict() for f in sorted(findings)],
+    }
+    return json.dumps(payload, indent=2)

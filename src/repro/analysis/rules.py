@@ -1,0 +1,436 @@
+"""The pluggable rule engine and the concurrency-hygiene rules.
+
+A :class:`Rule` inspects one :class:`~repro.analysis.analyzer.ModuleContext`
+and yields :class:`~repro.analysis.report.Finding` objects.  Rules register
+themselves on the default :class:`RuleRegistry` with the :func:`rule`
+decorator; new rules (course-specific style checks, assignment-specific
+bans) plug in the same way, which is the point of the engine.
+
+Rule inventory
+--------------
+========  =======================================================
+PDC101    potential data race (static Eraser, :mod:`.races`)
+PDC102    lock-order cycle / ABBA deadlock (:mod:`.lockorder`)
+PDC201    bare ``acquire()`` with no ``with`` / ``try…finally``
+PDC202    ``time.sleep`` inside a critical section
+PDC203    ``notify``/``wait`` without holding the condition's lock
+PDC204    double-checked locking
+PDC205    mutable default argument on a thread-reachable function
+PDC206    ``join()`` while holding a lock
+PDC207    busy-wait spin loop
+PDC208    re-acquiring a held non-reentrant lock (self-deadlock)
+========  =======================================================
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Type
+
+from repro.analysis.analyzer import FunctionInfo, ModuleContext
+from repro.analysis.lockmodel import dotted_name, iter_statements, own_nodes
+from repro.analysis.report import Finding, Severity
+
+__all__ = ["Rule", "RuleRegistry", "rule", "default_registry"]
+
+
+class Rule(abc.ABC):
+    """One diagnostic pass over a module."""
+
+    id: str = "PDC000"
+    name: str = "abstract"
+    summary: str = ""
+    severity: Severity = Severity.WARNING
+
+    @abc.abstractmethod
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module."""
+
+    def make(
+        self, ctx: ModuleContext, node: ast.AST, message: str, symbol: str = ""
+    ) -> Finding:
+        """A finding of this rule anchored at ``node``."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+            severity=self.severity,
+            symbol=symbol,
+        )
+
+
+class RuleRegistry:
+    """Holds rule classes; instantiates them per run."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Type[Rule]] = {}
+
+    def register(self, rule_cls: Type[Rule]) -> Type[Rule]:
+        if rule_cls.id in self._rules:
+            raise ValueError(f"duplicate rule id {rule_cls.id}")
+        self._rules[rule_cls.id] = rule_cls
+        return rule_cls
+
+    def rules(self) -> List[Rule]:
+        """Every registered rule, by id."""
+        return [self._rules[k]() for k in sorted(self._rules)]
+
+    def selected(self, select: Optional[Sequence[str]]) -> List[Rule]:
+        """Rules whose id starts with any selector (``None`` = all).
+
+        ``select=["PDC2"]`` picks the whole hygiene family; an exact id
+        picks one rule.
+        """
+        if not select:
+            return self.rules()
+        prefixes = tuple(s.strip().upper() for s in select if s.strip())
+        return [r for r in self.rules() if r.id.startswith(prefixes)]
+
+
+_DEFAULT = RuleRegistry()
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: register on the default registry."""
+    return _DEFAULT.register(cls)
+
+
+def default_registry() -> RuleRegistry:
+    """The registry with every built-in rule loaded."""
+    # The analysis rules live in their own modules; importing them here
+    # (not at module import) avoids a cycle and keeps them pluggable.
+    from repro.analysis import lockorder, races  # noqa: F401
+
+    return _DEFAULT
+
+
+def _func_statements_with_locks(ctx: ModuleContext, info: FunctionInfo):
+    locksets = ctx.locksets(info.node)
+    for stmt in iter_statements(info.node):
+        yield stmt, locksets.get(id(stmt), frozenset())
+
+
+def _calls_in(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Calls made by this statement itself (nested statements excluded —
+    they carry their own, possibly larger, locksets)."""
+    for node in own_nodes(stmt):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+#: Methods that *implement* lock primitives manage lock state across
+#: methods by design; intra-procedural pairing rules skip them.
+_PRIMITIVE_METHODS = {
+    "acquire", "release", "__enter__", "__exit__",
+    "lock", "unlock", "P", "V",
+}
+
+
+@rule
+class BareAcquireRule(Rule):
+    """PDC201: ``lock.acquire()`` with no ``with`` block or try/finally."""
+
+    id = "PDC201"
+    name = "bare-acquire"
+    summary = (
+        "a blocking acquire() whose release is not exception-safe; "
+        "use `with lock:` or pair it with try/finally"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for info in ctx.functions:
+            if info.name in _PRIMITIVE_METHODS:
+                continue
+            yield from self._check_body(ctx, info.node.body, protected=frozenset())
+
+    def _check_body(self, ctx, body, protected) -> Iterator[Finding]:
+        lm = ctx.lockmodel
+        for i, stmt in enumerate(body):
+            if isinstance(stmt, ast.Try):
+                inner = protected | self._finally_releases(lm, stmt)
+                for field in (stmt.body, stmt.orelse):
+                    yield from self._check_body(ctx, field, inner)
+                for handler in stmt.handlers:
+                    yield from self._check_body(ctx, handler.body, protected)
+                yield from self._check_body(ctx, stmt.finalbody, protected)
+                continue
+            lock = lm.call_acquisition(stmt)
+            if lock is not None and lock not in protected:
+                nxt = body[i + 1] if i + 1 < len(body) else None
+                if not (
+                    isinstance(nxt, ast.Try)
+                    and lock in self._finally_releases(lm, nxt)
+                ):
+                    yield self.make(
+                        ctx,
+                        stmt,
+                        f"`{lock}.acquire()` is not exception-safe: use "
+                        f"`with {lock}:` or release in a try/finally",
+                        symbol=lock,
+                    )
+            for child_body in self._compound_bodies(stmt):
+                yield from self._check_body(ctx, child_body, protected)
+
+    @staticmethod
+    def _compound_bodies(stmt: ast.stmt):
+        for field in ("body", "orelse"):
+            child = getattr(stmt, field, None)
+            if isinstance(child, list) and child and isinstance(child[0], ast.stmt):
+                yield child
+        for case in getattr(stmt, "cases", []) or []:
+            yield case.body
+
+    @staticmethod
+    def _finally_releases(lm, try_stmt: ast.Try) -> frozenset:
+        released = set()
+        for stmt in try_stmt.finalbody:
+            lock = lm.call_release(stmt)
+            if lock is not None:
+                released.add(lock)
+        return frozenset(released)
+
+
+@rule
+class SleepUnderLockRule(Rule):
+    """PDC202: sleeping while holding a lock serializes everyone else."""
+
+    id = "PDC202"
+    name = "sleep-under-lock"
+    summary = "time.sleep() inside a critical section stalls all waiters"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for info in ctx.functions:
+            for stmt, held in _func_statements_with_locks(ctx, info):
+                if not held:
+                    continue
+                for call in _calls_in(stmt):
+                    if ctx.resolve_call(call) == "time.sleep":
+                        yield self.make(
+                            ctx,
+                            call,
+                            f"time.sleep() while holding "
+                            f"{{{', '.join(sorted(held))}}} stalls every "
+                            "waiter; sleep outside the critical section",
+                            symbol=",".join(sorted(held)),
+                        )
+
+
+@rule
+class NotifyOutsideLockRule(Rule):
+    """PDC203: Condition methods require the condition's lock."""
+
+    id = "PDC203"
+    name = "notify-outside-lock"
+    summary = (
+        "notify/wait on a Condition whose lock is not held raises "
+        "RuntimeError at runtime"
+    )
+    severity = Severity.ERROR
+
+    _METHODS = {"notify", "notify_all", "wait", "wait_for"}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        tracked = {
+            c.name for c in ctx.lockmodel.conditions() if not c.external_lock
+        }
+        if not tracked:
+            return
+        for info in ctx.functions:
+            for stmt, held in _func_statements_with_locks(ctx, info):
+                for call in _calls_in(stmt):
+                    if not (
+                        isinstance(call.func, ast.Attribute)
+                        and call.func.attr in self._METHODS
+                    ):
+                        continue
+                    cond = dotted_name(call.func.value)
+                    if cond in tracked and cond not in held:
+                        yield self.make(
+                            ctx,
+                            call,
+                            f"`{cond}.{call.func.attr}()` outside "
+                            f"`with {cond}:` — the condition's lock must be "
+                            "held (RuntimeError otherwise)",
+                            symbol=cond,
+                        )
+
+
+@rule
+class DoubleCheckedLockingRule(Rule):
+    """PDC204: check-lock-recheck reads the flag unsynchronized."""
+
+    id = "PDC204"
+    name = "double-checked-locking"
+    summary = (
+        "test outside the lock + identical test inside it: the outer read "
+        "is an unsynchronized racy read"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for info in ctx.functions:
+            for stmt in iter_statements(info.node):
+                if not isinstance(stmt, ast.If):
+                    continue
+                outer_test = ast.dump(stmt.test)
+                for inner in stmt.body:
+                    if not ctx.lockmodel.with_locks(inner):
+                        continue
+                    for nested in inner.body:  # type: ignore[attr-defined]
+                        if (
+                            isinstance(nested, ast.If)
+                            and ast.dump(nested.test) == outer_test
+                        ):
+                            yield self.make(
+                                ctx,
+                                nested,
+                                "double-checked locking: the outer check of "
+                                f"`{ast.unparse(stmt.test)}` runs without the "
+                                "lock; take the lock first (or use a dedicated "
+                                "once-primitive)",
+                            )
+
+
+@rule
+class MutableDefaultSharedRule(Rule):
+    """PDC205: one default object, every thread."""
+
+    id = "PDC205"
+    name = "mutable-default-shared"
+    summary = (
+        "a mutable default argument on a thread-reachable function is a "
+        "single object shared (unlocked) by every thread"
+    )
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "deque"}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for info in ctx.functions:
+            if info.name not in ctx.concurrent:
+                continue
+            args = info.node.args
+            for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]:
+                if self._mutable(default):
+                    yield self.make(
+                        ctx,
+                        default,
+                        f"mutable default on thread-reachable `{info.name}` is "
+                        "evaluated once and shared by every thread; default to "
+                        "None and allocate inside the function",
+                        symbol=info.qualname,
+                    )
+
+    def _mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._MUTABLE_CALLS
+        )
+
+
+@rule
+class JoinUnderLockRule(Rule):
+    """PDC206: joining a thread that needs your lock never returns."""
+
+    id = "PDC206"
+    name = "join-under-lock"
+    summary = (
+        "thread.join() inside a critical section deadlocks if the joined "
+        "thread ever needs that lock"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for info in ctx.functions:
+            for stmt, held in _func_statements_with_locks(ctx, info):
+                if not held:
+                    continue
+                for call in _calls_in(stmt):
+                    if self._is_thread_join(call):
+                        yield self.make(
+                            ctx,
+                            call,
+                            f"join() while holding "
+                            f"{{{', '.join(sorted(held))}}}: if the joined "
+                            "thread needs the lock this never returns; join "
+                            "outside the critical section",
+                        )
+
+    @staticmethod
+    def _is_thread_join(call: ast.Call) -> bool:
+        if not (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "join"
+            and isinstance(call.func.value, (ast.Name, ast.Attribute))
+        ):
+            return False
+        # str.join takes the iterable positionally; Thread.join takes at
+        # most a (possibly keyword) numeric timeout.
+        if len(call.args) > 1:
+            return False
+        if call.args and not isinstance(call.args[0], (ast.Constant, ast.Name)):
+            return False
+        if call.args and isinstance(call.args[0], ast.Constant):
+            if not isinstance(call.args[0].value, (int, float, type(None))):
+                return False
+        return all(kw.arg == "timeout" for kw in call.keywords)
+
+
+@rule
+class SpinWaitRule(Rule):
+    """PDC207: a pass-only while loop burns the GIL."""
+
+    id = "PDC207"
+    name = "busy-wait"
+    summary = (
+        "empty-bodied while loop busy-waits; use threading.Event/Condition "
+        "(or at least sleep) instead"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for info in ctx.functions:
+            for stmt in iter_statements(info.node):
+                if isinstance(stmt, ast.While) and all(
+                    isinstance(s, (ast.Pass, ast.Continue)) for s in stmt.body
+                ):
+                    yield self.make(
+                        ctx,
+                        stmt,
+                        f"busy-wait on `{ast.unparse(stmt.test)}`: spinning "
+                        "burns the GIL and starves the writer; block on an "
+                        "Event or Condition",
+                    )
+
+
+@rule
+class RelockRule(Rule):
+    """PDC208: re-acquiring a held ``Lock`` deadlocks the holder itself."""
+
+    id = "PDC208"
+    name = "relock-self-deadlock"
+    summary = (
+        "acquiring a non-reentrant lock already held on every path here "
+        "blocks forever"
+    )
+    severity = Severity.ERROR
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for info in ctx.functions:
+            for acq in ctx.lockmodel.acquisitions(info.node):
+                lock = ctx.lockmodel.locks.get(acq.lock)
+                if lock is None or lock.kind != "lock":
+                    continue
+                if acq.lock in acq.held_before:
+                    yield self.make(
+                        ctx,
+                        acq.stmt,
+                        f"`{acq.lock}` is already held here; a plain Lock is "
+                        "not reentrant, so this blocks forever (use RLock or "
+                        "restructure)",
+                        symbol=acq.lock,
+                    )

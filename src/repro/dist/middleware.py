@@ -46,6 +46,7 @@ class RpcServer:
         self._running = False
         self._threads: List[threading.Thread] = []
         self._accept_thread: Optional[threading.Thread] = None
+        self._stats_lock = threading.Lock()
         self.calls_served = 0
 
     def start(self) -> "RpcServer":
@@ -79,7 +80,8 @@ class RpcServer:
                     conn.send(("err", f"malformed request: {message!r}"))
                     continue
                 _tag, method_name, args, kwargs = message
-                self.calls_served += 1
+                with self._stats_lock:  # one _serve thread per connection
+                    self.calls_served += 1
                 try:
                     if method_name.startswith("_"):
                         raise AttributeError(

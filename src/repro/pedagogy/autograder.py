@@ -1,11 +1,25 @@
-"""The autograder: submissions × exercises → grade reports."""
+"""The autograder: submissions × exercises → grade reports.
+
+Besides running each exercise's checker, the autograder can run PDC-Lint
+(:mod:`repro.analysis`) as an optional **static pre-check stage**: when a
+submission carries source (a string, or a callable whose source
+``inspect`` can recover), the analyzer's findings are attached to the
+grade report — and, with ``precheck_gate=True``, a flagged submission
+scores zero before its code ever runs, mirroring how Bloom/ABET-mapped
+assessment grades understanding before outcomes.
+"""
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Mapping, Sequence
+import inspect
+import textwrap
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.pedagogy.exercise import Exercise, ExerciseResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis import Finding
 
 __all__ = ["GradeReport", "Autograder"]
 
@@ -16,6 +30,11 @@ class GradeReport:
 
     student: str
     results: List[ExerciseResult]
+    #: PDC-Lint findings per exercise id (only when the static pre-check
+    #: stage ran and the submission exposed source).
+    static_findings: Dict[str, List["Finding"]] = dataclasses.field(
+        default_factory=dict
+    )
 
     @property
     def points_earned(self) -> float:
@@ -44,11 +63,19 @@ class GradeReport:
         return "F"
 
     def result_for(self, exercise_id: str) -> ExerciseResult:
-        """Look up one exercise's result."""
+        """Look up one exercise's result.
+
+        Raises ``KeyError`` (never a silent ``None``) for an unknown id,
+        naming the ids that do exist — the typo is usually obvious.
+        """
         for r in self.results:
             if r.exercise_id == exercise_id:
                 return r
-        raise KeyError(f"no result for {exercise_id!r}")
+        known = ", ".join(sorted(r.exercise_id for r in self.results)) or "none"
+        raise KeyError(
+            f"no result for exercise {exercise_id!r} in {self.student!r}'s "
+            f"report; graded exercises: {known}"
+        )
 
 
 class Autograder:
@@ -56,31 +83,110 @@ class Autograder:
 
     A submission maps exercise ids to whatever each exercise's checker
     expects; missing entries score zero (with an explanatory error).
+
+    Parameters
+    ----------
+    static_precheck:
+        Run PDC-Lint over each submission that exposes source (a string
+        or an inspectable callable) and attach the findings to the report.
+    precheck_select:
+        Rule ids/prefixes to run (e.g. ``["PDC101", "PDC2"]``); default all.
+    precheck_gate:
+        With the pre-check on, a submission with findings scores zero
+        *without running*: the checker never executes statically-racy code.
+        Suppressions (``# pdc-lint: disable=... -- why``) pass the gate, so
+        a student can ship a justified exception — and defend it in review.
     """
 
-    def __init__(self, exercises: Sequence[Exercise]) -> None:
+    def __init__(
+        self,
+        exercises: Sequence[Exercise],
+        static_precheck: bool = False,
+        precheck_select: Optional[Sequence[str]] = None,
+        precheck_gate: bool = False,
+    ) -> None:
         ids = [e.exercise_id for e in exercises]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate exercise ids")
         self.exercises = list(exercises)
+        self.static_precheck = static_precheck or precheck_gate
+        self.precheck_select = (
+            list(precheck_select) if precheck_select is not None else None
+        )
+        self.precheck_gate = precheck_gate
+
+    def _submission_source(self, submitted: Any) -> Optional[str]:
+        """The analyzable source of a submission, if it has any."""
+        if isinstance(submitted, str):
+            return submitted
+        try:
+            return textwrap.dedent(inspect.getsource(submitted))
+        except (OSError, TypeError):
+            return None  # built-ins, REPL lambdas, plain values: no source
+
+    def _static_findings(
+        self, exercise_id: str, submitted: Any
+    ) -> List["Finding"]:
+        """PDC-Lint findings for one submission (empty if sourceless)."""
+        source = self._submission_source(submitted)
+        if source is None:
+            return []
+        # Deferred import: pedagogy stays importable without the analyzer.
+        from repro.analysis import analyze_source
+
+        try:
+            return analyze_source(
+                source,
+                path=f"<submission:{exercise_id}>",
+                select=self.precheck_select,
+            )
+        except SyntaxError:
+            return []  # unparsable source fails in the checker, on record
 
     def grade(self, student: str, submission: Mapping[str, Any]) -> GradeReport:
         """Grade one student."""
         results: List[ExerciseResult] = []
+        static_findings: Dict[str, List["Finding"]] = {}
         for exercise in self.exercises:
-            if exercise.exercise_id in submission:
-                results.append(exercise.grade(submission[exercise.exercise_id]))
-            else:
+            eid = exercise.exercise_id
+            if eid not in submission:
                 results.append(
                     ExerciseResult(
-                        exercise_id=exercise.exercise_id,
+                        exercise_id=eid,
                         fraction=0.0,
                         points_earned=0.0,
                         points_possible=exercise.points,
                         error="not submitted",
                     )
                 )
-        return GradeReport(student=student, results=results)
+                continue
+            submitted = submission[eid]
+            if self.static_precheck:
+                findings = self._static_findings(eid, submitted)
+                if findings:
+                    static_findings[eid] = findings
+                if findings and self.precheck_gate:
+                    rules = ", ".join(
+                        sorted({f"{f.rule}@{f.line}" for f in findings})
+                    )
+                    results.append(
+                        ExerciseResult(
+                            exercise_id=eid,
+                            fraction=0.0,
+                            points_earned=0.0,
+                            points_possible=exercise.points,
+                            error=(
+                                f"static pre-check failed ({rules}); fix the "
+                                "findings or suppress them with a justified "
+                                "`# pdc-lint: disable=...` comment"
+                            ),
+                        )
+                    )
+                    continue
+            results.append(exercise.grade(submitted))
+        return GradeReport(
+            student=student, results=results, static_findings=static_findings
+        )
 
     def grade_cohort(
         self, submissions: Mapping[str, Mapping[str, Any]]

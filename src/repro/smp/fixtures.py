@@ -1,0 +1,589 @@
+"""Source-level fixture programs for static-vs-dynamic cross-validation.
+
+The model checker (:mod:`repro.smp.interleave`) proves facts about
+*scripted* programs; the static analyzer (:mod:`repro.analysis`) judges
+*source*.  This module bridges them: every scripted program gets a
+source-level **twin** written with real ``threading`` primitives, plus a
+corpus of seeded race / deadlock / hygiene examples — one per PDC-Lint
+rule — that the analyzer must flag with zero false negatives (and clean
+variants it must stay silent on).
+
+Three kinds of cross-validation ride on these fixtures:
+
+- **races** — the explorer shows ``racy_counter_program`` loses updates;
+  PDC101 must fire on its twin.  The explorer proves Peterson's algorithm
+  race-free; the lock-based twin must come back clean, while the *literal*
+  flags/turn twin documents the Eraser trade-off: lockset analysis cannot
+  certify ad-hoc synchronization, so it flags a program the model checker
+  proves correct (``known_false_positive=True``).
+- **deadlock** — :func:`replay_lock_trace` executes a twin's entry points
+  with traced locks feeding the dynamic
+  :class:`repro.smp.deadlock.LockGraph`; its cyclicity verdict must match
+  PDC102's.
+- **hygiene** — each PDC2xx rule has one seeded example.
+"""
+
+from __future__ import annotations
+
+import builtins
+import dataclasses
+import textwrap
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.smp.deadlock import LockGraph
+
+__all__ = ["FixtureProgram", "FIXTURES", "fixture", "all_fixtures",
+           "scripted_twins", "replay_lock_trace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FixtureProgram:
+    """One standalone fixture module and what the analyzer must say."""
+
+    name: str
+    source: str
+    #: Rule ids that MUST appear in the analyzer's findings (∅ == clean).
+    expect_rules: FrozenSet[str]
+    description: str
+    #: Name of the scripted program in :mod:`repro.smp.interleave` this
+    #: fixture is the source-level twin of (``None`` for hygiene seeds).
+    scripted_twin: Optional[str] = None
+    #: Functions to call, in order, when replaying the lock trace.
+    entrypoints: Tuple[str, ...] = ()
+    #: The analyzer flags it although the dynamic analysis proves it safe
+    #: (the documented lockset-analysis limitation, not a bug).
+    known_false_positive: bool = False
+
+
+FIXTURES: Dict[str, FixtureProgram] = {}
+
+
+def _register(fix: FixtureProgram) -> FixtureProgram:
+    if fix.name in FIXTURES:
+        raise ValueError(f"duplicate fixture {fix.name}")
+    FIXTURES[fix.name] = fix
+    return fix
+
+
+def fixture(name: str) -> FixtureProgram:
+    """Look up one fixture by name."""
+    try:
+        return FIXTURES[name]
+    except KeyError:
+        raise KeyError(
+            f"no fixture {name!r}; known: {', '.join(sorted(FIXTURES))}"
+        ) from None
+
+
+def all_fixtures() -> List[FixtureProgram]:
+    """Every registered fixture, by name."""
+    return [FIXTURES[k] for k in sorted(FIXTURES)]
+
+
+def scripted_twins() -> Dict[str, List[FixtureProgram]]:
+    """Map scripted-program name -> its source-level twin fixtures."""
+    twins: Dict[str, List[FixtureProgram]] = {}
+    for fix in all_fixtures():
+        if fix.scripted_twin:
+            twins.setdefault(fix.scripted_twin, []).append(fix)
+    return twins
+
+
+def _src(text: str) -> str:
+    return textwrap.dedent(text).lstrip()
+
+
+# -- twins of the interleave explorer's scripted programs --------------------
+
+_register(FixtureProgram(
+    name="racy_counter_twin",
+    scripted_twin="racy_counter_program",
+    expect_rules=frozenset({"PDC101"}),
+    description=(
+        "Two threads increment a global with no lock — the source-level "
+        "twin of racy_counter_program, whose exploration exhibits the "
+        "lost update."
+    ),
+    source=_src('''
+        """Two unlocked increments: the classic lost-update race."""
+        import threading
+
+        counter = 0
+
+
+        def worker() -> None:
+            global counter
+            counter += 1  # read-modify-write, no lock
+
+
+        def main() -> int:
+            threads = [threading.Thread(target=worker) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            return counter
+    '''),
+))
+
+_register(FixtureProgram(
+    name="locked_counter_twin",
+    scripted_twin="racy_counter_program",
+    expect_rules=frozenset(),
+    description=(
+        "The repaired twin: the same increment under one common lock; "
+        "the analyzer must stay silent."
+    ),
+    source=_src('''
+        """The racy counter, repaired with a lock."""
+        import threading
+
+        counter = 0
+        counter_lock = threading.Lock()
+
+
+        def worker() -> None:
+            global counter
+            with counter_lock:
+                counter += 1
+
+
+        def main() -> int:
+            threads = [threading.Thread(target=worker) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            return counter
+    '''),
+))
+
+_register(FixtureProgram(
+    name="peterson_lock_twin",
+    scripted_twin="peterson_program",
+    expect_rules=frozenset(),
+    description=(
+        "Source twin of peterson_program with a Lock playing the role the "
+        "flags/turn protocol plays in the scripted version: the explorer "
+        "proves the protocol excludes, the analyzer certifies the lock."
+    ),
+    source=_src('''
+        """Peterson's critical section, expressed with a lock."""
+        import threading
+
+        counter = 0
+        cs_lock = threading.Lock()
+
+
+        def contender() -> None:
+            global counter
+            with cs_lock:  # mutual exclusion, as Peterson's protocol provides
+                counter += 1
+
+
+        def main() -> int:
+            threads = [threading.Thread(target=contender) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            return counter
+    '''),
+))
+
+_register(FixtureProgram(
+    name="peterson_literal_twin",
+    scripted_twin="peterson_program",
+    expect_rules=frozenset({"PDC101", "PDC207"}),
+    known_false_positive=True,
+    description=(
+        "Peterson transcribed literally (flags + turn + busy wait).  The "
+        "explorer proves it race-free; lockset analysis flags it anyway — "
+        "ad-hoc synchronization is invisible to Eraser-style tools, the "
+        "documented trade-off this fixture pins down."
+    ),
+    source=_src('''
+        """Peterson's algorithm, literal transcription (two threads)."""
+        import threading
+
+        flag = [False, False]
+        turn = 0
+        counter = 0
+
+
+        def contender0() -> None:
+            global counter, turn
+            flag[0] = True
+            turn = 1
+            while flag[1] and turn == 1:
+                pass
+            counter += 1  # critical section
+            flag[0] = False
+
+
+        def contender1() -> None:
+            global counter, turn
+            flag[1] = True
+            turn = 0
+            while flag[0] and turn == 0:
+                pass
+            counter += 1  # critical section
+            flag[1] = False
+
+
+        def main() -> int:
+            a = threading.Thread(target=contender0)
+            b = threading.Thread(target=contender1)
+            a.start(); b.start()
+            a.join(); b.join()
+            return counter
+    '''),
+))
+
+# -- deadlock twins (replayable against the dynamic LockGraph) ---------------
+
+_register(FixtureProgram(
+    name="abba_deadlock_twin",
+    expect_rules=frozenset({"PDC102"}),
+    entrypoints=("transfer_ab", "transfer_ba"),
+    description=(
+        "Two code paths nest the same two locks in opposite orders — the "
+        "ABBA pattern.  Statically a PDC102 cycle; dynamically, replaying "
+        "both paths through LockGraph records the same cycle."
+    ),
+    source=_src('''
+        """Opposite nesting orders: the ABBA deadlock recipe."""
+        import threading
+
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+        balance_a = 0
+        balance_b = 0
+
+
+        def transfer_ab(amount: int = 1) -> None:
+            global balance_a, balance_b
+            with lock_a:
+                with lock_b:
+                    balance_a -= amount
+                    balance_b += amount
+
+
+        def transfer_ba(amount: int = 1) -> None:
+            global balance_a, balance_b
+            with lock_b:
+                with lock_a:
+                    balance_b -= amount
+                    balance_a += amount
+    '''),
+))
+
+_register(FixtureProgram(
+    name="ordered_locks_twin",
+    expect_rules=frozenset(),
+    entrypoints=("transfer_1", "transfer_2"),
+    description=(
+        "The repaired transfer: both paths honor one global lock order, so "
+        "neither analysis finds a cycle."
+    ),
+    source=_src('''
+        """Both paths take lock_a before lock_b: one global order."""
+        import threading
+
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+        balance_a = 0
+        balance_b = 0
+
+
+        def transfer_1(amount: int = 1) -> None:
+            global balance_a, balance_b
+            with lock_a:
+                with lock_b:
+                    balance_a -= amount
+                    balance_b += amount
+
+
+        def transfer_2(amount: int = 1) -> None:
+            global balance_a, balance_b
+            with lock_a:
+                with lock_b:
+                    balance_b -= amount
+                    balance_a += amount
+    '''),
+))
+
+# -- one seeded example per hygiene rule -------------------------------------
+
+_register(FixtureProgram(
+    name="bare_acquire",
+    expect_rules=frozenset({"PDC201"}),
+    description="acquire() with no with-block or try/finally release.",
+    source=_src('''
+        """An exception between acquire and release leaks the lock."""
+        import threading
+
+        lock = threading.Lock()
+        jobs = []
+
+
+        def submit(job) -> None:
+            lock.acquire()
+            jobs.append(job)  # if this raises, the lock stays held forever
+            lock.release()
+    '''),
+))
+
+_register(FixtureProgram(
+    name="sleep_under_lock",
+    expect_rules=frozenset({"PDC202"}),
+    description="time.sleep while holding a lock stalls every waiter.",
+    source=_src('''
+        """Throttling inside the critical section throttles everyone."""
+        import threading
+        import time
+
+        lock = threading.Lock()
+        requests = 0
+
+
+        def throttled_handler() -> None:
+            global requests
+            with lock:
+                requests += 1
+                time.sleep(0.1)  # the throttle belongs outside the lock
+    '''),
+))
+
+_register(FixtureProgram(
+    name="notify_outside_lock",
+    expect_rules=frozenset({"PDC203"}),
+    description="Condition.notify without holding the condition's lock.",
+    source=_src('''
+        """notify() without the lock raises RuntimeError at runtime."""
+        import threading
+
+        items = []
+        not_empty = threading.Condition()
+
+
+        def produce(item) -> None:
+            with not_empty:
+                items.append(item)
+            not_empty.notify()  # too late: the lock is already released
+    '''),
+))
+
+_register(FixtureProgram(
+    name="double_checked_singleton",
+    expect_rules=frozenset({"PDC204"}),
+    description="The double-checked locking singleton anti-pattern.",
+    source=_src('''
+        """The outer `is None` check runs unsynchronized."""
+        import threading
+
+        _instance = None
+        _instance_lock = threading.Lock()
+
+
+        def get_instance():
+            global _instance
+            if _instance is None:
+                with _instance_lock:
+                    if _instance is None:
+                        _instance = object()
+            return _instance
+    '''),
+))
+
+_register(FixtureProgram(
+    name="mutable_default_worker",
+    expect_rules=frozenset({"PDC205"}),
+    description="A mutable default argument shared by every thread.",
+    source=_src('''
+        """One default list, appended to by every worker thread."""
+        import threading
+
+
+        def worker(results=[]) -> None:
+            results.append(1)  # every thread shares the single default list
+
+
+        def main() -> None:
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for t in threads:
+                t.start()
+    '''),
+))
+
+_register(FixtureProgram(
+    name="join_under_lock",
+    expect_rules=frozenset({"PDC206"}),
+    description="join() inside a critical section.",
+    source=_src('''
+        """If the worker ever needs state_lock, this never returns."""
+        import threading
+
+        state_lock = threading.Lock()
+
+
+        def shutdown(worker_thread) -> None:
+            with state_lock:
+                worker_thread.join()  # worker may be blocked on state_lock
+    '''),
+))
+
+_register(FixtureProgram(
+    name="spin_wait_flag",
+    expect_rules=frozenset({"PDC207"}),
+    description="A pass-only busy-wait loop on a shared flag.",
+    source=_src('''
+        """Spinning burns the GIL and starves the thread that would set it."""
+        import threading
+
+        ready = False
+
+
+        def consumer() -> None:
+            while not ready:
+                pass
+            process()
+
+
+        def process() -> None:
+            return None
+
+
+        def main() -> None:
+            threading.Thread(target=consumer).start()
+    '''),
+))
+
+_register(FixtureProgram(
+    name="relock_self_deadlock",
+    expect_rules=frozenset({"PDC208"}),
+    description="Re-acquiring a held non-reentrant lock.",
+    source=_src('''
+        """A plain Lock is not reentrant: the inner with blocks forever."""
+        import threading
+
+        lock = threading.Lock()
+        totals = []
+        audit_log = []
+
+
+        def add_and_log(x) -> None:
+            with lock:
+                totals.append(x)
+                with lock:  # still held from two lines up -> blocks forever
+                    audit_log.append(x)
+    '''),
+))
+
+_register(FixtureProgram(
+    name="suppressed_racy_counter",
+    expect_rules=frozenset(),
+    description=(
+        "The racy counter with an inline justified suppression — the lab "
+        "form of 'yes, this race is the point of the exercise'."
+    ),
+    source=_src('''
+        """Intentionally racy, and saying so."""
+        import threading
+
+        counter = 0
+
+
+        def worker() -> None:
+            global counter
+            counter += 1  # pdc-lint: disable=PDC101 -- the lab exhibits this race
+
+
+        def main() -> None:
+            threads = [threading.Thread(target=worker) for _ in range(2)]
+            for t in threads:
+                t.start()
+    '''),
+))
+
+
+# -- dynamic replay ----------------------------------------------------------
+
+class _TracedLock:
+    """A context-managed lock stand-in that reports to a LockGraph."""
+
+    def __init__(self, name: str, graph: LockGraph) -> None:
+        self._name = name
+        self._graph = graph
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._graph.on_acquire(self._name)
+        return True
+
+    def release(self) -> None:
+        self._graph.on_release(self._name)
+
+    def __enter__(self) -> "_TracedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class _TracedThreading:
+    """Stands in for the ``threading`` module during a replay.
+
+    Locks report acquisition order to the :class:`LockGraph`; the replay
+    calls entry points *sequentially*, so no interleaving (and no actual
+    deadlock) can occur — exactly the situation where the lock-order audit
+    still catches the ABBA potential.
+    """
+
+    def __init__(self, graph: LockGraph) -> None:
+        self._graph = graph
+        self._count = 0
+
+    def _make(self) -> _TracedLock:
+        name = f"lock{self._count}"
+        self._count += 1
+        return _TracedLock(name, self._graph)
+
+    def Lock(self) -> _TracedLock:  # noqa: N802 - mirrors threading.Lock
+        return self._make()
+
+    RLock = Lock
+    Condition = Lock
+    Semaphore = Lock
+    BoundedSemaphore = Lock
+
+
+def replay_lock_trace(fix: FixtureProgram) -> LockGraph:
+    """Execute a fixture's entry points with traced locks.
+
+    Returns the populated dynamic :class:`LockGraph`; compare its
+    :meth:`~repro.smp.deadlock.LockGraph.is_safe` verdict to whether the
+    static analyzer reports PDC102 on the same source.
+    """
+    if not fix.entrypoints:
+        raise ValueError(f"fixture {fix.name!r} has no replay entry points")
+    graph = LockGraph()
+    traced = _TracedThreading(graph)
+    real_import = builtins.__import__
+
+    def import_with_trace(name: str, *args: object, **kwargs: object):
+        if name == "threading":
+            return traced
+        return real_import(name, *args, **kwargs)
+
+    namespace: Dict[str, object] = {
+        "__name__": f"fixture_{fix.name}",
+        "__builtins__": {**vars(builtins), "__import__": import_with_trace},
+    }
+    exec(compile(fix.source, f"<fixture:{fix.name}>", "exec"), namespace)
+    for entry in fix.entrypoints:
+        fn = namespace[entry]
+        if not callable(fn):
+            raise TypeError(f"fixture entry point {entry!r} is not callable")
+        fn()
+    return graph

@@ -1,0 +1,176 @@
+"""Tests for the per-function CFG builder and the dataflow solver."""
+
+import ast
+
+import pytest
+
+from repro.analysis.cfg import NodeKind, build_cfg, solve_forward
+
+
+def _func(src: str) -> ast.FunctionDef:
+    tree = ast.parse(src)
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            return node
+    raise AssertionError("no function in source")
+
+
+def _stmt_lines(cfg) -> dict:
+    return {
+        n.stmt.lineno: n
+        for n in cfg.statement_nodes()
+        if n.stmt is not None
+    }
+
+
+class TestStructure:
+    def test_straight_line(self):
+        cfg = build_cfg(_func("def f():\n    a = 1\n    b = 2\n"))
+        lines = _stmt_lines(cfg)
+        assert lines[3].index in lines[2].succ
+        assert cfg.exit in lines[3].succ
+
+    def test_if_joins_at_follow(self):
+        cfg = build_cfg(_func(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        b = 2\n"
+            "    c = 3\n"
+        ))
+        lines = _stmt_lines(cfg)
+        assert {lines[3].index, lines[5].index} <= set(lines[2].succ)
+        assert lines[6].index in lines[3].succ
+        assert lines[6].index in lines[5].succ
+
+    def test_while_loops_back_and_exits(self):
+        cfg = build_cfg(_func(
+            "def f(x):\n"
+            "    while x:\n"
+            "        x -= 1\n"
+            "    done = 1\n"
+        ))
+        lines = _stmt_lines(cfg)
+        assert lines[3].index in lines[2].succ  # into the body
+        assert lines[4].index in lines[2].succ  # loop exit
+        assert lines[2].index in lines[3].succ  # back edge
+
+    def test_break_targets_loop_exit(self):
+        cfg = build_cfg(_func(
+            "def f(x):\n"
+            "    while x:\n"
+            "        break\n"
+            "    done = 1\n"
+        ))
+        lines = _stmt_lines(cfg)
+        assert lines[4].index in lines[3].succ
+        assert lines[2].index not in lines[3].succ
+
+    def test_with_gets_synthetic_exit(self):
+        cfg = build_cfg(_func(
+            "def f(m):\n"
+            "    with m:\n"
+            "        a = 1\n"
+            "    b = 2\n"
+        ))
+        exits = [n for n in cfg.nodes if n.kind is NodeKind.WITH_EXIT]
+        assert len(exits) == 1
+        lines = _stmt_lines(cfg)
+        assert exits[0].index in lines[3].succ  # body falls out via the exit
+        assert lines[4].index in exits[0].succ
+
+    def test_try_edges_reach_handler_and_finally(self):
+        cfg = build_cfg(_func(
+            "def f():\n"
+            "    try:\n"
+            "        a = 1\n"
+            "    except ValueError:\n"
+            "        b = 2\n"
+            "    finally:\n"
+            "        c = 3\n"
+        ))
+        lines = _stmt_lines(cfg)
+        assert {lines[3].index, lines[5].index} <= set(lines[2].succ)
+        assert lines[7].index in lines[3].succ
+        assert lines[7].index in lines[5].succ
+
+    def test_return_jumps_to_exit(self):
+        cfg = build_cfg(_func(
+            "def f(x):\n"
+            "    if x:\n"
+            "        return 1\n"
+            "    return 2\n"
+        ))
+        lines = _stmt_lines(cfg)
+        assert lines[3].succ == [cfg.exit]
+        assert lines[4].succ == [cfg.exit]
+
+    def test_nested_defs_are_opaque(self):
+        cfg = build_cfg(_func(
+            "def f():\n"
+            "    def g():\n"
+            "        hidden = 1\n"
+            "    return g\n"
+        ))
+        lines = _stmt_lines(cfg)
+        assert 3 not in lines  # g's body is not in f's CFG
+
+    def test_rejects_non_body_node(self):
+        with pytest.raises(TypeError):
+            build_cfg(ast.parse("x = 1").body[0].targets[0])
+
+
+class TestSolver:
+    def _solve(self, src, gen_at, kill_at):
+        """Toy must-analysis: lines in gen_at add 'fact', kill_at remove."""
+        func = _func(src)
+        cfg = build_cfg(func)
+
+        def transfer(node, facts):
+            line = getattr(node.stmt, "lineno", None)
+            if node.kind is NodeKind.STMT and line in gen_at:
+                return facts | {"fact"}
+            if node.kind is NodeKind.STMT and line in kill_at:
+                return facts - {"fact"}
+            return facts
+
+        in_ = solve_forward(cfg, transfer)
+        return cfg, in_
+
+    def test_fact_flows_forward(self):
+        cfg, in_ = self._solve(
+            "def f():\n    a = 1\n    b = 2\n", gen_at={2}, kill_at=set()
+        )
+        lines = _stmt_lines(cfg)
+        assert "fact" not in in_[lines[2].index]
+        assert "fact" in in_[lines[3].index]
+
+    def test_meet_is_intersection_over_branches(self):
+        cfg, in_ = self._solve(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        b = 2\n"
+            "    c = 3\n",
+            gen_at={3},  # only the then-branch generates
+            kill_at=set(),
+        )
+        lines = _stmt_lines(cfg)
+        assert "fact" not in in_[lines[6].index]  # not on *every* path
+
+    def test_loop_reaches_fixpoint(self):
+        cfg, in_ = self._solve(
+            "def f(x):\n"
+            "    while x:\n"
+            "        a = 1\n"
+            "    b = 2\n",
+            gen_at={3},
+            kill_at=set(),
+        )
+        lines = _stmt_lines(cfg)
+        # The while header joins entry (no fact) and the body (fact):
+        # intersection drops it, and so does the loop exit.
+        assert "fact" not in in_[lines[2].index]
+        assert "fact" not in in_[lines[4].index]

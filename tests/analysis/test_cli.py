@@ -1,0 +1,128 @@
+"""The ``pdc-lint`` CLI: exit codes, formats, selection, suppressions."""
+
+import json
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.report import (
+    Finding,
+    Severity,
+    apply_suppressions,
+    parse_suppressions,
+)
+from repro.smp.fixtures import fixture
+
+
+@pytest.fixture
+def racy_file(tmp_path):
+    path = tmp_path / "racy.py"
+    path.write_text(fixture("racy_counter_twin").source)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(fixture("locked_counter_twin").source)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_exits_zero(self, clean_file, capsys):
+        assert main([clean_file]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, racy_file, capsys):
+        assert main([racy_file]) == 1
+        assert "PDC101" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.py")]) == 2
+        assert "no such file" in capsys.readouterr().out
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        assert main([str(path)]) == 2
+        assert "syntax error" in capsys.readouterr().out
+
+    def test_no_paths_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestFormats:
+    def test_text_lines_are_clickable(self, racy_file, capsys):
+        main([racy_file])
+        out = capsys.readouterr().out
+        assert f"{racy_file}:" in out  # path:line:col prefix
+        assert "[error]" in out
+
+    def test_json_payload_shape(self, racy_file, capsys):
+        assert main([racy_file, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "pdc-lint"
+        assert payload["files"] == 1
+        assert payload["summary"] == {"PDC101": 1}
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "PDC101"
+        assert finding["severity"] == "error"
+        assert finding["symbol"] == "counter"
+
+    def test_directory_walk(self, tmp_path, racy_file, clean_file, capsys):
+        assert main([str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files"] == 2
+
+
+class TestSelection:
+    def test_select_skips_other_rules(self, racy_file, capsys):
+        assert main([racy_file, "--select", "PDC2"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_select_prefix_family(self, tmp_path, capsys):
+        path = tmp_path / "two.py"
+        path.write_text(
+            fixture("bare_acquire").source
+            + "\n"
+            + fixture("spin_wait_flag").source.replace("import threading\n", "")
+        )
+        assert main([str(path), "--select", "PDC201", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["summary"]) == {"PDC201"}
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("PDC101", "PDC102", "PDC208"):
+            assert rule_id in out
+
+
+class TestSuppressions:
+    def test_parse_specific_rules(self):
+        table = parse_suppressions(
+            "x = 1  # pdc-lint: disable=PDC101,PDC202 -- reason\n"
+        )
+        assert table == {1: {"PDC101", "PDC202"}}
+
+    def test_parse_all(self):
+        table = parse_suppressions("x = 1  # pdc-lint: disable=all\n")
+        assert table == {1: None}
+
+    def test_apply_splits_kept_and_suppressed(self):
+        src = "a = 1\nb = 2  # pdc-lint: disable=PDC101 -- demo\n"
+        f1 = Finding("p", 1, 0, "PDC101", "m", Severity.ERROR)
+        f2 = Finding("p", 2, 0, "PDC101", "m", Severity.ERROR)
+        f3 = Finding("p", 2, 0, "PDC202", "m", Severity.WARNING)
+        kept, suppressed = apply_suppressions([f1, f2, f3], src)
+        assert kept == [f1, f3]  # wrong line / wrong rule stay
+        assert suppressed == [f2]
+
+    def test_suppressed_file_exits_zero_but_is_counted(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "suppressed.py"
+        path.write_text(fixture("suppressed_racy_counter").source)
+        assert main([str(path)]) == 0
+        assert "(1 suppressed)" in capsys.readouterr().out

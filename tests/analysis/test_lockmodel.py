@@ -1,0 +1,173 @@
+"""Tests for lock discovery and the lockset dataflow."""
+
+import ast
+import textwrap
+
+from repro.analysis.lockmodel import LockModel, dotted_name, own_nodes
+
+
+def _model(src: str) -> LockModel:
+    return LockModel(ast.parse(textwrap.dedent(src)))
+
+
+def _func(model_src: str, name: str):
+    tree = ast.parse(textwrap.dedent(model_src))
+    model = LockModel(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return model, node
+    raise AssertionError(f"no function {name}")
+
+
+def _lockset_at(model, func, lineno):
+    locksets = model.locksets(func)
+    for stmt in ast.walk(func):
+        if isinstance(stmt, ast.stmt) and stmt.lineno == lineno:
+            return locksets[id(stmt)]
+    raise AssertionError(f"no statement at line {lineno}")
+
+
+class TestDiscovery:
+    def test_module_level_lock(self):
+        model = _model("import threading\nm = threading.Lock()\n")
+        assert "m" in model.locks
+        assert model.locks["m"].kind == "lock"
+        assert not model.locks["m"].reentrant
+
+    def test_rlock_is_reentrant(self):
+        model = _model("import threading\nm = threading.RLock()\n")
+        assert model.locks["m"].reentrant
+
+    def test_self_attribute_lock(self):
+        model = _model(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+            """
+        )
+        assert "self._lock" in model.locks
+
+    def test_condition_wrapping_external_lock(self):
+        model = _model(
+            """
+            import threading
+            m = threading.Lock()
+            cv = threading.Condition(m)
+            """
+        )
+        assert model.locks["cv"].external_lock
+
+    def test_plain_assignments_are_not_locks(self):
+        model = _model("import threading\nx = 3\ny = list()\n")
+        assert "x" not in model.locks
+        assert "y" not in model.locks
+
+
+class TestLocksets:
+    SRC = """
+        import threading
+
+        m = threading.Lock()
+
+        def f():
+            a = 1
+            with m:
+                b = 2
+            c = 3
+    """
+
+    def test_with_body_holds_the_lock(self):
+        model, func = _func(self.SRC, "f")
+        assert _lockset_at(model, func, 9) == frozenset({"m"})  # b = 2
+
+    def test_before_and_after_are_empty(self):
+        model, func = _func(self.SRC, "f")
+        assert _lockset_at(model, func, 7) == frozenset()  # a = 1
+        assert _lockset_at(model, func, 10) == frozenset()  # c = 3
+
+    def test_acquire_release_pair(self):
+        src = """
+            import threading
+            m = threading.Lock()
+
+            def f():
+                m.acquire()
+                inside = 1
+                m.release()
+                outside = 2
+        """
+        model, func = _func(src, "f")
+        assert _lockset_at(model, func, 7) == frozenset({"m"})
+        assert _lockset_at(model, func, 9) == frozenset()
+
+    def test_nonblocking_acquire_adds_nothing(self):
+        src = """
+            import threading
+            m = threading.Lock()
+
+            def f():
+                m.acquire(False)
+                maybe = 1
+        """
+        model, func = _func(src, "f")
+        # acquire(False) may fail; "certainly held" must not include m.
+        assert _lockset_at(model, func, 7) == frozenset()
+
+    def test_branch_meet_is_intersection(self):
+        src = """
+            import threading
+            m = threading.Lock()
+
+            def f(x):
+                if x:
+                    m.acquire()
+                after = 1
+        """
+        model, func = _func(src, "f")
+        assert _lockset_at(model, func, 8) == frozenset()
+
+
+class TestAcquisitions:
+    def test_nested_with_records_held_before(self):
+        src = """
+            import threading
+            a = threading.Lock()
+            b = threading.Lock()
+
+            def f():
+                with a:
+                    with b:
+                        pass
+        """
+        model, func = _func(src, "f")
+        acqs = {acq.lock: acq for acq in model.acquisitions(func)}
+        assert acqs["a"].held_before == frozenset()
+        assert acqs["b"].held_before == frozenset({"a"})
+
+    def test_unknown_context_managers_are_ignored(self):
+        src = """
+            def f(path):
+                with open(path) as fh:
+                    return fh.read()
+        """
+        model, func = _func(src, "f")
+        assert list(model.acquisitions(func)) == []
+
+
+class TestHelpers:
+    def test_dotted_name(self):
+        expr = ast.parse("a.b.c", mode="eval").body
+        assert dotted_name(expr) == "a.b.c"
+        call = ast.parse("f()", mode="eval").body
+        assert dotted_name(call) is None
+
+    def test_own_nodes_stops_at_nested_statements(self):
+        stmt = ast.parse("with m:\n    counter += 1\n").body[0]
+        names = {
+            n.id for n in own_nodes(stmt) if isinstance(n, ast.Name)
+        }
+        assert "m" in names
+        assert "counter" not in names  # belongs to the nested statement

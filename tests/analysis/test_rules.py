@@ -1,0 +1,112 @@
+"""The fixture corpus: every seeded defect caught, every clean twin silent.
+
+This encodes the issue's acceptance bar directly: a corpus of >= 10 seeded
+race / deadlock / hygiene examples, detected with **zero false negatives**,
+plus clean variants the analyzer must not flag (no false positives beyond
+the one documented, ``known_false_positive``-tagged Eraser limitation).
+"""
+
+import pytest
+
+from repro.analysis import analyze_source, default_registry
+from repro.analysis.report import Severity
+from repro.smp.fixtures import all_fixtures, fixture
+
+ALL = all_fixtures()
+
+
+class TestCorpus:
+    def test_corpus_is_large_enough(self):
+        seeded = [f for f in ALL if f.expect_rules]
+        assert len(seeded) >= 10
+
+    @pytest.mark.parametrize("fix", ALL, ids=lambda f: f.name)
+    def test_expected_rules_exactly(self, fix):
+        """Each fixture's findings match its expectation — both directions.
+
+        ``expect_rules`` ⊆ found catches false negatives; found ⊆
+        ``expect_rules`` catches false positives on the clean twins.
+        """
+        found = {f.rule for f in analyze_source(fix.source, path=fix.name)}
+        assert found == set(fix.expect_rules), (
+            f"{fix.name}: expected {sorted(fix.expect_rules)}, got {sorted(found)}"
+        )
+
+    def test_every_rule_has_a_seeded_example(self):
+        """No rule ships without a fixture proving it fires."""
+        covered = set()
+        for fix in ALL:
+            covered |= set(fix.expect_rules)
+        all_rules = {rule.id for rule in default_registry().selected(None)}
+        assert covered == all_rules
+
+
+class TestRuleDetails:
+    def test_race_finding_is_an_error_with_symbol(self):
+        findings = analyze_source(fixture("racy_counter_twin").source)
+        (f,) = [f for f in findings if f.rule == "PDC101"]
+        assert f.severity is Severity.ERROR
+        assert f.symbol == "counter"
+        assert "lock" in f.message
+
+    def test_deadlock_finding_names_the_cycle(self):
+        findings = analyze_source(fixture("abba_deadlock_twin").source)
+        (f,) = [f for f in findings if f.rule == "PDC102"]
+        assert f.severity is Severity.ERROR
+        assert "lock_a" in f.message and "lock_b" in f.message
+
+    def test_select_restricts_to_prefix(self):
+        src = fixture("racy_counter_twin").source
+        assert analyze_source(src, select=["PDC2"]) == []
+        assert {f.rule for f in analyze_source(src, select=["PDC101"])} == {
+            "PDC101"
+        }
+
+    def test_suppression_comment_silences_the_line(self):
+        assert analyze_source(fixture("suppressed_racy_counter").source) == []
+
+    def test_rlock_relock_is_allowed(self):
+        """PDC208 only fires on non-reentrant locks."""
+        src = fixture("relock_self_deadlock").source.replace(
+            "threading.Lock()", "threading.RLock()"
+        )
+        assert not any(f.rule == "PDC208" for f in analyze_source(src))
+
+    def test_str_join_is_not_thread_join(self):
+        src = (
+            "import threading\n"
+            "m = threading.Lock()\n"
+            "def render(parts):\n"
+            "    with m:\n"
+            "        return ', '.join(parts)\n"
+        )
+        assert not any(f.rule == "PDC206" for f in analyze_source(src))
+
+    def test_acquire_with_try_finally_is_clean(self):
+        src = (
+            "import threading\n"
+            "m = threading.Lock()\n"
+            "state = []\n"
+            "def update(x):\n"
+            "    m.acquire()\n"
+            "    try:\n"
+            "        state.append(x)\n"
+            "    finally:\n"
+            "        m.release()\n"
+        )
+        assert not any(f.rule == "PDC201" for f in analyze_source(src))
+
+    def test_registry_rejects_duplicate_ids(self):
+        from repro.analysis.rules import Rule, RuleRegistry
+
+        class Dup(Rule):
+            id = "PDC999"
+            summary = "x"
+
+            def check(self, ctx):
+                return []
+
+        reg = RuleRegistry()
+        reg.register(Dup)
+        with pytest.raises(ValueError):
+            reg.register(Dup)
