@@ -1,0 +1,76 @@
+"""Supporting bench: overhead and determinism of the runtime substrate.
+
+The observability layer must be cheap enough to leave on in every lab:
+this bench measures the instrumented-vs-bare cost of a representative
+mp + net workload, and re-checks (under the benchmark harness, i.e. many
+repetitions) that same-seed runs export byte-identical traces.
+"""
+
+from repro.mp.runtime import run_spmd
+from repro.net.simnet import Address, Network
+from repro.net.sockets import DatagramSocket
+from repro.runtime import RunContext
+
+
+def _ring(comm):
+    right = (comm.rank + 1) % comm.size
+    comm.send({"from": comm.rank}, dest=right)
+    return comm.recv()["from"]
+
+
+def _datagram_burst(network, count=50):
+    box = DatagramSocket(network, Address("box", 1))
+    tx = DatagramSocket(network, Address("tx", 1))
+    for i in range(count):
+        tx.sendto(i, Address("box", 1))
+    box.close()
+    tx.close()
+
+
+def _instrumented_lab(seed: int) -> RunContext:
+    ctx = RunContext.deterministic(seed=seed, label="bench")
+    network = Network(drop_rate=0.2, context=ctx)
+    run_spmd(4, _ring, context=ctx)
+    _datagram_burst(network)
+    return ctx
+
+
+def test_bench_bare_lab(benchmark):
+    def bare():
+        network = Network(drop_rate=0.2, seed=9)
+        results = run_spmd(4, _ring)
+        _datagram_burst(network)
+        return results
+
+    assert sorted(benchmark(bare)) == [0, 1, 2, 3]
+
+
+def test_bench_instrumented_lab(benchmark):
+    ctx = benchmark(lambda: _instrumented_lab(seed=9))
+    snap = ctx.snapshot()
+    assert snap["mp.messages"] == 4
+    assert snap["net.messages"] + snap["net.dropped"] == 50
+    assert len(ctx.tracer) > 0
+
+
+def test_bench_trace_export_determinism(benchmark):
+    def digests():
+        return (
+            _instrumented_lab(seed=3).tracer.digest(),
+            _instrumented_lab(seed=3).tracer.digest(),
+        )
+
+    a, b = benchmark(digests)
+    assert a == b
+
+
+def test_bench_metric_hot_path(benchmark):
+    ctx = RunContext.deterministic()
+    counter = ctx.registry.counter("bench.hot")
+
+    def spin():
+        for _ in range(10_000):
+            counter.inc()
+
+    benchmark(spin)
+    assert counter.value > 0

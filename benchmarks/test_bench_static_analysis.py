@@ -17,11 +17,13 @@ SRC = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
 
 def test_bench_selflint_throughput(benchmark):
     result = benchmark(analyze_paths, [os.path.normpath(SRC)])
-    stats = benchmark.stats.stats
-    files_per_s = result.files / stats.mean
-    print(f"\n  self-lint: {result.files} files in {stats.mean * 1e3:.1f} ms "
-          f"mean = {files_per_s:.0f} files/s "
-          f"({len(result.findings)} findings, {result.suppressed} suppressed)")
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        stats = benchmark.stats.stats
+        files_per_s = result.files / stats.mean
+        print(f"\n  self-lint: {result.files} files in "
+              f"{stats.mean * 1e3:.1f} ms mean = {files_per_s:.0f} files/s "
+              f"({len(result.findings)} findings, "
+              f"{result.suppressed} suppressed)")
     assert result.files > 50
     assert result.findings == []
     assert result.exit_code == 0
@@ -37,9 +39,10 @@ def test_bench_fixture_corpus(benchmark):
         ]
 
     found = benchmark(run)
-    stats = benchmark.stats.stats
-    per_module_us = stats.mean / len(fixtures) * 1e6
-    print(f"\n  corpus: {len(fixtures)} fixture modules, "
-          f"{per_module_us:.0f} us/module mean")
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        stats = benchmark.stats.stats
+        per_module_us = stats.mean / len(fixtures) * 1e6
+        print(f"\n  corpus: {len(fixtures)} fixture modules, "
+              f"{per_module_us:.0f} us/module mean")
     for fix, rules in zip(fixtures, found):
         assert rules == set(fix.expect_rules)

@@ -21,6 +21,12 @@ library.  Two halves:
   concurrency analyzer: races, lock-order cycles, locking hygiene — the
   pre-execution feedback loop, runnable as ``pdc-lint``).
 
+Underneath both halves sits :mod:`repro.runtime` — the deterministic
+execution & observability substrate (metric registry, clock abstraction,
+seeded RNG streams, structured tracing, and the :class:`RunContext`
+bundle every instrumented subsystem accepts), so one seed reproduces a
+whole multi-subsystem lab and one trace shows it.
+
 Subpackages are imported on demand (``from repro import mp``) rather than
 eagerly here, so ``import repro`` stays cheap.
 """
@@ -29,6 +35,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "core",
+    "runtime",
     "smp",
     "mp",
     "gpu",

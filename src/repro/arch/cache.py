@@ -13,7 +13,10 @@ from __future__ import annotations
 
 import collections
 import dataclasses
-from typing import Dict, List, OrderedDict, Set
+from typing import Dict, List, Optional, OrderedDict, Set
+
+from repro.runtime import RunContext
+from repro.runtime.metrics import RegistryStats
 
 __all__ = ["CacheConfig", "CacheStats", "Cache"]
 
@@ -49,17 +52,19 @@ class CacheConfig:
         return self.size_bytes // self.line_bytes
 
 
-@dataclasses.dataclass
-class CacheStats:
-    """Access counters for one simulation."""
+class CacheStats(RegistryStats):
+    """Access counters for one simulation (``arch.cache.*`` in the registry)."""
 
-    accesses: int = 0
-    hits: int = 0
-    misses: int = 0
-    cold_misses: int = 0
-    capacity_misses: int = 0
-    conflict_misses: int = 0
-    writebacks: int = 0
+    fields = (
+        "accesses",
+        "hits",
+        "misses",
+        "cold_misses",
+        "capacity_misses",
+        "conflict_misses",
+        "writebacks",
+    )
+    default_prefix = "arch.cache"
 
     @property
     def miss_rate(self) -> float:
@@ -75,7 +80,12 @@ class CacheStats:
 class Cache:
     """One cache level with LRU sets and three-C miss classification."""
 
-    def __init__(self, config: CacheConfig = CacheConfig()) -> None:
+    def __init__(
+        self,
+        config: CacheConfig = CacheConfig(),
+        context: Optional[RunContext] = None,
+        name: str = "cache",
+    ) -> None:
         self.config = config
         # Each set maps line_address -> dirty flag, in LRU order (oldest first).
         self._sets: List[OrderedDict[int, bool]] = [
@@ -85,7 +95,12 @@ class Cache:
         # Shadow fully-associative LRU cache of equal capacity, for the
         # capacity-miss attribution.
         self._shadow: OrderedDict[int, None] = collections.OrderedDict()
-        self.stats = CacheStats()
+        if context is not None:
+            self.stats = CacheStats(
+                registry=context.registry, prefix=f"arch.{name}"
+            )
+        else:
+            self.stats = CacheStats()
 
     def _set_index(self, line: int) -> int:
         return line % self.config.num_sets

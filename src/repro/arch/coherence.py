@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime import RunContext
+from repro.runtime.metrics import RegistryStats
 
 __all__ = ["Protocol", "LineState", "BusStats", "CoherentSystem"]
 
@@ -37,17 +40,19 @@ class LineState(enum.Enum):
     INVALID = "I"
 
 
-@dataclasses.dataclass
-class BusStats:
-    """Shared-bus transaction counters."""
+class BusStats(RegistryStats):
+    """Shared-bus transaction counters (``arch.bus.*`` in the registry)."""
 
-    bus_rd: int = 0
-    bus_rdx: int = 0
-    bus_upgr: int = 0
-    invalidations: int = 0
-    writebacks: int = 0
-    memory_reads: int = 0
-    cache_to_cache: int = 0
+    fields = (
+        "bus_rd",
+        "bus_rdx",
+        "bus_upgr",
+        "invalidations",
+        "writebacks",
+        "memory_reads",
+        "cache_to_cache",
+    )
+    default_prefix = "arch.bus"
 
     @property
     def total_transactions(self) -> int:
@@ -58,7 +63,12 @@ class BusStats:
 class CoherentSystem:
     """N coherent caches over one snooping bus."""
 
-    def __init__(self, num_cores: int, protocol: Protocol = Protocol.MESI) -> None:
+    def __init__(
+        self,
+        num_cores: int,
+        protocol: Protocol = Protocol.MESI,
+        context: Optional[RunContext] = None,
+    ) -> None:
         if num_cores < 1:
             raise ValueError("num_cores must be positive")
         self.num_cores = num_cores
@@ -66,7 +76,10 @@ class CoherentSystem:
         self._state: List[Dict[int, LineState]] = [
             {} for _ in range(num_cores)
         ]
-        self.stats = BusStats()
+        if context is not None:
+            self.stats = BusStats(registry=context.registry)
+        else:
+            self.stats = BusStats()
 
     # -- helpers -------------------------------------------------------------
     def state_of(self, core: int, line: int) -> LineState:

@@ -27,6 +27,9 @@ import dataclasses
 import enum
 from typing import Dict, List, Optional
 
+from repro.runtime import RunContext
+from repro.runtime.metrics import RegistryStats
+
 __all__ = ["Op", "Instr", "PipelineConfig", "PipelineStats", "Pipeline"]
 
 
@@ -90,14 +93,11 @@ class PipelineConfig:
     branch_in_id: bool = False
 
 
-@dataclasses.dataclass
-class PipelineStats:
-    """Cycle-level outcome of one program run."""
+class PipelineStats(RegistryStats):
+    """Cycle-level outcome of one run (``arch.pipeline.*`` in the registry)."""
 
-    cycles: int = 0
-    instructions: int = 0
-    stalls: int = 0
-    flushes: int = 0
+    fields = ("cycles", "instructions", "stalls", "flushes")
+    default_prefix = "arch.pipeline"
 
     @property
     def cpi(self) -> float:
@@ -137,6 +137,7 @@ class Pipeline:
         config: PipelineConfig = PipelineConfig(),
         registers: Optional[Dict[int, int]] = None,
         memory: Optional[Dict[int, int]] = None,
+        context: Optional[RunContext] = None,
     ) -> None:
         self.program = list(program)
         for instr in self.program:
@@ -152,7 +153,10 @@ class Pipeline:
                 self.registers[reg] = val
         self.memory: Dict[int, int] = dict(memory or {})
         self.pc = 0
-        self.stats = PipelineStats()
+        if context is not None:
+            self.stats = PipelineStats(registry=context.registry)
+        else:
+            self.stats = PipelineStats()
         self._if_id = _Latch()
         self._id_ex = _Latch()
         self._ex_mem = _Latch()

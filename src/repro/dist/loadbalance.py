@@ -15,6 +15,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.runtime import RunContext
+
 __all__ = ["PlacementPolicy", "BalanceReport", "Balancer"]
 
 
@@ -60,12 +62,20 @@ class Balancer:
         servers: int,
         policy: PlacementPolicy = PlacementPolicy.ROUND_ROBIN,
         seed: int = 0,
+        context: Optional[RunContext] = None,
     ) -> None:
         if servers < 1:
             raise ValueError("need at least one server")
         self.servers = servers
         self.policy = policy
-        self._rng = np.random.default_rng(seed)
+        self._context = context
+        if context is not None:
+            # Per-policy stream so two balancers in one run stay independent.
+            self._rng = context.rng.stream(f"dist.loadbalance.{policy.value}")
+            self._tasks_counter = context.registry.counter("dist.lb.tasks")
+        else:
+            self._rng = np.random.default_rng(seed)
+            self._tasks_counter = None
         self.loads = [0.0] * servers
         self._rr_next = 0
         self.assignments: List[int] = []
@@ -88,6 +98,8 @@ class Balancer:
             raise ValueError(f"unknown policy {self.policy!r}")
         self.loads[server] += weight
         self.assignments.append(server)
+        if self._tasks_counter is not None:
+            self._tasks_counter.inc()
         return server
 
     def run(self, weights: Sequence[float]) -> BalanceReport:

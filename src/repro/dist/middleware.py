@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.net.simnet import Address, Network
 from repro.net.sockets import Connection, ServerSocket
+from repro.runtime import MetricRegistry, RunContext
 
 __all__ = ["RemoteError", "RpcServer", "rpc_proxy", "NameService"]
 
@@ -38,21 +39,41 @@ class RpcServer:
     (a deliberate teaching choice — the KV-store lab revisits it).
     """
 
-    def __init__(self, network: Network, address: Address, obj: Any) -> None:
+    def __init__(
+        self,
+        network: Network,
+        address: Address,
+        obj: Any,
+        context: Optional[RunContext] = None,
+    ) -> None:
         self.network = network
         self.address = address
         self.obj = obj
+        self.context = context if context is not None else network.context
+        registry = (
+            self.context.registry if self.context is not None
+            else MetricRegistry()
+        )
+        self._calls = registry.counter("dist.rpc.calls")
+        self._errors = registry.counter("dist.rpc.errors")
         self._server = ServerSocket(network, address)
         self._running = False
         self._threads: List[threading.Thread] = []
         self._accept_thread: Optional[threading.Thread] = None
-        self._stats_lock = threading.Lock()
-        self.calls_served = 0
+
+    @property
+    def calls_served(self) -> int:
+        """Total RPC requests handled (``dist.rpc.calls`` in the registry)."""
+        return self._calls.value
 
     def start(self) -> "RpcServer":
         """Start serving in the background."""
         self._running = True
-        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            daemon=True,
+            name=f"rpc-accept-{self.address}",
+        )
         self._accept_thread.start()
         return self
 
@@ -64,7 +85,13 @@ class RpcServer:
                 if not self._running:
                     return
                 continue
-            t = threading.Thread(target=self._serve, args=(conn,), daemon=True)
+            # Stable names keep trace lanes deterministic across runs.
+            t = threading.Thread(
+                target=self._serve,
+                args=(conn,),
+                daemon=True,
+                name=f"rpc-serve-{self.address}-{len(self._threads)}",
+            )
             self._threads.append(t)
             t.start()
 
@@ -80,16 +107,23 @@ class RpcServer:
                     conn.send(("err", f"malformed request: {message!r}"))
                     continue
                 _tag, method_name, args, kwargs = message
-                with self._stats_lock:  # one _serve thread per connection
-                    self.calls_served += 1
+                self._calls.inc()
                 try:
                     if method_name.startswith("_"):
                         raise AttributeError(
                             f"private method {method_name!r} is not exported"
                         )
                     method: Callable[..., Any] = getattr(self.obj, method_name)
-                    conn.send(("ok", method(*args, **kwargs)))
+                    if self.context is not None:
+                        with self.context.tracer.span(
+                            f"rpc.{method_name}", cat="dist"
+                        ):
+                            result = method(*args, **kwargs)
+                    else:
+                        result = method(*args, **kwargs)
+                    conn.send(("ok", result))
                 except Exception as exc:  # noqa: BLE001 - marshalled to client
+                    self._errors.inc()
                     conn.send(("err", repr(exc)))
         except EOFError:
             pass
@@ -148,18 +182,25 @@ class NameService:
     that names distributed objects.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, context: Optional[RunContext] = None) -> None:
         self._registry: Dict[str, Address] = {}
         self._lock = threading.Lock()
+        metrics = (
+            context.registry if context is not None else MetricRegistry()
+        )
+        self._registrations = metrics.counter("dist.nameservice.registrations")
+        self._lookups = metrics.counter("dist.nameservice.lookups")
 
     def register(self, name: str, host: str, port: int) -> bool:
         """Bind ``name`` to an address; re-binding overwrites."""
+        self._registrations.inc()
         with self._lock:
             self._registry[name] = Address(host, port)
             return True
 
     def lookup(self, name: str) -> Optional[tuple]:
         """Resolve ``name`` to ``(host, port)`` or ``None``."""
+        self._lookups.inc()
         with self._lock:
             addr = self._registry.get(name)
             return (addr.host, addr.port) if addr else None

@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.runtime import RunContext
+
 __all__ = ["MigratingProcess", "MigrationPolicy", "MigrationReport", "Cluster"]
 
 
@@ -75,6 +77,7 @@ class Cluster:
         policy: MigrationPolicy = MigrationPolicy.NEVER,
         threshold: float = 1.5,
         transfer_cost_per_mem: float = 1.0,
+        context: Optional[RunContext] = None,
     ) -> None:
         if nodes < 1:
             raise ValueError("need at least one node")
@@ -82,6 +85,7 @@ class Cluster:
         self.policy = policy
         self.threshold = threshold
         self.transfer_cost_per_mem = transfer_cost_per_mem
+        self._context = context
         self._residents: List[List[MigratingProcess]] = [[] for _ in range(nodes)]
         self._frozen_until: Dict[int, float] = {}
         self.migrations = 0
@@ -154,6 +158,15 @@ class Cluster:
             self._residents[target].append(process)
             process.migrations += 1
             self.migrations += 1
+            if self._context is not None:
+                self._context.registry.counter("dist.migration.moves").inc()
+                self._context.tracer.instant(
+                    "dist.migrate",
+                    cat="dist",
+                    tid="dist.cluster",
+                    args={"pid": process.pid, "from": n, "to": target},
+                    ts_us=step,
+                )
             cost = process.memory * self.transfer_cost_per_mem
             self.transfer_cost += cost
             self._frozen_until[process.pid] = step + cost
@@ -166,13 +179,18 @@ def migration_sweep(
     nodes: int = 4,
     seed: int = 0,
     transfer_costs: Sequence[float] = (0.0, 1.0, 4.0, 16.0),
+    context: Optional[RunContext] = None,
 ) -> List[Tuple[float, Dict[str, float]]]:
     """Makespan vs transfer cost for each policy (the bench's data).
 
     All processes start on node 0 — the "hotspot relief" scenario where
-    migration matters most.
+    migration matters most.  With a ``context``, the workload stream
+    derives from the run's root seed (stream ``dist.migration``).
     """
-    rng = np.random.default_rng(seed)
+    if context is not None:
+        rng = context.rng.fresh_stream("dist.migration")
+    else:
+        rng = np.random.default_rng(seed)
     # One workload, shared by every (cost, policy) cell of the sweep.
     workload = [
         (float(rng.integers(5, 20)), float(rng.integers(1, 4)))
@@ -182,7 +200,9 @@ def migration_sweep(
     for cost in transfer_costs:
         row: Dict[str, float] = {}
         for policy in MigrationPolicy:
-            cluster = Cluster(nodes, policy, transfer_cost_per_mem=cost)
+            cluster = Cluster(
+                nodes, policy, transfer_cost_per_mem=cost, context=context
+            )
             for pid, (work, memory) in enumerate(workload):
                 cluster.submit(
                     MigratingProcess(pid=pid, work=work, memory=memory, home=0)

@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict
+from typing import Dict, Optional
+
+from repro.runtime import RunContext
+from repro.runtime.metrics import RegistryStats
 
 __all__ = ["DeviceProperties", "KernelStats", "Device"]
 
@@ -39,20 +42,28 @@ class DeviceProperties:
         return len({a // span for a in addresses})
 
 
-@dataclasses.dataclass
-class KernelStats:
-    """Counters accumulated across one kernel launch."""
+class KernelStats(RegistryStats):
+    """Counters accumulated across one kernel launch.
 
-    blocks: int = 0
-    threads: int = 0
-    warps: int = 0
-    global_loads: int = 0
-    global_stores: int = 0
-    transactions: int = 0
-    instrumented_branches: int = 0
-    divergent_branches: int = 0
-    syncthreads: int = 0
-    shared_bytes_peak: int = 0
+    Registry-backed: a device with a run context records each launch under
+    ``gpu.kernel.<launch-name>.*`` in the shared registry; a bare device
+    keeps per-launch private counters, as before.
+    """
+
+    fields = (
+        "blocks",
+        "threads",
+        "warps",
+        "global_loads",
+        "global_stores",
+        "transactions",
+        "instrumented_branches",
+        "divergent_branches",
+        "syncthreads",
+        "shared_bytes_peak",
+        "ideal_transactions",
+    )
+    default_prefix = "gpu.kernel"
 
     def coalescing_efficiency(self) -> float:
         """Ideal transactions / actual transactions (1.0 == fully coalesced).
@@ -68,9 +79,6 @@ class KernelStats:
             return 1.0
         return min(1.0, self.ideal_transactions / self.transactions)
 
-    # Filled by the launcher; declared here so the dataclass carries it.
-    ideal_transactions: int = 0
-
     def divergence_rate(self) -> float:
         """Fraction of instrumented branches that diverged within a warp."""
         if self.instrumented_branches == 0:
@@ -83,11 +91,17 @@ class Device:
 
     One :class:`KernelStats` is recorded per launch under the kernel's
     name (suffixed on repeats), so back-to-back ablation runs can be
-    compared.
+    compared.  With a ``context``, launch counters join the run-wide
+    metric registry and each launch bumps ``gpu.launches``.
     """
 
-    def __init__(self, properties: DeviceProperties | None = None) -> None:
+    def __init__(
+        self,
+        properties: DeviceProperties | None = None,
+        context: Optional[RunContext] = None,
+    ) -> None:
         self.properties = properties or DeviceProperties()
+        self.context = context
         self.launches: Dict[str, KernelStats] = {}
 
     def new_stats(self, kernel_name: str) -> KernelStats:
@@ -97,7 +111,13 @@ class Device:
         while name in self.launches:
             suffix += 1
             name = f"{kernel_name}#{suffix}"
-        stats = KernelStats()
+        if self.context is not None:
+            stats = KernelStats(
+                registry=self.context.registry, prefix=f"gpu.kernel.{name}"
+            )
+            self.context.registry.counter("gpu.launches").inc()
+        else:
+            stats = KernelStats()
         self.launches[name] = stats
         return stats
 

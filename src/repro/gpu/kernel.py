@@ -204,7 +204,19 @@ def launch(
     analyzer = CoalescingAnalyzer(props.warp_size, props.transactions_for)
 
     def run(*args: Any) -> KernelStats:
-        stats = device.new_stats(getattr(kernel, "__name__", "kernel"))
+        kernel_name = getattr(kernel, "__name__", "kernel")
+        if device.context is not None:
+            with device.context.tracer.span(
+                f"gpu.launch.{kernel_name}",
+                cat="gpu",
+                tid="gpu.device",
+                args={"grid": grid_dim.count, "block": block_dim.count},
+            ):
+                return _run(kernel_name, args)
+        return _run(kernel_name, args)
+
+    def _run(kernel_name: str, args: Tuple[Any, ...]) -> KernelStats:
+        stats = device.new_stats(kernel_name)
         stats.blocks = grid_dim.count
         stats.threads = grid_dim.count * block_dim.count
         stats.warps = grid_dim.count * math.ceil(

@@ -7,6 +7,14 @@ everywhere (Single Program, Multiple Data), and returns the per-rank return
 values.  An exception in any rank aborts the job and is re-raised in the
 caller with its rank attached, which is also how students learn that MPI
 errors are job-global.
+
+Job completion is condition-variable signalled (no polling): each rank
+notifies the join condition as it finishes, and the driver waits on it
+with a deadline measured on an injected
+:class:`~repro.runtime.clock.Clock` — real time by default, virtual (and
+therefore deterministic) when the world carries a
+:class:`~repro.runtime.RunContext` with a
+:class:`~repro.runtime.clock.VirtualClock`.
 """
 
 from __future__ import annotations
@@ -16,8 +24,12 @@ import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.mp.communicator import Communicator, _Mailbox
+from repro.runtime import MonotonicClock, RunContext
 
 __all__ = ["World", "SpmdError", "run_spmd"]
+
+#: Real/virtual seconds granted to sibling ranks after one rank fails.
+_ABORT_GRACE = 0.5
 
 
 class SpmdError(RuntimeError):
@@ -47,15 +59,27 @@ class MessageRecord:
 
 
 class World:
-    """Shared state of one SPMD job: mailboxes and a message trace."""
+    """Shared state of one SPMD job: mailboxes and a message trace.
 
-    def __init__(self, size: int) -> None:
+    With a ``context``, every recorded message also increments the
+    run-wide ``mp.messages`` counter and emits an instant trace event, so
+    the SPMD fabric shows up on the same timeline as the network and the
+    scheduler.
+    """
+
+    def __init__(
+        self, size: int, context: Optional[RunContext] = None
+    ) -> None:
         if size < 1:
             raise ValueError("world size must be positive")
         self.size = size
+        self.context = context
         self._mailboxes = [_Mailbox() for _ in range(size)]
         self._trace: List[MessageRecord] = []
         self._trace_lock = threading.Lock()
+        self._messages_counter = (
+            context.registry.counter("mp.messages") if context else None
+        )
 
     def mailbox(self, rank: int) -> _Mailbox:
         """The incoming-message store of ``rank``."""
@@ -65,6 +89,15 @@ class World:
         """Append one send to the message trace."""
         with self._trace_lock:
             self._trace.append(MessageRecord(source, dest, tag))
+        if self._messages_counter is not None:
+            self._messages_counter.inc()
+        if self.context is not None:
+            self.context.tracer.instant(
+                "mp.send",
+                cat="mp",
+                tid=f"rank-{source}",
+                args={"dest": dest, "tag": tag},
+            )
 
     @property
     def message_count(self) -> int:
@@ -95,6 +128,7 @@ def run_spmd(
     *args: Any,
     world: Optional[World] = None,
     timeout: Optional[float] = 60.0,
+    context: Optional[RunContext] = None,
     **kwargs: Any,
 ) -> List[Any]:
     """Run ``main(comm, *args, **kwargs)`` on ``size`` rank-threads.
@@ -105,59 +139,79 @@ def run_spmd(
     ``timeout`` bounds the whole job; a hung rank (e.g. a deadlocked
     receive) raises ``TimeoutError`` instead of hanging the test suite —
     deliberately, since "my ranks deadlocked" is a teaching moment, not an
-    infrastructure failure.
+    infrastructure failure.  The deadline is measured on the run's clock:
+    wall time normally, virtual time when the context carries a
+    :class:`~repro.runtime.clock.VirtualClock`.
     """
-    w = world if world is not None else World(size)
+    w = world if world is not None else World(size, context=context)
     if w.size != size:
         raise ValueError("world size does not match requested size")
+    ctx = context if context is not None else w.context
+    clock = ctx.clock if ctx is not None else MonotonicClock()
+    tracer = ctx.tracer if ctx is not None else None
     results: Dict[int, Any] = {}
     errors: List[Tuple[int, BaseException]] = []
-    lock = threading.Lock()
+    done = threading.Condition()
+    remaining = size
 
     def runner(rank: int) -> None:
+        nonlocal remaining
         comm = w.communicator(rank)
         try:
-            value = main(comm, *args, **kwargs)
-            with lock:
+            if tracer is not None:
+                with tracer.span(
+                    "mp.rank", cat="mp", tid=f"rank-{rank}",
+                    args={"rank": rank},
+                ):
+                    value = main(comm, *args, **kwargs)
+            else:
+                value = main(comm, *args, **kwargs)
+            with done:
                 results[rank] = value
+                remaining -= 1
+                done.notify_all()
         except BaseException as exc:  # noqa: BLE001 - relayed to the caller
-            with lock:
+            with done:
                 errors.append((rank, exc))
+                remaining -= 1
+                done.notify_all()
 
     threads = [
         threading.Thread(target=runner, args=(r,), daemon=True, name=f"rank-{r}")
         for r in range(size)
     ]
+    if tracer is not None:
+        tracer.begin("mp.run_spmd", cat="mp", tid="mp.driver",
+                     args={"size": size})
     for t in threads:
         t.start()
 
-    import time as _time
+    deadline = None if timeout is None else clock.now() + timeout
+    with done:
+        while remaining > 0 and not errors:
+            wait_for = None if deadline is None else deadline - clock.now()
+            if wait_for is not None and wait_for <= 0:
+                alive = [t for t in threads if t.is_alive()]
+                straggler = alive[0].name if alive else "unknown rank"
+                raise TimeoutError(
+                    f"SPMD job did not finish within {timeout}s "
+                    f"({straggler} still running; likely an unmatched recv "
+                    "or deadlock)"
+                )
+            clock.wait_on(done, wait_for)
+        if errors:
+            # A rank died; siblings blocked on its messages may never
+            # finish.  Grant a signalled grace period — we wake the moment
+            # the last sibling exits — then abandon the rest (daemon
+            # threads) and report the real error.
+            grace_deadline = clock.now() + _ABORT_GRACE
+            while remaining > 0:
+                wait_for = grace_deadline - clock.now()
+                if wait_for <= 0 or not clock.wait_on(done, wait_for):
+                    break
 
-    deadline = None if timeout is None else _time.monotonic() + timeout
-    while True:
-        alive = [t for t in threads if t.is_alive()]
-        if not alive:
-            break
-        with lock:
-            failed = bool(errors)
-        if failed:
-            # A rank died; siblings blocked on its messages will never
-            # finish.  Give them a short grace period, then abandon them
-            # (daemon threads) and report the real error.
-            grace = _time.monotonic() + 0.5
-            while _time.monotonic() < grace and any(
-                t.is_alive() for t in threads
-            ):
-                _time.sleep(0.01)
-            break
-        if deadline is not None and _time.monotonic() >= deadline:
-            raise TimeoutError(
-                f"SPMD job did not finish within {timeout}s "
-                f"({alive[0].name} still running; likely an unmatched recv "
-                "or deadlock)"
-            )
-        _time.sleep(0.005)
-
+    if tracer is not None:
+        tracer.end("mp.run_spmd", cat="mp", tid="mp.driver")
     if errors:
         rank, cause = min(errors, key=lambda e: e[0])
         raise SpmdError(rank, cause) from cause

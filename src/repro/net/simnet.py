@@ -7,18 +7,23 @@ with a deterministic (seeded) drop rate, so "UDP is unreliable" labs are
 reproducible.
 
 The fabric counts every message and byte it carries, giving labs a
-traffic meter (``network.stats``).
+traffic meter (``network.stats``).  Counters live in a
+:class:`~repro.runtime.metrics.MetricRegistry` — private to this network
+when constructed bare, shared run-wide when constructed with a
+:class:`~repro.runtime.RunContext` (which also supplies the drop-decision
+RNG stream and receives a trace event per delivery/drop).
 """
 
 from __future__ import annotations
 
 import dataclasses
-import pickle
 import threading
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.runtime import RunContext
+from repro.runtime.metrics import RegistryStats, payload_size
 from repro.smp.squeue import SynchronizedQueue
 
 __all__ = ["Address", "NetworkStats", "Network"]
@@ -35,21 +40,24 @@ class Address:
         return f"{self.host}:{self.port}"
 
 
-@dataclasses.dataclass
-class NetworkStats:
-    """Fabric-wide traffic counters."""
+class NetworkStats(RegistryStats):
+    """Fabric-wide traffic counters (``net.*`` in the registry)."""
 
-    messages: int = 0
-    bytes: int = 0
-    dropped: int = 0
+    fields = ("messages", "bytes", "dropped", "unpicklable")
+    default_prefix = "net"
 
     def record(self, payload: Any) -> None:
-        """Account one delivered message (pickle size approximates bytes)."""
-        self.messages += 1
-        try:
-            self.bytes += len(pickle.dumps(payload))
-        except Exception:  # unpicklable payloads still count as messages
-            pass
+        """Account one delivered message.
+
+        Pickle size approximates wire bytes; an unpicklable payload falls
+        back to ``sys.getsizeof`` and bumps the ``unpicklable`` counter —
+        visible degradation instead of the silent drop this used to be.
+        """
+        self._counters["messages"].inc()
+        size = payload_size(
+            payload, on_unpicklable=self._counters["unpicklable"].inc
+        )
+        self._counters["bytes"].inc(size)
 
 
 class Network:
@@ -57,18 +65,44 @@ class Network:
 
     ``drop_rate`` applies to datagrams only (connections are reliable, as
     TCP is to applications).  The drop decision stream is seeded, so a
-    test that loses the 3rd datagram always loses the 3rd datagram.
+    test that loses the 3rd datagram always loses the 3rd datagram.  With
+    a ``context``, the stream derives from the run's root seed (stream
+    name ``net.drops``) and ``seed`` is ignored.
     """
 
-    def __init__(self, drop_rate: float = 0.0, seed: int = 0) -> None:
+    def __init__(
+        self,
+        drop_rate: float = 0.0,
+        seed: int = 0,
+        context: Optional[RunContext] = None,
+    ) -> None:
         if not 0.0 <= drop_rate < 1.0:
             raise ValueError("drop_rate must be in [0, 1)")
         self.drop_rate = drop_rate
-        self._rng = np.random.default_rng(seed)
+        self.context = context
+        if context is not None:
+            self._rng = context.rng.stream("net.drops")
+            self.stats = NetworkStats(registry=context.registry)
+            self._tracer = context.tracer
+        else:
+            self._rng = np.random.default_rng(seed)
+            self.stats = NetworkStats()
+            self._tracer = None
         self._listeners: Dict[Address, SynchronizedQueue] = {}
         self._datagram_boxes: Dict[Address, SynchronizedQueue] = {}
         self._lock = threading.Lock()
-        self.stats = NetworkStats()
+
+    def _trace_instant(self, name: str, args: Dict[str, Any]) -> None:
+        # No explicit tid: the event lands on the emitting thread's lane,
+        # which is deterministic wherever substrate threads carry stable
+        # names (rank-N, rpc-serve-N, MainThread).
+        if self._tracer is not None:
+            self._tracer.instant(name, cat="net", args=args)
+
+    def record_delivery(self, payload: Any, kind: str = "stream") -> None:
+        """Account one delivered payload and trace it (sockets call this)."""
+        self.stats.record(payload)
+        self._trace_instant("net.deliver", {"kind": kind})
 
     # -- connection-oriented plumbing (used by sockets.ServerSocket) -------
     def bind_listener(self, address: Address) -> SynchronizedQueue:
@@ -117,12 +151,21 @@ class Network:
         """
         if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
             self.stats.dropped += 1
+            self._trace_instant(
+                "net.drop", {"src": str(source), "dst": str(dest)}
+            )
             return False
         with self._lock:
             box = self._datagram_boxes.get(dest)
         if box is None:
             self.stats.dropped += 1
+            self._trace_instant(
+                "net.drop", {"src": str(source), "dst": str(dest)}
+            )
             return False
         self.stats.record(payload)
+        self._trace_instant(
+            "net.datagram", {"src": str(source), "dst": str(dest)}
+        )
         box.put((source, payload))
         return True

@@ -77,7 +77,7 @@ class Connection:
     def send(self, obj: Any) -> None:
         """Send one message; raises ``BrokenPipeError`` after a close."""
         try:
-            self._network.stats.record(obj)
+            self._network.record_delivery(obj, kind="stream")
             self._send_q.put(obj)
         except QueueClosed as exc:
             raise BrokenPipeError(f"connection to {self.peer} closed") from exc

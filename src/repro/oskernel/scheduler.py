@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.oskernel.process import Process, ProcessState
+from repro.runtime import RunContext
 
 __all__ = [
     "Scheduler",
@@ -208,8 +209,49 @@ class Metrics:
         return max(p.completion_time for p in self.processes)  # type: ignore[type-var]
 
 
-def simulate(processes: Sequence[Process], scheduler: Scheduler) -> Metrics:
-    """Run ``processes`` (copied; inputs are untouched) under ``scheduler``."""
+def _publish(
+    metrics: Metrics, scheduler: Scheduler, context: RunContext
+) -> None:
+    """Mirror one run's outcome into the run-wide registry and trace.
+
+    Gantt slices become spans on a per-policy logical thread whose time
+    base is the simulated tick (1 tick = 1 µs in the trace), so the
+    schedule renders as a lane in ``chrome://tracing`` next to the other
+    subsystems' events.
+    """
+    registry = context.registry
+    registry.counter("sched.runs").inc()
+    registry.counter("sched.context_switches").inc(metrics.context_switches)
+    for p in metrics.processes:
+        registry.histogram("sched.turnaround").observe(float(p.turnaround))
+        registry.histogram("sched.waiting").observe(float(p.waiting))
+        registry.histogram("sched.response").observe(float(p.response))
+    registry.gauge(f"sched.{scheduler.name}.avg_waiting").set(
+        metrics.avg_waiting
+    )
+    registry.gauge(f"sched.{scheduler.name}.avg_turnaround").set(
+        metrics.avg_turnaround
+    )
+    tid = f"sched.{scheduler.name}"
+    for pid, start, end in metrics.gantt:
+        context.tracer.begin(
+            f"pid-{pid}", cat="sched", tid=tid, args={"pid": pid},
+            ts_us=start,
+        )
+        context.tracer.end(f"pid-{pid}", cat="sched", tid=tid, ts_us=end)
+
+
+def simulate(
+    processes: Sequence[Process],
+    scheduler: Scheduler,
+    context: Optional[RunContext] = None,
+) -> Metrics:
+    """Run ``processes`` (copied; inputs are untouched) under ``scheduler``.
+
+    With a ``context``, the run's aggregates land in the shared registry
+    (``sched.*`` counters/histograms/gauges) and every dispatch decision
+    — each Gantt slice — is emitted to the shared trace.
+    """
     procs = [p.reset() for p in processes]
     if not procs:
         raise ValueError("need at least one process")
@@ -284,7 +326,10 @@ def simulate(processes: Sequence[Process], scheduler: Scheduler) -> Metrics:
             current = None
             quantum_left = None
 
-    return Metrics(processes=procs, gantt=gantt, context_switches=switches)
+    metrics = Metrics(processes=procs, gantt=gantt, context_switches=switches)
+    if context is not None:
+        _publish(metrics, scheduler, context)
+    return metrics
 
 
 def compare(

@@ -17,6 +17,7 @@ import textwrap
 from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.pedagogy.exercise import Exercise, ExerciseResult
+from repro.runtime import RunContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis import Finding
@@ -96,6 +97,12 @@ class Autograder:
         *without running*: the checker never executes statically-racy code.
         Suppressions (``# pdc-lint: disable=... -- why``) pass the gate, so
         a student can ship a justified exception — and defend it in review.
+    context:
+        A :class:`~repro.runtime.RunContext` to instrument grading with:
+        each exercise check runs inside a ``lab.<exercise-id>`` trace span
+        and records its score under ``lab.<exercise-id>.fraction`` in the
+        run's metric registry, so one lab session exports one coherent
+        trace + metrics dump (``context.save(dir)``).
     """
 
     def __init__(
@@ -104,6 +111,7 @@ class Autograder:
         static_precheck: bool = False,
         precheck_select: Optional[Sequence[str]] = None,
         precheck_gate: bool = False,
+        context: Optional["RunContext"] = None,
     ) -> None:
         ids = [e.exercise_id for e in exercises]
         if len(set(ids)) != len(ids):
@@ -114,6 +122,7 @@ class Autograder:
             list(precheck_select) if precheck_select is not None else None
         )
         self.precheck_gate = precheck_gate
+        self.context = context
 
     def _submission_source(self, submitted: Any) -> Optional[str]:
         """The analyzable source of a submission, if it has any."""
@@ -183,7 +192,19 @@ class Autograder:
                         )
                     )
                     continue
-            results.append(exercise.grade(submitted))
+            if self.context is not None:
+                with self.context.tracer.span(
+                    f"lab.{eid}", cat="pedagogy", tid="autograder",
+                    args={"student": student},
+                ):
+                    result = exercise.grade(submitted)
+                self.context.registry.gauge(f"lab.{eid}.fraction").set(
+                    result.fraction
+                )
+                self.context.registry.counter("lab.graded").inc()
+            else:
+                result = exercise.grade(submitted)
+            results.append(result)
         return GradeReport(
             student=student, results=results, static_findings=static_findings
         )

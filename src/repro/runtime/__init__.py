@@ -1,0 +1,51 @@
+"""repro.runtime — the unified deterministic execution & observability substrate.
+
+The cross-cutting services every simulation subsystem needs and used to
+reinvent incompatibly:
+
+- :mod:`repro.runtime.metrics` — a :class:`MetricRegistry` of typed
+  counters/gauges/histograms under hierarchical dotted names, plus the
+  :class:`RegistryStats` adapter base that keeps the legacy per-subsystem
+  stats classes API-compatible while routing their numbers into one
+  registry, and the :func:`payload_size` helper for honest byte
+  accounting.
+- :mod:`repro.runtime.clock` — :class:`Clock` /
+  :class:`MonotonicClock` / :class:`VirtualClock`: time as an injected
+  dependency, so simulations run deterministic and fast.
+- :mod:`repro.runtime.rng` — :class:`RngService`: one root seed, named
+  child streams, so a single seed reproduces a multi-subsystem lab.
+- :mod:`repro.runtime.tracing` — :class:`Tracer`: spans and instants
+  with Chrome-trace (``chrome://tracing`` / Perfetto) and JSONL export
+  and a canonical digest for replay-equality checks.
+- :mod:`repro.runtime.context` — :class:`RunContext`: the bundle of all
+  four that instrumented subsystems accept as ``context=``.
+"""
+
+from repro.runtime.clock import Clock, MonotonicClock, VirtualClock
+from repro.runtime.context import RunContext
+from repro.runtime.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    RegistryStats,
+    payload_size,
+)
+from repro.runtime.rng import RngService
+from repro.runtime.tracing import TraceEvent, Tracer
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "MonotonicClock",
+    "RegistryStats",
+    "RngService",
+    "RunContext",
+    "TraceEvent",
+    "Tracer",
+    "VirtualClock",
+    "payload_size",
+]

@@ -1,0 +1,103 @@
+"""The run context: one object that makes a whole lab run coherent.
+
+A :class:`RunContext` bundles the four cross-cutting services —
+:class:`~repro.runtime.metrics.MetricRegistry`,
+:class:`~repro.runtime.clock.Clock`,
+:class:`~repro.runtime.rng.RngService`, and
+:class:`~repro.runtime.tracing.Tracer` — behind one constructor argument.
+Every instrumented subsystem accepts ``context=None``: bare construction
+keeps the old standalone behaviour (private counters, wall clock, own
+seed); passing one shared context makes the run *observable as a whole*
+(one ``snapshot()``, one trace) and *reproducible as a whole* (one root
+seed, one clock).
+
+:meth:`RunContext.deterministic` is the instructor-facing entry point:
+virtual clock + fixed seed, so two runs of the same lab export
+byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Dict, Optional
+
+from repro.runtime.clock import Clock, MonotonicClock, VirtualClock
+from repro.runtime.metrics import MetricRegistry, payload_size
+from repro.runtime.rng import RngService
+from repro.runtime.tracing import Tracer
+
+__all__ = ["RunContext"]
+
+
+class RunContext:
+    """Registry + clock + rng + tracer, threaded through a run."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        clock: Optional[Clock] = None,
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        label: str = "run",
+    ) -> None:
+        self.seed = int(seed)
+        self.label = label
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.rng = RngService(self.seed)
+        self.tracer = tracer if tracer is not None else Tracer(clock=self.clock)
+
+    @classmethod
+    def deterministic(cls, seed: int = 0, label: str = "run") -> "RunContext":
+        """A context whose time is virtual: same seed ⇒ same trace bytes."""
+        return cls(seed=seed, clock=VirtualClock(), label=label)
+
+    # -- convenience passthroughs ---------------------------------------------
+    def payload_size(
+        self, payload: Any, counter_name: str = "runtime.unpicklable"
+    ) -> int:
+        """Size a payload; unpicklable ones bump ``counter_name``."""
+        return payload_size(
+            payload, on_unpicklable=self.registry.counter(counter_name).inc
+        )
+
+    def snapshot(self, prefix: str = "") -> Dict[str, Any]:
+        """The registry's full (or prefixed) metrics view."""
+        return self.registry.snapshot(prefix)
+
+    # -- run artifacts ----------------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        """A JSON-ready summary: seed, metrics, trace shape and digest."""
+        return {
+            "label": self.label,
+            "seed": self.seed,
+            "metrics": self.snapshot(),
+            "trace_events": len(self.tracer),
+            "trace_digest": self.tracer.digest(),
+        }
+
+    def save(self, directory: str) -> Dict[str, str]:
+        """Write ``metrics.json``, ``trace.json``, ``trace.jsonl``.
+
+        Returns the paths written, keyed by artifact name — the one-call
+        "give me everything about this lab run" an instructor wants.
+        """
+        os.makedirs(directory, exist_ok=True)
+        paths = {
+            "metrics": os.path.join(directory, "metrics.json"),
+            "trace": os.path.join(directory, "trace.json"),
+            "trace_jsonl": os.path.join(directory, "trace.jsonl"),
+        }
+        with open(paths["metrics"], "w", encoding="utf-8") as fh:
+            json.dump(self.report(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        self.tracer.write_chrome_trace(paths["trace"])
+        self.tracer.write_jsonl(paths["trace_jsonl"])
+        return paths
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunContext(label={self.label!r}, seed={self.seed}, "
+            f"metrics={len(self.registry)}, events={len(self.tracer)})"
+        )

@@ -1,0 +1,294 @@
+"""Typed metrics with hierarchical names — the substrate's one meter.
+
+Before this module, every subsystem grew its own counters ad hoc
+(``NetworkStats``, ``KernelStats``, scheduler ``Metrics``, the RPC
+server's lock-guarded ``calls_served`` …), which made cross-subsystem
+questions — "how many messages did *this whole lab* send?" — unanswerable
+without bespoke glue.  A :class:`MetricRegistry` holds typed instruments
+under dotted hierarchical names (``net.messages``,
+``gpu.kernel.transactions``, ``sched.turnaround``), and
+:meth:`MetricRegistry.snapshot` reads all of them at once.
+
+The legacy per-subsystem stats classes survive as thin adapters built on
+:class:`RegistryStats`: their fields become properties backed by registry
+counters, so ``cache.stats.misses`` keeps working while the same number
+is visible as ``arch.cache.misses`` in the shared registry.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "RegistryStats",
+    "payload_size",
+]
+
+
+class Counter:
+    """A monotonically-intended integer counter (settable for adapters)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        with self._lock:
+            self._value += amount
+
+    def set(self, value: int) -> None:
+        """Overwrite the value (used by the legacy-stats adapters)."""
+        with self._lock:
+            self._value = int(value)
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A last-write-wins numeric instrument (queue depth, score, load)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        """Adjust the level by ``amount`` (may be negative)."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current level."""
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Streaming summary of observations: count/sum/min/max/mean.
+
+    Deliberately bucket-free — the labs care about aggregate shape
+    (mean turnaround, worst waiting time), and a bucket scheme would be
+    one more thing to teach before it is needed.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        v = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += v
+            self.min = v if self.min is None else min(self.min, v)
+            self.max = v if self.max is None else max(self.max, v)
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 before the first)."""
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """The snapshot form: count, sum, min, max, mean."""
+        with self._lock:
+            mean = self.total / self.count if self.count else 0.0
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min if self.min is not None else 0.0,
+                "max": self.max if self.max is not None else 0.0,
+                "mean": mean,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricRegistry:
+    """A namespace of instruments, created on first use.
+
+    Names are dotted paths; the registry enforces that one name keeps one
+    instrument type for its lifetime (asking for ``counter("x")`` after
+    ``gauge("x")`` is a bug worth failing loudly on).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, factory: Callable[[str], Any], kind: str) -> Any:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is None:
+                existing = factory(name)
+                self._instruments[name] = existing
+            elif existing.kind != kind:
+                raise TypeError(
+                    f"metric {name!r} is a {existing.kind}, not a {kind}"
+                )
+            return existing
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created if new)."""
+        return self._get(name, Counter, "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created if new)."""
+        return self._get(name, Gauge, "gauge")
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created if new)."""
+        return self._get(name, Histogram, "histogram")
+
+    def names(self, prefix: str = "") -> List[str]:
+        """Sorted instrument names, optionally under a dotted prefix."""
+        with self._lock:
+            all_names = sorted(self._instruments)
+        if not prefix:
+            return all_names
+        return [
+            n for n in all_names if n == prefix or n.startswith(prefix + ".")
+        ]
+
+    def snapshot(self, prefix: str = "") -> Dict[str, Any]:
+        """Read every instrument at once: ``{name: value-or-summary}``.
+
+        Counters and gauges snapshot to their scalar value; histograms to
+        their :meth:`Histogram.summary` dict.  ``prefix`` restricts the
+        view to one subtree (``snapshot("net")``).
+        """
+        out: Dict[str, Any] = {}
+        for name in self.names(prefix):
+            with self._lock:
+                instrument = self._instruments[name]
+            if instrument.kind == "histogram":
+                out[name] = instrument.summary()
+            else:
+                out[name] = instrument.value
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+
+def _counter_property(field: str) -> property:
+    def fget(self: "RegistryStats") -> int:
+        return self._counters[field].value
+
+    def fset(self: "RegistryStats", value: int) -> None:
+        self._counters[field].set(value)
+
+    return property(fget, fset, doc=f"Registry-backed counter {field!r}.")
+
+
+class RegistryStats:
+    """Base for the legacy stats surfaces: fields backed by counters.
+
+    Subclasses declare ``fields`` (a tuple of counter names) and
+    ``default_prefix``; each field becomes a read/write property so
+    existing call sites (``stats.misses += 1``) keep working unchanged,
+    while the same numbers land in the owning registry under
+    ``<prefix>.<field>``.  Constructed bare, an instance carries a private
+    registry — the pre-refactor behaviour; constructed with a shared
+    registry, it joins the run-wide namespace.
+    """
+
+    fields: Tuple[str, ...] = ()
+    default_prefix = "stats"
+
+    def __init__(
+        self,
+        registry: Optional[MetricRegistry] = None,
+        prefix: Optional[str] = None,
+    ) -> None:
+        self._registry = registry if registry is not None else MetricRegistry()
+        self._prefix = prefix or self.default_prefix
+        self._counters = {
+            f: self._registry.counter(f"{self._prefix}.{f}")
+            for f in self.fields
+        }
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        for field in cls.fields:
+            if not isinstance(getattr(cls, field, None), property):
+                setattr(cls, field, _counter_property(field))
+
+    @property
+    def registry(self) -> MetricRegistry:
+        """The registry these counters live in."""
+        return self._registry
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain ``{field: value}`` view (what the old dataclasses held)."""
+        return {f: self._counters[f].value for f in self.fields}
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RegistryStats):
+            return (
+                type(self) is type(other) and self.as_dict() == other.as_dict()
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"{type(self).__name__}({inner})"
+
+
+def payload_size(
+    payload: Any, on_unpicklable: Optional[Callable[[], None]] = None
+) -> int:
+    """Byte size of a payload as the wire would see it.
+
+    ``len(pickle.dumps(payload))`` when the payload pickles; otherwise
+    ``sys.getsizeof`` as an honest approximation, after invoking
+    ``on_unpicklable`` (typically an ``unpicklable`` counter's ``inc``) so
+    the fallback is *visible* instead of silently dropping byte accounting
+    the way the old ``except Exception: pass`` did.
+    """
+    try:
+        return len(pickle.dumps(payload))
+    except Exception:  # noqa: BLE001 - any pickling failure takes the fallback
+        if on_unpicklable is not None:
+            on_unpicklable()
+        return int(sys.getsizeof(payload))

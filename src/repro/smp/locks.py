@@ -9,8 +9,10 @@ measurement" thread that runs through the LAU case-study course (paper
 from __future__ import annotations
 
 import threading
-import time
 from typing import Optional
+
+from repro.runtime import RunContext
+from repro.runtime.clock import Clock, MonotonicClock
 
 __all__ = [
     "InstrumentedLock",
@@ -33,13 +35,25 @@ class InstrumentedLock:
         ``acquire`` succeeds on the fast path).
     """
 
-    def __init__(self, name: str = "lock") -> None:
+    def __init__(
+        self, name: str = "lock", context: Optional[RunContext] = None
+    ) -> None:
         self.name = name
         self._lock = threading.Lock()
         self._meta = threading.Lock()
         self.acquisitions = 0
         self.contended = 0
         self._owner: Optional[int] = None
+        if context is not None:
+            self._acq_counter = context.registry.counter(
+                f"smp.lock.{name}.acquisitions"
+            )
+            self._cont_counter = context.registry.counter(
+                f"smp.lock.{name}.contended"
+            )
+        else:
+            self._acq_counter = None
+            self._cont_counter = None
 
     def acquire(self, timeout: Optional[float] = None) -> bool:
         """Acquire the lock; returns ``False`` only on timeout."""
@@ -47,6 +61,8 @@ class InstrumentedLock:
         if not fast:
             with self._meta:
                 self.contended += 1
+            if self._cont_counter is not None:
+                self._cont_counter.inc()
             if timeout is None:
                 self._lock.acquire()
             elif not self._lock.acquire(timeout=timeout):
@@ -54,6 +70,8 @@ class InstrumentedLock:
         with self._meta:
             self.acquisitions += 1
             self._owner = threading.get_ident()
+        if self._acq_counter is not None:
+            self._acq_counter.inc()
         return True
 
     def release(self) -> None:
@@ -103,11 +121,14 @@ class SpinLock:
     the quantity a cache-coherence discussion wants to minimize.
     """
 
-    def __init__(self, yield_every: int = 64) -> None:
+    def __init__(
+        self, yield_every: int = 64, clock: Optional[Clock] = None
+    ) -> None:
         self._flag = threading.Lock()  # stands in for the TAS word
         self.spins = 0
         self._meta = threading.Lock()
         self._yield_every = max(1, yield_every)
+        self._clock = clock if clock is not None else MonotonicClock()
 
     def acquire(self) -> None:
         """Spin (test-and-set loop) until the lock is obtained."""
@@ -115,7 +136,7 @@ class SpinLock:
         while not self._flag.acquire(blocking=False):
             local_spins += 1
             if local_spins % self._yield_every == 0:
-                time.sleep(0)  # yield the GIL so the holder can progress
+                self._clock.sleep(0)  # yield the GIL so the holder can progress
         if local_spins:
             with self._meta:
                 self.spins += local_spins
@@ -186,26 +207,32 @@ class CountingSemaphore:
     lab-facing implementation.
     """
 
-    def __init__(self, permits: int = 1) -> None:
+    def __init__(
+        self, permits: int = 1, clock: Optional[Clock] = None
+    ) -> None:
         if permits < 0:
             raise ValueError("permits must be non-negative")
         self._permits = permits
         self._cond = threading.Condition()
         self._waiters = 0
+        self._clock = clock if clock is not None else MonotonicClock()
 
     def acquire(self, timeout: Optional[float] = None) -> bool:
         """P / wait: take a permit, blocking while none are available."""
         with self._cond:
             self._waiters += 1
             try:
-                deadline = None if timeout is None else time.monotonic() + timeout
+                deadline = (
+                    None if timeout is None
+                    else self._clock.now() + timeout
+                )
                 while self._permits == 0:
                     remaining = None
                     if deadline is not None:
-                        remaining = deadline - time.monotonic()
+                        remaining = deadline - self._clock.now()
                         if remaining <= 0:
                             return False
-                    self._cond.wait(remaining)
+                    self._clock.wait_on(self._cond, remaining)
                 self._permits -= 1
                 return True
             finally:

@@ -1,0 +1,241 @@
+"""End-to-end RunContext integration across the simulation subsystems.
+
+Covers the acceptance criteria of the runtime substrate:
+
+- a ``dist`` lab (RPC + name service + lossy datagrams) runs under one
+  :class:`~repro.runtime.RunContext` and exports a well-formed
+  Chrome-trace JSON whose spans nest;
+- two runs with the same root seed produce identical trace digests;
+- all six legacy stats surfaces land in one ``MetricRegistry.snapshot``;
+- a same-seed ``mp`` + ``net`` lab double run is byte-identical;
+- ``run_spmd`` honours its deadline in *virtual* time.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.arch.cache import Cache, CacheConfig
+from repro.dist.middleware import NameService, RpcServer, rpc_proxy
+from repro.gpu import Device, GlobalArray, launch
+from repro.mp.runtime import World, run_spmd
+from repro.net.simnet import Address, Network
+from repro.net.sockets import DatagramSocket
+from repro.oskernel.process import Process
+from repro.oskernel.scheduler import RoundRobin, simulate
+from repro.runtime import RunContext
+
+
+class _KvStore:
+    """The classic middleware-lab exported object."""
+
+    def __init__(self):
+        self._data = {}
+        self._lock = threading.Lock()
+
+    def put(self, key, value):
+        with self._lock:
+            self._data[key] = value
+        return True
+
+    def get(self, key):
+        with self._lock:
+            return self._data.get(key)
+
+
+def _run_dist_lab(seed: int) -> RunContext:
+    """RPC calls through a name service plus a lossy datagram burst."""
+    ctx = RunContext.deterministic(seed=seed, label="dist-lab")
+    network = Network(drop_rate=0.3, context=ctx)
+
+    names = NameService(context=ctx)
+    names.register("kv", "server", 9000)
+
+    with RpcServer(network, Address("server", 9000), _KvStore(), context=ctx):
+        host, port = names.lookup("kv")
+        client = rpc_proxy(network, Address(host, port))
+        for i in range(4):
+            client.put(f"k{i}", i * i)
+        assert client.get("k3") == 9
+        client._close()
+
+    # Lossy datagrams: the drop decisions come from the seeded stream.
+    sink = DatagramSocket(network, Address("sink", 1))
+    src = DatagramSocket(network, Address("src", 1))
+    for i in range(20):
+        src.sendto({"n": i}, Address("sink", 1))
+    sink.close()
+    src.close()
+    return ctx
+
+
+class TestDistLab:
+    def test_trace_is_well_formed_chrome_json(self):
+        ctx = _run_dist_lab(seed=11)
+        doc = json.loads(ctx.tracer.canonical_bytes())
+        events = doc["traceEvents"]
+        assert events, "lab produced no trace events"
+        for e in events:
+            assert e["ph"] in ("B", "E", "i", "M")
+            if e["ph"] != "M":
+                assert isinstance(e["tid"], int)
+                assert isinstance(e["ts"], int)
+        # The RPC spans made it onto the unified timeline.
+        assert any(e.get("name", "").startswith("rpc.") for e in events)
+        assert any(e.get("name") == "net.drop" for e in events)
+
+    def test_spans_nest(self):
+        ctx = _run_dist_lab(seed=11)
+        assert ctx.tracer.validate_nesting() == []
+
+    def test_same_seed_same_digest(self):
+        assert _run_dist_lab(seed=42).tracer.digest() == \
+            _run_dist_lab(seed=42).tracer.digest()
+
+    def test_different_seed_different_digest(self):
+        # Different drop decisions reshape the datagram trace.
+        assert _run_dist_lab(seed=1).tracer.digest() != \
+            _run_dist_lab(seed=2).tracer.digest()
+
+    def test_metrics_account_the_lab(self):
+        snap = _run_dist_lab(seed=11).snapshot()
+        assert snap["dist.rpc.calls"] == 5  # 4 puts + 1 get
+        assert snap["dist.nameservice.lookups"] == 1
+        assert snap["net.dropped"] > 0
+        assert snap["net.messages"] > 0
+
+
+def _saxpy(ctx, out):
+    i = ctx.global_id()
+    out[i] = 2.0 * float(i)
+
+
+class TestSixSurfacesOneSnapshot:
+    def test_all_legacy_stats_in_one_registry(self):
+        ctx = RunContext.deterministic(seed=5, label="omni")
+
+        # 1. net: NetworkStats
+        network = Network(context=ctx)
+        network.record_delivery({"hello": 1})
+
+        # 2. gpu: KernelStats
+        device = Device(context=ctx)
+        out = GlobalArray.zeros(64)
+        launch(device, _saxpy, grid=2, block=32)(out)
+
+        # 3. oskernel: scheduler Metrics
+        simulate(
+            [Process(1, 0, 5), Process(2, 1, 3)],
+            RoundRobin(quantum=2),
+            context=ctx,
+        )
+
+        # 4. mp: World message trace
+        def ring(comm):
+            right = (comm.rank + 1) % comm.size
+            comm.send(comm.rank, dest=right)
+            return comm.recv()
+
+        run_spmd(3, ring, context=ctx)
+
+        # 5. dist.middleware: RPC counters
+        with RpcServer(
+            network, Address("s", 1), _KvStore(), context=ctx
+        ):
+            proxy = rpc_proxy(network, Address("s", 1))
+            proxy.put("a", 1)
+            proxy._close()
+
+        # 6. arch: CacheStats
+        cache = Cache(CacheConfig(), context=ctx)
+        for addr in (0, 64, 0):
+            cache.access(addr)
+
+        snap = ctx.snapshot()
+        assert snap["net.messages"] >= 1
+        assert snap["gpu.kernel._saxpy.threads"] == 64
+        assert snap["gpu.launches"] == 1
+        assert snap["sched.runs"] == 1
+        assert snap["sched.turnaround"]["count"] == 2
+        assert snap["mp.messages"] == 3
+        assert snap["dist.rpc.calls"] >= 1
+        assert snap["arch.cache.accesses"] == 3
+        assert snap["arch.cache.hits"] == 1
+
+        # Legacy attribute reads still work and agree with the registry.
+        assert network.stats.messages == snap["net.messages"]
+        assert cache.stats.accesses == 3
+        assert device.last_stats().threads == 64
+
+
+def _run_mp_net_lab(seed: int) -> RunContext:
+    """A ring exchange whose payloads also cross the simulated network."""
+    ctx = RunContext.deterministic(seed=seed, label="mp-net-lab")
+    network = Network(drop_rate=0.25, context=ctx)
+
+    def ring(comm):
+        right = (comm.rank + 1) % comm.size
+        comm.send({"from": comm.rank}, dest=right)
+        return comm.recv()["from"]
+
+    results = run_spmd(4, ring, context=ctx)
+    assert sorted(results) == [0, 1, 2, 3]
+
+    box = DatagramSocket(network, Address("box", 7))
+    tx = DatagramSocket(network, Address("tx", 7))
+    for i in range(12):
+        tx.sendto(i, Address("box", 7))
+    box.close()
+    tx.close()
+    return ctx
+
+
+class TestMpNetDeterminism:
+    def test_same_seed_byte_identical_traces(self):
+        a = _run_mp_net_lab(seed=7)
+        b = _run_mp_net_lab(seed=7)
+        assert a.tracer.canonical_bytes() == b.tracer.canonical_bytes()
+        assert a.tracer.digest() == b.tracer.digest()
+
+    def test_exports_round_trip(self, tmp_path):
+        ctx = _run_mp_net_lab(seed=7)
+        paths = ctx.save(str(tmp_path))
+        doc = json.loads(open(paths["trace"]).read())
+        assert any(e.get("name") == "mp.run_spmd" for e in doc["traceEvents"])
+        metrics = json.loads(open(paths["metrics"]).read())
+        assert metrics["metrics"]["mp.messages"] == 4
+
+
+class TestVirtualDeadline:
+    def test_run_spmd_times_out_in_virtual_time(self):
+        ctx = RunContext.deterministic(seed=0)
+        release = threading.Event()
+
+        def stuck(comm):
+            release.wait(timeout=30)
+
+        # Real time barely passes; the Timer jumps the virtual clock past
+        # the deadline while the driver waits on the join condition.
+        timer = threading.Timer(0.05, ctx.clock.advance, args=(10.0,))
+        timer.start()
+        try:
+            with pytest.raises(TimeoutError):
+                run_spmd(2, stuck, timeout=5.0, context=ctx)
+        finally:
+            release.set()
+            timer.cancel()
+
+
+class TestUnpicklableAccounting:
+    def test_datagram_with_unpicklable_payload_is_counted(self):
+        ctx = RunContext.deterministic(seed=0)
+        network = Network(context=ctx)
+        box = DatagramSocket(network, Address("b", 1))
+        tx = DatagramSocket(network, Address("t", 1))
+        assert tx.sendto(lambda: None, Address("b", 1)) is True
+        assert network.stats.unpicklable == 1
+        assert network.stats.messages == 1
+        assert network.stats.bytes > 0
+        box.close()
+        tx.close()

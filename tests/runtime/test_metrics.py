@@ -1,0 +1,133 @@
+"""MetricRegistry: typed instruments, hierarchical names, snapshots."""
+
+import threading
+
+import pytest
+
+from repro.runtime import MetricRegistry, RegistryStats, payload_size
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricRegistry()
+        c = reg.counter("net.messages")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_same_name_same_instrument(self):
+        reg = MetricRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricRegistry().counter("")
+
+    def test_thread_safety(self):
+        reg = MetricRegistry()
+        c = reg.counter("hot")
+
+        def worker():
+            for _ in range(5_000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 20_000
+
+
+class TestGaugeHistogram:
+    def test_gauge_set_add(self):
+        g = MetricRegistry().gauge("queue.depth")
+        g.set(3)
+        g.add(-1)
+        assert g.value == 2.0
+
+    def test_histogram_summary(self):
+        h = MetricRegistry().histogram("sched.turnaround")
+        for v in (1.0, 2.0, 9.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["min"] == 1.0
+        assert s["max"] == 9.0
+        assert s["mean"] == pytest.approx(4.0)
+
+    def test_empty_histogram_summary(self):
+        s = MetricRegistry().histogram("h").summary()
+        assert s == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+
+
+class TestSnapshot:
+    def test_snapshot_reads_everything(self):
+        reg = MetricRegistry()
+        reg.counter("net.messages").inc(2)
+        reg.gauge("lab.score").set(0.5)
+        reg.histogram("sched.waiting").observe(7.0)
+        snap = reg.snapshot()
+        assert snap["net.messages"] == 2
+        assert snap["lab.score"] == 0.5
+        assert snap["sched.waiting"]["count"] == 1
+
+    def test_prefix_filter(self):
+        reg = MetricRegistry()
+        reg.counter("net.messages")
+        reg.counter("net.bytes")
+        reg.counter("gpu.launches")
+        assert set(reg.snapshot("net")) == {"net.messages", "net.bytes"}
+        # Prefix match is per dotted segment, not per character.
+        reg.counter("netx.other")
+        assert "netx.other" not in reg.snapshot("net")
+
+
+class _DemoStats(RegistryStats):
+    fields = ("hits", "misses")
+    default_prefix = "demo"
+
+
+class TestRegistryStats:
+    def test_fields_read_write_like_attributes(self):
+        s = _DemoStats()
+        s.hits += 1
+        s.hits += 1
+        s.misses = 5
+        assert s.hits == 2
+        assert s.misses == 5
+        assert s.as_dict() == {"hits": 2, "misses": 5}
+
+    def test_shared_registry_exposes_fields(self):
+        reg = MetricRegistry()
+        s = _DemoStats(registry=reg)
+        s.hits += 3
+        assert reg.snapshot()["demo.hits"] == 3
+
+    def test_equality_by_values(self):
+        a, b = _DemoStats(), _DemoStats()
+        assert a == b
+        a.hits += 1
+        assert a != b
+
+    def test_repr_shows_values(self):
+        s = _DemoStats()
+        s.hits += 1
+        assert "hits=1" in repr(s)
+
+
+class TestPayloadSize:
+    def test_picklable_payload(self):
+        assert payload_size({"a": 1}) > 0
+
+    def test_unpicklable_invokes_callback_and_still_sizes(self):
+        calls = []
+        size = payload_size(lambda: None, on_unpicklable=lambda: calls.append(1))
+        assert size > 0
+        assert calls == [1]

@@ -1,0 +1,139 @@
+"""Tracer: span/instant events, Chrome-trace export, deterministic digest."""
+
+import json
+
+from repro.runtime import RunContext, Tracer, VirtualClock
+
+
+class TestEmission:
+    def test_span_emits_begin_end(self):
+        tracer = Tracer(clock=VirtualClock())
+        with tracer.span("work", cat="test", tid="t0"):
+            tracer.instant("tick", cat="test", tid="t0")
+        phases = [(e.ph, e.name) for e in tracer.events()]
+        assert phases == [("B", "work"), ("i", "tick"), ("E", "work")]
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(clock=VirtualClock(), enabled=False)
+        with tracer.span("work"):
+            tracer.instant("tick")
+        assert len(tracer) == 0
+
+    def test_seq_is_per_tid(self):
+        tracer = Tracer(clock=VirtualClock())
+        tracer.instant("a", tid="t0")
+        tracer.instant("b", tid="t1")
+        tracer.instant("c", tid="t0")
+        seqs = {(e.tid, e.name): e.seq for e in tracer.events()}
+        assert seqs[("t0", "a")] == 0
+        assert seqs[("t1", "b")] == 0
+        assert seqs[("t0", "c")] == 1
+
+    def test_explicit_ts_override(self):
+        tracer = Tracer(clock=VirtualClock())
+        tracer.instant("sim", tid="sched", ts_us=42)
+        assert tracer.events()[0].ts == 42
+
+    def test_virtual_clock_timestamps(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock)
+        tracer.instant("a", tid="t")
+        clock.advance(0.001)
+        tracer.instant("b", tid="t")
+        ts = [e.ts for e in tracer.events()]
+        assert ts == [0, 1000]
+
+
+class TestExport:
+    def test_chrome_trace_shape(self):
+        tracer = Tracer(clock=VirtualClock())
+        with tracer.span("outer", tid="t0", args={"k": 1}):
+            pass
+        doc = tracer.to_chrome_trace()
+        assert "traceEvents" in doc
+        metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert metadata[0]["args"]["name"] == "t0"
+        spans = [e for e in doc["traceEvents"] if e["ph"] in "BE"]
+        assert [e["ph"] for e in spans] == ["B", "E"]
+        assert all(isinstance(e["tid"], int) for e in spans)
+
+    def test_canonical_bytes_is_valid_json(self):
+        tracer = Tracer(clock=VirtualClock())
+        tracer.instant("x", tid="t")
+        doc = json.loads(tracer.canonical_bytes())
+        assert doc["traceEvents"]
+
+    def test_digest_stable_for_same_events(self):
+        def build():
+            tracer = Tracer(clock=VirtualClock())
+            with tracer.span("a", tid="t0"):
+                tracer.instant("b", tid="t0", args={"n": 1})
+            return tracer
+
+        assert build().digest() == build().digest()
+
+    def test_digest_differs_for_different_events(self):
+        t1 = Tracer(clock=VirtualClock())
+        t1.instant("a", tid="t")
+        t2 = Tracer(clock=VirtualClock())
+        t2.instant("b", tid="t")
+        assert t1.digest() != t2.digest()
+
+    def test_write_files(self, tmp_path):
+        tracer = Tracer(clock=VirtualClock())
+        tracer.instant("x", tid="t")
+        chrome = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        tracer.write_chrome_trace(str(chrome))
+        tracer.write_jsonl(str(jsonl))
+        assert json.loads(chrome.read_text())["traceEvents"]
+        lines = jsonl.read_text().splitlines()
+        assert json.loads(lines[0])["name"] == "x"
+
+
+class TestNesting:
+    def test_well_formed_nesting_passes(self):
+        tracer = Tracer(clock=VirtualClock())
+        with tracer.span("outer", tid="t"):
+            with tracer.span("inner", tid="t"):
+                pass
+        assert tracer.validate_nesting() == []
+
+    def test_unclosed_span_reported(self):
+        tracer = Tracer(clock=VirtualClock())
+        tracer.begin("leak", tid="t")
+        assert any("never closed" in p for p in tracer.validate_nesting())
+
+    def test_mismatched_close_reported(self):
+        tracer = Tracer(clock=VirtualClock())
+        tracer.begin("a", tid="t")
+        tracer.end("b", tid="t")
+        problems = tracer.validate_nesting()
+        assert any("closes open span" in p for p in problems)
+
+
+class TestRunContext:
+    def test_deterministic_context_uses_virtual_clock(self):
+        ctx = RunContext.deterministic(seed=3)
+        assert isinstance(ctx.clock, VirtualClock)
+        assert ctx.rng.root_seed == 3
+
+    def test_payload_size_counts_unpicklable(self):
+        ctx = RunContext.deterministic()
+        ctx.payload_size({"ok": 1})
+        ctx.payload_size(lambda: None)
+        assert ctx.snapshot()["runtime.unpicklable"] == 1
+
+    def test_report_and_save(self, tmp_path):
+        ctx = RunContext.deterministic(seed=9, label="demo")
+        ctx.registry.counter("net.messages").inc()
+        ctx.tracer.instant("x", tid="t")
+        report = ctx.report()
+        assert report["seed"] == 9
+        assert report["metrics"]["net.messages"] == 1
+        assert report["trace_events"] == 1
+        paths = ctx.save(str(tmp_path / "out"))
+        metrics = json.loads(open(paths["metrics"]).read())
+        assert metrics["label"] == "demo"
+        assert json.loads(open(paths["trace"]).read())["traceEvents"]
+        assert open(paths["trace_jsonl"]).read().strip()
