@@ -1,0 +1,71 @@
+"""Supporting bench: cost of the fault-injection layer.
+
+Two claims the design makes, measured:
+
+- *No plan, no cost*: with no ``FaultPlan`` attached, the datagram path's
+  fault hook is a single ``is None`` test — an inactive (empty) plan adds
+  only the query overhead, and neither should move throughput materially.
+- The :class:`~repro.faults.policies.Retry` wrapper around an RPC stub
+  is cheap when calls succeed (its cost is one ``try`` per call, not a
+  sleep).
+"""
+
+from repro.dist.middleware import RpcServer, rpc_proxy
+from repro.faults import FaultPlan, Retry
+from repro.net.simnet import Address, Network
+
+_BURST = 200
+
+
+class _Echo:
+    def ping(self, i):
+        return i
+
+
+def _datagram_burst(net):
+    box = net.bind_datagram(Address("box", 1))
+    src = Address("tx", 1)
+    for i in range(_BURST):
+        net.send_datagram(src, Address("box", 1), i)
+    while box.try_get() is not None:
+        pass
+    net.unbind_datagram(Address("box", 1))
+
+
+def test_bench_datagrams_no_plan(benchmark):
+    net = Network()
+    benchmark(lambda: _datagram_burst(net))
+    assert net.fault_plan is None
+
+
+def test_bench_datagrams_inactive_plan(benchmark):
+    # An attached-but-empty plan: the hook runs, every query misses.
+    net = Network()
+    net.attach_fault_plan(FaultPlan())
+    benchmark(lambda: _datagram_burst(net))
+    assert len(net.fault_plan) == 0
+
+
+def test_bench_rpc_plain(benchmark):
+    net = Network()
+    with RpcServer(net, Address("srv", 80), _Echo()):
+        stub = rpc_proxy(net, Address("srv", 80), timeout=10.0)
+
+        def burst():
+            return sum(stub.ping(i) for i in range(50))
+
+        assert benchmark(burst) == sum(range(50))
+
+
+def test_bench_rpc_retry_wrapped(benchmark):
+    # Fault-free path through the Retry wrapper: the resilience tax when
+    # nothing goes wrong should be noise, not a slowdown.
+    net = Network()
+    with RpcServer(net, Address("srv", 80), _Echo()):
+        stub = rpc_proxy(net, Address("srv", 80), timeout=10.0)
+        ping = Retry(attempts=3, base_delay=0.01)(stub.ping)
+
+        def burst():
+            return sum(ping(i) for i in range(50))
+
+        assert benchmark(burst) == sum(range(50))

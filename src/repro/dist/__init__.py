@@ -24,7 +24,12 @@ architectures and middleware, distributed objects".  One module per topic:
 """
 
 from repro.dist.clocks import LamportClock, VectorClock, happens_before
-from repro.dist.commit import Coordinator, Participant, TwoPcOutcome
+from repro.dist.commit import (
+    Coordinator,
+    Participant,
+    TwoPcOutcome,
+    cooperative_termination,
+)
 from repro.dist.consistency import (
     HistoryEvent,
     is_linearizable,
@@ -33,13 +38,14 @@ from repro.dist.consistency import (
 from repro.dist.election import bully_election, ring_election
 from repro.dist.loadbalance import Balancer, PlacementPolicy
 from repro.dist.mapreduce import MapReduce
-from repro.dist.middleware import NameService, RpcServer, rpc_proxy
+from repro.dist.middleware import NameService, RpcServer, Unavailable, rpc_proxy
 from repro.dist.mutex import MutexAlgorithm, simulate_mutex
 from repro.dist.snapshot import Snapshot, TokenSystem
 
 __all__ = [
     "Balancer",
     "bully_election",
+    "cooperative_termination",
     "Coordinator",
     "Participant",
     "Snapshot",
@@ -58,5 +64,6 @@ __all__ = [
     "rpc_proxy",
     "RpcServer",
     "simulate_mutex",
+    "Unavailable",
     "VectorClock",
 ]

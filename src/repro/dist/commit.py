@@ -6,6 +6,14 @@ participant to PREPARE; only a unanimous yes commits, any no (or crash
 before voting) aborts everyone.  The simulation injects crashes at
 scripted points so the blocking behaviour — 2PC's famous weakness — is
 observable and testable.
+
+The coordinator can crash too (``crash_after_prepare=True``): verdicts
+are never sent, prepared participants hold their locks, and the outcome
+reports them blocked.  :func:`cooperative_termination` then runs the
+classic timeout protocol: a blocked participant that can find *any* peer
+which aborted or never voted may abort safely; a cohort that is
+unanimously PREPARED stays blocked — 2PC's blocking window, now a
+testable function instead of a lecture slide.
 """
 
 from __future__ import annotations
@@ -14,7 +22,15 @@ import dataclasses
 import enum
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["ParticipantState", "Participant", "Coordinator", "TwoPcOutcome"]
+from repro.faults.policies import Timeout
+
+__all__ = [
+    "ParticipantState",
+    "Participant",
+    "Coordinator",
+    "TwoPcOutcome",
+    "cooperative_termination",
+]
 
 
 class ParticipantState(enum.Enum):
@@ -78,31 +94,49 @@ class Participant:
 
 @dataclasses.dataclass
 class TwoPcOutcome:
-    """The coordinator's decision plus the message accounting."""
+    """The coordinator's decision plus the message accounting.
+
+    ``committed`` is the verdict the coordinator *would* send; when
+    ``coordinator_crashed`` is true no verdict ever left, so participants
+    cannot know it — that asymmetry is the whole point.
+    """
 
     committed: bool
     votes: Dict[str, Optional[bool]]
     messages: int
     blocked_participants: List[str]
+    coordinator_crashed: bool = False
 
 
 class Coordinator:
-    """Drives the two phases over a participant list."""
+    """Drives the two phases over a participant list.
 
-    def __init__(self, participants: Sequence[Participant]) -> None:
+    ``crash_after_prepare=True`` scripts the protocol's worst moment: the
+    coordinator collects every vote, then fail-stops before sending a
+    single verdict.  Participants that voted yes are PREPARED, holding
+    locks, and appear in ``blocked_participants``.
+    """
+
+    def __init__(
+        self,
+        participants: Sequence[Participant],
+        crash_after_prepare: bool = False,
+    ) -> None:
         if not participants:
             raise ValueError("need at least one participant")
         names = [p.name for p in participants]
         if len(set(names)) != len(names):
             raise ValueError("participant names must be unique")
         self.participants = list(participants)
+        self.crash_after_prepare = crash_after_prepare
 
     def run(self) -> TwoPcOutcome:
         """Execute 2PC: PREPARE round, decision, verdict round.
 
         Message count: one PREPARE per participant, one vote per
         *responding* participant, one verdict per participant (crashed
-        ones get it on recovery; the send still happens).
+        ones get it on recovery; the send still happens).  A coordinator
+        crash skips the verdict round entirely.
         """
         messages = 0
         votes: Dict[str, Optional[bool]] = {}
@@ -114,6 +148,24 @@ class Coordinator:
                 messages += 1  # the vote reply
 
         decision = all(v is True for v in votes.values())
+        if self.crash_after_prepare:
+            # No verdict is ever sent.  Everyone PREPARED (or crashed
+            # while prepared) blocks on an answer that is not coming.
+            blocked = [
+                p.name
+                for p in self.participants
+                if p.state in (
+                    ParticipantState.PREPARED, ParticipantState.CRASHED
+                )
+            ]
+            return TwoPcOutcome(
+                committed=False,
+                votes=votes,
+                messages=messages,
+                blocked_participants=blocked,
+                coordinator_crashed=True,
+            )
+
         for p in self.participants:
             messages += 1  # verdict broadcast
             if decision:
@@ -137,3 +189,40 @@ class Coordinator:
     def message_complexity(n: int) -> int:
         """Failure-free cost: prepare + vote + verdict = ``3n`` messages."""
         return 3 * n
+
+
+def cooperative_termination(
+    participants: Sequence[Participant],
+    timeout: Optional[Timeout] = None,
+) -> List[str]:
+    """The timeout protocol blocked participants run after a coordinator
+    crash.
+
+    Waits out ``timeout`` (a :class:`~repro.faults.policies.Timeout` on
+    the run's clock — a deterministic virtual step in tests), then has
+    the cohort consult each other:
+
+    - If *any* peer aborted or never voted yes, the verdict cannot have
+      been COMMIT, so every PREPARED participant aborts safely.  Returns
+      the names released.
+    - If every live peer is PREPARED, nobody can rule out a COMMIT the
+      coordinator decided before dying: the cohort stays blocked (2PC's
+      blocking window) and the function returns ``[]``.
+
+    Crashed participants never learn anything here; they recover via
+    :meth:`Participant.recover` when the coordinator comes back.
+    """
+    if timeout is not None:
+        timeout.wait()
+    abort_is_safe = any(
+        p.state in (ParticipantState.ABORTED, ParticipantState.INIT)
+        for p in participants
+    )
+    if not abort_is_safe:
+        return []
+    released = []
+    for p in participants:
+        if p.state is ParticipantState.PREPARED:
+            p.abort()
+            released.append(p.name)
+    return released

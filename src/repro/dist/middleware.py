@@ -12,6 +12,15 @@ just calling it:
   latency is visible), which is the lecture's honesty clause.
 - :class:`NameService` maps service names to addresses so clients bind by
   name (the registry pattern under every distributed-object system).
+
+Failure semantics (the other half of the honesty clause): under an
+active :class:`~repro.faults.plan.FaultPlan`, a stub call that crosses a
+partition, reaches a crashed server, or loses its reply raises
+:class:`~repro.faults.errors.Unavailable` — one exception for every
+cause the client cannot distinguish.  :meth:`RpcServer.crash` /
+:meth:`RpcServer.restart` script the server side of that story, and the
+:mod:`repro.faults.policies` wrappers (retry, breaker) compose around
+stub methods to survive it.
 """
 
 from __future__ import annotations
@@ -19,11 +28,12 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.faults.errors import FaultError, Unavailable
 from repro.net.simnet import Address, Network
 from repro.net.sockets import Connection, ServerSocket
 from repro.runtime import MetricRegistry, RunContext
 
-__all__ = ["RemoteError", "RpcServer", "rpc_proxy", "NameService"]
+__all__ = ["RemoteError", "RpcServer", "rpc_proxy", "NameService", "Unavailable"]
 
 
 class RemoteError(RuntimeError):
@@ -58,7 +68,9 @@ class RpcServer:
         self._errors = registry.counter("dist.rpc.errors")
         self._server = ServerSocket(network, address)
         self._running = False
+        self._crashed = False
         self._threads: List[threading.Thread] = []
+        self._conns: List[Connection] = []
         self._accept_thread: Optional[threading.Thread] = None
 
     @property
@@ -93,12 +105,29 @@ class RpcServer:
                 name=f"rpc-serve-{self.address}-{len(self._threads)}",
             )
             self._threads.append(t)
+            self._conns.append(conn)
             t.start()
+
+    def _plan_says_crashed(self) -> bool:
+        plan = self.network.fault_plan
+        return plan is not None and plan.is_crashed(self.address.host)
 
     def _serve(self, conn: Connection) -> None:
         try:
             while True:
-                message = conn.recv()
+                try:
+                    message = conn.recv(timeout=0.5)
+                except TimeoutError:
+                    # Idle connection: keep waiting while the server runs
+                    # (closing the connection surfaces as EOFError).
+                    if self._running and not self._crashed:
+                        continue
+                    return
+                if self._crashed or self._plan_says_crashed():
+                    # Fail-stop: no reply, and the connection dies so a
+                    # blocked client learns through EOF, not a hang.
+                    conn.abort()
+                    return
                 if (
                     not isinstance(message, tuple)
                     or len(message) != 4
@@ -125,7 +154,7 @@ class RpcServer:
                 except Exception as exc:  # noqa: BLE001 - marshalled to client
                     self._errors.inc()
                     conn.send(("err", repr(exc)))
-        except EOFError:
+        except (EOFError, BrokenPipeError):
             pass
         finally:
             conn.close()
@@ -139,6 +168,40 @@ class RpcServer:
         for t in self._threads:
             t.join(timeout=5)
 
+    def crash(self) -> None:
+        """Fail-stop now: abort every connection, stop listening.
+
+        Clients blocked in ``recv`` see EOF (→ ``Unavailable`` through a
+        stub), new connects are refused.  State in ``self.obj`` survives
+        in memory only because this is a simulation — a restarted server
+        re-exports the *same object*, the volatile-state caveat the
+        fault-tolerance lab discusses.
+        """
+        self._crashed = True
+        self._running = False
+        self._server.close()
+        for conn in self._conns:
+            conn.abort()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        if self.context is not None:
+            self.context.tracer.instant(
+                "rpc.crash", cat="dist", args={"addr": str(self.address)}
+            )
+
+    def restart(self) -> "RpcServer":
+        """Come back after :meth:`crash`: rebind the address and serve."""
+        if not self._crashed:
+            raise RuntimeError("restart() without a prior crash()")
+        self._crashed = False
+        self._conns = []
+        self._server = ServerSocket(self.network, self.address)
+        if self.context is not None:
+            self.context.tracer.instant(
+                "rpc.restart", cat="dist", args={"addr": str(self.address)}
+            )
+        return self.start()
+
     def __enter__(self) -> "RpcServer":
         return self.start()
 
@@ -147,17 +210,33 @@ class RpcServer:
 
 
 class _RpcProxy:
-    """The client stub: attribute access becomes a remote call."""
+    """The client stub: attribute access becomes a remote call.
 
-    def __init__(self, conn: Connection) -> None:
+    Distribution leaks here by design: a call that cannot complete — the
+    link partitioned, the server crashed, the reply never came back
+    before ``timeout`` — raises :class:`~repro.faults.errors.Unavailable`
+    instead of hanging, which is the contract the resilience policies
+    wrap.
+    """
+
+    def __init__(
+        self, conn: Connection, timeout: Optional[float] = 10.0
+    ) -> None:
         object.__setattr__(self, "_conn", conn)
+        object.__setattr__(self, "_timeout", timeout)
 
     def __getattr__(self, name: str) -> Callable[..., Any]:
         conn: Connection = object.__getattribute__(self, "_conn")
+        timeout = object.__getattribute__(self, "_timeout")
 
         def call(*args: Any, **kwargs: Any) -> Any:
-            conn.send(("call", name, args, kwargs))
-            status, payload = conn.recv()
+            try:
+                conn.send(("call", name, args, kwargs))
+                status, payload = conn.recv(timeout=timeout)
+            except (FaultError, ConnectionError, EOFError, TimeoutError) as exc:
+                raise Unavailable(
+                    f"rpc {name!r} to {conn.peer} failed: {exc}"
+                ) from exc
             if status == "ok":
                 return payload
             raise RemoteError(payload)
@@ -169,9 +248,23 @@ class _RpcProxy:
         object.__getattribute__(self, "_conn").close()
 
 
-def rpc_proxy(network: Network, address: Address, host: str = "client") -> _RpcProxy:
-    """Connect and return a stub for the service at ``address``."""
-    return _RpcProxy(Connection.connect(network, address, local_host=host))
+def rpc_proxy(
+    network: Network,
+    address: Address,
+    host: str = "client",
+    timeout: Optional[float] = 10.0,
+) -> _RpcProxy:
+    """Connect and return a stub for the service at ``address``.
+
+    ``timeout`` bounds each call's wait for its reply; expiry surfaces
+    as :class:`~repro.faults.errors.Unavailable` (indistinguishable from
+    a crash — deliberately).
+    """
+    try:
+        conn = Connection.connect(network, address, local_host=host)
+    except (FaultError, ConnectionError) as exc:
+        raise Unavailable(f"cannot reach {address}: {exc}") from exc
+    return _RpcProxy(conn, timeout=timeout)
 
 
 class NameService:

@@ -1,0 +1,62 @@
+"""repro.faults — deterministic fault injection & resilience policies.
+
+The substrate's failure layer, in two halves:
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan`: typed fault specs
+  (:class:`MessageLoss` with bursts, :class:`Delay`, :class:`Reorder`,
+  :class:`Partition` with scheduled heal, :class:`Crash`/restart,
+  :class:`SlowNode`) scheduled on the run's clock and decided by named
+  seeded RNG streams, so same-seed chaos runs export byte-identical
+  traces.  Consulted by injection hooks in :mod:`repro.net.simnet`,
+  :mod:`repro.dist.middleware`, and :mod:`repro.mp.runtime`.
+- :mod:`repro.faults.policies` — the client-side answers:
+  :class:`Timeout`, :class:`Retry` (budget-capped exponential backoff),
+  and :class:`CircuitBreaker`, composable wrappers emitting ``faults.*``
+  metrics.
+
+:mod:`repro.faults.errors` names the failures both halves speak:
+:class:`Unavailable` is what an RPC stub raises whether the cause was a
+:class:`Partition`, a :class:`Crash`, or a lost reply.
+"""
+
+from repro.faults.errors import (
+    CircuitOpen,
+    FaultError,
+    NodeCrashed,
+    PartitionedError,
+    RankCrashed,
+    RetryBudgetExceeded,
+    Unavailable,
+)
+from repro.faults.plan import (
+    Crash,
+    Delay,
+    FaultPlan,
+    FaultSpec,
+    MessageLoss,
+    Partition,
+    Reorder,
+    SlowNode,
+)
+from repro.faults.policies import CircuitBreaker, Retry, Timeout
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpen",
+    "Crash",
+    "Delay",
+    "FaultError",
+    "FaultPlan",
+    "FaultSpec",
+    "MessageLoss",
+    "NodeCrashed",
+    "Partition",
+    "PartitionedError",
+    "RankCrashed",
+    "Reorder",
+    "Retry",
+    "RetryBudgetExceeded",
+    "SlowNode",
+    "Timeout",
+    "Unavailable",
+]

@@ -1,0 +1,61 @@
+"""The failure vocabulary: exceptions injected faults surface as.
+
+One small hierarchy so call sites can be precise ("this send crossed a
+partition") or broad ("something distributed failed, apply the policy").
+:class:`Unavailable` is the union the resilience policies default to
+retrying — it is what an RPC stub raises whether the true cause was a
+partition, a crashed server, or a lost reply.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FaultError",
+    "PartitionedError",
+    "NodeCrashed",
+    "RankCrashed",
+    "Unavailable",
+    "CircuitOpen",
+    "RetryBudgetExceeded",
+]
+
+
+class FaultError(RuntimeError):
+    """Base class for every injected-fault failure."""
+
+
+class PartitionedError(FaultError, ConnectionError):
+    """A send crossed an active network partition.
+
+    Also a :class:`ConnectionError`, so code written against the socket
+    API's error surface handles it without knowing about fault plans.
+    """
+
+
+class NodeCrashed(FaultError, ConnectionError):
+    """The destination node is fail-stopped under the active plan."""
+
+
+class RankCrashed(FaultError):
+    """An SPMD rank hit its scripted fail-stop point."""
+
+    def __init__(self, rank: int) -> None:
+        super().__init__(f"rank {rank} crashed (fault plan)")
+        self.rank = rank
+
+
+class Unavailable(FaultError):
+    """A remote operation failed for *some* distributed reason.
+
+    The honest client-side truth of partitions, crashes, and timeouts:
+    you cannot tell them apart, you can only decide what to do next —
+    which is exactly what :mod:`repro.faults.policies` consumes.
+    """
+
+
+class CircuitOpen(Unavailable):
+    """A circuit breaker refused the call without attempting it."""
+
+
+class RetryBudgetExceeded(Unavailable):
+    """A retry policy exhausted its attempts or its delay budget."""

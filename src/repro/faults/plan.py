@@ -1,0 +1,383 @@
+"""Fault plans: typed, scheduled, seeded failure specifications.
+
+A :class:`FaultPlan` is the instructor's failure script for one lab run:
+*which* faults (typed specs — :class:`MessageLoss`, :class:`Delay`,
+:class:`Reorder`, :class:`Partition`, :class:`Crash`, :class:`SlowNode`),
+*where* (host / rank name filters), and *when* (windows measured on the
+run's :class:`~repro.runtime.clock.Clock`).  Every stochastic decision
+draws from a named :class:`~repro.runtime.rng.RngService` stream
+(``faults.loss``, ``faults.reorder``, …), so with a
+:meth:`~repro.runtime.RunContext.deterministic` context the same seed
+produces the same drops, the same reorderings, and therefore the same
+:class:`~repro.runtime.tracing.Tracer` digest.
+
+The plan is *consulted*, never in control: injection hooks in
+:mod:`repro.net.simnet`, :mod:`repro.dist.middleware`, and
+:mod:`repro.mp.runtime` ask it what fate a message or node deserves at
+the current virtual time.  With no plan attached those hooks are a single
+``is None`` test, so fault-free runs pay nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime import MetricRegistry, RngService, RunContext, VirtualClock
+from repro.runtime.clock import Clock
+
+__all__ = [
+    "FaultSpec",
+    "MessageLoss",
+    "Delay",
+    "Reorder",
+    "Partition",
+    "Crash",
+    "SlowNode",
+    "FaultPlan",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """Base spec: a fault active in the clock window ``[start, stop)``.
+
+    ``stop=None`` means "until the end of the run".  Subclasses add the
+    fault's parameters; host filters (``src``/``dst``/``node``) restrict
+    which endpoints the fault touches, ``None`` meaning "any".
+    """
+
+    start: float = 0.0
+    stop: Optional[float] = None
+
+    def active(self, now: float) -> bool:
+        """Whether the spec's window covers ``now``."""
+        return self.start <= now and (self.stop is None or now < self.stop)
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageLoss(FaultSpec):
+    """Bursty, correlated datagram loss.
+
+    ``rate`` is the probability that a datagram *starts* a loss burst;
+    once one does, the next ``burst - 1`` matching datagrams are lost
+    too — the correlated-loss pattern (interference, congestion drops)
+    that a flat per-message drop rate cannot model.  ``burst=1`` recovers
+    independent loss.  Supersedes ``Network(drop_rate=...)``, which stays
+    for the single-knob labs.
+    """
+
+    rate: float = 0.0
+    burst: int = 1
+    src: Optional[str] = None
+    dst: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0 or self.rate != self.rate:
+            raise ValueError("loss rate must be a number in [0, 1]")
+        if self.burst < 1:
+            raise ValueError("burst length must be >= 1")
+
+    def matches(self, src: str, dst: str) -> bool:
+        """Whether this spec applies to the ``src -> dst`` flow."""
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Delay(FaultSpec):
+    """Added transit latency: ``seconds`` plus uniform ``jitter``.
+
+    The fabric charges the delay to the sender on the run's clock —
+    under a :class:`~repro.runtime.clock.VirtualClock` that is a
+    deterministic time step, not a real pause.
+    """
+
+    seconds: float = 0.0
+    jitter: float = 0.0
+    src: Optional[str] = None
+    dst: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0 or self.jitter < 0:
+            raise ValueError("delay and jitter must be non-negative")
+
+    def matches(self, src: str, dst: str) -> bool:
+        """Whether this spec applies to the ``src -> dst`` flow."""
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Reorder(FaultSpec):
+    """Datagram reordering: with probability ``rate``, a datagram is held
+    back and delivered just *after* the next one to the same destination
+    (the adjacent swap that breaks naive sequence assumptions)."""
+
+    rate: float = 0.0
+    src: Optional[str] = None
+    dst: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0 or self.rate != self.rate:
+            raise ValueError("reorder rate must be a number in [0, 1]")
+
+    def matches(self, src: str, dst: str) -> bool:
+        """Whether this spec applies to the ``src -> dst`` flow."""
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Partition(FaultSpec):
+    """A named network partition, healing at ``stop`` (if given).
+
+    ``groups`` are disjoint sets of host names; two hosts in *different*
+    groups cannot exchange messages while the partition is active.  Hosts
+    named in no group are unaffected (reachable from everyone) — the
+    partition cuts exactly the links it names.
+    """
+
+    groups: Tuple[Tuple[str, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: set = set()
+        for group in self.groups:
+            for host in group:
+                if host in seen:
+                    raise ValueError(
+                        f"host {host!r} appears in more than one group"
+                    )
+                seen.add(host)
+
+    def separates(self, a: str, b: str) -> bool:
+        """Whether ``a`` and ``b`` sit in different named groups."""
+        side_a = side_b = None
+        for i, group in enumerate(self.groups):
+            if a in group:
+                side_a = i
+            if b in group:
+                side_b = i
+        return side_a is not None and side_b is not None and side_a != side_b
+
+
+@dataclasses.dataclass(frozen=True)
+class Crash(FaultSpec):
+    """Fail-stop of a named node at virtual time ``start``.
+
+    ``node`` is a host name (network / RPC faults) or ``"rank-N"`` (SPMD
+    faults).  With ``restart_at`` set, the node comes back — processes
+    restart from their initial state, which is the textbook crash-recovery
+    model (no stable storage unless the algorithm provides it).
+    """
+
+    node: str = ""
+    restart_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.node:
+            raise ValueError("Crash needs a node name")
+        if self.restart_at is not None and self.restart_at < self.start:
+            raise ValueError("restart_at must not precede the crash")
+
+    def crashed(self, now: float) -> bool:
+        """Whether the node is down at ``now``."""
+        if now < self.start:
+            return False
+        return self.restart_at is None or now < self.restart_at
+
+
+@dataclasses.dataclass(frozen=True)
+class SlowNode(FaultSpec):
+    """A degraded node: every message to or from it pays ``penalty``
+    extra seconds of transit — the straggler that breaks synchronous
+    assumptions without breaking safety."""
+
+    node: str = ""
+    penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.node:
+            raise ValueError("SlowNode needs a node name")
+        if self.penalty < 0:
+            raise ValueError("penalty must be non-negative")
+
+
+class FaultPlan:
+    """An ordered set of fault specs, bound to one run's services.
+
+    Construction is declarative; :meth:`bind` attaches the plan to a
+    :class:`~repro.runtime.RunContext` (clock for windows, named RNG
+    streams for decisions, registry for ``faults.*`` counters).  Unbound
+    plans self-bind lazily to a private
+    :class:`~repro.runtime.clock.VirtualClock` at 0 and seed 0, so a
+    bare plan is still deterministic — just not shared with a run.
+
+    Injection hooks call the query methods (:meth:`drop_reason`,
+    :meth:`delay_for`, :meth:`should_reorder`, :meth:`is_crashed`,
+    :meth:`partitioned`); the plan answers for the *current* clock time.
+    """
+
+    def __init__(self, *specs: FaultSpec, context: Optional[RunContext] = None) -> None:
+        for spec in specs:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(f"not a FaultSpec: {spec!r}")
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self._losses = [s for s in specs if isinstance(s, MessageLoss)]
+        self._delays = [s for s in specs if isinstance(s, Delay)]
+        self._reorders = [s for s in specs if isinstance(s, Reorder)]
+        self._partitions = [s for s in specs if isinstance(s, Partition)]
+        self._crashes = [s for s in specs if isinstance(s, Crash)]
+        self._slow = [s for s in specs if isinstance(s, SlowNode)]
+        crashed_names = [c.node for c in self._crashes]
+        if len(set(crashed_names)) != len(crashed_names):
+            raise ValueError("at most one Crash spec per node")
+        self._lock = threading.Lock()
+        #: Remaining forced drops per MessageLoss spec (burst state).
+        self._burst_left: Dict[int, int] = {}
+        self._clock: Optional[Clock] = None
+        self._rng: Optional[RngService] = None
+        self._registry: Optional[MetricRegistry] = None
+        self.context: Optional[RunContext] = None
+        if context is not None:
+            self.bind(context)
+
+    # -- binding ---------------------------------------------------------------
+    def bind(self, context: RunContext) -> "FaultPlan":
+        """Attach the plan to a run; idempotent for the same context."""
+        if self.context is not None and self.context is not context:
+            raise ValueError("fault plan already bound to another run")
+        self.context = context
+        self._clock = context.clock
+        self._rng = context.rng
+        self._registry = context.registry
+        return self
+
+    def _ensure_bound(self) -> None:
+        if self._clock is None:
+            self._clock = VirtualClock()
+            self._rng = RngService(0)
+            self._registry = MetricRegistry()
+
+    @property
+    def clock(self) -> Clock:
+        """The clock fault windows are measured on."""
+        self._ensure_bound()
+        assert self._clock is not None
+        return self._clock
+
+    def now(self) -> float:
+        """Current time on the plan's clock."""
+        return self.clock.now()
+
+    def _stream(self, name: str):
+        self._ensure_bound()
+        assert self._rng is not None
+        return self._rng.stream(name)
+
+    def _count(self, name: str) -> None:
+        self._ensure_bound()
+        assert self._registry is not None
+        self._registry.counter(name).inc()
+
+    # -- message fates ---------------------------------------------------------
+    def partitioned(self, a: str, b: str) -> bool:
+        """Whether hosts ``a`` and ``b`` are separated right now."""
+        now = self.now()
+        return any(
+            p.active(now) and p.separates(a, b) for p in self._partitions
+        )
+
+    def drop_reason(self, src: str, dst: str) -> Optional[str]:
+        """Why a ``src -> dst`` datagram dies now, or ``None`` to deliver.
+
+        Partition checks come first (a cut link loses everything), then
+        each active :class:`MessageLoss` spec draws from the
+        ``faults.loss`` stream — continuing a burst before drawing anew,
+        which is what makes the loss *correlated*.
+        """
+        now = self.now()
+        if self.partitioned(src, dst):
+            self._count("faults.drops.partition")
+            return "partition"
+        if self.is_crashed(dst) or self.is_crashed(src):
+            self._count("faults.drops.crash")
+            return "crash"
+        for i, spec in enumerate(self._losses):
+            if not (spec.active(now) and spec.matches(src, dst)):
+                continue
+            with self._lock:
+                left = self._burst_left.get(i, 0)
+                if left > 0:
+                    self._burst_left[i] = left - 1
+                    self._count("faults.drops.loss")
+                    return "loss"
+            if spec.rate > 0.0 and self._stream("faults.loss").random() < spec.rate:
+                with self._lock:
+                    self._burst_left[i] = spec.burst - 1
+                self._count("faults.drops.loss")
+                return "loss"
+        return None
+
+    def delay_for(self, src: str, dst: str) -> float:
+        """Extra transit seconds for a ``src -> dst`` message now."""
+        now = self.now()
+        total = 0.0
+        for spec in self._delays:
+            if spec.active(now) and spec.matches(src, dst):
+                total += spec.seconds
+                if spec.jitter > 0.0:
+                    total += float(
+                        self._stream("faults.delay").uniform(0.0, spec.jitter)
+                    )
+        for slow in self._slow:
+            if slow.active(now) and slow.node in (src, dst):
+                total += slow.penalty
+        if total > 0.0:
+            self._count("faults.delays")
+        return total
+
+    def should_reorder(self, src: str, dst: str) -> bool:
+        """Whether to hold this datagram back behind the next one."""
+        now = self.now()
+        for spec in self._reorders:
+            if not (spec.active(now) and spec.matches(src, dst)):
+                continue
+            if spec.rate > 0.0 and self._stream("faults.reorder").random() < spec.rate:
+                self._count("faults.reorders")
+                return True
+        return False
+
+    # -- node fates ------------------------------------------------------------
+    def is_crashed(self, node: str) -> bool:
+        """Whether ``node`` is fail-stopped at the current time."""
+        now = self.now()
+        return any(c.node == node and c.crashed(now) for c in self._crashes)
+
+    def restart_at(self, node: str) -> Optional[float]:
+        """The scripted restart time of ``node``, if any."""
+        for c in self._crashes:
+            if c.node == node:
+                return c.restart_at
+        return None
+
+    def crashed_nodes(self) -> List[str]:
+        """Sorted names of every node down right now (election scenarios
+        feed this straight into their ``crashed=`` sets)."""
+        now = self.now()
+        return sorted(c.node for c in self._crashes if c.crashed(now))
+
+    # -- introspection ---------------------------------------------------------
+    def describe(self) -> List[str]:
+        """One line per spec — the plan as an instructor reads it."""
+        return [repr(s) for s in self.specs]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({len(self.specs)} specs, bound={self.context is not None})"

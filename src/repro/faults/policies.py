@@ -1,0 +1,274 @@
+"""Resilience policies: timeout, retry with backoff, circuit breaker.
+
+The client side of fault tolerance — the three patterns every
+distributed-systems course teaches against the failure modes
+:mod:`repro.faults.plan` injects:
+
+- :class:`Timeout` — a deadline on the run's clock; the primitive that
+  converts "no answer" into a decision point.
+- :class:`Retry` — bounded re-execution with fixed or exponential
+  backoff and optional seeded jitter, capped by an attempt count *and* a
+  total-delay budget (unbounded retry is an outage amplifier, which is
+  the lesson).
+- :class:`CircuitBreaker` — the closed/open/half-open state machine that
+  stops hammering a dead dependency and probes for recovery.
+
+Each policy is a callable *wrapper*: ``Retry(...)(fn)`` returns a
+function with the same signature, so policies compose by nesting —
+``Retry(...)(CircuitBreaker(...)(stub.get))`` — around RPC stub methods,
+socket sends, or anything else that raises :class:`~repro.faults.errors.Unavailable`.
+All sleeping happens on the injected clock (virtual in deterministic
+runs) and all counting lands in the run's registry (``faults.retries``,
+``faults.giveups``, ``faults.breaker.state``).
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from typing import Any, Callable, Optional, Tuple, Type
+
+from repro.faults.errors import CircuitOpen, RetryBudgetExceeded, Unavailable
+from repro.runtime import MetricRegistry, MonotonicClock, RunContext
+from repro.runtime.clock import Clock
+
+__all__ = ["Timeout", "Retry", "CircuitBreaker"]
+
+#: The failures a policy reacts to unless told otherwise.
+_DEFAULT_FAILURES: Tuple[Type[BaseException], ...] = (Unavailable, TimeoutError)
+
+
+class Timeout:
+    """A deadline measured on an injected clock.
+
+    ``Timeout(2.0, clock).start()`` arms the deadline; :attr:`expired`
+    and :meth:`remaining` answer against the *clock's* time, so a
+    deterministic run times out at a scripted virtual instant.  ``wait()``
+    sleeps the rest of the window — on a virtual clock, an instant,
+    deterministic time step.
+    """
+
+    def __init__(self, seconds: float, clock: Optional[Clock] = None) -> None:
+        if seconds < 0:
+            raise ValueError("timeout must be non-negative")
+        self.seconds = float(seconds)
+        self.clock = clock if clock is not None else MonotonicClock()
+        self._deadline: Optional[float] = None
+
+    def start(self) -> "Timeout":
+        """Arm (or re-arm) the deadline from the clock's current time."""
+        self._deadline = self.clock.now() + self.seconds
+        return self
+
+    @property
+    def expired(self) -> bool:
+        """Whether the armed deadline has passed (auto-arms on first use)."""
+        if self._deadline is None:
+            self.start()
+        assert self._deadline is not None
+        return self.clock.now() >= self._deadline
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (0 once expired; auto-arms)."""
+        if self._deadline is None:
+            self.start()
+        assert self._deadline is not None
+        return max(0.0, self._deadline - self.clock.now())
+
+    def wait(self) -> None:
+        """Sleep out the remainder of the window on the clock."""
+        rest = self.remaining()
+        if rest > 0:
+            self.clock.sleep(rest)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.seconds}s, expired={self.expired})"
+
+
+class Retry:
+    """Bounded retry with (optionally jittered, exponential) backoff.
+
+    Delay before attempt ``k`` (0-based) is
+    ``base_delay * backoff ** (k - 1)`` plus a uniform draw from
+    ``[0, jitter)`` — the jitter coming from the run's ``faults.retry``
+    RNG stream, so even randomized backoff replays identically under one
+    seed.  Gives up after ``attempts`` calls *or* when the next delay
+    would push cumulative sleep past ``max_total_delay``, raising
+    :class:`~repro.faults.errors.RetryBudgetExceeded` chained to the last
+    failure.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 4,
+        base_delay: float = 0.05,
+        backoff: float = 2.0,
+        jitter: float = 0.0,
+        max_total_delay: Optional[float] = None,
+        retry_on: Tuple[Type[BaseException], ...] = _DEFAULT_FAILURES,
+        context: Optional[RunContext] = None,
+        clock: Optional[Clock] = None,
+        registry: Optional[MetricRegistry] = None,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError("need at least one attempt")
+        if base_delay < 0 or jitter < 0 or backoff < 1.0:
+            raise ValueError("delays must be >= 0 and backoff >= 1")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.backoff = backoff
+        self.jitter = jitter
+        self.max_total_delay = max_total_delay
+        self.retry_on = retry_on
+        if context is not None:
+            clock = clock if clock is not None else context.clock
+            registry = registry if registry is not None else context.registry
+            self._rng = context.rng.stream("faults.retry")
+        else:
+            self._rng = None
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.registry = registry if registry is not None else MetricRegistry()
+
+    def delay_before(self, attempt: int) -> float:
+        """The (jitter-free) backoff delay preceding attempt ``attempt``."""
+        if attempt <= 0:
+            return 0.0
+        return self.base_delay * self.backoff ** (attempt - 1)
+
+    def __call__(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        """Wrap ``fn`` so transient failures are retried under budget."""
+        retries = self.registry.counter("faults.retries")
+        giveups = self.registry.counter("faults.giveups")
+
+        @functools.wraps(fn)
+        def resilient(*args: Any, **kwargs: Any) -> Any:
+            slept = 0.0
+            last: Optional[BaseException] = None
+            for attempt in range(self.attempts):
+                if attempt > 0:
+                    delay = self.delay_before(attempt)
+                    if self.jitter > 0 and self._rng is not None:
+                        delay += float(self._rng.uniform(0.0, self.jitter))
+                    if (
+                        self.max_total_delay is not None
+                        and slept + delay > self.max_total_delay
+                    ):
+                        break
+                    slept += delay
+                    retries.inc()
+                    self.clock.sleep(delay)
+                try:
+                    return fn(*args, **kwargs)
+                except self.retry_on as exc:
+                    last = exc
+            giveups.inc()
+            raise RetryBudgetExceeded(
+                f"{getattr(fn, '__name__', fn)!r} still failing after "
+                f"{self.attempts} attempts / {slept:.3f}s of backoff"
+            ) from last
+
+        return resilient
+
+
+class CircuitBreaker:
+    """The closed → open → half-open breaker state machine.
+
+    ``failure_threshold`` consecutive failures open the circuit: calls
+    fail fast with :class:`~repro.faults.errors.CircuitOpen` (no load on
+    the dead dependency).  After ``reset_timeout`` seconds on the clock,
+    one probe call is admitted (half-open); success closes the circuit,
+    failure re-opens it for another window.  The current state is
+    exported as the ``faults.breaker.state`` gauge (0 closed, 1 open,
+    2 half-open) under ``name`` as a suffix-free shared instrument.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+    _STATE_LEVEL = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 1.0,
+        trip_on: Tuple[Type[BaseException], ...] = _DEFAULT_FAILURES,
+        context: Optional[RunContext] = None,
+        clock: Optional[Clock] = None,
+        registry: Optional[MetricRegistry] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ValueError("reset timeout must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.trip_on = trip_on
+        if context is not None:
+            clock = clock if clock is not None else context.clock
+            registry = registry if registry is not None else context.registry
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._gauge = self.registry.gauge("faults.breaker.state")
+        self._trips = self.registry.counter("faults.breaker.trips")
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._gauge.set(0)
+
+    @property
+    def state(self) -> str:
+        """Current breaker state, refreshing open → half-open on expiry."""
+        with self._lock:
+            return self._admit_locked(peek=True)
+
+    def _admit_locked(self, peek: bool = False) -> str:
+        # Caller holds the lock.  Transitions open -> half_open when the
+        # reset window has elapsed; with peek, reports without admitting.
+        if self._state == self.OPEN:
+            if self.clock.now() - self._opened_at >= self.reset_timeout:
+                if not peek:
+                    self._state = self.HALF_OPEN
+                    self._gauge.set(self._STATE_LEVEL[self.HALF_OPEN])
+                return self.HALF_OPEN
+        return self._state
+
+    def _record(self, ok: bool) -> None:
+        with self._lock:
+            if ok:
+                self._state = self.CLOSED
+                self._failures = 0
+            else:
+                self._failures += 1
+                if (
+                    self._state == self.HALF_OPEN
+                    or self._failures >= self.failure_threshold
+                ):
+                    self._state = self.OPEN
+                    self._opened_at = self.clock.now()
+                    self._failures = 0
+                    self._trips.inc()
+            self._gauge.set(self._STATE_LEVEL[self._state])
+
+    def __call__(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        """Wrap ``fn`` behind the breaker."""
+
+        @functools.wraps(fn)
+        def guarded(*args: Any, **kwargs: Any) -> Any:
+            with self._lock:
+                admitted = self._admit_locked()
+            if admitted == self.OPEN:
+                raise CircuitOpen(
+                    f"circuit open for {getattr(fn, '__name__', fn)!r}; "
+                    f"probes resume after {self.reset_timeout}s"
+                )
+            try:
+                result = fn(*args, **kwargs)
+            except self.trip_on:
+                self._record(ok=False)
+                raise
+            self._record(ok=True)
+            return result
+
+        return guarded
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker(state={self.state}, threshold={self.failure_threshold})"

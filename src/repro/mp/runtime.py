@@ -21,10 +21,14 @@ from __future__ import annotations
 
 import dataclasses
 import threading
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
+from repro.faults.errors import RankCrashed
 from repro.mp.communicator import Communicator, _Mailbox
 from repro.runtime import MonotonicClock, RunContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["World", "SpmdError", "run_spmd"]
 
@@ -65,15 +69,27 @@ class World:
     run-wide ``mp.messages`` counter and emits an instant trace event, so
     the SPMD fabric shows up on the same timeline as the network and the
     scheduler.
+
+    A :class:`~repro.faults.plan.FaultPlan` scripts rank failures: a
+    ``Crash("rank-2", at=...)`` spec makes rank 2's next send raise
+    :class:`~repro.faults.errors.RankCrashed` once the plan's clock
+    passes ``at`` (fail-stop at a communication point, the only place a
+    crash is observable to the rest of the job).
     """
 
     def __init__(
-        self, size: int, context: Optional[RunContext] = None
+        self,
+        size: int,
+        context: Optional[RunContext] = None,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         if size < 1:
             raise ValueError("world size must be positive")
         self.size = size
         self.context = context
+        self.fault_plan = fault_plan
+        if fault_plan is not None and context is not None:
+            fault_plan.bind(context)
         self._mailboxes = [_Mailbox() for _ in range(size)]
         self._trace: List[MessageRecord] = []
         self._trace_lock = threading.Lock()
@@ -85,8 +101,16 @@ class World:
         """The incoming-message store of ``rank``."""
         return self._mailboxes[rank]
 
+    def check_rank(self, rank: int) -> None:
+        """Raise :class:`RankCrashed` if the fault plan has fail-stopped
+        ``rank`` (node name ``"rank-<n>"``) at the current virtual time."""
+        plan = self.fault_plan
+        if plan is not None and plan.is_crashed(f"rank-{rank}"):
+            raise RankCrashed(rank)
+
     def record_message(self, source: int, dest: int, tag: int) -> None:
         """Append one send to the message trace."""
+        self.check_rank(source)
         with self._trace_lock:
             self._trace.append(MessageRecord(source, dest, tag))
         if self._messages_counter is not None:
@@ -129,6 +153,7 @@ def run_spmd(
     world: Optional[World] = None,
     timeout: Optional[float] = 60.0,
     context: Optional[RunContext] = None,
+    fault_plan: Optional["FaultPlan"] = None,
     **kwargs: Any,
 ) -> List[Any]:
     """Run ``main(comm, *args, **kwargs)`` on ``size`` rank-threads.
@@ -142,10 +167,23 @@ def run_spmd(
     infrastructure failure.  The deadline is measured on the run's clock:
     wall time normally, virtual time when the context carries a
     :class:`~repro.runtime.clock.VirtualClock`.
+
+    A ``fault_plan`` scripts rank failures.  A scripted crash is *data*,
+    not an error: the crashed rank's slot in the result list is ``None``
+    and the job keeps running (siblings that block forever on the dead
+    rank's messages hit ``timeout`` — the lesson).  A ``Crash`` spec with
+    ``restart_at`` instead sleeps the rank to its restart time and reruns
+    ``main`` from the top — fail-stop recovery with volatile state lost.
     """
-    w = world if world is not None else World(size, context=context)
+    w = world if world is not None else World(
+        size, context=context, fault_plan=fault_plan
+    )
     if w.size != size:
         raise ValueError("world size does not match requested size")
+    if fault_plan is not None and w.fault_plan is None:
+        w.fault_plan = fault_plan
+        if w.context is not None:
+            fault_plan.bind(w.context)
     ctx = context if context is not None else w.context
     clock = ctx.clock if ctx is not None else MonotonicClock()
     tracer = ctx.tracer if ctx is not None else None
@@ -156,16 +194,46 @@ def run_spmd(
 
     def runner(rank: int) -> None:
         nonlocal remaining
-        comm = w.communicator(rank)
-        try:
+
+        def invoke() -> Any:
+            comm = w.communicator(rank)
             if tracer is not None:
                 with tracer.span(
                     "mp.rank", cat="mp", tid=f"rank-{rank}",
                     args={"rank": rank},
                 ):
-                    value = main(comm, *args, **kwargs)
-            else:
-                value = main(comm, *args, **kwargs)
+                    return main(comm, *args, **kwargs)
+            return main(comm, *args, **kwargs)
+
+        try:
+            try:
+                value = invoke()
+            except RankCrashed:
+                plan = w.fault_plan
+                node = f"rank-{rank}"
+                restart = plan.restart_at(node) if plan is not None else None
+                if restart is None:
+                    # Fail-stop for good.  Unlike an unscripted exception
+                    # this does not abort the job: the survivors' view of
+                    # a crash is silence, not a stack trace.
+                    if tracer is not None:
+                        tracer.instant(
+                            "mp.rank.crash", cat="mp", tid=f"rank-{rank}",
+                            args={"rank": rank},
+                        )
+                    value = None
+                else:
+                    wait = restart - plan.clock.now()
+                    if wait > 0:
+                        plan.clock.sleep(wait)
+                    if tracer is not None:
+                        tracer.instant(
+                            "mp.rank.restart", cat="mp", tid=f"rank-{rank}",
+                            args={"rank": rank},
+                        )
+                    # Rerun from the top: volatile state (locals, the old
+                    # communicator's half-done exchanges) is gone.
+                    value = invoke()
             with done:
                 results[rank] = value
                 remaining -= 1

@@ -17,14 +17,19 @@ RNG stream and receives a trace event per delivery/drop).
 from __future__ import annotations
 
 import dataclasses
+import math
 import threading
-from typing import Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.faults.errors import NodeCrashed, PartitionedError
 from repro.runtime import RunContext
 from repro.runtime.metrics import RegistryStats, payload_size
 from repro.smp.squeue import SynchronizedQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["Address", "NetworkStats", "Network"]
 
@@ -68,6 +73,15 @@ class Network:
     test that loses the 3rd datagram always loses the 3rd datagram.  With
     a ``context``, the stream derives from the run's root seed (stream
     name ``net.drops``) and ``seed`` is ignored.
+
+    A :class:`~repro.faults.plan.FaultPlan` (``fault_plan=`` or
+    :meth:`attach_fault_plan`) scripts richer failures on top: bursty
+    correlated loss, added delay, reordering, partitions, and node
+    crashes.  Datagrams are subject to *all* of them; connections — being
+    the reliable transport — bypass the plan's ``MessageLoss``, ``Delay``
+    and ``Reorder``, but **not** ``Partition`` or ``Crash``: a stream
+    send across a cut link or to a dead host raises (TCP retransmits
+    through loss, but no transport survives a severed path).
     """
 
     def __init__(
@@ -75,9 +89,11 @@ class Network:
         drop_rate: float = 0.0,
         seed: int = 0,
         context: Optional[RunContext] = None,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
-        if not 0.0 <= drop_rate < 1.0:
-            raise ValueError("drop_rate must be in [0, 1)")
+        drop_rate = float(drop_rate)
+        if math.isnan(drop_rate) or not 0.0 <= drop_rate < 1.0:
+            raise ValueError("drop_rate must be a number in [0, 1); NaN rejected")
         self.drop_rate = drop_rate
         self.context = context
         if context is not None:
@@ -90,7 +106,20 @@ class Network:
             self._tracer = None
         self._listeners: Dict[Address, SynchronizedQueue] = {}
         self._datagram_boxes: Dict[Address, SynchronizedQueue] = {}
+        #: Datagrams held back by an active ``Reorder`` spec, per dest.
+        self._held: Dict[Address, Tuple[Address, Any]] = {}
         self._lock = threading.Lock()
+        self.fault_plan: Optional["FaultPlan"] = None
+        if fault_plan is not None:
+            self.attach_fault_plan(fault_plan)
+
+    def attach_fault_plan(self, plan: "FaultPlan") -> "FaultPlan":
+        """Activate ``plan`` on this fabric (binding it to the network's
+        run context, when there is one).  Returns the plan."""
+        if self.context is not None:
+            plan.bind(self.context)
+        self.fault_plan = plan
+        return plan
 
     def _trace_instant(self, name: str, args: Dict[str, Any]) -> None:
         # No explicit tid: the event lands on the emitting thread's lane,
@@ -103,6 +132,32 @@ class Network:
         """Account one delivered payload and trace it (sockets call this)."""
         self.stats.record(payload)
         self._trace_instant("net.deliver", {"kind": kind})
+
+    def check_connected(self, source: Address, dest: Address) -> None:
+        """Fault gate for the connection path (sockets call this per send).
+
+        Connections bypass the plan's ``MessageLoss`` (reliable transport
+        retransmits through loss) but not its hard failures: raises
+        :class:`~repro.faults.errors.PartitionedError` across an active
+        partition and :class:`~repro.faults.errors.NodeCrashed` when
+        either endpoint's host is fail-stopped.  No plan, no cost.
+        """
+        plan = self.fault_plan
+        if plan is None:
+            return
+        if plan.partitioned(source.host, dest.host):
+            self._trace_instant(
+                "net.partitioned", {"src": str(source), "dst": str(dest)}
+            )
+            raise PartitionedError(
+                f"{source.host} and {dest.host} are partitioned"
+            )
+        for host in (dest.host, source.host):
+            if plan.is_crashed(host):
+                self._trace_instant(
+                    "net.crashed", {"src": str(source), "dst": str(dest)}
+                )
+                raise NodeCrashed(f"host {host} is crashed")
 
     # -- connection-oriented plumbing (used by sockets.ServerSocket) -------
     def bind_listener(self, address: Address) -> SynchronizedQueue:
@@ -137,9 +192,10 @@ class Network:
             return q
 
     def unbind_datagram(self, address: Address) -> None:
-        """Release a datagram address."""
+        """Release a datagram address (held reordered datagrams are lost)."""
         with self._lock:
             q = self._datagram_boxes.pop(address, None)
+            self._held.pop(address, None)
         if q is not None:
             q.close()
 
@@ -147,8 +203,30 @@ class Network:
         """Fire-and-forget delivery; returns whether the datagram survived.
 
         Unknown destinations silently drop (as UDP does); configured loss
-        applies before the address lookup, modelling in-flight loss.
+        applies before the address lookup, modelling in-flight loss.  An
+        attached fault plan is consulted first: partitions and scripted
+        (possibly bursty) loss drop the datagram, ``Delay``/``SlowNode``
+        charge transit time to the sender on the run's clock, and
+        ``Reorder`` may hold the datagram back behind the next one to the
+        same destination.
         """
+        plan = self.fault_plan
+        if plan is not None:
+            reason = plan.drop_reason(source.host, dest.host)
+            if reason is not None:
+                self.stats.dropped += 1
+                self._trace_instant(
+                    "net.drop",
+                    {"src": str(source), "dst": str(dest), "why": reason},
+                )
+                return False
+            delay = plan.delay_for(source.host, dest.host)
+            if delay > 0.0:
+                self._trace_instant(
+                    "net.delay",
+                    {"src": str(source), "dst": str(dest), "s": delay},
+                )
+                plan.clock.sleep(delay)
         if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
             self.stats.dropped += 1
             self._trace_instant(
@@ -163,9 +241,38 @@ class Network:
                 "net.drop", {"src": str(source), "dst": str(dest)}
             )
             return False
+        if plan is not None and plan.should_reorder(source.host, dest.host):
+            held_prev: Optional[Tuple[Address, Any]] = None
+            with self._lock:
+                # One hold slot per destination: a second hold releases
+                # the first (still one adjacent swap, never starvation).
+                held_prev = self._held.get(dest)
+                self._held[dest] = (source, payload)
+            self._trace_instant(
+                "net.reorder.hold", {"src": str(source), "dst": str(dest)}
+            )
+            if held_prev is not None:
+                self._deliver(box, held_prev[0], dest, held_prev[1])
+            return True
+        self._deliver(box, source, dest, payload)
+        with self._lock:
+            held = self._held.pop(dest, None)
+        if held is not None:
+            self._trace_instant(
+                "net.reorder.release", {"dst": str(dest)}
+            )
+            self._deliver(box, held[0], dest, held[1])
+        return True
+
+    def _deliver(
+        self,
+        box: SynchronizedQueue,
+        source: Address,
+        dest: Address,
+        payload: Any,
+    ) -> None:
         self.stats.record(payload)
         self._trace_instant(
             "net.datagram", {"src": str(source), "dst": str(dest)}
         )
         box.put((source, payload))
-        return True

@@ -61,7 +61,14 @@ class Connection:
         timeout: Optional[float] = 10.0,
     ) -> "Connection":
         """Open a connection to a listening address (the 3-way handshake,
-        abstracted to one rendezvous through the listener's accept queue)."""
+        abstracted to one rendezvous through the listener's accept queue).
+
+        An active fault plan gates the handshake like any stream traffic:
+        connecting across a partition or to a crashed host raises (see
+        :meth:`Network.check_connected`).
+        """
+        local = Address(local_host, 0)
+        network.check_connected(local, dest)
         listener = network.listener_at(dest)
         if listener is None:
             raise ConnectionRefused(f"connection refused: {dest}")
@@ -75,7 +82,14 @@ class Connection:
         return client_end
 
     def send(self, obj: Any) -> None:
-        """Send one message; raises ``BrokenPipeError`` after a close."""
+        """Send one message; raises ``BrokenPipeError`` after a close.
+
+        Under an active fault plan, a send across a partition or to a
+        crashed host raises before anything is delivered — connections
+        bypass scripted ``MessageLoss`` (the transport retransmits), but
+        not severed links or dead peers.
+        """
+        self._network.check_connected(self.local, self.peer)
         try:
             self._network.record_delivery(obj, kind="stream")
             self._send_q.put(obj)
@@ -92,6 +106,13 @@ class Connection:
     def close(self) -> None:
         """Half-close: the peer drains buffered messages then sees EOF."""
         self._send_q.close()
+
+    def abort(self) -> None:
+        """Fail-stop both directions at once (a crash, not a goodbye):
+        the peer's pending ``recv`` sees EOF after draining, and *our*
+        pending ``recv`` fails too — used by crash injection."""
+        self._send_q.close()
+        self._recv_q.close()
 
     def __enter__(self) -> "Connection":
         return self

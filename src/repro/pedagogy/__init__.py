@@ -12,6 +12,9 @@ machinery:
 - :mod:`repro.pedagogy.labs` — a library of ready labs, one per substrate
   area (race detection, deadlock ordering, MPI π, GPU coalescing,
   Amdahl analysis, scheduler comparison, transactions, client–server).
+- :mod:`repro.pedagogy.chaoslab` — the fault-tolerance lab graded
+  against :mod:`repro.faults` (resilient calls over unreliable
+  dependencies).
 - :mod:`repro.pedagogy.outcomes` — map exercises to ABET Student
   Outcomes and compute cohort attainment.
 - :mod:`repro.pedagogy.coursebuilder` — assemble the LAU and RIT
@@ -19,6 +22,7 @@ machinery:
 """
 
 from repro.pedagogy.autograder import Autograder, GradeReport
+from repro.pedagogy.chaoslab import fault_tolerance_lab
 from repro.pedagogy.coursebuilder import build_lau_course, build_rit_course
 from repro.pedagogy.exercise import Exercise, ExerciseResult
 from repro.pedagogy.labs import standard_labs
@@ -31,6 +35,7 @@ __all__ = [
     "build_rit_course",
     "Exercise",
     "ExerciseResult",
+    "fault_tolerance_lab",
     "GradeReport",
     "OutcomeAssessment",
     "standard_labs",

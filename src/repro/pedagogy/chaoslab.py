@@ -1,0 +1,102 @@
+"""The fault-tolerance lab: grading resilience, not just correctness.
+
+The accreditation argument (paper §V) wants distributed *challenges* —
+not just algorithms that work, but students who can make a call survive
+a dependency that sometimes does not answer.  This lab grades exactly
+that skill against :mod:`repro.faults`:
+
+- full credit: the submission recovers from transient failures **and**
+  gives up, visibly, on a permanently dead dependency within a bounded
+  call budget (unbounded retry is an outage amplifier);
+- half credit: it recovers but either retries forever or swallows a
+  permanent failure;
+- zero: it cannot deliver the value at all.
+
+Kept out of :func:`~repro.pedagogy.labs.standard_labs` (whose ten-lab
+contract is load-bearing for the outcome-coverage tests); courses append
+it explicitly, which mirrors how the fault-tolerance week is an add-on
+unit in the surveyed curricula.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.taxonomy import PdcTopic
+from repro.faults.errors import Unavailable
+from repro.faults.policies import Retry
+from repro.pedagogy.exercise import Exercise
+
+__all__ = ["fault_tolerance_lab"]
+
+#: Calls a submission may spend on a dead dependency before we call its
+#: retry loop unbounded.
+_CALL_BUDGET = 64
+
+
+def _check_resilient_call(harden: Callable[[Callable[[], Any]], Any]) -> float:
+    """Submission: ``harden(flaky) -> value`` — call a zero-arg callable
+    that raises :class:`~repro.faults.errors.Unavailable` transiently,
+    and return its eventual value.
+
+    Scored in two scenarios: a dependency that recovers after three
+    failures (must return its value), and one that never recovers (must
+    surface a failure within :data:`_CALL_BUDGET` calls, not loop or
+    swallow it).
+    """
+    transient = {"calls": 0}
+
+    def flaky() -> str:
+        transient["calls"] += 1
+        if transient["calls"] <= 3:
+            raise Unavailable("transient outage")
+        return "ok"
+
+    try:
+        if harden(flaky) != "ok":
+            return 0.0
+    except Exception:  # noqa: BLE001 - failing submission scores zero
+        return 0.0
+
+    dead = {"calls": 0}
+
+    def never_up() -> str:
+        dead["calls"] += 1
+        if dead["calls"] > _CALL_BUDGET:
+            # Escape hatch so an unbounded-retry submission terminates;
+            # tripping it is itself the evidence of unboundedness.
+            raise RuntimeError("retry budget blown: unbounded retry loop")
+        raise Unavailable("still down")
+
+    try:
+        harden(never_up)
+    except Exception:  # noqa: BLE001 - giving up loudly is the right move
+        pass
+    else:
+        return 0.5  # swallowed a permanent failure: caller can't react
+    if dead["calls"] > _CALL_BUDGET:
+        return 0.5  # only "gave up" because the harness pulled the plug
+    return 1.0
+
+
+def _reference_resilient_call(flaky: Callable[[], Any]) -> Any:
+    # Bounded attempts, no real sleeping: the grader runs on wall time.
+    return Retry(attempts=8, base_delay=0.0)(flaky)()
+
+
+def fault_tolerance_lab() -> Exercise:
+    """The eleventh lab: wrap an unreliable call so transient failures
+    are retried and permanent ones surface within a bounded budget."""
+    return Exercise(
+        "faults-resilient-call",
+        "Write harden(flaky) that returns flaky()'s value through "
+        "transient Unavailable failures, but surfaces a failure (raises) "
+        "within a bounded number of calls when the dependency never "
+        "recovers.",
+        _check_resilient_call,
+        points=15,
+        topics=[PdcTopic.CLIENT_SERVER, PdcTopic.IPC],
+        outcome_numbers=(1, 2),
+        reference=_reference_resilient_call,
+        modules=("repro.faults.policies", "repro.faults.plan"),
+    )

@@ -1,15 +1,15 @@
-"""Tests for leader election and distributed mutual exclusion."""
+"""Leader election unit tests: the fault-free baselines.
+
+The happy paths live here on purpose: ``tests/faults/`` re-runs these
+algorithms *under* crash faults, and a fault-variant test is only
+meaningful against a green fault-free baseline.
+"""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dist.election import bully_election, ring_election
-from repro.dist.mutex import (
-    MutexAlgorithm,
-    message_complexity_table,
-    simulate_mutex,
-)
+from repro.dist.election import ElectionResult, bully_election, ring_election
 
 
 class TestRingElection:
@@ -41,6 +41,18 @@ class TestRingElection:
     def test_unordered_ring_ids(self):
         result = ring_election([5, 2, 9, 1], initiator=2)
         assert result.leader == 9
+
+    def test_two_processes(self):
+        result = ring_election([0, 1], initiator=0)
+        assert result.leader == 1
+        assert result.rounds == 2
+
+    def test_deterministic_rerun(self):
+        # Pure simulation: identical inputs, identical accounting — the
+        # property the chaos suite's digest checks extend run-wide.
+        a = ring_election(list(range(9)), initiator=4, crashed={6})
+        b = ring_election(list(range(9)), initiator=4, crashed={6})
+        assert a == b == ElectionResult(a.leader, a.messages, a.rounds)
 
     @given(
         st.integers(min_value=2, max_value=12),
@@ -77,6 +89,16 @@ class TestBullyElection:
         assert result.leader == 6
         assert result.messages == 1 + 6
 
+    def test_single_process_elects_itself(self):
+        result = bully_election([3], initiator=3)
+        assert result.leader == 3
+        assert result.messages == 0
+
+    def test_deterministic_rerun(self):
+        a = bully_election(list(range(7)), initiator=2, crashed={5})
+        b = bully_election(list(range(7)), initiator=2, crashed={5})
+        assert a == b
+
     @given(st.integers(min_value=2, max_value=10), st.data())
     @settings(max_examples=50, deadline=None)
     def test_property_same_winner_as_ring(self, n, data):
@@ -86,60 +108,3 @@ class TestBullyElection:
         ring = ring_election(list(range(n)), initiator, crashed)
         bully = bully_election(list(range(n)), initiator, crashed)
         assert ring.leader == bully.leader == max(live)
-
-
-class TestDistributedMutex:
-    REQUESTS = [(1, 0), (2, 3), (3, 1), (4, 2)]
-
-    def test_lamport_message_count(self):
-        r = simulate_mutex(5, self.REQUESTS, MutexAlgorithm.LAMPORT)
-        assert r.messages == 4 * 3 * 4  # 3(n-1) per entry
-
-    def test_ricart_agrawala_message_count(self):
-        r = simulate_mutex(5, self.REQUESTS, MutexAlgorithm.RICART_AGRAWALA)
-        assert r.messages == 4 * 2 * 4
-
-    def test_token_ring_counts_hops(self):
-        r = simulate_mutex(4, [(1, 1), (2, 2), (3, 3)], MutexAlgorithm.TOKEN_RING)
-        # holder 0 -> 1 (1 hop), 1 -> 2 (1), 2 -> 3 (1)
-        assert r.messages == 3
-
-    def test_token_ring_wraps(self):
-        r = simulate_mutex(4, [(1, 3), (2, 1)], MutexAlgorithm.TOKEN_RING)
-        assert r.messages == 3 + 2  # 0->3 then 3->0->1
-
-    def test_entry_order_identical_across_algorithms(self):
-        orders = {
-            algo: simulate_mutex(5, self.REQUESTS, algo).entry_order
-            for algo in MutexAlgorithm
-        }
-        assert len(set(orders.values())) == 1
-        assert orders[MutexAlgorithm.LAMPORT] == tuple(sorted(self.REQUESTS))
-
-    def test_duplicate_requests_rejected(self):
-        with pytest.raises(ValueError):
-            simulate_mutex(3, [(1, 0), (1, 0)])
-
-    def test_process_range_validated(self):
-        with pytest.raises(ValueError):
-            simulate_mutex(3, [(1, 5)])
-
-    def test_needs_two_processes(self):
-        with pytest.raises(ValueError):
-            simulate_mutex(1, [(1, 0)])
-
-    def test_complexity_table_ordering(self):
-        rows = {r["algorithm"]: r["per_entry"] for r in message_complexity_table(8)}
-        assert rows["lamport"] == 21.0
-        assert rows["ricart-agrawala"] == 14.0
-        assert rows["token-ring"] < rows["ricart-agrawala"]
-
-    @given(st.integers(2, 10), st.data())
-    @settings(max_examples=40, deadline=None)
-    def test_property_lamport_is_3_halves_of_ra(self, n, data):
-        k = data.draw(st.integers(1, 6))
-        requests = [(t + 1, data.draw(st.integers(0, n - 1))) for t in range(k)]
-        requests = list(dict.fromkeys(requests))
-        lam = simulate_mutex(n, requests, MutexAlgorithm.LAMPORT)
-        ra = simulate_mutex(n, requests, MutexAlgorithm.RICART_AGRAWALA)
-        assert lam.messages * 2 == ra.messages * 3

@@ -1,0 +1,87 @@
+"""Distributed mutual exclusion unit tests: the fault-free baselines.
+
+Split out of the combined election/mutex file so the chaos suite
+(``tests/faults/``) has a clean per-algorithm baseline to diff its
+fault-variant runs against.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.mutex import (
+    MutexAlgorithm,
+    message_complexity_table,
+    simulate_mutex,
+)
+
+
+class TestDistributedMutex:
+    REQUESTS = [(1, 0), (2, 3), (3, 1), (4, 2)]
+
+    def test_lamport_message_count(self):
+        r = simulate_mutex(5, self.REQUESTS, MutexAlgorithm.LAMPORT)
+        assert r.messages == 4 * 3 * 4  # 3(n-1) per entry
+
+    def test_ricart_agrawala_message_count(self):
+        r = simulate_mutex(5, self.REQUESTS, MutexAlgorithm.RICART_AGRAWALA)
+        assert r.messages == 4 * 2 * 4
+
+    def test_token_ring_counts_hops(self):
+        r = simulate_mutex(4, [(1, 1), (2, 2), (3, 3)], MutexAlgorithm.TOKEN_RING)
+        # holder 0 -> 1 (1 hop), 1 -> 2 (1), 2 -> 3 (1)
+        assert r.messages == 3
+
+    def test_token_ring_wraps(self):
+        r = simulate_mutex(4, [(1, 3), (2, 1)], MutexAlgorithm.TOKEN_RING)
+        assert r.messages == 3 + 2  # 0->3 then 3->0->1
+
+    def test_entry_order_identical_across_algorithms(self):
+        orders = {
+            algo: simulate_mutex(5, self.REQUESTS, algo).entry_order
+            for algo in MutexAlgorithm
+        }
+        assert len(set(orders.values())) == 1
+        assert orders[MutexAlgorithm.LAMPORT] == tuple(sorted(self.REQUESTS))
+
+    def test_entry_order_is_timestamp_order(self):
+        shuffled = [(4, 0), (1, 2), (3, 1)]
+        r = simulate_mutex(3, shuffled)
+        assert r.entry_order == ((1, 2), (3, 1), (4, 0))
+
+    def test_messages_per_entry_consistent(self):
+        r = simulate_mutex(5, self.REQUESTS, MutexAlgorithm.LAMPORT)
+        assert r.messages_per_entry == r.messages / len(self.REQUESTS)
+
+    def test_single_request(self):
+        r = simulate_mutex(3, [(1, 1)], MutexAlgorithm.RICART_AGRAWALA)
+        assert r.entry_order == ((1, 1),)
+        assert r.messages == 2 * 2  # 2(n-1)
+
+    def test_duplicate_requests_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_mutex(3, [(1, 0), (1, 0)])
+
+    def test_process_range_validated(self):
+        with pytest.raises(ValueError):
+            simulate_mutex(3, [(1, 5)])
+
+    def test_needs_two_processes(self):
+        with pytest.raises(ValueError):
+            simulate_mutex(1, [(1, 0)])
+
+    def test_complexity_table_ordering(self):
+        rows = {r["algorithm"]: r["per_entry"] for r in message_complexity_table(8)}
+        assert rows["lamport"] == 21.0
+        assert rows["ricart-agrawala"] == 14.0
+        assert rows["token-ring"] < rows["ricart-agrawala"]
+
+    @given(st.integers(2, 10), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_property_lamport_is_3_halves_of_ra(self, n, data):
+        k = data.draw(st.integers(1, 6))
+        requests = [(t + 1, data.draw(st.integers(0, n - 1))) for t in range(k)]
+        requests = list(dict.fromkeys(requests))
+        lam = simulate_mutex(n, requests, MutexAlgorithm.LAMPORT)
+        ra = simulate_mutex(n, requests, MutexAlgorithm.RICART_AGRAWALA)
+        assert lam.messages * 2 == ra.messages * 3

@@ -1,0 +1,224 @@
+"""The chaos regression suite: resilience properties under scripted faults.
+
+Every scenario runs on a :class:`~repro.runtime.clock.VirtualClock` and is
+parameterized over several seeds — locally the fixed trio ``{0, 1, 2}``,
+in CI also the matrix seed from ``CHAOS_SEED``.  When ``CHAOS_TRACE_DIR``
+is set, each digest scenario writes its canonical trace there so CI can
+upload the artifacts.
+
+The four properties (the issue's acceptance list):
+
+a. elections re-elect after a leader crash and converge after a
+   partition heals;
+b. 2PC blocks under a coordinator crash, but participants holding a
+   timeout policy abort cleanly when any peer can rule out COMMIT;
+c. retry-with-backoff delivers through bursty loss within its budget;
+d. same-seed fault runs are trace-digest-identical.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.dist.commit import Coordinator, Participant, cooperative_termination
+from repro.dist.election import bully_election, ring_election
+from repro.faults import (
+    Crash,
+    Delay,
+    FaultPlan,
+    MessageLoss,
+    Partition,
+    Retry,
+    RetryBudgetExceeded,
+    Timeout,
+    Unavailable,
+)
+from repro.net.simnet import Address, Network
+from repro.runtime import RunContext
+
+SEEDS = sorted({0, 1, 2} | (
+    {int(os.environ["CHAOS_SEED"])} if os.environ.get("CHAOS_SEED") else set()
+))
+
+
+def _dump_trace(ctx: RunContext, name: str, seed: int) -> None:
+    """Write the canonical trace for CI artifact upload, when asked to."""
+    trace_dir = os.environ.get("CHAOS_TRACE_DIR")
+    if not trace_dir:
+        return
+    out = pathlib.Path(trace_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / f"{name}-seed{seed}.json").write_bytes(ctx.tracer.canonical_bytes())
+
+
+# -- (a) election under crash and partition ----------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+class TestElectionUnderFaults:
+    def test_reelection_after_leader_crash(self, seed):
+        ctx = RunContext.deterministic(seed=seed)
+        ids = list(range(8))
+        plan = FaultPlan(Crash(node="7", start=1.0), context=ctx)
+
+        before = ring_election(
+            ids, initiator=seed % 8,
+            crashed={int(n) for n in plan.crashed_nodes()},
+        )
+        assert before.leader == 7
+
+        ctx.clock.sleep(1.5)  # the leader dies
+        crashed = {int(n) for n in plan.crashed_nodes()}
+        assert crashed == {7}
+        after = ring_election(ids, initiator=seed % 7, crashed=crashed)
+        assert after.leader == 6
+        # The bully agrees — re-election is algorithm-independent.
+        assert bully_election(ids, seed % 7, crashed).leader == 6
+
+    def test_partitioned_sides_diverge_then_converge_on_heal(self, seed):
+        ctx = RunContext.deterministic(seed=seed)
+        plan = FaultPlan(
+            Partition(groups=(("0", "1", "2"), ("3", "4")), stop=4.0),
+            context=ctx,
+        )
+        ids = list(range(5))
+
+        # During the partition each side can only elect among itself.
+        assert plan.partitioned("0", "4")
+        majority = ring_election([0, 1, 2], initiator=0)
+        minority = ring_election([3, 4], initiator=3)
+        assert majority.leader == 2
+        assert minority.leader == 4  # split brain: two leaders
+
+        ctx.clock.sleep(4.0)  # heal
+        assert not plan.partitioned("0", "4")
+        merged = ring_election(ids, initiator=seed % 5)
+        assert merged.leader == 4  # one cluster, one leader again
+
+
+# -- (b) 2PC under coordinator crash ------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+class TestTwoPcUnderCoordinatorCrash:
+    def test_all_prepared_cohort_blocks(self, seed):
+        ctx = RunContext.deterministic(seed=seed)
+        ps = [Participant(f"p{i}") for i in range(3)]
+        outcome = Coordinator(ps, crash_after_prepare=True).run()
+        assert outcome.coordinator_crashed
+        assert outcome.blocked_participants == ["p0", "p1", "p2"]
+
+        # Even after the timeout fires, a unanimously-PREPARED cohort
+        # cannot rule out COMMIT: nobody is released.  The blocking
+        # window is real.
+        released = cooperative_termination(
+            ps, Timeout(2.0, clock=ctx.clock)
+        )
+        assert released == []
+        assert ctx.clock.now() >= 2.0  # the wait really happened
+        assert [p.state.value for p in ps] == ["prepared"] * 3
+
+    def test_timeout_policy_aborts_cleanly_when_abort_is_safe(self, seed):
+        ctx = RunContext.deterministic(seed=seed)
+        ps = [
+            Participant("p0"),
+            Participant("p1"),
+            Participant("p2", will_vote_yes=False),  # the living witness
+        ]
+        outcome = Coordinator(ps, crash_after_prepare=True).run()
+        assert outcome.coordinator_crashed
+        assert not outcome.committed
+        assert outcome.blocked_participants == ["p0", "p1"]
+
+        released = cooperative_termination(
+            ps, Timeout(1.0, clock=ctx.clock)
+        )
+        assert released == ["p0", "p1"]
+        assert all(p.state.value == "aborted" for p in ps)
+        assert ctx.clock.now() >= 1.0
+
+
+# -- (c) retry through bursty loss --------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+class TestRetryThroughBurstyLoss:
+    def test_retry_delivers_within_budget(self, seed):
+        ctx = RunContext.deterministic(seed=seed)
+        net = Network(context=ctx)
+        net.attach_fault_plan(
+            FaultPlan(MessageLoss(rate=0.3, burst=2))
+        )
+        box = net.bind_datagram(Address("srv", 1))
+        src, dst = Address("cli", 9), Address("srv", 1)
+
+        def send_once(payload):
+            if not net.send_datagram(src, dst, payload):
+                raise Unavailable("datagram lost")
+            return True
+
+        resilient = Retry(
+            attempts=20, base_delay=0.05, backoff=1.5, context=ctx
+        )(send_once)
+        delivered = sum(bool(resilient(i)) for i in range(20))
+        assert delivered == 20
+        received = []
+        while True:
+            item = box.try_get()
+            if item is None:
+                break
+            received.append(item[1])
+        assert received == list(range(20))  # every payload, in order
+        retries = ctx.registry.counter("faults.retries").value
+        assert retries > 0  # the loss actually bit
+        assert ctx.registry.counter("faults.giveups").value == 0
+
+    def test_hopeless_loss_exhausts_budget(self, seed):
+        ctx = RunContext.deterministic(seed=seed)
+        net = Network(context=ctx)
+        net.attach_fault_plan(FaultPlan(MessageLoss(rate=1.0)))
+        net.bind_datagram(Address("srv", 1))
+
+        def send_once():
+            if not net.send_datagram(Address("cli", 9), Address("srv", 1), 0):
+                raise Unavailable("datagram lost")
+
+        with pytest.raises(RetryBudgetExceeded):
+            Retry(attempts=4, base_delay=0.05, context=ctx)(send_once)()
+        assert ctx.registry.counter("faults.giveups").value == 1
+
+
+# -- (d) same-seed chaos runs are digest-identical ----------------------------
+def _chaos_scenario(seed: int) -> RunContext:
+    """A run exercising every fault type; returns its context."""
+    ctx = RunContext.deterministic(seed=seed)
+    net = Network(context=ctx)
+    net.attach_fault_plan(FaultPlan(
+        MessageLoss(rate=0.3, burst=2),
+        Delay(seconds=0.01, jitter=0.02, src="cli"),
+        Partition(groups=(("cli",), ("far",)), start=0.5, stop=1.5),
+        Crash(node="flaky", start=1.0, restart_at=2.0),
+    ))
+    for port, host in ((1, "srv"), (2, "far"), (3, "flaky")):
+        net.bind_datagram(Address(host, port))
+    targets = [Address("srv", 1), Address("far", 2), Address("flaky", 3)]
+    for i in range(40):
+        net.send_datagram(Address("cli", 9), targets[i % 3], i)
+        if i % 10 == 9:
+            ctx.clock.sleep(0.25)
+    return ctx
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestDeterministicChaos:
+    def test_same_seed_same_digest(self, seed):
+        a = _chaos_scenario(seed)
+        b = _chaos_scenario(seed)
+        assert a.tracer.digest() == b.tracer.digest()
+        _dump_trace(a, "chaos", seed)
+
+    def test_same_seed_same_metrics(self, seed):
+        a = _chaos_scenario(seed).registry.snapshot()
+        b = _chaos_scenario(seed).registry.snapshot()
+        assert a == b
+
+
+def test_different_seeds_differ():
+    # Not a tautology: it proves the loss/jitter decisions actually come
+    # from the seeded streams, not from something constant.
+    assert _chaos_scenario(0).tracer.digest() != _chaos_scenario(1).tracer.digest()

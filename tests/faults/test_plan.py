@@ -1,0 +1,213 @@
+"""FaultPlan: spec validation, activity windows, query semantics."""
+
+import pytest
+
+from repro.faults import (
+    Crash,
+    Delay,
+    FaultPlan,
+    MessageLoss,
+    Partition,
+    Reorder,
+    SlowNode,
+)
+from repro.runtime import RunContext
+
+
+class TestSpecValidation:
+    def test_loss_rate_range(self):
+        with pytest.raises(ValueError):
+            MessageLoss(rate=1.5)
+        with pytest.raises(ValueError):
+            MessageLoss(rate=-0.1)
+        with pytest.raises(ValueError):
+            MessageLoss(rate=float("nan"))
+
+    def test_burst_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MessageLoss(rate=0.5, burst=0)
+
+    def test_delay_non_negative(self):
+        with pytest.raises(ValueError):
+            Delay(seconds=-1.0)
+        with pytest.raises(ValueError):
+            Delay(seconds=0.1, jitter=-0.5)
+
+    def test_reorder_rate_range(self):
+        with pytest.raises(ValueError):
+            Reorder(rate=2.0)
+
+    def test_partition_groups_disjoint(self):
+        with pytest.raises(ValueError):
+            Partition(groups=(("a", "b"), ("b", "c")))
+
+    def test_crash_needs_node(self):
+        with pytest.raises(ValueError):
+            Crash()
+
+    def test_crash_restart_after_start(self):
+        with pytest.raises(ValueError):
+            Crash(node="x", start=5.0, restart_at=1.0)
+
+    def test_slow_node_penalty_non_negative(self):
+        with pytest.raises(ValueError):
+            SlowNode(node="x", penalty=-0.1)
+
+    def test_plan_rejects_non_specs(self):
+        with pytest.raises(TypeError):
+            FaultPlan("not a spec")
+
+    def test_one_crash_per_node(self):
+        with pytest.raises(ValueError):
+            FaultPlan(Crash(node="x"), Crash(node="x", start=3.0))
+
+
+class TestWindows:
+    def test_default_window_is_whole_run(self):
+        spec = MessageLoss(rate=0.5)
+        assert spec.active(0.0) and spec.active(1e9)
+
+    def test_window_is_half_open(self):
+        spec = Delay(seconds=0.1, start=1.0, stop=2.0)
+        assert not spec.active(0.5)
+        assert spec.active(1.0)
+        assert spec.active(1.999)
+        assert not spec.active(2.0)
+
+    def test_crash_window(self):
+        crash = Crash(node="x", start=1.0, restart_at=3.0)
+        assert not crash.crashed(0.0)
+        assert crash.crashed(1.0)
+        assert crash.crashed(2.9)
+        assert not crash.crashed(3.0)  # restarted
+
+    def test_crash_without_restart_is_forever(self):
+        crash = Crash(node="x", start=1.0)
+        assert crash.crashed(1e12)
+
+
+class TestBinding:
+    def test_rebind_same_context_idempotent(self):
+        ctx = RunContext.deterministic(seed=1)
+        plan = FaultPlan(context=ctx)
+        assert plan.bind(ctx) is plan
+
+    def test_rebind_different_context_rejected(self):
+        plan = FaultPlan(context=RunContext.deterministic(seed=1))
+        with pytest.raises(ValueError):
+            plan.bind(RunContext.deterministic(seed=2))
+
+    def test_unbound_plan_self_binds_to_virtual_zero(self):
+        plan = FaultPlan(Crash(node="x", start=1.0))
+        assert plan.now() == 0.0
+        assert not plan.is_crashed("x")
+        plan.clock.sleep(1.5)
+        assert plan.is_crashed("x")
+
+
+class TestQueries:
+    def test_partition_separates_only_named_groups(self):
+        ctx = RunContext.deterministic(seed=0)
+        plan = FaultPlan(
+            Partition(groups=(("a", "b"), ("c",))), context=ctx
+        )
+        assert plan.partitioned("a", "c")
+        assert plan.partitioned("c", "b")
+        assert not plan.partitioned("a", "b")  # same side
+        assert not plan.partitioned("a", "zz")  # zz unnamed: unaffected
+
+    def test_partition_heals_at_stop(self):
+        ctx = RunContext.deterministic(seed=0)
+        plan = FaultPlan(
+            Partition(groups=(("a",), ("b",)), stop=2.0), context=ctx
+        )
+        assert plan.partitioned("a", "b")
+        ctx.clock.sleep(2.0)
+        assert not plan.partitioned("a", "b")
+
+    def test_drop_reason_priority_partition_first(self):
+        ctx = RunContext.deterministic(seed=0)
+        plan = FaultPlan(
+            Partition(groups=(("a",), ("b",))),
+            MessageLoss(rate=1.0),
+            context=ctx,
+        )
+        assert plan.drop_reason("a", "b") == "partition"
+        assert plan.drop_reason("a", "c") == "loss"
+
+    def test_crash_drops_datagrams(self):
+        ctx = RunContext.deterministic(seed=0)
+        plan = FaultPlan(Crash(node="dead"), context=ctx)
+        assert plan.drop_reason("a", "dead") == "crash"
+        assert plan.drop_reason("dead", "a") == "crash"
+        assert plan.drop_reason("a", "b") is None
+
+    def test_loss_filters_by_flow(self):
+        ctx = RunContext.deterministic(seed=0)
+        plan = FaultPlan(MessageLoss(rate=1.0, src="a", dst="b"), context=ctx)
+        assert plan.drop_reason("a", "b") == "loss"
+        assert plan.drop_reason("b", "a") is None
+
+    def test_burst_forces_consecutive_drops(self):
+        ctx = RunContext.deterministic(seed=0)
+        plan = FaultPlan(MessageLoss(rate=0.2, burst=4), context=ctx)
+        fates = [plan.drop_reason("a", "b") for _ in range(300)]
+        drops = [f == "loss" for f in fates]
+        assert any(drops) and not all(drops)
+        # Correlation: some run of >= burst consecutive drops exists, and
+        # the overall drop fraction exceeds the per-datagram start rate.
+        run = best = 0
+        for d in drops:
+            run = run + 1 if d else 0
+            best = max(best, run)
+        assert best >= 4
+        assert sum(drops) / len(drops) > 0.2
+
+    def test_burst_one_is_independent_loss(self):
+        ctx = RunContext.deterministic(seed=0)
+        plan = FaultPlan(MessageLoss(rate=1.0, burst=1), context=ctx)
+        assert plan.drop_reason("a", "b") == "loss"
+
+    def test_delay_accumulates_specs_and_slow_nodes(self):
+        ctx = RunContext.deterministic(seed=0)
+        plan = FaultPlan(
+            Delay(seconds=0.25),
+            SlowNode(node="slow", penalty=1.0),
+            context=ctx,
+        )
+        assert plan.delay_for("a", "b") == 0.25
+        assert plan.delay_for("a", "slow") == 1.25
+        assert plan.delay_for("slow", "a") == 1.25
+
+    def test_delay_jitter_is_seeded(self):
+        def total(seed):
+            ctx = RunContext.deterministic(seed=seed)
+            plan = FaultPlan(Delay(seconds=0.1, jitter=0.2), context=ctx)
+            return [plan.delay_for("a", "b") for _ in range(10)]
+
+        assert total(5) == total(5)
+        assert total(5) != total(6)
+
+    def test_restart_at_lookup(self):
+        plan = FaultPlan(Crash(node="x", start=1.0, restart_at=4.0))
+        assert plan.restart_at("x") == 4.0
+        assert plan.restart_at("y") is None
+
+    def test_crashed_nodes_sorted(self):
+        ctx = RunContext.deterministic(seed=0)
+        plan = FaultPlan(
+            Crash(node="zeta"), Crash(node="alpha"), context=ctx
+        )
+        assert plan.crashed_nodes() == ["alpha", "zeta"]
+
+    def test_describe_and_len(self):
+        plan = FaultPlan(Crash(node="x"), Delay(seconds=0.1))
+        assert len(plan) == 2
+        assert len(plan.describe()) == 2
+        assert "Crash" in plan.describe()[0]
+
+    def test_drop_metrics_recorded(self):
+        ctx = RunContext.deterministic(seed=0)
+        plan = FaultPlan(Partition(groups=(("a",), ("b",))), context=ctx)
+        plan.drop_reason("a", "b")
+        assert ctx.registry.counter("faults.drops.partition").value == 1

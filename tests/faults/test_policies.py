@@ -1,0 +1,217 @@
+"""Resilience policies on virtual time: timeout, retry, circuit breaker."""
+
+import pytest
+
+from repro.faults import (
+    CircuitBreaker,
+    CircuitOpen,
+    Retry,
+    RetryBudgetExceeded,
+    Timeout,
+    Unavailable,
+)
+from repro.runtime import RunContext, VirtualClock
+
+
+class TestTimeout:
+    def test_expires_on_virtual_clock(self):
+        clock = VirtualClock()
+        t = Timeout(2.0, clock=clock).start()
+        assert not t.expired
+        assert t.remaining() == 2.0
+        clock.sleep(2.0)
+        assert t.expired
+        assert t.remaining() == 0.0
+
+    def test_wait_advances_to_deadline(self):
+        clock = VirtualClock()
+        t = Timeout(3.0, clock=clock).start()
+        clock.sleep(1.0)
+        t.wait()
+        assert clock.now() == 3.0
+
+    def test_auto_arms_on_first_query(self):
+        clock = VirtualClock()
+        t = Timeout(1.0, clock=clock)
+        assert not t.expired  # armed here
+        clock.sleep(1.0)
+        assert t.expired
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+
+class TestRetry:
+    def _flaky(self, failures, exc=Unavailable):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise exc("transient")
+            return calls["n"]
+
+        return fn, calls
+
+    def test_recovers_within_attempts(self):
+        ctx = RunContext.deterministic(seed=0)
+        fn, calls = self._flaky(2)
+        assert Retry(attempts=4, base_delay=0.1, context=ctx)(fn)() == 3
+        assert calls["n"] == 3
+        assert ctx.registry.counter("faults.retries").value == 2
+
+    def test_backoff_advances_virtual_time_exponentially(self):
+        ctx = RunContext.deterministic(seed=0)
+        fn, _ = self._flaky(3)
+        Retry(attempts=4, base_delay=0.1, backoff=2.0, context=ctx)(fn)()
+        # Slept 0.1 + 0.2 + 0.4 before attempts 2..4.
+        assert ctx.clock.now() == pytest.approx(0.7)
+
+    def test_gives_up_with_budget_exceeded(self):
+        ctx = RunContext.deterministic(seed=0)
+        fn, calls = self._flaky(10)
+        with pytest.raises(RetryBudgetExceeded) as info:
+            Retry(attempts=3, base_delay=0.1, context=ctx)(fn)()
+        assert calls["n"] == 3
+        assert isinstance(info.value.__cause__, Unavailable)
+        assert ctx.registry.counter("faults.giveups").value == 1
+
+    def test_total_delay_budget_caps_before_attempts(self):
+        ctx = RunContext.deterministic(seed=0)
+        fn, calls = self._flaky(10)
+        with pytest.raises(RetryBudgetExceeded):
+            Retry(
+                attempts=10, base_delay=1.0, backoff=2.0,
+                max_total_delay=4.0, context=ctx,
+            )(fn)()
+        # Delays 1, 2 fit (3.0 total); the next 4.0 would blow the budget.
+        assert calls["n"] == 3
+        assert ctx.clock.now() == pytest.approx(3.0)
+
+    def test_non_retryable_exception_propagates(self):
+        ctx = RunContext.deterministic(seed=0)
+
+        def broken():
+            raise KeyError("logic bug, not an outage")
+
+        with pytest.raises(KeyError):
+            Retry(attempts=3, base_delay=0.0, context=ctx)(broken)()
+
+    def test_jitter_is_seeded_and_deterministic(self):
+        def elapsed(seed):
+            ctx = RunContext.deterministic(seed=seed)
+            fn, _ = self._flaky(3)
+            Retry(
+                attempts=5, base_delay=0.1, jitter=0.05, context=ctx
+            )(fn)()
+            return ctx.clock.now()
+
+        assert elapsed(9) == elapsed(9)
+        assert elapsed(9) > 0.7  # jitter added something
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Retry(attempts=0)
+        with pytest.raises(ValueError):
+            Retry(backoff=0.5)
+        with pytest.raises(ValueError):
+            Retry(base_delay=-1)
+
+
+class TestCircuitBreaker:
+    def _dead(self):
+        def fn():
+            raise Unavailable("down")
+
+        return fn
+
+    def test_trips_after_threshold(self):
+        ctx = RunContext.deterministic(seed=0)
+        cb = CircuitBreaker(failure_threshold=3, reset_timeout=1.0, context=ctx)
+        guarded = cb(self._dead())
+        for _ in range(3):
+            with pytest.raises(Unavailable):
+                guarded()
+        assert cb.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpen):
+            guarded()  # fail-fast, no call to the dependency
+        assert ctx.registry.counter("faults.breaker.trips").value == 1
+        assert ctx.registry.gauge("faults.breaker.state").value == 1
+
+    def test_half_open_probe_success_closes(self):
+        ctx = RunContext.deterministic(seed=0)
+        cb = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, context=ctx)
+        state = {"up": False}
+
+        def dep():
+            if not state["up"]:
+                raise Unavailable("down")
+            return "value"
+
+        guarded = cb(dep)
+        with pytest.raises(Unavailable):
+            guarded()
+        assert cb.state == CircuitBreaker.OPEN
+        ctx.clock.sleep(1.0)
+        assert cb.state == CircuitBreaker.HALF_OPEN
+        state["up"] = True
+        assert guarded() == "value"  # the probe
+        assert cb.state == CircuitBreaker.CLOSED
+        assert ctx.registry.gauge("faults.breaker.state").value == 0
+
+    def test_half_open_probe_failure_reopens(self):
+        ctx = RunContext.deterministic(seed=0)
+        cb = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, context=ctx)
+        guarded = cb(self._dead())
+        with pytest.raises(Unavailable):
+            guarded()
+        ctx.clock.sleep(1.0)
+        with pytest.raises(Unavailable):
+            guarded()  # probe admitted, fails
+        assert cb.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpen):
+            guarded()
+        assert ctx.registry.counter("faults.breaker.trips").value == 2
+
+    def test_success_resets_failure_streak(self):
+        ctx = RunContext.deterministic(seed=0)
+        cb = CircuitBreaker(failure_threshold=2, context=ctx)
+        flip = {"fail": True}
+
+        def dep():
+            if flip["fail"]:
+                raise Unavailable("down")
+            return True
+
+        guarded = cb(dep)
+        with pytest.raises(Unavailable):
+            guarded()
+        flip["fail"] = False
+        assert guarded()
+        flip["fail"] = True
+        with pytest.raises(Unavailable):
+            guarded()  # streak restarted: still closed
+        assert cb.state == CircuitBreaker.CLOSED
+
+    def test_policies_compose(self):
+        # Retry around a breaker: once the breaker opens, the retries see
+        # CircuitOpen (an Unavailable) and the whole stack gives up fast.
+        ctx = RunContext.deterministic(seed=0)
+        cb = CircuitBreaker(failure_threshold=2, reset_timeout=60.0, context=ctx)
+        calls = {"n": 0}
+
+        def dep():
+            calls["n"] += 1
+            raise Unavailable("down")
+
+        stack = Retry(attempts=5, base_delay=0.1, context=ctx)(cb(dep))
+        with pytest.raises(RetryBudgetExceeded):
+            stack()
+        assert calls["n"] == 2  # breaker shielded attempts 3..5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=-1.0)

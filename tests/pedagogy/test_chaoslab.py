@@ -1,0 +1,85 @@
+"""The fault-tolerance lab: the autograder scenario for repro.faults."""
+
+from repro.faults import Retry, RetryBudgetExceeded, Unavailable
+from repro.pedagogy import Autograder, fault_tolerance_lab, standard_labs
+
+
+def _naive_unbounded(flaky):
+    while True:
+        try:
+            return flaky()
+        except Unavailable:
+            continue
+
+
+def _swallows_failure(flaky):
+    for _ in range(8):
+        try:
+            return flaky()
+        except Exception:
+            pass
+    return None  # gives up silently — the caller never learns
+
+
+class TestFaultToleranceLab:
+    def test_reference_earns_full_credit(self):
+        lab = fault_tolerance_lab()
+        assert lab.grade(lab.reference).fraction == 1.0
+
+    def test_retry_policy_is_a_full_credit_submission(self):
+        lab = fault_tolerance_lab()
+        submission = lambda flaky: Retry(attempts=8, base_delay=0.0)(flaky)()  # noqa: E731
+        assert lab.grade(submission).fraction == 1.0
+
+    def test_unbounded_retry_gets_half_credit(self):
+        # Recovers, but would hammer a dead dependency forever: the
+        # checker's call budget catches the unbounded loop.
+        result = fault_tolerance_lab().grade(_naive_unbounded)
+        assert result.fraction == 0.5
+
+    def test_swallowed_permanent_failure_gets_half_credit(self):
+        result = fault_tolerance_lab().grade(_swallows_failure)
+        assert result.fraction == 0.5
+
+    def test_no_retry_scores_zero(self):
+        result = fault_tolerance_lab().grade(lambda flaky: flaky())
+        assert result.fraction == 0.0
+
+    def test_wrong_value_scores_zero(self):
+        result = fault_tolerance_lab().grade(lambda flaky: "wrong")
+        assert result.fraction == 0.0
+
+    def test_passing_raises_budget_error_counts_as_giving_up(self):
+        # A submission built on the substrate's own Retry raises
+        # RetryBudgetExceeded on the dead dependency — full credit.
+        def submission(flaky):
+            try:
+                return Retry(attempts=4, base_delay=0.0)(flaky)()
+            except RetryBudgetExceeded:
+                raise
+
+        assert fault_tolerance_lab().grade(submission).fraction == 1.0
+
+
+class TestLabCatalogContract:
+    def test_standard_labs_still_ten(self):
+        # The ten-lab contract is load-bearing (outcome-coverage tests);
+        # the fault-tolerance lab rides alongside, not inside.
+        assert len(standard_labs()) == 10
+        assert fault_tolerance_lab().exercise_id not in {
+            lab.exercise_id for lab in standard_labs()
+        }
+
+    def test_gradable_through_autograder(self):
+        lab = fault_tolerance_lab()
+        grader = Autograder(standard_labs() + [lab])
+        report = grader.grade(
+            "student", {lab.exercise_id: lab.reference}
+        )
+        assert report.result_for(lab.exercise_id).fraction == 1.0
+
+    def test_lab_metadata(self):
+        lab = fault_tolerance_lab()
+        assert lab.points == 15
+        assert "repro.faults.policies" in lab.modules
+        assert set(lab.outcome_numbers) == {1, 2}
