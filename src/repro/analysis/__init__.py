@@ -37,7 +37,13 @@ from repro.analysis.analyzer import (
     analyze_paths,
     analyze_source,
 )
-from repro.analysis.report import Finding, Severity, render_json, render_text
+from repro.analysis.report import (
+    Finding,
+    Severity,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.analysis.rules import Rule, RuleRegistry, default_registry
 
 __all__ = [
@@ -49,6 +55,7 @@ __all__ = [
     "Finding",
     "Severity",
     "render_json",
+    "render_sarif",
     "render_text",
     "Rule",
     "RuleRegistry",

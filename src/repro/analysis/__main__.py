@@ -11,7 +11,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis.analyzer import analyze_paths
-from repro.analysis.report import render_json, render_text
+from repro.analysis.report import render_json, render_sarif, render_text
 from repro.analysis.rules import default_registry
 
 __all__ = ["main"]
@@ -32,9 +32,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; sarif for CI code scanning)",
     )
     parser.add_argument(
         "--select",
@@ -70,7 +70,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         [s for s in args.select.split(",") if s.strip()] if args.select else None
     )
     result = analyze_paths(args.paths, select=select)
-    renderer = render_json if args.format == "json" else render_text
+    extra = {}
+    if args.format == "sarif":
+        renderer = render_sarif
+        extra["rules"] = [
+            (r.id, r.name, r.summary) for r in default_registry().rules()
+        ]
+    elif args.format == "json":
+        renderer = render_json
+    else:
+        renderer = render_text
     try:
         print(
             renderer(
@@ -78,6 +87,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 files=result.files,
                 suppressed=result.suppressed,
                 errors=result.errors,
+                **extra,
             )
         )
     except BrokenPipeError:

@@ -27,6 +27,7 @@ __all__ = [
     "apply_suppressions",
     "render_text",
     "render_json",
+    "render_sarif",
 ]
 
 
@@ -137,17 +138,95 @@ def render_json(
     files: int = 0,
     suppressed: int = 0,
     errors: Sequence[str] = (),
+    tool: str = "pdc-lint",
 ) -> str:
     """The machine format: findings plus a per-rule summary."""
     by_rule: Dict[str, int] = {}
     for f in findings:
         by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
     payload = {
-        "tool": "pdc-lint",
+        "tool": tool,
         "files": files,
         "suppressed": suppressed,
         "errors": list(errors),
         "summary": dict(sorted(by_rule.items())),
         "findings": [f.as_dict() for f in sorted(findings)],
+    }
+    return json.dumps(payload, indent=2)
+
+
+_SARIF_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.ADVICE: "note",
+}
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    files: int = 0,
+    suppressed: int = 0,
+    errors: Sequence[str] = (),
+    tool: str = "pdc-lint",
+    rules: Optional[Sequence[Tuple[str, str, str]]] = None,
+) -> str:
+    """SARIF 2.1.0 — the interchange format CI code-scanning ingests.
+
+    ``rules`` is optional ``(id, name, summary)`` driver metadata; rule
+    ids appearing only in ``findings`` still get a minimal entry, so the
+    log is self-contained either way.  SARIF columns are 1-based where
+    :class:`Finding` columns are 0-based.
+    """
+    meta: Dict[str, Tuple[str, str]] = {
+        rid: (name, summary) for rid, name, summary in (rules or ())
+    }
+    for f in findings:
+        meta.setdefault(f.rule, (f.rule, f.message))
+    driver_rules = [
+        {
+            "id": rid,
+            "name": name,
+            "shortDescription": {"text": summary},
+        }
+        for rid, (name, summary) in sorted(meta.items())
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": _SARIF_LEVEL[f.severity],
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {
+                            "startLine": max(f.line, 1),
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in sorted(findings)
+    ]
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {"driver": {"name": tool, "rules": driver_rules}},
+                "results": results,
+                "invocations": [
+                    {
+                        "executionSuccessful": not errors,
+                        "toolExecutionNotifications": [
+                            {"level": "error", "message": {"text": e}}
+                            for e in errors
+                        ],
+                    }
+                ],
+                "properties": {"files": files, "suppressed": suppressed},
+            }
+        ],
     }
     return json.dumps(payload, indent=2)

@@ -19,7 +19,14 @@ PDC205    mutable default argument on a thread-reachable function
 PDC206    ``join()`` while holding a lock
 PDC207    busy-wait spin loop
 PDC208    re-acquiring a held non-reentrant lock (self-deadlock)
+PDC209    blocking call (stdin/subprocess/network) under a lock
+PDC210    wall-clock read in a module written against an injected Clock
 ========  =======================================================
+
+The PDC3xx family (dynamic findings from :mod:`repro.sanitizers`) shares
+the same :class:`~repro.analysis.report.Finding` model and renderers but
+is *not* registered here: those diagnoses come from execution, not from
+a static pass over a module.
 """
 
 from __future__ import annotations
@@ -405,6 +412,139 @@ class SpinWaitRule(Rule):
                         "burns the GIL and starves the writer; block on an "
                         "Event or Condition",
                     )
+
+
+@rule
+class BlockingCallUnderLockRule(Rule):
+    """PDC209: blocking I/O inside a critical section."""
+
+    id = "PDC209"
+    name = "blocking-call-under-lock"
+    summary = (
+        "a call that blocks on the outside world (stdin, subprocess, "
+        "network request) inside a critical section stalls every waiter "
+        "for unbounded time"
+    )
+
+    #: Canonical dotted names that block on the outside world.
+    #: ``time.sleep`` is deliberately absent (PDC202's diagnosis), as are
+    #: ``.join`` (PDC206) and ``.get`` (dictionary lookups under a lock
+    #: are idiomatic and queue gets are often intentional rendezvous).
+    _BLOCKING_CALLS = {
+        "input",
+        "os.system", "os.wait", "os.waitpid",
+        "subprocess.run", "subprocess.call",
+        "subprocess.check_call", "subprocess.check_output",
+        "urllib.request.urlopen",
+        "requests.get", "requests.post", "requests.put",
+        "requests.delete", "requests.request",
+        "socket.create_connection",
+    }
+    #: Method names that block regardless of the receiver's type.
+    _BLOCKING_METHODS = {"recv", "recvfrom", "accept", "getresponse"}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for info in ctx.functions:
+            if info.name in _PRIMITIVE_METHODS:
+                continue
+            for stmt, held in _func_statements_with_locks(ctx, info):
+                if not held:
+                    continue
+                for call in _calls_in(stmt):
+                    label = self._blocking_label(ctx, call)
+                    if label is not None:
+                        yield self.make(
+                            ctx,
+                            call,
+                            f"`{label}` blocks on the outside world while "
+                            f"holding {{{', '.join(sorted(held))}}}; move the "
+                            "blocking call outside the critical section",
+                            symbol=label,
+                        )
+
+    def _blocking_label(
+        self, ctx: ModuleContext, call: ast.Call
+    ) -> Optional[str]:
+        resolved = ctx.resolve_call(call)
+        if resolved in self._BLOCKING_CALLS:
+            return f"{resolved}()"
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in self._BLOCKING_METHODS
+        ):
+            return f".{call.func.attr}()"
+        return None
+
+
+@rule
+class WallClockRule(Rule):
+    """PDC210: wall-clock reads in code written against an injected Clock."""
+
+    id = "PDC210"
+    name = "wallclock-in-clocked-code"
+    summary = (
+        "time.time()/monotonic()/perf_counter() in a clock-injected module "
+        "bypasses the injected Clock and breaks deterministic replay"
+    )
+
+    _WALLCLOCK = {
+        "time.time", "time.monotonic", "time.perf_counter",
+        "time.time_ns", "time.monotonic_ns", "time.perf_counter_ns",
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self._clock_aware(ctx.tree):
+            return
+        for info in ctx.functions:
+            for stmt in iter_statements(info.node):
+                for call in _calls_in(stmt):
+                    resolved = ctx.resolve_call(call)
+                    if resolved in self._WALLCLOCK:
+                        yield self.make(
+                            ctx,
+                            call,
+                            f"`{resolved}()` reads the wall clock in a module "
+                            "written against an injected Clock; route the "
+                            "read through the clock so replays stay "
+                            "deterministic",
+                            symbol=resolved,
+                        )
+
+    @staticmethod
+    def _clock_aware(tree: ast.Module) -> bool:
+        """Whether the module opted into clock injection: it imports a
+        Clock type from :mod:`repro.runtime`, takes a ``clock`` parameter,
+        stores ``self.clock``/``self._clock``, or subclasses ``Clock``."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module.startswith("repro.runtime") and any(
+                    "Clock" in alias.name for alias in node.names
+                ):
+                    return True
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                params = (
+                    list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)
+                )
+                if any(p.arg == "clock" for p in params):
+                    return True
+            elif isinstance(node, ast.ClassDef):
+                for base in node.bases:
+                    if (isinstance(base, ast.Name) and base.id == "Clock") or (
+                        isinstance(base, ast.Attribute) and base.attr == "Clock"
+                    ):
+                        return True
+            elif (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Store)
+                and node.attr in {"clock", "_clock"}
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                return True
+        return False
 
 
 @rule

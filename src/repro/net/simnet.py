@@ -26,6 +26,7 @@ import numpy as np
 from repro.faults.errors import NodeCrashed, PartitionedError
 from repro.runtime import RunContext
 from repro.runtime.metrics import RegistryStats, payload_size
+from repro.sanitizers import hooks
 from repro.smp.squeue import SynchronizedQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -128,10 +129,22 @@ class Network:
         if self._tracer is not None:
             self._tracer.instant(name, cat="net", args=args)
 
-    def record_delivery(self, payload: Any, kind: str = "stream") -> None:
-        """Account one delivered payload and trace it (sockets call this)."""
+    def record_delivery(
+        self,
+        payload: Any,
+        kind: str = "stream",
+        source: Optional[Address] = None,
+        dest: Optional[Address] = None,
+    ) -> None:
+        """Account one delivered payload and trace it (sockets call this).
+
+        With endpoints given, an attached message-race sanitizer stamps
+        the delivery with the sending host's vector clock.
+        """
         self.stats.record(payload)
         self._trace_instant("net.deliver", {"kind": kind})
+        if source is not None and dest is not None:
+            hooks.on_message(source, dest, kind)
 
     def check_connected(self, source: Address, dest: Address) -> None:
         """Fault gate for the connection path (sockets call this per send).
@@ -275,4 +288,5 @@ class Network:
         self._trace_instant(
             "net.datagram", {"src": str(source), "dst": str(dest)}
         )
+        hooks.on_message(source, dest, "datagram")
         box.put((source, payload))

@@ -91,7 +91,9 @@ class Connection:
         """
         self._network.check_connected(self.local, self.peer)
         try:
-            self._network.record_delivery(obj, kind="stream")
+            self._network.record_delivery(
+                obj, kind="stream", source=self.local, dest=self.peer
+            )
             self._send_q.put(obj)
         except QueueClosed as exc:
             raise BrokenPipeError(f"connection to {self.peer} closed") from exc

@@ -7,6 +7,14 @@ submission carries source (a string, or a callable whose source
 grade report — and, with ``precheck_gate=True``, a flagged submission
 scores zero before its code ever runs, mirroring how Bloom/ABET-mapped
 assessment grades understanding before outcomes.
+
+A second, **dynamic** stage (``sanitize=True``) runs the same source
+under PDC-San (:mod:`repro.sanitizers`): one deterministic instrumented
+execution, whose PDC3xx findings (races FastTrack actually observed,
+lock-order cycles actually taken) land in the report next to the static
+ones — and, with ``sanitize_gate=True``, also score the submission zero.
+The pairing is the pedagogy: a static flag says "this *could* race", a
+sanitizer flag says "this *did*".
 """
 
 from __future__ import annotations
@@ -34,6 +42,11 @@ class GradeReport:
     #: PDC-Lint findings per exercise id (only when the static pre-check
     #: stage ran and the submission exposed source).
     static_findings: Dict[str, List["Finding"]] = dataclasses.field(
+        default_factory=dict
+    )
+    #: PDC-San findings per exercise id (only when the sanitizer stage
+    #: ran and the submission exposed source).
+    dynamic_findings: Dict[str, List["Finding"]] = dataclasses.field(
         default_factory=dict
     )
 
@@ -97,6 +110,16 @@ class Autograder:
         *without running*: the checker never executes statically-racy code.
         Suppressions (``# pdc-lint: disable=... -- why``) pass the gate, so
         a student can ship a justified exception — and defend it in review.
+    sanitize:
+        Run PDC-San over each submission that exposes source: one
+        deterministic instrumented execution whose PDC3xx findings are
+        attached to the report (``dynamic_findings``).
+    sanitize_gate:
+        With the sanitizer on, a submission whose instrumented run
+        observes a race / deadlock scores zero.  The same suppression
+        comments apply (but note: ``disable=PDC101`` does *not* silence
+        an observed PDC301 — the dynamic verdict must be answered on its
+        own terms).
     context:
         A :class:`~repro.runtime.RunContext` to instrument grading with:
         each exercise check runs inside a ``lab.<exercise-id>`` trace span
@@ -111,6 +134,8 @@ class Autograder:
         static_precheck: bool = False,
         precheck_select: Optional[Sequence[str]] = None,
         precheck_gate: bool = False,
+        sanitize: bool = False,
+        sanitize_gate: bool = False,
         context: Optional["RunContext"] = None,
     ) -> None:
         ids = [e.exercise_id for e in exercises]
@@ -122,6 +147,8 @@ class Autograder:
             list(precheck_select) if precheck_select is not None else None
         )
         self.precheck_gate = precheck_gate
+        self.sanitize = sanitize or sanitize_gate
+        self.sanitize_gate = sanitize_gate
         self.context = context
 
     def _submission_source(self, submitted: Any) -> Optional[str]:
@@ -152,10 +179,29 @@ class Autograder:
         except SyntaxError:
             return []  # unparsable source fails in the checker, on record
 
+    def _dynamic_findings(
+        self, exercise_id: str, submitted: Any
+    ) -> List["Finding"]:
+        """PDC-San findings from one instrumented run (empty if sourceless)."""
+        source = self._submission_source(submitted)
+        if source is None:
+            return []
+        # Deferred import: pedagogy stays importable without the sanitizers.
+        from repro.sanitizers import run_source
+
+        entry = (
+            getattr(submitted, "__name__", "main")
+            if callable(submitted)
+            else "main"
+        )
+        run = run_source(source, path=f"<submission:{exercise_id}>", entry=entry)
+        return run.findings
+
     def grade(self, student: str, submission: Mapping[str, Any]) -> GradeReport:
         """Grade one student."""
         results: List[ExerciseResult] = []
         static_findings: Dict[str, List["Finding"]] = {}
+        dynamic_findings: Dict[str, List["Finding"]] = {}
         for exercise in self.exercises:
             eid = exercise.exercise_id
             if eid not in submission:
@@ -192,6 +238,29 @@ class Autograder:
                         )
                     )
                     continue
+            if self.sanitize:
+                observed = self._dynamic_findings(eid, submitted)
+                if observed:
+                    dynamic_findings[eid] = observed
+                if observed and self.sanitize_gate:
+                    rules = ", ".join(
+                        sorted({f"{f.rule}@{f.line}" for f in observed})
+                    )
+                    results.append(
+                        ExerciseResult(
+                            exercise_id=eid,
+                            fraction=0.0,
+                            points_earned=0.0,
+                            points_possible=exercise.points,
+                            error=(
+                                f"sanitizer check failed ({rules}): the "
+                                "instrumented run observed these; fix the "
+                                "synchronization (a static suppression does "
+                                "not answer an observed race)"
+                            ),
+                        )
+                    )
+                    continue
             if self.context is not None:
                 with self.context.tracer.span(
                     f"lab.{eid}", cat="pedagogy", tid="autograder",
@@ -206,7 +275,10 @@ class Autograder:
                 result = exercise.grade(submitted)
             results.append(result)
         return GradeReport(
-            student=student, results=results, static_findings=static_findings
+            student=student,
+            results=results,
+            static_findings=static_findings,
+            dynamic_findings=dynamic_findings,
         )
 
     def grade_cohort(

@@ -50,7 +50,7 @@ class MonotonicClock(Clock):
     """Real time: ``time.monotonic`` / ``time.sleep``."""
 
     def now(self) -> float:
-        return time.monotonic()
+        return time.monotonic()  # pdc-lint: disable=PDC210 -- this IS the injected clock's wall-time implementation
 
     def sleep(self, seconds: float) -> None:
         time.sleep(seconds)

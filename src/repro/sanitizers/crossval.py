@@ -1,0 +1,256 @@
+"""Static-vs-dynamic cross-validation over the fixture twin corpus.
+
+PDC-Lint (:mod:`repro.analysis`) judges a fixture's *source*; PDC-San
+(:mod:`repro.sanitizers.runner`) judges one deterministic *execution* of
+it.  Running both over :data:`repro.smp.fixtures.FIXTURES` — where every
+twin carries its ground truth (``expect_rules`` / ``expect_dynamic`` /
+``known_false_positive``) — turns the corpus into a measurement
+instrument:
+
+- a per-fixture table of what each analyzer said vs. what it should say;
+- race-dimension confusion matrices (PDC101 for the static Eraser,
+  PDC301 for FastTrack), hence precision/recall for each analyzer;
+- the **exonerations**: fixtures the lockset analysis flags as racy that
+  FastTrack's happens-before edges prove ordered (fork/join phases, flag
+  handoffs through a second lock) — the concrete evidence for the
+  lecture claim that vector clocks dominate locksets on false positives,
+  at the price of only judging the schedules that actually ran.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.analysis import analyze_source
+
+__all__ = ["FixtureVerdict", "ConfusionMatrix", "CrossReport", "cross_validate",
+           "render_crossval_text"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FixtureVerdict:
+    """Both analyzers' verdicts on one fixture, next to its ground truth."""
+
+    name: str
+    expect_rules: FrozenSet[str]
+    expect_dynamic: FrozenSet[str]
+    known_false_positive: bool
+    static_rules: FrozenSet[str]
+    #: ``None`` when the fixture has no dynamic entry (not executed).
+    dynamic_rules: Optional[FrozenSet[str]]
+
+    @property
+    def executed(self) -> bool:
+        return self.dynamic_rules is not None
+
+    @property
+    def static_ok(self) -> bool:
+        """Did the static analyzer say exactly what the corpus expects?"""
+        return self.static_rules == self.expect_rules
+
+    @property
+    def dynamic_ok(self) -> bool:
+        """Did the sanitizer run say exactly what the corpus expects?
+        Vacuously true for a fixture that was never executed — the
+        sanitizer has no verdict to be wrong about."""
+        if not self.executed:
+            return True
+        return self.dynamic_rules == self.expect_dynamic
+
+    @property
+    def truly_racy(self) -> bool:
+        """Ground truth for the race dimension: the corpus expects PDC101
+        *and* does not mark the flag as a known lockset false positive."""
+        return "PDC101" in self.expect_rules and not self.known_false_positive
+
+    @property
+    def exonerated(self) -> bool:
+        """Statically flagged racy, marked as a known false positive, and
+        the executed sanitizer run observed no race."""
+        return (
+            self.known_false_positive
+            and "PDC101" in self.static_rules
+            and self.executed
+            and "PDC301" not in (self.dynamic_rules or frozenset())
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "expect_rules": sorted(self.expect_rules),
+            "expect_dynamic": sorted(self.expect_dynamic),
+            "known_false_positive": self.known_false_positive,
+            "static_rules": sorted(self.static_rules),
+            "dynamic_rules": (
+                sorted(self.dynamic_rules) if self.executed else None
+            ),
+            "executed": self.executed,
+            "static_ok": self.static_ok,
+            "dynamic_ok": self.dynamic_ok,
+            "exonerated": self.exonerated,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfusionMatrix:
+    """One analyzer's race verdicts against the corpus ground truth."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def precision(self) -> float:
+        flagged = self.tp + self.fp
+        return self.tp / flagged if flagged else 1.0
+
+    @property
+    def recall(self) -> float:
+        racy = self.tp + self.fn
+        return self.tp / racy if racy else 1.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tp": self.tp, "fp": self.fp, "fn": self.fn, "tn": self.tn,
+            "precision": round(self.precision, 3),
+            "recall": round(self.recall, 3),
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class CrossReport:
+    """The full cross-validation result."""
+
+    verdicts: List[FixtureVerdict]
+    static_races: ConfusionMatrix
+    dynamic_races: ConfusionMatrix
+
+    @property
+    def exonerated(self) -> List[str]:
+        """Fixtures where FastTrack cleared a lockset false positive."""
+        return [v.name for v in self.verdicts if v.exonerated]
+
+    @property
+    def all_ok(self) -> bool:
+        """Every verdict matches the corpus ground truth exactly."""
+        return all(v.static_ok and v.dynamic_ok for v in self.verdicts)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "fixtures": [v.to_dict() for v in self.verdicts],
+            "static_races": self.static_races.to_dict(),
+            "dynamic_races": self.dynamic_races.to_dict(),
+            "exonerated": self.exonerated,
+            "all_ok": self.all_ok,
+        }
+
+
+def _race_matrix(
+    verdicts: List[FixtureVerdict], *, dynamic: bool
+) -> ConfusionMatrix:
+    """Race-dimension confusion counts for one analyzer.
+
+    The dynamic matrix only scores executed fixtures — the sanitizer has
+    no verdict at all on a program it never ran, which is itself the
+    coverage limitation the table is meant to teach.
+    """
+    tp = fp = fn = tn = 0
+    for v in verdicts:
+        if dynamic:
+            if not v.executed:
+                continue
+            flagged = "PDC301" in (v.dynamic_rules or frozenset())
+        else:
+            flagged = "PDC101" in v.static_rules
+        if v.truly_racy:
+            tp += flagged
+            fn += not flagged
+        else:
+            fp += flagged
+            tn += not flagged
+    return ConfusionMatrix(tp=tp, fp=fp, fn=fn, tn=tn)
+
+
+def cross_validate() -> CrossReport:
+    """Run both analyzers over every registered fixture."""
+    from repro.smp.fixtures import all_fixtures
+    from repro.sanitizers.runner import run_fixture
+
+    verdicts: List[FixtureVerdict] = []
+    for fix in all_fixtures():
+        static = frozenset(
+            f.rule for f in analyze_source(fix.source, f"<fixture:{fix.name}>")
+        )
+        dynamic: Optional[FrozenSet[str]] = None
+        if fix.dynamic_entry or fix.entrypoints:
+            dynamic = frozenset(run_fixture(fix).rules)
+        verdicts.append(FixtureVerdict(
+            name=fix.name,
+            expect_rules=fix.expect_rules,
+            expect_dynamic=fix.expect_dynamic,
+            known_false_positive=fix.known_false_positive,
+            static_rules=static,
+            dynamic_rules=dynamic,
+        ))
+    return CrossReport(
+        verdicts=verdicts,
+        static_races=_race_matrix(verdicts, dynamic=False),
+        dynamic_races=_race_matrix(verdicts, dynamic=True),
+    )
+
+
+def _cell(rules: Optional[FrozenSet[str]]) -> str:
+    if rules is None:
+        return "—"
+    return ",".join(sorted(rules)) if rules else "clean"
+
+
+def render_crossval_text(report: CrossReport) -> str:
+    """The static-vs-dynamic table, as fixed-width text."""
+    headers = ("fixture", "static", "dynamic", "verdict")
+    rows = []
+    for v in report.verdicts:
+        marks = []
+        marks.append("static:ok" if v.static_ok else "static:MISMATCH")
+        if v.executed:
+            marks.append("dynamic:ok" if v.dynamic_ok else "dynamic:MISMATCH")
+        else:
+            marks.append("not-run")
+        if v.exonerated:
+            marks.append("EXONERATED")
+        rows.append((
+            v.name, _cell(v.static_rules), _cell(v.dynamic_rules),
+            " ".join(marks),
+        ))
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) for i in range(4)
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in rows
+    ]
+    sm, dm = report.static_races, report.dynamic_races
+    lines.append("")
+    lines.append(
+        f"race dimension — static  (PDC101): "
+        f"tp={sm.tp} fp={sm.fp} fn={sm.fn} tn={sm.tn} "
+        f"precision={sm.precision:.2f} recall={sm.recall:.2f}"
+    )
+    lines.append(
+        f"race dimension — dynamic (PDC301): "
+        f"tp={dm.tp} fp={dm.fp} fn={dm.fn} tn={dm.tn} "
+        f"precision={dm.precision:.2f} recall={dm.recall:.2f} "
+        "(executed fixtures only)"
+    )
+    exonerated = report.exonerated
+    lines.append(
+        "exonerated by happens-before: "
+        + (", ".join(exonerated) if exonerated else "none")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""The deadlock sanitizer: cycles become findings, not just exceptions.
+
+:class:`repro.smp.deadlock.WaitForGraph` raises ``DeadlockDetected`` at
+the moment of the doomed wait — correct for the program, useless for a
+report that should survive the exception.  Under an active sanitizer
+the graph *also* publishes each detected cycle through the hook bus;
+this module collects them with the site of the acquisition that closed
+the cycle, and converts them to PDC302 findings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Hashable, List, Sequence
+
+from repro.analysis.report import Finding
+from repro.sanitizers.findings import deadlock_finding
+from repro.sanitizers.sites import AccessSite, call_site
+
+__all__ = ["DeadlockReport", "DeadlockSanitizer"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeadlockReport:
+    """One wait-for cycle, and where the closing acquisition happened."""
+
+    cycle: List[Hashable]
+    site: AccessSite
+
+
+class DeadlockSanitizer:
+    """Collects wait-for cycles published via ``hooks.on_deadlock_cycle``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.reports: List[DeadlockReport] = []
+
+    def record(self, cycle: Sequence[Hashable]) -> None:
+        """Record one cycle (called from the hook bus, so the interesting
+        stack frame is whoever called ``WaitForGraph.acquire``)."""
+        site = call_site()
+        with self._lock:
+            self.reports.append(DeadlockReport(cycle=list(cycle), site=site))
+
+    def findings(self) -> List[Finding]:
+        """Every recorded cycle as a PDC302 finding."""
+        with self._lock:
+            return [deadlock_finding(r.cycle, r.site) for r in self.reports]

@@ -1,0 +1,118 @@
+"""The ambient sanitizer hook bus (the TSan-runtime pattern, in small).
+
+Real sanitizers work because the *primitives* are compiled against a
+runtime that every synchronization operation reports to.  Here the
+``smp``/``net`` primitives call these module-level functions at each
+acquire/release/arrive/deliver; when no sanitizer is installed the calls
+are a truthiness test and a return — cheap enough to leave in the
+production primitives, which is itself the lesson (TSan ships in the
+compiler for the same reason).
+
+This module imports nothing from the rest of the package so the
+primitives can import it without cycles.  Install/uninstall via
+:meth:`repro.sanitizers.sanitizer.Sanitizer.activate`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+__all__ = [
+    "install",
+    "uninstall",
+    "active",
+    "on_acquire",
+    "on_release",
+    "on_sem_wait",
+    "on_sem_post",
+    "on_barrier_arrive",
+    "on_barrier_depart",
+    "on_read",
+    "on_write",
+    "on_deadlock_cycle",
+    "on_message",
+]
+
+#: Installed sanitizer runtimes, in installation order.  A list (not a
+#: single slot) so nested/overlapping activations compose in tests.
+_installed: List[Any] = []
+
+
+def install(runtime: Any) -> None:
+    """Start routing primitive events to ``runtime``."""
+    _installed.append(runtime)
+
+
+def uninstall(runtime: Any) -> None:
+    """Stop routing events to ``runtime`` (no-op if not installed)."""
+    try:
+        _installed.remove(runtime)
+    except ValueError:
+        pass
+
+
+def active() -> bool:
+    """Whether any sanitizer is currently installed."""
+    return bool(_installed)
+
+
+def on_acquire(key: Any) -> None:
+    """A mutual-exclusion lock identified by ``key`` was acquired."""
+    for rt in _installed:
+        rt.on_acquire(key)
+
+
+def on_release(key: Any, exclusive: bool = True) -> None:
+    """The lock ``key`` is being released (``exclusive=False`` for the
+    shared side of a readers–writer lock, which publishes without
+    claiming sole authorship of the sync clock)."""
+    for rt in _installed:
+        rt.on_release(key, exclusive=exclusive)
+
+
+def on_sem_wait(key: Any) -> None:
+    """P/wait on semaphore ``key`` completed (permit taken)."""
+    for rt in _installed:
+        rt.on_sem_wait(key)
+
+
+def on_sem_post(key: Any) -> None:
+    """V/post on semaphore ``key`` (permit returned)."""
+    for rt in _installed:
+        rt.on_sem_post(key)
+
+
+def on_barrier_arrive(key: Any) -> None:
+    """The calling thread arrived at barrier ``key``."""
+    for rt in _installed:
+        rt.on_barrier_arrive(key)
+
+
+def on_barrier_depart(key: Any) -> None:
+    """The calling thread passed barrier ``key`` (all parties arrived)."""
+    for rt in _installed:
+        rt.on_barrier_depart(key)
+
+
+def on_read(var: str) -> None:
+    """An instrumented read of shared variable ``var``."""
+    for rt in _installed:
+        rt.on_read(var)
+
+
+def on_write(var: str) -> None:
+    """An instrumented write of shared variable ``var``."""
+    for rt in _installed:
+        rt.on_write(var)
+
+
+def on_deadlock_cycle(cycle: Any) -> None:
+    """A wait-for graph found ``cycle`` (a list of agents)."""
+    for rt in _installed:
+        rt.on_deadlock_cycle(cycle)
+
+
+def on_message(source: Any, dest: Any, kind: str) -> None:
+    """The fabric delivered a message ``source`` → ``dest``."""
+    for rt in _installed:
+        rt.on_message(source, dest, kind)

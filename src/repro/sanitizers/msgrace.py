@@ -1,0 +1,113 @@
+"""The message-race sanitizer: nondeterminism candidates in ``dist``/``net``.
+
+Shared-memory races have a message-passing sibling: two causally
+*concurrent* deliveries to the same endpoint, whose arrival order the
+fabric — not the program — decides.  Every host gets a vector clock
+(sparse, dynamic membership, in the style :mod:`repro.dist.clocks`
+teaches with fixed width): a send ticks and stamps, a delivery merges
+into the destination.  When a delivery's stamp is concurrent with the
+last delivery to the same destination from a *different* source, that
+pair is flagged as PDC303 — the arrival order was a coin flip.
+
+A PDC303 is a *candidate*, not a proven bug (an idempotent or
+commutative receiver absorbs reordering).  The confirmation instrument
+is the runtime's trace digest: :func:`digest_crosscheck` runs one
+scenario several times and compares
+:meth:`repro.runtime.tracing.Tracer.digest` values — divergent digests
+mean the nondeterminism reached observable behavior.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.analysis.report import Finding
+from repro.sanitizers.findings import message_finding
+from repro.sanitizers.sites import AccessSite, call_site
+from repro.sanitizers.vc import VC, vc_concurrent, vc_merge
+
+__all__ = ["MessageRace", "MessageRaceSanitizer", "digest_crosscheck"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageRace:
+    """Two causally concurrent deliveries to one destination."""
+
+    dest: str
+    sources: Tuple[str, str]
+    kind: str
+    site: AccessSite
+
+
+class MessageRaceSanitizer:
+    """Tags deliveries with host vector clocks; flags concurrent pairs."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._host_vc: Dict[str, VC] = {}
+        #: dest endpoint -> source host -> (stamp, kind) of its last delivery.
+        self._last: Dict[str, Dict[str, Tuple[VC, str]]] = {}
+        self.reports: List[MessageRace] = []
+        self._seen: set = set()
+
+    def _clock(self, host: str) -> VC:
+        return self._host_vc.setdefault(host, {})
+
+    def record(self, source, dest, kind: str) -> None:
+        """One delivery ``source -> dest`` (addresses with ``.host``)."""
+        site = call_site()
+        with self._lock:
+            src_host, dst_host = source.host, dest.host
+            src_vc = self._clock(src_host)
+            src_vc[src_host] = src_vc.get(src_host, 0) + 1
+            stamp = dict(src_vc)
+            inbox = self._last.setdefault(str(dest), {})
+            for other_host, (other_stamp, other_kind) in inbox.items():
+                if other_host == src_host:
+                    continue
+                if vc_concurrent(stamp, other_stamp):
+                    pair = (str(dest), *sorted((src_host, other_host)))
+                    if pair not in self._seen:
+                        self._seen.add(pair)
+                        self.reports.append(MessageRace(
+                            dest=str(dest),
+                            sources=(other_host, src_host),
+                            kind=kind if kind == other_kind else "mixed",
+                            site=site,
+                        ))
+            inbox[src_host] = (stamp, kind)
+            # Delivery: the destination host observes the sender's past.
+            dst_vc = self._clock(dst_host)
+            vc_merge(dst_vc, stamp)
+            dst_vc[dst_host] = dst_vc.get(dst_host, 0) + 1
+
+    def findings(self) -> List[Finding]:
+        """Every flagged pair as a PDC303 finding."""
+        with self._lock:
+            return [
+                message_finding(r.dest, list(r.sources), r.kind, r.site)
+                for r in self.reports
+            ]
+
+
+def digest_crosscheck(
+    scenario: Callable[..., None], seeds: Sequence[int]
+) -> Dict[int, str]:
+    """Run ``scenario(context)`` once per seed; return each run's trace
+    digest.
+
+    All-equal digests mean the schedule/delivery nondeterminism PDC303
+    flagged never became observable; differing digests confirm it did.
+    The import is deferred so this module stays loadable without the
+    full runtime.
+    """
+    from repro.runtime import RunContext
+
+    digests: Dict[int, str] = {}
+    for seed in seeds:
+        context = RunContext(seed=seed)
+        scenario(context)
+        digests[seed] = context.tracer.digest()
+    return digests

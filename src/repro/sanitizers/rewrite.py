@@ -1,0 +1,278 @@
+"""AST instrumentation: make a plain module report its shared accesses.
+
+:class:`repro.smp.racedetect.SharedVariable` instruments code that *opted
+in*; real sanitizers instrument code that didn't.  This rewriter is the
+compiler pass in miniature: given module source, it finds the
+module-global names (assigned at module level, or declared ``global``
+in a function) and injects an event call around every statement that
+reads or writes one::
+
+    counter += 1          # becomes:
+    __pdcsan__.rd('counter')
+    counter += 1
+    __pdcsan__.wr('counter')
+
+Event calls are *separate statements* carrying the original line number,
+so the detector's frame walk reports the right source line, and the
+rewritten expression semantics are untouched (the events never evaluate
+the variable — no ``NameError`` risk, no double evaluation).
+
+Granularity matches the static analyzer's documented limitation: a
+store through a global (``flag[0] = True``, ``results.append(x)``) is
+an access to the *name* — object-level, like PDC101's model, so the two
+analyzers judge the same abstraction.  ``while`` headers get their read
+events both before the loop and at the end of the body (each iteration
+re-reads).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.sanitizers.fasttrack import FastTrackDetector
+
+__all__ = ["EventApi", "shared_names", "instrument_source"]
+
+
+class EventApi:
+    """The ``__pdcsan__`` object injected into instrumented namespaces."""
+
+    __slots__ = ("_detector",)
+
+    def __init__(self, detector: FastTrackDetector) -> None:
+        self._detector = detector
+
+    def rd(self, name: str) -> None:
+        """Read event (site = the caller's frame, i.e. the rewritten line)."""
+        self._detector.read(name)
+
+    def wr(self, name: str) -> None:
+        """Write event."""
+        self._detector.write(name)
+
+
+def shared_names(tree: ast.Module) -> Set[str]:
+    """Names treated as shared state: assigned at module level, or
+    declared ``global`` anywhere."""
+    shared: Set[str] = set()
+    for stmt in tree.body:
+        for name in _assigned_names(stmt):
+            shared.add(name)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Global):
+            shared.update(node.names)
+    return shared
+
+
+def _assigned_names(stmt: ast.stmt) -> Iterable[str]:
+    if isinstance(stmt, ast.Assign):
+        targets: Sequence[ast.expr] = stmt.targets
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    else:
+        return
+    for target in targets:
+        yield from _target_names(target)
+
+
+def _target_names(target: ast.expr) -> Iterable[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    """The leftmost ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _walk_no_lambda(node: ast.AST) -> Iterable[ast.AST]:
+    """Walk an expression without descending into lambda bodies (those
+    run later, in their own scope)."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, ast.Lambda):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _header_exprs(stmt: ast.stmt) -> List[ast.expr]:
+    """The expressions a statement evaluates *itself* (compound bodies
+    excluded — they are instrumented recursively)."""
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return []
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    return [n for n in ast.iter_child_nodes(stmt) if isinstance(n, ast.expr)]
+
+
+def _read_names(stmt: ast.stmt, tracked: Set[str]) -> List[str]:
+    reads: List[str] = []
+    for expr in _header_exprs(stmt):
+        for node in _walk_no_lambda(expr):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in tracked
+                and node.id not in reads
+            ):
+                reads.append(node.id)
+    return reads
+
+
+def _write_names(stmt: ast.stmt, tracked: Set[str]) -> List[str]:
+    writes: List[str] = []
+    if isinstance(stmt, ast.Assign):
+        targets: Sequence[ast.expr] = stmt.targets
+    elif isinstance(stmt, ast.AnnAssign):
+        targets = [stmt.target] if stmt.value is not None else []
+    elif isinstance(stmt, ast.AugAssign):
+        targets = [stmt.target]
+    else:
+        return writes
+    for target in targets:
+        for name in _target_names(target):
+            if name in tracked and name not in writes:
+                writes.append(name)
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            base = _base_name(target)
+            if base is not None and base in tracked and base not in writes:
+                writes.append(base)
+    return writes
+
+
+def _event(kind: str, name: str, like: ast.stmt) -> ast.stmt:
+    call = ast.Expr(
+        value=ast.Call(
+            func=ast.Attribute(
+                value=ast.Name(id="__pdcsan__", ctx=ast.Load()),
+                attr=kind,
+                ctx=ast.Load(),
+            ),
+            args=[ast.Constant(value=name)],
+            keywords=[],
+        )
+    )
+    return ast.copy_location(call, like)
+
+
+class _Scope:
+    """Which of the shared names are visible (not shadowed) here."""
+
+    def __init__(self, tracked: Set[str]) -> None:
+        self.tracked = tracked
+
+
+def _function_scope(
+    fn: ast.AST, shared: Set[str]
+) -> _Scope:
+    local: Set[str] = set()
+    declared_global: Set[str] = set()
+    args = fn.args  # type: ignore[attr-defined]
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        local.add(arg.arg)
+    if args.vararg:
+        local.add(args.vararg.arg)
+    if args.kwarg:
+        local.add(args.kwarg.arg)
+    for node in _walk_own_statements(fn.body):  # type: ignore[attr-defined]
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Nonlocal):
+            local.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            local.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            local.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                local.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            local.add(node.name)
+    tracked = {n for n in shared if n in declared_global or n not in local}
+    return _Scope(tracked)
+
+
+def _walk_own_statements(body: Sequence[ast.stmt]) -> Iterable[ast.AST]:
+    """Walk statements without entering nested function/class scopes."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _instrument_body(
+    body: List[ast.stmt], scope: _Scope, shared: Set[str]
+) -> List[ast.stmt]:
+    out: List[ast.stmt] = []
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            inner = _function_scope(stmt, shared)
+            stmt.body = _instrument_body(stmt.body, inner, shared)
+            out.append(stmt)
+            continue
+        if isinstance(stmt, ast.ClassDef):
+            stmt.body = _instrument_body(stmt.body, scope, shared)
+            out.append(stmt)
+            continue
+        reads = _read_names(stmt, scope.tracked)
+        writes = _write_names(stmt, scope.tracked)
+        if isinstance(stmt, ast.AugAssign):
+            for name in _write_names(stmt, scope.tracked):
+                if name not in reads:
+                    reads.append(name)  # x += 1 reads x first
+        for field in ("body", "orelse", "finalbody"):
+            child = getattr(stmt, field, None)
+            if isinstance(child, list) and child and isinstance(
+                child[0], ast.stmt
+            ):
+                setattr(stmt, field, _instrument_body(child, scope, shared))
+        for handler in getattr(stmt, "handlers", []) or []:
+            handler.body = _instrument_body(handler.body, scope, shared)
+        if isinstance(stmt, ast.While) and reads:
+            # Each iteration re-evaluates the header: re-read at body end.
+            stmt.body = list(stmt.body) + [
+                _event("rd", name, stmt) for name in reads
+            ]
+        out.extend(_event("rd", name, stmt) for name in reads)
+        out.append(stmt)
+        out.extend(_event("wr", name, stmt) for name in writes)
+    return out
+
+
+def instrument_source(
+    source: str, filename: str = "<instrumented>"
+) -> Tuple[ast.Module, Set[str]]:
+    """Parse ``source`` and inject shared-access events.
+
+    Returns the instrumented module (ready for ``compile``) and the set
+    of names treated as shared.  The namespace executing the result must
+    define ``__pdcsan__`` (an :class:`EventApi`).
+    """
+    tree = ast.parse(source, filename=filename)
+    shared = shared_names(tree)
+    tree.body = _instrument_body(tree.body, _Scope(set(shared)), shared)
+    ast.fix_missing_locations(tree)
+    return tree, shared

@@ -1,0 +1,432 @@
+"""Run a module under PDC-San instrumentation, deterministically.
+
+The runner executes rewritten source (:mod:`repro.sanitizers.rewrite`)
+in a namespace whose ``threading`` module is replaced by sanitized
+stand-ins.  The crucial choice is that spawned threads are **logical**:
+``Thread.start()`` runs the target *inline, to completion*, on the
+calling OS thread, while the FastTrack detector tracks it as a separate
+thread via a logical-tid stack.  Sequential execution changes nothing
+about the happens-before analysis — the fork edge still orders parent
+before child, two children are still mutually unordered — but it makes
+the verdict **schedule-independent**: same source in, same findings
+out, every run, which is what lets CI assert on sanitizer output and
+lets the same-seed determinism criterion hold trivially.
+
+(The trade-off, stated honestly: programs whose *liveness* depends on
+real concurrency — a spin loop waiting for another thread, a barrier
+with blocking semantics — cannot be replayed inline.  Those are
+exercised with real threads in the unit tests instead; the corpus marks
+which fixtures are runnable via ``dynamic_entry``/``entrypoints``.)
+
+Lock nesting is simultaneously fed to a lock-order audit, so an ABBA
+pattern surfaces as a PDC302 finding even though the sequential replay
+can never actually deadlock — the same trick
+:func:`repro.smp.fixtures.replay_lock_trace` plays, now unified into
+the findings pipeline.
+"""
+
+from __future__ import annotations
+
+import builtins
+import dataclasses
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.analysis.report import Finding, apply_suppressions
+from repro.sanitizers.fasttrack import FastTrackDetector
+from repro.sanitizers.findings import lock_order_finding
+from repro.sanitizers.rewrite import EventApi, instrument_source
+from repro.sanitizers.sanitizer import Sanitizer
+from repro.sanitizers.sites import AccessSite, call_site
+
+__all__ = ["RunResult", "run_source", "run_fixture"]
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Everything one sanitized execution produced."""
+
+    path: str
+    findings: List[Finding]
+    suppressed: List[Finding]
+    errors: List[str]
+    #: Return value of the entry function (``None`` without one).
+    value: Any
+    #: Module-global names that were instrumented.
+    shared: Tuple[str, ...]
+    sanitizer: Sanitizer
+
+    @property
+    def rules(self) -> set:
+        """The distinct rule ids among the kept findings."""
+        return {f.rule for f in self.findings}
+
+    @property
+    def exit_code(self) -> int:
+        """Mirror of pdc-lint's convention: 0 clean, 1 findings, 2 errors."""
+        if self.errors:
+            return 2
+        return 1 if self.findings else 0
+
+
+class _SanLock:
+    """A lock stand-in: happens-before edges plus lock-order auditing."""
+
+    kind = "lock"
+
+    def __init__(self, runtime: "_SanRuntime") -> None:
+        self._runtime = runtime
+        self.name = f"lock{runtime.new_lock_index()}"
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._runtime.lock_acquired(self)
+        return True
+
+    def release(self) -> None:
+        self._runtime.lock_released(self)
+
+    def locked(self) -> bool:
+        return self in self._runtime.held
+
+    def __enter__(self) -> "_SanLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class _SanCondition(_SanLock):
+    """Condition stand-in: ``wait`` republishes-then-resubscribes (the
+    release/acquire pair buried inside a real ``Condition.wait``)."""
+
+    kind = "condition"
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        detector = self._runtime.detector
+        detector.release(self)
+        detector.acquire(self)
+        return True
+
+    def wait_for(self, predicate, timeout: Optional[float] = None) -> bool:
+        self.wait(timeout)
+        return bool(predicate())
+
+    def notify(self, n: int = 1) -> None:
+        return None  # the surrounding release publishes the clock
+
+    def notify_all(self) -> None:
+        return None
+
+
+class _SanSemaphore:
+    """Semaphore stand-in: post merges, wait subscribes."""
+
+    def __init__(self, runtime: "_SanRuntime", value: int = 1) -> None:
+        self._runtime = runtime
+        self._value = value
+
+    def acquire(self, blocking: bool = True, timeout: Optional[float] = None) -> bool:
+        self._runtime.detector.sem_wait(self)
+        self._value -= 1
+        return True
+
+    def release(self, n: int = 1) -> None:
+        self._value += n
+        self._runtime.detector.sem_post(self)
+
+    def __enter__(self) -> "_SanSemaphore":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class _SanEvent:
+    """Event stand-in: ``set`` publishes, ``wait`` subscribes."""
+
+    def __init__(self, runtime: "_SanRuntime") -> None:
+        self._runtime = runtime
+        self._set = False
+
+    def set(self) -> None:
+        self._set = True
+        self._runtime.detector.sem_post(self)
+
+    def clear(self) -> None:
+        self._set = False
+
+    def is_set(self) -> bool:
+        return self._set
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        self._runtime.detector.sem_wait(self)
+        return self._set
+
+
+class _SanBarrier:
+    """Barrier stand-in (inline: arrive and depart in one step)."""
+
+    def __init__(self, runtime: "_SanRuntime", parties: int, action=None) -> None:
+        self._runtime = runtime
+        self.parties = parties
+        self._action = action
+
+    def wait(self, timeout: Optional[float] = None) -> int:
+        detector = self._runtime.detector
+        detector.barrier_arrive(self)
+        if self._action is not None:
+            self._action()
+        detector.barrier_depart(self)
+        return 0
+
+
+class _LogicalThread:
+    """``threading.Thread`` stand-in that runs its target inline under a
+    forked logical thread id — sequential execution, concurrent clocks."""
+
+    def __init__(
+        self,
+        runtime: "_SanRuntime",
+        group=None,
+        target=None,
+        name: Optional[str] = None,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        daemon: Optional[bool] = None,
+    ) -> None:
+        self._runtime = runtime
+        self._target = target
+        self._args = args
+        self._kwargs = kwargs or {}
+        self.name = name or f"Thread-{runtime.new_thread_index()}"
+        self.daemon = bool(daemon)
+        self._tid: Optional[int] = None
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("threads can only be started once")
+        self._started = True
+        detector = self._runtime.detector
+        self._tid = detector.fork_child(name=self.name)
+        detector.push_logical(self._tid)
+        try:
+            if self._target is not None:
+                self._target(*self._args, **self._kwargs)
+        except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+            self._runtime.errors.append(
+                f"{self.name} raised {type(exc).__name__}: {exc}"
+            )
+        finally:
+            detector.pop_logical()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._tid is not None:
+            self._runtime.detector.join_child(self._tid)
+
+    def is_alive(self) -> bool:
+        return False
+
+    def run(self) -> None:  # pragma: no cover - parity with threading API
+        if self._target is not None:
+            self._target(*self._args, **self._kwargs)
+
+
+class _SanRuntime:
+    """Shared state behind the stand-in ``threading`` module."""
+
+    def __init__(self, detector: FastTrackDetector) -> None:
+        self.detector = detector
+        self.errors: List[str] = []
+        self.held: List[_SanLock] = []
+        #: first-seen site per acquired-while-holding edge (name pairs).
+        self.lock_edges: Dict[Tuple[str, str], AccessSite] = {}
+        self._lock_count = 0
+        self._thread_count = 0
+
+    def new_lock_index(self) -> int:
+        index = self._lock_count
+        self._lock_count += 1
+        return index
+
+    def new_thread_index(self) -> int:
+        self._thread_count += 1
+        return self._thread_count
+
+    def lock_acquired(self, lock: _SanLock) -> None:
+        site = call_site(self.detector.thread_name())
+        for outer in self.held:
+            edge = (outer.name, lock.name)
+            if outer is not lock and edge not in self.lock_edges:
+                self.lock_edges[edge] = site
+        self.held.append(lock)
+        self.detector.acquire(lock)
+
+    def lock_released(self, lock: _SanLock) -> None:
+        if lock in self.held:
+            self.held.remove(lock)
+        self.detector.release(lock)
+
+    def order_findings(self) -> List[Finding]:
+        """PDC302 findings for cycles in the observed lock order."""
+        graph = nx.DiGraph()
+        graph.add_edges_from(self.lock_edges)
+        findings = []
+        for cycle in nx.simple_cycles(graph):
+            edge = (cycle[0], cycle[1 % len(cycle)])
+            site = self.lock_edges.get(
+                edge, next(iter(self.lock_edges.values()))
+            )
+            findings.append(lock_order_finding(cycle, site))
+        return findings
+
+
+class _SanThreading:
+    """The ``threading`` module, as instrumented code sees it."""
+
+    def __init__(self, runtime: _SanRuntime) -> None:
+        self._runtime = runtime
+        self.TIMEOUT_MAX = threading.TIMEOUT_MAX
+
+    def Thread(self, *args: Any, **kwargs: Any) -> _LogicalThread:  # noqa: N802
+        return _LogicalThread(self._runtime, *args, **kwargs)
+
+    def Lock(self) -> _SanLock:  # noqa: N802 - mirrors the threading API
+        return _SanLock(self._runtime)
+
+    RLock = Lock
+
+    def Condition(self, lock: Optional[_SanLock] = None) -> _SanCondition:  # noqa: N802
+        return _SanCondition(self._runtime)
+
+    def Semaphore(self, value: int = 1) -> _SanSemaphore:  # noqa: N802
+        return _SanSemaphore(self._runtime, value)
+
+    BoundedSemaphore = Semaphore
+
+    def Event(self) -> _SanEvent:  # noqa: N802
+        return _SanEvent(self._runtime)
+
+    def Barrier(self, parties: int, action=None, timeout=None) -> _SanBarrier:  # noqa: N802
+        return _SanBarrier(self._runtime, parties, action)
+
+    def local(self) -> Any:
+        return threading.local()
+
+    def current_thread(self) -> Any:
+        return threading.current_thread()
+
+    def get_ident(self) -> int:
+        return threading.get_ident()
+
+
+def run_source(
+    source: str,
+    path: str = "<module>",
+    entry: Optional[str] = "main",
+    entrypoints: Sequence[str] = (),
+    sanitizer: Optional[Sanitizer] = None,
+) -> RunResult:
+    """Execute ``source`` under full PDC-San instrumentation.
+
+    The module body runs first (on the root logical thread).  Then
+    either ``entry`` is called if the module defines it (the common
+    "call ``main()``" shape; pass ``entry=None`` to skip), or each name
+    in ``entrypoints`` runs as its *own* logical thread — mutually
+    concurrent, all joined at the end — which models "these functions
+    are the thread bodies" for fixtures without a driver.
+    """
+    san = sanitizer if sanitizer is not None else Sanitizer()
+    detector = san.fasttrack
+    runtime = _SanRuntime(detector)
+    errors = runtime.errors
+    value: Any = None
+    shared: Tuple[str, ...] = ()
+    try:
+        tree, shared_set = instrument_source(source, filename=path)
+        shared = tuple(sorted(shared_set))
+        code = compile(tree, path, "exec")
+    except SyntaxError as exc:
+        return RunResult(
+            path=path, findings=[], suppressed=[],
+            errors=[f"syntax error: {exc}"], value=None, shared=(),
+            sanitizer=san,
+        )
+    traced = _SanThreading(runtime)
+    real_import = builtins.__import__
+
+    def import_sanitized(name: str, *args: object, **kwargs: object):
+        if name == "threading":
+            return traced
+        return real_import(name, *args, **kwargs)
+
+    namespace: Dict[str, object] = {
+        "__name__": "__pdcsan_target__",
+        "__builtins__": {**vars(builtins), "__import__": import_sanitized},
+        "__pdcsan__": EventApi(detector),
+    }
+    with san.activate():
+        try:
+            exec(code, namespace)
+            if entrypoints:
+                tids = []
+                for name in entrypoints:
+                    fn = namespace.get(name)
+                    if not callable(fn):
+                        errors.append(f"entry point {name!r} is not callable")
+                        continue
+                    tid = detector.fork_child(name=name)
+                    detector.push_logical(tid)
+                    try:
+                        fn()
+                    except Exception as exc:  # noqa: BLE001 - recorded
+                        errors.append(
+                            f"{name} raised {type(exc).__name__}: {exc}"
+                        )
+                    finally:
+                        detector.pop_logical()
+                    tids.append(tid)
+                for tid in tids:
+                    detector.join_child(tid)
+            elif entry is not None:
+                fn = namespace.get(entry)
+                if callable(fn):
+                    value = fn()
+        except Exception as exc:  # noqa: BLE001 - surfaced in the result
+            errors.append(f"execution failed: {type(exc).__name__}: {exc}")
+    findings = san.findings() + runtime.order_findings()
+    kept, suppressed = apply_suppressions(sorted(findings), source)
+    return RunResult(
+        path=path, findings=kept, suppressed=suppressed, errors=errors,
+        value=value, shared=shared, sanitizer=san,
+    )
+
+
+def run_fixture(fix, sanitizer: Optional[Sanitizer] = None) -> RunResult:
+    """Run one twin-corpus fixture under PDC-San.
+
+    Uses the fixture's ``dynamic_entry`` (a driver to call) or, failing
+    that, its ``entrypoints`` (functions run as concurrent logical
+    threads).  Raises ``ValueError`` for fixtures marked non-runnable.
+    """
+    entry = getattr(fix, "dynamic_entry", None)
+    entrypoints = fix.entrypoints if not entry else ()
+    if entry is None and not entrypoints:
+        raise ValueError(
+            f"fixture {fix.name!r} is not dynamically runnable "
+            "(no dynamic_entry or entrypoints)"
+        )
+    return run_source(
+        fix.source,
+        path=f"<fixture:{fix.name}>",
+        entry=entry,
+        entrypoints=entrypoints,
+        sanitizer=sanitizer,
+    )

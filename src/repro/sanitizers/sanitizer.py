@@ -1,0 +1,139 @@
+"""The PDC-San facade: one object implementing the whole hook interface.
+
+A :class:`Sanitizer` owns a FastTrack detector, a deadlock collector,
+and a message-race tracker, and speaks the
+:mod:`repro.sanitizers.hooks` protocol so the instrumented ``smp`` and
+``net`` primitives feed all three at once::
+
+    san = Sanitizer()
+    with san.activate():
+        run_the_program()
+    for finding in san.findings():
+        print(finding.location(), finding.message)
+
+With a :class:`~repro.runtime.RunContext`, each detection also lands in
+the run's metric registry (``san.races`` / ``san.deadlocks`` /
+``san.msg_races``) and trace — the sanitizer is an observer *inside*
+the observability substrate, not beside it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Any, Hashable, Iterator, List, Optional, Sequence
+
+from repro.analysis.report import Finding
+from repro.runtime import RunContext
+from repro.sanitizers import hooks
+from repro.sanitizers.deadlock import DeadlockSanitizer
+from repro.sanitizers.fasttrack import DynamicRace, FastTrackDetector
+from repro.sanitizers.findings import race_finding
+from repro.sanitizers.msgrace import MessageRaceSanitizer
+
+__all__ = ["Sanitizer"]
+
+
+class Sanitizer:
+    """Unified dynamic analysis: races, deadlocks, message races."""
+
+    def __init__(self, context: Optional[RunContext] = None) -> None:
+        self._context = context
+        self.fasttrack = FastTrackDetector(on_race=self._race_observed)
+        self.deadlocks = DeadlockSanitizer()
+        self.messages = MessageRaceSanitizer()
+
+    def _race_observed(self, race: DynamicRace) -> None:
+        if self._context is not None:
+            self._context.registry.counter("san.races").inc()
+            self._context.tracer.instant(
+                "san.race", cat="san",
+                args={"var": race.variable, "kind": race.kind},
+            )
+
+    # -- the hooks protocol ------------------------------------------------
+    def on_acquire(self, key: Any) -> None:
+        self.fasttrack.acquire(key)
+
+    def on_release(self, key: Any, exclusive: bool = True) -> None:
+        self.fasttrack.release(key, exclusive=exclusive)
+
+    def on_sem_wait(self, key: Any) -> None:
+        self.fasttrack.sem_wait(key)
+
+    def on_sem_post(self, key: Any) -> None:
+        self.fasttrack.sem_post(key)
+
+    def on_barrier_arrive(self, key: Any) -> None:
+        self.fasttrack.barrier_arrive(key)
+
+    def on_barrier_depart(self, key: Any) -> None:
+        self.fasttrack.barrier_depart(key)
+
+    def on_read(self, var: str) -> None:
+        self.fasttrack.read(var)
+
+    def on_write(self, var: str) -> None:
+        self.fasttrack.write(var)
+
+    def on_deadlock_cycle(self, cycle: Sequence[Hashable]) -> None:
+        self.deadlocks.record(cycle)
+        if self._context is not None:
+            self._context.registry.counter("san.deadlocks").inc()
+            self._context.tracer.instant(
+                "san.deadlock", cat="san",
+                args={"cycle": [str(a) for a in cycle]},
+            )
+
+    def on_message(self, source: Any, dest: Any, kind: str) -> None:
+        before = len(self.messages.reports)
+        self.messages.record(source, dest, kind)
+        if self._context is not None and len(self.messages.reports) > before:
+            self._context.registry.counter("san.msg_races").inc()
+
+    # -- lifecycle ---------------------------------------------------------
+    @contextlib.contextmanager
+    def activate(self) -> Iterator["Sanitizer"]:
+        """Install on the hook bus for the duration of the block."""
+        hooks.install(self)
+        try:
+            yield self
+        finally:
+            hooks.uninstall(self)
+
+    def thread(
+        self,
+        target,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        name: Optional[str] = None,
+    ) -> threading.Thread:
+        """A real ``threading.Thread`` whose fork/join edges this
+        sanitizer tracks: ``start()`` was preceded by the fork (the clock
+        snapshot happens *here*, at creation-before-start), and
+        ``join()`` performs the join merge on the caller's clock."""
+        tid = self.fasttrack.fork_child(name=name)
+        detector = self.fasttrack
+
+        def run() -> None:
+            detector.bind(tid)
+            target(*args, **(kwargs or {}))
+
+        thread = threading.Thread(target=run, name=name or f"san-{tid}")
+        original_join = thread.join
+
+        def join(timeout: Optional[float] = None) -> None:
+            original_join(timeout)
+            if not thread.is_alive():
+                detector.join_child(tid)
+
+        thread.join = join  # type: ignore[method-assign]
+        return thread
+
+    # -- results -----------------------------------------------------------
+    def findings(self) -> List[Finding]:
+        """Every dynamic finding, in deterministic report order."""
+        found = [race_finding(r) for r in self.fasttrack.races]
+        found.extend(self.deadlocks.findings())
+        found.extend(self.messages.findings())
+        return sorted(found)

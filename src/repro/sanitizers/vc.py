@@ -1,0 +1,69 @@
+"""Vector clocks and epochs for the dynamic happens-before analyses.
+
+:mod:`repro.dist.clocks` teaches fixed-width vector clocks over a known
+process count; the sanitizers need *dynamic membership* (threads appear
+as they are forked, hosts as they first send), so this module keeps
+clocks as sparse ``{tid: count}`` dicts — absent entries are zero, which
+is also FastTrack's trick for keeping most clocks tiny.
+
+An **epoch** ``(tid, clock)`` is FastTrack's scalar compression of "the
+single access that matters": for a variable written (or read, while
+unshared) by one thread at a time, comparing one epoch against the
+current thread's vector clock replaces a full clock join — the O(1) fast
+path that gives the algorithm its name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "VC",
+    "Epoch",
+    "vc_get",
+    "vc_merge",
+    "vc_leq",
+    "vc_concurrent",
+    "epoch_leq",
+]
+
+#: A sparse vector clock: missing components are zero.
+VC = Dict[int, int]
+
+#: ``(tid, clock)`` — one component of a vector clock, standing alone.
+Epoch = Tuple[int, int]
+
+
+def vc_get(vc: VC, tid: int) -> int:
+    """Component ``tid`` of ``vc`` (zero when absent)."""
+    return vc.get(tid, 0)
+
+
+def vc_merge(into: VC, other: Optional[VC]) -> None:
+    """Pointwise-maximum join: ``into ⊔= other`` (in place)."""
+    if not other:
+        return
+    for tid, clock in other.items():
+        if clock > into.get(tid, 0):
+            into[tid] = clock
+
+
+def vc_leq(a: VC, b: VC) -> bool:
+    """``a ⪯ b``: every component of ``a`` is covered by ``b``."""
+    for tid, clock in a.items():
+        if clock > b.get(tid, 0):
+            return False
+    return True
+
+
+def vc_concurrent(a: VC, b: VC) -> bool:
+    """Neither clock happens-before the other."""
+    return not vc_leq(a, b) and not vc_leq(b, a)
+
+
+def epoch_leq(epoch: Optional[Epoch], vc: VC) -> bool:
+    """``epoch ⪯ vc`` — the FastTrack O(1) comparison (``None`` ⪯ all)."""
+    if epoch is None:
+        return True
+    tid, clock = epoch
+    return clock <= vc.get(tid, 0)

@@ -12,6 +12,8 @@ from __future__ import annotations
 import threading
 from typing import Callable, Optional
 
+from repro.sanitizers import hooks
+
 __all__ = ["CyclicBarrier", "SenseReversingBarrier", "BrokenBarrier"]
 
 
@@ -43,6 +45,7 @@ class CyclicBarrier:
         for the first arrival, ``0`` for the last — the thread that trips
         the barrier and runs the action).
         """
+        hooks.on_barrier_arrive(self)
         with self._cond:
             if self._broken:
                 raise BrokenBarrier("barrier is broken")
@@ -55,6 +58,7 @@ class CyclicBarrier:
                 self._generation += 1
                 self._count = 0
                 self._cond.notify_all()
+                hooks.on_barrier_depart(self)
                 return index
             while generation == self._generation and not self._broken:
                 if not self._cond.wait(timeout):
@@ -63,6 +67,7 @@ class CyclicBarrier:
                     raise BrokenBarrier("barrier timed out")
             if self._broken:
                 raise BrokenBarrier("barrier is broken")
+            hooks.on_barrier_depart(self)
             return index
 
     def abort(self) -> None:
@@ -107,6 +112,7 @@ class SenseReversingBarrier:
         """Block until all parties arrive; reusable across episodes."""
         my_sense = not getattr(self._local, "sense", False)
         self._local.sense = my_sense
+        hooks.on_barrier_arrive(self)
         with self._cond:
             self._count -= 1
             if self._count == 0:
@@ -118,3 +124,4 @@ class SenseReversingBarrier:
             else:
                 while self._sense != my_sense:
                     self._cond.wait()
+        hooks.on_barrier_depart(self)

@@ -22,6 +22,8 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
+from repro.sanitizers import hooks
+
 __all__ = ["DeadlockDetected", "WaitForGraph", "LockGraph"]
 
 
@@ -73,6 +75,9 @@ class WaitForGraph:
             cycle = self._find_cycle()
             if cycle is not None:
                 self.detected_cycles.append(cycle)
+                # An attached sanitizer gets the cycle as a finding even
+                # when the exception below is caught and discarded.
+                hooks.on_deadlock_cycle(cycle)
                 if self.raise_on_cycle:
                     self._wants.pop(agent, None)  # roll back the doomed wait
                     raise DeadlockDetected(cycle)

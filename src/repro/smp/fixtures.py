@@ -53,6 +53,12 @@ class FixtureProgram:
     #: The analyzer flags it although the dynamic analysis proves it safe
     #: (the documented lockset-analysis limitation, not a bug).
     known_false_positive: bool = False
+    #: Entry function for the dynamic sanitizer harness
+    #: (:func:`repro.sanitizers.run_fixture`).  ``None`` means the fixture
+    #: is not executable under the inline runner (e.g. it would spin).
+    dynamic_entry: Optional[str] = None
+    #: PDC3xx rule ids the sanitizer run MUST report (∅ == dynamically clean).
+    expect_dynamic: FrozenSet[str] = frozenset()
 
 
 FIXTURES: Dict[str, FixtureProgram] = {}
@@ -99,6 +105,8 @@ _register(FixtureProgram(
     name="racy_counter_twin",
     scripted_twin="racy_counter_program",
     expect_rules=frozenset({"PDC101"}),
+    dynamic_entry="main",
+    expect_dynamic=frozenset({"PDC301"}),
     description=(
         "Two threads increment a global with no lock — the source-level "
         "twin of racy_counter_program, whose exploration exhibits the "
@@ -130,6 +138,7 @@ _register(FixtureProgram(
     name="locked_counter_twin",
     scripted_twin="racy_counter_program",
     expect_rules=frozenset(),
+    dynamic_entry="main",
     description=(
         "The repaired twin: the same increment under one common lock; "
         "the analyzer must stay silent."
@@ -162,6 +171,7 @@ _register(FixtureProgram(
     name="peterson_lock_twin",
     scripted_twin="peterson_program",
     expect_rules=frozenset(),
+    dynamic_entry="main",
     description=(
         "Source twin of peterson_program with a Lock playing the role the "
         "flags/turn protocol plays in the scripted version: the explorer "
@@ -196,11 +206,15 @@ _register(FixtureProgram(
     scripted_twin="peterson_program",
     expect_rules=frozenset({"PDC101", "PDC207"}),
     known_false_positive=True,
+    dynamic_entry="main",
+    expect_dynamic=frozenset({"PDC301"}),
     description=(
         "Peterson transcribed literally (flags + turn + busy wait).  The "
         "explorer proves it race-free; lockset analysis flags it anyway — "
         "ad-hoc synchronization is invisible to Eraser-style tools, the "
-        "documented trade-off this fixture pins down."
+        "documented trade-off this fixture pins down.  FastTrack flags it "
+        "too (no lock means no happens-before edge): only the model "
+        "checker can certify ad-hoc synchronization."
     ),
     source=_src('''
         """Peterson's algorithm, literal transcription (two threads)."""
@@ -240,16 +254,110 @@ _register(FixtureProgram(
     '''),
 ))
 
+_register(FixtureProgram(
+    name="forkjoin_handoff_twin",
+    expect_rules=frozenset({"PDC101"}),
+    known_false_positive=True,
+    dynamic_entry="main",
+    description=(
+        "Two phases run strictly one after the other via start/join, so "
+        "they never overlap — but lockset analysis cannot see fork/join "
+        "ordering and flags the shared total.  FastTrack's fork and join "
+        "happens-before edges exonerate it."
+    ),
+    source=_src('''
+        """Sequential phases: the join orders them, no lock needed."""
+        import threading
+
+        total = 0
+
+
+        def phase1() -> None:
+            global total
+            total += 1
+
+
+        def phase2() -> None:
+            global total
+            total *= 2
+
+
+        def main() -> int:
+            first = threading.Thread(target=phase1)
+            first.start()
+            first.join()
+            second = threading.Thread(target=phase2)
+            second.start()
+            second.join()
+            return total
+    '''),
+))
+
+_register(FixtureProgram(
+    name="lock_handoff_twin",
+    expect_rules=frozenset({"PDC101"}),
+    known_false_positive=True,
+    dynamic_entry="main",
+    description=(
+        "Producer publishes a payload under one lock and raises a ready "
+        "flag under another; the consumer polls the flag and then reads "
+        "the payload with no lock at all.  Safe — the ready_lock "
+        "release/acquire pair carries the payload write across — but the "
+        "payload's own lockset intersection is empty, so PDC101 fires.  "
+        "FastTrack follows the happens-before chain and exonerates it."
+    ),
+    source=_src('''
+        """A flag handoff: ready_lock's release/acquire orders the payload."""
+        import threading
+
+        data_lock = threading.Lock()
+        ready_lock = threading.Lock()
+        payload = 0
+        ready = False
+        observed = 0
+
+
+        def producer() -> None:
+            global payload, ready
+            with data_lock:
+                payload = 42
+            with ready_lock:
+                ready = True
+
+
+        def consumer() -> None:
+            global observed
+            waiting = True
+            while waiting:
+                with ready_lock:
+                    if ready:
+                        waiting = False
+            observed = payload + 0  # no lock held, yet ordered after the write
+
+
+        def main() -> int:
+            prod = threading.Thread(target=producer)
+            cons = threading.Thread(target=consumer)
+            prod.start()
+            cons.start()
+            prod.join()
+            cons.join()
+            return observed
+    '''),
+))
+
 # -- deadlock twins (replayable against the dynamic LockGraph) ---------------
 
 _register(FixtureProgram(
     name="abba_deadlock_twin",
     expect_rules=frozenset({"PDC102"}),
     entrypoints=("transfer_ab", "transfer_ba"),
+    expect_dynamic=frozenset({"PDC302"}),
     description=(
         "Two code paths nest the same two locks in opposite orders — the "
         "ABBA pattern.  Statically a PDC102 cycle; dynamically, replaying "
-        "both paths through LockGraph records the same cycle."
+        "both paths through LockGraph records the same cycle, and the "
+        "sanitizer runner reports the lock-order cycle as PDC302."
     ),
     source=_src('''
         """Opposite nesting orders: the ABBA deadlock recipe."""
@@ -399,6 +507,10 @@ _register(FixtureProgram(
 _register(FixtureProgram(
     name="mutable_default_worker",
     expect_rules=frozenset({"PDC205"}),
+    dynamic_entry="main",
+    # Dynamically clean: the sanitizer tracks module globals, and the
+    # shared default list is reached through a parameter — the documented
+    # object-granularity blind spot of the source instrumentation.
     description="A mutable default argument shared by every thread.",
     source=_src('''
         """One default list, appended to by every worker thread."""
@@ -436,6 +548,9 @@ _register(FixtureProgram(
 _register(FixtureProgram(
     name="spin_wait_flag",
     expect_rules=frozenset({"PDC207"}),
+    # No dynamic_entry: the consumer's spin loop never terminates under
+    # the inline runner (nothing ever sets `ready`) — exactly the
+    # liveness dependence that makes busy-waiting unreplayable.
     description="A pass-only busy-wait loop on a shared flag.",
     source=_src('''
         """Spinning burns the GIL and starves the thread that would set it."""
@@ -481,8 +596,53 @@ _register(FixtureProgram(
 ))
 
 _register(FixtureProgram(
+    name="blocking_call_under_lock",
+    expect_rules=frozenset({"PDC209"}),
+    description="A blocking call (stdin read) inside a critical section.",
+    source=_src('''
+        """Reading stdin under the config lock blocks every other thread."""
+        import threading
+
+        config_lock = threading.Lock()
+        config = {}
+
+
+        def reload_config() -> None:
+            with config_lock:
+                config["mode"] = input()  # the prompt belongs outside the lock
+    '''),
+))
+
+_register(FixtureProgram(
+    name="wallclock_in_clocked_code",
+    expect_rules=frozenset({"PDC210"}),
+    description="time.time() in a module written against an injected Clock.",
+    source=_src('''
+        """A wall-clock deadline in clock-injected code breaks replay."""
+        import time
+
+        from repro.runtime import Clock
+
+
+        class Poller:
+            """Polls with an injected clock but arms deadlines off the wall."""
+
+            def __init__(self, clock: Clock) -> None:
+                self._clock = clock
+                self.deadline = 0.0
+
+            def arm(self, timeout: float) -> None:
+                self.deadline = time.time() + timeout  # use self._clock.now()
+    '''),
+))
+
+_register(FixtureProgram(
     name="suppressed_racy_counter",
     expect_rules=frozenset(),
+    dynamic_entry="main",
+    # disable=PDC101 silences the *static* verdict only: the observed
+    # PDC301 race survives, so labs cannot wave away what actually ran.
+    expect_dynamic=frozenset({"PDC301"}),
     description=(
         "The racy counter with an inline justified suppression — the lab "
         "form of 'yes, this race is the point of the exercise'."

@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.runtime import RunContext
 from repro.runtime.clock import Clock, MonotonicClock
+from repro.sanitizers import hooks
 
 __all__ = [
     "InstrumentedLock",
@@ -72,10 +73,12 @@ class InstrumentedLock:
             self._owner = threading.get_ident()
         if self._acq_counter is not None:
             self._acq_counter.inc()
+        hooks.on_acquire(self)
         return True
 
     def release(self) -> None:
         """Release the lock.  Raises ``RuntimeError`` if not held."""
+        hooks.on_release(self)
         with self._meta:
             self._owner = None
         self._lock.release()
@@ -140,9 +143,11 @@ class SpinLock:
         if local_spins:
             with self._meta:
                 self.spins += local_spins
+        hooks.on_acquire(self)
 
     def release(self) -> None:
         """Release the lock."""
+        hooks.on_release(self)
         self._flag.release()
 
     def locked(self) -> bool:
@@ -177,10 +182,12 @@ class TicketLock:
             self._next_ticket += 1
             while self._now_serving != ticket:
                 self._cond.wait()
+            hooks.on_acquire(self)
             return ticket
 
     def release(self) -> None:
         """Serve the next ticket."""
+        hooks.on_release(self)
         with self._cond:
             self._now_serving += 1
             self._cond.notify_all()
@@ -234,6 +241,7 @@ class CountingSemaphore:
                             return False
                     self._clock.wait_on(self._cond, remaining)
                 self._permits -= 1
+                hooks.on_sem_wait(self)
                 return True
             finally:
                 self._waiters -= 1
@@ -242,6 +250,7 @@ class CountingSemaphore:
         """V / signal: return ``n`` permits and wake waiters."""
         if n < 1:
             raise ValueError("must release at least one permit")
+        hooks.on_sem_post(self)
         with self._cond:
             self._permits += n
             self._cond.notify(n)
@@ -295,9 +304,13 @@ class ReaderWriterLock:
             self._readers += 1
             if self._readers > self.max_concurrent_readers:
                 self.max_concurrent_readers = self._readers
+        hooks.on_acquire(self)
 
     def release_read(self) -> None:
         """Leave the shared critical section."""
+        # Readers publish non-exclusively: concurrent readers must not
+        # erase each other's clocks from the sanitizer's sync state.
+        hooks.on_release(self, exclusive=False)
         with self._cond:
             if self._readers <= 0:
                 raise RuntimeError("release_read without acquire_read")
@@ -315,9 +328,11 @@ class ReaderWriterLock:
                 self._writer_active = True
             finally:
                 self._writers_waiting -= 1
+        hooks.on_acquire(self)
 
     def release_write(self) -> None:
         """Leave the exclusive critical section."""
+        hooks.on_release(self)
         with self._cond:
             if not self._writer_active:
                 raise RuntimeError("release_write without acquire_write")

@@ -23,6 +23,8 @@ import enum
 import threading
 from typing import Dict, FrozenSet, Generic, List, Optional, Set, TypeVar
 
+from repro.sanitizers import hooks
+
 T = TypeVar("T")
 
 __all__ = ["AccessKind", "RaceReport", "LocksetRaceDetector", "SharedVariable"]
@@ -84,10 +86,14 @@ class LocksetRaceDetector:
         tid = threading.get_ident()
         with self._lock:
             self._held.setdefault(tid, set()).add(lock_name)
+        # Declared locks mirror a real serialization order, so they carry
+        # happens-before for an attached dynamic sanitizer too.
+        hooks.on_acquire(lock_name)
 
     def on_release(self, lock_name: str) -> None:
         """Record that the calling thread released ``lock_name``."""
         tid = threading.get_ident()
+        hooks.on_release(lock_name)
         with self._lock:
             self._held.get(tid, set()).discard(lock_name)
 
@@ -204,13 +210,15 @@ class SharedVariable(Generic[T]):
         self._detector = detector
 
     def read(self) -> T:
-        """Instrumented read."""
+        """Instrumented read (reported to both lockset and HB analyses)."""
         self._detector.record_access(self.name, AccessKind.READ)
+        hooks.on_read(self.name)
         return self._value
 
     def write(self, value: T) -> None:
-        """Instrumented write."""
+        """Instrumented write (reported to both lockset and HB analyses)."""
         self._detector.record_access(self.name, AccessKind.WRITE)
+        hooks.on_write(self.name)
         self._value = value
 
     @property

@@ -1,0 +1,109 @@
+"""SARIF 2.1.0 output: the renderer and the pdc-lint CLI wiring."""
+
+import json
+
+from repro.analysis import render_sarif
+from repro.analysis.__main__ import main
+from repro.analysis.report import Finding, Severity
+
+BARE_ACQUIRE = """\
+import threading
+
+lock = threading.Lock()
+
+def touch():
+    lock.acquire()
+    return 1
+"""
+
+
+def _finding(rule="PDC101", severity=Severity.ERROR, line=3, col=4):
+    return Finding(
+        path="lab.py",
+        line=line,
+        col=col,
+        rule=rule,
+        message=f"{rule} fired",
+        severity=severity,
+        symbol="x",
+    )
+
+
+class TestRenderSarif:
+    def test_envelope_and_driver(self):
+        log = json.loads(render_sarif([_finding()], files=1))
+        assert log["version"] == "2.1.0"
+        assert log["$schema"].endswith("sarif-2.1.0.json")
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "pdc-lint"
+        assert [r["id"] for r in driver["rules"]] == ["PDC101"]
+
+    def test_severity_maps_to_sarif_levels(self):
+        findings = [
+            _finding("PDC101", Severity.ERROR, line=1),
+            _finding("PDC201", Severity.WARNING, line=2),
+            _finding("PDC207", Severity.ADVICE, line=3),
+        ]
+        results = json.loads(render_sarif(findings))["runs"][0]["results"]
+        assert [r["level"] for r in results] == ["error", "warning", "note"]
+
+    def test_columns_are_one_based(self):
+        # Finding columns are 0-based; SARIF regions are 1-based.
+        result = json.loads(render_sarif([_finding(col=0)]))
+        region = result["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        assert region["startColumn"] == 1
+        assert region["startLine"] == 3
+
+    def test_line_zero_findings_stay_in_range(self):
+        # Whole-file findings anchor at line 0; SARIF requires >= 1.
+        result = json.loads(render_sarif([_finding(line=0)]))
+        region = result["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        assert region["startLine"] == 1
+
+    def test_rules_metadata_is_used_when_given(self):
+        log = json.loads(render_sarif(
+            [_finding("PDC101")],
+            rules=[("PDC101", "shared-write-race", "unsynchronized write")],
+        ))
+        rule = log["runs"][0]["tool"]["driver"]["rules"][0]
+        assert rule["name"] == "shared-write-race"
+        assert rule["shortDescription"]["text"] == "unsynchronized write"
+
+    def test_errors_become_tool_notifications(self):
+        log = json.loads(render_sarif([], errors=["boom.py: unreadable"]))
+        invocation = log["runs"][0]["invocations"][0]
+        assert invocation["executionSuccessful"] is False
+        notes = invocation["toolExecutionNotifications"]
+        assert notes[0]["message"]["text"] == "boom.py: unreadable"
+
+    def test_clean_run_is_successful_with_no_results(self):
+        log = json.loads(render_sarif([], files=3, suppressed=2))
+        run = log["runs"][0]
+        assert run["results"] == []
+        assert run["invocations"][0]["executionSuccessful"] is True
+        assert run["properties"] == {"files": 3, "suppressed": 2}
+
+
+class TestCliSarif:
+    def test_pdc_lint_emits_a_valid_sarif_log(self, tmp_path, capsys):
+        target = tmp_path / "lab.py"
+        target.write_text(BARE_ACQUIRE)
+        assert main([str(target), "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "pdc-lint"
+        assert {r["ruleId"] for r in run["results"]} == {"PDC201"}
+        # The full static rule table rides along as driver metadata.
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"PDC101", "PDC201", "PDC209", "PDC210"} <= rule_ids
+
+    def test_clean_file_exits_zero_with_empty_results(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        assert main([str(target), "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["results"] == []

@@ -1,0 +1,79 @@
+"""The autograder's PDC-San dynamic stage: observed races gate the grade."""
+
+from repro.pedagogy import Autograder, Exercise
+from repro.smp.fixtures import fixture
+
+RACY = fixture("racy_counter_twin").source
+LOCKED = fixture("locked_counter_twin").source
+#: Statically suppressed, still dynamically racy — the teaching point.
+SUPPRESSED = fixture("suppressed_racy_counter").source
+
+
+def _source_exercise():
+    return Exercise(
+        "counter", "ship a thread-safe counter module",
+        lambda src: 1.0 if "counter" in src else 0.0,
+        points=10,
+    )
+
+
+class TestSanitizeFindings:
+    def test_off_by_default(self):
+        grader = Autograder([_source_exercise()])
+        report = grader.grade("ada", {"counter": RACY})
+        assert report.dynamic_findings == {}
+        assert report.result_for("counter").fraction == 1.0
+
+    def test_observed_race_attached_without_gating(self):
+        grader = Autograder([_source_exercise()], sanitize=True)
+        report = grader.grade("ada", {"counter": RACY})
+        assert {f.rule for f in report.dynamic_findings["counter"]} == {
+            "PDC301"
+        }
+        # Advisory mode: flagged, but still graded on behavior.
+        assert report.result_for("counter").fraction == 1.0
+
+    def test_clean_submission_attaches_nothing(self):
+        grader = Autograder([_source_exercise()], sanitize=True)
+        report = grader.grade("ada", {"counter": LOCKED})
+        assert report.dynamic_findings == {}
+        assert report.result_for("counter").fraction == 1.0
+
+
+class TestSanitizeGate:
+    def test_observed_race_scores_zero(self):
+        grader = Autograder([_source_exercise()], sanitize_gate=True)
+        report = grader.grade("ada", {"counter": RACY})
+        result = report.result_for("counter")
+        assert result.fraction == 0.0
+        assert "sanitizer check failed" in result.error
+        assert "PDC301" in result.error
+
+    def test_gate_implies_the_sanitize_stage(self):
+        grader = Autograder([_source_exercise()], sanitize_gate=True)
+        assert grader.sanitize
+
+    def test_clean_submission_passes_the_gate(self):
+        grader = Autograder([_source_exercise()], sanitize_gate=True)
+        report = grader.grade("ada", {"counter": LOCKED})
+        assert report.result_for("counter").fraction == 1.0
+
+    def test_static_suppression_does_not_pass_the_dynamic_gate(self):
+        # `disable=PDC101` answers the lint; FastTrack still *observed*
+        # the race, and the observation gates.
+        static_gate = Autograder([_source_exercise()], precheck_gate=True)
+        assert (
+            static_gate.grade("ada", {"counter": SUPPRESSED})
+            .result_for("counter").fraction == 1.0
+        )
+        dynamic_gate = Autograder([_source_exercise()], sanitize_gate=True)
+        report = dynamic_gate.grade("ada", {"counter": SUPPRESSED})
+        assert report.result_for("counter").fraction == 0.0
+        assert "PDC301" in report.result_for("counter").error
+
+    def test_sourceless_submissions_skip_the_stage(self):
+        ex = Exercise("sum", "p", lambda v: 1.0 if v == 3 else 0.0, points=5)
+        grader = Autograder([ex], sanitize_gate=True)
+        report = grader.grade("ada", {"sum": 3})
+        assert report.result_for("sum").fraction == 1.0
+        assert report.dynamic_findings == {}

@@ -1,0 +1,93 @@
+"""The static-vs-dynamic cross-validation over the twin corpus.
+
+This is the PR's measurement claim, pinned as a snapshot: the lockset
+analysis (PDC101) over-approximates, FastTrack (PDC301) exonerates the
+known false positives, and both agree with the corpus ground truth on
+every fixture.
+"""
+
+import pytest
+
+from repro.sanitizers.crossval import (
+    ConfusionMatrix,
+    cross_validate,
+    render_crossval_text,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return cross_validate()
+
+
+class TestGroundTruthAgreement:
+    def test_every_fixture_matches_expectations(self, report):
+        bad = [
+            v.name
+            for v in report.verdicts
+            if not (v.static_ok and v.dynamic_ok)
+        ]
+        assert bad == []
+        assert report.all_ok
+
+    def test_unexecuted_fixtures_pass_vacuously(self, report):
+        not_run = [v for v in report.verdicts if not v.executed]
+        assert not_run  # the corpus does contain non-runnable fixtures
+        assert all(v.dynamic_ok for v in not_run)
+
+
+class TestExoneration:
+    def test_fasttrack_clears_the_lockset_false_positives(self, report):
+        assert "forkjoin_handoff_twin" in report.exonerated
+        assert "lock_handoff_twin" in report.exonerated
+
+    def test_exonerated_fixtures_were_statically_flagged(self, report):
+        by_name = {v.name: v for v in report.verdicts}
+        for name in report.exonerated:
+            v = by_name[name]
+            assert "PDC101" in v.static_rules
+            assert v.known_false_positive
+            assert "PDC301" not in v.dynamic_rules
+
+
+class TestConfusionMatrices:
+    def test_static_matrix_snapshot(self, report):
+        m = report.static_races
+        assert (m.tp, m.fp, m.fn, m.tn) == (1, 3, 0, 15)
+        assert m.recall == 1.0
+        assert m.precision == pytest.approx(0.25)
+
+    def test_dynamic_matrix_snapshot(self, report):
+        m = report.dynamic_races
+        assert (m.tp, m.fp, m.fn, m.tn) == (1, 2, 0, 7)
+        assert m.recall == 1.0
+
+    def test_fasttrack_is_more_precise_than_the_lockset(self, report):
+        assert (
+            report.dynamic_races.precision > report.static_races.precision
+        )
+
+    def test_empty_matrix_degenerates_to_perfect_scores(self):
+        m = ConfusionMatrix(tp=0, fp=0, fn=0, tn=4)
+        assert m.precision == 1.0 and m.recall == 1.0
+
+
+class TestDeterminismAndRendering:
+    def test_cross_validation_is_reproducible(self, report):
+        assert cross_validate().to_dict() == report.to_dict()
+
+    def test_text_table_shows_the_verdict_columns(self, report):
+        text = render_crossval_text(report)
+        assert "fixture" in text and "static" in text and "dynamic" in text
+        assert "EXONERATED" in text
+        assert "MISMATCH" not in text
+        assert "precision=" in text and "recall=" in text
+
+    def test_json_payload_is_self_describing(self, report):
+        payload = report.to_dict()
+        assert payload["all_ok"] is True
+        assert set(payload["exonerated"]) >= {
+            "forkjoin_handoff_twin", "lock_handoff_twin",
+        }
+        names = {f["name"] for f in payload["fixtures"]}
+        assert "racy_counter_twin" in names

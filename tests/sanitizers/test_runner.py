@@ -1,0 +1,162 @@
+"""Whole-program sanitizing: run_source / run_fixture verdicts."""
+
+import pytest
+
+from repro.sanitizers.runner import run_fixture, run_source
+from repro.smp.fixtures import fixture
+
+RACY = """\
+import threading
+
+counter = 0
+
+def worker():
+    global counter
+    for _ in range(3):
+        counter += 1
+
+def main():
+    threads = [threading.Thread(target=worker) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return counter
+"""
+
+LOCKED = RACY.replace(
+    "counter = 0",
+    "counter = 0\nmutex = threading.Lock()",
+).replace(
+    "        counter += 1",
+    "        with mutex:\n            counter += 1",
+)
+
+
+class TestRaceVerdicts:
+    def test_racy_program_yields_pdc301(self):
+        run = run_source(RACY, path="racy.py")
+        assert "PDC301" in run.rules
+        assert run.exit_code == 1
+
+    def test_locked_twin_is_clean(self):
+        run = run_source(LOCKED, path="locked.py")
+        assert run.findings == []
+        assert run.exit_code == 0
+
+    def test_inline_execution_preserves_semantics(self):
+        assert run_source(RACY).value == 6
+        assert run_source(LOCKED).value == 6
+
+    def test_shared_names_are_reported(self):
+        run = run_source(RACY)
+        assert "counter" in run.shared
+
+    def test_finding_anchors_to_the_racing_line(self):
+        run = run_source(RACY, path="racy.py")
+        race = next(f for f in run.findings if f.rule == "PDC301")
+        assert race.path == "racy.py"
+        assert RACY.splitlines()[race.line - 1].strip() == "counter += 1"
+
+
+class TestDeterminism:
+    def test_same_source_same_findings(self):
+        def snapshot():
+            run = run_source(RACY, path="racy.py")
+            return [
+                (f.rule, f.path, f.line, f.message) for f in run.findings
+            ]
+
+        assert snapshot() == snapshot()
+
+    def test_corpus_runs_are_deterministic(self):
+        fix = fixture("racy_counter_twin")
+        first = [(f.rule, f.line, f.message) for f in run_fixture(fix).findings]
+        second = [(f.rule, f.line, f.message) for f in run_fixture(fix).findings]
+        assert first == second and first  # identical and non-empty
+
+
+class TestLockOrder:
+    def test_inverted_acquisition_order_yields_pdc302(self):
+        source = (
+            "import threading\n"
+            "a = threading.Lock()\n"
+            "b = threading.Lock()\n"
+            "def main():\n"
+            "    with a:\n"
+            "        with b:\n"
+            "            pass\n"
+            "    with b:\n"
+            "        with a:\n"
+            "            pass\n"
+        )
+        run = run_source(source, path="abba.py")
+        assert "PDC302" in run.rules
+        assert any("lock-order" in f.message for f in run.findings)
+
+    def test_consistent_order_is_clean(self):
+        source = (
+            "import threading\n"
+            "a = threading.Lock()\n"
+            "b = threading.Lock()\n"
+            "def main():\n"
+            "    for _ in range(2):\n"
+            "        with a:\n"
+            "            with b:\n"
+            "                pass\n"
+        )
+        assert run_source(source).findings == []
+
+
+class TestSuppressions:
+    def test_disable_pdc301_suppresses_the_observed_race(self):
+        suppressed = RACY.replace(
+            "        counter += 1",
+            "        counter += 1  # pdc-lint: disable=PDC301 -- demo race",
+        )
+        run = run_source(suppressed, path="sup.py")
+        assert "PDC301" not in run.rules
+        assert any(f.rule == "PDC301" for f in run.suppressed)
+
+    def test_disable_pdc101_does_not_silence_pdc301(self):
+        # The static suppression does not answer the dynamic verdict.
+        suppressed = RACY.replace(
+            "        counter += 1",
+            "        counter += 1  # pdc-lint: disable=PDC101 -- static only",
+        )
+        run = run_source(suppressed, path="sup.py")
+        assert "PDC301" in run.rules
+
+
+class TestEdgeCases:
+    def test_syntax_error_is_an_error_not_a_crash(self):
+        run = run_source("def broken(:\n", path="bad.py")
+        assert run.errors
+        assert run.exit_code == 2
+
+    def test_missing_entry_runs_module_only(self):
+        run = run_source("x = 1\n", entry="nonexistent")
+        assert run.findings == []
+        assert run.value is None
+
+    def test_target_exceptions_are_collected_not_raised(self):
+        source = (
+            "def main():\n"
+            "    raise ValueError('boom')\n"
+        )
+        run = run_source(source)
+        assert any("boom" in e for e in run.errors)
+
+
+class TestFixtureRuns:
+    def test_racy_twin_flags_and_locked_twin_does_not(self):
+        assert "PDC301" in run_fixture(fixture("racy_counter_twin")).rules
+        assert run_fixture(fixture("locked_counter_twin")).findings == []
+
+    def test_entrypoints_fixture_detects_the_abba_deadlock(self):
+        run = run_fixture(fixture("abba_deadlock_twin"))
+        assert "PDC302" in run.rules
+
+    def test_fixture_without_entry_is_rejected(self):
+        with pytest.raises(ValueError):
+            run_fixture(fixture("bare_acquire"))

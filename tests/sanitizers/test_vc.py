@@ -1,0 +1,86 @@
+"""Unit tests for the sparse vector-clock / epoch primitives."""
+
+from repro.sanitizers.vc import (
+    epoch_leq,
+    vc_concurrent,
+    vc_get,
+    vc_leq,
+    vc_merge,
+)
+
+
+class TestVcGet:
+    def test_present_component(self):
+        assert vc_get({1: 4}, 1) == 4
+
+    def test_absent_component_is_zero(self):
+        assert vc_get({1: 4}, 2) == 0
+
+    def test_empty_clock(self):
+        assert vc_get({}, 7) == 0
+
+
+class TestVcMerge:
+    def test_pointwise_max(self):
+        into = {1: 3, 2: 1}
+        vc_merge(into, {1: 2, 2: 5, 3: 4})
+        assert into == {1: 3, 2: 5, 3: 4}
+
+    def test_merge_none_is_noop(self):
+        into = {1: 3}
+        vc_merge(into, None)
+        assert into == {1: 3}
+
+    def test_merge_empty_is_noop(self):
+        into = {1: 3}
+        vc_merge(into, {})
+        assert into == {1: 3}
+
+    def test_merge_into_empty(self):
+        into = {}
+        vc_merge(into, {5: 2})
+        assert into == {5: 2}
+
+
+class TestVcLeq:
+    def test_reflexive(self):
+        assert vc_leq({1: 2, 2: 3}, {1: 2, 2: 3})
+
+    def test_strictly_less(self):
+        assert vc_leq({1: 1}, {1: 2, 2: 9})
+
+    def test_missing_component_means_zero(self):
+        assert vc_leq({}, {1: 1})
+        assert not vc_leq({1: 1}, {})
+
+    def test_incomparable(self):
+        assert not vc_leq({1: 2}, {2: 2})
+
+
+class TestVcConcurrent:
+    def test_ordered_clocks_are_not_concurrent(self):
+        assert not vc_concurrent({1: 1}, {1: 2})
+        assert not vc_concurrent({1: 2}, {1: 1})
+
+    def test_equal_clocks_are_not_concurrent(self):
+        assert not vc_concurrent({1: 2}, {1: 2})
+
+    def test_disjoint_clocks_are_concurrent(self):
+        assert vc_concurrent({1: 1}, {2: 1})
+
+    def test_crossed_components_are_concurrent(self):
+        assert vc_concurrent({1: 2, 2: 1}, {1: 1, 2: 2})
+
+
+class TestEpochLeq:
+    def test_none_epoch_precedes_everything(self):
+        assert epoch_leq(None, {})
+        assert epoch_leq(None, {1: 5})
+
+    def test_covered_epoch(self):
+        assert epoch_leq((1, 3), {1: 3})
+        assert epoch_leq((1, 3), {1: 4, 2: 1})
+
+    def test_uncovered_epoch(self):
+        assert not epoch_leq((1, 3), {1: 2})
+        assert not epoch_leq((1, 3), {2: 9})
