@@ -1,0 +1,89 @@
+"""Benches: the analysis engine at monorepo scale — 1k files, three modes.
+
+The engine's pitch is that incremental + parallel analysis makes the
+monorepo case affordable without changing a single verdict.  These
+benches put a number on each half of that pitch over a synthetic
+1000-file tree: the sequential cold run is the baseline, ``jobs=4``
+measures the process-pool fan-out, and the warm-cache run measures a
+no-op re-analysis (100% hit rate) — the steady state a CI self-lint or
+``--watch`` session lives in.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.engine import AnalysisEngine, FindingsCache, LintPass
+from repro.smp.fixtures import fixture
+
+N_FILES = 1000
+N_RACY = 100  # every 10th file carries the racy twin
+
+
+@pytest.fixture(scope="module")
+def synthetic_tree(tmp_path_factory):
+    """1000 distinct modules: 900 clean twins, 100 racy ones."""
+    clean = fixture("locked_counter_twin").source
+    racy = fixture("racy_counter_twin").source
+    root = tmp_path_factory.mktemp("engine-bench") / "tree"
+    root.mkdir()
+    for i in range(N_FILES):
+        source = racy if i % 10 == 0 else clean
+        (root / f"mod_{i:04d}.py").write_text(
+            source.replace("counter", f"counter_{i}")
+        )
+    return str(root)
+
+
+def _report_rate(benchmark, label, report, extra=""):
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        mean = benchmark.stats.stats.mean
+        print(f"\n  {label}: {report.files} files in {mean * 1e3:.0f} ms "
+              f"mean = {report.files / mean:.0f} files/s{extra}")
+
+
+def _check(report):
+    assert report.files == N_FILES
+    assert len(report.findings) == N_RACY
+    assert report.errors == []
+
+
+def test_bench_engine_sequential_cold(benchmark, synthetic_tree):
+    """The baseline: one process, no cache — the pre-engine cost."""
+    report = benchmark.pedantic(
+        lambda: AnalysisEngine(LintPass()).run_paths([synthetic_tree]),
+        rounds=3, iterations=1,
+    )
+    _report_rate(benchmark, "sequential cold", report)
+    _check(report)
+
+
+def test_bench_engine_parallel_cold(benchmark, synthetic_tree):
+    """Process-pool fan-out: same verdicts, ``jobs=4`` wall clock."""
+    report = benchmark.pedantic(
+        lambda: AnalysisEngine(LintPass(), jobs=4).run_paths(
+            [synthetic_tree]
+        ),
+        rounds=3, iterations=1,
+    )
+    _report_rate(benchmark, "parallel jobs=4", report)
+    _check(report)
+
+
+def test_bench_engine_warm_cache(benchmark, synthetic_tree, tmp_path_factory):
+    """The steady state: every file hits the cache, nothing re-analyzes."""
+    cache = FindingsCache(str(tmp_path_factory.mktemp("cache")))
+    AnalysisEngine(LintPass(), cache=cache).run_paths([synthetic_tree])
+
+    def warm():
+        engine = AnalysisEngine(LintPass(), cache=cache)
+        return engine, engine.run_paths([synthetic_tree])
+
+    engine, report = benchmark.pedantic(warm, rounds=3, iterations=1)
+    stats = engine.stats()
+    hits = stats["engine.cache.hits"]
+    _report_rate(benchmark, "warm cache", report,
+                 extra=f" ({hits}/{report.files} hits)")
+    _check(report)
+    assert stats["engine.files.analyzed"] == 0
+    assert hits == N_FILES

@@ -1,18 +1,17 @@
 """The ``pdc-lint`` CLI: ``python -m repro.analysis <paths>``.
 
+A thin argument-parsing shell over :mod:`repro.analysis.engine` — the
+engine owns caching, parallelism, watch mode, rendering, and stats.
 Exit codes: 0 clean, 1 findings, 2 unreadable or unparsable input.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.analysis.analyzer import analyze_paths
-from repro.analysis.report import render_json, render_sarif, render_text
-from repro.analysis.rules import default_registry
+from repro.analysis.engine import cli as engine_cli
 
 __all__ = ["main"]
 
@@ -31,12 +30,6 @@ def _build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*", help="files or directories (recurses into *.py)"
     )
     parser.add_argument(
-        "--format",
-        choices=("text", "json", "sarif"),
-        default="text",
-        help="output format (default: text; sarif for CI code scanning)",
-    )
-    parser.add_argument(
         "--select",
         default=None,
         help=(
@@ -44,56 +37,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "(e.g. PDC101,PDC2 — default: all rules)"
         ),
     )
-    parser.add_argument(
-        "--list-rules", action="store_true", help="print the rule table and exit"
-    )
+    engine_cli.add_engine_args(parser)
     return parser
-
-
-def _list_rules() -> str:
-    lines = []
-    for r in default_registry().rules():
-        lines.append(f"{r.id}  {r.name:<24} [{r.severity.value}] {r.summary}")
-    return "\n".join(lines)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the linter; returns the process exit code."""
     parser = _build_parser()
-    args = parser.parse_args(argv)
-    if args.list_rules:
-        print(_list_rules())
-        return 0
-    if not args.paths:
-        parser.error("no paths given (or use --list-rules)")
-    select: Optional[List[str]] = (
-        [s for s in args.select.split(",") if s.strip()] if args.select else None
-    )
-    result = analyze_paths(args.paths, select=select)
-    extra = {}
-    if args.format == "sarif":
-        renderer = render_sarif
-        extra["rules"] = [
-            (r.id, r.name, r.summary) for r in default_registry().rules()
-        ]
-    elif args.format == "json":
-        renderer = render_json
-    else:
-        renderer = render_text
-    try:
-        print(
-            renderer(
-                result.findings,
-                files=result.files,
-                suppressed=result.suppressed,
-                errors=result.errors,
-                **extra,
-            )
-        )
-    except BrokenPipeError:
-        # `pdc-lint ... | head` closed the pipe; the verdict still stands.
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-    return result.exit_code
+    return engine_cli.run_lint(parser, parser.parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -1,0 +1,57 @@
+"""The shared analysis engine behind PDC-Lint and PDC-San.
+
+Both analyzer CLIs (and the autograder's static/dynamic gates) drive
+the same machinery: an :class:`AnalysisEngine` plans work units, runs a
+registered :class:`AnalyzerPass` per unit, and merges results in
+planned order — never completion order — so output is deterministic by
+construction.  On top of that sit the incremental content-hash cache
+(:mod:`.cache`), the process-pool fan-out (:mod:`.pool`), the warm
+``--watch`` loop (:mod:`.watch`), and the shared CLI plumbing
+(:mod:`.cli`).
+
+The invariant everything here is built around, and that the test suite
+enforces: **cold, warm-cache, and parallel runs produce byte-identical
+text/JSON/SARIF output.**  A cache hit or a worker handoff is allowed
+to change wall-clock time and nothing else.
+"""
+
+from repro.analysis.engine.cache import (
+    FindingsCache,
+    MemoryCache,
+    content_digest,
+    scope_id,
+)
+from repro.analysis.engine.core import AnalysisEngine, expand_paths
+from repro.analysis.engine.outcome import (
+    EngineReport,
+    FileOutcome,
+    WorkUnit,
+    merge_outcomes,
+)
+from repro.analysis.engine.passes import (
+    AnalyzerPass,
+    LintPass,
+    SanitizePass,
+    build_pass,
+    register_pass,
+)
+from repro.analysis.engine.watch import Watcher
+
+__all__ = [
+    "AnalysisEngine",
+    "AnalyzerPass",
+    "EngineReport",
+    "FileOutcome",
+    "FindingsCache",
+    "LintPass",
+    "MemoryCache",
+    "SanitizePass",
+    "Watcher",
+    "WorkUnit",
+    "build_pass",
+    "content_digest",
+    "expand_paths",
+    "merge_outcomes",
+    "register_pass",
+    "scope_id",
+]

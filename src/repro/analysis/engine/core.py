@@ -1,0 +1,152 @@
+"""The :class:`AnalysisEngine`: plan → cache → fan out → merge.
+
+One engine drives one pass over a planned list of work units:
+
+1. **Plan** — expand paths to files (sorted walk, identical to the
+   classic sequential analyzers), or accept explicit units (fixtures,
+   in-memory sources).
+2. **Cache** — hash each unit's content; a hit replays stored findings
+   rebased to the unit's path, a miss queues the unit for analysis.
+3. **Fan out** — analyze misses in-process (``jobs=1``) or across a
+   process pool; results return in submission order either way.
+4. **Merge** — fold outcomes in planned order into one report.
+
+The hard invariant, enforced by tests: cold, warm-cache, and parallel
+runs produce byte-identical text/JSON/SARIF output.  Every run records
+its own telemetry in a :class:`~repro.runtime.metrics.MetricRegistry`
+(files planned/analyzed, cache hits/misses, findings by rule, wall
+clock) — the engine dogfoods the substrate it lints.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.engine import pool as _pool
+from repro.analysis.engine.cache import content_digest, rebase_entry
+from repro.analysis.engine.outcome import (
+    EngineReport,
+    FileOutcome,
+    WorkUnit,
+    merge_outcomes,
+)
+from repro.analysis.engine.passes import AnalyzerPass
+from repro.runtime.metrics import MetricRegistry
+
+__all__ = ["AnalysisEngine", "expand_paths"]
+
+
+def expand_paths(paths: Sequence[str]) -> Tuple[List[WorkUnit], List[str]]:
+    """Paths and directory trees → file units, in deterministic order."""
+    from repro.analysis.analyzer import _iter_python_files
+
+    files, errors = _iter_python_files(paths)
+    return [WorkUnit.file(p) for p in files], errors
+
+
+class AnalysisEngine:
+    """Runs one analyzer pass over planned units, incrementally."""
+
+    def __init__(
+        self,
+        pass_: AnalyzerPass,
+        cache: Optional[object] = None,
+        jobs: int = 1,
+        registry: Optional[MetricRegistry] = None,
+        metrics_prefix: str = "engine",
+    ) -> None:
+        self.pass_ = pass_
+        self.cache = cache
+        self.jobs = max(1, int(jobs))
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.prefix = metrics_prefix
+        if self.cache is not None:
+            self.cache.prune_stale(pass_)
+            self.cache.open_scope(pass_)
+
+    # -- metrics -----------------------------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.registry.counter(f"{self.prefix}.{name}").inc(amount)
+
+    def stats(self) -> Dict[str, object]:
+        """This engine's metric subtree, snapshotted."""
+        return self.registry.snapshot(self.prefix)
+
+    # -- running -----------------------------------------------------------
+    def run_paths(self, paths: Sequence[str]) -> EngineReport:
+        """Plan files from ``paths`` and run them."""
+        units, pre_errors = expand_paths(paths)
+        return self.run(units, pre_errors)
+
+    def run(
+        self, units: Sequence[WorkUnit], pre_errors: Sequence[str] = ()
+    ) -> EngineReport:
+        """Analyze ``units``; cache hits skip analysis entirely."""
+        started = time.perf_counter()
+        self._count("runs")
+        self._count("files.planned", len(units))
+        # Pre-register the zero case: a cold run's stats must still say
+        # "cache.hits: 0", not omit the key.
+        for name in ("files.unreadable", "cache.hits", "cache.misses"):
+            self._count(name, 0)
+        outcomes: List[Optional[FileOutcome]] = [None] * len(units)
+        to_run: List[Tuple[int, WorkUnit, bytes, str]] = []
+        pending: Dict[str, int] = {}  # digest -> index into to_run
+        dups: List[Tuple[int, WorkUnit, str]] = []
+        for i, unit in enumerate(units):
+            try:
+                data = self.pass_.load(unit)
+            except Exception as exc:  # noqa: BLE001 - any load failure is the
+                # unit's error, reported in place of its findings
+                outcomes[i] = FileOutcome(
+                    errors=[f"{unit.key}: {exc}"], readable=False
+                )
+                self._count("files.unreadable")
+                continue
+            digest = content_digest(data, self.pass_.content_salt(unit))
+            if self.cache is not None:
+                hit = self.cache.get(self.pass_, digest, unit.key)
+                if hit is not None:
+                    outcomes[i] = hit
+                    self._count("cache.hits")
+                    continue
+                self._count("cache.misses")
+            if digest in pending:
+                # Identical content queued earlier in this very run:
+                # analyze once, replay for every other path.
+                dups.append((i, unit, digest))
+                self._count("cache.hits")
+                continue
+            pending[digest] = len(to_run)
+            to_run.append((i, unit, data, digest))
+
+        fresh = _pool.run_units(
+            self.pass_, [(u, d) for _, u, d, _ in to_run], jobs=self.jobs
+        )
+        for (i, unit, _, digest), outcome in zip(to_run, fresh):
+            outcomes[i] = outcome
+            if self.cache is not None:
+                self.cache.put(self.pass_, digest, unit.key, outcome)
+        for i, unit, digest in dups:
+            j = pending[digest]
+            outcomes[i] = rebase_entry(
+                {"path": to_run[j][1].key, "outcome": fresh[j].to_wire()},
+                unit.key,
+            )
+        self._count("files.analyzed", len(to_run))
+
+        done = [o for o in outcomes if o is not None]
+        report = merge_outcomes(
+            units, done, pre_errors, self.pass_.count_unreadable
+        )
+        self._count("findings.total", len(report.findings))
+        self._count("suppressed", report.suppressed)
+        self._count("errors", len(report.errors))
+        for finding in report.findings:
+            self._count(f"rule.{finding.rule}")
+        self.registry.gauge(f"{self.prefix}.jobs").set(self.jobs)
+        self.registry.histogram(f"{self.prefix}.wall_seconds").observe(
+            time.perf_counter() - started
+        )
+        return report

@@ -68,6 +68,19 @@ class Finding:
             "symbol": self.symbol,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Finding":
+        """Inverse of :meth:`as_dict` (the engine cache round-trips it)."""
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            col=int(payload["col"]),  # type: ignore[arg-type]
+            rule=str(payload["rule"]),
+            message=str(payload["message"]),
+            severity=Severity(payload["severity"]),
+            symbol=str(payload.get("symbol", "")),
+        )
+
 
 _SUPPRESS_RE = re.compile(
     r"#\s*pdc-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?|all)\s*(?:--.*)?$"

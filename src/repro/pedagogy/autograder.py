@@ -150,6 +150,11 @@ class Autograder:
         self.sanitize = sanitize or sanitize_gate
         self.sanitize_gate = sanitize_gate
         self.context = context
+        # Engine-backed analysis caches, created on first use: a cohort
+        # where many students submit byte-identical code (starter files,
+        # shared solutions) is analyzed once per distinct source.
+        self._static_cache: Optional[Any] = None
+        self._dynamic_cache: Optional[Any] = None
 
     def _submission_source(self, submitted: Any) -> Optional[str]:
         """The analyzable source of a submission, if it has any."""
@@ -168,16 +173,19 @@ class Autograder:
         if source is None:
             return []
         # Deferred import: pedagogy stays importable without the analyzer.
-        from repro.analysis import analyze_source
+        from repro.analysis.engine import LintPass, MemoryCache
 
-        try:
-            return analyze_source(
-                source,
-                path=f"<submission:{exercise_id}>",
-                select=self.precheck_select,
-            )
-        except SyntaxError:
-            return []  # unparsable source fails in the checker, on record
+        if self._static_cache is None:
+            self._static_cache = MemoryCache()
+        # Unparsable source yields engine errors, not findings: the
+        # submission then fails in the checker, on record.
+        return self._engine_findings(
+            exercise_id,
+            source,
+            LintPass(select=self.precheck_select),
+            self._static_cache,
+            "grader.static",
+        )
 
     def _dynamic_findings(
         self, exercise_id: str, submitted: Any
@@ -187,15 +195,53 @@ class Autograder:
         if source is None:
             return []
         # Deferred import: pedagogy stays importable without the sanitizers.
-        from repro.sanitizers import run_source
+        from repro.analysis.engine import MemoryCache, SanitizePass
 
         entry = (
             getattr(submitted, "__name__", "main")
             if callable(submitted)
             else "main"
         )
-        run = run_source(source, path=f"<submission:{exercise_id}>", entry=entry)
-        return run.findings
+        if self._dynamic_cache is None:
+            self._dynamic_cache = MemoryCache()
+        # Caching an execution is sound because the sanitized run is
+        # deterministic: same source + entry, same findings, every run.
+        return self._engine_findings(
+            exercise_id,
+            source,
+            SanitizePass(entry=entry),
+            self._dynamic_cache,
+            "grader.dynamic",
+        )
+
+    def _engine_findings(
+        self,
+        exercise_id: str,
+        source: str,
+        pass_: Any,
+        cache: Any,
+        metrics_prefix: str,
+    ) -> List["Finding"]:
+        """Run one analyzer pass over one submission via the engine.
+
+        When a :class:`~repro.runtime.RunContext` is attached, the
+        engine records its telemetry (submissions analyzed, cache hits,
+        findings by rule) in the context's metric registry under
+        ``metrics_prefix`` — grading dogfoods the same observability
+        substrate the graded labs use.
+        """
+        from repro.analysis.engine import AnalysisEngine, WorkUnit
+
+        engine = AnalysisEngine(
+            pass_,
+            cache=cache,
+            registry=(
+                self.context.registry if self.context is not None else None
+            ),
+            metrics_prefix=metrics_prefix,
+        )
+        unit = WorkUnit.source(f"<submission:{exercise_id}>", source)
+        return engine.run([unit]).findings
 
     def grade(self, student: str, submission: Mapping[str, Any]) -> GradeReport:
         """Grade one student."""

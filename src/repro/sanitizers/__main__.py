@@ -1,39 +1,18 @@
-"""The ``pdc-san`` CLI: ``python -m repro.sanitizers``.
+"""The ``pdc-san`` CLI: a thin shell over :mod:`repro.analysis.engine`.
 
 The dynamic counterpart of ``pdc-lint``: instead of reading modules it
-*runs* them — under source instrumentation, stand-in primitives, and a
-deterministic inline scheduler — and reports what actually happened as
-PDC3xx findings in the same formats pdc-lint emits.
-
-Modes
------
-- ``pdc-san prog.py`` — instrument and run a file's ``main()``
-  (``--entry`` to pick another zero-argument entry function);
-- ``pdc-san --fixture racy_counter_twin`` — run one corpus twin;
-- ``pdc-san --corpus`` — run every runnable corpus fixture;
-- ``pdc-san --crossval`` — the static-vs-dynamic table over the corpus.
-
-Exit codes: 0 clean, 1 findings (or, under ``--crossval``, a verdict
-mismatching the corpus ground truth), 2 unrunnable input.
+*runs* them — instrumented, deterministically — and reports PDC3xx
+findings in the same formats.  Exit codes: 0 clean, 1 findings (or a
+``--crossval`` mismatch), 2 unrunnable input.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import os
 import sys
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-from repro.analysis.report import (
-    Finding,
-    render_json,
-    render_sarif,
-    render_text,
-)
-from repro.sanitizers.crossval import cross_validate, render_crossval_text
-from repro.sanitizers.findings import DYNAMIC_RULES
-from repro.sanitizers.runner import RunResult, run_fixture, run_source
+from repro.analysis.engine import cli as engine_cli
 
 __all__ = ["main"]
 
@@ -50,140 +29,28 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "paths", nargs="*", help="Python files to instrument and run"
-    )
+        "paths", nargs="*", help="Python files to instrument and run")
     parser.add_argument(
-        "--entry",
-        default="main",
-        help="zero-argument entry function for path runs (default: main)",
-    )
+        "--entry", default="main",
+        help="zero-argument entry function for path runs (default: main)")
     parser.add_argument(
-        "--fixture",
-        action="append",
-        default=[],
-        metavar="NAME",
-        help="run one corpus fixture by name (repeatable)",
-    )
+        "--fixture", action="append", default=[], metavar="NAME",
+        help="run one corpus fixture by name (repeatable)")
     parser.add_argument(
-        "--corpus",
-        action="store_true",
-        help="run every runnable fixture in the twin corpus",
-    )
+        "--corpus", action="store_true",
+        help="run every runnable fixture in the twin corpus")
     parser.add_argument(
-        "--crossval",
-        action="store_true",
+        "--crossval", action="store_true",
         help="static-vs-dynamic cross-validation table over the corpus",
     )
-    parser.add_argument(
-        "--format",
-        choices=("text", "json", "sarif"),
-        default="text",
-        help="output format (default: text; sarif for CI code scanning)",
-    )
-    parser.add_argument(
-        "--list-rules",
-        action="store_true",
-        help="print the dynamic rule table and exit",
-    )
+    engine_cli.add_engine_args(parser)
     return parser
-
-
-def _list_rules() -> str:
-    lines = []
-    for rid, (name, severity, summary) in sorted(DYNAMIC_RULES.items()):
-        lines.append(f"{rid}  {name:<24} [{severity.value}] {summary}")
-    return "\n".join(lines)
-
-
-def _run_crossval(fmt: str) -> int:
-    report = cross_validate()
-    if fmt == "json":
-        print(json.dumps(report.to_dict(), indent=2))
-    else:
-        print(render_crossval_text(report))
-    return 0 if report.all_ok else 1
-
-
-def _collect_runs(
-    args: argparse.Namespace,
-) -> Tuple[List[RunResult], List[str]]:
-    runs: List[RunResult] = []
-    errors: List[str] = []
-    from repro.smp.fixtures import all_fixtures, fixture
-
-    names = list(args.fixture)
-    if args.corpus:
-        names.extend(
-            f.name
-            for f in all_fixtures()
-            if (f.dynamic_entry or f.entrypoints) and f.name not in names
-        )
-    for name in names:
-        runs.append(run_fixture(fixture(name)))
-    for path in args.paths:
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                source = fh.read()
-        except OSError as exc:
-            errors.append(f"{path}: {exc}")
-            continue
-        runs.append(run_source(source, path=path, entry=args.entry))
-    return runs, errors
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the sanitizers; returns the process exit code."""
     parser = _build_parser()
-    args = parser.parse_args(argv)
-    if args.list_rules:
-        print(_list_rules())
-        return 0
-    if args.crossval:
-        if args.format == "sarif":
-            parser.error("--crossval supports text and json only")
-        return _run_crossval(args.format)
-    if not (args.paths or args.fixture or args.corpus):
-        parser.error(
-            "nothing to run (give paths, --fixture, --corpus, or --crossval)"
-        )
-
-    runs, errors = _collect_runs(args)
-    findings: List[Finding] = []
-    suppressed = 0
-    for run in runs:
-        findings.extend(run.findings)
-        errors.extend(run.errors)
-        suppressed += len(run.suppressed)
-
-    extra = {}
-    if args.format == "sarif":
-        renderer = render_sarif
-        extra["tool"] = "pdc-san"
-        extra["rules"] = [
-            (rid, name, summary)
-            for rid, (name, _sev, summary) in sorted(DYNAMIC_RULES.items())
-        ]
-    elif args.format == "json":
-        renderer = render_json
-        extra["tool"] = "pdc-san"
-    else:
-        renderer = render_text
-    try:
-        print(
-            renderer(
-                sorted(findings),
-                files=len(runs),
-                suppressed=suppressed,
-                errors=errors,
-                **extra,
-            )
-        )
-    except BrokenPipeError:
-        # `pdc-san ... | head` closed the pipe; the verdict still stands.
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-    if errors:
-        return 2
-    return 1 if findings else 0
+    return engine_cli.run_san(parser, parser.parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -20,12 +20,13 @@ instrument:
 from __future__ import annotations
 
 import dataclasses
+import json
 from typing import Dict, FrozenSet, List, Optional
 
 from repro.analysis import analyze_source
 
 __all__ = ["FixtureVerdict", "ConfusionMatrix", "CrossReport", "cross_validate",
-           "render_crossval_text"]
+           "render_crossval_text", "run_crossval_cli"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -254,3 +255,13 @@ def render_crossval_text(report: CrossReport) -> str:
         + (", ".join(exonerated) if exonerated else "none")
     )
     return "\n".join(lines)
+
+
+def run_crossval_cli(fmt: str) -> int:
+    """The ``pdc-san --crossval`` mode: print the table, return exit code."""
+    report = cross_validate()
+    if fmt == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(render_crossval_text(report))
+    return 0 if report.all_ok else 1

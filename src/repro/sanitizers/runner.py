@@ -275,11 +275,21 @@ class _SanRuntime:
         self.detector.release(lock)
 
     def order_findings(self) -> List[Finding]:
-        """PDC302 findings for cycles in the observed lock order."""
+        """PDC302 findings for cycles in the observed lock order.
+
+        ``nx.simple_cycles`` yields each cycle in an arbitrary rotation
+        (and order) that varies with the per-process hash seed; cycles
+        are canonicalized — rotated to start at their smallest lock,
+        then sorted — so the same run always reports the same finding.
+        """
         graph = nx.DiGraph()
         graph.add_edges_from(self.lock_edges)
-        findings = []
+        cycles = []
         for cycle in nx.simple_cycles(graph):
+            pivot = min(range(len(cycle)), key=cycle.__getitem__)
+            cycles.append(cycle[pivot:] + cycle[:pivot])
+        findings = []
+        for cycle in sorted(cycles):
             edge = (cycle[0], cycle[1 % len(cycle)])
             site = self.lock_edges.get(
                 edge, next(iter(self.lock_edges.values()))

@@ -1,0 +1,207 @@
+"""The engine's hard invariant: cold == warm == parallel, byte for byte.
+
+Every test here renders full text/JSON/SARIF reports and compares the
+*strings*: a cache hit or a worker handoff is allowed to change wall
+clock and nothing else.  The legacy sequential pipeline
+(:func:`repro.analysis.analyzer.analyze_paths` + renderers) is the
+reference the engine must reproduce exactly.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import analyze_paths, render_json, render_sarif, render_text
+from repro.analysis.engine import (
+    AnalysisEngine,
+    FindingsCache,
+    LintPass,
+    SanitizePass,
+    WorkUnit,
+)
+from repro.analysis.engine.cli import render_report
+from repro.analysis.rules import default_registry
+from repro.sanitizers.runner import run_fixture
+from repro.smp.fixtures import all_fixtures, fixture
+
+SRC = os.path.normpath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src", "repro")
+)
+FORMATS = ("text", "json", "sarif")
+
+
+@pytest.fixture
+def corpus_tree(tmp_path):
+    """Every twin-corpus fixture written out as a real file tree."""
+    root = tmp_path / "corpus"
+    root.mkdir()
+    for fix in all_fixtures():
+        (root / f"{fix.name}.py").write_text(fix.source)
+    return str(root)
+
+
+def legacy_lint(paths, fmt):
+    """The classic sequential pipeline, rendered."""
+    result = analyze_paths(paths)
+    kwargs = dict(
+        files=result.files,
+        suppressed=result.suppressed,
+        errors=result.errors,
+    )
+    if fmt == "sarif":
+        rules = [(r.id, r.name, r.summary) for r in default_registry().rules()]
+        return render_sarif(result.findings, rules=rules, **kwargs)
+    if fmt == "json":
+        return render_json(result.findings, **kwargs)
+    return render_text(result.findings, **kwargs)
+
+
+def engine_lint(paths, fmt, cache=None, jobs=1):
+    pass_ = LintPass()
+    engine = AnalysisEngine(pass_, cache=cache, jobs=jobs)
+    return render_report(pass_, fmt, engine.run_paths(paths)), engine
+
+
+class TestLintByteIdentity:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_cold_warm_parallel_match_legacy_over_corpus(
+        self, corpus_tree, tmp_path, fmt
+    ):
+        reference = legacy_lint([corpus_tree], fmt)
+        cache = FindingsCache(str(tmp_path / "cache"))
+        cold, cold_engine = engine_lint([corpus_tree], fmt, cache=cache)
+        warm, warm_engine = engine_lint([corpus_tree], fmt, cache=cache)
+        parallel, _ = engine_lint([corpus_tree], fmt, jobs=4)
+        assert cold == reference
+        assert warm == reference
+        assert parallel == reference
+        stats = warm_engine.stats()
+        assert stats["engine.files.analyzed"] == 0
+        assert stats["engine.cache.hits"] == stats["engine.files.planned"] > 0
+        assert cold_engine.stats()["engine.cache.hits"] == 0
+
+    def test_selflint_cold_warm_parallel_match_legacy(self, tmp_path):
+        """The acceptance run: ``src/repro`` itself, all three modes."""
+        reference = legacy_lint([SRC], "json")
+        cache = FindingsCache(str(tmp_path / "cache"))
+        cold, _ = engine_lint([SRC], "json", cache=cache)
+        warm, warm_engine = engine_lint([SRC], "json", cache=cache)
+        parallel, _ = engine_lint([SRC], "json", jobs=4)
+        assert cold == reference == warm == parallel
+        stats = warm_engine.stats()
+        assert stats["engine.files.analyzed"] == 0
+        assert stats["engine.files.planned"] > 50
+
+    def test_missing_path_and_syntax_error_match_legacy(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        paths = [str(tmp_path), str(tmp_path / "nope.py")]
+        for fmt in FORMATS:
+            got, engine = engine_lint(paths, fmt)
+            assert got == legacy_lint(paths, fmt)
+        report = engine.run_paths(paths)
+        assert report.exit_code == 2
+
+
+class TestSanByteIdentity:
+    def san_units(self):
+        return [
+            WorkUnit.fixture(f.name)
+            for f in all_fixtures()
+            if f.dynamic_entry or f.entrypoints
+        ]
+
+    def reference_san(self, fmt):
+        """What the pre-engine pdc-san pipeline produced for --corpus."""
+        runs = [
+            run_fixture(f)
+            for f in all_fixtures()
+            if f.dynamic_entry or f.entrypoints
+        ]
+        findings, errors, suppressed = [], [], 0
+        for run in runs:
+            findings.extend(run.findings)
+            errors.extend(run.errors)
+            suppressed += len(run.suppressed)
+        pass_ = SanitizePass()
+        kwargs = dict(files=len(runs), suppressed=suppressed, errors=errors)
+        if fmt == "sarif":
+            return render_sarif(
+                sorted(findings),
+                tool="pdc-san",
+                rules=pass_.sarif_rules(),
+                **kwargs,
+            )
+        if fmt == "json":
+            return render_json(sorted(findings), tool="pdc-san", **kwargs)
+        return render_text(sorted(findings), **kwargs)
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_corpus_cold_warm_parallel(self, tmp_path, fmt):
+        reference = self.reference_san(fmt)
+        pass_ = SanitizePass()
+        cache = FindingsCache(str(tmp_path / "cache"))
+        units = self.san_units()
+        cold = render_report(
+            pass_, fmt, AnalysisEngine(pass_, cache=cache).run(units)
+        )
+        warm_engine = AnalysisEngine(pass_, cache=cache)
+        warm = render_report(pass_, fmt, warm_engine.run(units))
+        parallel = render_report(
+            pass_, fmt, AnalysisEngine(pass_, jobs=4).run(units)
+        )
+        assert cold == reference
+        assert warm == reference
+        assert parallel == reference
+        assert warm_engine.stats()["engine.files.analyzed"] == 0
+
+
+class TestDeterministicMergeOrder:
+    def test_parallel_results_merge_in_planned_order_not_completion(
+        self, corpus_tree
+    ):
+        """Planned order is path order; a pool can't reorder findings."""
+        sequential = AnalysisEngine(LintPass()).run_paths([corpus_tree])
+        parallel = AnalysisEngine(LintPass(), jobs=3).run_paths([corpus_tree])
+        assert [u.key for u in sequential.units] == [
+            u.key for u in parallel.units
+        ]
+        assert sequential.findings == parallel.findings
+        assert [f.path for f in parallel.findings] == sorted(
+            f.path for f in parallel.findings
+        )
+
+
+class TestStatsFlag:
+    def test_stats_json_snapshot_and_quiet_stdout(
+        self, corpus_tree, tmp_path, capsys, monkeypatch
+    ):
+        """--stats telemetry must never contaminate the findings stream."""
+        import json as _json
+
+        from repro.analysis.__main__ import main
+
+        monkeypatch.setenv("PDC_CACHE_DIR", str(tmp_path / "cache"))
+        stats_file = tmp_path / "stats.json"
+        main([corpus_tree, "--format", "json", "--stats",
+              "--stats-json", str(stats_file)])
+        out, err = capsys.readouterr()
+        _json.loads(out)  # stdout is pure report JSON
+        assert "[pdc-lint stats]" in err
+        snapshot = _json.loads(stats_file.read_text())
+        assert snapshot["engine.files.planned"] == len(all_fixtures())
+        assert snapshot["engine.cache.misses"] > 0
+        assert any(k.startswith("engine.rule.PDC") for k in snapshot)
+        assert "engine.wall_seconds" in snapshot
+
+    def test_select_scopes_cache_and_stats(self, tmp_path):
+        """Different --select configurations never share cache entries."""
+        path = tmp_path / "prog.py"
+        path.write_text(fixture("racy_counter_twin").source)
+        cache = FindingsCache(str(tmp_path / "cache"))
+        full = AnalysisEngine(LintPass(), cache=cache)
+        full_report = full.run_paths([str(path)])
+        narrowed = AnalysisEngine(LintPass(select=["PDC2"]), cache=cache)
+        narrow_report = narrowed.run_paths([str(path)])
+        assert {f.rule for f in full_report.findings} == {"PDC101"}
+        assert narrow_report.findings == []
+        assert narrowed.stats()["engine.cache.hits"] == 0

@@ -1,0 +1,116 @@
+"""The warm ``--watch`` loop: stat-gated, hash-verified, in-memory hot.
+
+The watcher's contract: a cycle with no filesystem changes does no
+analysis and produces no report; a changed file re-analyzes exactly
+itself; the merged report after any change is byte-equivalent to a
+fresh full run over the same tree.
+"""
+
+import os
+
+from repro.analysis.engine import (
+    AnalysisEngine,
+    FindingsCache,
+    LintPass,
+    Watcher,
+)
+from repro.analysis.engine.cli import render_report
+from repro.smp.fixtures import fixture
+
+RACY = fixture("racy_counter_twin").source
+CLEAN = fixture("locked_counter_twin").source
+
+
+def make_tree(tmp_path, n=6):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    for i in range(n):
+        (tree / f"mod_{i}.py").write_text(
+            CLEAN.replace("counter", f"counter_{i}")
+        )
+    return tree
+
+
+class TestWatcher:
+    def test_first_cycle_reports_then_idle_cycles_do_nothing(self, tmp_path):
+        tree = make_tree(tmp_path)
+        engine = AnalysisEngine(LintPass())
+        watcher = Watcher(engine, [str(tree)])
+        first = watcher.run_cycle()
+        assert first is not None
+        assert first.files == 6
+        analyzed_after_first = engine.stats()["engine.files.analyzed"]
+        assert watcher.run_cycle() is None
+        assert watcher.run_cycle() is None
+        assert engine.stats()["engine.files.analyzed"] == analyzed_after_first
+
+    def test_change_reanalyzes_only_the_changed_file(self, tmp_path):
+        tree = make_tree(tmp_path)
+        engine = AnalysisEngine(LintPass())
+        watcher = Watcher(engine, [str(tree)])
+        watcher.run_cycle()
+        before = engine.stats()["engine.files.analyzed"]
+
+        target = tree / "mod_3.py"
+        target.write_text(RACY.replace("counter", "counter_3"))
+        os.utime(target)
+        report = watcher.run_cycle()
+        assert report is not None
+        assert engine.stats()["engine.files.analyzed"] == before + 1
+        assert [f.path for f in report.findings] == [str(target)]
+
+    def test_watch_report_matches_a_fresh_full_run(self, tmp_path):
+        tree = make_tree(tmp_path)
+        engine = AnalysisEngine(LintPass())
+        watcher = Watcher(engine, [str(tree)])
+        watcher.run_cycle()
+        (tree / "mod_1.py").write_text(RACY.replace("counter", "counter_1"))
+        (tree / "mod_9.py").write_text(RACY.replace("counter", "counter_9"))
+        report = watcher.run_cycle()
+        fresh = AnalysisEngine(LintPass()).run_paths([str(tree)])
+        for fmt in ("text", "json", "sarif"):
+            assert render_report(LintPass(), fmt, report) == render_report(
+                LintPass(), fmt, fresh
+            )
+
+    def test_touch_without_content_change_skips_reanalysis(self, tmp_path):
+        tree = make_tree(tmp_path)
+        engine = AnalysisEngine(LintPass())
+        watcher = Watcher(engine, [str(tree)])
+        watcher.run_cycle()
+        before = engine.stats()["engine.files.analyzed"]
+        target = tree / "mod_2.py"
+        os.utime(target, (0, 0))  # force a different stat, same bytes
+        assert watcher.run_cycle() is None
+        assert engine.stats()["engine.files.analyzed"] == before
+
+    def test_deleted_file_drops_out_of_the_report(self, tmp_path):
+        tree = make_tree(tmp_path)
+        engine = AnalysisEngine(LintPass())
+        watcher = Watcher(engine, [str(tree)])
+        first = watcher.run_cycle()
+        assert first.files == 6
+        os.remove(tree / "mod_0.py")
+        report = watcher.run_cycle()
+        assert report is not None
+        assert report.files == 5
+
+    def test_run_forever_is_bounded_and_injectable(self, tmp_path):
+        tree = make_tree(tmp_path, n=2)
+        engine = AnalysisEngine(LintPass())
+        watcher = Watcher(engine, [str(tree)])
+        naps = []
+        watcher.run_forever(interval=0.01, max_cycles=3, sleep=naps.append)
+        assert naps == [0.01, 0.01]
+
+    def test_watcher_shares_the_disk_cache(self, tmp_path):
+        """A watcher warmed by a previous run analyzes nothing cold."""
+        tree = make_tree(tmp_path)
+        cache = FindingsCache(str(tmp_path / "cache"))
+        AnalysisEngine(LintPass(), cache=cache).run_paths([str(tree)])
+        engine = AnalysisEngine(LintPass(), cache=cache)
+        watcher = Watcher(engine, [str(tree)])
+        watcher.run_cycle()
+        stats = engine.stats()
+        assert stats["engine.files.analyzed"] == 0
+        assert stats["engine.cache.hits"] == 6
