@@ -30,7 +30,7 @@ def main() -> None:
     rows = []
     for program in programs:
         matrix = CoverageMatrix.of(program)
-        report = check_program(program)
+        report = check_program(program, matrix=matrix)
         rows.append((matrix.total_weight(), program, report))
     for weight, program, report in sorted(rows, reverse=True, key=lambda r: r[0]):
         star = "*" if program.has_dedicated_pdc_course() else " "
@@ -41,12 +41,9 @@ def main() -> None:
 
     print()
     print("CDER concept coverage across the survey:")
+    reports = [report for _, _, report in rows]
     for concept in CderConcept:
-        covering = sum(
-            1
-            for program in programs
-            if check_program(program).concept_coverage[concept]
-        )
+        covering = sum(1 for r in reports if r.concept_coverage[concept])
         print(f"  {concept.value:<13s} covered by {covering}/20 programs")
 
     print()

@@ -17,6 +17,11 @@ Everything §II–§V of the paper describes, as executable models:
   backed by a runnable substrate module of this repository.
 - :mod:`repro.core.coverage` — incidence matrices and the weighted-sum
   analysis of §III.
+- :mod:`repro.core.batch` — the columnar encoding
+  (:class:`~repro.core.batch.ProgramBatch`) and mergeable partial sums
+  (:class:`~repro.core.batch.SurveyAggregate`) the §III analysis runs on.
+- :mod:`repro.core.pipeline` — the streaming, sharded survey driver that
+  runs the same analysis on 1M+ synthetic programs with flat memory.
 - :mod:`repro.core.survey` — the 20-program survey: a calibrated
   synthetic generator plus the Fig. 2 / Fig. 3 analyzers.
 - :mod:`repro.core.casestudies` — LAU, AUC, and RIT encoded from §IV.
@@ -32,6 +37,7 @@ from repro.core.abet import (
     StudentOutcome,
 )
 from repro.core.advisor import AdvisorReport, advise
+from repro.core.batch import ProgramBatch, SurveyAggregate, batch_programs
 from repro.core.casestudies import auc_program, lau_program, rit_program
 from repro.core.compliance import Approach, ComplianceReport, check_program
 from repro.core.course import Course, Coverage, Depth
@@ -44,15 +50,19 @@ from repro.core.knowledge import (
     TopicSpec,
 )
 from repro.core.mapping import TABLE_I, substrate_for
+from repro.core.pipeline import ChunkSpec, shard_survey, stream_survey, synthesize_batch
 from repro.core.program import Program
-from repro.core.survey import SurveyAnalysis, generate_survey
+from repro.core.survey import SurveyAnalysis, analyze_survey, generate_survey
 from repro.core.taxonomy import CderConcept, CourseType, PdcTopic
 
 __all__ = [
     "advise",
     "AdvisorReport",
+    "analyze_survey",
     "Approach",
     "auc_program",
+    "batch_programs",
+    "ChunkSpec",
     "CAC_CS_CURRICULUM_AREAS",
     "CacCriteria",
     "CderConcept",
@@ -71,10 +81,15 @@ __all__ = [
     "LearningOutcome",
     "PdcTopic",
     "Program",
+    "ProgramBatch",
     "rit_program",
+    "shard_survey",
+    "stream_survey",
     "StudentOutcome",
     "substrate_for",
+    "SurveyAggregate",
     "SurveyAnalysis",
+    "synthesize_batch",
     "TABLE_I",
     "TopicSpec",
     "weighted_topic_scores",

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.abet import CacCriteria, CriteriaCheck
 from repro.core.coverage import CoverageMatrix
@@ -99,10 +99,20 @@ class ComplianceReport:
 _MIN_TOPICS_FOR_EXPOSURE = 3
 
 
-def check_program(program: Program) -> ComplianceReport:
-    """Run the full compliance analysis on ``program``."""
+def check_program(
+    program: Program, matrix: Optional[CoverageMatrix] = None
+) -> ComplianceReport:
+    """Run the full compliance analysis on ``program``.
+
+    Callers that already built the program's :class:`CoverageMatrix`
+    (batch audits, the survey example) pass it via ``matrix`` to skip
+    the rebuild.
+    """
     criteria = CacCriteria().check(program)
-    matrix = CoverageMatrix.of(program)
+    if matrix is None:
+        matrix = CoverageMatrix.of(program)
+    elif matrix.program is not program:
+        raise ValueError("matrix was built for a different program")
     covered = matrix.covered_topics()
 
     if program.has_dedicated_pdc_course(required_only=True):

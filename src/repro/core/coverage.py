@@ -5,8 +5,16 @@ on required courses that included PDC components … A weighted sum of all
 courses that tackle specific components of the PDC knowledge area was
 computed."  :class:`CoverageMatrix` builds the topics × courses incidence
 matrix of one program (NumPy, so all aggregate statistics are one
-vectorized reduction), and the module-level functions aggregate matrices
-across many programs — the computation behind Figs. 2 and 3.
+vectorized reduction), and the module-level functions aggregate across
+many programs — the computation behind Figs. 2 and 3.
+
+Since the columnar refactor, the aggregate functions are thin adapters
+over :mod:`repro.core.batch`: each encodes the program list **once** as
+a :class:`~repro.core.batch.ProgramBatch` and reduces it in a single
+vectorized pass (the old code rebuilt every program's matrix per
+statistic).  The equivalence with the per-program object math is
+test-enforced; :class:`CoverageMatrix` remains the object API for
+single-program audits (compliance, advisor, examples).
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.core.batch import ProgramBatch, SurveyAggregate, _course_type_percentages
 from repro.core.program import Program
 from repro.core.taxonomy import CourseType, PdcTopic
 
@@ -92,44 +101,24 @@ def weighted_topic_scores(
 
     With ``weighted=True``, depth weights contribute (the paper's
     method); with ``False``, each covering course counts 1 (the
-    ablation).  Scores are summed over programs.
+    ablation).  Scores are summed over programs — one columnar encode,
+    one vectorized reduction.
     """
-    totals = np.zeros(len(_TOPICS))
-    for program in programs:
-        cm = CoverageMatrix.of(program)
-        if weighted:
-            totals += cm.matrix.sum(axis=1)
-        else:
-            totals += (cm.matrix > 0).sum(axis=1)
+    batch = ProgramBatch.from_programs(programs)
+    eff = batch.depth * batch.required[:, None]
+    totals = eff.sum(axis=0) if weighted else (eff > 0).sum(axis=0)
     return {t: float(totals[i]) for i, t in enumerate(_TOPICS)}
 
 
 def topic_program_counts(programs: Sequence[Program]) -> Dict[PdcTopic, int]:
     """How many programs cover each topic at all (Fig. 2's bar heights)."""
-    counts = np.zeros(len(_TOPICS), dtype=int)
-    for program in programs:
-        cm = CoverageMatrix.of(program)
-        counts += (cm.matrix.sum(axis=1) > 0).astype(int)
+    counts = SurveyAggregate.of_programs(programs).topic_counts
     return {t: int(counts[i]) for i, t in enumerate(_TOPICS)}
 
 
 def course_type_percentages(programs: Sequence[Program]) -> Dict[CourseType, float]:
     """Fig. 3's series: of all PDC-carrying required courses across the
     surveyed programs, what percentage is of each course type?"""
-    type_counts: Dict[CourseType, int] = {}
-    total = 0
-    for program in programs:
-        for course in program.required_courses():
-            if course.pdc_topics():
-                type_counts[course.course_type] = (
-                    type_counts.get(course.course_type, 0) + 1
-                )
-                total += 1
-    if total == 0:
-        return {}
-    return {
-        ct: 100.0 * n / total
-        for ct, n in sorted(
-            type_counts.items(), key=lambda kv: (-kv[1], kv[0].value)
-        )
-    }
+    return _course_type_percentages(
+        SurveyAggregate.of_programs(programs).course_type_counts
+    )

@@ -22,19 +22,18 @@ and runs unchanged on *real* program encodings (the case studies use it).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.batch import SurveyAggregate
 from repro.core.course import Course, Coverage, Depth
-from repro.core.coverage import (
-    course_type_percentages,
-    topic_program_counts,
-    weighted_topic_scores,
-)
 from repro.core.mapping import TABLE_I
 from repro.core.program import Program
 from repro.core.taxonomy import CourseType, PdcTopic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime import RunContext
 
 __all__ = ["generate_survey", "SurveyAnalysis", "analyze_survey"]
 
@@ -97,13 +96,29 @@ def _coverage_for(
 
 
 def generate_survey(
-    n: int = 20, seed: int = 2021, dedicated_index: int = 7
+    n: int = 20,
+    seed: int = 2021,
+    dedicated_index: int = 7,
+    context: Optional["RunContext"] = None,
 ) -> List[Program]:
     """Synthesize ``n`` accredited programs; program ``dedicated_index``
-    carries the survey's single dedicated PDC course."""
+    carries the survey's single dedicated PDC course.
+
+    With a :class:`~repro.runtime.RunContext`, draws come from the
+    context's named ``"survey.programs"`` RNG stream (the PR-2 seed
+    discipline: one root seed reproduces a whole lab run, ``seed`` is
+    ignored).  Without one, the historical ``np.random.default_rng(seed)``
+    behaviour is kept bit for bit — the ``seed=2021`` survey is
+    byte-identical to every release before the columnar refactor
+    (test-enforced by golden digest).
+    """
     if not 0 <= dedicated_index < n:
         raise ValueError("dedicated_index out of range")
-    rng = np.random.default_rng(seed)
+    rng = (
+        context.rng.stream("survey.programs")
+        if context is not None
+        else np.random.default_rng(seed)
+    )
     programs: List[Program] = []
     for i in range(n):
         courses: List[Course] = []
@@ -189,13 +204,13 @@ class SurveyAnalysis:
 
 
 def analyze_survey(programs: Sequence[Program]) -> SurveyAnalysis:
-    """Run the paper's §III analysis over any set of programs."""
-    return SurveyAnalysis(
-        num_programs=len(programs),
-        dedicated_course_programs=sum(
-            1 for p in programs if p.has_dedicated_pdc_course()
-        ),
-        topic_counts=topic_program_counts(programs),
-        topic_weights=weighted_topic_scores(programs, weighted=True),
-        course_percentages=course_type_percentages(programs),
-    )
+    """Run the paper's §III analysis over any set of programs.
+
+    A thin adapter over the columnar path: the program list is encoded
+    **once** as a :class:`~repro.core.batch.ProgramBatch` and reduced in
+    a single vectorized pass (the pre-refactor code rebuilt each
+    program's :class:`~repro.core.coverage.CoverageMatrix` three times —
+    once per statistic).  Results are identical to the object path
+    (test-enforced equivalence invariant).
+    """
+    return SurveyAggregate.of_programs(programs).to_analysis()

@@ -1,0 +1,144 @@
+"""The streaming survey driver: chunking, sharding, metrics, tracing."""
+
+import pytest
+
+from repro.core.batch import SurveyAggregate
+from repro.core.pipeline import (
+    ChunkSpec,
+    chunk_grid,
+    shard_survey,
+    stream_survey,
+    synthesize_batch,
+)
+from repro.core.taxonomy import CourseType, PdcTopic
+from repro.runtime import RunContext
+
+
+class TestChunkGrid:
+    def test_partition_covers_n(self):
+        specs = chunk_grid(1000, 128, seed=1)
+        assert sum(s.count for s in specs) == 1000
+        assert specs[0].start == 0 and specs[-1].start == 896
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_grid(10, 0, seed=1)
+        with pytest.raises(ValueError):
+            chunk_grid(10, 4, seed=1, dedicated_index=10)
+        with pytest.raises(ValueError):
+            chunk_grid(-1, 4, seed=1)
+
+    def test_n_zero(self):
+        assert chunk_grid(0, 4, seed=1) == []
+        assert stream_survey(0, chunk_size=4) == SurveyAggregate.empty()
+
+
+class TestSynthesizeBatch:
+    def test_chunk_rng_is_span_deterministic(self):
+        a = synthesize_batch(ChunkSpec(64, 32, seed=9))
+        b = synthesize_batch(ChunkSpec(64, 32, seed=9))
+        assert SurveyAggregate.from_batch(a) == SurveyAggregate.from_batch(b)
+
+    def test_dedicated_program_in_chunk(self):
+        batch = synthesize_batch(ChunkSpec(10, 5, seed=9, dedicated_index=12))
+        agg = SurveyAggregate.from_batch(batch)
+        assert agg.dedicated_programs == 1
+        # the dedicated program carries one extra course row
+        assert batch.num_courses == 5 * 13 + 1
+
+    def test_dedicated_program_outside_chunk(self):
+        batch = synthesize_batch(ChunkSpec(0, 5, seed=9, dedicated_index=12))
+        assert SurveyAggregate.from_batch(batch).dedicated_programs == 0
+        assert batch.num_courses == 5 * 13
+
+
+class TestStreamingEquivalence:
+    def test_sequential_matches_sharded_process(self):
+        seq = stream_survey(600, seed=5, chunk_size=64)
+        par = shard_survey(600, seed=5, chunk_size=64, workers=4)
+        assert seq == par
+
+    def test_sequential_matches_sharded_mp(self):
+        seq = stream_survey(600, seed=5, chunk_size=64)
+        mp = shard_survey(600, seed=5, chunk_size=64, workers=4, backend="mp")
+        assert seq == mp
+
+    def test_chunk_size_does_not_leak_into_totals(self):
+        """Different chunk sizes draw different program samples (the
+        chunk span names the RNG stream) but identical survey *shape*
+        invariants must hold for each."""
+        for chunk_size in (1, 17, 1000):
+            agg = stream_survey(100, seed=5, chunk_size=chunk_size)
+            assert agg.num_programs == 100
+            assert agg.dedicated_programs == 1
+
+    def test_exactly_one_dedicated_program_at_scale(self):
+        agg = stream_survey(5000, seed=2021, chunk_size=512)
+        assert agg.num_programs == 5000
+        assert agg.dedicated_programs == 1
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            shard_survey(10, workers=2, backend="gpu")
+        with pytest.raises(ValueError):
+            shard_survey(10, workers=0)
+
+
+class TestFigureShapesAtScale:
+    """Fig. 2 / Fig. 3 shapes survive the scale-up (the pipeline samples
+    the same Table-I-calibrated incidence model as generate_survey)."""
+
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        return stream_survey(5000, seed=2021, chunk_size=512).to_analysis()
+
+    def test_parallelism_concurrency_tops_fig2(self, analysis):
+        assert analysis.top_topics(1) == [PdcTopic.PARALLELISM_CONCURRENCY]
+
+    def test_arch_and_os_lead_fig3(self, analysis):
+        top3 = analysis.top_course_types(3)
+        assert CourseType.ARCHITECTURE in top3
+        assert CourseType.OPERATING_SYSTEMS in top3
+
+    def test_percentages_sum_to_100(self, analysis):
+        assert sum(analysis.course_percentages.values()) == pytest.approx(100.0)
+
+    def test_all_topics_reached(self, analysis):
+        assert all(c > 0 for c in analysis.topic_counts.values())
+
+
+class TestObservability:
+    def test_metrics_recorded(self):
+        ctx = RunContext.deterministic(seed=3)
+        stream_survey(100, seed=3, chunk_size=16, context=ctx)
+        snap = ctx.snapshot("survey")
+        assert snap["survey.programs"] == 100
+        assert snap["survey.chunks.merged"] == 7
+        assert snap["survey.batch.peak_bytes"] > 0
+
+    def test_sharded_metrics_recorded(self):
+        ctx = RunContext.deterministic(seed=3)
+        shard_survey(100, seed=3, chunk_size=16, workers=2, context=ctx)
+        snap = ctx.snapshot("survey")
+        assert snap["survey.programs"] == 100
+        assert snap["survey.workers"] == 2
+
+    def test_trace_digest_stable(self):
+        digests = []
+        for _ in range(2):
+            ctx = RunContext.deterministic(seed=3)
+            stream_survey(100, seed=3, chunk_size=16, context=ctx)
+            digests.append(ctx.tracer.digest())
+        assert digests[0] == digests[1]
+
+    def test_trace_has_chunk_spans(self):
+        ctx = RunContext.deterministic(seed=3)
+        stream_survey(100, seed=3, chunk_size=50, context=ctx)
+        names = [e.name for e in ctx.tracer.events()]
+        assert "survey.stream" in names
+        assert names.count("survey.chunk") >= 2  # B/E pairs per chunk
+
+    def test_progress_callback(self):
+        seen = []
+        stream_survey(100, chunk_size=30, on_chunk=lambda d, t: seen.append((d, t)))
+        assert seen == [(30, 100), (60, 100), (90, 100), (100, 100)]
