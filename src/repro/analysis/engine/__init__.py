@@ -32,6 +32,7 @@ from repro.analysis.engine.passes import (
     AnalyzerPass,
     LintPass,
     SanitizePass,
+    VerifyPass,
     build_pass,
     register_pass,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "LintPass",
     "MemoryCache",
     "SanitizePass",
+    "VerifyPass",
     "Watcher",
     "WorkUnit",
     "build_pass",

@@ -23,11 +23,16 @@ from typing import List, Optional
 from repro.analysis.engine.cache import FindingsCache
 from repro.analysis.engine.core import AnalysisEngine, expand_paths
 from repro.analysis.engine.outcome import EngineReport, WorkUnit
-from repro.analysis.engine.passes import AnalyzerPass, LintPass, SanitizePass
+from repro.analysis.engine.passes import (
+    AnalyzerPass,
+    LintPass,
+    SanitizePass,
+    VerifyPass,
+)
 from repro.analysis.engine.watch import Watcher
 from repro.analysis.report import render_json, render_sarif, render_text
 
-__all__ = ["add_engine_args", "run_lint", "run_san"]
+__all__ = ["add_engine_args", "run_lint", "run_san", "run_verify"]
 
 
 def add_engine_args(parser: argparse.ArgumentParser) -> None:
@@ -229,6 +234,66 @@ def run_san(
     if not (args.paths or args.fixture or args.corpus):
         parser.error(
             "nothing to run (give paths, --fixture, --corpus, or --crossval)"
+        )
+    names = list(args.fixture)
+    if args.corpus:
+        from repro.smp.fixtures import all_fixtures
+
+        names.extend(
+            f.name
+            for f in all_fixtures()
+            if (f.dynamic_entry or f.entrypoints) and f.name not in names
+        )
+    units = [WorkUnit.fixture(n) for n in names]
+    units.extend(WorkUnit.file(p) for p in args.paths)
+    return _drive(
+        args, pass_, units, [], watch_paths=args.paths if args.paths else None
+    )
+
+
+def run_verify(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> int:
+    """Everything ``pdc-verify`` does after argument parsing."""
+    pass_ = VerifyPass(
+        entry=args.entry,
+        mode=args.mode,
+        max_schedules=args.max_schedules,
+        max_steps=args.max_steps,
+    )
+    if args.list_rules:
+        _print_report(pass_.rule_table())
+        return 0
+    if args.replay:
+        from repro.verify.explorer import replay_fixture, replay_source
+
+        if args.fixture:
+            run = replay_fixture(args.fixture[0], args.replay)
+        elif args.paths:
+            with open(args.paths[0], "r", encoding="utf-8") as fh:
+                run = replay_source(
+                    fh.read(), args.replay,
+                    path=args.paths[0], entry=args.entry,
+                )
+        else:
+            parser.error("--replay needs a --fixture or one path")
+        for finding in run.findings:
+            print(finding)
+        for error in run.errors:
+            print(f"error: {error}", file=sys.stderr)
+        print(f"schedule: {run.schedule}")
+        return run.exit_code
+    if args.crossval:
+        if args.format == "sarif":
+            parser.error("--crossval supports text and json only")
+        from repro.verify.crossval import run_verify_crossval_cli
+
+        return run_verify_crossval_cli(
+            args.format, mode=args.mode, stats_path=args.stats_json
+        )
+    if not (args.paths or args.fixture or args.corpus):
+        parser.error(
+            "nothing to check (give paths, --fixture, --corpus, or --crossval)"
         )
     names = list(args.fixture)
     if args.corpus:

@@ -24,6 +24,7 @@ __all__ = [
     "AnalyzerPass",
     "LintPass",
     "SanitizePass",
+    "VerifyPass",
     "build_pass",
     "register_pass",
 ]
@@ -32,6 +33,7 @@ __all__ = [
 #: so stale entries from an older analyzer can never be replayed.
 LINT_VERSION = "1"
 SAN_VERSION = "1"
+VERIFY_VERSION = "1"
 
 
 class AnalyzerPass(abc.ABC):
@@ -212,6 +214,110 @@ class SanitizePass(AnalyzerPass):
         )
 
 
+class VerifyPass(AnalyzerPass):
+    """PDC-Verify: exhaustive schedule exploration per unit.
+
+    Caching a *model-checking verdict* is sound for the same reason
+    caching a sanitizer run is — the exploration is a deterministic
+    function of the source, the mode, and the budget, all of which are
+    in the cache key.
+    """
+
+    tool = "pdc-verify"
+    kind = "verify"
+    version = VERIFY_VERSION
+    count_unreadable = False
+
+    def __init__(
+        self,
+        entry: str = "main",
+        mode: str = "dpor",
+        max_schedules: Optional[int] = None,
+        max_steps: Optional[int] = None,
+    ) -> None:
+        self.entry = entry
+        self.mode = mode
+        self.max_schedules = max_schedules
+        self.max_steps = max_steps
+
+    def config_key(self) -> str:
+        return (
+            f"entry={self.entry};mode={self.mode};"
+            f"schedules={self.max_schedules};steps={self.max_steps}"
+        )
+
+    def params(self) -> Dict[str, object]:
+        return {
+            "entry": self.entry,
+            "mode": self.mode,
+            "max_schedules": self.max_schedules,
+            "max_steps": self.max_steps,
+        }
+
+    def content_salt(self, unit: WorkUnit) -> str:
+        if unit.kind == "fixture":
+            # Entry functions and exploration bounds are part of what
+            # gets checked, so they are part of the digest.
+            from repro.smp.fixtures import fixture
+
+            fix = fixture(unit.key)
+            return (
+                f"{fix.dynamic_entry}|{','.join(fix.entrypoints)}"
+                f"|{fix.verify_budget}|{fix.verify_max_steps}"
+            )
+        return ""
+
+    def _budget(self, fix=None):
+        from repro.verify.explorer import ExploreBudget, fixture_budget
+
+        if self.max_schedules is None and self.max_steps is None:
+            return fixture_budget(fix) if fix is not None else ExploreBudget()
+        base = fixture_budget(fix) if fix is not None else ExploreBudget()
+        return ExploreBudget(
+            max_schedules=self.max_schedules or base.max_schedules,
+            max_steps_per_task=self.max_steps or base.max_steps_per_task,
+        )
+
+    def analyze(self, unit: WorkUnit, data: bytes) -> FileOutcome:
+        from repro.verify.explorer import explore_fixture, explore_source
+
+        if unit.kind == "fixture":
+            from repro.smp.fixtures import fixture
+
+            fix = fixture(unit.key)
+            result = explore_fixture(
+                fix, mode=self.mode, budget=self._budget(fix)
+            )
+        else:
+            result = explore_source(
+                data.decode("utf-8"),
+                path=unit.key,
+                entry=self.entry,
+                mode=self.mode,
+                budget=self._budget(),
+            )
+        return FileOutcome(
+            findings=list(result.findings),
+            errors=list(result.errors),
+        )
+
+    def sarif_rules(self) -> List[Tuple[str, str, str]]:
+        from repro.sanitizers.findings import DYNAMIC_RULES
+
+        return [
+            (rid, name, summary)
+            for rid, (name, _sev, summary) in sorted(DYNAMIC_RULES.items())
+        ]
+
+    def rule_table(self) -> str:
+        from repro.sanitizers.findings import DYNAMIC_RULES
+
+        return "\n".join(
+            f"{rid}  {name:<24} [{severity.value}] {summary}"
+            for rid, (name, severity, summary) in sorted(DYNAMIC_RULES.items())
+        )
+
+
 _PASS_FACTORIES: Dict[str, Callable[..., AnalyzerPass]] = {}
 
 
@@ -224,6 +330,7 @@ def register_pass(kind: str, factory: Callable[..., AnalyzerPass]) -> None:
 
 register_pass("lint", LintPass)
 register_pass("sanitize", SanitizePass)
+register_pass("verify", VerifyPass)
 
 
 def build_pass(kind: str, params: Dict[str, object]) -> AnalyzerPass:

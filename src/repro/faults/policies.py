@@ -212,6 +212,7 @@ class CircuitBreaker:
         self._state = self.CLOSED
         self._failures = 0
         self._opened_at = 0.0
+        self._probing = False
         self._gauge.set(0)
 
     @property
@@ -223,16 +224,26 @@ class CircuitBreaker:
     def _admit_locked(self, peek: bool = False) -> str:
         # Caller holds the lock.  Transitions open -> half_open when the
         # reset window has elapsed; with peek, reports without admitting.
-        if self._state == self.OPEN:
+        state = self._state
+        if state == self.OPEN:
             if self.clock.now() - self._opened_at >= self.reset_timeout:
-                if not peek:
-                    self._state = self.HALF_OPEN
-                    self._gauge.set(self._STATE_LEVEL[self.HALF_OPEN])
-                return self.HALF_OPEN
-        return self._state
+                state = self.HALF_OPEN
+        if peek:
+            return state
+        if state == self.HALF_OPEN:
+            # Half-open admits exactly one probe: while it is in flight
+            # every other caller fails fast, otherwise a burst of
+            # concurrent probes would hammer the recovering dependency.
+            if self._probing:
+                return self.OPEN
+            self._probing = True
+            self._state = self.HALF_OPEN
+            self._gauge.set(self._STATE_LEVEL[self.HALF_OPEN])
+        return state
 
     def _record(self, ok: bool) -> None:
         with self._lock:
+            self._probing = False
             if ok:
                 self._state = self.CLOSED
                 self._failures = 0

@@ -15,6 +15,9 @@ machinery:
 - :mod:`repro.pedagogy.chaoslab` — the fault-tolerance lab graded
   against :mod:`repro.faults` (resilient calls over unreliable
   dependencies).
+- :mod:`repro.pedagogy.verifylab` — the model-checking lab graded
+  against :mod:`repro.verify`: full credit only when the checker
+  *proves* the fix over every interleaving.
 - :mod:`repro.pedagogy.outcomes` — map exercises to ABET Student
   Outcomes and compute cohort attainment.
 - :mod:`repro.pedagogy.coursebuilder` — assemble the LAU and RIT
@@ -27,6 +30,7 @@ from repro.pedagogy.coursebuilder import build_lau_course, build_rit_course
 from repro.pedagogy.exercise import Exercise, ExerciseResult
 from repro.pedagogy.labs import standard_labs
 from repro.pedagogy.outcomes import AttainmentReport, OutcomeAssessment
+from repro.pedagogy.verifylab import model_checking_lab
 
 __all__ = [
     "AttainmentReport",
@@ -37,6 +41,7 @@ __all__ = [
     "ExerciseResult",
     "fault_tolerance_lab",
     "GradeReport",
+    "model_checking_lab",
     "OutcomeAssessment",
     "standard_labs",
 ]

@@ -15,6 +15,14 @@ lock-order cycles actually taken) land in the report next to the static
 ones — and, with ``sanitize_gate=True``, also score the submission zero.
 The pairing is the pedagogy: a static flag says "this *could* race", a
 sanitizer flag says "this *did*".
+
+The third, **exhaustive** stage (``verify=True``) model-checks the
+source with PDC-Verify (:mod:`repro.verify`): every relevant
+interleaving, not just the one the sanitizer ran.  With
+``verify_gate=True`` a submission passes only when the checker *proves*
+the fix — drains the whole schedule tree without finding a PDC3xx —
+and any failure comes with a one-line schedule token the student can
+replay to watch their bug happen, deterministically, every time.
 """
 
 from __future__ import annotations
@@ -47,6 +55,16 @@ class GradeReport:
     #: PDC-San findings per exercise id (only when the sanitizer stage
     #: ran and the submission exposed source).
     dynamic_findings: Dict[str, List["Finding"]] = dataclasses.field(
+        default_factory=dict
+    )
+    #: PDC-Verify findings per exercise id (only when the verify stage
+    #: ran and the submission exposed source).
+    verify_findings: Dict[str, List["Finding"]] = dataclasses.field(
+        default_factory=dict
+    )
+    #: Per-exercise checker receipts: schedules explored/pruned, whether
+    #: the clean verdict is a proof, and replay tokens for failures.
+    verify_stats: Dict[str, Dict[str, Any]] = dataclasses.field(
         default_factory=dict
     )
 
@@ -120,6 +138,16 @@ class Autograder:
         comments apply (but note: ``disable=PDC101`` does *not* silence
         an observed PDC301 — the dynamic verdict must be answered on its
         own terms).
+    verify:
+        Model-check each submission that exposes source with PDC-Verify:
+        exhaustive schedule exploration (DPOR-pruned), findings and
+        explored/pruned/proved receipts attached to the report.
+    verify_gate:
+        The proof gate: a submission passes only when the checker drains
+        the schedule tree — no truncation, within budget — and finds no
+        PDC3xx on *any* interleaving.  "The sanitizer didn't see it" is
+        no longer enough; "no schedule can produce it" is the bar, which
+        is what distinguishes a fixed program from a lucky run.
     context:
         A :class:`~repro.runtime.RunContext` to instrument grading with:
         each exercise check runs inside a ``lab.<exercise-id>`` trace span
@@ -136,6 +164,8 @@ class Autograder:
         precheck_gate: bool = False,
         sanitize: bool = False,
         sanitize_gate: bool = False,
+        verify: bool = False,
+        verify_gate: bool = False,
         context: Optional["RunContext"] = None,
     ) -> None:
         ids = [e.exercise_id for e in exercises]
@@ -149,6 +179,8 @@ class Autograder:
         self.precheck_gate = precheck_gate
         self.sanitize = sanitize or sanitize_gate
         self.sanitize_gate = sanitize_gate
+        self.verify = verify or verify_gate
+        self.verify_gate = verify_gate
         self.context = context
         # Engine-backed analysis caches, created on first use: a cohort
         # where many students submit byte-identical code (starter files,
@@ -214,6 +246,32 @@ class Autograder:
             "grader.dynamic",
         )
 
+    def _verify_submission(
+        self, exercise_id: str, submitted: Any
+    ) -> Optional[Any]:
+        """Model-check one submission; ``None`` when it has no source."""
+        source = self._submission_source(submitted)
+        if source is None:
+            return None
+        # Deferred import: pedagogy stays importable without the checker.
+        from repro.verify.explorer import ExploreBudget, explore_source
+
+        entry = (
+            getattr(submitted, "__name__", "main")
+            if callable(submitted)
+            else "main"
+        )
+        # A grading-sized budget: big enough to drain every lab-scale
+        # schedule tree, small enough that a spinning submission fails
+        # fast (with "could not prove", which is the right verdict).
+        return explore_source(
+            source,
+            path=f"<submission:{exercise_id}>",
+            entry=entry,
+            mode="dpor",
+            budget=ExploreBudget(max_schedules=500, max_steps_per_task=200),
+        )
+
     def _engine_findings(
         self,
         exercise_id: str,
@@ -248,6 +306,8 @@ class Autograder:
         results: List[ExerciseResult] = []
         static_findings: Dict[str, List["Finding"]] = {}
         dynamic_findings: Dict[str, List["Finding"]] = {}
+        verify_findings: Dict[str, List["Finding"]] = {}
+        verify_stats: Dict[str, Dict[str, Any]] = {}
         for exercise in self.exercises:
             eid = exercise.exercise_id
             if eid not in submission:
@@ -307,6 +367,57 @@ class Autograder:
                         )
                     )
                     continue
+            if self.verify:
+                checked = self._verify_submission(eid, submitted)
+                if checked is not None:
+                    if checked.findings:
+                        verify_findings[eid] = list(checked.findings)
+                    verify_stats[eid] = {
+                        "schedules_explored": checked.schedules_explored,
+                        "schedules_pruned": checked.schedules_pruned,
+                        "proved": checked.proved,
+                        "tokens": dict(checked.tokens),
+                    }
+                if checked is not None and self.verify_gate:
+                    if checked.findings:
+                        rules = ", ".join(
+                            f"{rule} [replay {token}]"
+                            for rule, token in sorted(checked.tokens.items())
+                        ) or ", ".join(sorted(checked.rules))
+                        results.append(
+                            ExerciseResult(
+                                exercise_id=eid,
+                                fraction=0.0,
+                                points_earned=0.0,
+                                points_possible=exercise.points,
+                                error=(
+                                    f"model checker found a reachable "
+                                    f"failure ({rules}): some interleaving "
+                                    "of your code still breaks — replay the "
+                                    "schedule token to watch it happen"
+                                ),
+                            )
+                        )
+                        continue
+                    if not checked.proved:
+                        results.append(
+                            ExerciseResult(
+                                exercise_id=eid,
+                                fraction=0.0,
+                                points_earned=0.0,
+                                points_possible=exercise.points,
+                                error=(
+                                    "model checker could not prove the fix: "
+                                    f"exploration was bounded (explored "
+                                    f"{checked.schedules_explored} schedules"
+                                    f", {checked.truncated_runs} truncated)."
+                                    " Replace busy-waiting with blocking "
+                                    "synchronization so the schedule tree "
+                                    "is finite"
+                                ),
+                            )
+                        )
+                        continue
             if self.context is not None:
                 with self.context.tracer.span(
                     f"lab.{eid}", cat="pedagogy", tid="autograder",
@@ -325,6 +436,8 @@ class Autograder:
             results=results,
             static_findings=static_findings,
             dynamic_findings=dynamic_findings,
+            verify_findings=verify_findings,
+            verify_stats=verify_stats,
         )
 
     def grade_cohort(

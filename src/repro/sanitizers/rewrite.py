@@ -38,17 +38,24 @@ __all__ = ["EventApi", "shared_names", "instrument_source"]
 class EventApi:
     """The ``__pdcsan__`` object injected into instrumented namespaces."""
 
-    __slots__ = ("_detector",)
+    __slots__ = ("_detector", "_scheduler")
 
-    def __init__(self, detector: FastTrackDetector) -> None:
+    def __init__(self, detector: FastTrackDetector, scheduler=None) -> None:
         self._detector = detector
+        #: Optional cooperative scheduler (repro.verify); when present,
+        #: every shared access becomes a preemption/decision point.
+        self._scheduler = scheduler
 
     def rd(self, name: str) -> None:
         """Read event (site = the caller's frame, i.e. the rewritten line)."""
+        if self._scheduler is not None:
+            self._scheduler.op("rd", name)
         self._detector.read(name)
 
     def wr(self, name: str) -> None:
         """Write event."""
+        if self._scheduler is not None:
+            self._scheduler.op("wr", name)
         self._detector.write(name)
 
 

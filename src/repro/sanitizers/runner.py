@@ -36,7 +36,7 @@ import networkx as nx
 
 from repro.analysis.report import Finding, apply_suppressions
 from repro.sanitizers.fasttrack import FastTrackDetector
-from repro.sanitizers.findings import lock_order_finding
+from repro.sanitizers.findings import deadlock_finding, lock_order_finding
 from repro.sanitizers.rewrite import EventApi, instrument_source
 from repro.sanitizers.sanitizer import Sanitizer
 from repro.sanitizers.sites import AccessSite, call_site
@@ -57,6 +57,9 @@ class RunResult:
     #: Module-global names that were instrumented.
     shared: Tuple[str, ...]
     sanitizer: Sanitizer
+    #: The schedule token of the executed interleaving (scheduled runs
+    #: only; ``None`` for the classic inline execution).
+    schedule: Optional[str] = None
 
     @property
     def rules(self) -> set:
@@ -81,10 +84,16 @@ class _SanLock:
         self.name = f"lock{runtime.new_lock_index()}"
 
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        sched = self._runtime.scheduler
+        if sched is not None:
+            sched.lock_acquire(self)  # decision point; blocks while held
         self._runtime.lock_acquired(self)
         return True
 
     def release(self) -> None:
+        sched = self._runtime.scheduler
+        if sched is not None:
+            sched.lock_release(self)
         self._runtime.lock_released(self)
 
     def locked(self) -> bool:
@@ -108,6 +117,9 @@ class _SanCondition(_SanLock):
     kind = "condition"
 
     def wait(self, timeout: Optional[float] = None) -> bool:
+        sched = self._runtime.scheduler
+        if sched is not None:
+            sched.op("cond_wait", self)
         detector = self._runtime.detector
         detector.release(self)
         detector.acquire(self)
@@ -130,13 +142,22 @@ class _SanSemaphore:
     def __init__(self, runtime: "_SanRuntime", value: int = 1) -> None:
         self._runtime = runtime
         self._value = value
+        if runtime.scheduler is not None:
+            runtime.scheduler.sem_init(self, value)
 
     def acquire(self, blocking: bool = True, timeout: Optional[float] = None) -> bool:
+        sched = self._runtime.scheduler
+        if sched is not None:
+            sched.sem_wait(self)  # blocks while the count is zero
         self._runtime.detector.sem_wait(self)
         self._value -= 1
         return True
 
     def release(self, n: int = 1) -> None:
+        sched = self._runtime.scheduler
+        if sched is not None:
+            for _ in range(n):
+                sched.sem_post(self)
         self._value += n
         self._runtime.detector.sem_post(self)
 
@@ -156,6 +177,9 @@ class _SanEvent:
         self._set = False
 
     def set(self) -> None:
+        sched = self._runtime.scheduler
+        if sched is not None:
+            sched.event_set(self)
         self._set = True
         self._runtime.detector.sem_post(self)
 
@@ -166,6 +190,9 @@ class _SanEvent:
         return self._set
 
     def wait(self, timeout: Optional[float] = None) -> bool:
+        sched = self._runtime.scheduler
+        if sched is not None:
+            sched.event_wait(self)  # blocks until some task set() it
         self._runtime.detector.sem_wait(self)
         return self._set
 
@@ -180,7 +207,13 @@ class _SanBarrier:
 
     def wait(self, timeout: Optional[float] = None) -> int:
         detector = self._runtime.detector
+        sched = self._runtime.scheduler
+        # Publish the arrival clock *before* blocking: every party has
+        # merged into the barrier clock by the time any of them departs,
+        # which is what makes the all-to-all edge hold under scheduling.
         detector.barrier_arrive(self)
+        if sched is not None:
+            sched.barrier_wait(self, self.parties)
         if self._action is not None:
             self._action()
         detector.barrier_depart(self)
@@ -208,6 +241,7 @@ class _LogicalThread:
         self.name = name or f"Thread-{runtime.new_thread_index()}"
         self.daemon = bool(daemon)
         self._tid: Optional[int] = None
+        self._task: Optional[Any] = None
         self._started = False
 
     def start(self) -> None:
@@ -215,6 +249,23 @@ class _LogicalThread:
             raise RuntimeError("threads can only be started once")
         self._started = True
         detector = self._runtime.detector
+        sched = self._runtime.scheduler
+        if sched is not None:
+            # Scheduled mode: the child becomes a real schedulable task;
+            # it runs only when the scheduler picks it, preemptible at
+            # every hook event.  Exceptions its body raises are captured
+            # by the scheduler and surfaced by run_source as runner
+            # errors with the schedule token attached.
+            sched.op("spawn", f"spawn:{self.name}")
+            self._tid = detector.fork_child(name=self.name)
+            target, args, kwargs = self._target, self._args, self._kwargs
+
+            def body() -> None:
+                if target is not None:
+                    target(*args, **kwargs)
+
+            self._task = sched.spawn(self.name, body, det_tid=self._tid)
+            return
         self._tid = detector.fork_child(name=self.name)
         detector.push_logical(self._tid)
         try:
@@ -228,10 +279,16 @@ class _LogicalThread:
             detector.pop_logical()
 
     def join(self, timeout: Optional[float] = None) -> None:
-        if self._tid is not None:
-            self._runtime.detector.join_child(self._tid)
+        if self._tid is None:
+            return
+        sched = self._runtime.scheduler
+        if sched is not None and self._task is not None:
+            sched.join(self._task)  # blocks until the task completes
+        self._runtime.detector.join_child(self._tid)
 
     def is_alive(self) -> bool:
+        if self._task is not None:
+            return self._task.state != "done"
         return False
 
     def run(self) -> None:  # pragma: no cover - parity with threading API
@@ -242,8 +299,14 @@ class _LogicalThread:
 class _SanRuntime:
     """Shared state behind the stand-in ``threading`` module."""
 
-    def __init__(self, detector: FastTrackDetector) -> None:
+    def __init__(
+        self, detector: FastTrackDetector, scheduler: Optional[Any] = None
+    ) -> None:
         self.detector = detector
+        #: A :class:`repro.verify.scheduler.ReplayScheduler` (or anything
+        #: with its surface) makes every hook event a decision point;
+        #: ``None`` keeps the classic inline one-schedule execution.
+        self.scheduler = scheduler
         self.errors: List[str] = []
         self.held: List[_SanLock] = []
         #: first-seen site per acquired-while-holding edge (name pairs).
@@ -343,6 +406,7 @@ def run_source(
     entry: Optional[str] = "main",
     entrypoints: Sequence[str] = (),
     sanitizer: Optional[Sanitizer] = None,
+    scheduler: Optional[Any] = None,
 ) -> RunResult:
     """Execute ``source`` under full PDC-San instrumentation.
 
@@ -352,10 +416,16 @@ def run_source(
     in ``entrypoints`` runs as its *own* logical thread — mutually
     concurrent, all joined at the end — which models "these functions
     are the thread bodies" for fixtures without a driver.
+
+    With a ``scheduler`` (:class:`repro.verify.ReplayScheduler`), the
+    execution is *scheduled* instead of inline: every hook event is a
+    decision point, spawned threads are genuinely preemptible, blocking
+    blocks, and the whole run is a pure function of the scheduler's
+    choice sequence — the substrate the model checker replays.
     """
     san = sanitizer if sanitizer is not None else Sanitizer()
     detector = san.fasttrack
-    runtime = _SanRuntime(detector)
+    runtime = _SanRuntime(detector, scheduler=scheduler)
     errors = runtime.errors
     value: Any = None
     shared: Tuple[str, ...] = ()
@@ -380,46 +450,96 @@ def run_source(
     namespace: Dict[str, object] = {
         "__name__": "__pdcsan_target__",
         "__builtins__": {**vars(builtins), "__import__": import_sanitized},
-        "__pdcsan__": EventApi(detector),
+        "__pdcsan__": EventApi(detector, scheduler=scheduler),
     }
+    schedule: Optional[str] = None
+    extra_findings: List[Finding] = []
+
+    def _call_entries() -> None:
+        """Module body, then the entry/entrypoints protocol."""
+        nonlocal value
+        exec(code, namespace)
+        if entrypoints:
+            workers: List[_LogicalThread] = []
+            for name in entrypoints:
+                fn = namespace.get(name)
+                if not callable(fn):
+                    errors.append(f"entry point {name!r} is not callable")
+                    continue
+                workers.append(
+                    _LogicalThread(runtime, target=fn, name=name)
+                )
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+        elif entry is not None:
+            fn = namespace.get(entry)
+            if callable(fn):
+                value = fn()
+
     with san.activate():
-        try:
-            exec(code, namespace)
-            if entrypoints:
-                tids = []
-                for name in entrypoints:
-                    fn = namespace.get(name)
-                    if not callable(fn):
-                        errors.append(f"entry point {name!r} is not callable")
-                        continue
-                    tid = detector.fork_child(name=name)
-                    detector.push_logical(tid)
-                    try:
-                        fn()
-                    except Exception as exc:  # noqa: BLE001 - recorded
-                        errors.append(
-                            f"{name} raised {type(exc).__name__}: {exc}"
-                        )
-                    finally:
-                        detector.pop_logical()
-                    tids.append(tid)
-                for tid in tids:
-                    detector.join_child(tid)
-            elif entry is not None:
-                fn = namespace.get(entry)
-                if callable(fn):
-                    value = fn()
-        except Exception as exc:  # noqa: BLE001 - surfaced in the result
-            errors.append(f"execution failed: {type(exc).__name__}: {exc}")
-    findings = san.findings() + runtime.order_findings()
+        if scheduler is not None:
+            from repro.verify.token import encode_token  # local: no cycle
+
+            scheduler.detector = detector
+            trace = scheduler.run(_call_entries)
+            schedule = encode_token(trace.choices)
+            for name, exc in trace.crashes:
+                errors.append(
+                    f"{name} raised {type(exc).__name__}: {exc} "
+                    f"[schedule {schedule}]"
+                )
+            if trace.deadlock is not None:
+                cycle, site = trace.deadlock
+                extra_findings.append(deadlock_finding(cycle, site))
+        else:
+            # Inline mode: logical threads run to completion on this OS
+            # thread; entrypoints become sibling logical threads via the
+            # fork/push protocol (no real concurrency, concurrent clocks).
+            try:
+                exec(code, namespace)
+                if entrypoints:
+                    tids = []
+                    for name in entrypoints:
+                        fn = namespace.get(name)
+                        if not callable(fn):
+                            errors.append(
+                                f"entry point {name!r} is not callable"
+                            )
+                            continue
+                        tid = detector.fork_child(name=name)
+                        detector.push_logical(tid)
+                        try:
+                            fn()
+                        except Exception as exc:  # noqa: BLE001 - recorded
+                            errors.append(
+                                f"{name} raised {type(exc).__name__}: {exc}"
+                            )
+                        finally:
+                            detector.pop_logical()
+                        tids.append(tid)
+                    for tid in tids:
+                        detector.join_child(tid)
+                elif entry is not None:
+                    fn = namespace.get(entry)
+                    if callable(fn):
+                        value = fn()
+            except Exception as exc:  # noqa: BLE001 - surfaced in the result
+                errors.append(f"execution failed: {type(exc).__name__}: {exc}")
+    findings = san.findings() + runtime.order_findings() + extra_findings
     kept, suppressed = apply_suppressions(sorted(findings), source)
     return RunResult(
         path=path, findings=kept, suppressed=suppressed, errors=errors,
-        value=value, shared=shared, sanitizer=san,
+        value=value, shared=shared, sanitizer=san, schedule=schedule,
     )
 
 
-def run_fixture(fix, sanitizer: Optional[Sanitizer] = None) -> RunResult:
+def run_fixture(
+    fix,
+    sanitizer: Optional[Sanitizer] = None,
+    scheduler: Optional[Any] = None,
+) -> RunResult:
     """Run one twin-corpus fixture under PDC-San.
 
     Uses the fixture's ``dynamic_entry`` (a driver to call) or, failing
@@ -439,4 +559,5 @@ def run_fixture(fix, sanitizer: Optional[Sanitizer] = None) -> RunResult:
         entry=entry,
         entrypoints=entrypoints,
         sanitizer=sanitizer,
+        scheduler=scheduler,
     )

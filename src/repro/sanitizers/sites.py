@@ -29,6 +29,8 @@ _SKIP_SUFFIXES = tuple(
         "repro/sanitizers/msgrace.py",
         "repro/sanitizers/rewrite.py",
         "repro/sanitizers/runner.py",
+        "repro/verify/scheduler.py",
+        "repro/verify/explorer.py",
         "repro/smp/locks.py",
         "repro/smp/barrier.py",
         "repro/smp/racedetect.py",

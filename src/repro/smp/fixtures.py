@@ -59,6 +59,30 @@ class FixtureProgram:
     dynamic_entry: Optional[str] = None
     #: PDC3xx rule ids the sanitizer run MUST report (∅ == dynamically clean).
     expect_dynamic: FrozenSet[str] = frozenset()
+    #: Rule ids the model checker (:mod:`repro.verify`) must reach on at
+    #: least one schedule.  ``None`` (the default) means "same as
+    #: ``expect_dynamic``" — set it explicitly when exhaustive search can
+    #: reach states the single inline schedule cannot.
+    verify_expect: Optional[FrozenSet[str]] = None
+    #: True when bounded exploration drains the whole schedule tree with
+    #: no step-cap truncation, making the verdict a *proof* over every
+    #: interleaving.  False for busy-wait fixtures whose tree is
+    #: infinite: there the checker's clean verdict is a bounded
+    #: (CHESS-style) exoneration, not an exhaustive one.
+    verify_complete: bool = True
+    #: Per-task step cap override for the checker (spin loops need a
+    #: tight one; ``None`` uses the explorer default).
+    verify_max_steps: Optional[int] = None
+    #: Schedule-count budget override for the checker.
+    verify_budget: Optional[int] = None
+
+    @property
+    def checker_expect(self) -> FrozenSet[str]:
+        """What the model checker must reach (defaults to the dynamic
+        expectation: anything one schedule shows, search must find)."""
+        if self.verify_expect is not None:
+            return self.verify_expect
+        return self.expect_dynamic
 
 
 FIXTURES: Dict[str, FixtureProgram] = {}
@@ -208,6 +232,11 @@ _register(FixtureProgram(
     known_false_positive=True,
     dynamic_entry="main",
     expect_dynamic=frozenset({"PDC301"}),
+    # Busy-wait loops: the schedule tree is infinite, so the checker
+    # explores under tight bounds (the PDC301 is reached long before).
+    verify_complete=False,
+    verify_max_steps=40,
+    verify_budget=300,
     description=(
         "Peterson transcribed literally (flags + turn + busy wait).  The "
         "explorer proves it race-free; lockset analysis flags it anyway — "
@@ -298,6 +327,11 @@ _register(FixtureProgram(
     expect_rules=frozenset({"PDC101"}),
     known_false_positive=True,
     dynamic_entry="main",
+    # The consumer polls the ready flag: schedules where it spins are
+    # step-capped, so the checker's exoneration here is bounded.
+    verify_complete=False,
+    verify_max_steps=60,
+    verify_budget=400,
     description=(
         "Producer publishes a payload under one lock and raises a ready "
         "flag under another; the consumer polls the flag and then reads "

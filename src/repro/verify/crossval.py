@@ -1,0 +1,286 @@
+"""Checker-vs-sanitizer cross-validation: reachability and exoneration.
+
+Two invariants tie the ladder's rungs together, and this module
+machine-checks both over the twin corpus:
+
+**Reachability** — anything PDC-San observes on its one schedule, the
+checker must be able to reach: a single execution is one path through
+the schedule tree, and exhaustive (or bounded-superset) search that
+misses it has a search bug.  Concretely, every PDC301/PDC302 a single
+inline run reports must appear among the checker's findings.
+
+**Exoneration** — a lockset PDC101 the checker *exhausts the schedule
+tree* without reproducing as a PDC301 is a confirmed static false
+positive.  The sanitizer's exoneration ("the schedule we ran was
+clean") is upgraded to a proof ("every schedule is clean") when
+exploration is complete and untruncated, and to a bounded CHESS-style
+exoneration when the fixture's busy-wait loops force step caps
+(``verify_complete=False`` on the fixture says which is expected).
+The two known exonerations — ``forkjoin_handoff_twin`` and
+``lock_handoff_twin`` — stop being hand-waving here: the first is a
+full proof, the second a bounded one, both asserted.
+
+The JSON form carries per-fixture schedules-explored/pruned counts —
+the CI stats artifact that shows what the reduction bought.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.analysis import analyze_source
+from repro.verify.explorer import VerifyResult, explore_fixture
+
+__all__ = [
+    "CheckerVerdict",
+    "VerifyCrossReport",
+    "cross_validate_checker",
+    "render_verify_crossval_text",
+    "run_verify_crossval_cli",
+]
+
+#: Dynamic rules subject to the reachability invariant.
+_REACHABLE_RULES = frozenset({"PDC301", "PDC302"})
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckerVerdict:
+    """One fixture: single-run sanitizer vs exhaustive checker."""
+
+    name: str
+    known_false_positive: bool
+    #: True when the fixture annotation promises untruncated exhaustion.
+    expect_complete: bool
+    #: Rules the checker must reach (fixture's ``checker_expect``).
+    expect_rules: FrozenSet[str]
+    static_rules: FrozenSet[str]
+    #: What one inline (unscheduled) sanitizer run reported.
+    single_run_rules: FrozenSet[str]
+    #: What the checker found across every schedule it explored.
+    checker_rules: FrozenSet[str]
+    schedules_explored: int
+    schedules_pruned: int
+    truncated_runs: int
+    complete: bool
+    #: First failing schedule token per rule, replayable byte-identically.
+    tokens: Dict[str, str]
+    errors: List[str]
+
+    @property
+    def proved(self) -> bool:
+        return self.complete and self.truncated_runs == 0
+
+    @property
+    def reachable_ok(self) -> bool:
+        """Everything the sanitizer saw on one schedule, search found."""
+        observed = self.single_run_rules & _REACHABLE_RULES
+        return observed <= self.checker_rules
+
+    @property
+    def expect_ok(self) -> bool:
+        """The checker reached every rule the corpus says it must."""
+        return self.expect_rules <= self.checker_rules
+
+    @property
+    def completeness_ok(self) -> bool:
+        """Exploration was as exhaustive as the annotation promises.
+
+        ``verify_complete=True`` fixtures must be proved (tree drained,
+        no truncation).  ``verify_complete=False`` fixtures have
+        infinite schedule trees: there the step caps and schedule
+        budget *are* the CHESS-style bound, so any error-free bounded
+        exploration satisfies the annotation."""
+        if self.expect_complete:
+            return self.proved
+        return True
+
+    @property
+    def exonerated(self) -> bool:
+        """A static PDC101 the checker could not reproduce anywhere: the
+        machine-checked form of the lockset false-positive claim."""
+        return (
+            self.known_false_positive
+            and "PDC101" in self.static_rules
+            and self.complete
+            and "PDC301" not in self.checker_rules
+        )
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.reachable_ok
+            and self.expect_ok
+            and self.completeness_ok
+            and not self.errors
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "known_false_positive": self.known_false_positive,
+            "static_rules": sorted(self.static_rules),
+            "single_run_rules": sorted(self.single_run_rules),
+            "checker_rules": sorted(self.checker_rules),
+            "expect_rules": sorted(self.expect_rules),
+            "schedules_explored": self.schedules_explored,
+            "schedules_pruned": self.schedules_pruned,
+            "truncated_runs": self.truncated_runs,
+            "complete": self.complete,
+            "proved": self.proved,
+            "reachable_ok": self.reachable_ok,
+            "expect_ok": self.expect_ok,
+            "completeness_ok": self.completeness_ok,
+            "exonerated": self.exonerated,
+            "tokens": dict(sorted(self.tokens.items())),
+            "errors": list(self.errors),
+            "ok": self.ok,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class VerifyCrossReport:
+    """The checker cross-validation over every runnable fixture."""
+
+    verdicts: List[CheckerVerdict]
+    mode: str
+
+    @property
+    def exonerated(self) -> List[str]:
+        return [v.name for v in self.verdicts if v.exonerated]
+
+    @property
+    def unreachable(self) -> List[str]:
+        """Fixtures with a sanitizer-observed rule the search missed —
+        each one is a checker bug, and the CI gate fails on any."""
+        return [v.name for v in self.verdicts if not v.reachable_ok]
+
+    @property
+    def all_ok(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    @property
+    def total_explored(self) -> int:
+        return sum(v.schedules_explored for v in self.verdicts)
+
+    @property
+    def total_pruned(self) -> int:
+        return sum(v.schedules_pruned for v in self.verdicts)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "fixtures": [v.to_dict() for v in self.verdicts],
+            "exonerated": self.exonerated,
+            "unreachable": self.unreachable,
+            "total_explored": self.total_explored,
+            "total_pruned": self.total_pruned,
+            "all_ok": self.all_ok,
+        }
+
+
+def cross_validate_checker(mode: str = "dpor") -> VerifyCrossReport:
+    """Explore every runnable fixture; compare against static analysis,
+    one inline sanitizer run, and the corpus annotations."""
+    from repro.sanitizers.runner import run_fixture
+    from repro.smp.fixtures import all_fixtures
+
+    verdicts: List[CheckerVerdict] = []
+    for fix in all_fixtures():
+        if not (fix.dynamic_entry or fix.entrypoints):
+            continue
+        static = frozenset(
+            f.rule for f in analyze_source(fix.source, f"<fixture:{fix.name}>")
+        )
+        single = frozenset(run_fixture(fix).rules)
+        result: VerifyResult = explore_fixture(fix, mode=mode)
+        verdicts.append(CheckerVerdict(
+            name=fix.name,
+            known_false_positive=fix.known_false_positive,
+            expect_complete=fix.verify_complete,
+            expect_rules=fix.checker_expect,
+            static_rules=static,
+            single_run_rules=single,
+            checker_rules=frozenset(result.rules),
+            schedules_explored=result.schedules_explored,
+            schedules_pruned=result.schedules_pruned,
+            truncated_runs=result.truncated_runs,
+            complete=result.complete,
+            tokens=dict(result.tokens),
+            errors=list(result.errors),
+        ))
+    return VerifyCrossReport(verdicts=verdicts, mode=mode)
+
+
+def render_verify_crossval_text(report: VerifyCrossReport) -> str:
+    """The checker-vs-sanitizer table, as fixed-width text."""
+    headers = (
+        "fixture", "single-run", "checker", "explored", "pruned", "verdict",
+    )
+    rows = []
+    for v in report.verdicts:
+        marks = []
+        marks.append("reach:ok" if v.reachable_ok else "reach:MISSED")
+        marks.append("expect:ok" if v.expect_ok else "expect:MISMATCH")
+        if v.proved:
+            marks.append("proved")
+        elif v.complete:
+            marks.append("bounded")
+        else:
+            marks.append("BUDGET-CAPPED")
+        if v.exonerated:
+            marks.append("EXONERATED")
+        if v.errors:
+            marks.append(f"errors:{len(v.errors)}")
+        rows.append((
+            v.name,
+            ",".join(sorted(v.single_run_rules)) or "clean",
+            ",".join(sorted(v.checker_rules)) or "clean",
+            str(v.schedules_explored),
+            str(v.schedules_pruned),
+            " ".join(marks),
+        ))
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in rows
+    ]
+    lines.append("")
+    lines.append(
+        f"schedules: {report.total_explored} explored, "
+        f"{report.total_pruned} pruned ({report.mode})"
+    )
+    lines.append(
+        "exonerated by exhaustive search: "
+        + (", ".join(report.exonerated) if report.exonerated else "none")
+    )
+    if report.unreachable:
+        lines.append(
+            "UNREACHABLE (search bug): " + ", ".join(report.unreachable)
+        )
+    return "\n".join(lines)
+
+
+def run_verify_crossval_cli(
+    fmt: str, mode: str = "dpor", stats_path: Optional[str] = None
+) -> int:
+    """The ``pdc-verify --crossval`` mode: print, optionally write the
+    stats artifact, gate on the invariants."""
+    report = cross_validate_checker(mode=mode)
+    if stats_path:
+        with open(stats_path, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+    if fmt == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(render_verify_crossval_text(report))
+    return 0 if report.all_ok else 1

@@ -1,0 +1,60 @@
+"""Schedule tokens: one failing interleaving on one line.
+
+A schedule is the sequence of task indices the scheduler chose at each
+decision point.  Serialized with run-length compression it fits in a
+test name, a CI log line, or a bug report — and
+:func:`repro.verify.explorer.replay_fixture` turns it back into the
+exact same execution, byte-identical findings included, because the
+runner underneath is deterministic given the choice sequence.
+
+Format: ``v1:0x3,1,2x5`` — version prefix, then comma-separated runs,
+``TASKxCOUNT`` (count omitted when 1).  The empty schedule is ``v1:``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["encode_token", "decode_token", "TokenError"]
+
+_PREFIX = "v1:"
+
+
+class TokenError(ValueError):
+    """A schedule token that does not parse."""
+
+
+def encode_token(choices: Sequence[int]) -> str:
+    """Serialize a choice sequence to its one-line token."""
+    runs: List[str] = []
+    i = 0
+    n = len(choices)
+    while i < n:
+        j = i
+        while j < n and choices[j] == choices[i]:
+            j += 1
+        count = j - i
+        runs.append(f"{choices[i]}x{count}" if count > 1 else str(choices[i]))
+        i = j
+    return _PREFIX + ",".join(runs)
+
+
+def decode_token(token: str) -> List[int]:
+    """Parse a token back into the choice sequence it encodes."""
+    if not token.startswith(_PREFIX):
+        raise TokenError(f"schedule token must start with {_PREFIX!r}: {token!r}")
+    body = token[len(_PREFIX):]
+    choices: List[int] = []
+    if not body:
+        return choices
+    for run in body.split(","):
+        head, sep, count = run.partition("x")
+        try:
+            tid = int(head)
+            reps = int(count) if sep else 1
+        except ValueError:
+            raise TokenError(f"bad run {run!r} in schedule token {token!r}") from None
+        if tid < 0 or reps < 1:
+            raise TokenError(f"bad run {run!r} in schedule token {token!r}")
+        choices.extend([tid] * reps)
+    return choices

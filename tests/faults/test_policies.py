@@ -1,5 +1,7 @@
 """Resilience policies on virtual time: timeout, retry, circuit breaker."""
 
+import threading
+
 import pytest
 
 from repro.faults import (
@@ -192,6 +194,74 @@ class TestCircuitBreaker:
         flip["fail"] = True
         with pytest.raises(Unavailable):
             guarded()  # streak restarted: still closed
+        assert cb.state == CircuitBreaker.CLOSED
+
+    def test_half_open_admits_exactly_one_concurrent_probe(self):
+        # The half-open race: with a probe already in flight, a second
+        # caller arriving before the first records its outcome must fail
+        # fast with CircuitOpen, not become a second probe.  The
+        # interleaving is forced with events, so the test is
+        # deterministic: the first probe is provably inside the
+        # dependency when the second call is attempted.
+        ctx = RunContext.deterministic(seed=0)
+        cb = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, context=ctx)
+        entered = threading.Event()
+        release = threading.Event()
+        calls = {"n": 0}
+        admitted = []
+        rejected = []
+
+        def dep():
+            calls["n"] += 1
+            entered.set()
+            release.wait(timeout=5.0)
+            return "recovered"
+
+        guarded = cb(dep)
+        with pytest.raises(Unavailable):
+            cb(self._dead())()  # trip the breaker
+        ctx.clock.sleep(1.0)
+        assert cb.state == CircuitBreaker.HALF_OPEN
+
+        def probe():
+            try:
+                admitted.append(guarded())
+            except CircuitOpen:
+                rejected.append(True)
+
+        first = threading.Thread(target=probe)
+        first.start()
+        assert entered.wait(timeout=5.0)  # probe one is inside dep
+        with pytest.raises(CircuitOpen):
+            guarded()  # probe two: same half-open window, must be refused
+        release.set()
+        first.join(timeout=5.0)
+        assert admitted == ["recovered"]
+        assert not rejected
+        assert calls["n"] == 1  # the dependency saw exactly one probe
+        assert cb.state == CircuitBreaker.CLOSED
+
+    def test_half_open_reprobes_after_failed_probe_window(self):
+        # A failed probe reopens the circuit and clears the in-flight
+        # flag; after the next reset window a fresh probe is admitted.
+        ctx = RunContext.deterministic(seed=0)
+        cb = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, context=ctx)
+        state = {"up": False}
+
+        def dep():
+            if not state["up"]:
+                raise Unavailable("down")
+            return "value"
+
+        guarded = cb(dep)
+        with pytest.raises(Unavailable):
+            guarded()
+        ctx.clock.sleep(1.0)
+        with pytest.raises(Unavailable):
+            guarded()  # failed probe: reopens, must not wedge probing
+        ctx.clock.sleep(1.0)
+        state["up"] = True
+        assert guarded() == "value"
         assert cb.state == CircuitBreaker.CLOSED
 
     def test_policies_compose(self):

@@ -1,0 +1,102 @@
+"""The model-checking lab and the autograder's verify gate.
+
+The grading bar the lab teaches: a fix earns credit when the checker
+*proves* it — every interleaving explored, none fails — not when one
+lucky schedule passes.  A reachable failure scores zero and hands the
+student a schedule token that replays their bug deterministically.
+"""
+
+import textwrap
+
+from repro.pedagogy import Autograder, model_checking_lab
+from repro.pedagogy.verifylab import RACY_TRANSFER_SOURCE
+
+
+def _grade(submission_source, **grader_kw):
+    lab = model_checking_lab()
+    grader = Autograder([lab], **grader_kw)
+    report = grader.grade("student", {lab.exercise_id: submission_source})
+    return report, report.results[0]
+
+
+class TestModelCheckingLab:
+    def test_reference_fix_earns_full_credit(self):
+        lab = model_checking_lab()
+        assert Autograder([lab]).sanity_check() == []
+
+    def test_buggy_handout_scores_zero(self):
+        _, result = _grade(RACY_TRANSFER_SOURCE)
+        assert result.fraction == 0.0
+        assert not result.passed
+
+    def test_bounded_but_unproved_fix_gets_half_credit(self):
+        # Lock-protected polling "fix": every access is under the lock,
+        # so no race is reachable — but the poll loop makes some
+        # executions unboundedly long, so runs get truncated at the step
+        # cap and the clean verdict is bounded, not proved.  Half
+        # credit, by design.  (A *bare* spin flag would score zero: the
+        # flag itself races.)
+        spinny = textwrap.dedent(
+            '''
+            import threading
+
+            balance_a = 100
+            balance_b = 100
+            turn = 0
+            ledger_lock = threading.Lock()
+
+
+            def move_ab() -> None:
+                global balance_a, balance_b, turn
+                while True:
+                    with ledger_lock:
+                        if turn == 0:
+                            balance_a -= 10
+                            balance_b += 10
+                            turn = 1
+                            return
+
+
+            def move_ba() -> None:
+                global balance_a, balance_b, turn
+                while True:
+                    with ledger_lock:
+                        if turn == 1:
+                            balance_b -= 10
+                            balance_a += 10
+                            turn = 0
+                            return
+
+
+            def main() -> int:
+                first = threading.Thread(target=move_ab)
+                second = threading.Thread(target=move_ba)
+                first.start(); second.start()
+                first.join(); second.join()
+                return balance_a + balance_b
+            '''
+        ).lstrip()
+        _, result = _grade(spinny)
+        assert result.fraction == 0.5
+
+
+class TestVerifyGate:
+    def test_gate_zero_scores_reachable_failures_with_token(self):
+        report, result = _grade(RACY_TRANSFER_SOURCE, verify_gate=True)
+        assert result.fraction == 0.0
+        assert result.error is not None
+        assert "model checker found a reachable failure" in result.error
+        assert "[replay v1:" in result.error
+        lab_id = model_checking_lab().exercise_id
+        assert report.verify_findings[lab_id]
+        stats = report.verify_stats[lab_id]
+        assert stats["schedules_explored"] >= 1
+        assert stats["proved"] is True  # drained: failure is *proved* reachable
+        assert any(t.startswith("v1:") for t in stats["tokens"].values())
+
+    def test_gate_admits_the_reference_fix(self):
+        lab = model_checking_lab()
+        report, result = _grade(lab.reference, verify_gate=True)
+        assert result.fraction == 1.0
+        assert result.error is None
+        assert report.verify_stats[lab.exercise_id]["proved"] is True

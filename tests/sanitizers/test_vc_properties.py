@@ -1,0 +1,224 @@
+"""Property tests for the clock algebra and FastTrack's read state.
+
+Hypothesis-driven statements of the laws the race detector's soundness
+rests on, complementing the example-based tests in ``test_vc.py``:
+
+- ``vc_merge`` is a join (least upper bound) on the sparse-clock
+  lattice: commutative, associative, idempotent, with the empty clock
+  as identity — and it really is *least* among upper bounds;
+- ``vc_leq`` is a partial order and ticking a component strictly
+  increases a clock;
+- the epoch fast path is equivalence, not approximation:
+  ``epoch_leq((t, c), vc)`` agrees with the full comparison of the
+  singleton clock ``{t: c}`` for every epoch and clock;
+- FastTrack's read state round-trips: concurrent readers promote the
+  epoch to exactly the readers' clock components (in any arrival
+  order), happens-before-ordered readers never promote, and a write
+  that joins all readers demotes back to the epoch representation
+  without spurious races.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sanitizers.fasttrack import FastTrackDetector
+from repro.sanitizers.sites import AccessSite
+from repro.sanitizers.vc import (
+    epoch_leq,
+    vc_concurrent,
+    vc_get,
+    vc_leq,
+    vc_merge,
+)
+
+# Sparse clocks over a small tid universe; counts start at 1 so dict
+# equality is canonical (no explicit-zero components to confound it).
+TIDS = st.integers(min_value=0, max_value=7)
+clocks = st.dictionaries(TIDS, st.integers(min_value=1, max_value=32), max_size=6)
+epochs = st.tuples(TIDS, st.integers(min_value=0, max_value=32))
+
+
+def joined(a, b):
+    out = dict(a)
+    vc_merge(out, b)
+    return out
+
+
+class TestJoinLattice:
+    @given(a=clocks, b=clocks)
+    def test_commutative(self, a, b):
+        assert joined(a, b) == joined(b, a)
+
+    @given(a=clocks, b=clocks, c=clocks)
+    def test_associative(self, a, b, c):
+        assert joined(joined(a, b), c) == joined(a, joined(b, c))
+
+    @given(a=clocks)
+    def test_idempotent(self, a):
+        assert joined(a, a) == a
+
+    @given(a=clocks)
+    def test_empty_clock_is_identity(self, a):
+        assert joined(a, {}) == a
+        assert joined({}, a) == a
+
+    @given(a=clocks, b=clocks)
+    def test_join_is_an_upper_bound(self, a, b):
+        j = joined(a, b)
+        assert vc_leq(a, j)
+        assert vc_leq(b, j)
+
+    @given(a=clocks, b=clocks, c=clocks)
+    def test_join_is_the_least_upper_bound(self, a, b, c):
+        if vc_leq(a, c) and vc_leq(b, c):
+            assert vc_leq(joined(a, b), c)
+
+
+class TestOrderLaws:
+    @given(a=clocks)
+    def test_reflexive(self, a):
+        assert vc_leq(a, a)
+
+    @given(a=clocks, b=clocks)
+    def test_antisymmetric(self, a, b):
+        if vc_leq(a, b) and vc_leq(b, a):
+            assert a == b
+
+    @given(a=clocks, b=clocks, c=clocks)
+    def test_transitive(self, a, b, c):
+        if vc_leq(a, b) and vc_leq(b, c):
+            assert vc_leq(a, c)
+
+    @given(a=clocks, t=TIDS)
+    def test_tick_strictly_increases(self, a, t):
+        ticked = dict(a)
+        ticked[t] = vc_get(ticked, t) + 1
+        assert vc_leq(a, ticked)
+        assert not vc_leq(ticked, a)
+
+    @given(a=clocks, b=clocks)
+    def test_concurrency_is_symmetric_and_irreflexive(self, a, b):
+        assert vc_concurrent(a, b) == vc_concurrent(b, a)
+        assert not vc_concurrent(a, a)
+        if vc_leq(a, b) or vc_leq(b, a):
+            assert not vc_concurrent(a, b)
+
+
+class TestEpochFastPath:
+    @given(e=epochs, vc=clocks)
+    def test_epoch_leq_equals_singleton_clock_leq(self, e, vc):
+        tid, count = e
+        assert epoch_leq(e, vc) == vc_leq({tid: count}, vc)
+
+    @given(e=epochs, vc=clocks)
+    def test_epoch_leq_is_one_component_lookup(self, e, vc):
+        tid, count = e
+        assert epoch_leq(e, vc) == (count <= vc_get(vc, tid))
+
+    @given(vc=clocks)
+    def test_none_epoch_is_bottom(self, vc):
+        assert epoch_leq(None, vc)
+        assert vc_leq({}, vc)
+
+
+def _read_as(det, tid, var="x", site=None):
+    det.push_logical(tid)
+    try:
+        det.read(var, site=site)
+    finally:
+        det.pop_logical()
+
+
+class TestReadSharePromotion:
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_concurrent_readers_promote_to_exact_clock(self, data):
+        # Any arrival order of >= 2 concurrent readers yields the same
+        # read-shared clock: one component per reader, at its epoch.
+        n = data.draw(st.integers(min_value=2, max_value=5))
+        order = data.draw(st.permutations(list(range(n))))
+        det = FastTrackDetector()
+        kids = [det.fork_child(f"r{i}") for i in range(n)]
+        for i in order:
+            _read_as(det, kids[i])
+        epoch, read_vc = det.read_state_of("x")
+        assert epoch is None
+        assert read_vc == {kid: 1 for kid in kids}
+        assert det.races == []
+        # Same-epoch re-reads are the fast path: state is unchanged.
+        for i in data.draw(st.lists(st.integers(0, n - 1), max_size=4)):
+            _read_as(det, kids[i])
+        assert det.read_state_of("x") == (None, {kid: 1 for kid in kids})
+
+    @settings(max_examples=50, deadline=None)
+    @given(reps=st.integers(min_value=1, max_value=4))
+    def test_single_reader_stays_epoch(self, reps):
+        det = FastTrackDetector()
+        kid = det.fork_child("r0")
+        for _ in range(reps):
+            _read_as(det, kid)
+        epoch, read_vc = det.read_state_of("x")
+        assert epoch == (kid, 1)
+        assert read_vc is None
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=5))
+    def test_ordered_readers_never_promote(self, n):
+        # Readers chained by a lock release->acquire edge are totally
+        # ordered, so the epoch just advances to the latest reader —
+        # FastTrack's fast path covers the whole history.
+        det = FastTrackDetector()
+        kids = [det.fork_child(f"r{i}") for i in range(n)]
+        for kid in kids:
+            det.push_logical(kid)
+            try:
+                det.acquire("L")
+                det.read("x")
+                det.release("L")
+            finally:
+                det.pop_logical()
+        epoch, read_vc = det.read_state_of("x")
+        assert epoch == (kids[-1], 1)
+        assert read_vc is None
+        assert det.races == []
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_write_after_join_demotes_round_trip(self, data):
+        # epoch -> read-shared -> (join-all, write) -> epoch again,
+        # with no race reported anywhere: the full promotion round-trip.
+        n = data.draw(st.integers(min_value=2, max_value=5))
+        order = data.draw(st.permutations(list(range(n))))
+        det = FastTrackDetector()
+        kids = [det.fork_child(f"r{i}") for i in range(n)]
+        for i in order:
+            _read_as(det, kids[i])
+        assert det.read_state_of("x")[1] is not None  # promoted
+        for kid in kids:
+            det.join_child(kid)
+        det.write("x")
+        assert det.read_state_of("x") == (None, None)  # demoted
+        assert det.races == []
+        det.read("x")
+        epoch, read_vc = det.read_state_of("x")
+        assert read_vc is None
+        assert epoch is not None
+        tid, count = epoch
+        assert det.clock_of(tid).get(tid) == count
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=4))
+    def test_unjoined_write_races_with_every_reader(self, n):
+        # The read-shared slow path exists to catch exactly this: a
+        # write unordered with the promoted readers must report a
+        # read-write race per reader (distinct sites defeat dedup).
+        det = FastTrackDetector()
+        kids = [det.fork_child(f"r{i}") for i in range(n)]
+        for i, kid in enumerate(kids):
+            _read_as(det, kid, site=AccessSite(f"<reader{i}>", i + 1))
+        det.write("x", site=AccessSite("<writer>", 99))
+        assert len(det.races) == n
+        assert {r.kind for r in det.races} == {"read-write"}
+        assert {r.prior.path for r in det.races} == {
+            f"<reader{i}>" for i in range(n)
+        }

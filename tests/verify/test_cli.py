@@ -1,0 +1,89 @@
+"""The ``pdc-verify`` CLI: modes, formats, caching, exit codes."""
+
+import json
+
+from repro.verify.__main__ import main
+
+RACY = """\
+import threading
+
+counter = 0
+
+def worker():
+    global counter
+    counter += 1
+
+def main():
+    threads = [threading.Thread(target=worker) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+"""
+
+
+class TestListRules:
+    def test_lists_the_dynamic_rule_table(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "PDC301" in out and "PDC302" in out
+
+
+class TestFixtureMode:
+    def test_racy_fixture_exits_one(self, capsys, tmp_path):
+        code = main([
+            "--fixture", "racy_counter_twin", "--cache-dir", str(tmp_path),
+        ])
+        assert code == 1
+        assert "PDC301" in capsys.readouterr().out
+
+    def test_exhausted_clean_fixture_exits_zero(self, capsys, tmp_path):
+        code = main([
+            "--fixture", "forkjoin_handoff_twin", "--cache-dir", str(tmp_path),
+        ])
+        assert code == 0
+
+    def test_engine_cache_round_trip_is_byte_identical(self, capsys, tmp_path):
+        argv = [
+            "--fixture", "racy_counter_twin", "--format", "json",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 1
+        cold = capsys.readouterr().out
+        assert main(argv) == 1
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert json.loads(cold)["tool"] == "pdc-verify"
+
+
+class TestPathMode:
+    def test_model_checks_a_file(self, tmp_path, capsys):
+        target = tmp_path / "prog.py"
+        target.write_text(RACY)
+        code = main([str(target), "--cache-dir", str(tmp_path / "cache")])
+        assert code == 1
+        assert "PDC301" in capsys.readouterr().out
+
+
+class TestReplayMode:
+    def test_replay_token_prints_schedule(self, capsys, tmp_path):
+        from repro.verify import explore_fixture
+
+        token = explore_fixture("racy_counter_twin").tokens["PDC301"]
+        code = main(["--fixture", "racy_counter_twin", "--replay", token])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "PDC301" in out
+        assert f"schedule: {token}" in out
+
+
+class TestCrossvalMode:
+    def test_crossval_gate_passes_and_writes_stats(self, capsys, tmp_path):
+        stats = tmp_path / "stats.json"
+        code = main(["--crossval", "--stats-json", str(stats)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EXONERATED" in out
+        payload = json.loads(stats.read_text())
+        assert payload["all_ok"] is True
+        assert payload["total_explored"] > 0

@@ -1,0 +1,181 @@
+"""The model checker: DPOR reduction, replay identity, crash tokens.
+
+The acceptance bar from the issue, pinned as tests:
+
+- DPOR explores **at least 5x fewer** schedules than naive DFS at
+  identical verdicts, with both counts recorded (the counts are exact:
+  exploration is deterministic, so a change in either number is a
+  change in the algorithm and should be looked at);
+- a failing schedule's token replays the execution byte-identically;
+- a crash inside a stand-in thread surfaces as a runner error carrying
+  the schedule token instead of being swallowed.
+"""
+
+import textwrap
+
+from repro.sanitizers.runner import run_source
+from repro.verify import (
+    ExploreBudget,
+    explore_fixture,
+    explore_source,
+    replay_fixture,
+)
+
+#: (fixture, dpor schedules, dfs schedules) — exact, deterministic.
+REDUCTION_TABLE = [
+    ("racy_counter_twin", 10, 69),
+    ("mutable_default_worker", 1, 105),
+]
+
+
+def result_bytes(result) -> bytes:
+    """Canonical byte encoding of a run: findings, errors, schedule."""
+    blob = (
+        tuple(
+            (f.rule, f.path, f.line, f.col, f.symbol, f.message)
+            for f in result.findings
+        ),
+        tuple(result.errors),
+        result.schedule,
+    )
+    return repr(blob).encode()
+
+
+class TestDporReduction:
+    def test_dpor_beats_dfs_by_5x_at_identical_verdicts(self):
+        for name, dpor_expected, dfs_expected in REDUCTION_TABLE:
+            dpor = explore_fixture(name, mode="dpor")
+            dfs = explore_fixture(name, mode="dfs")
+            # Identical verdicts first: reduction must not lose bugs.
+            assert dpor.rules == dfs.rules, name
+            assert dpor.proved and dfs.proved, name
+            # Both counts recorded, exactly.
+            assert dpor.schedules_explored == dpor_expected, (
+                f"{name}: DPOR explored {dpor.schedules_explored}, "
+                f"expected {dpor_expected}"
+            )
+            assert dfs.schedules_explored == dfs_expected, (
+                f"{name}: DFS explored {dfs.schedules_explored}, "
+                f"expected {dfs_expected}"
+            )
+            assert dfs.schedules_explored >= 5 * dpor.schedules_explored, (
+                f"{name}: reduction below 5x "
+                f"({dfs.schedules_explored} vs {dpor.schedules_explored})"
+            )
+
+    def test_dpor_records_pruned_schedules(self):
+        result = explore_fixture("racy_counter_twin", mode="dpor")
+        assert result.schedules_pruned > 0
+
+    def test_dpor_drains_what_dfs_cannot(self):
+        # The ABBA deadlock: DPOR proves the verdict in a few dozen
+        # schedules; naive DFS burns the whole default budget and still
+        # has tree left.
+        dpor = explore_fixture("abba_deadlock_twin", mode="dpor")
+        assert dpor.complete and dpor.proved
+        assert dpor.schedules_explored == 23
+        assert dpor.rules == {"PDC302"}
+        dfs = explore_fixture("abba_deadlock_twin", mode="dfs")
+        assert not dfs.complete
+        assert dfs.rules == {"PDC302"}  # same verdict, no proof
+
+
+class TestReplayIdentity:
+    def test_finding_token_replays_byte_identically(self):
+        explored = explore_fixture("racy_counter_twin", mode="dpor")
+        token = explored.tokens["PDC301"]
+        first = replay_fixture("racy_counter_twin", token)
+        second = replay_fixture("racy_counter_twin", token)
+        assert result_bytes(first) == result_bytes(second)
+        assert first.schedule == token
+        assert "PDC301" in {f.rule for f in first.findings}
+
+    def test_deadlock_token_replays_the_deadlock(self):
+        explored = explore_fixture("abba_deadlock_twin", mode="dpor")
+        token = explored.tokens["PDC302"]
+        replayed = replay_fixture("abba_deadlock_twin", token)
+        assert "PDC302" in {f.rule for f in replayed.findings}
+        assert replayed.schedule == token
+
+
+class TestSplitExploration:
+    def test_split_dfs_matches_serial_dfs(self):
+        serial = explore_fixture("mutable_default_worker", mode="dfs")
+        split = explore_fixture("mutable_default_worker", mode="dfs", split=2)
+        assert split.rules == serial.rules
+        assert split.findings == serial.findings
+        assert split.schedules_explored == serial.schedules_explored
+        assert split.complete
+
+    def test_split_dpor_keeps_the_verdict(self):
+        serial = explore_fixture("racy_counter_twin", mode="dpor")
+        split = explore_fixture("racy_counter_twin", mode="dpor", split=2)
+        assert split.rules == serial.rules == {"PDC301"}
+        assert split.complete
+
+
+CRASHY = textwrap.dedent(
+    '''
+    """A worker that dies: the checker must say so, with a token."""
+    import threading
+
+    counter = 0
+
+
+    def boom():
+        global counter
+        counter += 1
+        raise ValueError("kaput")
+
+
+    def steady():
+        global counter
+        counter += 1
+
+
+    def main():
+        first = threading.Thread(target=boom)
+        second = threading.Thread(target=steady)
+        first.start(); second.start()
+        first.join(); second.join()
+    '''
+).lstrip()
+
+
+class TestCrashSurfacing:
+    def test_scheduled_crash_carries_schedule_token(self):
+        result = explore_source(
+            CRASHY, entry="main",
+            budget=ExploreBudget(max_schedules=50, max_steps_per_task=100),
+        )
+        assert result.errors
+        assert any(
+            "raised ValueError: kaput" in e and "[schedule v1:" in e
+            for e in result.errors
+        )
+        assert result.exit_code == 2
+
+    def test_inline_runner_surfaces_crash_without_scheduler(self):
+        # The classic single-schedule run must also report the crash
+        # (stand-in threads used to swallow worker exceptions).
+        result = run_source(CRASHY, entry="main")
+        assert any("raised ValueError: kaput" in e for e in result.errors)
+        assert result.schedule is None
+
+
+class TestBudgets:
+    def test_budget_bound_is_reported_not_hidden(self):
+        tiny = explore_fixture(
+            "racy_counter_twin", mode="dfs",
+            budget=ExploreBudget(max_schedules=3, max_steps_per_task=100),
+        )
+        assert not tiny.complete
+        assert not tiny.proved
+        assert tiny.schedules_explored == 3
+
+    def test_fixture_annotations_bound_spin_fixtures(self):
+        # lock_handoff_twin busy-waits: its annotated budget bounds the
+        # search, and the result says "bounded", not "proved".
+        result = explore_fixture("lock_handoff_twin", mode="dpor")
+        assert not result.proved
+        assert result.schedules_explored <= 400

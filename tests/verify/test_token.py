@@ -1,0 +1,47 @@
+"""The schedule token: one line that replays one interleaving."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.verify.token import TokenError, decode_token, encode_token
+
+
+class TestRoundTrip:
+    @given(choices=st.lists(st.integers(min_value=0, max_value=9), max_size=40))
+    def test_encode_decode_round_trips(self, choices):
+        assert decode_token(encode_token(choices)) == list(choices)
+
+    @given(choices=st.lists(st.integers(min_value=0, max_value=9), max_size=40))
+    def test_encoding_is_canonical(self, choices):
+        # decode . encode is the identity on tokens too
+        token = encode_token(choices)
+        assert encode_token(decode_token(token)) == token
+
+
+class TestFormat:
+    def test_run_length_compression(self):
+        assert encode_token([0, 0, 0, 1, 2, 2, 2, 2, 2]) == "v1:0x3,1,2x5"
+
+    def test_single_choice_omits_count(self):
+        assert encode_token([4]) == "v1:4"
+
+    def test_empty_schedule(self):
+        assert decode_token(encode_token([])) == []
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "0x3,1",  # missing version prefix
+            "v2:0x3",  # wrong version
+            "v1:0x0",  # zero repetition
+            "v1:-1",  # negative task
+            "v1:0,,1",  # empty segment
+            "v1:ax3",  # non-numeric task
+        ],
+    )
+    def test_malformed_tokens_rejected(self, bad):
+        with pytest.raises(TokenError):
+            decode_token(bad)
