@@ -37,6 +37,24 @@ def _build_parser() -> argparse.ArgumentParser:
             "(e.g. PDC101,PDC2 — default: all rules)"
         ),
     )
+    parser.add_argument(
+        "--whole-program",
+        action="store_true",
+        help=(
+            "link modules across files and lift PDC101/PDC102/PDC206/"
+            "PDC209 to whole-program scope (summaries + call-graph "
+            "fixpoint; incremental per edited file)"
+        ),
+    )
+    parser.add_argument(
+        "--crossval",
+        action="store_true",
+        help=(
+            "validate whole-program findings against the dynamic "
+            "sanitizer on the cross-module twin corpus "
+            "(requires --whole-program)"
+        ),
+    )
     engine_cli.add_engine_args(parser)
     return parser
 

@@ -23,11 +23,13 @@ from repro.analysis.report import Finding, apply_suppressions
 
 __all__ = [
     "FunctionInfo",
+    "SpawnSite",
     "ModuleContext",
     "AnalysisResult",
     "analyze_source",
     "analyze_file",
     "analyze_paths",
+    "iter_python_files",
 ]
 
 _FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
@@ -58,13 +60,22 @@ class FunctionInfo:
         return self.name in ("__init__", "__new__", "__post_init__")
 
 
-@dataclasses.dataclass
-class _Spawn:
-    """One thread-creation site."""
+@dataclasses.dataclass(frozen=True)
+class SpawnSite:
+    """One thread-creation site.
 
-    target: str  # simple name of the target callable
+    ``target`` is the simple name the per-file closure keys on;
+    ``dotted`` is the alias-resolved dotted form (``worker.run`` after
+    ``import worker``) that whole-program analysis resolves across
+    files.  ``func`` is the enclosing function's simple name
+    (``"<module>"`` for top-level spawns).
+    """
+
+    target: str
+    dotted: str
     lineno: int
     in_loop: bool
+    func: str
 
 
 class ModuleContext:
@@ -77,7 +88,7 @@ class ModuleContext:
         self.lockmodel = LockModel(tree)
         self.functions: List[FunctionInfo] = []
         self.imports: Dict[str, str] = {}  # local alias -> canonical dotted name
-        self._spawns: List[_Spawn] = []
+        self._spawns: List[SpawnSite] = []
         self._calls: Dict[str, Set[str]] = {}  # caller simple name -> callees
         self._scan()
         self.thread_targets: Set[str] = {s.target for s in self._spawns}
@@ -147,9 +158,17 @@ class ModuleContext:
             if isinstance(node, ast.Call):
                 target = self._spawn_target(node)
                 if target is not None:
-                    self._spawns.append(
-                        _Spawn(target=target, lineno=node.lineno, in_loop=in_loop)
-                    )
+                    dotted = self.resolve_name(target)
+                    if dotted is not None:
+                        self._spawns.append(
+                            SpawnSite(
+                                target=dotted.split(".")[-1],
+                                dotted=dotted,
+                                lineno=node.lineno,
+                                in_loop=in_loop,
+                                func=caller,
+                            )
+                        )
                 callee = self._callee_name(node)
                 if callee is not None:
                     callees.add(callee)
@@ -160,28 +179,23 @@ class ModuleContext:
         for stmt in body:
             visit(stmt, in_loop=False)
 
-    def _spawn_target(self, call: ast.Call) -> Optional[str]:
-        """The simple name of the callable this call hands to a thread."""
+    def _spawn_target(self, call: ast.Call) -> Optional[ast.expr]:
+        """The expression this call hands to a thread as its target."""
         fn = self.resolve_call(call)
         if fn is not None and fn.split(".")[-1] == "Thread":
             for kw in call.keywords:
                 if kw.arg == "target":
-                    return self._simple_name(kw.value)
+                    return kw.value
             return None
         if fn is not None and fn.endswith("start_new_thread") and call.args:
-            return self._simple_name(call.args[0])
+            return call.args[0]
         if (
             isinstance(call.func, ast.Attribute)
             and call.func.attr == "submit"
             and call.args
         ):
-            return self._simple_name(call.args[0])
+            return call.args[0]
         return None
-
-    @staticmethod
-    def _simple_name(expr: ast.expr) -> Optional[str]:
-        name = dotted_name(expr)
-        return name.split(".")[-1] if name else None
 
     def _callee_name(self, call: ast.Call) -> Optional[str]:
         if isinstance(call.func, ast.Name):
@@ -199,7 +213,11 @@ class ModuleContext:
         ``sleep(1)`` after ``from time import sleep`` resolves to
         ``time.sleep``; ``t.sleep(1)`` after ``import time as t`` too.
         """
-        name = dotted_name(call.func)
+        return self.resolve_name(call.func)
+
+    def resolve_name(self, expr: ast.expr) -> Optional[str]:
+        """Alias-resolved dotted name of any name/attribute expression."""
+        name = dotted_name(expr)
         if name is None:
             return None
         head, _, rest = name.partition(".")
@@ -227,6 +245,10 @@ class ModuleContext:
             seen.add(name)
             frontier.extend(self._calls.get(name, ()))
         return seen
+
+    def spawn_sites(self) -> List[SpawnSite]:
+        """Every thread-creation site, with alias-resolved targets."""
+        return list(self._spawns)
 
     def function_named(self, name: str) -> Optional[FunctionInfo]:
         """The first function with this simple name, if any."""
@@ -286,7 +308,8 @@ def analyze_file(
     return analyze_paths([path], select=select)
 
 
-def _iter_python_files(paths: Iterable[str]) -> Tuple[List[str], List[str]]:
+def iter_python_files(paths: Iterable[str]) -> Tuple[List[str], List[str]]:
+    """Expand files and directory trees into a sorted ``*.py`` list."""
     files: List[str] = []
     errors: List[str] = []
     for path in paths:
@@ -305,11 +328,15 @@ def _iter_python_files(paths: Iterable[str]) -> Tuple[List[str], List[str]]:
     return files, errors
 
 
+#: Backward-compatible alias (pre-whole-program name).
+_iter_python_files = iter_python_files
+
+
 def analyze_paths(
     paths: Sequence[str], select: Optional[Sequence[str]] = None
 ) -> AnalysisResult:
     """Analyze files and directory trees (recursing into ``*.py``)."""
-    files, errors = _iter_python_files(paths)
+    files, errors = iter_python_files(paths)
     findings: List[Finding] = []
     suppressed = 0
     for path in files:

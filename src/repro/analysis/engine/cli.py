@@ -32,7 +32,13 @@ from repro.analysis.engine.passes import (
 from repro.analysis.engine.watch import Watcher
 from repro.analysis.report import render_json, render_sarif, render_text
 
-__all__ = ["add_engine_args", "run_lint", "run_san", "run_verify"]
+__all__ = [
+    "add_engine_args",
+    "apply_baseline",
+    "run_lint",
+    "run_san",
+    "run_verify",
+]
 
 
 def add_engine_args(parser: argparse.ArgumentParser) -> None:
@@ -83,6 +89,16 @@ def add_engine_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="FILE",
         help="write the run's metric registry snapshot to FILE as JSON",
+    )
+    parser.add_argument(
+        "--baseline",
+        nargs=2,
+        default=None,
+        metavar=("MODE", "FILE"),
+        help=(
+            "baseline findings: 'write FILE' captures the current run, "
+            "'check FILE' suppresses exact matches recorded in FILE"
+        ),
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
@@ -138,14 +154,17 @@ def _print_report(text: str) -> None:
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
 
 
-def _emit_stats(engine: AnalysisEngine, args: argparse.Namespace) -> None:
+def _emit_stats(engine: object, args: argparse.Namespace) -> None:
     snapshot = engine.stats()
     if args.stats_json:
         with open(args.stats_json, "w", encoding="utf-8") as fh:
             json.dump(snapshot, fh, indent=2, sort_keys=True)
             fh.write("\n")
     if args.stats:
-        prefix = engine.prefix
+        # A WholeProgramEngine wraps the per-file engine; stats lines
+        # cite the inner engine's prefix/pass either way.
+        inner = getattr(engine, "engine", engine)
+        prefix = inner.prefix
         wall = snapshot.get(f"{prefix}.wall_seconds", {})
         by_rule = {
             name.split(".rule.", 1)[1]: value
@@ -166,8 +185,65 @@ def _emit_stats(engine: AnalysisEngine, args: argparse.Namespace) -> None:
                 or "none"
             ),
         ]
-        print("\n".join(f"[{engine.pass_.tool} stats] {ln}" for ln in lines),
+        if any(name.startswith("analysis.ip.") for name in snapshot):
+            lines += [
+                "whole-program: "
+                f"{int(snapshot.get('analysis.ip.modules', 0))} modules, "
+                f"{int(snapshot.get('analysis.ip.scc.count', 0))} SCCs",
+                "summaries: "
+                f"{snapshot.get('analysis.ip.summary.hits', 0)} hits, "
+                f"{snapshot.get('analysis.ip.summary.misses', 0)} misses",
+                "cones: "
+                f"{snapshot.get('analysis.ip.scc.hits', 0)} replayed, "
+                f"{snapshot.get('analysis.ip.scc.analyzed', 0)} analyzed",
+                "whole-program findings: "
+                f"{snapshot.get('analysis.ip.findings', 0)} "
+                f"({snapshot.get('analysis.ip.suppressed', 0)} suppressed)",
+            ]
+        print("\n".join(f"[{inner.pass_.tool} stats] {ln}" for ln in lines),
               file=sys.stderr)
+
+
+def _baseline_key(payload: dict) -> tuple:
+    return (
+        payload.get("path"),
+        payload.get("line"),
+        payload.get("col"),
+        payload.get("rule"),
+        payload.get("symbol", ""),
+        payload.get("message", ""),
+    )
+
+
+def apply_baseline(
+    report: EngineReport, mode: str, path: str
+) -> EngineReport:
+    """``write``: capture the report's findings to ``path``.  ``check``:
+    drop findings exactly matching the capture (counted as suppressed).
+    """
+    if mode == "write":
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"findings": [f.as_dict() for f in report.findings]},
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+            fh.write("\n")
+        return report
+    with open(path, "r", encoding="utf-8") as fh:
+        known = {_baseline_key(d) for d in json.load(fh)["findings"]}
+    kept = [
+        f for f in report.findings if _baseline_key(f.as_dict()) not in known
+    ]
+    return EngineReport(
+        findings=kept,
+        files=report.files,
+        suppressed=report.suppressed + (len(report.findings) - len(kept)),
+        errors=report.errors,
+        outcomes=report.outcomes,
+        units=report.units,
+    )
 
 
 def _drive(
@@ -176,18 +252,51 @@ def _drive(
     units: List[WorkUnit],
     pre_errors: List[str],
     watch_paths: Optional[List[str]] = None,
+    whole_program: bool = False,
 ) -> int:
+    baseline = getattr(args, "baseline", None)
+    if baseline is not None and baseline[0] not in ("write", "check"):
+        raise SystemExit(
+            f"--baseline mode must be 'write' or 'check', got {baseline[0]!r}"
+        )
     cache = None
     if not args.no_cache:
         cache = FindingsCache(args.cache_dir or default_cache_dir())
-    engine = AnalysisEngine(pass_, cache=cache, jobs=args.jobs)
+
+    def _finish(report: EngineReport) -> EngineReport:
+        if baseline is not None:
+            report = apply_baseline(report, baseline[0], baseline[1])
+        return report
+
+    if whole_program:
+        from repro.analysis.ip.analyzer import IP_VERSION
+        from repro.analysis.ip.cache import SummaryCache
+        from repro.analysis.ip.engine import WholeProgramEngine
+
+        summary_cache = None
+        if not args.no_cache:
+            summary_cache = SummaryCache(
+                args.cache_dir or default_cache_dir(), IP_VERSION
+            )
+        engine = WholeProgramEngine(
+            pass_,
+            cache=cache,
+            summary_cache=summary_cache,
+            jobs=args.jobs,
+        )
+        inner, post = engine.engine, engine.finalize
+    else:
+        engine = AnalysisEngine(pass_, cache=cache, jobs=args.jobs)
+        inner, post = engine, None
+
     if args.watch and watch_paths:
         watcher = Watcher(
-            engine,
+            inner,
             watch_paths,
             on_report=lambda r: _print_report(
-                render_report(pass_, args.format, r)
+                render_report(pass_, args.format, _finish(r))
             ),
+            post=post,
         )
         try:
             watcher.run_forever(interval=args.interval)
@@ -195,9 +304,13 @@ def _drive(
             pass
         _emit_stats(engine, args)
         return 0
-    report = engine.run(units, pre_errors)
+    report = _finish(engine.run(units, pre_errors))
     _print_report(render_report(pass_, args.format, report))
     _emit_stats(engine, args)
+    if baseline is not None and baseline[0] == "write":
+        # Capturing a baseline is bookkeeping, not a gate: exit clean
+        # unless the inputs themselves were unreadable.
+        return 2 if report.errors else 0
     return report.exit_code
 
 
@@ -211,10 +324,26 @@ def run_lint(
     if args.list_rules:
         _print_report(pass_.rule_table())
         return 0
+    whole_program = bool(getattr(args, "whole_program", False))
+    if getattr(args, "crossval", False):
+        if not whole_program:
+            parser.error("--crossval requires --whole-program")
+        if args.format == "sarif":
+            parser.error("--crossval supports text and json only")
+        from repro.analysis.ip.crossval import run_ip_crossval_cli
+
+        return run_ip_crossval_cli(args.format)
     if not args.paths:
         parser.error("no paths given (or use --list-rules)")
     units, pre_errors = expand_paths(args.paths)
-    return _drive(args, pass_, units, pre_errors, watch_paths=args.paths)
+    return _drive(
+        args,
+        pass_,
+        units,
+        pre_errors,
+        watch_paths=args.paths,
+        whole_program=whole_program,
+    )
 
 
 def run_san(

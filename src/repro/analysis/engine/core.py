@@ -39,9 +39,9 @@ __all__ = ["AnalysisEngine", "expand_paths"]
 
 def expand_paths(paths: Sequence[str]) -> Tuple[List[WorkUnit], List[str]]:
     """Paths and directory trees → file units, in deterministic order."""
-    from repro.analysis.analyzer import _iter_python_files
+    from repro.analysis.analyzer import iter_python_files
 
-    files, errors = _iter_python_files(paths)
+    files, errors = iter_python_files(paths)
     return [WorkUnit.file(p) for p in files], errors
 
 

@@ -31,8 +31,8 @@ __all__ = [
 
 #: Bumped when an analyzer's semantics change; part of every cache key,
 #: so stale entries from an older analyzer can never be replayed.
-LINT_VERSION = "1"
-SAN_VERSION = "1"
+LINT_VERSION = "2"
+SAN_VERSION = "2"
 VERIFY_VERSION = "1"
 
 

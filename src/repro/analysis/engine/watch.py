@@ -41,10 +41,16 @@ class Watcher:
         engine: AnalysisEngine,
         paths: Sequence[str],
         on_report: Optional[Callable[[EngineReport], None]] = None,
+        post: Optional[
+            Callable[[Sequence[WorkUnit], EngineReport], EngineReport]
+        ] = None,
     ) -> None:
         self.engine = engine
         self.paths = list(paths)
         self.on_report = on_report
+        #: Whole-program hook: runs over the *full* unit list after the
+        #: per-file merge (changed files re-summarize, the rest replay).
+        self.post = post
         self._known: Dict[str, _Entry] = {}
         self._started = False
 
@@ -104,6 +110,8 @@ class Watcher:
         report = merge_outcomes(
             units, outcomes, pre_errors, self.engine.pass_.count_unreadable
         )
+        if self.post is not None:
+            report = self.post(units, report)
         if self.on_report is not None:
             self.on_report(report)
         return report

@@ -1,0 +1,56 @@
+"""Whole-program interprocedural analysis for PDC-Lint.
+
+The per-file analyzers stop at the module boundary:
+:meth:`~repro.analysis.analyzer.ModuleContext.resolve_call` can name
+``shared_state.bump`` but cannot look inside it, so a race between
+``worker.py`` and ``shared_state.py`` — the shape students write in
+multi-file labs — is invisible.  This package lifts PDC101, PDC102,
+PDC206, and PDC209 to whole-program scope behind
+``pdc-lint --whole-program``:
+
+1. **Summaries** (:mod:`.summaries`) — one picklable
+   :class:`~repro.analysis.ip.summaries.ModuleSummary` per file: global
+   accesses with locksets, call sites, spawn sites, lock acquisitions,
+   blocking calls, held-at-exit sets.  Content-hash-keyed in a
+   :class:`~repro.analysis.ip.cache.SummaryCache` beside the engine's
+   findings cache.
+2. **Linking** (:mod:`.callgraph`) — imports resolve to analyzed files,
+   modules condense into import-graph SCCs, each SCC's *cone* (itself
+   plus everything it transitively imports) is the unit of phase-2
+   caching and invalidation.
+3. **Fixpoint + rules** (:mod:`.analyzer`) — a context-insensitive
+   entry-lockset fixpoint over call-graph SCCs propagates locks through
+   calls; the whole-program rules then re-judge races, lock-order
+   cycles, and transitively-blocking calls with cross-module evidence,
+   attaching the call-chain trace to every finding.
+4. **Engine** (:mod:`.engine`) — the two-phase
+   :class:`~repro.analysis.ip.engine.WholeProgramEngine`: per-file
+   findings (phase 1, the existing engine), then summaries → cones.
+   Editing one file re-summarizes exactly that file and re-analyzes
+   only the cones containing it; cold == warm == parallel byte-identity
+   covers both phases.
+
+The documented precision limit: phase-2 results are pure functions of a
+cone's member summaries, so a race whose evidence spans two *unrelated*
+cones (neither imports the other, directly or transitively) is not
+joined.  In practice shared state lives in a module both sides import,
+which puts all evidence in every importer's cone.
+"""
+
+from repro.analysis.ip.cache import SummaryCache
+from repro.analysis.ip.callgraph import ProgramIndex
+from repro.analysis.ip.engine import WholeProgramEngine
+from repro.analysis.ip.summaries import (
+    SUMMARY_VERSION,
+    ModuleSummary,
+    summarize_module,
+)
+
+__all__ = [
+    "ModuleSummary",
+    "ProgramIndex",
+    "SUMMARY_VERSION",
+    "SummaryCache",
+    "WholeProgramEngine",
+    "summarize_module",
+]

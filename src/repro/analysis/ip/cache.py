@@ -1,0 +1,175 @@
+"""The summary cache: phase-2's sibling of the findings cache.
+
+Two entry families share one version-scoped directory::
+
+    <root>/pdc-lint-ip/<scope>/meta.json     # versions, human-readable
+    <root>/pdc-lint-ip/<scope>/s-<digest>.json   # one module summary
+    <root>/pdc-lint-ip/<scope>/c-<digest>.json   # one cone's findings
+
+Summary entries are keyed by the module's *content* digest — identical
+bytes at two paths share one summary, rebased on the way out (only the
+``path`` field differs; line numbers are content).  Cone entries are
+keyed by the cone digest, a pure function of the member summaries'
+``(module name, path, digest)`` tuples, so editing one file invalidates
+exactly the cones that contain it and nothing else.
+
+Same failure discipline as the findings cache: corrupted, unreadable,
+or wrong-version entries degrade to misses, writes are atomic, and an
+uncreatable cache is just a miss machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from typing import Dict, Optional
+
+from repro.analysis.ip.summaries import SUMMARY_VERSION, ModuleSummary
+
+__all__ = ["SummaryCache", "MemorySummaryCache", "summary_scope_id"]
+
+_TOOL_DIR = "pdc-lint-ip"
+
+
+def summary_scope_id(ip_version: str) -> str:
+    """Cache scope for one (summary schema, IP analysis) version pair."""
+    material = f"{_TOOL_DIR}\x00{SUMMARY_VERSION}\x00{ip_version}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+class SummaryCache:
+    """On-disk summaries + cone results.  I/O failures are misses."""
+
+    def __init__(self, root: str, ip_version: str) -> None:
+        self.root = root
+        self.ip_version = ip_version
+        self._scope = os.path.join(
+            root, _TOOL_DIR, summary_scope_id(ip_version)
+        )
+        self._prune_stale()
+        self._open_scope()
+
+    # -- lifecycle ---------------------------------------------------------
+    def _open_scope(self) -> None:
+        try:
+            os.makedirs(self._scope, exist_ok=True)
+            meta = os.path.join(self._scope, "meta.json")
+            if not os.path.exists(meta):
+                self._atomic_write(
+                    meta,
+                    json.dumps(
+                        {
+                            "tool": _TOOL_DIR,
+                            "summary_version": SUMMARY_VERSION,
+                            "ip_version": self.ip_version,
+                        },
+                        indent=2,
+                    ),
+                )
+        except OSError:
+            pass
+
+    def _prune_stale(self) -> int:
+        """Delete sibling scopes from older summary/IP versions."""
+        tool_dir = os.path.join(self.root, _TOOL_DIR)
+        removed = 0
+        try:
+            names = os.listdir(tool_dir)
+        except OSError:
+            return 0
+        for name in names:
+            scope = os.path.join(tool_dir, name)
+            try:
+                with open(
+                    os.path.join(scope, "meta.json"), "r", encoding="utf-8"
+                ) as fh:
+                    meta = json.load(fh)
+                stale = (
+                    meta.get("summary_version") != SUMMARY_VERSION
+                    or meta.get("ip_version") != self.ip_version
+                )
+            except (OSError, ValueError):
+                stale = True
+            if stale:
+                shutil.rmtree(scope, ignore_errors=True)
+                removed += 1
+        return removed
+
+    # -- summaries ---------------------------------------------------------
+    def get_summary(self, digest: str, path: str) -> Optional[ModuleSummary]:
+        """The cached summary for ``digest``, rebased to ``path``."""
+        try:
+            with open(
+                os.path.join(self._scope, f"s-{digest}.json"),
+                "r",
+                encoding="utf-8",
+            ) as fh:
+                summary = ModuleSummary.from_wire(json.load(fh))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        summary.path = path
+        return summary
+
+    def put_summary(self, digest: str, summary: ModuleSummary) -> None:
+        try:
+            self._atomic_write(
+                os.path.join(self._scope, f"s-{digest}.json"),
+                json.dumps(summary.to_wire()),
+            )
+        except OSError:
+            pass
+
+    # -- cone results ------------------------------------------------------
+    def get_cone(self, digest: str) -> Optional[Dict[str, object]]:
+        """The cached cone analysis keyed by the cone digest."""
+        try:
+            with open(
+                os.path.join(self._scope, f"c-{digest}.json"),
+                "r",
+                encoding="utf-8",
+            ) as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def put_cone(self, digest: str, payload: Dict[str, object]) -> None:
+        try:
+            self._atomic_write(
+                os.path.join(self._scope, f"c-{digest}.json"),
+                json.dumps(payload),
+            )
+        except OSError:
+            pass
+
+    def _atomic_write(self, path: str, text: str) -> None:
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+
+
+class MemorySummaryCache:
+    """Per-process summary cache with the same surface (autograder use)."""
+
+    def __init__(self) -> None:
+        self._summaries: Dict[str, Dict[str, object]] = {}
+        self._cones: Dict[str, Dict[str, object]] = {}
+
+    def get_summary(self, digest: str, path: str) -> Optional[ModuleSummary]:
+        wire = self._summaries.get(digest)
+        if wire is None:
+            return None
+        summary = ModuleSummary.from_wire(wire)
+        summary.path = path
+        return summary
+
+    def put_summary(self, digest: str, summary: ModuleSummary) -> None:
+        self._summaries[digest] = summary.to_wire()
+
+    def get_cone(self, digest: str) -> Optional[Dict[str, object]]:
+        return self._cones.get(digest)
+
+    def put_cone(self, digest: str, payload: Dict[str, object]) -> None:
+        self._cones[digest] = payload

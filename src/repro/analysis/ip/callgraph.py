@@ -1,0 +1,224 @@
+"""Linking: resolve imports across analyzed files, condense to SCCs.
+
+A :class:`ProgramIndex` maps dotted module names to analyzed files.  A
+file ``a/b/worker.py`` answers to every dotted *suffix* of its path —
+``worker``, ``b.worker``, ``a.b.worker`` — because the analysis root is
+rarely the interpreter's ``sys.path`` root; ``__init__.py`` answers for
+its package directory.  An ambiguous short name (two ``utils.py`` in
+different trees) resolves to nothing: whole-program analysis degrades
+to per-file precision for those references instead of guessing, which
+keeps the self-lint honest.
+
+The import graph's strongly connected components (mutual-import
+clusters), in dependency-first topological order, are the unit of
+phase-2 work: an SCC's **cone** — the SCC plus everything it
+transitively imports — is exactly the set of summaries its analysis may
+read, so a cone's result is a pure function of its members' content and
+caches under their digests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.ip.summaries import ModuleSummary
+
+__all__ = ["ProgramIndex", "module_name_candidates"]
+
+
+def module_name_candidates(path: str) -> List[str]:
+    """Dotted suffixes this file answers to, shortest first."""
+    norm = path.replace("\\", "/").lstrip("./")
+    if not norm.endswith(".py"):
+        return []
+    parts = [p for p in norm[: -len(".py")].split("/") if p]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts:
+        return []
+    return [".".join(parts[i:]) for i in range(len(parts) - 1, -1, -1)]
+
+
+class ProgramIndex:
+    """All linked knowledge about one planned file set."""
+
+    def __init__(self, summaries: Dict[str, ModuleSummary]) -> None:
+        #: path -> summary, for every readable planned file.
+        self.summaries = summaries
+        self.paths: List[str] = sorted(summaries)
+        claims: Dict[str, List[str]] = {}
+        for path in self.paths:
+            for name in module_name_candidates(path):
+                claims.setdefault(name, []).append(path)
+        #: dotted name -> path (unambiguous claims only).
+        self._by_name: Dict[str, str] = {
+            name: owners[0]
+            for name, owners in claims.items()
+            if len(owners) == 1
+        }
+        #: path -> canonical module name (shortest unambiguous suffix).
+        self.module_name: Dict[str, str] = {}
+        for path in self.paths:
+            for name in module_name_candidates(path):
+                if self._by_name.get(name) == path:
+                    self.module_name[path] = name
+                    break
+            else:
+                self.module_name[path] = path  # fully shadowed: unique key
+        self._edges = self._import_edges()
+        self._sccs, self._scc_of = self._condense()
+        self._cones = self._build_cones()
+
+    # -- resolution --------------------------------------------------------
+    def resolve_module(self, dotted: str) -> Optional[str]:
+        """The analyzed file a dotted module name refers to, if unique."""
+        return self._by_name.get(dotted)
+
+    def resolve_prefix(
+        self, dotted: str
+    ) -> Optional[Tuple[str, Tuple[str, ...]]]:
+        """Split ``pkg.mod.attr...`` into (module path, trailing parts).
+
+        Longest module prefix wins: ``a.b.c`` prefers file ``a/b/c.py``
+        over package ``a/b`` with remainder ``("c",)``.
+        """
+        parts = dotted.split(".")
+        for k in range(len(parts), 0, -1):
+            path = self._by_name.get(".".join(parts[:k]))
+            if path is not None:
+                return path, tuple(parts[k:])
+        return None
+
+    # -- graph -------------------------------------------------------------
+    def _import_edges(self) -> Dict[str, List[str]]:
+        edges: Dict[str, List[str]] = {p: [] for p in self.paths}
+        for path in self.paths:
+            seen: Set[str] = set()
+            for canonical in self.summaries[path].imports.values():
+                hit = self.resolve_prefix(canonical)
+                if hit is not None and hit[0] != path and hit[0] not in seen:
+                    seen.add(hit[0])
+                    edges[path].append(hit[0])
+            edges[path].sort()
+        return edges
+
+    def imports_of(self, path: str) -> List[str]:
+        """Analyzed files ``path`` imports (directly)."""
+        return list(self._edges.get(path, ()))
+
+    def _condense(
+        self,
+    ) -> Tuple[List[Tuple[str, ...]], Dict[str, int]]:
+        """Tarjan SCCs, then a deterministic dependency-first topo order.
+
+        Iteration order is fixed (sorted paths, sorted successors), so
+        the SCC list is a pure function of the summaries — no hash-seed
+        or insertion-order dependence.
+        """
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        sccs: List[Tuple[str, ...]] = []
+        counter = [0]
+
+        def strongconnect(root: str) -> None:
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, child_i = work.pop()
+                if child_i == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recursed = False
+                succs = self._edges[node]
+                for i in range(child_i, len(succs)):
+                    succ = succs[i]
+                    if succ not in index:
+                        work.append((node, i + 1))
+                        work.append((succ, 0))
+                        recursed = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if recursed:
+                    continue
+                for succ in succs:
+                    if succ in low and succ in on_stack:
+                        low[node] = min(low[node], low[succ])
+                if low[node] == index[node]:
+                    members: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        members.append(member)
+                        if member == node:
+                            break
+                    sccs.append(tuple(sorted(members)))
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+
+        for path in self.paths:
+            if path not in index:
+                strongconnect(path)
+
+        scc_of = {p: i for i, scc in enumerate(sccs) for p in scc}
+        # Dependency-first topological order over the condensation with a
+        # deterministic tie-break (lexicographically smallest member).
+        dep_edges: Dict[int, Set[int]] = {i: set() for i in range(len(sccs))}
+        indegree: Dict[int, int] = {i: 0 for i in range(len(sccs))}
+        for path in self.paths:
+            for succ in self._edges[path]:
+                a, b = scc_of[path], scc_of[succ]
+                if a != b and a not in dep_edges[b]:
+                    dep_edges[b].add(a)  # b (dependency) unblocks a
+                    indegree[a] += 1
+        import heapq
+
+        ready = [
+            (sccs[i][0], i) for i in range(len(sccs)) if indegree[i] == 0
+        ]
+        heapq.heapify(ready)
+        order: List[int] = []
+        while ready:
+            _, i = heapq.heappop(ready)
+            order.append(i)
+            for j in sorted(dep_edges[i]):
+                indegree[j] -= 1
+                if indegree[j] == 0:
+                    heapq.heappush(ready, (sccs[j][0], j))
+        ordered = [sccs[i] for i in order]
+        scc_of = {p: i for i, scc in enumerate(ordered) for p in scc}
+        return ordered, scc_of
+
+    def sccs(self) -> List[Tuple[str, ...]]:
+        """SCCs in dependency-first order (imports before importers)."""
+        return list(self._sccs)
+
+    def scc_of(self, path: str) -> int:
+        """Index of the SCC containing ``path`` (into :meth:`sccs`)."""
+        return self._scc_of[path]
+
+    def _build_cones(self) -> List[Tuple[str, ...]]:
+        cones: List[Set[str]] = []
+        for scc in self._sccs:
+            cone: Set[str] = set(scc)
+            for path in scc:
+                for succ in self._edges[path]:
+                    if self._scc_of[succ] != self._scc_of[path]:
+                        cone.update(cones[self._scc_of[succ]])
+            cones.append(cone)
+        return [tuple(sorted(c)) for c in cones]
+
+    def cone(self, scc_index: int) -> Tuple[str, ...]:
+        """The SCC plus everything it transitively imports, sorted."""
+        return self._cones[scc_index]
+
+    def dependents(self, path: str) -> List[int]:
+        """Indices of every SCC whose cone contains ``path`` — exactly
+        the phase-2 work invalidated by editing that file."""
+        return [
+            i for i, cone in enumerate(self._cones) if path in cone
+        ]

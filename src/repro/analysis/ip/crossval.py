@@ -1,0 +1,228 @@
+"""Interprocedural static-vs-dynamic cross-validation.
+
+The single-file crossval (:mod:`repro.sanitizers.crossval`) measures
+the per-file analyzers against the twin corpus.  This one measures the
+*whole-program* lift against the multi-file corpus
+(:data:`repro.smp.fixtures.MULTIFILE_FIXTURES`), where each fixture
+carries three ground truths:
+
+- ``expect_ip_rules`` — what ``pdc-lint --whole-program`` must report
+  over the program tree;
+- ``expect_single_file`` — what per-file pdc-lint reports on the same
+  tree (∅ machine-checks that the interprocedural lift is load-bearing:
+  no single module shows the bug);
+- ``expect_dynamic`` — what one multi-module sanitizer execution
+  (:func:`repro.sanitizers.runner.run_program`) observes, confirming
+  the racy pair's PDC101 and exonerating the handoff pair's
+  (``known_false_positive``) one via fork/join happens-before.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from typing import Dict, FrozenSet, List
+
+from repro.analysis.engine.core import AnalysisEngine
+from repro.analysis.engine.passes import LintPass
+from repro.analysis.ip.engine import WholeProgramEngine
+from repro.smp.fixtures import MultiFileFixture, all_multifile_fixtures
+
+__all__ = [
+    "ProgramVerdict",
+    "IpCrossReport",
+    "cross_validate_ip",
+    "render_ip_crossval_text",
+    "run_ip_crossval_cli",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ProgramVerdict:
+    """All three analyses' verdicts on one multi-file program."""
+
+    name: str
+    expect_ip: FrozenSet[str]
+    expect_single_file: FrozenSet[str]
+    expect_dynamic: FrozenSet[str]
+    known_false_positive: bool
+    whole_program_rules: FrozenSet[str]
+    single_file_rules: FrozenSet[str]
+    dynamic_rules: FrozenSet[str]
+
+    @property
+    def whole_program_ok(self) -> bool:
+        """Whole-program mode must say exactly: per-file findings plus
+        the interprocedural expectation."""
+        return (
+            self.whole_program_rules
+            == self.expect_single_file | self.expect_ip
+        )
+
+    @property
+    def single_file_ok(self) -> bool:
+        return self.single_file_rules == self.expect_single_file
+
+    @property
+    def dynamic_ok(self) -> bool:
+        return self.dynamic_rules == self.expect_dynamic
+
+    @property
+    def lift_is_load_bearing(self) -> bool:
+        """The whole-program rules that per-file mode provably missed."""
+        return bool(self.expect_ip - self.single_file_rules)
+
+    @property
+    def confirmed(self) -> bool:
+        """Static race dynamically confirmed (true positive)."""
+        return (
+            not self.known_false_positive
+            and "PDC101" in self.whole_program_rules
+            and "PDC301" in self.dynamic_rules
+        )
+
+    @property
+    def exonerated(self) -> bool:
+        """Static race the dynamic happens-before proved ordered."""
+        return (
+            self.known_false_positive
+            and "PDC101" in self.whole_program_rules
+            and "PDC301" not in self.dynamic_rules
+        )
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.whole_program_ok
+            and self.single_file_ok
+            and self.dynamic_ok
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "expect_ip": sorted(self.expect_ip),
+            "expect_single_file": sorted(self.expect_single_file),
+            "expect_dynamic": sorted(self.expect_dynamic),
+            "known_false_positive": self.known_false_positive,
+            "whole_program_rules": sorted(self.whole_program_rules),
+            "single_file_rules": sorted(self.single_file_rules),
+            "dynamic_rules": sorted(self.dynamic_rules),
+            "whole_program_ok": self.whole_program_ok,
+            "single_file_ok": self.single_file_ok,
+            "dynamic_ok": self.dynamic_ok,
+            "confirmed": self.confirmed,
+            "exonerated": self.exonerated,
+            "ok": self.ok,
+        }
+
+
+@dataclasses.dataclass
+class IpCrossReport:
+    """Every multi-file fixture's verdict, plus the corpus-level gates."""
+
+    verdicts: List[ProgramVerdict]
+
+    @property
+    def all_ok(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    @property
+    def confirmed(self) -> List[str]:
+        return [v.name for v in self.verdicts if v.confirmed]
+
+    @property
+    def exonerated(self) -> List[str]:
+        return [v.name for v in self.verdicts if v.exonerated]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "verdicts": [v.to_dict() for v in self.verdicts],
+            "confirmed": self.confirmed,
+            "exonerated": self.exonerated,
+            "all_ok": self.all_ok,
+        }
+
+
+def _judge(fix: MultiFileFixture) -> ProgramVerdict:
+    with tempfile.TemporaryDirectory(prefix="pdc-ip-crossval-") as td:
+        for filename, source in fix.files:
+            with open(
+                os.path.join(td, filename), "w", encoding="utf-8"
+            ) as fh:
+                fh.write(source)
+        per_file = AnalysisEngine(LintPass()).run_paths([td])
+        whole = WholeProgramEngine(LintPass()).run_paths([td])
+    from repro.sanitizers.runner import run_program
+
+    run = run_program(
+        fix.modules(), fix.entry_module, entry=fix.dynamic_entry
+    )
+    return ProgramVerdict(
+        name=fix.name,
+        expect_ip=fix.expect_ip_rules,
+        expect_single_file=fix.expect_single_file,
+        expect_dynamic=fix.expect_dynamic,
+        known_false_positive=fix.known_false_positive,
+        whole_program_rules=frozenset(
+            f.rule for f in whole.findings
+        ),
+        single_file_rules=frozenset(
+            f.rule for f in per_file.findings
+        ),
+        dynamic_rules=frozenset(run.rules),
+    )
+
+
+def cross_validate_ip() -> IpCrossReport:
+    """Judge every multi-file fixture three ways."""
+    return IpCrossReport(
+        verdicts=[_judge(fix) for fix in all_multifile_fixtures()]
+    )
+
+
+def _cell(rules: FrozenSet[str]) -> str:
+    return ",".join(sorted(rules)) or "-"
+
+
+def render_ip_crossval_text(report: IpCrossReport) -> str:
+    lines = [
+        "whole-program cross-validation "
+        "(per-file vs --whole-program vs sanitizer)",
+        "",
+        f"{'fixture':<24} {'per-file':<10} {'whole-prog':<12} "
+        f"{'dynamic':<10} verdict",
+    ]
+    for v in report.verdicts:
+        if not v.ok:
+            verdict = "MISMATCH"
+        elif v.exonerated:
+            verdict = "ok (exonerated)"
+        elif v.confirmed:
+            verdict = "ok (confirmed)"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"{v.name:<24} {_cell(v.single_file_rules):<10} "
+            f"{_cell(v.whole_program_rules):<12} "
+            f"{_cell(v.dynamic_rules):<10} {verdict}"
+        )
+    lines += [
+        "",
+        f"confirmed: {', '.join(report.confirmed) or 'none'}",
+        f"exonerated: {', '.join(report.exonerated) or 'none'}",
+        f"all ok: {report.all_ok}",
+    ]
+    return "\n".join(lines)
+
+
+def run_ip_crossval_cli(fmt: str) -> int:
+    """``pdc-lint --whole-program --crossval``: 0 iff every gate holds."""
+    report = cross_validate_ip()
+    if fmt == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_ip_crossval_text(report))
+    return 0 if report.all_ok else 1

@@ -1,0 +1,264 @@
+"""The two-phase whole-program engine.
+
+Phase 1 is the existing per-file :class:`AnalysisEngine` run, untouched
+— same findings cache, same byte-identical cold/warm/parallel output.
+Phase 2 bolts on behind it:
+
+1. **Summarize** — every readable planned file gets a
+   :class:`ModuleSummary`, keyed by *content digest* in the
+   :class:`SummaryCache`; an unchanged file is never re-summarized.
+   Misses fan out across the same process pool the engine uses.
+2. **Link + judge** — summaries link into a :class:`ProgramIndex`;
+   each import-graph SCC's cone is analyzed (or replayed from cache
+   under its cone digest) and its findings merged into the report.
+
+Invalidation is dependency-shaped by construction: editing one file
+changes one content digest, which re-summarizes exactly that file and
+changes exactly the digests of the cones containing it — every other
+cone replays from cache.  Telemetry lands under ``analysis.ip.*`` in
+the shared registry (summary hits/misses, SCC counts, cones analyzed),
+so ``--stats`` shows both phases side by side.
+
+Global dedup keeps output stable as cones overlap: iterating SCCs in
+dependency-first order, the first cone to claim a finding's key wins,
+and whole-program findings that collide with a phase-1 anchor
+``(path, line, rule)`` are dropped — the per-file finding already says
+it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine.cache import content_digest
+from repro.analysis.engine.core import AnalysisEngine, expand_paths
+from repro.analysis.engine.outcome import EngineReport, WorkUnit
+from repro.analysis.engine.passes import AnalyzerPass
+from repro.analysis.ip.analyzer import IP_VERSION, ConeResult, analyze_cone
+from repro.analysis.ip.callgraph import ProgramIndex
+from repro.analysis.ip.summaries import (
+    ModuleSummary,
+    summarize_chunk,
+    summarize_module,
+)
+from repro.runtime.metrics import MetricRegistry
+
+__all__ = ["WholeProgramEngine", "cone_digest"]
+
+
+def cone_digest(members: Sequence[Tuple[str, str, str]]) -> str:
+    """Digest of one cone: a pure function of its members'
+    ``(module name, path, content digest)`` tuples and the IP version."""
+    h = hashlib.sha256()
+    h.update(IP_VERSION.encode("utf-8"))
+    for name, path, digest in sorted(members):
+        for part in (name, path, digest):
+            h.update(b"\x00")
+            h.update(part.encode("utf-8"))
+    return h.hexdigest()
+
+
+class WholeProgramEngine:
+    """Per-file engine + summary phase + cone phase, one report out."""
+
+    prefix = "analysis.ip"
+
+    def __init__(
+        self,
+        pass_: AnalyzerPass,
+        cache: Optional[object] = None,
+        summary_cache: Optional[object] = None,
+        jobs: int = 1,
+        registry: Optional[MetricRegistry] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.engine = AnalysisEngine(
+            pass_, cache=cache, jobs=jobs, registry=self.registry
+        )
+        self.summary_cache = summary_cache
+        self.jobs = max(1, int(jobs))
+
+    # -- metrics -----------------------------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.registry.counter(f"{self.prefix}.{name}").inc(amount)
+
+    def stats(self) -> Dict[str, object]:
+        """Phase-1 engine metrics plus the ``analysis.ip.*`` subtree."""
+        merged = dict(self.engine.stats())
+        merged.update(self.registry.snapshot(self.prefix))
+        return merged
+
+    # -- running -----------------------------------------------------------
+    def run_paths(self, paths: Sequence[str]) -> EngineReport:
+        units, pre_errors = expand_paths(paths)
+        return self.run(units, pre_errors)
+
+    def run(
+        self, units: Sequence[WorkUnit], pre_errors: Sequence[str] = ()
+    ) -> EngineReport:
+        report = self.engine.run(units, pre_errors)
+        return self.finalize(units, report)
+
+    # -- phase 2 -----------------------------------------------------------
+    def finalize(
+        self, units: Sequence[WorkUnit], report: EngineReport
+    ) -> EngineReport:
+        """Run the whole-program phase over ``units`` and fold its
+        findings into ``report``.  Also the watcher's ``post`` hook —
+        phase 1 there is served from the watcher's memory, phase 2
+        re-links from cached summaries."""
+        started = time.perf_counter()
+        for name in (
+            "summary.hits",
+            "summary.misses",
+            "summary.analyzed",
+            "scc.hits",
+            "scc.analyzed",
+            "findings",
+            "suppressed",
+        ):
+            self._count(name, 0)
+
+        summaries, digests = self._summarize_phase(units)
+        index = ProgramIndex(summaries)
+        self.registry.gauge(f"{self.prefix}.modules").set(len(summaries))
+        self.registry.gauge(f"{self.prefix}.scc.count").set(
+            len(index.sccs())
+        )
+
+        phase1_anchors = {
+            (f.path, f.line, f.rule) for f in report.findings
+        }
+        seen_keys: Set[Tuple[str, ...]] = set()
+        kept = []
+        ip_suppressed = 0
+        for i in range(len(index.sccs())):
+            result = self._cone_result(index, i, digests)
+            for entry in result.entries:
+                if entry.key in seen_keys:
+                    continue
+                seen_keys.add(entry.key)
+                f = entry.finding
+                if (f.path, f.line, f.rule) in phase1_anchors:
+                    continue
+                if entry.suppressed:
+                    ip_suppressed += 1
+                else:
+                    kept.append(f)
+
+        self._count("findings", len(kept))
+        self._count("suppressed", ip_suppressed)
+        for f in kept:
+            self.engine._count(f"rule.{f.rule}")
+        self.engine._count("findings.total", len(kept))
+        self.engine._count("suppressed", ip_suppressed)
+        self.registry.histogram(f"{self.prefix}.wall_seconds").observe(
+            time.perf_counter() - started
+        )
+        return EngineReport(
+            findings=sorted(report.findings + kept),
+            files=report.files,
+            suppressed=report.suppressed + ip_suppressed,
+            errors=report.errors,
+            outcomes=report.outcomes,
+            units=report.units,
+        )
+
+    def _summarize_phase(
+        self, units: Sequence[WorkUnit]
+    ) -> Tuple[Dict[str, ModuleSummary], Dict[str, str]]:
+        """Load every readable unit, serve summaries from the cache,
+        summarize the misses (in the pool when it pays)."""
+        summaries: Dict[str, ModuleSummary] = {}
+        digests: Dict[str, str] = {}
+        misses: List[Tuple[str, bytes, str]] = []  # path, data, digest
+        queued: Dict[str, int] = {}  # digest -> index into misses
+        dups: List[Tuple[str, str]] = []  # path, digest
+        for unit in units:
+            try:
+                data = self.engine.pass_.load(unit)
+            except Exception:  # noqa: BLE001 - phase 1 reported the error
+                continue
+            if unit.key in digests:
+                continue
+            digest = content_digest(data, "")
+            digests[unit.key] = digest
+            if self.summary_cache is not None:
+                hit = self.summary_cache.get_summary(digest, unit.key)
+                if hit is not None:
+                    summaries[unit.key] = hit
+                    self._count("summary.hits")
+                    continue
+                self._count("summary.misses")
+            if digest in queued:
+                # Identical bytes planned twice: summarize once, rebase.
+                dups.append((unit.key, digest))
+                continue
+            queued[digest] = len(misses)
+            misses.append((unit.key, data, digest))
+
+        new = self._summarize(misses)
+        for (path, _, digest), summary in zip(misses, new):
+            summaries[path] = summary
+            if self.summary_cache is not None:
+                self.summary_cache.put_summary(digest, summary)
+        for path, digest in dups:
+            twin = summaries[misses[queued[digest]][0]]
+            copy = ModuleSummary.from_wire(twin.to_wire())
+            copy.path = path
+            summaries[path] = copy
+        self._count("summary.analyzed", len(misses))
+        return summaries, digests
+
+    def _summarize(
+        self, misses: Sequence[Tuple[str, bytes, str]]
+    ) -> List[ModuleSummary]:
+        if self.jobs > 1 and len(misses) > 1:
+            import concurrent.futures
+
+            per_chunk = max(1, len(misses) // (self.jobs * 4) or 1)
+            chunks = [
+                [(p, d) for p, d, _ in misses[i : i + per_chunk]]
+                for i in range(0, len(misses), per_chunk)
+            ]
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.jobs
+            ) as pool:
+                wires = [
+                    w
+                    for chunk in pool.map(summarize_chunk, chunks)
+                    for w in chunk
+                ]
+            return [ModuleSummary.from_wire(w) for w in wires]
+        out: List[ModuleSummary] = []
+        for path, data, _ in misses:
+            try:
+                out.append(
+                    summarize_module(path, data.decode("utf-8"))
+                )
+            except (SyntaxError, UnicodeDecodeError):
+                out.append(ModuleSummary.empty(path))
+        return out
+
+    def _cone_result(
+        self, index: ProgramIndex, scc_index: int, digests: Dict[str, str]
+    ) -> ConeResult:
+        members = [
+            (index.module_name[p], p, digests.get(p, ""))
+            for p in index.cone(scc_index)
+        ]
+        digest = cone_digest(members)
+        if self.summary_cache is not None:
+            cached = self.summary_cache.get_cone(digest)
+            if cached is not None:
+                result = ConeResult.from_wire(cached)
+                if result.version == IP_VERSION:
+                    self._count("scc.hits")
+                    return result
+        result = analyze_cone(index, scc_index)
+        self._count("scc.analyzed")
+        if self.summary_cache is not None:
+            self.summary_cache.put_cone(digest, result.to_wire())
+        return result

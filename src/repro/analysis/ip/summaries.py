@@ -1,0 +1,557 @@
+"""Per-module summaries: everything whole-program analysis needs.
+
+A :class:`ModuleSummary` is the interprocedural analog of a compiler's
+``.o`` file — one module's facts, extracted once, linked many times:
+
+- every access to a shared-state candidate (module globals, ``self.``
+  attributes, *and* ``other_module.name`` attribute accesses) with the
+  lockset held at the site;
+- every call site with the lockset held around it (the edges the
+  entry-lockset fixpoint propagates over);
+- thread spawn sites with alias-resolved dotted targets;
+- lock acquisition sites with their held-before sets (lock-order edges);
+- blocking/join call sites (the leaves of transitive PDC206/PDC209);
+- locks held at function exit (leaked ``acquire()``s);
+- the module's suppression table, so a comment at *either* endpoint of
+  a cross-module finding can silence it.
+
+Lock names are stored **import-resolved**: a ``with ss.lock_a:`` after
+``import shared_state as ss`` is recorded as ``shared_state.lock_a``.
+Names a module merely *uses* (defined elsewhere) are registered as
+*candidate* locks so the per-function lockset dataflow tracks them; the
+linker later confirms a candidate only if the resolved module really
+defines that name as a lock, and drops the rest.
+
+Summaries are versioned, picklable/JSON-able, and content-hash-keyed in
+the :class:`~repro.analysis.ip.cache.SummaryCache` — a file whose bytes
+did not change is never re-summarized.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.analyzer import ModuleContext
+from repro.analysis.lockmodel import (
+    LockInfo,
+    LockModel,
+    dotted_name,
+    iter_statements,
+    own_nodes,
+)
+from repro.analysis.races import collect_accesses
+from repro.analysis.report import parse_suppressions
+
+__all__ = [
+    "SUMMARY_VERSION",
+    "GlobalAccess",
+    "CallSite",
+    "SpawnSummary",
+    "BlockingSite",
+    "AcquisitionSite",
+    "FunctionSummary",
+    "ModuleSummary",
+    "summarize_module",
+]
+
+#: Bumped when the summary schema or extraction semantics change; part
+#: of the summary-cache scope, so stale summaries can never be linked.
+SUMMARY_VERSION = "1"
+
+
+@dataclasses.dataclass(frozen=True)
+class GlobalAccess:
+    """One syntactic access to a shared-state candidate."""
+
+    #: "global" | "nonlocal" | "attr" | "modattr"
+    kind: str
+    #: ("counter",) for globals, (class, attr) for attrs, the resolved
+    #: dotted parts ("shared_state", "counter") for modattrs.
+    parts: Tuple[str, ...]
+    write: bool
+    func: str
+    lineno: int
+    lockset: Tuple[str, ...]
+    in_init: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class CallSite:
+    """One call with the lockset held around it."""
+
+    #: Resolved dotted name ("shared_state.bump") or the simple name of
+    #: a same-module function ("helper").
+    callee: str
+    func: str
+    lineno: int
+    lockset: Tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class SpawnSummary:
+    """One thread-creation site with an alias-resolved target."""
+
+    target: str
+    func: str
+    lineno: int
+    in_loop: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockingSite:
+    """One call that blocks on the outside world (or joins a thread)."""
+
+    label: str
+    #: "blocking" (PDC209 shape) | "join" (PDC206 shape)
+    kind: str
+    func: str
+    lineno: int
+    lockset: Tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class AcquisitionSite:
+    """One lock acquisition with the locks already held before it."""
+
+    lock: str
+    func: str
+    lineno: int
+    held_before: Tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionSummary:
+    """One function's interface facts."""
+
+    name: str
+    qualname: str
+    owner_class: Optional[str]
+    lineno: int
+    is_init: bool
+    #: Locks certainly still held when the function returns.
+    exit_held: Tuple[str, ...]
+
+
+@dataclasses.dataclass
+class ModuleSummary:
+    """Everything whole-program analysis knows about one module."""
+
+    path: str
+    imports: Dict[str, str]
+    #: Module globals (module-level assigns plus ``global`` decls).
+    module_globals: Tuple[str, ...]
+    #: First module-level assignment line per global (declaration site).
+    global_lines: Dict[str, int]
+    #: Locks the module *defines*: name -> kind.
+    locks: Dict[str, str]
+    functions: Tuple[FunctionSummary, ...]
+    accesses: Tuple[GlobalAccess, ...]
+    calls: Tuple[CallSite, ...]
+    spawns: Tuple[SpawnSummary, ...]
+    blocking: Tuple[BlockingSite, ...]
+    acquisitions: Tuple[AcquisitionSite, ...]
+    #: Suppression table: line -> rule ids (None == all rules).
+    suppressions: Dict[int, Optional[Tuple[str, ...]]]
+    version: str = SUMMARY_VERSION
+
+    # -- wire format -------------------------------------------------------
+    def to_wire(self) -> Dict[str, object]:
+        """JSON-ready form (the summary cache stores this)."""
+        return {
+            "version": self.version,
+            "path": self.path,
+            "imports": dict(self.imports),
+            "module_globals": list(self.module_globals),
+            "global_lines": {k: v for k, v in self.global_lines.items()},
+            "locks": dict(self.locks),
+            "functions": [dataclasses.asdict(f) for f in self.functions],
+            "accesses": [dataclasses.asdict(a) for a in self.accesses],
+            "calls": [dataclasses.asdict(c) for c in self.calls],
+            "spawns": [dataclasses.asdict(s) for s in self.spawns],
+            "blocking": [dataclasses.asdict(b) for b in self.blocking],
+            "acquisitions": [
+                dataclasses.asdict(a) for a in self.acquisitions
+            ],
+            "suppressions": {
+                str(line): (None if rules is None else list(rules))
+                for line, rules in self.suppressions.items()
+            },
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, object]) -> "ModuleSummary":
+        """Inverse of :meth:`to_wire`."""
+
+        def _tup(row: Dict[str, object], field: str) -> Dict[str, object]:
+            row = dict(row)
+            for key in ("parts", "lockset", "held_before", "exit_held"):
+                if key in row:
+                    row[key] = tuple(row[key])  # type: ignore[arg-type]
+            return row
+
+        return cls(
+            path=str(payload["path"]),
+            imports={str(k): str(v) for k, v in payload["imports"].items()},  # type: ignore[union-attr]
+            module_globals=tuple(payload["module_globals"]),  # type: ignore[arg-type]
+            global_lines={
+                str(k): int(v)  # type: ignore[arg-type]
+                for k, v in payload["global_lines"].items()  # type: ignore[union-attr]
+            },
+            locks={str(k): str(v) for k, v in payload["locks"].items()},  # type: ignore[union-attr]
+            functions=tuple(
+                FunctionSummary(**_tup(f, "functions"))  # type: ignore[arg-type]
+                for f in payload["functions"]  # type: ignore[union-attr]
+            ),
+            accesses=tuple(
+                GlobalAccess(**_tup(a, "accesses"))  # type: ignore[arg-type]
+                for a in payload["accesses"]  # type: ignore[union-attr]
+            ),
+            calls=tuple(
+                CallSite(**_tup(c, "calls"))  # type: ignore[arg-type]
+                for c in payload["calls"]  # type: ignore[union-attr]
+            ),
+            spawns=tuple(
+                SpawnSummary(**s) for s in payload["spawns"]  # type: ignore[union-attr]
+            ),
+            blocking=tuple(
+                BlockingSite(**_tup(b, "blocking"))  # type: ignore[arg-type]
+                for b in payload["blocking"]  # type: ignore[union-attr]
+            ),
+            acquisitions=tuple(
+                AcquisitionSite(**_tup(a, "acquisitions"))  # type: ignore[arg-type]
+                for a in payload["acquisitions"]  # type: ignore[union-attr]
+            ),
+            suppressions={
+                int(line): (None if rules is None else tuple(rules))
+                for line, rules in payload["suppressions"].items()  # type: ignore[union-attr]
+            },
+            version=str(payload.get("version", SUMMARY_VERSION)),
+        )
+
+    @classmethod
+    def empty(cls, path: str) -> "ModuleSummary":
+        """The summary of a module that contributes nothing (syntax
+        errors: phase 1 already reported them)."""
+        return cls(
+            path=path,
+            imports={},
+            module_globals=(),
+            global_lines={},
+            locks={},
+            functions=(),
+            accesses=(),
+            calls=(),
+            spawns=(),
+            blocking=(),
+            acquisitions=(),
+            suppressions={},
+        )
+
+
+# -- candidate locks -------------------------------------------------------
+def _candidate_external_locks(
+    tree: ast.Module, imports: Dict[str, str]
+) -> Set[str]:
+    """Raw dotted names used as locks whose head is an imported alias.
+
+    ``with ss.lock_a:`` or ``ss.lock_a.acquire()`` in a module that only
+    *imports* ``shared_state`` — the defining module knows it is a lock;
+    this one merely uses it.  Registering it as a candidate lets the
+    lockset dataflow track it; the linker keeps it only if the resolved
+    module really defines a lock by that name.
+    """
+    candidates: Set[str] = set()
+
+    def note(expr: ast.expr) -> None:
+        name = dotted_name(expr)
+        if name is not None and name.partition(".")[0] in imports:
+            candidates.add(name)
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                note(item.context_expr)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("acquire", "release")
+        ):
+            note(node.func.value)
+    return candidates
+
+
+class _AugmentedLockModel(LockModel):
+    """A lock model that also tracks imported lock *candidates*."""
+
+    def __init__(self, tree: ast.Module, candidates: Set[str]) -> None:
+        super().__init__(tree)
+        for name in sorted(candidates):
+            if name not in self.locks:
+                self.locks[name] = LockInfo(
+                    name=name, kind="external", lineno=0
+                )
+
+
+class _IpModuleContext(ModuleContext):
+    """A module context whose lock model sees imported lock candidates."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        super().__init__(path, source, tree)
+        candidates = _candidate_external_locks(tree, self.imports)
+        if candidates:
+            self.lockmodel = _AugmentedLockModel(tree, candidates)
+
+
+# -- extraction ------------------------------------------------------------
+def _canon(name: str, imports: Dict[str, str]) -> str:
+    """Resolve a raw dotted name's head through the import aliases."""
+    head, _, rest = name.partition(".")
+    canonical = imports.get(head, head)
+    return f"{canonical}.{rest}" if rest else canonical
+
+
+def _canon_set(
+    names: FrozenSet[str], imports: Dict[str, str]
+) -> Tuple[str, ...]:
+    return tuple(sorted(_canon(n, imports) for n in names))
+
+
+def _module_global_lines(tree: ast.Module) -> Dict[str, int]:
+    lines: Dict[str, int] = {}
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        for t in targets:
+            names = (
+                [t.id]
+                if isinstance(t, ast.Name)
+                else [
+                    e.id
+                    for e in getattr(t, "elts", [])
+                    if isinstance(e, ast.Name)
+                ]
+            )
+            for name in names:
+                lines.setdefault(name, stmt.lineno)
+    return lines
+
+
+def _blocking_label(ctx: ModuleContext, call: ast.Call) -> Optional[str]:
+    from repro.analysis.rules import BlockingCallUnderLockRule
+
+    resolved = ctx.resolve_call(call)
+    if resolved in BlockingCallUnderLockRule._BLOCKING_CALLS:
+        return f"{resolved}()"
+    if (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr in BlockingCallUnderLockRule._BLOCKING_METHODS
+    ):
+        return f".{call.func.attr}()"
+    return None
+
+
+def _scan_function_sites(
+    ctx: ModuleContext,
+    summary_calls: List[CallSite],
+    summary_blocking: List[BlockingSite],
+    summary_modattr: List[GlobalAccess],
+) -> None:
+    """One walk per function: calls, blocking sites, modattr accesses."""
+    from repro.analysis.rules import (
+        JoinUnderLockRule,
+        _PRIMITIVE_METHODS,
+    )
+
+    for info in ctx.functions:
+        locksets = ctx.locksets(info.node)
+        for stmt in iter_statements(info.node):
+            held = locksets.get(id(stmt), frozenset())
+            lockset = _canon_set(held, ctx.imports)
+            nodes = list(own_nodes(stmt))
+            callee_ids = {
+                id(c.func) for c in nodes if isinstance(c, ast.Call)
+            }
+            # Only the outermost attribute of a chain is a data access;
+            # inner values of *call* attributes still count (the receiver
+            # of `shared.items.append(x)` is read).
+            attr_value_ids = {
+                id(n.value)
+                for n in nodes
+                if isinstance(n, ast.Attribute) and id(n) not in callee_ids
+            }
+            for node in nodes:
+                if isinstance(node, ast.Call):
+                    callee = ctx.resolve_call(node)
+                    if callee is None:
+                        simple = ctx._callee_name(node)
+                        callee = simple
+                    if callee is not None:
+                        summary_calls.append(
+                            CallSite(
+                                callee=callee,
+                                func=info.name,
+                                lineno=node.lineno,
+                                lockset=lockset,
+                            )
+                        )
+                    if info.name not in _PRIMITIVE_METHODS:
+                        label = _blocking_label(ctx, node)
+                        kind = None
+                        if label is not None:
+                            kind = "blocking"
+                        elif JoinUnderLockRule._is_thread_join(node):
+                            label, kind = ".join()", "join"
+                        if kind is not None:
+                            summary_blocking.append(
+                                BlockingSite(
+                                    label=label,
+                                    kind=kind,
+                                    func=info.name,
+                                    lineno=node.lineno,
+                                    lockset=lockset,
+                                )
+                            )
+                elif (
+                    isinstance(node, ast.Attribute)
+                    and id(node) not in callee_ids
+                    and id(node) not in attr_value_ids
+                ):
+                    raw = dotted_name(node)
+                    if raw is None:
+                        continue
+                    head = raw.partition(".")[0]
+                    if head not in ctx.imports:
+                        continue
+                    resolved = _canon(raw, ctx.imports)
+                    summary_modattr.append(
+                        GlobalAccess(
+                            kind="modattr",
+                            parts=tuple(resolved.split(".")),
+                            write=isinstance(
+                                node.ctx, (ast.Store, ast.Del)
+                            ),
+                            func=info.name,
+                            lineno=node.lineno,
+                            lockset=lockset,
+                            in_init=info.is_init,
+                        )
+                    )
+
+
+def summarize_module(path: str, source: str) -> ModuleSummary:
+    """Extract one module's whole-program summary.
+
+    Raises :class:`SyntaxError` for unparsable source — callers store an
+    :meth:`ModuleSummary.empty` in that case (phase 1 already reported
+    the error; the module simply contributes no whole-program facts).
+    """
+    tree = ast.parse(source, filename=path)
+    ctx = _IpModuleContext(path, source, tree)
+    imports = ctx.imports
+
+    accesses: List[GlobalAccess] = []
+    for var, accs in sorted(collect_accesses(ctx).items()):
+        for a in accs:
+            accesses.append(
+                GlobalAccess(
+                    kind=var[0],
+                    parts=tuple(var[1:]),
+                    write=a.write,
+                    func=a.func,
+                    lineno=a.lineno,
+                    lockset=_canon_set(a.lockset, imports),
+                    in_init=a.in_init,
+                )
+            )
+
+    calls: List[CallSite] = []
+    blocking: List[BlockingSite] = []
+    _scan_function_sites(ctx, calls, blocking, accesses)
+
+    acquisitions: List[AcquisitionSite] = []
+    for info in ctx.functions:
+        for acq in ctx.lockmodel.acquisitions(info.node):
+            acquisitions.append(
+                AcquisitionSite(
+                    lock=_canon(acq.lock, imports),
+                    func=info.name,
+                    lineno=acq.lineno,
+                    held_before=_canon_set(acq.held_before, imports),
+                )
+            )
+
+    functions = tuple(
+        FunctionSummary(
+            name=info.name,
+            qualname=info.qualname,
+            owner_class=info.owner_class,
+            lineno=info.lineno,
+            is_init=info.is_init,
+            exit_held=_canon_set(
+                ctx.lockmodel.exit_lockset(info.node), imports
+            ),
+        )
+        for info in ctx.functions
+    )
+
+    defined_locks = {
+        name: lock.kind
+        for name, lock in ctx.lockmodel.locks.items()
+        if lock.kind != "external"
+    }
+    from repro.analysis.races import _module_globals
+
+    global_lines = _module_global_lines(tree)
+    module_globals = set(_module_globals(tree))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Global):
+            module_globals.update(node.names)
+
+    return ModuleSummary(
+        path=path,
+        imports=dict(imports),
+        module_globals=tuple(sorted(module_globals)),
+        global_lines=global_lines,
+        locks=defined_locks,
+        functions=functions,
+        accesses=tuple(accesses),
+        calls=tuple(calls),
+        spawns=tuple(
+            SpawnSummary(
+                target=s.dotted,
+                func=s.func,
+                lineno=s.lineno,
+                in_loop=s.in_loop,
+            )
+            for s in ctx.spawn_sites()
+        ),
+        blocking=tuple(blocking),
+        acquisitions=tuple(acquisitions),
+        suppressions={
+            line: (None if rules is None else tuple(sorted(rules)))
+            for line, rules in parse_suppressions(source).items()
+        },
+    )
+
+
+def summarize_chunk(
+    items: Sequence[Tuple[str, bytes]]
+) -> List[Dict[str, object]]:
+    """Worker entry point: summarize a chunk of (path, bytes) units.
+
+    Returns wire dicts; an unparsable module becomes an empty summary
+    (its syntax error is phase 1's finding, not phase 2's).
+    """
+    out: List[Dict[str, object]] = []
+    for path, data in items:
+        try:
+            summary = summarize_module(path, data.decode("utf-8"))
+        except (SyntaxError, UnicodeDecodeError):
+            summary = ModuleSummary.empty(path)
+        out.append(summary.to_wire())
+    return out

@@ -239,31 +239,41 @@ class LockModel:
         if cached is not None:
             return cached
         cfg = build_cfg(func)
-
-        def transfer(node: CFGNode, held: FrozenSet[str]) -> FrozenSet[str]:
-            if node.kind is NodeKind.WITH_EXIT:
-                return held - frozenset(self.with_locks(node.stmt))
-            if node.kind is not NodeKind.STMT or node.stmt is None:
-                return held
-            stmt = node.stmt
-            acquired = self.with_locks(stmt)
-            if acquired:
-                return held | frozenset(acquired)
-            taken = self.call_acquisition(stmt)
-            if taken is not None:
-                return held | {taken}
-            dropped = self.call_release(stmt)
-            if dropped is not None:
-                return held - {dropped}
-            return held
-
-        node_in = solve_forward(cfg, transfer)
+        node_in = solve_forward(cfg, self._transfer)
         result: Dict[int, FrozenSet[str]] = {}
         for node in cfg.statement_nodes():
             if node.index in node_in and node.stmt is not None:
                 result[id(node.stmt)] = node_in[node.index]
         self._lockset_cache[id(func)] = result
         return result
+
+    def _transfer(self, node: CFGNode, held: FrozenSet[str]) -> FrozenSet[str]:
+        if node.kind is NodeKind.WITH_EXIT:
+            return held - frozenset(self.with_locks(node.stmt))
+        if node.kind is not NodeKind.STMT or node.stmt is None:
+            return held
+        stmt = node.stmt
+        acquired = self.with_locks(stmt)
+        if acquired:
+            return held | frozenset(acquired)
+        taken = self.call_acquisition(stmt)
+        if taken is not None:
+            return held | {taken}
+        dropped = self.call_release(stmt)
+        if dropped is not None:
+            return held - {dropped}
+        return held
+
+    def exit_lockset(self, func: ast.AST) -> FrozenSet[str]:
+        """Locks certainly still held when ``func`` falls off its end.
+
+        A bare ``acquire()`` with no release on some path shows up here;
+        whole-program summaries use it to propagate leaked locks to
+        callers.
+        """
+        cfg = build_cfg(func)
+        node_in = solve_forward(cfg, self._transfer)
+        return node_in.get(cfg.exit, frozenset())
 
     def acquisitions(self, func: ast.AST) -> Iterator[Acquisition]:
         """Every acquisition site in ``func``, with the lockset before it."""

@@ -9,7 +9,17 @@ putting a suppression comment on the flagged line::
 ``disable=all`` silences every rule on that line.  Anything after ``--`` is
 the human justification; the analyzer does not require it, but this repo's
 convention (and the autograder's advice to students) is that a suppression
-without a reason is a smell.
+without a reason is a smell.  ``# pdc:`` and ``# pdc-san:`` are accepted
+prefixes too — one comment grammar across the whole lint → sanitize →
+verify ladder.
+
+Whole-program findings span several locations: a cross-module race has a
+declaration site, access sites, and the spawn site that made them
+concurrent.  Those ride along as the finding's :attr:`Finding.trace` — an
+ordered tuple of :class:`TraceStep` — rendered as SARIF ``codeFlows`` /
+``relatedLocations``, and a suppression comment at *any* step's line
+silences the finding (either endpoint is a legitimate place to say "I
+know").
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 __all__ = [
     "Severity",
+    "TraceStep",
     "Finding",
     "parse_suppressions",
     "apply_suppressions",
@@ -39,6 +50,27 @@ class Severity(enum.Enum):
     ADVICE = "advice"  # style-of-concurrency guidance
 
 
+@dataclasses.dataclass(frozen=True)
+class TraceStep:
+    """One location along a whole-program finding's evidence chain."""
+
+    path: str
+    line: int
+    #: What happened here ("spawned as a thread", "write under {a}", ...).
+    note: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "line": self.line, "note": self.note}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TraceStep":
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            note=str(payload.get("note", "")),
+        )
+
+
 @dataclasses.dataclass(frozen=True, order=True)
 class Finding:
     """One diagnostic: a rule firing at a source location."""
@@ -51,6 +83,11 @@ class Finding:
     severity: Severity = dataclasses.field(default=Severity.WARNING, compare=False)
     #: The program entity involved (variable, lock, function) — machine use.
     symbol: str = dataclasses.field(default="", compare=False)
+    #: Whole-program findings carry their cross-module evidence chain;
+    #: single-file findings leave it empty (and serialize without it).
+    trace: Tuple[TraceStep, ...] = dataclasses.field(
+        default=(), compare=False
+    )
 
     def location(self) -> str:
         """``path:line:col`` — the clickable prefix of the text format."""
@@ -58,7 +95,7 @@ class Finding:
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready representation."""
-        return {
+        payload: Dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -67,6 +104,9 @@ class Finding:
             "message": self.message,
             "symbol": self.symbol,
         }
+        if self.trace:
+            payload["trace"] = [s.as_dict() for s in self.trace]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "Finding":
@@ -79,11 +119,16 @@ class Finding:
             message=str(payload["message"]),
             severity=Severity(payload["severity"]),
             symbol=str(payload.get("symbol", "")),
+            trace=tuple(
+                TraceStep.from_dict(s)
+                for s in payload.get("trace", ())  # type: ignore[union-attr]
+            ),
         )
 
 
 _SUPPRESS_RE = re.compile(
-    r"#\s*pdc-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?|all)\s*(?:--.*)?$"
+    r"#\s*pdc(?:-lint|-san)?:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?|all)"
+    r"\s*(?:--.*)?$"
 )
 
 
@@ -130,11 +175,14 @@ def render_text(
     suppressed: int = 0,
     errors: Sequence[str] = (),
 ) -> str:
-    """The human format: one ``path:line:col: RULE message`` per finding."""
-    lines = [
-        f"{f.location()}: {f.rule} [{f.severity.value}] {f.message}"
-        for f in sorted(findings)
-    ]
+    """The human format: one ``path:line:col: RULE message`` per finding,
+    with a whole-program finding's evidence chain indented beneath it."""
+    lines = []
+    for f in sorted(findings):
+        lines.append(
+            f"{f.location()}: {f.rule} [{f.severity.value}] {f.message}"
+        )
+        lines.extend(f"    {s.path}:{s.line}: {s.note}" for s in f.trace)
     lines.extend(f"error: {e}" for e in errors)
     noun = "finding" if len(findings) == 1 else "findings"
     tail = f"{len(findings)} {noun}"
@@ -175,6 +223,16 @@ _SARIF_LEVEL = {
 }
 
 
+def _sarif_location(step: TraceStep) -> Dict[str, object]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": step.path},
+            "region": {"startLine": max(step.line, 1)},
+        },
+        "message": {"text": step.note},
+    }
+
+
 def render_sarif(
     findings: Sequence[Finding],
     files: int = 0,
@@ -203,8 +261,9 @@ def render_sarif(
         }
         for rid, (name, summary) in sorted(meta.items())
     ]
-    results = [
-        {
+    results = []
+    for f in sorted(findings):
+        result: Dict[str, object] = {
             "ruleId": f.rule,
             "level": _SARIF_LEVEL[f.severity],
             "message": {"text": f.message},
@@ -220,8 +279,26 @@ def render_sarif(
                 }
             ],
         }
-        for f in sorted(findings)
-    ]
+        if f.trace:
+            # Whole-program findings: each evidence step is a related
+            # location, and the ordered chain is one thread flow — the
+            # SARIF shape code-scanning UIs walk step by step.
+            result["relatedLocations"] = [
+                _sarif_location(step) for step in f.trace
+            ]
+            result["codeFlows"] = [
+                {
+                    "threadFlows": [
+                        {
+                            "locations": [
+                                {"location": _sarif_location(step)}
+                                for step in f.trace
+                            ]
+                        }
+                    ]
+                }
+            ]
+        results.append(result)
     payload = {
         "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
         "version": "2.1.0",

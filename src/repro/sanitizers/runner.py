@@ -41,7 +41,7 @@ from repro.sanitizers.rewrite import EventApi, instrument_source
 from repro.sanitizers.sanitizer import Sanitizer
 from repro.sanitizers.sites import AccessSite, call_site
 
-__all__ = ["RunResult", "run_source", "run_fixture"]
+__all__ = ["RunResult", "run_source", "run_fixture", "run_program"]
 
 
 @dataclasses.dataclass
@@ -532,6 +532,122 @@ def run_source(
     return RunResult(
         path=path, findings=kept, suppressed=suppressed, errors=errors,
         value=value, shared=shared, sanitizer=san, schedule=schedule,
+    )
+
+
+class _ModuleEventApi(EventApi):
+    """An :class:`EventApi` that namespaces events per module, so
+    ``counter`` in ``shared_state`` and ``counter`` in ``worker`` are
+    distinct detector variables in one multi-module program."""
+
+    __slots__ = ("_prefix",)
+
+    def __init__(self, detector, prefix: str, scheduler=None) -> None:
+        super().__init__(detector, scheduler=scheduler)
+        self._prefix = prefix
+
+    def rd(self, name: str) -> None:
+        super().rd(f"{self._prefix}.{name}")
+
+    def wr(self, name: str) -> None:
+        super().wr(f"{self._prefix}.{name}")
+
+
+def run_program(
+    modules: Dict[str, str],
+    entry_module: str,
+    entry: Optional[str] = "main",
+    sanitizer: Optional[Sanitizer] = None,
+) -> RunResult:
+    """Execute a multi-module program under PDC-San instrumentation.
+
+    ``modules`` maps module name -> source.  Every module is rewritten
+    and compiled up front; an ``__import__`` hook hands instrumented
+    sibling modules (and the sanitized ``threading``) to whichever
+    module asks, all sharing one detector, one runtime, and one
+    happens-before history — so a thread spawned in ``main`` racing a
+    write in ``shared_state`` is one race, not two programs.  Inline
+    (logical-thread) execution only; findings carry the per-module
+    ``<name>.py`` path and honor that module's own suppression comments.
+    """
+    import types
+
+    san = sanitizer if sanitizer is not None else Sanitizer()
+    detector = san.fasttrack
+    runtime = _SanRuntime(detector)
+    errors = runtime.errors
+    value: Any = None
+    codes: Dict[str, Any] = {}
+    shared_all: List[str] = []
+    sources: Dict[str, str] = {}
+    for name in sorted(modules):
+        path = f"{name}.py"
+        sources[path] = modules[name]
+        try:
+            tree, shared_set = instrument_source(modules[name], filename=path)
+            codes[name] = compile(tree, path, "exec")
+        except SyntaxError as exc:
+            return RunResult(
+                path=path, findings=[], suppressed=[],
+                errors=[f"syntax error: {exc}"], value=None, shared=(),
+                sanitizer=san,
+            )
+        shared_all.extend(f"{name}.{s}" for s in sorted(shared_set))
+    if entry_module not in codes:
+        raise ValueError(f"entry module {entry_module!r} not in program")
+
+    traced = _SanThreading(runtime)
+    real_import = builtins.__import__
+    mods: Dict[str, types.ModuleType] = {}
+
+    def import_sanitized(name: str, *args: object, **kwargs: object):
+        if name == "threading":
+            return traced
+        if name in codes:
+            return load_module(name)
+        return real_import(name, *args, **kwargs)
+
+    builtins_map = {**vars(builtins), "__import__": import_sanitized}
+
+    def load_module(name: str) -> types.ModuleType:
+        if name in mods:
+            return mods[name]
+        mod = types.ModuleType(name)
+        mod.__dict__["__builtins__"] = builtins_map
+        mod.__dict__["__pdcsan__"] = _ModuleEventApi(detector, name)
+        mods[name] = mod  # registered before exec: import cycles resolve
+        exec(codes[name], mod.__dict__)
+        return mod
+
+    with san.activate():
+        try:
+            entry_mod = load_module(entry_module)
+            if entry is not None:
+                fn = entry_mod.__dict__.get(entry)
+                if callable(fn):
+                    value = fn()
+        except Exception as exc:  # noqa: BLE001 - surfaced in the result
+            errors.append(f"execution failed: {type(exc).__name__}: {exc}")
+
+    findings = sorted(san.findings() + runtime.order_findings())
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for path in sorted({f.path for f in findings}):
+        group = [f for f in findings if f.path == path]
+        if path in sources:
+            k, s = apply_suppressions(group, sources[path])
+            kept.extend(k)
+            suppressed.extend(s)
+        else:
+            kept.extend(group)
+    return RunResult(
+        path=f"<program:{entry_module}>",
+        findings=sorted(kept),
+        suppressed=sorted(suppressed),
+        errors=errors,
+        value=value,
+        shared=tuple(shared_all),
+        sanitizer=san,
     )
 
 

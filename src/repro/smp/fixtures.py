@@ -33,7 +33,9 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 from repro.smp.deadlock import LockGraph
 
 __all__ = ["FixtureProgram", "FIXTURES", "fixture", "all_fixtures",
-           "scripted_twins", "replay_lock_trace"]
+           "scripted_twins", "replay_lock_trace", "MultiFileFixture",
+           "MULTIFILE_FIXTURES", "multifile_fixture",
+           "all_multifile_fixtures"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -781,3 +783,181 @@ def replay_lock_trace(fix: FixtureProgram) -> LockGraph:
             raise TypeError(f"fixture entry point {entry!r} is not callable")
         fn()
     return graph
+
+
+# ---------------------------------------------------------------------------
+# Multi-file fixtures: the cross-module twin corpus.
+#
+# Each fixture is a tiny *program* — several modules importing each
+# other — with three ground truths attached: what whole-program
+# pdc-lint must say, what per-file pdc-lint says on each module alone
+# (∅ proves the interprocedural lift is load-bearing), and what the
+# multi-module sanitizer run observes dynamically.  The racy pair's
+# PDC101 must be confirmed by PDC301; the handoff pair is the
+# documented lockset false positive — fork/join happens-before makes
+# the accesses sequential, so the dynamic run exonerates it.
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiFileFixture:
+    """One multi-module program and its per-analysis ground truth."""
+
+    name: str
+    #: ``(filename, source)`` pairs; filenames are flat ``<module>.py``.
+    files: Tuple[Tuple[str, str], ...]
+    #: Module whose body (and ``dynamic_entry``) drives the dynamic run.
+    entry_module: str
+    description: str
+    #: Entry function in ``entry_module`` for the sanitizer run.
+    dynamic_entry: Optional[str] = "main"
+    #: Rules ``pdc-lint --whole-program`` MUST report over the tree.
+    expect_ip_rules: FrozenSet[str] = frozenset()
+    #: Rules per-file pdc-lint reports over the same tree (the union;
+    #: ∅ == every module alone looks clean).
+    expect_single_file: FrozenSet[str] = frozenset()
+    #: PDC3xx rules the multi-module sanitizer run MUST report.
+    expect_dynamic: FrozenSet[str] = frozenset()
+    #: Static finding refuted by dynamic happens-before (documented
+    #: lockset-analysis limitation, not a bug).
+    known_false_positive: bool = False
+
+    def sources(self) -> Dict[str, str]:
+        """Map filename -> source."""
+        return dict(self.files)
+
+    def modules(self) -> Dict[str, str]:
+        """Map module name -> source (for :func:`repro.sanitizers.run_program`)."""
+        return {name[: -len(".py")]: src for name, src in self.files}
+
+
+MULTIFILE_FIXTURES: Dict[str, MultiFileFixture] = {}
+
+
+def _register_multi(fix: MultiFileFixture) -> MultiFileFixture:
+    if fix.name in MULTIFILE_FIXTURES:
+        raise ValueError(f"duplicate multi-file fixture {fix.name}")
+    MULTIFILE_FIXTURES[fix.name] = fix
+    return fix
+
+
+def multifile_fixture(name: str) -> MultiFileFixture:
+    """Look up one multi-file fixture by name."""
+    try:
+        return MULTIFILE_FIXTURES[name]
+    except KeyError:
+        raise KeyError(
+            f"no multi-file fixture {name!r}; known: "
+            f"{', '.join(sorted(MULTIFILE_FIXTURES))}"
+        ) from None
+
+
+def all_multifile_fixtures() -> List[MultiFileFixture]:
+    """Every registered multi-file fixture, by name."""
+    return [MULTIFILE_FIXTURES[k] for k in sorted(MULTIFILE_FIXTURES)]
+
+
+_register_multi(MultiFileFixture(
+    name="crossmod_racy_pair",
+    description=(
+        "The multi-file lab shape: shared_state.py owns the counter, "
+        "worker.py mutates it through bump(), main.py spawns two "
+        "workers.  No single file shows both the spawn and the "
+        "unlocked write — only the whole-program lockset analysis "
+        "(and the dynamic sanitizer) sees the race."
+    ),
+    entry_module="main",
+    expect_ip_rules=frozenset({"PDC101"}),
+    expect_single_file=frozenset(),
+    expect_dynamic=frozenset({"PDC301"}),
+    files=(
+        ("shared_state.py", _src("""
+            import threading
+
+            counter = 0
+            lock = threading.Lock()
+
+
+            def bump():
+                global counter
+                counter += 1
+
+
+            def snapshot():
+                return counter
+        """)),
+        ("worker.py", _src("""
+            import shared_state
+
+
+            def run():
+                for _ in range(5):
+                    shared_state.bump()
+        """)),
+        ("main.py", _src("""
+            import threading
+
+            import shared_state
+            import worker
+
+
+            def main():
+                threads = [
+                    threading.Thread(target=worker.run) for _ in range(2)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                return shared_state.snapshot()
+        """)),
+    ),
+))
+
+
+_register_multi(MultiFileFixture(
+    name="crossmod_handoff_pair",
+    description=(
+        "Sequential handoff across modules: main spawns bump, joins "
+        "it, then spawns scale.  The whole-program lockset analysis "
+        "sees two concurrent unlocked writers and flags PDC101; the "
+        "fork/join happens-before edges make the accesses strictly "
+        "ordered, so the dynamic run exonerates it — the classic "
+        "Eraser trade-off, now cross-module."
+    ),
+    entry_module="main",
+    expect_ip_rules=frozenset({"PDC101"}),
+    expect_single_file=frozenset(),
+    expect_dynamic=frozenset(),
+    known_false_positive=True,
+    files=(
+        ("shared_state.py", _src("""
+            total = 0
+
+
+            def bump():
+                global total
+                total += 5
+
+
+            def scale():
+                global total
+                total *= 3
+        """)),
+        ("main.py", _src("""
+            import threading
+
+            import shared_state
+
+
+            def main():
+                first = threading.Thread(target=shared_state.bump)
+                first.start()
+                first.join()
+                second = threading.Thread(target=shared_state.scale)
+                second.start()
+                second.join()
+                return shared_state.total
+        """)),
+    ),
+))

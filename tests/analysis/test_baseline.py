@@ -1,0 +1,118 @@
+"""Baseline workflow: adopt a legacy codebase without fixing it first.
+
+``--baseline write`` captures today's findings; ``--baseline check``
+reports only what is *new* relative to the capture.  The satellite
+contract: the captured file is plain reviewable JSON, checking drops
+exactly the captured findings (counted as suppressed, so totals still
+add up), and new findings still fail the run.
+"""
+
+import json
+
+from repro.analysis.__main__ import main
+from repro.analysis.engine.cli import apply_baseline
+from repro.analysis.engine.core import AnalysisEngine
+from repro.analysis.engine.passes import LintPass
+from repro.smp.fixtures import fixture
+
+RACY = fixture("racy_counter_twin").source
+CLEAN = fixture("locked_counter_twin").source
+
+
+def _report(path):
+    return AnalysisEngine(LintPass()).run_paths([str(path)])
+
+
+class TestApplyBaseline:
+    def test_write_then_check_drops_the_capture(self, tmp_path):
+        prog = tmp_path / "legacy.py"
+        prog.write_text(RACY)
+        baseline = tmp_path / "baseline.json"
+        report = _report(prog)
+        assert report.findings
+
+        apply_baseline(report, "write", str(baseline))
+        payload = json.loads(baseline.read_text())
+        assert len(payload["findings"]) == len(report.findings)
+
+        checked = apply_baseline(_report(prog), "check", str(baseline))
+        assert checked.findings == []
+        assert checked.suppressed == len(report.findings)
+
+    def test_new_findings_survive_the_check(self, tmp_path):
+        prog = tmp_path / "legacy.py"
+        prog.write_text(CLEAN)
+        baseline = tmp_path / "baseline.json"
+        apply_baseline(_report(prog), "write", str(baseline))
+
+        prog.write_text(RACY)  # regression after the capture
+        checked = apply_baseline(_report(prog), "check", str(baseline))
+        assert checked.findings  # still reported: not in the baseline
+
+    def test_write_does_not_mutate_the_report(self, tmp_path):
+        prog = tmp_path / "legacy.py"
+        prog.write_text(RACY)
+        report = _report(prog)
+        out = apply_baseline(report, "write", str(tmp_path / "b.json"))
+        assert out is report
+
+
+class TestCli:
+    def test_write_exits_zero_despite_findings(self, tmp_path, capsys):
+        prog = tmp_path / "legacy.py"
+        prog.write_text(RACY)
+        baseline = tmp_path / "baseline.json"
+        code = main(
+            [str(prog), "--no-cache", "--baseline", "write", str(baseline)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert baseline.exists()
+
+    def test_check_is_clean_until_a_regression(self, tmp_path, capsys):
+        prog = tmp_path / "legacy.py"
+        prog.write_text(RACY)
+        baseline = tmp_path / "baseline.json"
+        main([str(prog), "--no-cache", "--baseline", "write", str(baseline)])
+        capsys.readouterr()
+
+        code = main(
+            [str(prog), "--no-cache", "--baseline", "check", str(baseline)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "suppressed" in out
+
+        # Baselines match exactly (path, line, rule, ...): shifting the
+        # file by one line makes the old finding "new" again.
+        prog.write_text("# preamble\n" + RACY)
+        code = main(
+            [str(prog), "--no-cache", "--baseline", "check", str(baseline)]
+        )
+        capsys.readouterr()
+        assert code == 1
+
+    def test_bad_mode_is_rejected(self, tmp_path):
+        prog = tmp_path / "legacy.py"
+        prog.write_text(CLEAN)
+        try:
+            main([str(prog), "--no-cache", "--baseline", "frob", "x.json"])
+        except SystemExit as exc:
+            assert "write" in str(exc)
+        else:
+            raise AssertionError("invalid --baseline mode was accepted")
+
+    def test_whole_program_findings_can_be_baselined(self, tmp_path, capsys):
+        from repro.smp.fixtures import multifile_fixture
+
+        fix = multifile_fixture("crossmod_racy_pair")
+        tree = tmp_path / "prog"
+        tree.mkdir()
+        for name, src in fix.files:
+            (tree / name).write_text(src)
+        baseline = tmp_path / "baseline.json"
+        args = [str(tree), "--no-cache", "--whole-program"]
+        assert main(args + ["--baseline", "write", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main(args + ["--baseline", "check", str(baseline)]) == 0
+        capsys.readouterr()

@@ -205,3 +205,42 @@ class TestStatsFlag:
         assert {f.rule for f in full_report.findings} == {"PDC101"}
         assert narrow_report.findings == []
         assert narrowed.stats()["engine.cache.hits"] == 0
+
+
+class TestWholeProgramStatsFlag:
+    def test_stats_json_gains_the_ip_subtree(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        from repro.analysis.__main__ import main
+        from repro.smp.fixtures import multifile_fixture
+
+        fix = multifile_fixture("crossmod_racy_pair")
+        tree = tmp_path / "prog"
+        tree.mkdir()
+        for name, src in fix.files:
+            (tree / name).write_text(src)
+        monkeypatch.setenv("PDC_CACHE_DIR", str(tmp_path / "cache"))
+        stats_file = tmp_path / "stats.json"
+        main([str(tree), "--whole-program", "--format", "json", "--stats",
+              "--stats-json", str(stats_file)])
+        out, err = capsys.readouterr()
+        json.loads(out)  # stdout is still pure report JSON
+        assert "whole-program:" in err
+        assert "summaries:" in err
+
+        snapshot = json.loads(stats_file.read_text())
+        assert snapshot["analysis.ip.modules"] == len(fix.files)
+        assert snapshot["analysis.ip.summary.misses"] == len(fix.files)
+        assert snapshot["analysis.ip.scc.count"] > 0
+        assert snapshot["analysis.ip.findings"] == 1
+
+        # Warm run: summaries and cones all replay from the cache.
+        main([str(tree), "--whole-program", "--format", "json", "--stats",
+              "--stats-json", str(stats_file)])
+        capsys.readouterr()
+        snapshot = json.loads(stats_file.read_text())
+        assert snapshot["analysis.ip.summary.hits"] == len(fix.files)
+        assert snapshot["analysis.ip.summary.misses"] == 0
+        assert snapshot["analysis.ip.scc.analyzed"] == 0

@@ -1,0 +1,60 @@
+"""The interprocedural crossval gate: static lift vs dynamic truth.
+
+The multi-file twin corpus carries three machine-checkable ground
+truths per fixture; this suite pins the corpus-level claims the issue
+demands: the racy pair's cross-module PDC101 is confirmed dynamically,
+the handoff pair's is exonerated by fork/join happens-before, and
+single-file mode provably misses both.
+"""
+
+import json
+
+from repro.analysis.ip.crossval import (
+    cross_validate_ip,
+    render_ip_crossval_text,
+    run_ip_crossval_cli,
+)
+from repro.smp.fixtures import all_multifile_fixtures
+
+
+class TestCorpus:
+    def test_every_fixture_carries_full_ground_truth(self):
+        fixtures = all_multifile_fixtures()
+        assert len(fixtures) >= 2
+        for fix in fixtures:
+            assert len(fix.files) >= 2, fix.name
+            assert fix.entry_module in fix.modules(), fix.name
+
+    def test_all_three_analyses_match_ground_truth(self):
+        report = cross_validate_ip()
+        assert report.all_ok, json.dumps(report.to_dict(), indent=2)
+
+    def test_racy_pair_is_dynamically_confirmed(self):
+        report = cross_validate_ip()
+        assert "crossmod_racy_pair" in report.confirmed
+
+    def test_handoff_pair_is_dynamically_exonerated(self):
+        report = cross_validate_ip()
+        assert "crossmod_handoff_pair" in report.exonerated
+
+    def test_single_file_mode_misses_the_lift(self):
+        # The load-bearing claim: no fixture's bug is visible per-file.
+        for v in cross_validate_ip().verdicts:
+            assert v.lift_is_load_bearing, v.name
+            assert "PDC101" not in v.single_file_rules, v.name
+            assert "PDC101" in v.whole_program_rules, v.name
+
+
+class TestRendering:
+    def test_text_table_names_the_verdicts(self):
+        text = render_ip_crossval_text(cross_validate_ip())
+        assert "ok (confirmed)" in text
+        assert "ok (exonerated)" in text
+        assert "all ok: True" in text
+
+    def test_cli_exit_codes_and_json(self, capsys):
+        assert run_ip_crossval_cli("json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["all_ok"] is True
+        assert payload["confirmed"] == ["crossmod_racy_pair"]
+        assert payload["exonerated"] == ["crossmod_handoff_pair"]

@@ -1,0 +1,170 @@
+"""Whole-program incrementality: summaries re-used, cones replayed.
+
+Mirrors the phase-1 mutation test (edit one of 12 files, exactly one
+re-analyzes) at whole-program scope: editing one module of a 12-file
+import chain re-summarizes exactly that module and re-links only the
+SCC cones that can see it — while every output format stays
+byte-identical to a from-scratch run on the same tree.
+"""
+
+import os
+
+from repro.analysis.engine.cache import FindingsCache
+from repro.analysis.engine.cli import render_report
+from repro.analysis.engine.core import AnalysisEngine
+from repro.analysis.engine.passes import LintPass
+from repro.analysis.ip.analyzer import IP_VERSION
+from repro.analysis.ip.cache import SummaryCache
+from repro.analysis.ip.engine import WholeProgramEngine
+
+N = 12
+
+TAIL = """\
+counter = 0
+
+
+def step():
+    global counter
+    counter += 1
+"""
+
+LINK = """\
+import mod_{next:02d}
+
+
+def step():
+    mod_{next:02d}.step()
+"""
+
+HEAD = """\
+import threading
+
+import mod_01
+
+
+def main():
+    workers = [
+        threading.Thread(target=mod_01.step) for _ in range(2)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+"""
+
+
+def build_chain(root):
+    """mod_00 spawns, mod_01..mod_10 forward, mod_11 owns the global."""
+    os.makedirs(root, exist_ok=True)
+    for i in range(N):
+        if i == 0:
+            src = HEAD
+        elif i == N - 1:
+            src = TAIL
+        else:
+            src = LINK.format(next=i + 1)
+        with open(
+            os.path.join(root, f"mod_{i:02d}.py"), "w", encoding="utf-8"
+        ) as fh:
+            fh.write(src)
+    return root
+
+
+def make_engine(tmp_path, jobs=1, cold=False):
+    suffix = "cold" if cold else "warm"
+    cache_root = str(tmp_path / f"cache-{suffix}" if cold else tmp_path / "cache")
+    return WholeProgramEngine(
+        LintPass(),
+        cache=FindingsCache(cache_root),
+        summary_cache=SummaryCache(cache_root, IP_VERSION),
+        jobs=jobs,
+    )
+
+
+def renders(report):
+    pass_ = LintPass()
+    return {
+        fmt: render_report(pass_, fmt, report)
+        for fmt in ("text", "json", "sarif")
+    }
+
+
+class TestIncremental:
+    def test_edit_one_of_twelve(self, tmp_path):
+        root = build_chain(str(tmp_path / "tree"))
+        cold = make_engine(tmp_path)
+        cold_report = cold.run_paths([root])
+        stats = cold.stats()
+        assert stats["analysis.ip.summary.misses"] == N
+        assert stats["analysis.ip.summary.hits"] == 0
+        assert stats["analysis.ip.scc.analyzed"] == N
+        assert stats["analysis.ip.modules"] == N
+        assert stats["analysis.ip.scc.count"] == N
+        assert [f.rule for f in cold_report.findings] == ["PDC101"]
+
+        warm = make_engine(tmp_path)
+        warm.run_paths([root])
+        stats = warm.stats()
+        assert stats["analysis.ip.summary.hits"] == N
+        assert stats["analysis.ip.summary.misses"] == 0
+        assert stats["analysis.ip.scc.hits"] == N
+        assert stats["analysis.ip.scc.analyzed"] == 0
+        assert stats["engine.cache.hits"] == N
+
+        # Edit mod_07: modules 00..07 can see it (they import it,
+        # transitively); 08..11 cannot and must replay from cache.
+        target = os.path.join(root, "mod_07.py")
+        with open(target, "a", encoding="utf-8") as fh:
+            fh.write("\n\nEDITED = True\n")
+        touched = make_engine(tmp_path)
+        touched.run_paths([root])
+        stats = touched.stats()
+        assert stats["engine.files.analyzed"] == 1
+        assert stats["analysis.ip.summary.misses"] == 1
+        assert stats["analysis.ip.summary.hits"] == N - 1
+        assert stats["analysis.ip.scc.analyzed"] == 8
+        assert stats["analysis.ip.scc.hits"] == N - 8
+
+    def test_touch_without_edit_replays_everything(self, tmp_path):
+        root = build_chain(str(tmp_path / "tree"))
+        make_engine(tmp_path).run_paths([root])
+        os.utime(os.path.join(root, "mod_07.py"))
+        engine = make_engine(tmp_path)
+        engine.run_paths([root])
+        stats = engine.stats()
+        assert stats["analysis.ip.summary.hits"] == N
+        assert stats["analysis.ip.scc.analyzed"] == 0
+
+
+class TestByteIdentity:
+    def test_cold_warm_parallel_agree_in_every_format(self, tmp_path):
+        root = build_chain(str(tmp_path / "tree"))
+        cold = make_engine(tmp_path)
+        reference = renders(cold.run_paths([root]))
+        assert '"PDC101"' in reference["json"]
+
+        warm = make_engine(tmp_path)
+        assert renders(warm.run_paths([root])) == reference
+
+        parallel = WholeProgramEngine(LintPass(), jobs=4)
+        assert renders(parallel.run_paths([root])) == reference
+
+    def test_incremental_equals_from_scratch_after_an_edit(self, tmp_path):
+        root = build_chain(str(tmp_path / "tree"))
+        make_engine(tmp_path).run_paths([root])
+        # The edit adds a second, unlocked writer module to the chain.
+        target = os.path.join(root, "mod_07.py")
+        with open(target, "w", encoding="utf-8") as fh:
+            fh.write(
+                "import mod_08\n"
+                "import mod_11\n\n\n"
+                "def step():\n"
+                "    mod_11.counter -= 1\n"
+                "    mod_08.step()\n"
+            )
+        incremental = make_engine(tmp_path)
+        got = renders(incremental.run_paths([root]))
+        assert incremental.stats()["analysis.ip.summary.misses"] == 1
+
+        scratch = WholeProgramEngine(LintPass())
+        assert renders(scratch.run_paths([root])) == got

@@ -1,0 +1,139 @@
+"""Phase 1 of whole-program analysis: per-module summaries.
+
+A summary is the *only* thing phase 2 ever sees of a module, so every
+interface fact the fixpoint relies on — locks defined, globals touched
+(with sites and locksets), spawn/blocking/acquisition sites, the
+suppression table — must survive extraction and the cache's wire
+round-trip bit-for-bit.
+"""
+
+from repro.analysis.ip.cache import MemorySummaryCache, SummaryCache
+from repro.analysis.ip.summaries import (
+    SUMMARY_VERSION,
+    ModuleSummary,
+    summarize_chunk,
+    summarize_module,
+)
+
+MODULE = """\
+import threading
+import helpers
+from helpers import tick as short_tick
+
+counter = 0
+lock = threading.Lock()
+
+
+def bump():
+    global counter
+    with lock:
+        counter += 1
+
+
+def sloppy():
+    global counter
+    counter -= 1  # pdc: disable=PDC101 -- exercised by the tests
+
+
+def wait_for(worker):
+    worker.join()
+
+
+def main():
+    t = threading.Thread(target=bump)
+    t.start()
+    helpers.run(short_tick)
+"""
+
+
+class TestSummarizeModule:
+    def test_locks_globals_and_sites(self):
+        s = summarize_module("app.py", MODULE)
+        assert s.version == SUMMARY_VERSION
+        assert s.path == "app.py"
+        assert "counter" in s.module_globals
+        assert s.global_lines["counter"] == 5
+        assert list(s.locks) == ["lock"]
+        assert {f.name for f in s.functions} >= {
+            "bump",
+            "sloppy",
+            "wait_for",
+            "main",
+        }
+        writes = [
+            a for a in s.accesses if a.parts[-1] == "counter" and a.write
+        ]
+        assert writes, "global writes must be summarized"
+        locked = [a for a in writes if a.lockset]
+        bare = [a for a in writes if not a.lockset]
+        assert locked and bare, "locksets are recorded per site"
+
+    def test_imports_spawns_blocking_suppressions(self):
+        s = summarize_module("app.py", MODULE)
+        assert s.imports["helpers"] == "helpers"
+        assert s.imports["short_tick"] == "helpers.tick"
+        assert len(s.spawns) == 1
+        assert s.spawns[0].target.endswith("bump")
+        assert any(b.kind == "join" for b in s.blocking)
+        assert s.suppressions == {17: ("PDC101",)}
+
+    def test_syntax_error_degrades_to_empty(self):
+        # Phase 1 already reported the parse error; phase 2 must not
+        # crash or double-report, just see an inert module.
+        empty = ModuleSummary.empty("broken.py")
+        assert empty.functions == ()
+        assert empty.accesses == ()
+
+    def test_chunk_matches_individual_runs(self):
+        # summarize_chunk is the worker-process entry point: bytes in,
+        # wire dicts out, matching the in-process path exactly.
+        pairs = [("a.py", MODULE), ("b.py", "x = 1\n")]
+        chunked = summarize_chunk(
+            [(p, src.encode("utf-8")) for p, src in pairs]
+        )
+        for (path, source), wire in zip(pairs, chunked):
+            assert wire == summarize_module(path, source).to_wire()
+
+
+class TestWireFormat:
+    def test_round_trip_is_identity(self):
+        s = summarize_module("app.py", MODULE)
+        assert ModuleSummary.from_wire(s.to_wire()) == s
+
+    def test_wire_is_json_plain(self):
+        import json
+
+        s = summarize_module("app.py", MODULE)
+        encoded = json.dumps(s.to_wire(), sort_keys=True)
+        assert ModuleSummary.from_wire(json.loads(encoded)) == s
+
+
+class TestSummaryCache:
+    def test_disk_round_trip_rebases_the_path(self, tmp_path):
+        cache = SummaryCache(str(tmp_path / "cache"), "1")
+        s = summarize_module("app.py", MODULE)
+        assert cache.get_summary("deadbeef", "app.py") is None
+        cache.put_summary("deadbeef", s)
+        again = SummaryCache(str(tmp_path / "cache"), "1")
+        hit = again.get_summary("deadbeef", "elsewhere/app.py")
+        assert hit is not None
+        assert hit.path == "elsewhere/app.py"
+        hit.path = s.path
+        assert hit == s
+
+    def test_ip_version_bump_prunes_the_old_scope(self, tmp_path):
+        cache = SummaryCache(str(tmp_path / "cache"), "1")
+        cache.put_summary("deadbeef", summarize_module("app.py", MODULE))
+        other = SummaryCache(str(tmp_path / "cache"), "2")
+        assert other.get_summary("deadbeef", "app.py") is None
+        # ...and the stale scope directory is actually gone from disk.
+        reopened = SummaryCache(str(tmp_path / "cache"), "1")
+        assert reopened.get_summary("deadbeef", "app.py") is None
+
+    def test_memory_cache_mirrors_disk(self):
+        cache = MemorySummaryCache()
+        s = summarize_module("app.py", MODULE)
+        cache.put_summary("deadbeef", s)
+        hit = cache.get_summary("deadbeef", "app.py")
+        assert hit == s
+        assert cache.get_summary("feedface", "app.py") is None

@@ -1,0 +1,289 @@
+"""Whole-program lift: findings no single file can justify.
+
+Every test here builds a small on-disk program tree and runs both
+engines over it.  The load-bearing assertions come in pairs: the
+per-file :class:`AnalysisEngine` must stay silent (no module shows the
+bug alone) while :class:`WholeProgramEngine` reports it — that delta
+*is* the interprocedural lift.
+"""
+
+import os
+
+from repro.analysis.engine.core import AnalysisEngine
+from repro.analysis.engine.passes import LintPass
+from repro.analysis.ip.engine import WholeProgramEngine
+from repro.smp.fixtures import multifile_fixture
+
+
+def write_tree(root, files):
+    os.makedirs(root, exist_ok=True)
+    for filename, source in files:
+        path = os.path.join(root, filename)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(source)
+    return root
+
+
+def per_file(root):
+    return AnalysisEngine(LintPass()).run_paths([root])
+
+
+def whole(root):
+    return WholeProgramEngine(LintPass()).run_paths([root])
+
+
+class TestCrossModuleRace:
+    def test_racy_pair_needs_the_lift(self, tmp_path):
+        fix = multifile_fixture("crossmod_racy_pair")
+        root = write_tree(str(tmp_path / "prog"), fix.files)
+        assert per_file(root).findings == []  # no single file shows it
+        report = whole(root)
+        assert [f.rule for f in report.findings] == ["PDC101"]
+        (race,) = report.findings
+        assert "cross-module" in race.message
+        assert race.symbol == "shared_state.counter"
+
+    def test_trace_walks_decl_spawn_and_accesses(self, tmp_path):
+        fix = multifile_fixture("crossmod_racy_pair")
+        root = write_tree(str(tmp_path / "prog"), fix.files)
+        (race,) = whole(root).findings
+        files = {os.path.basename(s.path) for s in race.trace}
+        # Evidence spans the declaring/accessing and spawning modules
+        # (worker.py only forwards the call; the write site is bump's).
+        assert {"shared_state.py", "main.py"} <= files
+        notes = " ".join(s.note for s in race.trace)
+        assert "spawned" in notes and "defined" in notes and "write" in notes
+
+    def test_locked_variant_is_clean(self, tmp_path):
+        fix = multifile_fixture("crossmod_racy_pair")
+        locked = [
+            (
+                name,
+                src.replace(
+                    "    global counter\n    counter += 1\n",
+                    "    global counter\n"
+                    "    with lock:\n        counter += 1\n",
+                ),
+            )
+            for name, src in fix.files
+        ]
+        assert any("with lock" in src for _, src in locked)
+        root = write_tree(str(tmp_path / "prog"), locked)
+        assert whole(root).findings == []
+
+    def test_handoff_pair_is_still_a_static_positive(self, tmp_path):
+        # The handoff twin is statically indistinguishable from a race;
+        # only the dynamic sanitizer exonerates it (see crossval).
+        fix = multifile_fixture("crossmod_handoff_pair")
+        root = write_tree(str(tmp_path / "prog"), fix.files)
+        assert per_file(root).findings == []
+        assert [f.rule for f in whole(root).findings] == ["PDC101"]
+
+
+LOCKS = """\
+import threading
+
+a = threading.Lock()
+b = threading.Lock()
+"""
+
+FORWARD = """\
+import locks
+
+
+def forward():
+    with locks.a:
+        with locks.b:
+            pass
+"""
+
+BACKWARD = """\
+import locks
+
+
+def backward():
+    with locks.b:
+        with locks.a:
+            pass
+"""
+
+LINKER = """\
+import bwd
+import fwd
+
+
+def main():
+    fwd.forward()
+    bwd.backward()
+"""
+
+
+class TestCrossModuleLockOrder:
+    def test_abba_across_files(self, tmp_path):
+        # The opposite orders live in sibling modules; the cycle only
+        # exists in programs that link both — app.py's cone does.
+        root = write_tree(
+            str(tmp_path / "prog"),
+            [
+                ("locks.py", LOCKS),
+                ("fwd.py", FORWARD),
+                ("bwd.py", BACKWARD),
+                ("app.py", LINKER),
+            ],
+        )
+        assert per_file(root).findings == []
+        report = whole(root)
+        assert [f.rule for f in report.findings] == ["PDC102"]
+        (cycle,) = report.findings
+        assert "locks.a" in cycle.symbol and "locks.b" in cycle.symbol
+
+    def test_unlinked_orders_are_not_a_cycle(self, tmp_path):
+        # Without a module importing both, no program runs both orders:
+        # the cone model deliberately stays silent.
+        root = write_tree(
+            str(tmp_path / "prog"),
+            [
+                ("locks.py", LOCKS),
+                ("fwd.py", FORWARD),
+                ("bwd.py", BACKWARD),
+            ],
+        )
+        assert whole(root).findings == []
+
+    def test_own_lock_abba_is_not_double_reported(self, tmp_path):
+        # Locks and both orders in one module: phase 1 already owns
+        # that cycle, so the whole-program pass must not re-report it.
+        both = LOCKS + "\n\n" + (
+            "def forward():\n"
+            "    with a:\n"
+            "        with b:\n"
+            "            pass\n"
+            "\n\n"
+            "def backward():\n"
+            "    with b:\n"
+            "        with a:\n"
+            "            pass\n"
+        )
+        root = write_tree(str(tmp_path / "prog"), [("app.py", both)])
+        local = per_file(root)
+        assert [f.rule for f in local.findings] == ["PDC102"]
+        lifted = whole(root)
+        assert [f.rule for f in lifted.findings] == ["PDC102"]
+        assert lifted.findings == local.findings
+
+    def test_imported_lock_abba_in_one_file_needs_the_lift(self, tmp_path):
+        # Both orders in one module but over *imported* locks: the
+        # per-file lock model never discovers them, so the lift owns it.
+        both = FORWARD + "\n\n" + BACKWARD.replace("import locks\n\n\n", "")
+        root = write_tree(
+            str(tmp_path / "prog"),
+            [("locks.py", LOCKS), ("app.py", both)],
+        )
+        assert per_file(root).findings == []
+        assert [f.rule for f in whole(root).findings] == ["PDC102"]
+
+
+BLOCKING_HELPER = """\
+def do_work():
+    return input()
+"""
+
+JOINY_HELPER = """\
+def wait_for(worker):
+    worker.join()
+"""
+
+CALLER_UNDER_LOCK = """\
+import threading
+
+import helper
+
+lock = threading.Lock()
+
+
+def tick(worker):
+    with lock:
+        helper.{callee}
+"""
+
+
+class TestTransitiveBlocking:
+    def test_blocking_call_behind_a_call_is_pdc209(self, tmp_path):
+        root = write_tree(
+            str(tmp_path / "prog"),
+            [
+                ("helper.py", BLOCKING_HELPER),
+                (
+                    "app.py",
+                    CALLER_UNDER_LOCK.format(callee="do_work()"),
+                ),
+            ],
+        )
+        assert per_file(root).findings == []
+        report = whole(root)
+        assert [f.rule for f in report.findings] == ["PDC209"]
+        (f,) = report.findings
+        assert os.path.basename(f.path) == "app.py"  # blame the call site
+        leafs = [s for s in f.trace if "helper.py" in s.path]
+        assert leafs, "trace reaches the blocking leaf"
+
+    def test_join_behind_a_call_is_pdc206(self, tmp_path):
+        root = write_tree(
+            str(tmp_path / "prog"),
+            [
+                ("helper.py", JOINY_HELPER),
+                (
+                    "app.py",
+                    CALLER_UNDER_LOCK.format(callee="wait_for(worker)"),
+                ),
+            ],
+        )
+        assert per_file(root).findings == []
+        assert [f.rule for f in whole(root).findings] == ["PDC206"]
+
+
+class TestEndpointSuppression:
+    def _root(self, tmp_path, mutate):
+        fix = multifile_fixture("crossmod_racy_pair")
+        files = [(name, mutate(name, src)) for name, src in fix.files]
+        return write_tree(str(tmp_path / "prog"), files)
+
+    def test_suppression_at_the_declaration_end(self, tmp_path):
+        def mutate(name, src):
+            if name == "shared_state.py":
+                return src.replace(
+                    "counter = 0",
+                    "counter = 0  # pdc: disable=PDC101 -- test corpus",
+                )
+            return src
+
+        report = whole(self._root(tmp_path, mutate))
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_suppression_at_the_access_end(self, tmp_path):
+        def mutate(name, src):
+            if name == "shared_state.py":
+                return src.replace(
+                    "counter += 1",
+                    "counter += 1  # pdc: disable=PDC101 -- test corpus",
+                )
+            return src
+
+        report = whole(self._root(tmp_path, mutate))
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_unrelated_rule_does_not_suppress(self, tmp_path):
+        def mutate(name, src):
+            if name == "shared_state.py":
+                return src.replace(
+                    "counter += 1",
+                    "counter += 1  # pdc: disable=PDC102 -- wrong rule",
+                )
+            return src
+
+        report = whole(self._root(tmp_path, mutate))
+        assert [f.rule for f in report.findings] == ["PDC101"]
+        assert report.suppressed == 0

@@ -107,3 +107,73 @@ class TestCliSarif:
         assert main([str(target), "--format", "sarif"]) == 0
         log = json.loads(capsys.readouterr().out)
         assert log["runs"][0]["results"] == []
+
+
+def _traced_finding():
+    from repro.analysis.report import TraceStep
+
+    return Finding(
+        path="main.py",
+        line=9,
+        col=0,
+        rule="PDC101",
+        message="cross-module race on `shared.counter`",
+        severity=Severity.ERROR,
+        symbol="shared.counter",
+        trace=(
+            TraceStep("shared.py", 3, "`shared.counter` defined here"),
+            TraceStep("main.py", 9, "`run` spawned as a thread here"),
+            TraceStep("shared.py", 7, "write in `shared.bump` under no lock"),
+        ),
+    )
+
+
+class TestSarifCodeFlows:
+    def test_trace_becomes_related_locations(self):
+        result = json.loads(render_sarif([_traced_finding()]))["runs"][0][
+            "results"
+        ][0]
+        related = result["relatedLocations"]
+        assert [r["physicalLocation"]["artifactLocation"]["uri"]
+                for r in related] == ["shared.py", "main.py", "shared.py"]
+        assert related[0]["message"]["text"] == (
+            "`shared.counter` defined here"
+        )
+
+    def test_trace_becomes_one_ordered_thread_flow(self):
+        result = json.loads(render_sarif([_traced_finding()]))["runs"][0][
+            "results"
+        ][0]
+        (flow,) = result["codeFlows"]
+        (thread,) = flow["threadFlows"]
+        lines = [
+            loc["location"]["physicalLocation"]["region"]["startLine"]
+            for loc in thread["locations"]
+        ]
+        assert lines == [3, 9, 7]  # evidence order, not source order
+
+    def test_untraced_findings_omit_the_flow_keys(self):
+        result = json.loads(render_sarif([_finding()]))["runs"][0][
+            "results"
+        ][0]
+        assert "codeFlows" not in result
+        assert "relatedLocations" not in result
+
+
+class TestFindingRoundTrip:
+    def test_traced_finding_survives_as_dict_from_dict(self):
+        f = _traced_finding()
+        assert Finding.from_dict(f.as_dict()) == f
+        assert Finding.from_dict(f.as_dict()).trace == f.trace
+
+    def test_round_trip_survives_json(self):
+        f = _traced_finding()
+        thawed = Finding.from_dict(json.loads(json.dumps(f.as_dict())))
+        assert thawed == f and thawed.trace == f.trace
+        assert thawed.message == f.message
+        assert thawed.severity is Severity.ERROR
+
+    def test_untraced_finding_serializes_without_a_trace_key(self):
+        payload = _finding().as_dict()
+        assert "trace" not in payload
+        assert Finding.from_dict(payload).trace == ()

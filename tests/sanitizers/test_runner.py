@@ -160,3 +160,66 @@ class TestFixtureRuns:
     def test_fixture_without_entry_is_rejected(self):
         with pytest.raises(ValueError):
             run_fixture(fixture("bare_acquire"))
+
+
+class TestRunProgram:
+    """Multi-module execution under one shared detector."""
+
+    def _fixture(self, name):
+        from repro.smp.fixtures import multifile_fixture
+
+        return multifile_fixture(name)
+
+    def test_cross_module_race_is_observed(self):
+        from repro.sanitizers.runner import run_program
+
+        fix = self._fixture("crossmod_racy_pair")
+        run = run_program(fix.modules(), fix.entry_module)
+        assert "PDC301" in run.rules
+        assert run.errors == []
+        # Variables are module-qualified so twins in different modules
+        # never alias in the detector.
+        assert any("shared_state." in s for s in run.shared)
+
+    def test_fork_join_handoff_is_exonerated(self):
+        from repro.sanitizers.runner import run_program
+
+        fix = self._fixture("crossmod_handoff_pair")
+        run = run_program(fix.modules(), fix.entry_module)
+        assert "PDC301" not in run.rules
+        assert run.errors == []
+
+    def test_import_cycles_do_not_recurse(self):
+        from repro.sanitizers.runner import run_program
+
+        run = run_program(
+            {
+                "alpha": "import beta\n\n\ndef main():\n    return beta.X\n",
+                "beta": "import alpha\n\nX = 1\n",
+            },
+            "alpha",
+        )
+        assert run.errors == []
+        assert "PDC301" not in run.rules
+
+    def test_syntax_error_is_reported_not_raised(self):
+        from repro.sanitizers.runner import run_program
+
+        run = run_program({"broken": "def oops(:\n"}, "broken")
+        assert run.errors
+        assert run.findings == []
+
+    def test_suppressions_apply_per_module(self):
+        from repro.sanitizers.runner import run_program
+
+        fix = self._fixture("crossmod_racy_pair")
+        modules = {
+            name: src.replace(
+                "counter += 1",
+                "counter += 1  # pdc-san: disable=PDC301 -- test corpus",
+            )
+            for name, src in fix.modules().items()
+        }
+        run = run_program(modules, fix.entry_module)
+        assert "PDC301" not in run.rules
+        assert len(run.suppressed) >= 1
